@@ -1,0 +1,52 @@
+// Ablation — FTL design sensitivity: Native vs EDC on a page-mapped FTL
+// and a BAST-style hybrid log-block FTL (small device, churny workload).
+// Under the hybrid FTL, random overwrites cost full merges, so EDC's
+// write-traffic reduction buys proportionally more.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace edc;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseArgs(argc, argv);
+  std::printf("Ablation — FTL design: page-mapping vs hybrid log-block\n");
+
+  auto params = trace::PresetByName("Fin1", opt.seconds);
+  if (!params.ok()) return 1;
+  params->working_set_blocks = 12 * 1024;  // 48 MiB: tight on the device
+  trace::Trace t = GenerateSynthetic(*params, opt.seed);
+
+  TextTable table({"ftl", "scheme", "resp_ms", "WAF", "erases",
+                   "gc_or_merges"});
+  for (ssd::FtlKind ftl :
+       {ssd::FtlKind::kPageMapping, ssd::FtlKind::kHybridLog}) {
+    for (core::Scheme scheme : {core::Scheme::kNative, core::Scheme::kLzf,
+                                core::Scheme::kEdc}) {
+      auto cell = bench::RunCell(
+          t, scheme, opt, [ftl](core::StackConfig& cfg) {
+            cfg.ssd = ssd::MakeX25eConfig(96, /*store_data=*/false);
+            cfg.ssd.ftl = ftl;
+            cfg.ssd.geometry.overprovision = 0.2;
+          });
+      if (!cell.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     cell.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({ftl == ssd::FtlKind::kPageMapping ? "page-map"
+                                                      : "hybrid-log",
+                    std::string(core::SchemeName(scheme)),
+                    TextTable::Num(cell->mean_response_ms(), 3),
+                    TextTable::Num(cell->device.waf, 3),
+                    std::to_string(cell->device.total_erases),
+                    std::to_string(cell->device.gc_runs)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nExpected shape: the hybrid FTL pays far higher WAF and "
+              "erase counts under random\noverwrites; compression (Lzf/EDC)"
+              " narrows the gap by shrinking the written set.\n");
+  return 0;
+}

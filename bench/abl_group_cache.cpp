@@ -1,0 +1,46 @@
+// Ablation — DRAM group cache on the read path: response time and device
+// read traffic with the cache off vs sized at 1k/8k groups, per trace.
+// The read-heavy trace (Fin2) benefits most; write-dominant traces barely
+// notice.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace edc;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseArgs(argc, argv);
+  std::printf("Ablation — DRAM group cache (EDC)\n");
+
+  TextTable table({"trace", "cache_groups", "resp_ms", "hit_rate%",
+                   "device_reads"});
+  for (const trace::Trace& t : bench::PaperTraces(opt)) {
+    for (std::size_t cache : {std::size_t{0}, std::size_t{1024},
+                              std::size_t{8192}}) {
+      auto cell = bench::RunCell(
+          t, core::Scheme::kEdc, opt, [cache](core::StackConfig& cfg) {
+            cfg.cache_groups = cache;
+          });
+      if (!cell.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     cell.status().ToString().c_str());
+        return 1;
+      }
+      u64 lookups = cell->engine.cache_hits + cell->engine.cache_misses;
+      double hit_rate =
+          lookups == 0 ? 0
+                       : static_cast<double>(cell->engine.cache_hits) /
+                             static_cast<double>(lookups) * 100;
+      table.AddRow({t.name, std::to_string(cache),
+                    TextTable::Num(cell->mean_response_ms(), 3),
+                    TextTable::Num(hit_rate, 1),
+                    std::to_string(cell->device.host_pages_read)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nExpected shape: hit rate and read-traffic savings grow "
+              "with cache size on\nread-heavy, skewed traces (Fin2); "
+              "write-dominant traces see little change.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation — over-provisioning sensitivity: WAF and erase counts vs the
+// OP fraction, Native vs EDC, on a churny write workload. Compression
+// acts as "free" over-provisioning (the flash holds less data), so EDC
+// at low OP behaves like Native at high OP — one of the practical
+// arguments for inline compression in products.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace edc;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseArgs(argc, argv);
+  std::printf("Ablation — over-provisioning vs write amplification "
+              "(Prxy_0 churn, 96 MiB device)\n");
+
+  TextTable table({"OP%", "scheme", "WAF", "erases", "gc_copies",
+                   "resp_ms"});
+  for (double op : {0.10, 0.15, 0.25}) {
+    // The host fills ~92% of the logical capacity at every OP level, so
+    // the spare area is exactly what OP provides.
+    ssd::SsdConfig dev = ssd::MakeX25eConfig(96, /*store_data=*/false);
+    dev.geometry.overprovision = op;
+    auto params = trace::PresetByName("Prxy_0", opt.seconds);
+    if (!params.ok()) return 1;
+    params->working_set_blocks = dev.geometry.logical_pages() * 92 / 100;
+    trace::Trace t = GenerateSynthetic(*params, opt.seed);
+
+    for (core::Scheme scheme : {core::Scheme::kNative, core::Scheme::kEdc}) {
+      auto cell = bench::RunCell(
+          t, scheme, opt, [&dev](core::StackConfig& cfg) {
+            cfg.ssd = dev;
+          });
+      if (!cell.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     cell.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({TextTable::Num(op * 100, 0),
+                    std::string(core::SchemeName(scheme)),
+                    TextTable::Num(cell->device.waf, 3),
+                    std::to_string(cell->device.total_erases),
+                    std::to_string(cell->device.gc_pages_copied),
+                    TextTable::Num(cell->mean_response_ms(), 3)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nExpected shape: Native WAF falls as OP grows; EDC's WAF "
+              "at 10%% OP is already\nnear Native's at 25%% — compression "
+              "doubles as over-provisioning.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation — allocation policy for compressed blocks: the paper's
+// 25/50/75/100% size-class grid vs exact 1 KiB quanta vs whole-page
+// allocation. The grid trades a little space (internal rounding) for
+// update stability and bounded fragmentation; whole-page allocation
+// forfeits sub-page space savings entirely.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace edc;
+
+namespace {
+
+const char* PolicyName(core::AllocPolicy p) {
+  switch (p) {
+    case core::AllocPolicy::kSizeClass: return "size-class";
+    case core::AllocPolicy::kExactQuanta: return "exact-quanta";
+    case core::AllocPolicy::kWholePage: return "whole-page";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseArgs(argc, argv);
+  std::printf("Ablation — compressed-block allocation policy (EDC)\n");
+
+  TextTable table({"trace", "policy", "ratio", "resp_ms",
+                   "dev_pages_written"});
+  for (const trace::Trace& t : bench::PaperTraces(opt)) {
+    for (core::AllocPolicy policy :
+         {core::AllocPolicy::kSizeClass, core::AllocPolicy::kExactQuanta,
+          core::AllocPolicy::kWholePage}) {
+      auto cell = bench::RunCell(
+          t, core::Scheme::kEdc, opt, [policy](core::StackConfig& cfg) {
+            cfg.alloc_policy = policy;
+          });
+      if (!cell.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     cell.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({t.name, PolicyName(policy),
+                    TextTable::Num(cell->compression_ratio, 3),
+                    TextTable::Num(cell->mean_response_ms(), 3),
+                    std::to_string(cell->device.host_pages_written)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nExpected shape: exact-quanta gives the best raw ratio, "
+              "size-class within a few\npercent of it, whole-page ratio "
+              "~1 for single-block groups (space saving lost).\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/table.hpp"
+
+namespace edc::bench {
+
+BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seconds=", 10) == 0) {
+      opt.seconds = std::atof(a + 10);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      opt.seed = static_cast<u64>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--device-mib=", 13) == 0) {
+      opt.device_mib = static_cast<u64>(std::atoll(a + 13));
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      opt.verbose = true;
+    }
+  }
+  return opt;
+}
+
+std::vector<trace::Trace> PaperTraces(const BenchOptions& opt) {
+  std::vector<trace::Trace> traces;
+  for (const std::string& name : trace::PaperTraceNames()) {
+    auto params = trace::PresetByName(name, opt.seconds);
+    if (!params.ok()) continue;
+    traces.push_back(GenerateSynthetic(*params, opt.seed));
+  }
+  return traces;
+}
+
+Result<std::shared_ptr<const core::CostModel>> CostModelFor(
+    const std::string& profile) {
+  static std::map<std::string, std::shared_ptr<const core::CostModel>>
+      cache;
+  auto it = cache.find(profile);
+  if (it != cache.end()) return it->second;
+
+  auto p = datagen::ProfileByName(profile);
+  if (!p.ok()) return p.status();
+  datagen::ContentGenerator gen(*p, 1);
+  core::CostModelConfig cfg;
+  cfg.calib_bytes = 128 * 1024;  // keep startup in seconds, not minutes
+  auto model = std::make_shared<const core::CostModel>(
+      core::CostModel::Calibrate(gen, cfg));
+  cache.emplace(profile, model);
+  return std::shared_ptr<const core::CostModel>(model);
+}
+
+Result<core::StackConfig> BaseStackConfig(const std::string& trace_name,
+                                          core::Scheme scheme,
+                                          const BenchOptions& opt) {
+  auto profile = trace::ContentProfileForTrace(trace_name);
+  if (!profile.ok()) return profile.status();
+  core::StackConfig cfg;
+  cfg.scheme = scheme;
+  cfg.mode = core::ExecutionMode::kModeled;
+  cfg.content_profile = *profile;
+  cfg.seed = opt.seed;
+  cfg.ssd = ssd::MakeX25eConfig(opt.device_mib, /*store_data=*/false);
+  return cfg;
+}
+
+Result<sim::ReplayResult> RunCell(
+    const trace::Trace& trace, core::Scheme scheme, const BenchOptions& opt,
+    const std::function<void(core::StackConfig&)>& tweak) {
+  auto cfg = BaseStackConfig(trace.name, scheme, opt);
+  if (!cfg.ok()) return cfg.status();
+  if (tweak) tweak(*cfg);
+  auto model = CostModelFor(cfg->content_profile);
+  if (!model.ok()) return model.status();
+  auto stack = core::Stack::Create(*cfg, *model);
+  if (!stack.ok()) return stack.status();
+  return sim::ReplayTrace(**stack, trace);
+}
+
+Result<Matrix> RunMatrix(
+    const BenchOptions& opt, const std::vector<core::Scheme>& schemes,
+    const std::function<void(core::StackConfig&)>& tweak) {
+  Matrix m;
+  m.schemes = schemes;
+  for (const trace::Trace& t : PaperTraces(opt)) {
+    m.traces.push_back(t.name);
+    for (core::Scheme scheme : schemes) {
+      auto cell = RunCell(t, scheme, opt, tweak);
+      if (!cell.ok()) return cell.status();
+      if (opt.verbose) {
+        std::printf("  [%s/%s] rt=%.3f ms ratio=%.3f\n", t.name.c_str(),
+                    std::string(core::SchemeName(scheme)).c_str(),
+                    cell->mean_response_ms(), cell->compression_ratio);
+      }
+      m.cells[t.name].emplace(scheme, std::move(*cell));
+    }
+  }
+  return m;
+}
+
+namespace {
+
+void PrintTable(const Matrix& m, const std::string& title,
+                const std::string& unit,
+                const std::function<double(const sim::ReplayResult&)>&
+                    metric,
+                bool normalize, int precision) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!unit.empty()) std::printf("(%s)\n", unit.c_str());
+  std::vector<std::string> header = {"trace"};
+  for (core::Scheme s : m.schemes) {
+    header.emplace_back(core::SchemeName(s));
+  }
+  TextTable table(std::move(header));
+  for (const std::string& trace_name : m.traces) {
+    const auto& row = m.cells.at(trace_name);
+    double base = 1.0;
+    if (normalize) {
+      auto it = row.find(core::Scheme::kNative);
+      if (it != row.end()) {
+        base = metric(it->second);
+        if (base == 0) base = 1.0;
+      }
+    }
+    std::vector<std::string> cells = {trace_name};
+    for (core::Scheme s : m.schemes) {
+      cells.push_back(TextTable::Num(metric(row.at(s)) / base, precision));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
+}  // namespace
+
+void PrintNormalized(const Matrix& m, const std::string& title,
+                     const std::function<double(const sim::ReplayResult&)>&
+                         metric,
+                     int precision) {
+  PrintTable(m, title, "normalized to Native", metric, true, precision);
+}
+
+void PrintAbsolute(const Matrix& m, const std::string& title,
+                   const std::string& unit,
+                   const std::function<double(const sim::ReplayResult&)>&
+                       metric,
+                   int precision) {
+  PrintTable(m, title, unit, metric, false, precision);
+}
+
+}  // namespace edc::bench

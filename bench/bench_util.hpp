@@ -1,0 +1,72 @@
+// Shared plumbing for the figure/table harnesses: building the paper's
+// four synthetic workloads, calibrating cost models once per content
+// profile, running the scheme × trace matrix, and printing normalized
+// tables in the same form as the paper's figures.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/replay.hpp"
+#include "trace/synthetic.hpp"
+
+namespace edc::bench {
+
+struct BenchOptions {
+  double seconds = 60.0;   // synthetic trace length
+  u64 seed = 20170529;     // IPDPS'17 vintage
+  u64 device_mib = 8192;   // simulated raw capacity per SSD
+  bool verbose = false;
+};
+
+/// Parse "--seconds=30 --seed=7 --device-mib=4096 --verbose" style args.
+BenchOptions ParseArgs(int argc, char** argv);
+
+/// The four paper workloads as synthetic traces.
+std::vector<trace::Trace> PaperTraces(const BenchOptions& opt);
+
+/// Calibrated cost model per content profile, cached for the process.
+Result<std::shared_ptr<const core::CostModel>> CostModelFor(
+    const std::string& profile);
+
+/// Base stack config for a trace (content profile resolved from the trace
+/// name) in modeled mode.
+Result<core::StackConfig> BaseStackConfig(const std::string& trace_name,
+                                          core::Scheme scheme,
+                                          const BenchOptions& opt);
+
+/// Replay one (trace, scheme) cell; `tweak` may adjust the config (RAIS,
+/// thresholds, ablation knobs) before the stack is built.
+Result<sim::ReplayResult> RunCell(
+    const trace::Trace& trace, core::Scheme scheme, const BenchOptions& opt,
+    const std::function<void(core::StackConfig&)>& tweak = nullptr);
+
+/// Full matrix over the paper's schemes; row per trace, column per scheme.
+struct Matrix {
+  std::vector<std::string> traces;
+  std::vector<core::Scheme> schemes;
+  // results[trace][scheme]
+  std::map<std::string, std::map<core::Scheme, sim::ReplayResult>> cells;
+};
+
+Result<Matrix> RunMatrix(
+    const BenchOptions& opt,
+    const std::vector<core::Scheme>& schemes,
+    const std::function<void(core::StackConfig&)>& tweak = nullptr);
+
+/// Print a normalized table: metric(cell) / metric(Native row cell).
+void PrintNormalized(const Matrix& m, const std::string& title,
+                     const std::function<double(const sim::ReplayResult&)>&
+                         metric,
+                     int precision = 3);
+
+/// Print absolute values.
+void PrintAbsolute(const Matrix& m, const std::string& title,
+                   const std::string& unit,
+                   const std::function<double(const sim::ReplayResult&)>&
+                       metric,
+                   int precision = 3);
+
+}  // namespace edc::bench

@@ -1,0 +1,87 @@
+// Extension — deduplication vs compression vs both (the related-work
+// CA-FTL/CA-SSD angle; flash products ship both). For corpora with
+// varying duplicate shares, measures the data-reduction factor of
+// dedup alone, compression alone (lzf / gzip) and dedup + compression
+// (unique blocks compressed).
+#include <cstdio>
+#include <cstring>
+
+#include "codec/codec.hpp"
+#include "common/table.hpp"
+#include "datagen/generator.hpp"
+#include "dedup/index.hpp"
+
+using namespace edc;
+
+namespace {
+
+struct Reduction {
+  double dedup;
+  double lzf;
+  double gzip;
+  double both_gzip;
+};
+
+Reduction Measure(const datagen::ContentProfile& profile, u64 seed,
+                  int blocks) {
+  datagen::ContentGenerator gen(profile, seed);
+  dedup::DedupIndex index;
+  const codec::Codec& lzf = codec::GetCodec(codec::CodecId::kLzf);
+  const codec::Codec& gzip = codec::GetCodec(codec::CodecId::kGzip);
+
+  u64 logical = 0, lzf_bytes = 0, gzip_bytes = 0, both_bytes = 0;
+  for (Lba lba = 0; lba < static_cast<Lba>(blocks); ++lba) {
+    Bytes block = gen.Generate(lba, 1, 4096);
+    logical += block.size();
+    Bytes a, b;
+    (void)lzf.Compress(block, &a);
+    (void)gzip.Compress(block, &b);
+    lzf_bytes += std::min(a.size(), block.size());
+    std::size_t g = std::min(b.size(), block.size());
+    gzip_bytes += g;
+    if (!index.Insert(block, lba).is_duplicate) {
+      both_bytes += g;  // only unique blocks are stored (compressed)
+    }
+  }
+  Reduction r;
+  r.dedup = index.stats().dedup_ratio();
+  r.lzf = static_cast<double>(logical) / static_cast<double>(lzf_bytes);
+  r.gzip = static_cast<double>(logical) / static_cast<double>(gzip_bytes);
+  r.both_gzip =
+      static_cast<double>(logical) / static_cast<double>(both_bytes);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int blocks = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--blocks=", 9) == 0) {
+      blocks = std::atoi(argv[i] + 9);
+    }
+  }
+  std::printf("Extension — data reduction: dedup vs compression vs both "
+              "(%d blocks of 4 KiB)\n", blocks);
+
+  TextTable table({"profile", "dup%", "dedup_x", "lzf_x", "gzip_x",
+                   "dedup+gzip_x"});
+  for (const char* name : {"usr", "fin"}) {
+    for (double dup : {0.0, 0.2, 0.5}) {
+      auto profile = datagen::ProfileByName(name);
+      if (!profile.ok()) return 1;
+      profile->dup_fraction = dup;
+      profile->dup_universe = 256;
+      Reduction r = Measure(*profile, 20170529, blocks);
+      table.AddRow({name, TextTable::Num(dup * 100, 0),
+                    TextTable::Num(r.dedup, 3), TextTable::Num(r.lzf, 3),
+                    TextTable::Num(r.gzip, 3),
+                    TextTable::Num(r.both_gzip, 3)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nExpected shape: dedup reduction grows with the duplicate "
+              "share and multiplies with\ncompression — dedup+gzip beats "
+              "either alone, which is why products ship both.\n");
+  return 0;
+}

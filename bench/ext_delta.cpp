@@ -1,0 +1,65 @@
+// Extension — delta compression of updates (Delta-FTL, EuroSys'12):
+// for workloads whose overwrites change a small fraction of each block,
+// storing the compressed XOR against the previous version beats
+// recompressing the whole block. Sweeps the per-update mutation rate and
+// reports full-block gzip size vs delta size and the share of updates
+// where the delta wins.
+#include <cstdio>
+#include <cstring>
+
+#include "codec/codec.hpp"
+#include "codec/delta.hpp"
+#include "common/table.hpp"
+#include "datagen/generator.hpp"
+
+using namespace edc;
+
+int main(int argc, char** argv) {
+  int blocks = 300;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--blocks=", 9) == 0) {
+      blocks = std::atoi(argv[i] + 9);
+    }
+  }
+  std::printf("Extension — delta compression of block updates "
+              "(%d updated blocks per row)\n", blocks);
+
+  const codec::Codec& gzip = codec::GetCodec(codec::CodecId::kGzip);
+  TextTable table({"mutation%", "full_gzip_B", "delta_B", "delta_wins%",
+                   "saving_vs_full%"});
+  for (double rate : {0.005, 0.02, 0.05, 0.15, 0.40}) {
+    auto profile = datagen::ProfileByName("fin");
+    if (!profile.ok()) return 1;
+    profile->update_delta = rate;
+    datagen::ContentGenerator gen(*profile, 611);
+
+    u64 full_total = 0, delta_total = 0, wins = 0;
+    for (Lba lba = 0; lba < static_cast<Lba>(blocks); ++lba) {
+      Bytes v1 = gen.Generate(lba, 1, 4096);
+      Bytes v2 = gen.Generate(lba, 2, 4096);
+      Bytes full;
+      (void)gzip.Compress(v2, &full);
+      std::size_t full_size = std::min(full.size(), v2.size());
+      auto delta = codec::DeltaEncode(v1, v2);
+      if (!delta.ok()) return 1;
+      full_total += full_size;
+      delta_total += std::min(delta->size(), full_size);  // policy picks min
+      wins += delta->size() < full_size;
+    }
+    double n = static_cast<double>(blocks);
+    table.AddRow({TextTable::Num(rate * 100, 1),
+                  TextTable::Num(static_cast<double>(full_total) / n, 0),
+                  TextTable::Num(static_cast<double>(delta_total) / n, 0),
+                  TextTable::Num(static_cast<double>(wins) / n * 100, 1),
+                  TextTable::Num((1.0 - static_cast<double>(delta_total) /
+                                            static_cast<double>(full_total)) *
+                                     100,
+                                 1)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nExpected shape: at low mutation rates the delta is a "
+              "small fraction of the\nrecompressed block; past tens of "
+              "percent mutated, full-block compression wins\nagain — the "
+              "Delta-FTL operating envelope.\n");
+  return 0;
+}

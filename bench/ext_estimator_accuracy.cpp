@@ -1,0 +1,96 @@
+// Extension — estimator accuracy: the sampling estimator vs the
+// prefix-probe estimator against ground truth (the real gzip codec) on
+// every content profile: agreement with the 75% write-through verdict,
+// mean absolute error of the predicted fraction, and estimation cost.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "codec/codec.hpp"
+#include "common/table.hpp"
+#include "datagen/generator.hpp"
+#include "edc/estimator.hpp"
+
+using namespace edc;
+
+namespace {
+
+struct Accuracy {
+  double agreement;
+  double mean_abs_error;
+  double mb_per_s;
+};
+
+Accuracy Evaluate(const core::CompressibilityEstimator& est,
+                  const datagen::ContentGenerator& gen, int blocks) {
+  const codec::Codec& gzip = codec::GetCodec(codec::CodecId::kGzip);
+  int agree = 0;
+  double err = 0;
+  double est_seconds = 0;
+  for (Lba lba = 0; lba < static_cast<Lba>(blocks); ++lba) {
+    Bytes block = gen.Generate(lba, 1, 4096);
+    Bytes out;
+    (void)gzip.Compress(block, &out);
+    double actual = std::min(
+        1.0, static_cast<double>(out.size()) /
+                 static_cast<double>(block.size()));
+    auto t0 = std::chrono::steady_clock::now();
+    double predicted = est.EstimateCompressedFraction(block);
+    est_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    bool actual_comp = actual < est.config().write_through_fraction;
+    bool predicted_comp = predicted < est.config().write_through_fraction;
+    agree += actual_comp == predicted_comp;
+    err += std::abs(std::min(predicted, 1.0) - actual);
+  }
+  Accuracy a;
+  a.agreement = static_cast<double>(agree) / blocks * 100;
+  a.mean_abs_error = err / blocks;
+  a.mb_per_s = static_cast<double>(blocks) * 4096 / (1024.0 * 1024.0) /
+               std::max(est_seconds, 1e-9);
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int blocks = 400;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--blocks=", 9) == 0) {
+      blocks = std::atoi(argv[i] + 9);
+    }
+  }
+  std::printf("Extension — compressibility estimator accuracy vs real "
+              "gzip (%d blocks/profile)\n", blocks);
+
+  core::CompressibilityEstimator sampling;
+  core::EstimatorConfig probe_cfg;
+  probe_cfg.kind = core::EstimatorKind::kPrefixProbe;
+  core::CompressibilityEstimator probe(probe_cfg);
+
+  TextTable table({"profile", "estimator", "agree%", "mean_abs_err",
+                   "est_MB/s"});
+  for (const std::string& name : datagen::AllProfileNames()) {
+    auto profile = datagen::ProfileByName(name);
+    if (!profile.ok()) continue;
+    datagen::ContentGenerator gen(*profile, 2026);
+    for (auto [label, est] :
+         {std::pair<const char*, const core::CompressibilityEstimator*>{
+              "sampling", &sampling},
+          {"prefix-probe", &probe}}) {
+      Accuracy a = Evaluate(*est, gen, blocks);
+      table.AddRow({name, label, TextTable::Num(a.agreement, 1),
+                    TextTable::Num(a.mean_abs_error, 3),
+                    TextTable::Num(a.mb_per_s, 0)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nExpected shape: both gates agree with the 75%% verdict "
+              "on >90%% of blocks with\nfraction errors in the 0.05-0.25 "
+              "band; the probe is sharper on extreme content\n"
+              "(zero/random), the sampler on text-like content — and the "
+              "sampler never runs a\nreal compressor on the critical "
+              "path.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Fig. 2 — compression efficiency of the codecs on two datasets:
+// Linux-source-like and Firefox-build-like corpora (datagen analogs of the
+// paper's file sets). Uses google-benchmark for the speed measurements
+// (C_Speed, D_Speed) and reports C_Ratio as a counter on each benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+
+#include "codec/codec.hpp"
+#include "datagen/generator.hpp"
+
+using namespace edc;
+
+namespace {
+
+constexpr std::size_t kCorpusBytes = 2 * 1024 * 1024;
+constexpr std::size_t kBlock = 64 * 1024;
+
+std::string g_corpus_file;  // --corpus-file=PATH replaces both corpora
+
+const Bytes& Corpus(const std::string& profile) {
+  static std::map<std::string, Bytes> cache;
+  auto it = cache.find(profile);
+  if (it == cache.end()) {
+    Bytes data;
+    if (!g_corpus_file.empty()) {
+      // Measure a real file instead of the synthetic analog.
+      std::ifstream in(g_corpus_file, std::ios::binary);
+      if (in) {
+        data.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+        if (data.size() > kCorpusBytes) data.resize(kCorpusBytes);
+      }
+    }
+    if (data.empty()) {
+      auto p = datagen::ProfileByName(profile);
+      datagen::ContentGenerator gen(*p, 1701);
+      data = gen.GenerateCorpus(kCorpusBytes, kBlock);
+    }
+    it = cache.emplace(profile, std::move(data)).first;
+  }
+  return it->second;
+}
+
+std::vector<Bytes> CompressCorpus(const codec::Codec& c, const Bytes& corpus,
+                                  std::size_t* total_out) {
+  std::vector<Bytes> blobs;
+  *total_out = 0;
+  for (std::size_t off = 0; off < corpus.size(); off += kBlock) {
+    std::size_t len = std::min(kBlock, corpus.size() - off);
+    Bytes out;
+    (void)c.Compress(ByteSpan(corpus.data() + off, len), &out);
+    *total_out += out.size();
+    blobs.push_back(std::move(out));
+  }
+  return blobs;
+}
+
+void BM_Compress(benchmark::State& state, codec::CodecId id,
+                 const char* profile) {
+  const codec::Codec& c = codec::GetCodec(id);
+  const Bytes& corpus = Corpus(profile);
+  std::size_t total_out = 0;
+  for (auto _ : state) {
+    total_out = 0;
+    for (std::size_t off = 0; off < corpus.size(); off += kBlock) {
+      std::size_t len = std::min(kBlock, corpus.size() - off);
+      Bytes out;
+      benchmark::DoNotOptimize(
+          c.Compress(ByteSpan(corpus.data() + off, len), &out));
+      total_out += out.size();
+      benchmark::ClobberMemory();
+    }
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(corpus.size()));
+  state.counters["C_Ratio"] = static_cast<double>(corpus.size()) /
+                              static_cast<double>(total_out);
+}
+
+void BM_Decompress(benchmark::State& state, codec::CodecId id,
+                   const char* profile) {
+  const codec::Codec& c = codec::GetCodec(id);
+  const Bytes& corpus = Corpus(profile);
+  std::size_t total_out = 0;
+  auto blobs = CompressCorpus(c, corpus, &total_out);
+  for (auto _ : state) {
+    std::size_t off = 0;
+    for (const Bytes& blob : blobs) {
+      std::size_t len = std::min(kBlock, corpus.size() - off);
+      Bytes out;
+      benchmark::DoNotOptimize(c.Decompress(blob, len, &out));
+      off += len;
+      benchmark::ClobberMemory();
+    }
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(corpus.size()));
+  state.counters["C_Ratio"] = static_cast<double>(corpus.size()) /
+                              static_cast<double>(total_out);
+}
+
+void RegisterAll() {
+  for (const char* profile : {"linux", "firefox"}) {
+    for (codec::CodecId id :
+         {codec::CodecId::kLzf, codec::CodecId::kLzFast,
+          codec::CodecId::kGzip, codec::CodecId::kBzip2}) {
+      std::string base = std::string(profile) + "/" +
+                         std::string(codec::CodecName(id));
+      benchmark::RegisterBenchmark(
+          ("C_Speed/" + base).c_str(),
+          [id, profile](benchmark::State& s) { BM_Compress(s, id, profile); });
+      benchmark::RegisterBenchmark(
+          ("D_Speed/" + base).c_str(), [id, profile](benchmark::State& s) {
+            BM_Decompress(s, id, profile);
+          });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--corpus-file=", 14) == 0) {
+      g_corpus_file = argv[i] + 14;
+    }
+  }
+  std::printf("Fig. 2 — codec compression ratio and speed on Linux-source-"
+              "like and Firefox-like corpora.\n"
+              "(Pass --corpus-file=PATH to measure a real file instead.)\n"
+              "Expected shape (paper): Bzip2/Gzip highest C_Ratio, lowest "
+              "speed; Lzf/Lz4 the reverse.\n");
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks of EDC's hot internal structures (google-benchmark):
+// the quantum allocator, the block map, the workload monitor, the
+// compressibility estimators and the sequentiality detector. These bound
+// the metadata overhead EDC adds per I/O — the paper's "lightweight
+// prototype" claim in numbers.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "datagen/generator.hpp"
+#include "edc/estimator.hpp"
+#include "edc/mapping.hpp"
+#include "edc/monitor.hpp"
+#include "edc/seqdetect.hpp"
+
+using namespace edc;
+using namespace edc::core;
+
+namespace {
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  QuantumAllocator alloc(1u << 20);
+  Pcg32 rng(1, 2);
+  std::vector<std::pair<u64, u32>> live;
+  live.reserve(1024);
+  for (auto _ : state) {
+    if (live.size() < 512 || rng.NextBool(0.5)) {
+      u32 len = 1 + rng.NextBounded(4);
+      auto start = alloc.Allocate(len);
+      if (start.ok()) live.emplace_back(*start, len);
+    } else {
+      std::size_t i = rng.NextBounded(static_cast<u32>(live.size()));
+      alloc.Free(live[i].first, live[i].second);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_AllocatorChurn);
+
+void BM_BlockMapInstallLookup(benchmark::State& state) {
+  BlockMap map(1u << 22);
+  Pcg32 rng(3, 4);
+  for (auto _ : state) {
+    Lba lba = rng.NextBounded(100000);
+    benchmark::DoNotOptimize(
+        map.Install(lba, 1, codec::CodecId::kLzf, 900, 1));
+    benchmark::DoNotOptimize(map.Find(lba));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_BlockMapInstallLookup);
+
+void BM_MonitorRecord(benchmark::State& state) {
+  WorkloadMonitor monitor;
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 100 * kMicrosecond;
+    monitor.Record(now, 8192);
+    benchmark::DoNotOptimize(monitor.CalculatedIops(now));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_MonitorRecord);
+
+void BM_SeqDetector(benchmark::State& state) {
+  SequentialityDetector sd;
+  Pcg32 rng(5, 6);
+  Lba next = 0;
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += kMicrosecond;
+    Lba lba = rng.NextBool(0.4) ? next : rng.NextU64() % 100000;
+    auto flushed = sd.OnWrite(lba, 1, now);
+    benchmark::DoNotOptimize(flushed);
+    next = lba + 1;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_SeqDetector);
+
+const Bytes& SampleBlock() {
+  static const Bytes block = [] {
+    auto profile = datagen::ProfileByName("usr");
+    datagen::ContentGenerator gen(*profile, 10);
+    return gen.Generate(1, 1, 4096);
+  }();
+  return block;
+}
+
+void BM_EstimatorSampling(benchmark::State& state) {
+  CompressibilityEstimator est;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.EstimateCompressedFraction(SampleBlock()));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_EstimatorSampling);
+
+void BM_EstimatorPrefixProbe(benchmark::State& state) {
+  EstimatorConfig cfg;
+  cfg.kind = EstimatorKind::kPrefixProbe;
+  CompressibilityEstimator est(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.EstimateCompressedFraction(SampleBlock()));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_EstimatorPrefixProbe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

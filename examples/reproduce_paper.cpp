@@ -1,0 +1,164 @@
+// One-shot reproduction: runs the paper's main evaluation (Table II,
+// Figs. 8, 9, 10, 12) in-process and writes a markdown report with the
+// measured tables next to the paper's expected shapes.
+//
+//   $ ./reproduce_paper [--seconds=60] [--out=REPORT.md]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace edc;
+
+namespace {
+
+std::string NormTable(const bench::Matrix& m,
+                      double (*metric)(const sim::ReplayResult&)) {
+  std::vector<std::string> header = {"trace"};
+  for (core::Scheme s : m.schemes) header.emplace_back(core::SchemeName(s));
+  TextTable table(std::move(header));
+  for (const auto& name : m.traces) {
+    const auto& row = m.cells.at(name);
+    double base = metric(row.at(core::Scheme::kNative));
+    if (base == 0) base = 1;
+    std::vector<std::string> cells = {name};
+    for (core::Scheme s : m.schemes) {
+      cells.push_back(TextTable::Num(metric(row.at(s)) / base, 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  return table.ToString();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseArgs(argc, argv);
+  std::string out_path = "REPORT.md";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  std::ostringstream md;
+  md << "# EDC reproduction report\n\n"
+     << "Synthetic traces: " << opt.seconds << " s, seed " << opt.seed
+     << ". Modeled replay with host-calibrated codec costs.\n\n";
+
+  // --- Table II ---------------------------------------------------------
+  std::fprintf(stderr, "[1/5] Table II workload characteristics...\n");
+  {
+    TextTable table({"trace", "write%", "IOPS", "avg_KB", "burst"});
+    for (const trace::Trace& t : bench::PaperTraces(opt)) {
+      trace::TraceStats s = ComputeStats(t);
+      table.AddRow({t.name, TextTable::Num(s.write_ratio * 100, 1),
+                    TextTable::Num(s.mean_iops, 0),
+                    TextTable::Num(s.avg_request_kb, 1),
+                    TextTable::Num(s.burstiness, 1)});
+    }
+    md << "## Table II — workloads\n\n```\n" << table.ToString()
+       << "```\n\n";
+  }
+
+  // --- The scheme x trace matrix drives Figs. 8/9/10 --------------------
+  std::fprintf(stderr, "[2/5] scheme x trace matrix (Figs. 8/9/10)...\n");
+  auto matrix = bench::RunMatrix(opt, core::AllSchemes());
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "matrix failed: %s\n",
+                 matrix.status().ToString().c_str());
+    return 1;
+  }
+
+  md << "## Fig. 8 — compression ratio vs Native\n\n"
+     << "Paper shape: Bzip2 >= Gzip > EDC > Lzf > 1. EDC saves up to "
+        "38.7% (avg 33.7%).\n\n```\n"
+     << NormTable(*matrix, [](const sim::ReplayResult& r) {
+          return r.compression_ratio;
+        })
+     << "```\n\n";
+
+  md << "## Fig. 9 — ratio/time composite vs Native (higher is better)\n\n"
+     << "Paper shape: heavy fixed codecs fall below Native; EDC best "
+        "balance.\n\n```\n"
+     << NormTable(*matrix, [](const sim::ReplayResult& r) {
+          return r.ratio_over_time();
+        })
+     << "```\n\n";
+
+  md << "## Fig. 10 — response time vs Native (lower is better)\n\n"
+     << "Paper shape: Bzip2 up to 9.8x; Lzf ~Native; EDC best compression "
+        "scheme (2.1x vs Gzip, 4.9x vs Bzip2).\n\n```\n"
+     << NormTable(*matrix, [](const sim::ReplayResult& r) {
+          return r.response_us.mean();
+        })
+     << "```\n\n";
+
+  // --- Fig. 12 ----------------------------------------------------------
+  std::fprintf(stderr, "[3/5] Fig. 12 threshold sensitivity...\n");
+  {
+    auto params = trace::PresetByName("Fin2", opt.seconds);
+    if (!params.ok()) return 1;
+    trace::Trace t = GenerateSynthetic(*params, opt.seed);
+    TextTable table({"busy_iops", "gzip_share%", "ratio", "resp_ms"});
+    for (double thresh : {0.0, 150.0, 400.0, 800.0, 1500.0, 1e9}) {
+      auto cell = bench::RunCell(
+          t, core::Scheme::kEdc, opt,
+          [&](core::StackConfig& cfg) { cfg.elastic.busy_iops = thresh; });
+      if (!cell.ok()) return 1;
+      double total = static_cast<double>(cell->engine.groups_written);
+      double share =
+          total > 0
+              ? static_cast<double>(
+                    cell->engine.groups_by_codec[static_cast<std::size_t>(
+                        codec::CodecId::kGzip)]) /
+                    total * 100
+              : 0;
+      table.AddRow({thresh >= 1e9 ? "inf" : TextTable::Num(thresh, 0),
+                    TextTable::Num(share, 1),
+                    TextTable::Num(cell->compression_ratio, 3),
+                    TextTable::Num(cell->mean_response_ms(), 3)});
+    }
+    md << "## Fig. 12 — Lzf/Gzip threshold sensitivity (Fin2)\n\n"
+       << "Paper shape: ratio grows and response time grows sharply with "
+          "the Gzip share; ~20% is the knee.\n\n```\n"
+       << table.ToString() << "```\n\n";
+  }
+
+  // --- Headline numbers --------------------------------------------------
+  std::fprintf(stderr, "[4/5] headline numbers...\n");
+  {
+    double max_saving = 0, sum_saving = 0, max_vs_lzf = 0, sum_vs_lzf = 0;
+    for (const auto& name : matrix->traces) {
+      const auto& row = matrix->cells.at(name);
+      double saving = row.at(core::Scheme::kEdc).space_saving();
+      max_saving = std::max(max_saving, saving);
+      sum_saving += saving;
+      double edc = row.at(core::Scheme::kEdc).response_us.mean();
+      double lzf = row.at(core::Scheme::kLzf).response_us.mean();
+      max_vs_lzf = std::max(max_vs_lzf, 1.0 - edc / lzf);
+      sum_vs_lzf += 1.0 - edc / lzf;
+    }
+    double n = static_cast<double>(matrix->traces.size());
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "## Headline numbers\n\n"
+                  "| metric | paper | measured |\n|---|---|---|\n"
+                  "| EDC space saving, max | 38.7%% | %.1f%% |\n"
+                  "| EDC space saving, mean | 33.7%% | %.1f%% |\n"
+                  "| EDC vs Lzf response time, max | 61.4%% | %.1f%% |\n"
+                  "| EDC vs Lzf response time, mean | 36.7%% | %.1f%% |\n\n",
+                  max_saving * 100, sum_saving / n * 100,
+                  max_vs_lzf * 100, sum_vs_lzf / n * 100);
+    md << buf;
+  }
+
+  std::fprintf(stderr, "[5/5] writing %s...\n", out_path.c_str());
+  std::ofstream out(out_path);
+  out << md.str();
+  std::printf("%s", md.str().c_str());
+  std::printf("report written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Trace replay: run any of the paper's workloads (or a real SPC/MSR trace
+// file) through a chosen scheme and print the paper's metrics.
+//
+//   $ ./trace_replay --trace=Fin1 --scheme=edc --seconds=30
+//   $ ./trace_replay --trace-file=/path/to/Financial1.spc --scheme=gzip
+//
+// Schemes: native | lzf | gzip | bzip2 | edc.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "sim/replay.hpp"
+#include "trace/parser.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace edc;
+
+namespace {
+
+struct Options {
+  std::string trace = "Fin1";
+  std::string trace_file;
+  std::string scheme = "edc";
+  double seconds = 30.0;
+  u64 seed = 42;
+  bool functional = false;
+};
+
+Options Parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace=", 8) == 0) o.trace = a + 8;
+    else if (std::strncmp(a, "--trace-file=", 13) == 0) o.trace_file = a + 13;
+    else if (std::strncmp(a, "--scheme=", 9) == 0) o.scheme = a + 9;
+    else if (std::strncmp(a, "--seconds=", 10) == 0) o.seconds = std::atof(a + 10);
+    else if (std::strncmp(a, "--seed=", 7) == 0) o.seed = static_cast<u64>(std::atoll(a + 7));
+    else if (std::strcmp(a, "--functional") == 0) o.functional = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: trace_replay [--trace=Fin1|Fin2|Usr_0|Prxy_0] "
+                   "[--trace-file=PATH]\n"
+                   "                    [--scheme=native|lzf|gzip|bzip2|edc] "
+                   "[--seconds=N] [--seed=N] [--functional]\n");
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = Parse(argc, argv);
+
+  // --- Load or synthesize the workload --------------------------------
+  trace::Trace t;
+  std::string profile = "usr";
+  if (!o.trace_file.empty()) {
+    std::ifstream in(o.trace_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", o.trace_file.c_str());
+      return 1;
+    }
+    std::string first;
+    std::getline(in, first);
+    auto format = trace::DetectFormat(first);
+    if (!format.ok()) {
+      std::fprintf(stderr, "%s\n", format.status().ToString().c_str());
+      return 1;
+    }
+    in.seekg(0);
+    auto parsed = trace::ParseTrace(in, *format, o.trace_file);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    t = std::move(*parsed);
+  } else {
+    auto params = trace::PresetByName(o.trace, o.seconds);
+    if (!params.ok()) {
+      std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+      return 1;
+    }
+    t = GenerateSynthetic(*params, o.seed);
+    auto p = trace::ContentProfileForTrace(o.trace);
+    if (p.ok()) profile = *p;
+  }
+  trace::TraceStats ts = ComputeStats(t);
+  std::printf("trace %s: %llu requests, %.0f s, %.1f%% writes, "
+              "%.1f KB avg, burstiness %.1fx\n",
+              t.name.c_str(),
+              static_cast<unsigned long long>(ts.total_requests),
+              ts.duration_s, ts.write_ratio * 100, ts.avg_request_kb,
+              ts.burstiness);
+
+  // --- Build the stack --------------------------------------------------
+  auto scheme = core::SchemeFromName(o.scheme);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
+  core::StackConfig cfg;
+  cfg.scheme = *scheme;
+  cfg.mode = o.functional ? core::ExecutionMode::kFunctional
+                          : core::ExecutionMode::kModeled;
+  cfg.content_profile = profile;
+  cfg.seed = o.seed;
+  cfg.ssd = ssd::MakeX25eConfig(8192, /*store_data=*/false);
+  if (cfg.mode == core::ExecutionMode::kModeled) {
+    std::printf("calibrating cost model (runs the real codecs)...\n");
+  }
+  auto stack = core::Stack::Create(cfg);
+  if (!stack.ok()) {
+    std::fprintf(stderr, "%s\n", stack.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Replay and report -----------------------------------------------
+  auto result = sim::ReplayTrace(**stack, t);
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nscheme %s on %s:\n", result->scheme_name.c_str(),
+              result->trace_name.c_str());
+  std::printf("  mean response time : %.3f ms (p50 %.2f / p95 %.2f / "
+              "p99 %.2f us)\n",
+              result->mean_response_ms(), result->p50_us, result->p95_us,
+              result->p99_us);
+  std::printf("  write / read mean  : %.2f / %.2f us\n",
+              result->write_response_us.mean(),
+              result->read_response_us.mean());
+  std::printf("  compression ratio  : %.3fx (%.1f%% space saved)\n",
+              result->compression_ratio, result->space_saving() * 100);
+  std::printf("  ratio / time       : %.3f\n", result->ratio_over_time());
+  std::printf("  device             : %llu pages written, WAF %.2f, "
+              "%llu erases (max wear %u)\n",
+              static_cast<unsigned long long>(
+                  result->device.host_pages_written),
+              result->device.waf,
+              static_cast<unsigned long long>(result->device.total_erases),
+              result->device.max_erase_count);
+  return 0;
+}

@@ -1,0 +1,453 @@
+#include "codec/bwt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "codec/huffman.hpp"
+#include "common/bitio.hpp"
+#include "common/varint.hpp"
+
+namespace edc::codec {
+namespace {
+
+// ZLE alphabet (bzip2's RLE2 stage): RUNA/RUNB encode zero runs in
+// bijective base 2; MTF values 1..255 map to symbols 2..256; 257 is EOB.
+constexpr std::size_t kRunA = 0;
+constexpr std::size_t kRunB = 1;
+constexpr std::size_t kEob = 257;
+constexpr std::size_t kZleAlphabet = 258;
+
+}  // namespace
+
+Bytes BwtForward(ByteSpan input, u32* primary_index) {
+  const std::size_t n = input.size();
+  *primary_index = 0;
+  if (n == 0) return {};
+  if (n == 1) {
+    *primary_index = 0;
+    return Bytes(input.begin(), input.end());
+  }
+
+  // Prefix-doubling sort of cyclic rotations with LSD radix (two stable
+  // counting sorts per round) — O(n log n) total, no comparator overhead.
+  std::vector<u32> sa(n), sa2(n), rank(n), tmp(n), count(n + 1);
+  {
+    // Initial order by first byte, then ranks compacted to [0, n) so the
+    // per-round counting sort can be sized by n.
+    std::array<u32, 257> c{};
+    for (std::size_t i = 0; i < n; ++i) ++c[input[i] + 1u];
+    for (std::size_t v = 1; v < 257; ++v) c[v] += c[v - 1];
+    for (std::size_t i = 0; i < n; ++i) {
+      sa[c[input[i]]++] = static_cast<u32>(i);
+    }
+    rank[sa[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      rank[sa[i]] =
+          rank[sa[i - 1]] + (input[sa[i]] != input[sa[i - 1]] ? 1u : 0u);
+    }
+  }
+
+  for (std::size_t k = 1; k < n; k <<= 1) {
+    // Stable sort by the second key rank[(i+k) % n]: positions whose
+    // second key starts at i are exactly sa shifted left by k, which is
+    // already ordered by that key — so "sorting by second key" is just a
+    // rotation of sa.
+    for (std::size_t i = 0; i < n; ++i) {
+      u32 pos = sa[i];
+      sa2[i] = pos >= k ? pos - static_cast<u32>(k)
+                        : pos + static_cast<u32>(n - k);
+    }
+    // Stable counting sort by the first key rank[i].
+    std::fill(count.begin(), count.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) ++count[rank[i] + 1u];
+    for (std::size_t v = 1; v <= n; ++v) count[v] += count[v - 1];
+    for (std::size_t i = 0; i < n; ++i) {
+      sa[count[rank[sa2[i]]]++] = sa2[i];
+    }
+    // Re-rank.
+    auto key = [&](u32 i) {
+      return std::pair<u32, u32>(
+          rank[i], rank[(i + k) % n]);
+    };
+    tmp[sa[0]] = 0;
+    bool all_distinct = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      bool equal = key(sa[i]) == key(sa[i - 1]);
+      tmp[sa[i]] = tmp[sa[i - 1]] + (equal ? 0u : 1u);
+      all_distinct &= !equal;
+    }
+    rank.swap(tmp);
+    if (all_distinct) break;
+  }
+
+  Bytes bwt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u32 s = sa[i];
+    bwt[i] = input[(s + n - 1) % n];
+    if (s == 0) *primary_index = static_cast<u32>(i);
+  }
+  return bwt;
+}
+
+Result<Bytes> BwtInverse(ByteSpan bwt, u32 primary_index) {
+  const std::size_t n = bwt.size();
+  if (n == 0) return Bytes{};
+  if (primary_index >= n) return Status::DataLoss("bwt: bad primary index");
+
+  // C[c] = number of characters strictly smaller than c in the BWT.
+  std::array<u32, 257> count{};
+  for (u8 c : bwt) ++count[static_cast<std::size_t>(c) + 1];
+  for (std::size_t c = 1; c < 257; ++c) count[c] += count[c - 1];
+
+  // LF mapping: row i (last char c, k-th occurrence of c) maps to the row
+  // holding the k-th occurrence of c in the first column.
+  std::vector<u32> lf(n);
+  {
+    std::array<u32, 256> occ{};
+    for (std::size_t i = 0; i < n; ++i) {
+      u8 c = bwt[i];
+      lf[i] = count[c] + occ[c]++;
+    }
+  }
+
+  Bytes out(n);
+  u32 row = primary_index;
+  for (std::size_t k = n; k-- > 0;) {
+    out[k] = bwt[row];
+    row = lf[row];
+  }
+  return out;
+}
+
+Bytes MoveToFront(ByteSpan input) {
+  std::array<u8, 256> order;
+  for (std::size_t i = 0; i < 256; ++i) order[i] = static_cast<u8>(i);
+  Bytes out;
+  out.reserve(input.size());
+  for (u8 c : input) {
+    std::size_t pos = 0;
+    while (order[pos] != c) ++pos;
+    out.push_back(static_cast<u8>(pos));
+    // Rotate the prefix [0, pos] right by one.
+    for (std::size_t i = pos; i > 0; --i) order[i] = order[i - 1];
+    order[0] = c;
+  }
+  return out;
+}
+
+Bytes InverseMoveToFront(ByteSpan input) {
+  std::array<u8, 256> order;
+  for (std::size_t i = 0; i < 256; ++i) order[i] = static_cast<u8>(i);
+  Bytes out;
+  out.reserve(input.size());
+  for (u8 pos : input) {
+    u8 c = order[pos];
+    out.push_back(c);
+    for (std::size_t i = pos; i > 0; --i) order[i] = order[i - 1];
+    order[0] = c;
+  }
+  return out;
+}
+
+namespace {
+
+/// Encode an MTF byte stream into ZLE symbols (RUNA/RUNB zero runs).
+std::vector<u16> ZleEncode(ByteSpan mtf) {
+  std::vector<u16> symbols;
+  symbols.reserve(mtf.size() / 2 + 8);
+  u64 zrun = 0;
+  auto flush = [&]() {
+    // Bijective base-2: r = sum of d_i * 2^i with digits d in {1 (RUNA),
+    // 2 (RUNB)}.
+    u64 r = zrun;
+    while (r > 0) {
+      if (r & 1) {
+        symbols.push_back(static_cast<u16>(kRunA));
+        r = (r - 1) >> 1;
+      } else {
+        symbols.push_back(static_cast<u16>(kRunB));
+        r = (r - 2) >> 1;
+      }
+    }
+    zrun = 0;
+  };
+  for (u8 m : mtf) {
+    if (m == 0) {
+      ++zrun;
+    } else {
+      flush();
+      symbols.push_back(static_cast<u16>(m + 1));
+    }
+  }
+  flush();
+  symbols.push_back(static_cast<u16>(kEob));
+  return symbols;
+}
+
+/// Decode ZLE symbols (excluding the trailing EOB) back to MTF bytes.
+Status ZleDecodeSymbol(std::size_t sym, u64* run, u64* power, Bytes* out,
+                       std::size_t limit) {
+  auto flush_run = [&]() -> Status {
+    if (*run > 0) {
+      if (out->size() + *run > limit) {
+        return Status::DataLoss("bwt: zero run overflows block");
+      }
+      out->insert(out->end(), static_cast<std::size_t>(*run), 0);
+      *run = 0;
+    }
+    *power = 1;
+    return Status::Ok();
+  };
+  if (sym == kRunA) {
+    *run += *power;
+    *power <<= 1;
+    return Status::Ok();
+  }
+  if (sym == kRunB) {
+    *run += 2 * (*power);
+    *power <<= 1;
+    return Status::Ok();
+  }
+  EDC_RETURN_IF_ERROR(flush_run());
+  if (sym == kEob) return Status::Ok();
+  if (out->size() + 1 > limit) {
+    return Status::DataLoss("bwt: literal overflows block");
+  }
+  out->push_back(static_cast<u8>(sym - 1));
+  return Status::Ok();
+}
+
+void EmitStored(ByteSpan input, Bytes* out) {
+  out->push_back(0x01);
+  out->insert(out->end(), input.begin(), input.end());
+}
+
+// --- Multi-table Huffman back end (bzip2's selector scheme) -------------
+// The ZLE symbol stream is cut into 50-symbol chunks; up to kMaxTables
+// Huffman tables are trained and each chunk picks the cheapest via a
+// 3-bit selector, letting run-dominated and literal-dominated regions of
+// the post-MTF stream use specialized codes.
+constexpr std::size_t kChunkSymbols = 50;
+constexpr std::size_t kMaxTables = 6;
+
+/// Sparse per-chunk frequency: (symbol, count) pairs, <= 50 entries.
+using SparseFreq = std::vector<std::pair<u16, u16>>;
+
+u64 ChunkCost(const SparseFreq& freq, const std::vector<u8>& lens) {
+  u64 bits = 0;
+  for (auto [s, count] : freq) {
+    // Missing codes are heavily penalized so refinement steers chunks
+    // away from tables that cannot express them.
+    bits += static_cast<u64>(count) * (lens[s] == 0 ? 24 : lens[s]);
+  }
+  return bits;
+}
+
+/// Assign chunks to tables: contiguous initial split, then greedy
+/// reassignment refinement, bzip2-style. Returns the per-chunk selector
+/// and fills *table_lens; *total_bits receives the payload cost.
+std::vector<u8> TrainTables(const std::vector<u16>& symbols,
+                            std::size_t num_tables,
+                            std::vector<std::vector<u8>>* table_lens,
+                            u64* total_bits) {
+  const std::size_t num_chunks =
+      (symbols.size() + kChunkSymbols - 1) / kChunkSymbols;
+  std::vector<SparseFreq> chunk_freq(num_chunks);
+  {
+    std::array<u16, kZleAlphabet> scratch{};
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      std::size_t begin = c * kChunkSymbols;
+      std::size_t end = std::min(begin + kChunkSymbols, symbols.size());
+      for (std::size_t i = begin; i < end; ++i) ++scratch[symbols[i]];
+      for (std::size_t i = begin; i < end; ++i) {
+        if (scratch[symbols[i]] != 0) {
+          chunk_freq[c].emplace_back(symbols[i], scratch[symbols[i]]);
+          scratch[symbols[i]] = 0;
+        }
+      }
+    }
+  }
+
+  std::vector<u8> assignment(num_chunks, 0);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    assignment[c] = static_cast<u8>(c * num_tables / num_chunks);
+  }
+
+  auto rebuild = [&]() {
+    std::vector<std::array<u64, kZleAlphabet>> table_freq(num_tables);
+    for (auto& f : table_freq) f.fill(0);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      for (auto [s, count] : chunk_freq[c]) {
+        table_freq[assignment[c]][s] += count;
+      }
+    }
+    table_lens->clear();
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      bool empty = true;
+      for (u64 f : table_freq[t]) empty &= f == 0;
+      if (empty) table_freq[t][0] = 1;  // keep the header decodable
+      table_lens->push_back(BuildCodeLengths(table_freq[t]));
+    }
+  };
+
+  rebuild();
+  for (int iteration = 0; iteration < 4; ++iteration) {
+    bool changed = false;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      u64 best_cost = ~u64{0};
+      u8 best = assignment[c];
+      for (std::size_t t = 0; t < num_tables; ++t) {
+        u64 cost = ChunkCost(chunk_freq[c], (*table_lens)[t]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = static_cast<u8>(t);
+        }
+      }
+      changed |= best != assignment[c];
+      assignment[c] = best;
+    }
+    if (!changed) break;
+    rebuild();  // also ensures every assigned symbol is encodable
+  }
+
+  *total_bits = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    *total_bits += 3 + ChunkCost(chunk_freq[c], (*table_lens)[assignment[c]]);
+  }
+  // Approximate per-table header cost: dense 258-symbol tables serialize
+  // to roughly 1000 bits.
+  *total_bits += num_tables * 1000;
+  return assignment;
+}
+
+}  // namespace
+
+Status BwtCodec::Compress(ByteSpan input, Bytes* out) const {
+  if (input.size() < 16) {
+    // BWT overhead dominates tiny blocks.
+    EmitStored(input, out);
+    return Status::Ok();
+  }
+
+  u32 primary = 0;
+  Bytes bwt = BwtForward(input, &primary);
+  Bytes mtf = MoveToFront(bwt);
+  std::vector<u16> symbols = ZleEncode(mtf);
+
+  // Table count grows with the stream, as in bzip2; a single-table
+  // configuration competes on estimated cost so small or uniform streams
+  // don't pay the selector overhead.
+  const std::size_t num_chunks =
+      (symbols.size() + kChunkSymbols - 1) / kChunkSymbols;
+  std::size_t multi = std::clamp<std::size_t>(num_chunks / 32, 1,
+                                              kMaxTables);
+  std::vector<std::vector<u8>> table_lens;
+  std::vector<u8> assignment;
+  u64 best_bits = ~u64{0};
+  for (std::size_t candidate : {std::size_t{1}, multi}) {
+    std::vector<std::vector<u8>> lens;
+    u64 bits = 0;
+    std::vector<u8> assign = TrainTables(symbols, candidate, &lens, &bits);
+    if (bits < best_bits) {
+      best_bits = bits;
+      table_lens = std::move(lens);
+      assignment = std::move(assign);
+    }
+    if (candidate == multi) break;  // handles multi == 1
+  }
+  const std::size_t num_tables = table_lens.size();
+  std::vector<HuffmanEncoder> encoders;
+  for (const auto& lens : table_lens) {
+    auto enc = HuffmanEncoder::FromLengths(lens);
+    if (!enc.ok()) return enc.status();
+    encoders.push_back(std::move(*enc));
+  }
+
+  Bytes packed;
+  packed.reserve(input.size() / 2 + 64);
+  packed.push_back(0x00);
+  PutVarint(&packed, primary);
+  BitWriter bw(&packed);
+  bw.WriteBits(num_tables - 1, 3);
+  for (const auto& lens : table_lens) WriteCodeLengths(lens, bw);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const HuffmanEncoder& enc = encoders[assignment[c]];
+    bw.WriteBits(assignment[c], 3);
+    std::size_t begin = c * kChunkSymbols;
+    std::size_t end = std::min(begin + kChunkSymbols, symbols.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      enc.Encode(symbols[i], bw);
+    }
+  }
+  bw.AlignToByte();
+
+  if (packed.size() >= input.size() + 1) {
+    EmitStored(input, out);
+  } else {
+    out->insert(out->end(), packed.begin(), packed.end());
+  }
+  return Status::Ok();
+}
+
+Status BwtCodec::Decompress(ByteSpan input, std::size_t original_size,
+                            Bytes* out) const {
+  if (input.empty()) return Status::DataLoss("bwt: empty input");
+  if (input[0] == 0x01) {
+    if (input.size() - 1 != original_size) {
+      return Status::DataLoss("bwt: stored size mismatch");
+    }
+    out->insert(out->end(), input.begin() + 1, input.end());
+    return Status::Ok();
+  }
+  if (input[0] != 0x00) return Status::DataLoss("bwt: bad flag byte");
+
+  std::size_t pos = 1;
+  auto primary = GetVarint(input, &pos);
+  if (!primary.ok()) return primary.status();
+
+  BitReader br(input.subspan(pos));
+  std::size_t num_tables = static_cast<std::size_t>(br.ReadBits(3)) + 1;
+  std::vector<HuffmanDecoder> decoders;
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    auto lens = ReadCodeLengths(kZleAlphabet, br);
+    if (!lens.ok()) return lens.status();
+    auto dec = HuffmanDecoder::FromLengths(*lens);
+    if (!dec.ok()) return Status::DataLoss("bwt: bad huffman table");
+    decoders.push_back(std::move(*dec));
+  }
+
+  Bytes mtf;
+  mtf.reserve(original_size);
+  u64 run = 0, power = 1;
+  bool done = false;
+  while (!done) {
+    if (!br.ok()) return Status::DataLoss("bwt: truncated selector");
+    std::size_t selector = static_cast<std::size_t>(br.ReadBits(3));
+    if (selector >= decoders.size()) {
+      return Status::DataLoss("bwt: bad table selector");
+    }
+    const HuffmanDecoder& dec = decoders[selector];
+    for (std::size_t i = 0; i < kChunkSymbols; ++i) {
+      auto sym = dec.Decode(br);
+      if (!sym.ok()) return sym.status();
+      EDC_RETURN_IF_ERROR(
+          ZleDecodeSymbol(*sym, &run, &power, &mtf, original_size));
+      if (*sym == kEob) {
+        done = true;
+        break;
+      }
+    }
+  }
+
+  if (mtf.size() != original_size) {
+    return Status::DataLoss("bwt: MTF stream size mismatch");
+  }
+  Bytes bwt = InverseMoveToFront(mtf);
+  auto plain = BwtInverse(bwt, static_cast<u32>(*primary));
+  if (!plain.ok()) return plain.status();
+  out->insert(out->end(), plain->begin(), plain->end());
+  return Status::Ok();
+}
+
+}  // namespace edc::codec

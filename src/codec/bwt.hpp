@@ -1,0 +1,42 @@
+// BwtCodec ("Bzip2" in the paper's terms): Burrows–Wheeler transform over
+// cyclic rotations (prefix-doubling sort), move-to-front, bzip2-style
+// zero-run-length coding (RUNA/RUNB) and a canonical Huffman back end.
+// Highest ratio, slowest speed — the paper's heavy baseline.
+//
+// Block layout:
+//   1 byte  : 0x01 = stored escape (raw bytes follow)
+//             0x00 = BWT block:
+//   varint  : primary index
+//   bit stream: huffman code lengths (258-symbol alphabet) + coded ZLE data
+#pragma once
+
+#include "codec/codec.hpp"
+
+namespace edc::codec {
+
+/// Compute the BWT of `input` over cyclic rotations. Returns the
+/// transformed bytes and sets `*primary_index` to the row of the original
+/// string. Exposed for direct unit/property testing.
+Bytes BwtForward(ByteSpan input, u32* primary_index);
+
+/// Inverse BWT via LF mapping.
+Result<Bytes> BwtInverse(ByteSpan bwt, u32 primary_index);
+
+/// Move-to-front transform and its inverse (exposed for tests).
+Bytes MoveToFront(ByteSpan input);
+Bytes InverseMoveToFront(ByteSpan input);
+
+class BwtCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kBzip2; }
+
+  std::size_t MaxCompressedSize(std::size_t input_size) const override {
+    return input_size + 16;  // stored escape
+  }
+
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, std::size_t original_size,
+                    Bytes* out) const override;
+};
+
+}  // namespace edc::codec

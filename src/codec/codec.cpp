@@ -1,0 +1,66 @@
+#include "codec/codec.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "codec/bwt.hpp"
+#include "codec/deflate_like.hpp"
+#include "codec/lzf.hpp"
+#include "codec/lzfast.hpp"
+#include "codec/store.hpp"
+
+namespace edc::codec {
+
+std::string_view CodecName(CodecId id) {
+  switch (id) {
+    case CodecId::kStore: return "store";
+    case CodecId::kLzf: return "lzf";
+    case CodecId::kLzFast: return "lz4";
+    case CodecId::kGzip: return "gzip";
+    case CodecId::kBzip2: return "bzip2";
+  }
+  return "unknown";
+}
+
+Result<CodecId> CodecFromName(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "store" || lower == "none" || lower == "native") {
+    return CodecId::kStore;
+  }
+  if (lower == "lzf") return CodecId::kLzf;
+  if (lower == "lz4" || lower == "lzfast") return CodecId::kLzFast;
+  if (lower == "gzip" || lower == "deflate") return CodecId::kGzip;
+  if (lower == "bzip2" || lower == "bwt") return CodecId::kBzip2;
+  return Status::InvalidArgument("unknown codec name: " + lower);
+}
+
+const Codec& GetCodec(CodecId id) {
+  static const StoreCodec store;
+  static const LzfCodec lzf;
+  static const LzFastCodec lzfast;
+  static const DeflateLikeCodec gzip;
+  static const BwtCodec bzip2;
+  switch (id) {
+    case CodecId::kStore: return store;
+    case CodecId::kLzf: return lzf;
+    case CodecId::kLzFast: return lzfast;
+    case CodecId::kGzip: return gzip;
+    case CodecId::kBzip2: return bzip2;
+  }
+  return store;
+}
+
+std::vector<CodecId> AllCodecs() {
+  return {CodecId::kStore, CodecId::kLzf, CodecId::kLzFast, CodecId::kGzip,
+          CodecId::kBzip2};
+}
+
+std::vector<CodecId> PaperCodecs() {
+  return {CodecId::kLzf, CodecId::kGzip, CodecId::kBzip2};
+}
+
+}  // namespace edc::codec

@@ -1,0 +1,76 @@
+// Codec abstraction for EDC's compression/decompression engine.
+//
+// The paper's 3-bit on-flash Tag identifies the codec a block was written
+// with; CodecId mirrors that encoding ("000" = no compression). All codecs
+// are lossless, single-shot (whole block in, whole block out) and
+// implemented from scratch in this repository:
+//
+//   kStore   — identity (write-through)
+//   kLzf     — LibLZF-style hash-table LZ: fastest, lowest ratio
+//   kLzFast  — LZ4-style token format with greedy hash matching
+//   kGzip    — DEFLATE-like LZ77 (lazy hash chains) + canonical Huffman
+//   kBzip2   — BWT + MTF + zero-run-length + canonical Huffman
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::codec {
+
+/// Matches the paper's 3-bit Tag field; values must stay ≤ 7.
+enum class CodecId : u8 {
+  kStore = 0,
+  kLzf = 1,
+  kLzFast = 2,
+  kGzip = 3,
+  kBzip2 = 4,
+};
+
+inline constexpr u8 kMaxCodecId = 4;
+inline constexpr unsigned kTagBits = 3;
+
+std::string_view CodecName(CodecId id);
+
+/// Parse a codec name ("lzf", "gzip", ...); case-insensitive.
+Result<CodecId> CodecFromName(std::string_view name);
+
+/// One-shot lossless compressor.
+///
+/// Contract: Decompress(Compress(x)) == x for every input, including empty
+/// input and inputs the codec expands. Compress appends to *out (it does not
+/// clear it); Decompress requires the exact original size, which EDC always
+/// tracks in its mapping metadata.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const = 0;
+  std::string_view name() const { return CodecName(id()); }
+
+  /// Worst-case compressed size for `input_size` bytes of input.
+  virtual std::size_t MaxCompressedSize(std::size_t input_size) const = 0;
+
+  /// Compress `input`, appending the encoded bytes to `*out`.
+  virtual Status Compress(ByteSpan input, Bytes* out) const = 0;
+
+  /// Decompress `input` into exactly `original_size` bytes appended to
+  /// `*out`. Returns DataLoss on any malformed input.
+  virtual Status Decompress(ByteSpan input, std::size_t original_size,
+                            Bytes* out) const = 0;
+};
+
+/// Process-wide codec registry; instances are stateless and shared.
+const Codec& GetCodec(CodecId id);
+
+/// All registered codecs in Tag order (Store first).
+std::vector<CodecId> AllCodecs();
+
+/// The compression codecs the paper evaluates as fixed baselines
+/// (Lzf, Gzip, Bzip2) — excludes Store and LzFast.
+std::vector<CodecId> PaperCodecs();
+
+}  // namespace edc::codec

@@ -1,0 +1,61 @@
+#include "codec/container.hpp"
+
+#include "common/crc32.hpp"
+#include "common/varint.hpp"
+
+namespace edc::codec {
+namespace {
+
+Bytes BuildFrame(CodecId id, ByteSpan original, ByteSpan payload) {
+  Bytes frame;
+  frame.reserve(payload.size() + 12);
+  frame.push_back(kFrameMagic);
+  frame.push_back(static_cast<u8>(id));
+  PutVarint(&frame, original.size());
+  PutU32Le(&frame, Crc32(original));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+Result<Bytes> FrameCompress(ByteSpan input, CodecId id) {
+  const Codec& codec = GetCodec(id);
+  Bytes payload;
+  payload.reserve(codec.MaxCompressedSize(input.size()));
+  EDC_RETURN_IF_ERROR(codec.Compress(input, &payload));
+  if (id != CodecId::kStore && payload.size() >= input.size()) {
+    // Expansion: store raw instead; the tag records the fallback.
+    return BuildFrame(CodecId::kStore, input, input);
+  }
+  return BuildFrame(id, input, payload);
+}
+
+Result<FrameInfo> FrameParse(ByteSpan frame) {
+  if (frame.size() < 7) return Status::DataLoss("frame: too short");
+  if (frame[0] != kFrameMagic) return Status::DataLoss("frame: bad magic");
+  if (frame[1] > kMaxCodecId) return Status::DataLoss("frame: bad tag");
+  std::size_t pos = 2;
+  auto orig = GetVarint(frame, &pos);
+  if (!orig.ok()) return orig.status();
+  auto crc = GetU32Le(frame, &pos);
+  if (!crc.ok()) return crc.status();
+  return FrameInfo{static_cast<CodecId>(frame[1]),
+                   static_cast<std::size_t>(*orig), frame.size() - pos, *crc};
+}
+
+Result<Bytes> FrameDecompress(ByteSpan frame) {
+  auto info = FrameParse(frame);
+  if (!info.ok()) return info.status();
+  ByteSpan payload = frame.subspan(frame.size() - info->payload_size);
+  Bytes out;
+  out.reserve(info->original_size);
+  EDC_RETURN_IF_ERROR(GetCodec(info->codec)
+                          .Decompress(payload, info->original_size, &out));
+  if (Crc32(out) != info->crc32) {
+    return Status::DataLoss("frame: CRC mismatch");
+  }
+  return out;
+}
+
+}  // namespace edc::codec

@@ -1,0 +1,39 @@
+// Framed compressed-block container — the on-flash representation of one
+// EDC block (Fig. 5 of the paper): codec Tag, sizes and a CRC-32 of the
+// original data, so every read is integrity-checked end to end.
+//
+// Layout:
+//   magic   u8  = 0xED
+//   tag     u8  = CodecId (low 3 bits; high bits reserved, must be 0)
+//   orig    varint (uncompressed size)
+//   crc32   u32 LE (over the original data)
+//   payload (codec output; for kStore the raw bytes)
+#pragma once
+
+#include "codec/codec.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::codec {
+
+inline constexpr u8 kFrameMagic = 0xED;
+
+struct FrameInfo {
+  CodecId codec;
+  std::size_t original_size;
+  std::size_t payload_size;
+  u32 crc32;
+};
+
+/// Compress `input` with `id` and wrap it in a frame. If the framed result
+/// would be no smaller than a kStore frame, falls back to kStore — the
+/// frame is therefore never larger than input + header.
+Result<Bytes> FrameCompress(ByteSpan input, CodecId id);
+
+/// Parse a frame header without decompressing.
+Result<FrameInfo> FrameParse(ByteSpan frame);
+
+/// Decompress a frame, verifying the CRC. Returns the original bytes.
+Result<Bytes> FrameDecompress(ByteSpan frame);
+
+}  // namespace edc::codec

@@ -1,0 +1,207 @@
+#include "codec/deflate_like.hpp"
+
+#include <array>
+
+#include "codec/huffman.hpp"
+#include "codec/lz77.hpp"
+#include "common/bitio.hpp"
+
+namespace edc::codec {
+namespace {
+
+// DEFLATE length code table: symbol 257 + index encodes lengths 3..258.
+constexpr std::size_t kNumLengthCodes = 29;
+constexpr std::array<u16, kNumLengthCodes> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<u8, kNumLengthCodes> kLengthExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+    2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// DEFLATE distance code table: symbol encodes distances 1..32768.
+constexpr std::size_t kNumDistCodes = 30;
+constexpr std::array<u16, kNumDistCodes> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<u8, kNumDistCodes> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+constexpr std::size_t kLitLenAlphabet = 286;  // 0..255 lit, 256 EOB, 257.. len
+constexpr std::size_t kEobSymbol = 256;
+
+/// Map a match length (3..258) to (symbol index in 0..28, extra value).
+std::pair<std::size_t, u32> LengthCode(std::size_t len) {
+  // Linear scan is fine: table is tiny and the loop exits early.
+  for (std::size_t i = kNumLengthCodes; i-- > 0;) {
+    if (len >= kLengthBase[i]) {
+      return {i, static_cast<u32>(len - kLengthBase[i])};
+    }
+  }
+  return {0, 0};
+}
+
+std::pair<std::size_t, u32> DistCode(std::size_t dist) {
+  for (std::size_t i = kNumDistCodes; i-- > 0;) {
+    if (dist >= kDistBase[i]) {
+      return {i, static_cast<u32>(dist - kDistBase[i])};
+    }
+  }
+  return {0, 0};
+}
+
+void EmitStored(ByteSpan input, Bytes* out) {
+  out->push_back(0x01);  // flag byte: stored
+  out->insert(out->end(), input.begin(), input.end());
+}
+
+}  // namespace
+
+Lz77Params DeflateLikeCodec::LevelParams(int level) {
+  Lz77Params p;
+  if (level <= 1) {  // gzip -1: shallow chains, no lazy matching
+    p.max_chain = 4;
+    p.good_match = 8;
+    p.lazy = false;
+  } else if (level >= 9) {  // gzip -9: exhaustive-ish matching
+    p.max_chain = 1024;
+    p.good_match = 258;
+    p.lazy = true;
+  }
+  return p;  // defaults = level 6
+}
+
+Status DeflateLikeCodec::Compress(ByteSpan input, Bytes* out) const {
+  const std::size_t out_start = out->size();
+  if (input.empty()) {
+    EmitStored(input, out);
+    return Status::Ok();
+  }
+
+  std::vector<Lz77Token> tokens = Lz77Tokenize(input, params_);
+
+  // Gather symbol frequencies.
+  std::array<u64, kLitLenAlphabet> litlen_freq{};
+  std::array<u64, kNumDistCodes> dist_freq{};
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      ++litlen_freq[257 + LengthCode(t.length).first];
+      ++dist_freq[DistCode(t.distance).first];
+    } else {
+      ++litlen_freq[t.literal];
+    }
+  }
+  ++litlen_freq[kEobSymbol];
+
+  std::vector<u8> litlen_lens = BuildCodeLengths(litlen_freq);
+  std::vector<u8> dist_lens = BuildCodeLengths(dist_freq);
+  auto litlen_enc = HuffmanEncoder::FromLengths(litlen_lens);
+  auto dist_enc = HuffmanEncoder::FromLengths(dist_lens);
+  if (!litlen_enc.ok()) return litlen_enc.status();
+  if (!dist_enc.ok()) return dist_enc.status();
+
+  Bytes packed;
+  packed.reserve(input.size() / 2 + 64);
+  BitWriter bw(&packed);
+  bw.WriteBit(false);  // huffman block
+  WriteCodeLengths(litlen_lens, bw);
+  WriteCodeLengths(dist_lens, bw);
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      auto [lsym, lextra] = LengthCode(t.length);
+      litlen_enc->Encode(257 + lsym, bw);
+      if (kLengthExtra[lsym] > 0) bw.WriteBits(lextra, kLengthExtra[lsym]);
+      auto [dsym, dextra] = DistCode(t.distance);
+      dist_enc->Encode(dsym, bw);
+      if (kDistExtra[dsym] > 0) bw.WriteBits(dextra, kDistExtra[dsym]);
+    } else {
+      litlen_enc->Encode(t.literal, bw);
+    }
+  }
+  litlen_enc->Encode(kEobSymbol, bw);
+  bw.AlignToByte();
+
+  if (packed.size() >= input.size() + 1) {
+    EmitStored(input, out);
+  } else {
+    out->insert(out->end(), packed.begin(), packed.end());
+  }
+  (void)out_start;
+  return Status::Ok();
+}
+
+Status DeflateLikeCodec::Decompress(ByteSpan input, std::size_t original_size,
+                                    Bytes* out) const {
+  if (input.empty()) {
+    return original_size == 0
+               ? Status::DataLoss("deflate: missing flag byte")
+               : Status::DataLoss("deflate: empty input");
+  }
+  // Stored escape.
+  if (input[0] == 0x01) {
+    if (input.size() - 1 != original_size) {
+      return Status::DataLoss("deflate: stored size mismatch");
+    }
+    out->insert(out->end(), input.begin() + 1, input.end());
+    return Status::Ok();
+  }
+
+  BitReader br(input);
+  if (br.ReadBit()) return Status::DataLoss("deflate: bad block flag");
+
+  auto litlen_lens = ReadCodeLengths(kLitLenAlphabet, br);
+  if (!litlen_lens.ok()) return litlen_lens.status();
+  auto dist_lens = ReadCodeLengths(kNumDistCodes, br);
+  if (!dist_lens.ok()) return dist_lens.status();
+  auto litlen_dec = HuffmanDecoder::FromLengths(*litlen_lens);
+  if (!litlen_dec.ok()) return Status::DataLoss("deflate: bad litlen table");
+  auto dist_dec = HuffmanDecoder::FromLengths(*dist_lens);
+  if (!dist_dec.ok()) return Status::DataLoss("deflate: bad dist table");
+
+  const std::size_t out_base = out->size();
+  out->reserve(out_base + original_size);
+
+  for (;;) {
+    auto sym = litlen_dec->Decode(br);
+    if (!sym.ok()) return sym.status();
+    if (*sym == kEobSymbol) break;
+    if (*sym < 256) {
+      if (out->size() - out_base + 1 > original_size) {
+        return Status::DataLoss("deflate: output overrun (literal)");
+      }
+      out->push_back(static_cast<u8>(*sym));
+      continue;
+    }
+    std::size_t lidx = *sym - 257;
+    if (lidx >= kNumLengthCodes) {
+      return Status::DataLoss("deflate: bad length symbol");
+    }
+    std::size_t len =
+        kLengthBase[lidx] + static_cast<std::size_t>(
+                                br.ReadBits(kLengthExtra[lidx]));
+    auto dsym = dist_dec->Decode(br);
+    if (!dsym.ok()) return dsym.status();
+    std::size_t dist =
+        kDistBase[*dsym] + static_cast<std::size_t>(
+                               br.ReadBits(kDistExtra[*dsym]));
+    if (!br.ok()) return Status::DataLoss("deflate: truncated extra bits");
+
+    std::size_t produced = out->size() - out_base;
+    if (dist > produced) return Status::DataLoss("deflate: bad distance");
+    if (produced + len > original_size) {
+      return Status::DataLoss("deflate: output overrun (match)");
+    }
+    std::size_t src = out->size() - dist;
+    for (std::size_t k = 0; k < len; ++k) {
+      out->push_back((*out)[src + k]);
+    }
+  }
+
+  if (out->size() - out_base != original_size) {
+    return Status::DataLoss("deflate: size mismatch after decode");
+  }
+  return Status::Ok();
+}
+
+}  // namespace edc::codec

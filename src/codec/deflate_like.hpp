@@ -1,0 +1,45 @@
+// DeflateLike ("Gzip" in the paper's terms): LZ77 hash-chain matching with
+// lazy evaluation + two canonical Huffman alphabets, using DEFLATE's
+// length/distance symbol scheme (base + extra bits). The container format is
+// our own (single block, LSB-first bit stream) but the algorithmic profile —
+// ratio and speed class — matches gzip/zlib level-6.
+//
+// Block layout:
+//   1 bit  : 1 = stored escape (raw bytes follow, byte-aligned)
+//            0 = huffman block:
+//   litlen code lengths (WriteCodeLengths, 286 symbols)
+//   dist   code lengths (WriteCodeLengths, 30 symbols)
+//   token stream ... EOB symbol (256)
+#pragma once
+
+#include "codec/codec.hpp"
+#include "codec/lz77.hpp"
+
+namespace edc::codec {
+
+class DeflateLikeCodec final : public Codec {
+ public:
+  /// Default-constructed = level-6-class matching (the registry
+  /// instance). Custom Lz77 parameters give gzip -1 / -9 analogs for the
+  /// effort-level studies (`bench/ext_gzip_levels`).
+  DeflateLikeCodec() = default;
+  explicit DeflateLikeCodec(const Lz77Params& params) : params_(params) {}
+
+  /// Preset effort levels analogous to gzip -1 / -6 / -9.
+  static Lz77Params LevelParams(int level);
+
+  CodecId id() const override { return CodecId::kGzip; }
+
+  std::size_t MaxCompressedSize(std::size_t input_size) const override {
+    return input_size + 8;  // stored escape: flag byte + raw copy
+  }
+
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, std::size_t original_size,
+                    Bytes* out) const override;
+
+ private:
+  Lz77Params params_{};
+};
+
+}  // namespace edc::codec

@@ -1,0 +1,47 @@
+#include "codec/delta.hpp"
+
+#include "codec/codec.hpp"
+#include "common/varint.hpp"
+
+namespace edc::codec {
+
+Result<Bytes> DeltaEncode(ByteSpan base, ByteSpan updated) {
+  if (base.size() != updated.size()) {
+    return Status::InvalidArgument("delta: base/updated size mismatch");
+  }
+  Bytes xored(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    xored[i] = static_cast<u8>(base[i] ^ updated[i]);
+  }
+  Bytes out;
+  PutVarint(&out, base.size());
+  EDC_RETURN_IF_ERROR(GetCodec(CodecId::kLzf).Compress(xored, &out));
+  return out;
+}
+
+Result<Bytes> DeltaDecode(ByteSpan base, ByteSpan delta) {
+  std::size_t pos = 0;
+  auto size = GetVarint(delta, &pos);
+  if (!size.ok()) return size.status();
+  if (*size != base.size()) {
+    return Status::DataLoss("delta: base size mismatch");
+  }
+  Bytes xored;
+  EDC_RETURN_IF_ERROR(GetCodec(CodecId::kLzf)
+                          .Decompress(delta.subspan(pos),
+                                      static_cast<std::size_t>(*size),
+                                      &xored));
+  Bytes out(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    out[i] = static_cast<u8>(base[i] ^ xored[i]);
+  }
+  return out;
+}
+
+bool DeltaWorthwhile(std::size_t delta_size, std::size_t block_size,
+                     double max_fraction) {
+  return static_cast<double>(delta_size) <=
+         static_cast<double>(block_size) * max_fraction;
+}
+
+}  // namespace edc::codec

@@ -1,0 +1,29 @@
+// Delta compression of block updates (Delta-FTL, EuroSys'12 class): an
+// updated block is encoded as the compressed XOR against a base version.
+// Similar versions XOR to a mostly-zero stream that the fast LZ codec
+// collapses, so an update often costs a small fraction of a full block.
+//
+// Delta format: varint block size, then the LZF-compressed XOR stream.
+// Decoding requires the exact base the delta was computed against; the
+// caller (a Delta-FTL-style layer) is responsible for keeping base/delta
+// association — here the codec itself is provided with tests and an
+// evaluation harness (`bench/ext_delta`).
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::codec {
+
+/// Encode `updated` as a delta against `base` (sizes must match).
+Result<Bytes> DeltaEncode(ByteSpan base, ByteSpan updated);
+
+/// Reconstruct the updated block from `base` and the delta.
+Result<Bytes> DeltaDecode(ByteSpan base, ByteSpan delta);
+
+/// Size heuristic used by Delta-FTL-style policies: store the delta only
+/// when it is at most `max_fraction` of the block.
+bool DeltaWorthwhile(std::size_t delta_size, std::size_t block_size,
+                     double max_fraction = 0.5);
+
+}  // namespace edc::codec

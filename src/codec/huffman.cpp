@@ -1,0 +1,256 @@
+#include "codec/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace edc::codec {
+namespace {
+
+/// Plain (unlimited) Huffman depths via the two-queue method over
+/// frequency-sorted leaves.
+std::vector<unsigned> HuffmanDepths(std::span<const u64> freqs) {
+  struct Node {
+    u64 freq;
+    i32 left, right;  // -1 for leaves
+    u32 symbol;
+  };
+  std::vector<Node> nodes;
+  std::vector<u32> leaves;
+  for (u32 s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] > 0) {
+      leaves.push_back(static_cast<u32>(nodes.size()));
+      nodes.push_back({freqs[s], -1, -1, s});
+    }
+  }
+  std::vector<unsigned> depths(freqs.size(), 0);
+  if (leaves.empty()) return depths;
+  if (leaves.size() == 1) {
+    depths[nodes[leaves[0]].symbol] = 1;
+    return depths;
+  }
+
+  auto cmp = [&](i32 a, i32 b) { return nodes[static_cast<u32>(a)].freq >
+                                        nodes[static_cast<u32>(b)].freq; };
+  std::priority_queue<i32, std::vector<i32>, decltype(cmp)> heap(cmp);
+  for (u32 l : leaves) heap.push(static_cast<i32>(l));
+  while (heap.size() > 1) {
+    i32 a = heap.top();
+    heap.pop();
+    i32 b = heap.top();
+    heap.pop();
+    nodes.push_back({nodes[static_cast<u32>(a)].freq +
+                         nodes[static_cast<u32>(b)].freq,
+                     a, b, 0});
+    heap.push(static_cast<i32>(nodes.size() - 1));
+  }
+  // Iterative DFS to assign depths.
+  std::vector<std::pair<i32, unsigned>> stack{{heap.top(), 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<u32>(idx)];
+    if (n.left < 0) {
+      depths[n.symbol] = std::max(1u, depth);
+    } else {
+      stack.push_back({n.left, depth + 1});
+      stack.push_back({n.right, depth + 1});
+    }
+  }
+  return depths;
+}
+
+}  // namespace
+
+std::vector<u8> BuildCodeLengths(std::span<const u64> freqs,
+                                 unsigned max_bits) {
+  std::vector<unsigned> depths = HuffmanDepths(freqs);
+
+  // Enforce the length limit with the classic overflow-repair pass
+  // (zlib-style): push over-long codes up to max_bits, then restore the
+  // Kraft equality by deepening the cheapest shallower codes.
+  u64 kraft = 0;  // sum of 2^(max_bits - len)
+  const u64 budget = u64{1} << max_bits;
+  std::size_t used = 0;
+  for (unsigned& d : depths) {
+    if (d == 0) continue;
+    ++used;
+    if (d > max_bits) d = max_bits;
+    kraft += u64{1} << (max_bits - d);
+  }
+  if (used == 0) return std::vector<u8>(freqs.size(), 0);
+
+  // While oversubscribed, lengthen the shortest repairable code.
+  while (kraft > budget) {
+    // Find a symbol with len < max_bits whose deepening frees the most
+    // pressure with the least cost; deepen the currently longest such len
+    // first (cheapest in expected bits).
+    std::size_t best = freqs.size();
+    unsigned best_len = 0;
+    for (std::size_t s = 0; s < depths.size(); ++s) {
+      if (depths[s] > 0 && depths[s] < max_bits && depths[s] > best_len) {
+        best_len = depths[s];
+        best = s;
+      }
+    }
+    if (best == freqs.size()) break;  // all at max_bits; handled below
+    kraft -= u64{1} << (max_bits - depths[best] - 1);
+    ++depths[best];
+  }
+
+  // If still oversubscribed every code is at max_bits, meaning too many
+  // symbols for the limit — impossible when 2^max_bits >= alphabet size,
+  // which all our alphabets satisfy (<= 4096 symbols at 12 bits).
+
+  // Use any slack to shorten the most frequent codes (optional polish).
+  bool improved = true;
+  while (kraft < budget && improved) {
+    improved = false;
+    std::size_t best = freqs.size();
+    u64 best_freq = 0;
+    for (std::size_t s = 0; s < depths.size(); ++s) {
+      if (depths[s] > 1 &&
+          kraft + (u64{1} << (max_bits - depths[s])) <= budget &&
+          freqs[s] > best_freq) {
+        best_freq = freqs[s];
+        best = s;
+      }
+    }
+    if (best != freqs.size()) {
+      kraft += u64{1} << (max_bits - depths[best]);
+      --depths[best];
+      improved = true;
+    }
+  }
+
+  std::vector<u8> out(freqs.size(), 0);
+  for (std::size_t s = 0; s < depths.size(); ++s) {
+    out[s] = static_cast<u8>(depths[s]);
+  }
+  return out;
+}
+
+Result<std::vector<u32>> CanonicalCodes(std::span<const u8> lengths) {
+  unsigned max_len = 0;
+  for (u8 l : lengths) max_len = std::max<unsigned>(max_len, l);
+  if (max_len == 0) return std::vector<u32>(lengths.size(), 0);
+  if (max_len > 31) return Status::InvalidArgument("code length > 31");
+
+  std::vector<u32> bl_count(max_len + 1, 0);
+  for (u8 l : lengths) {
+    if (l > 0) ++bl_count[l];
+  }
+  // Kraft check.
+  u64 kraft = 0;
+  for (unsigned l = 1; l <= max_len; ++l) {
+    kraft += static_cast<u64>(bl_count[l]) << (max_len - l);
+  }
+  if (kraft > (u64{1} << max_len)) {
+    return Status::InvalidArgument("huffman lengths oversubscribed");
+  }
+
+  std::vector<u32> next_code(max_len + 2, 0);
+  u32 code = 0;
+  for (unsigned l = 1; l <= max_len; ++l) {
+    code = (code + bl_count[l - 1]) << 1;
+    next_code[l] = code;
+  }
+  std::vector<u32> codes(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) codes[s] = next_code[lengths[s]]++;
+  }
+  return codes;
+}
+
+namespace {
+
+u32 ReverseBits(u32 v, unsigned n) {
+  u32 r = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+}  // namespace
+
+Result<HuffmanEncoder> HuffmanEncoder::FromLengths(
+    std::span<const u8> lengths) {
+  auto codes = CanonicalCodes(lengths);
+  if (!codes.ok()) return codes.status();
+  HuffmanEncoder enc;
+  enc.lengths_.assign(lengths.begin(), lengths.end());
+  enc.reversed_codes_.resize(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) {
+      enc.reversed_codes_[s] = ReverseBits((*codes)[s], lengths[s]);
+    }
+  }
+  return enc;
+}
+
+Result<HuffmanDecoder> HuffmanDecoder::FromLengths(
+    std::span<const u8> lengths) {
+  auto codes = CanonicalCodes(lengths);
+  if (!codes.ok()) return codes.status();
+  unsigned max_len = 0;
+  for (u8 l : lengths) max_len = std::max<unsigned>(max_len, l);
+  HuffmanDecoder dec;
+  dec.max_bits_ = std::max(1u, max_len);
+  dec.table_.assign(std::size_t{1} << dec.max_bits_, Entry{0, 0});
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    unsigned len = lengths[s];
+    if (len == 0) continue;
+    u32 rev = ReverseBits((*codes)[s], len);
+    // Every peek value whose low `len` bits equal `rev` decodes to s.
+    for (u64 fill = 0; fill < (u64{1} << (dec.max_bits_ - len)); ++fill) {
+      dec.table_[(fill << len) | rev] =
+          Entry{static_cast<u16>(s), static_cast<u8>(len)};
+    }
+  }
+  return dec;
+}
+
+void WriteCodeLengths(std::span<const u8> lengths, BitWriter& bw) {
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    u8 len = lengths[i];
+    bw.WriteBits(len, 4);
+    if (len == 0) {
+      std::size_t run = 1;
+      while (i + run < lengths.size() && lengths[i + run] == 0 && run < 64) {
+        ++run;
+      }
+      bw.WriteBits(run - 1, 6);
+      i += run;
+    } else {
+      ++i;
+    }
+  }
+}
+
+Result<std::vector<u8>> ReadCodeLengths(std::size_t alphabet_size,
+                                        BitReader& br) {
+  std::vector<u8> lengths;
+  lengths.reserve(alphabet_size);
+  while (lengths.size() < alphabet_size) {
+    if (!br.ok()) return Status::DataLoss("huffman: truncated lengths");
+    u8 len = static_cast<u8>(br.ReadBits(4));
+    if (len == 0) {
+      std::size_t run = static_cast<std::size_t>(br.ReadBits(6)) + 1;
+      if (lengths.size() + run > alphabet_size) {
+        return Status::DataLoss("huffman: zero-run overflows alphabet");
+      }
+      lengths.insert(lengths.end(), run, 0);
+    } else {
+      if (len > kMaxCodeBits) {
+        return Status::DataLoss("huffman: length exceeds limit");
+      }
+      lengths.push_back(len);
+    }
+  }
+  if (!br.ok()) return Status::DataLoss("huffman: truncated lengths");
+  return lengths;
+}
+
+}  // namespace edc::codec

@@ -1,0 +1,82 @@
+// Canonical, length-limited Huffman coding over LSB-first bit streams.
+// Shared entropy back end of the DEFLATE-like ("gzip") and BWT ("bzip2")
+// codecs. Code lengths are capped at kMaxCodeBits so the decoder can use a
+// single flat lookup table built per block in O(2^kMaxCodeBits).
+#pragma once
+
+#include <vector>
+
+#include "common/bitio.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::codec {
+
+inline constexpr unsigned kMaxCodeBits = 12;
+
+/// Compute length-limited Huffman code lengths (<= max_bits) for the given
+/// symbol frequencies. Symbols with zero frequency get length 0. If only one
+/// symbol has nonzero frequency it is assigned length 1.
+std::vector<u8> BuildCodeLengths(std::span<const u64> freqs,
+                                 unsigned max_bits = kMaxCodeBits);
+
+/// Canonical code assignment from lengths: symbols of equal length are
+/// numbered in increasing symbol order; codes are returned MSB-first.
+/// Returns InvalidArgument if the lengths oversubscribe the Kraft budget.
+Result<std::vector<u32>> CanonicalCodes(std::span<const u8> lengths);
+
+/// Encoder: pre-reversed codes for LSB-first emission.
+class HuffmanEncoder {
+ public:
+  /// Builds from code lengths; lengths must satisfy Kraft (as produced by
+  /// BuildCodeLengths).
+  static Result<HuffmanEncoder> FromLengths(std::span<const u8> lengths);
+
+  void Encode(std::size_t symbol, BitWriter& bw) const {
+    bw.WriteBits(reversed_codes_[symbol], lengths_[symbol]);
+  }
+
+  u8 length(std::size_t symbol) const { return lengths_[symbol]; }
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+ private:
+  std::vector<u8> lengths_;
+  std::vector<u32> reversed_codes_;
+};
+
+/// Table-driven decoder: one peek of max_bits resolves any symbol.
+class HuffmanDecoder {
+ public:
+  /// Builds the flat lookup table from canonical code lengths.
+  static Result<HuffmanDecoder> FromLengths(std::span<const u8> lengths);
+
+  /// Decode one symbol; returns DataLoss for an invalid code or truncation.
+  Result<std::size_t> Decode(BitReader& br) const {
+    u64 peek = br.PeekBits(max_bits_);
+    Entry e = table_[peek];
+    if (e.length == 0) return Status::DataLoss("huffman: invalid code");
+    if (br.bits_remaining() < e.length) {
+      return Status::DataLoss("huffman: truncated code");
+    }
+    br.SkipBits(e.length);
+    return static_cast<std::size_t>(e.symbol);
+  }
+
+ private:
+  struct Entry {
+    u16 symbol;
+    u8 length;  // 0 marks an invalid entry
+  };
+  std::vector<Entry> table_;
+  unsigned max_bits_ = 0;
+};
+
+/// Serialize a code-length array into the bit stream:
+/// repeated { 4-bit length; if length == 0 then 6-bit (run-1) in 1..64 }.
+void WriteCodeLengths(std::span<const u8> lengths, BitWriter& bw);
+
+/// Inverse of WriteCodeLengths for a known alphabet size.
+Result<std::vector<u8>> ReadCodeLengths(std::size_t alphabet_size,
+                                        BitReader& br);
+
+}  // namespace edc::codec

@@ -1,0 +1,139 @@
+#include "codec/lz77.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace edc::codec {
+namespace {
+
+constexpr std::size_t kHashLog = 15;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashLog;
+
+u32 HashTriplet(const u8* p) {
+  u32 v = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+          (static_cast<u32>(p[2]) << 16);
+  return Mix32(v) >> (32 - kHashLog);
+}
+
+/// Hash chains over the input; head[h] / prev[pos] store pos+1 (0 = none).
+class ChainMatcher {
+ public:
+  ChainMatcher(ByteSpan input, const Lz77Params& params)
+      : base_(input.data()),
+        size_(input.size()),
+        params_(params),
+        head_(kHashSize, 0),
+        prev_(input.size(), 0) {}
+
+  void Insert(std::size_t pos) {
+    if (pos + 3 > size_) return;
+    u32 h = HashTriplet(base_ + pos);
+    prev_[pos] = head_[h];
+    head_[h] = static_cast<u32>(pos) + 1;
+  }
+
+  /// Best match at `pos`; returns length 0 if none.
+  std::pair<std::size_t, std::size_t> FindBest(std::size_t pos) const {
+    if (pos + params_.min_match > size_) return {0, 0};
+    u32 h = HashTriplet(base_ + pos);
+    u32 cand_plus1 = head_[h];
+    std::size_t best_len = 0, best_dist = 0;
+    std::size_t chain = params_.max_chain;
+    std::size_t limit = std::min(params_.max_match, size_ - pos);
+
+    while (cand_plus1 != 0 && chain-- > 0) {
+      std::size_t cand = cand_plus1 - 1;
+      if (cand >= pos) break;  // self or future (after Insert(pos))
+      std::size_t dist = pos - cand;
+      if (dist > params_.window_size) break;  // chains are position-ordered
+      // Quick reject: match must beat best_len, so check that byte first.
+      if (best_len == 0 || base_[cand + best_len] == base_[pos + best_len]) {
+        std::size_t len = 0;
+        while (len < limit && base_[cand + len] == base_[pos + len]) ++len;
+        if (len >= params_.min_match && len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len >= params_.good_match || len == limit) break;
+        }
+      }
+      cand_plus1 = prev_[cand];
+    }
+    return {best_len, best_dist};
+  }
+
+ private:
+  const u8* base_;
+  std::size_t size_;
+  const Lz77Params& params_;
+  std::vector<u32> head_;
+  std::vector<u32> prev_;
+};
+
+}  // namespace
+
+std::vector<Lz77Token> Lz77Tokenize(ByteSpan input, const Lz77Params& params) {
+  std::vector<Lz77Token> tokens;
+  if (input.empty()) return tokens;
+  tokens.reserve(input.size() / 3);
+
+  ChainMatcher matcher(input, params);
+  std::size_t pos = 0;
+
+  auto emit_literal = [&](std::size_t p) {
+    tokens.push_back({false, input[p], 0, 0});
+  };
+  auto emit_match = [&](std::size_t len, std::size_t dist) {
+    tokens.push_back({true, 0, static_cast<u16>(len),
+                      static_cast<u16>(dist)});
+  };
+
+  while (pos < input.size()) {
+    auto [len, dist] = matcher.FindBest(pos);
+    matcher.Insert(pos);
+
+    if (len < params.min_match) {
+      emit_literal(pos);
+      ++pos;
+      continue;
+    }
+
+    if (params.lazy && len < params.good_match && pos + 1 < input.size()) {
+      // One-step lazy: if the next position has a strictly longer match,
+      // emit a literal here and take the later match instead.
+      auto [next_len, next_dist] = matcher.FindBest(pos + 1);
+      if (next_len > len) {
+        emit_literal(pos);
+        matcher.Insert(pos + 1);
+        emit_match(next_len, next_dist);
+        std::size_t stop = pos + 1 + next_len;
+        for (std::size_t p = pos + 2; p < stop; ++p) matcher.Insert(p);
+        pos = stop;
+        continue;
+      }
+    }
+
+    emit_match(len, dist);
+    std::size_t stop = pos + len;
+    for (std::size_t p = pos + 1; p < stop; ++p) matcher.Insert(p);
+    pos = stop;
+  }
+  return tokens;
+}
+
+Bytes Lz77Expand(const std::vector<Lz77Token>& tokens) {
+  Bytes out;
+  for (const Lz77Token& t : tokens) {
+    if (!t.is_match) {
+      out.push_back(t.literal);
+    } else {
+      std::size_t src = out.size() - t.distance;
+      for (std::size_t k = 0; k < t.length; ++k) {
+        out.push_back(out[src + k]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace edc::codec

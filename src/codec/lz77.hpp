@@ -1,0 +1,37 @@
+// Hash-chain LZ77 match finder with one-step lazy evaluation — the front
+// end of the DEFLATE-like codec. Exposed separately so tests can exercise
+// the token stream invariants directly.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace edc::codec {
+
+/// One LZ77 token: either a literal byte or a (length, distance) match.
+struct Lz77Token {
+  bool is_match;
+  u8 literal;     // valid when !is_match
+  u16 length;     // 3..258, valid when is_match
+  u16 distance;   // 1..32768, valid when is_match
+};
+
+struct Lz77Params {
+  std::size_t window_size = 32768;  // max match distance
+  std::size_t min_match = 3;
+  std::size_t max_match = 258;
+  std::size_t max_chain = 64;       // hash-chain probes per position
+  std::size_t good_match = 32;      // stop chaining early past this length
+  bool lazy = true;                 // one-step lazy matching
+};
+
+/// Tokenize `input`. The token stream reproduces the input exactly when
+/// expanded in order (property-tested).
+std::vector<Lz77Token> Lz77Tokenize(ByteSpan input,
+                                    const Lz77Params& params = {});
+
+/// Expand a token stream back to bytes (reference decoder for tests).
+Bytes Lz77Expand(const std::vector<Lz77Token>& tokens);
+
+}  // namespace edc::codec

@@ -1,0 +1,147 @@
+#include "codec/lzf.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/hash.hpp"
+
+namespace edc::codec {
+namespace {
+
+constexpr std::size_t kHashLog = 14;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashLog;
+constexpr std::size_t kMaxOffset = 1 << 13;  // 8 KiB window
+constexpr std::size_t kMaxLiteralRun = 32;
+constexpr std::size_t kMaxMatchLen = 2 + 7 + 255;
+constexpr std::size_t kMinMatchLen = 3;
+
+u32 HashTriplet(const u8* p) {
+  u32 v = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+          (static_cast<u32>(p[2]) << 16);
+  return Mix32(v) >> (32 - kHashLog);
+}
+
+/// Flush pending literals [lit_start, lit_end) as literal-run segments.
+void EmitLiterals(const u8* lit_start, const u8* lit_end, Bytes* out) {
+  while (lit_start < lit_end) {
+    std::size_t run = std::min<std::size_t>(
+        static_cast<std::size_t>(lit_end - lit_start), kMaxLiteralRun);
+    out->push_back(static_cast<u8>(run - 1));
+    out->insert(out->end(), lit_start, lit_start + run);
+    lit_start += run;
+  }
+}
+
+}  // namespace
+
+Status LzfCodec::Compress(ByteSpan input, Bytes* out) const {
+  const u8* base = input.data();
+  const u8* ip = base;
+  const u8* end = base + input.size();
+  const u8* lit_start = ip;
+
+  // Positions are stored relative to `base`; 0 means "empty slot", so we
+  // store pos+1.
+  std::vector<u32> table(kHashSize, 0);
+
+  // Need at least 3 bytes beyond ip to hash; stop matching near the end.
+  const u8* match_limit = input.size() >= kMinMatchLen ? end - 2 : base;
+
+  while (ip < match_limit) {
+    u32 h = HashTriplet(ip);
+    u32 cand_plus1 = table[h];
+    table[h] = static_cast<u32>(ip - base) + 1;
+
+    if (cand_plus1 != 0) {
+      const u8* cand = base + (cand_plus1 - 1);
+      std::size_t dist = static_cast<std::size_t>(ip - cand);
+      if (dist > 0 && dist <= kMaxOffset && cand[0] == ip[0] &&
+          cand[1] == ip[1] && cand[2] == ip[2]) {
+        // Extend the match.
+        std::size_t len = kMinMatchLen;
+        std::size_t max_len = std::min<std::size_t>(
+            kMaxMatchLen, static_cast<std::size_t>(end - ip));
+        while (len < max_len && cand[len] == ip[len]) ++len;
+
+        EmitLiterals(lit_start, ip, out);
+
+        std::size_t len_code = len - 2;
+        std::size_t off = dist - 1;
+        if (len_code < 7) {
+          out->push_back(
+              static_cast<u8>((len_code << 5) | (off >> 8)));
+        } else {
+          out->push_back(static_cast<u8>((7u << 5) | (off >> 8)));
+          out->push_back(static_cast<u8>(len_code - 7));
+        }
+        out->push_back(static_cast<u8>(off & 0xFF));
+
+        // Insert hashes for skipped positions (sparsely: every position up
+        // to a cap keeps the table warm without quadratic cost).
+        const u8* stop = ip + len;
+        ++ip;
+        while (ip < stop && ip < match_limit) {
+          table[HashTriplet(ip)] = static_cast<u32>(ip - base) + 1;
+          ++ip;
+        }
+        ip = stop;
+        lit_start = ip;
+        continue;
+      }
+    }
+    ++ip;
+  }
+
+  EmitLiterals(lit_start, end, out);
+  return Status::Ok();
+}
+
+Status LzfCodec::Decompress(ByteSpan input, std::size_t original_size,
+                            Bytes* out) const {
+  const std::size_t out_base = out->size();
+  out->reserve(out_base + original_size);
+  std::size_t ip = 0;
+
+  while (ip < input.size()) {
+    u8 ctrl = input[ip++];
+    if (ctrl < 0x20) {
+      std::size_t run = static_cast<std::size_t>(ctrl) + 1;
+      if (ip + run > input.size()) {
+        return Status::DataLoss("lzf: truncated literal run");
+      }
+      if (out->size() - out_base + run > original_size) {
+        return Status::DataLoss("lzf: output overrun (literals)");
+      }
+      out->insert(out->end(), input.begin() + static_cast<std::ptrdiff_t>(ip),
+                  input.begin() + static_cast<std::ptrdiff_t>(ip + run));
+      ip += run;
+    } else {
+      std::size_t len = ctrl >> 5;
+      if (len == 7) {
+        if (ip >= input.size()) return Status::DataLoss("lzf: truncated len");
+        len += input[ip++];
+      }
+      len += 2;
+      if (ip >= input.size()) return Status::DataLoss("lzf: truncated offset");
+      std::size_t dist =
+          ((static_cast<std::size_t>(ctrl & 0x1F) << 8) | input[ip++]) + 1;
+      std::size_t produced = out->size() - out_base;
+      if (dist > produced) return Status::DataLoss("lzf: bad distance");
+      if (produced + len > original_size) {
+        return Status::DataLoss("lzf: output overrun (match)");
+      }
+      // Byte-by-byte copy: matches may self-overlap.
+      std::size_t src = out->size() - dist;
+      for (std::size_t k = 0; k < len; ++k) {
+        out->push_back((*out)[src + k]);
+      }
+    }
+  }
+
+  if (out->size() - out_base != original_size) {
+    return Status::DataLoss("lzf: size mismatch after decode");
+  }
+  return Status::Ok();
+}
+
+}  // namespace edc::codec

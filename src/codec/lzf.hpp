@@ -1,0 +1,32 @@
+// LZF: byte-oriented LZ with a single-probe hash table, modeled on LibLZF
+// (the codec Nimble/Pure-class products use for always-on inline
+// compression, and the paper's fast baseline).
+//
+// Stream format (LibLZF compatible):
+//   ctrl < 0x20            : literal run of (ctrl + 1) bytes
+//   ctrl >= 0x20           : back reference;
+//       len3 = ctrl >> 5   (3-bit length field)
+//       if len3 == 7       : one extra byte extends the length
+//       match length       = len3 + 2 (+ extra)
+//       distance           = ((ctrl & 0x1F) << 8 | next byte) + 1
+#pragma once
+
+#include "codec/codec.hpp"
+
+namespace edc::codec {
+
+class LzfCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kLzf; }
+
+  /// Worst case: every byte literal → 1 control byte per 32 literals.
+  std::size_t MaxCompressedSize(std::size_t input_size) const override {
+    return input_size + input_size / 32 + 2;
+  }
+
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, std::size_t original_size,
+                    Bytes* out) const override;
+};
+
+}  // namespace edc::codec

@@ -1,0 +1,171 @@
+#include "codec/lzfast.hpp"
+
+#include <cstring>
+
+#include "common/hash.hpp"
+
+namespace edc::codec {
+namespace {
+
+constexpr std::size_t kHashLog = 15;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashLog;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxDistance = 65535;
+
+u32 Read32(const u8* p) {
+  u32 v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+u32 HashQuad(const u8* p) { return Mix32(Read32(p)) >> (32 - kHashLog); }
+
+void EmitLength(std::size_t len, Bytes* out) {
+  while (len >= 255) {
+    out->push_back(255);
+    len -= 255;
+  }
+  out->push_back(static_cast<u8>(len));
+}
+
+void EmitSequence(const u8* lit, std::size_t lit_len, std::size_t match_len,
+                  std::size_t dist, Bytes* out) {
+  u8 token = 0;
+  token |= static_cast<u8>(std::min<std::size_t>(lit_len, 15) << 4);
+  std::size_t mcode = match_len == 0 ? 0 : match_len - kMinMatch;
+  token |= static_cast<u8>(std::min<std::size_t>(mcode, 15));
+  out->push_back(token);
+  if (lit_len >= 15) EmitLength(lit_len - 15, out);
+  out->insert(out->end(), lit, lit + lit_len);
+  if (match_len > 0) {
+    out->push_back(static_cast<u8>(dist & 0xFF));
+    out->push_back(static_cast<u8>(dist >> 8));
+    if (mcode >= 15) EmitLength(mcode - 15, out);
+  }
+}
+
+}  // namespace
+
+Status LzFastCodec::Compress(ByteSpan input, Bytes* out) const {
+  const u8* base = input.data();
+  const u8* ip = base;
+  const u8* end = base + input.size();
+  const u8* lit_start = ip;
+
+  if (input.size() < kMinMatch + 4) {
+    // Too short to find any match; a single literal-only sequence.
+    EmitSequence(base, input.size(), 0, 0, out);
+    return Status::Ok();
+  }
+
+  std::vector<u32> table(kHashSize, 0);
+  // LZ4 requires the last 5 bytes to be literals and matches must not
+  // reach the last 4 bytes; use a conservative bound.
+  const u8* match_limit = end - (kMinMatch + 4);
+  unsigned search_miss = 0;  // acceleration on incompressible data
+
+  while (ip <= match_limit) {
+    u32 h = HashQuad(ip);
+    u32 cand_plus1 = table[h];
+    table[h] = static_cast<u32>(ip - base) + 1;
+
+    const u8* cand = cand_plus1 ? base + (cand_plus1 - 1) : nullptr;
+    if (cand != nullptr &&
+        static_cast<std::size_t>(ip - cand) <= kMaxDistance &&
+        Read32(cand) == Read32(ip)) {
+      std::size_t len = kMinMatch;
+      std::size_t max_len = static_cast<std::size_t>(end - ip) - 4;
+      while (len < max_len && cand[len] == ip[len]) ++len;
+
+      EmitSequence(lit_start, static_cast<std::size_t>(ip - lit_start), len,
+                   static_cast<std::size_t>(ip - cand), out);
+
+      const u8* stop = ip + len;
+      // Re-prime the table at two positions inside the match (LZ4 idiom).
+      if (ip + 1 <= match_limit) {
+        table[HashQuad(ip + 1)] = static_cast<u32>(ip + 1 - base) + 1;
+      }
+      if (stop - 2 > ip && stop - 2 <= match_limit) {
+        table[HashQuad(stop - 2)] = static_cast<u32>(stop - 2 - base) + 1;
+      }
+      ip = stop;
+      lit_start = ip;
+      search_miss = 0;
+      continue;
+    }
+    // Skip faster through incompressible regions.
+    ++search_miss;
+    ip += 1 + (search_miss >> 6);
+  }
+
+  EmitSequence(lit_start, static_cast<std::size_t>(end - lit_start), 0, 0,
+               out);
+  return Status::Ok();
+}
+
+Status LzFastCodec::Decompress(ByteSpan input, std::size_t original_size,
+                               Bytes* out) const {
+  const std::size_t out_base = out->size();
+  out->reserve(out_base + original_size);
+  std::size_t ip = 0;
+
+  auto read_length = [&](std::size_t initial) -> Result<std::size_t> {
+    std::size_t len = initial;
+    if (initial == 15) {
+      u8 b;
+      do {
+        if (ip >= input.size()) {
+          return Status::DataLoss("lzfast: truncated length");
+        }
+        b = input[ip++];
+        len += b;
+      } while (b == 255);
+    }
+    return len;
+  };
+
+  while (ip < input.size()) {
+    u8 token = input[ip++];
+    // Literals.
+    auto lit_len = read_length(token >> 4);
+    if (!lit_len.ok()) return lit_len.status();
+    if (ip + *lit_len > input.size()) {
+      return Status::DataLoss("lzfast: truncated literals");
+    }
+    if (out->size() - out_base + *lit_len > original_size) {
+      return Status::DataLoss("lzfast: output overrun (literals)");
+    }
+    out->insert(out->end(), input.begin() + static_cast<std::ptrdiff_t>(ip),
+                input.begin() + static_cast<std::ptrdiff_t>(ip + *lit_len));
+    ip += *lit_len;
+
+    if (ip >= input.size()) break;  // final literal-only sequence
+
+    // Match.
+    if (ip + 2 > input.size()) return Status::DataLoss("lzfast: no offset");
+    std::size_t dist = static_cast<std::size_t>(input[ip]) |
+                       (static_cast<std::size_t>(input[ip + 1]) << 8);
+    ip += 2;
+    if (dist == 0) return Status::DataLoss("lzfast: zero offset");
+    auto mcode = read_length(token & 0x0F);
+    if (!mcode.ok()) return mcode.status();
+    std::size_t match_len = *mcode + kMinMatch;
+
+    std::size_t produced = out->size() - out_base;
+    if (dist > produced) return Status::DataLoss("lzfast: bad distance");
+    if (produced + match_len > original_size) {
+      return Status::DataLoss("lzfast: output overrun (match)");
+    }
+    std::size_t src = out->size() - dist;
+    for (std::size_t k = 0; k < match_len; ++k) {
+      out->push_back((*out)[src + k]);
+    }
+  }
+
+  if (out->size() - out_base != original_size) {
+    return Status::DataLoss("lzfast: size mismatch after decode");
+  }
+  return Status::Ok();
+}
+
+}  // namespace edc::codec

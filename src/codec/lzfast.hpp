@@ -1,0 +1,28 @@
+// LzFast: LZ4-style sequence format with a greedy single-probe hash
+// matcher over a 64 KiB window. Faster than LZF on compressible data
+// (longer min-match, block copies on decode), similar ratio class.
+//
+// Sequence format (LZ4 compatible framing of one block):
+//   token: high nibble = literal count  (15 → +255-extension bytes)
+//          low nibble  = match length-4 (15 → +255-extension bytes)
+//   <literals> <2-byte LE offset> ... ; final sequence has literals only.
+#pragma once
+
+#include "codec/codec.hpp"
+
+namespace edc::codec {
+
+class LzFastCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kLzFast; }
+
+  std::size_t MaxCompressedSize(std::size_t input_size) const override {
+    return input_size + input_size / 255 + 16;
+  }
+
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, std::size_t original_size,
+                    Bytes* out) const override;
+};
+
+}  // namespace edc::codec

@@ -1,0 +1,19 @@
+#include "codec/store.hpp"
+
+namespace edc::codec {
+
+Status StoreCodec::Compress(ByteSpan input, Bytes* out) const {
+  out->insert(out->end(), input.begin(), input.end());
+  return Status::Ok();
+}
+
+Status StoreCodec::Decompress(ByteSpan input, std::size_t original_size,
+                              Bytes* out) const {
+  if (input.size() != original_size) {
+    return Status::DataLoss("store: size mismatch");
+  }
+  out->insert(out->end(), input.begin(), input.end());
+  return Status::Ok();
+}
+
+}  // namespace edc::codec

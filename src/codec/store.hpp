@@ -1,0 +1,19 @@
+// Identity codec: the paper's "000 = no compression" tag / Native baseline.
+#pragma once
+
+#include "codec/codec.hpp"
+
+namespace edc::codec {
+
+class StoreCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kStore; }
+  std::size_t MaxCompressedSize(std::size_t input_size) const override {
+    return input_size;
+  }
+  Status Compress(ByteSpan input, Bytes* out) const override;
+  Status Decompress(ByteSpan input, std::size_t original_size,
+                    Bytes* out) const override;
+};
+
+}  // namespace edc::codec

@@ -1,0 +1,137 @@
+// Bit-granular writer/reader used by the entropy coders (Huffman) and the
+// BWT codec back end. LSB-first bit order, little-endian byte order.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc {
+
+/// Appends bits LSB-first into a growing byte vector.
+///
+/// Writes of up to 57 bits per call are supported (the accumulator flushes
+/// whole bytes eagerly, so at most 7 stale bits remain before a write).
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes* out) : out_(out) { assert(out != nullptr); }
+
+  /// Write the low `count` bits of `bits`. Bits above `count` must be zero.
+  void WriteBits(u64 bits, unsigned count) {
+    assert(count <= 57);
+    assert(count == 64 || (bits >> count) == 0);
+    acc_ |= bits << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_->push_back(static_cast<u8>(acc_ & 0xFF));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Write a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1u : 0u, 1); }
+
+  /// Pad with zero bits to the next byte boundary and flush.
+  void AlignToByte() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<u8>(acc_ & 0xFF));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  /// Bits written so far (including unflushed ones).
+  u64 bit_count() const { return out_->size() * 8 + filled_; }
+
+ private:
+  Bytes* out_;
+  u64 acc_ = 0;
+  unsigned filled_ = 0;
+};
+
+/// Reads bits LSB-first from a byte span. Reading past the end is reported
+/// via ok() going false; subsequent reads return zeros.
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  /// Read `count` bits (count <= 57).
+  u64 ReadBits(unsigned count) {
+    assert(count <= 57);
+    Fill();
+    if (filled_ < count) {
+      overrun_ = true;
+      // Return whatever is left, zero-extended, to keep decoders simple.
+      u64 v = acc_ & ((count >= 64) ? ~0ULL : ((1ULL << count) - 1));
+      acc_ = 0;
+      filled_ = 0;
+      return v;
+    }
+    u64 v = acc_ & ((count >= 64) ? ~0ULL : ((1ULL << count) - 1));
+    acc_ >>= count;
+    filled_ -= count;
+    return v;
+  }
+
+  bool ReadBit() { return ReadBits(1) != 0; }
+
+  /// Peek up to `count` bits without consuming (used by table-driven
+  /// Huffman decoding). Bits past the end of input read as zero.
+  u64 PeekBits(unsigned count) {
+    assert(count <= 57);
+    Fill();
+    return acc_ & ((count >= 64) ? ~0ULL : ((1ULL << count) - 1));
+  }
+
+  /// Consume `count` bits previously peeked. Consuming more bits than are
+  /// available marks the reader as overrun.
+  void SkipBits(unsigned count) {
+    Fill();
+    if (filled_ < count) {
+      overrun_ = true;
+      acc_ = 0;
+      filled_ = 0;
+      return;
+    }
+    acc_ >>= count;
+    filled_ -= count;
+  }
+
+  /// Discard buffered bits to resume at the next byte boundary.
+  void AlignToByte() {
+    unsigned drop = filled_ % 8;
+    acc_ >>= drop;
+    filled_ -= drop;
+  }
+
+  /// True while all reads so far were within bounds.
+  bool ok() const { return !overrun_; }
+
+  /// Number of whole bytes consumed from the underlying span (counting
+  /// buffered-but-unread bits as consumed).
+  std::size_t bytes_consumed() const { return pos_; }
+
+  /// Bits still available (buffered + unread input).
+  u64 bits_remaining() const {
+    return filled_ + (data_.size() - pos_) * 8;
+  }
+
+ private:
+  void Fill() {
+    while (filled_ <= 56 && pos_ < data_.size()) {
+      acc_ |= static_cast<u64>(data_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+  u64 acc_ = 0;
+  unsigned filled_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace edc

@@ -1,0 +1,54 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace edc {
+namespace {
+
+// Slicing-by-4 tables generated at static-init time from the reflected
+// IEEE polynomial 0xEDB88320.
+struct Crc32Tables {
+  std::array<std::array<u32, 256>, 4> t{};
+
+  Crc32Tables() {
+    for (u32 i = 0; i < 256; ++i) {
+      u32 crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (u32 i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+u32 Crc32(ByteSpan data, u32 seed) {
+  const auto& t = Tables().t;
+  u32 crc = ~seed;
+  std::size_t i = 0;
+  // 4-byte slices.
+  for (; i + 4 <= data.size(); i += 4) {
+    crc ^= static_cast<u32>(data[i]) | (static_cast<u32>(data[i + 1]) << 8) |
+           (static_cast<u32>(data[i + 2]) << 16) |
+           (static_cast<u32>(data[i + 3]) << 24);
+    crc = t[3][crc & 0xFF] ^ t[2][(crc >> 8) & 0xFF] ^
+          t[1][(crc >> 16) & 0xFF] ^ t[0][crc >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    crc = (crc >> 8) ^ t[0][(crc ^ data[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace edc

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven, 4 bytes/iteration.
+// Used as the integrity checksum of framed compressed blocks.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace edc {
+
+/// Compute CRC-32 of `data`, continuing from `seed` (pass 0 for a fresh
+/// checksum). Compatible with zlib's crc32() for the same input.
+u32 Crc32(ByteSpan data, u32 seed = 0);
+
+}  // namespace edc

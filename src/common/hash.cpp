@@ -1,0 +1,58 @@
+#include "common/hash.hpp"
+
+namespace edc {
+namespace {
+
+constexpr u32 kPrime1 = 2654435761u;
+constexpr u32 kPrime2 = 2246822519u;
+constexpr u32 kPrime3 = 3266489917u;
+constexpr u32 kPrime4 = 668265263u;
+constexpr u32 kPrime5 = 374761393u;
+
+u32 Rotl(u32 x, int r) { return (x << r) | (x >> (32 - r)); }
+
+u32 Read32(const u8* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+}  // namespace
+
+u32 Hash32(ByteSpan data, u32 seed) {
+  const u8* p = data.data();
+  const u8* end = p + data.size();
+  u32 h;
+  if (data.size() >= 16) {
+    u32 v1 = seed + kPrime1 + kPrime2;
+    u32 v2 = seed + kPrime2;
+    u32 v3 = seed;
+    u32 v4 = seed - kPrime1;
+    while (end - p >= 16) {
+      v1 = Rotl(v1 + Read32(p) * kPrime2, 13) * kPrime1;
+      v2 = Rotl(v2 + Read32(p + 4) * kPrime2, 13) * kPrime1;
+      v3 = Rotl(v3 + Read32(p + 8) * kPrime2, 13) * kPrime1;
+      v4 = Rotl(v4 + Read32(p + 12) * kPrime2, 13) * kPrime1;
+      p += 16;
+    }
+    h = Rotl(v1, 1) + Rotl(v2, 7) + Rotl(v3, 12) + Rotl(v4, 18);
+  } else {
+    h = seed + kPrime5;
+  }
+  h += static_cast<u32>(data.size());
+  while (end - p >= 4) {
+    h = Rotl(h + Read32(p) * kPrime3, 17) * kPrime4;
+    p += 4;
+  }
+  while (p < end) {
+    h = Rotl(h + *p * kPrime5, 11) * kPrime1;
+    ++p;
+  }
+  h ^= h >> 15;
+  h *= kPrime2;
+  h ^= h >> 13;
+  h *= kPrime3;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace edc

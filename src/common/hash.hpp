@@ -1,0 +1,43 @@
+// Fast non-cryptographic hashing: a 32-bit xxHash-style mixer for match
+// finding inside the LZ codecs, and a 64-bit splitmix finalizer for
+// deterministic per-LBA content seeding.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace edc {
+
+/// Mix a 32-bit value (used to hash 4-byte LZ match candidates).
+constexpr u32 Mix32(u32 x) {
+  x ^= x >> 16;
+  x *= 0x7FEB352Du;
+  x ^= x >> 15;
+  x *= 0x846CA68Bu;
+  x ^= x >> 16;
+  return x;
+}
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+constexpr u64 Mix64(u64 x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// xxHash32-flavoured hash over a byte span. Stable across platforms;
+/// used for content fingerprints in tests and the datagen dedup motif pool.
+u32 Hash32(ByteSpan data, u32 seed = 0);
+
+/// 64-bit content fingerprint (two independent 32-bit passes mixed) —
+/// strong enough for the dedup index of simulated volumes; real systems
+/// would use SHA-1/xxh3, the collision-handling logic is identical.
+inline u64 Hash64(ByteSpan data) {
+  u64 a = Hash32(data, 0x9E3779B9u);
+  u64 b = Hash32(data, 0x85EBCA6Bu);
+  return Mix64((a << 32) | b);
+}
+
+}  // namespace edc

@@ -1,0 +1,38 @@
+#include "common/rng.hpp"
+
+namespace edc {
+
+u32 Pcg32::NextZipf(u32 n, double s) {
+  if (n <= 1) return 0;
+  // Rejection-inversion sampler (Hörmann & Derflinger) simplified for
+  // moderate n; adequate for workload skew modelling.
+  const double nd = static_cast<double>(n);
+  if (s <= 0.0) return NextBounded(n);
+  const double one_minus_s = 1.0 - s;
+  auto h_integral = [&](double x) {
+    double log_x = std::log(x);
+    if (std::abs(one_minus_s) < 1e-9) return log_x;
+    return (std::exp(one_minus_s * log_x) - 1.0) / one_minus_s;
+  };
+  auto h_integral_inv = [&](double x) {
+    if (std::abs(one_minus_s) < 1e-9) return std::exp(x);
+    return std::exp(std::log1p(x * one_minus_s) / one_minus_s);
+  };
+  const double hx0 = h_integral(0.5) - 1.0;
+  const double hn = h_integral(nd + 0.5);
+  for (int iter = 0; iter < 128; ++iter) {
+    double u = hx0 + NextDouble() * (hn - hx0);
+    double x = h_integral_inv(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > nd) k = nd;
+    double h_k = h_integral(k + 0.5) - h_integral(k - 0.5);
+    double p_k = std::exp(-s * std::log(k));
+    if (NextDouble() * h_k <= p_k) {
+      return static_cast<u32>(k) - 1;
+    }
+  }
+  return 0;  // Overwhelmingly unlikely; keep determinism over perfection.
+}
+
+}  // namespace edc

@@ -1,0 +1,28 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace edc {
+
+std::string Histogram::ToAscii(std::size_t width) const {
+  u64 peak = 0;
+  for (u64 c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::size_t bar =
+        peak ? static_cast<std::size_t>(
+                   static_cast<double>(counts_[i]) /
+                   static_cast<double>(peak) * static_cast<double>(width))
+             : 0;
+    std::snprintf(line, sizeof(line), "[%10.3g, %10.3g) %8llu |",
+                  bucket_lo(i), bucket_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace edc

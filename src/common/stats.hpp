@@ -1,0 +1,224 @@
+// Streaming statistics: running moments, reservoir percentiles, EWMA,
+// fixed-bucket histograms and a time-based sliding-window rate counter
+// (the building block of the paper's "calculated IOPS" monitor).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace edc {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void Merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    double delta = o.mean_ - mean_;
+    u64 n = n_ + o.n_;
+    double nd = static_cast<double>(n);
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / nd;
+    mean_ = (mean_ * static_cast<double>(n_) +
+             o.mean_ * static_cast<double>(o.n_)) /
+            nd;
+    n_ = n;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+  u64 count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir sampler retaining up to `capacity` values; percentiles are
+/// computed over the reservoir. Deterministic given the seed.
+class PercentileReservoir {
+ public:
+  explicit PercentileReservoir(std::size_t capacity = 65536, u64 seed = 42)
+      : capacity_(capacity), rng_(seed, 7) {}
+
+  void Add(double x) {
+    ++seen_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(x);
+      sorted_ = false;
+      return;
+    }
+    // Classic reservoir replacement with probability capacity/seen.
+    u64 j = rng_.NextU64() % seen_;
+    if (j < capacity_) {
+      samples_[static_cast<std::size_t>(j)] = x;
+      sorted_ = false;
+    }
+  }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  double Quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      sorted_samples_ = samples_;
+      std::sort(sorted_samples_.begin(), sorted_samples_.end());
+      sorted_ = true;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    double pos = q * static_cast<double>(sorted_samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, sorted_samples_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
+  }
+
+  u64 seen() const { return seen_; }
+  std::size_t size() const { return samples_.size(); }
+
+ private:
+  std::size_t capacity_;
+  Pcg32 rng_;
+  u64 seen_ = 0;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Exponentially-weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!primed_) {
+      value_ = x;
+      primed_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  double value() const { return primed_ ? value_ : 0.0; }
+  bool primed() const { return primed_; }
+  void Reset() { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range values clamp to
+/// the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void Add(double x) {
+    double t = (x - lo_) / (hi_ - lo_);
+    auto b = static_cast<std::ptrdiff_t>(
+        t * static_cast<double>(counts_.size()));
+    b = std::clamp<std::ptrdiff_t>(
+        b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(b)];
+    ++total_;
+  }
+
+  u64 bucket(std::size_t i) const { return counts_.at(i); }
+  std::size_t num_buckets() const { return counts_.size(); }
+  u64 total() const { return total_; }
+  double bucket_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  double bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+  /// Render a compact ASCII bar chart (used by the figure harnesses).
+  std::string ToAscii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+/// Sliding time-window event counter: counts weighted events within the
+/// trailing `window` of simulated time. The paper's calculated-IOPS monitor
+/// feeds page-unit weights into one of these with a 1 s window.
+class SlidingWindowRate {
+ public:
+  explicit SlidingWindowRate(SimTime window = kSecond) : window_(window) {}
+
+  void Add(SimTime now, double weight) {
+    Evict(now);
+    events_.push_back({now, weight});
+    sum_ += weight;
+  }
+
+  /// Events-per-second rate over the trailing window at time `now`.
+  double Rate(SimTime now) {
+    Evict(now);
+    return sum_ / ToSeconds(window_);
+  }
+
+  /// Raw weighted count currently inside the window.
+  double WindowSum(SimTime now) {
+    Evict(now);
+    return sum_;
+  }
+
+  SimTime window() const { return window_; }
+
+ private:
+  void Evict(SimTime now) {
+    while (!events_.empty() && events_.front().at <= now - window_) {
+      sum_ -= events_.front().weight;
+      events_.pop_front();
+    }
+    if (events_.empty()) sum_ = 0.0;  // kill FP drift
+  }
+
+  struct Event {
+    SimTime at;
+    double weight;
+  };
+  SimTime window_;
+  std::deque<Event> events_;
+  double sum_ = 0.0;
+};
+
+}  // namespace edc

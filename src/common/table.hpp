@@ -1,0 +1,31 @@
+// Tiny fixed-format text table printer used by the figure/table harnesses
+// so every bench emits the same aligned, grep-friendly rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edc {
+
+/// Collects rows of strings and renders them with per-column alignment.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render with 2-space gutters; numeric-looking cells right-aligned.
+  std::string ToString() const;
+
+  /// Format helper: fixed precision double.
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edc

@@ -1,0 +1,66 @@
+// Basic shared types and time units for the EDC reproduction.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace edc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Byte buffer used throughout the code base for raw block content.
+using Bytes = std::vector<u8>;
+using ByteSpan = std::span<const u8>;
+using MutableByteSpan = std::span<u8>;
+
+/// Simulated time is kept in integer nanoseconds to stay exact and ordered.
+/// All simulator components use SimTime; wall-clock measurements (codec
+/// calibration) are converted at the boundary.
+using SimTime = i64;  // nanoseconds
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToMicros(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+constexpr SimTime FromMicros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+
+/// Logical block address, in units of logical blocks (see BlockSize below).
+using Lba = u64;
+/// Physical page address inside a simulated SSD.
+using Ppa = u64;
+
+/// Sentinel for "no physical page assigned".
+inline constexpr Ppa kInvalidPpa = ~static_cast<Ppa>(0);
+inline constexpr Lba kInvalidLba = ~static_cast<Lba>(0);
+
+/// The logical block unit EDC operates on; 4 KiB, the Linux page size the
+/// paper normalizes "calculated IOPS" to.
+inline constexpr std::size_t kLogicalBlockSize = 4096;
+
+/// Convert a byte count into 4 KiB page units, rounding up. This is the
+/// paper's "calculated IOPS" unit conversion (one 8 KB request counts as two
+/// 4 KB requests).
+constexpr u64 PageUnits(u64 bytes) {
+  return (bytes + kLogicalBlockSize - 1) / kLogicalBlockSize;
+}
+
+}  // namespace edc

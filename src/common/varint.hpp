@@ -1,0 +1,55 @@
+// LEB128-style variable-length integers for compact on-flash metadata
+// (mapping journal, framed-container headers).
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc {
+
+/// Append `value` as a LEB128 varint (1–10 bytes).
+inline void PutVarint(Bytes* out, u64 value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<u8>(value) | 0x80u);
+    value >>= 7;
+  }
+  out->push_back(static_cast<u8>(value));
+}
+
+/// Decode a varint starting at `*pos`; advances `*pos` past it.
+/// Returns DataLoss on truncation or >64-bit overflow.
+inline Result<u64> GetVarint(ByteSpan data, std::size_t* pos) {
+  u64 value = 0;
+  unsigned shift = 0;
+  while (*pos < data.size()) {
+    u8 byte = data[(*pos)++];
+    if (shift == 63 && (byte & 0x7E) != 0) {
+      return Status::DataLoss("varint overflows 64 bits");
+    }
+    value |= static_cast<u64>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) return Status::DataLoss("varint too long");
+  }
+  return Status::DataLoss("truncated varint");
+}
+
+/// Fixed-width little-endian helpers.
+inline void PutU32Le(Bytes* out, u32 v) {
+  out->push_back(static_cast<u8>(v));
+  out->push_back(static_cast<u8>(v >> 8));
+  out->push_back(static_cast<u8>(v >> 16));
+  out->push_back(static_cast<u8>(v >> 24));
+}
+
+inline Result<u32> GetU32Le(ByteSpan data, std::size_t* pos) {
+  if (*pos + 4 > data.size()) return Status::DataLoss("truncated u32");
+  u32 v = static_cast<u32>(data[*pos]) |
+          (static_cast<u32>(data[*pos + 1]) << 8) |
+          (static_cast<u32>(data[*pos + 2]) << 16) |
+          (static_cast<u32>(data[*pos + 3]) << 24);
+  *pos += 4;
+  return v;
+}
+
+}  // namespace edc

@@ -1,0 +1,70 @@
+#include "datagen/profile.hpp"
+
+namespace edc::datagen {
+
+std::string_view ChunkKindName(ChunkKind kind) {
+  switch (kind) {
+    case ChunkKind::kRandom: return "random";
+    case ChunkKind::kText: return "text";
+    case ChunkKind::kMotif: return "motif";
+    case ChunkKind::kRuns: return "runs";
+    case ChunkKind::kZero: return "zero";
+  }
+  return "unknown";
+}
+
+Result<ContentProfile> ProfileByName(std::string_view name) {
+  ContentProfile p;
+  p.name = std::string(name);
+  // Weight order: {random, text, motif, runs, zero}.
+  if (name == "linux") {
+    // Source trees: overwhelmingly text, some objects/images.
+    p.weights = {0.08, 0.72, 0.12, 0.06, 0.02};
+    p.text_vocabulary = 2500;
+    p.text_zipf = 1.1;
+    return p;
+  }
+  if (name == "firefox") {
+    // Application build: executables and libs dominate, plus JS/XML text
+    // and already-compressed resources (omni.ja, images).
+    p.weights = {0.30, 0.25, 0.35, 0.08, 0.02};
+    p.motif_length = 64;
+    p.motif_mutation = 0.05;
+    return p;
+  }
+  if (name == "fin") {
+    // OLTP pages: structured records (motifs), padding runs, some
+    // incompressible (encrypted columns, random keys).
+    p.weights = {0.15, 0.15, 0.45, 0.15, 0.10};
+    p.motif_length = 128;
+    p.motif_mutation = 0.04;
+    return p;
+  }
+  if (name == "usr") {
+    // El-Shimi et al. skew: ~31% of chunks don't compress at all; the
+    // rest split between documents (text) and application data (motifs).
+    p.weights = {0.31, 0.34, 0.20, 0.10, 0.05};
+    return p;
+  }
+  if (name == "prxy") {
+    // Web proxy: many already-compressed objects, HTML/JSON text.
+    p.weights = {0.40, 0.38, 0.12, 0.07, 0.03};
+    p.text_vocabulary = 6000;
+    return p;
+  }
+  if (name == "zero") {
+    p.weights = {0, 0, 0, 0, 1.0};
+    return p;
+  }
+  if (name == "random") {
+    p.weights = {1.0, 0, 0, 0, 0};
+    return p;
+  }
+  return Status::NotFound("unknown content profile: " + std::string(name));
+}
+
+std::vector<std::string> AllProfileNames() {
+  return {"linux", "firefox", "fin", "usr", "prxy", "zero", "random"};
+}
+
+}  // namespace edc::datagen

@@ -1,0 +1,82 @@
+// Content profiles for the SDGen-like synthetic data generator.
+//
+// SDGen (FAST'15) mimics real application data for storage benchmarks by
+// reproducing the *compressibility* of chunks rather than their meaning.
+// A ContentProfile is a mixture over chunk generators with different
+// intrinsic compressibility; presets model the datasets the paper uses
+// (Linux source, Firefox binaries) and the published skew of primary-store
+// data ("50% of chunks give 86% of savings, ~31% don't compress at all",
+// El-Shimi et al., USENIX ATC'12).
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::datagen {
+
+/// The kinds of chunk content the generator can synthesize.
+enum class ChunkKind : u8 {
+  kRandom = 0,   // incompressible (already-compressed media, encrypted)
+  kText,         // word-model text: source code / logs / documents
+  kMotif,        // repeated binary motifs with mutations: executables, DBs
+  kRuns,         // long byte runs: bitmaps, sparse files
+  kZero,         // all-zero: unwritten/trimmed regions
+};
+
+inline constexpr std::size_t kNumChunkKinds = 5;
+
+std::string_view ChunkKindName(ChunkKind kind);
+
+/// Mixture weights over chunk kinds plus shape parameters.
+struct ContentProfile {
+  std::string name;
+  /// Relative weight per ChunkKind (need not sum to 1).
+  std::array<double, kNumChunkKinds> weights{};
+  /// Text model: vocabulary size and Zipf skew.
+  u32 text_vocabulary = 4000;
+  double text_zipf = 1.05;
+  /// Motif model: motif length and per-byte mutation probability.
+  u32 motif_length = 96;
+  double motif_mutation = 0.03;
+
+  /// Deduplication model: fraction of blocks whose content is drawn from
+  /// a shared pool of `dup_universe` distinct blocks (byte-identical
+  /// across LBAs and versions) — the redundancy CA-FTL-class dedup
+  /// exploits. 0 disables.
+  double dup_fraction = 0.0;
+  u32 dup_universe = 512;
+
+  /// Update-similarity model (Delta-FTL's premise): when > 0, version v of
+  /// a block is its version-0 content with this fraction of bytes point-
+  /// mutated (per-version positions), so successive versions are highly
+  /// similar. 0 keeps versions independent.
+  double update_delta = 0.0;
+
+  /// Sum of weights (for sampling).
+  double TotalWeight() const {
+    double t = 0;
+    for (double w : weights) t += w;
+    return t;
+  }
+};
+
+/// Named presets.
+///
+///  "linux"   — Linux-source-like: mostly text, small binary share
+///  "firefox" — Firefox-build-like: binaries + text + compressed resources
+///  "fin"     — OLTP database pages: motif-heavy with incompressible share
+///  "usr"     — user home volume: the El-Shimi skew (~31% incompressible)
+///  "prxy"    — proxy server volume: web objects, many already compressed
+///  "zero"    — all zero (pathological best case)
+///  "random"  — all random (pathological worst case)
+Result<ContentProfile> ProfileByName(std::string_view name);
+
+/// Every named profile (for tests and table harnesses).
+std::vector<std::string> AllProfileNames();
+
+}  // namespace edc::datagen

@@ -1,0 +1,52 @@
+#include "dedup/index.hpp"
+
+namespace edc::dedup {
+
+InsertResult DedupIndex::Insert(ByteSpan block, u64 location) {
+  ++stats_.inserts;
+  u64 key = Hash64(block);
+  u64 verify = VerifyFingerprint(block);
+
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (it->second.verify == verify) {
+      ++it->second.refcount;
+      ++stats_.duplicate_blocks;
+      return InsertResult{true, it->second.location, it->second.refcount};
+    }
+    // 64-bit collision with different content: real systems byte-compare
+    // and store the block separately; we report and treat it as unique
+    // under a perturbed key.
+    ++stats_.collisions;
+    key = Mix64(key ^ verify);
+  }
+  index_[key] = Entry{verify, location, 1};
+  ++stats_.unique_blocks;
+  ++stats_.unique_live;
+  return InsertResult{false, location, 1};
+}
+
+bool DedupIndex::Remove(ByteSpan block) {
+  ++stats_.removes;
+  u64 key = Hash64(block);
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second.verify != VerifyFingerprint(block)) {
+    return false;
+  }
+  if (--it->second.refcount == 0) {
+    index_.erase(it);
+    --stats_.unique_live;
+    return true;
+  }
+  return false;
+}
+
+u32 DedupIndex::RefCount(ByteSpan block) const {
+  auto it = index_.find(Hash64(block));
+  if (it == index_.end() || it->second.verify != VerifyFingerprint(block)) {
+    return 0;
+  }
+  return it->second.refcount;
+}
+
+}  // namespace edc::dedup

@@ -1,0 +1,82 @@
+// Content-addressable deduplication index (CA-FTL / CA-SSD class, the
+// complementary data-reduction technique the paper's related work
+// discusses and that flash products pair with inline compression).
+//
+// The index maps a 64-bit content fingerprint to a reference-counted
+// physical location. Inserting a fingerprint either creates a new entry
+// (the caller must store the block) or bumps an existing entry's
+// reference count (the write is elided). A verification fingerprint
+// guards against 64-bit collisions: a colliding insert is reported and
+// treated as unique, matching how real systems fall back to byte
+// comparison.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::dedup {
+
+struct DedupStats {
+  u64 inserts = 0;          // total blocks offered
+  u64 unique_blocks = 0;    // entries created (blocks actually stored)
+  u64 duplicate_blocks = 0; // writes elided by reference counting
+  u64 collisions = 0;       // fingerprint matches that failed verify
+  u64 removes = 0;
+
+  u64 unique_live = 0;  // entries currently alive
+
+  /// Data-reduction factor from dedup alone: live logical blocks per
+  /// stored unique block.
+  double dedup_ratio() const {
+    u64 live = inserts - removes;
+    return (live == 0 || unique_live == 0)
+               ? 1.0
+               : static_cast<double>(live) /
+                     static_cast<double>(unique_live);
+  }
+};
+
+/// Outcome of offering one block to the index.
+struct InsertResult {
+  bool is_duplicate = false;  // true: storage write elided
+  u64 location = 0;           // the representative block's location
+  u32 refcount = 0;           // references after the insert
+};
+
+class DedupIndex {
+ public:
+  /// Offer a block. `location` is where the caller would store it if it
+  /// turns out unique (recorded as the representative location).
+  InsertResult Insert(ByteSpan block, u64 location);
+
+  /// Drop one reference to the given content; returns true when the last
+  /// reference went away (the caller may reclaim the stored block).
+  bool Remove(ByteSpan block);
+
+  /// Current references held for this content (0 = not present).
+  u32 RefCount(ByteSpan block) const;
+
+  const DedupStats& stats() const { return stats_; }
+  std::size_t entries() const { return index_.size(); }
+
+ private:
+  struct Entry {
+    u64 verify;    // second fingerprint for collision detection
+    u64 location;
+    u32 refcount;
+  };
+
+  static u64 VerifyFingerprint(ByteSpan block) {
+    return Hash64(block.size() > 64 ? block.subspan(block.size() / 3)
+                                    : block) ^
+           (block.size() * 0x9E3779B97F4A7C15ull);
+  }
+
+  std::unordered_map<u64, Entry> index_;
+  DedupStats stats_;
+};
+
+}  // namespace edc::dedup

@@ -1,0 +1,166 @@
+#include "edc/cost_model.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/hash.hpp"
+
+namespace edc::core {
+namespace {
+
+double Mbps(std::size_t bytes, double seconds) {
+  if (seconds <= 0) return 1e6;  // immeasurably fast; avoid div by zero
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+
+double Elapsed(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+namespace {
+
+CodecCost MeasureCell(const codec::Codec& c, const Bytes& corpus,
+                      std::size_t block) {
+  std::size_t comp_total = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<Bytes> compressed;
+  for (std::size_t off = 0; off < corpus.size(); off += block) {
+    std::size_t len = std::min(block, corpus.size() - off);
+    Bytes out;
+    (void)c.Compress(ByteSpan(corpus.data() + off, len), &out);
+    comp_total += out.size();
+    compressed.push_back(std::move(out));
+  }
+  double comp_s = Elapsed(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  std::size_t off = 0;
+  for (const Bytes& blob : compressed) {
+    std::size_t len = std::min(block, corpus.size() - off);
+    Bytes out;
+    (void)c.Decompress(blob, len, &out);
+    off += len;
+  }
+  double decomp_s = Elapsed(t0);
+
+  CodecCost cost;
+  cost.compress_mb_s = Mbps(corpus.size(), comp_s);
+  cost.decompress_mb_s = Mbps(corpus.size(), decomp_s);
+  cost.compressed_fraction =
+      corpus.empty() ? 1.0
+                     : static_cast<double>(comp_total) /
+                           static_cast<double>(corpus.size());
+  return cost;
+}
+
+}  // namespace
+
+CostModel CostModel::Calibrate(const datagen::ContentGenerator& generator,
+                               const CostModelConfig& config) {
+  CostModel model;
+  model.log_small_ =
+      std::log2(static_cast<double>(config.calib_block_small));
+  model.log_large_ = std::log2(static_cast<double>(config.calib_block));
+  datagen::ContentProfile pure = generator.profile();
+
+  for (std::size_t k = 0; k < datagen::kNumChunkKinds; ++k) {
+    // A single-kind generator so each cell measures one content class.
+    pure.weights.fill(0.0);
+    pure.weights[k] = 1.0;
+    datagen::ContentGenerator gen(pure, config.seed + k);
+    Bytes corpus = gen.GenerateCorpus(config.calib_bytes, config.calib_block);
+
+    for (codec::CodecId id : codec::AllCodecs()) {
+      const codec::Codec& c = codec::GetCodec(id);
+      model.small_[static_cast<std::size_t>(id)][k] =
+          MeasureCell(c, corpus, config.calib_block_small);
+      model.large_[static_cast<std::size_t>(id)][k] =
+          MeasureCell(c, corpus, config.calib_block);
+    }
+  }
+  return model;
+}
+
+const CodecCost& CostModel::Get(codec::CodecId codec,
+                                datagen::ChunkKind kind) const {
+  return large_[static_cast<std::size_t>(codec)]
+               [static_cast<std::size_t>(kind)];
+}
+
+CodecCost CostModel::GetAt(codec::CodecId codec, datagen::ChunkKind kind,
+                           std::size_t bytes) const {
+  const CodecCost& s = small_[static_cast<std::size_t>(codec)]
+                             [static_cast<std::size_t>(kind)];
+  const CodecCost& l = large_[static_cast<std::size_t>(codec)]
+                             [static_cast<std::size_t>(kind)];
+  double span = std::max(log_large_ - log_small_, 1e-9);
+  double t = (std::log2(static_cast<double>(std::max<std::size_t>(
+                  bytes, 1))) -
+              log_small_) /
+             span;
+  t = std::clamp(t, 0.0, 1.0);
+  CodecCost out;
+  out.compress_mb_s = s.compress_mb_s * (1 - t) + l.compress_mb_s * t;
+  out.decompress_mb_s = s.decompress_mb_s * (1 - t) + l.decompress_mb_s * t;
+  out.compressed_fraction =
+      s.compressed_fraction * (1 - t) + l.compressed_fraction * t;
+  return out;
+}
+
+SimTime CostModel::CompressTime(codec::CodecId codec,
+                                datagen::ChunkKind kind,
+                                std::size_t bytes) const {
+  if (codec == codec::CodecId::kStore) return 0;
+  CodecCost c = GetAt(codec, kind, bytes);
+  return FromSeconds(static_cast<double>(bytes) / (1024.0 * 1024.0) /
+                     std::max(c.compress_mb_s, 1e-3));
+}
+
+SimTime CostModel::DecompressTime(codec::CodecId codec,
+                                  datagen::ChunkKind kind,
+                                  std::size_t bytes) const {
+  if (codec == codec::CodecId::kStore) return 0;
+  CodecCost c = GetAt(codec, kind, bytes);
+  return FromSeconds(static_cast<double>(bytes) / (1024.0 * 1024.0) /
+                     std::max(c.decompress_mb_s, 1e-3));
+}
+
+std::size_t CostModel::CompressedSize(codec::CodecId codec,
+                                      datagen::ChunkKind kind,
+                                      std::size_t bytes,
+                                      u64 jitter_key) const {
+  if (codec == codec::CodecId::kStore) return bytes;
+  CodecCost c = GetAt(codec, kind, bytes);
+  // +/-10% deterministic jitter around the calibrated mean fraction.
+  double unit = static_cast<double>(Mix64(jitter_key) & 0xFFFF) / 65535.0;
+  double fraction = c.compressed_fraction * (0.9 + 0.2 * unit);
+  auto size = static_cast<std::size_t>(
+      fraction * static_cast<double>(bytes) + 0.5);
+  return std::clamp<std::size_t>(size, 1, bytes + 8);
+}
+
+std::string CostModel::ToString() const {
+  std::string out =
+      "codec      kind     comp_MB/s  decomp_MB/s  comp_fraction\n";
+  char line[128];
+  for (codec::CodecId id : codec::AllCodecs()) {
+    for (std::size_t k = 0; k < datagen::kNumChunkKinds; ++k) {
+      const CodecCost& c = Get(id, static_cast<datagen::ChunkKind>(k));
+      std::snprintf(line, sizeof(line), "%-9s  %-7s  %9.1f  %11.1f  %13.3f\n",
+                    std::string(codec::CodecName(id)).c_str(),
+                    std::string(datagen::ChunkKindName(
+                                    static_cast<datagen::ChunkKind>(k)))
+                        .c_str(),
+                    c.compress_mb_s, c.decompress_mb_s,
+                    c.compressed_fraction);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace edc::core

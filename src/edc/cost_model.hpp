@@ -1,0 +1,80 @@
+// CostModel: calibrated codec timing for modeled trace replay.
+//
+// Functional replay pushes every block through the real codecs — honest
+// but too slow for multi-million-request traces on the paper's scale. The
+// CostModel is calibrated once at startup by running each real codec over
+// real datagen content of every chunk kind, measuring wall-clock
+// compression/decompression throughput and the achieved ratio. Modeled
+// replay then charges the calibrated time and size per block, with every
+// Nth block still executed for real as a drift self-check. The numbers are
+// *measured on the host at run time*, never hard-coded, so the reproduction
+// stays honest about codec relative speeds on any machine.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "codec/codec.hpp"
+#include "common/status.hpp"
+#include "datagen/generator.hpp"
+
+namespace edc::core {
+
+struct CodecCost {
+  double compress_mb_s = 0;
+  double decompress_mb_s = 0;
+  double compressed_fraction = 1.0;  // mean compressed/original
+};
+
+struct CostModelConfig {
+  /// Bytes of content per (codec, kind) calibration measurement.
+  std::size_t calib_bytes = 1 << 18;  // 256 KiB
+  /// Codec efficiency depends on the input unit size, so each cell is
+  /// measured at a small block (single 4 KiB writes) and a large block
+  /// (SD-merged runs) and interpolated in between.
+  std::size_t calib_block_small = 4 * 1024;
+  std::size_t calib_block = 32 * 1024;
+  u64 seed = 1234;
+};
+
+class CostModel {
+ public:
+  /// Calibrate against the given content generator's profile. Runs the
+  /// real codecs; takes O(seconds) for the slow ones by design.
+  static CostModel Calibrate(const datagen::ContentGenerator& generator,
+                             const CostModelConfig& config = {});
+
+  /// Calibrated cost at the large (merged-run) block size.
+  const CodecCost& Get(codec::CodecId codec,
+                       datagen::ChunkKind kind) const;
+
+  /// Size-interpolated cost for an input of `bytes` (log-linear between
+  /// the small and large calibration points, clamped outside).
+  CodecCost GetAt(codec::CodecId codec, datagen::ChunkKind kind,
+                  std::size_t bytes) const;
+
+  /// Modeled compression time for `bytes` of `kind` content.
+  SimTime CompressTime(codec::CodecId codec, datagen::ChunkKind kind,
+                       std::size_t bytes) const;
+  SimTime DecompressTime(codec::CodecId codec, datagen::ChunkKind kind,
+                         std::size_t bytes) const;
+
+  /// Modeled compressed size, deterministically jittered per key so block
+  /// populations show realistic variance rather than one spike.
+  std::size_t CompressedSize(codec::CodecId codec, datagen::ChunkKind kind,
+                             std::size_t bytes, u64 jitter_key) const;
+
+  /// Render the calibration table (EXPERIMENTS.md appendix / Fig. 2 aid).
+  std::string ToString() const;
+
+ private:
+  CostModel() = default;
+  using Table = std::array<std::array<CodecCost, datagen::kNumChunkKinds>,
+                           codec::kMaxCodecId + 1>;
+  Table small_{};
+  Table large_{};
+  double log_small_ = 12.0;  // log2 of the calibration block sizes
+  double log_large_ = 15.0;
+};
+
+}  // namespace edc::core

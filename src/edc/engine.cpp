@@ -1,0 +1,558 @@
+#include "edc/engine.hpp"
+
+#include <algorithm>
+
+#include "common/crc32.hpp"
+#include "common/varint.hpp"
+
+namespace edc::core {
+namespace {
+
+/// Pages covering a quantum extent.
+std::pair<Lba, u64> CoveringPages(u64 start_quantum, u32 quanta) {
+  Lba first = start_quantum / kQuantaPerBlock;
+  Lba last = (start_quantum + quanta - 1) / kQuantaPerBlock;
+  return {first, last - first + 1};
+}
+
+/// Blocks covering a byte range.
+std::pair<Lba, u32> CoveringBlocks(u64 offset, u32 size) {
+  Lba first = offset / kLogicalBlockSize;
+  u64 last = (offset + size - 1) / kLogicalBlockSize;
+  return {first, static_cast<u32>(last - first + 1)};
+}
+
+}  // namespace
+
+Engine::Engine(const EngineConfig& config, ssd::Device* device,
+               const datagen::ContentGenerator* generator,
+               const CostModel* cost_model)
+    : config_(config),
+      device_(device),
+      generator_(generator),
+      cost_model_(cost_model),
+      policy_(MakePolicy(config.scheme, config.elastic)),
+      monitor_(config.monitor),
+      estimator_(config.estimator),
+      seq_(config.seq),
+      map_(device->logical_pages() * kQuantaPerBlock) {
+  cpu_contexts_busy_.assign(std::max<u32>(1, config_.cpu_contexts), 0);
+}
+
+SimTime Engine::RunOnCpu(SimTime ready, SimTime duration) {
+  // Earliest-available compression context serves the work (M/G/k-style
+  // dispatch with a single arrival stream).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cpu_contexts_busy_.size(); ++i) {
+    if (cpu_contexts_busy_[i] < cpu_contexts_busy_[best]) best = i;
+  }
+  SimTime start = std::max(ready, cpu_contexts_busy_[best]);
+  SimTime end = start + duration;
+  cpu_contexts_busy_[best] = end;
+  stats_.cpu_busy_time += duration;
+  return end;
+}
+
+Bytes Engine::MaterializeRun(const WriteRun& run) const {
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(run.n_blocks) * kLogicalBlockSize);
+  for (u32 i = 0; i < run.n_blocks; ++i) {
+    Lba lba = run.first_block + i;
+    auto it = versions_.find(lba);
+    u64 version = it == versions_.end() ? 0 : it->second;
+    Bytes block = generator_->Generate(lba, version, kLogicalBlockSize);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+datagen::ChunkKind Engine::KindOfRun(const WriteRun& run) const {
+  return generator_->KindForLba(run.first_block);
+}
+
+Result<Engine::GroupOutcome> Engine::CompressAndStore(const WriteRun& run,
+                                                      SimTime ready) {
+  const std::size_t orig =
+      static_cast<std::size_t>(run.n_blocks) * kLogicalBlockSize;
+  const datagen::ChunkKind kind = KindOfRun(run);
+  const bool functional = config_.mode == ExecutionMode::kFunctional;
+
+  // --- Policy decision -------------------------------------------------
+  PolicyInputs in;
+  in.calculated_iops = monitor_.CalculatedIops(ready);
+  in.group_blocks = run.n_blocks;
+  in.device_backlog = std::max<SimTime>(
+      0, device_->next_free_time() - ready);
+  if (config_.elastic.use_content_hints) {
+    in.content_hint = static_cast<int>(kind);
+  }
+
+  Bytes content;
+  if (functional) {
+    content = MaterializeRun(run);
+    if (config_.scheme == Scheme::kEdc && config_.elastic.use_estimator) {
+      in.est_compressed_fraction =
+          estimator_.EstimateCompressedFraction(content);
+    }
+  } else {
+    // Modeled sampling estimate: the calibrated fraction of the fast
+    // codec stands in for the sampling probe's prediction.
+    in.est_compressed_fraction =
+        cost_model_->Get(codec::CodecId::kLzf, kind).compressed_fraction;
+  }
+  const PolicyDecision decision = policy_->Choose(in);
+  if (decision.skipped_for_content) {
+    stats_.blocks_skipped_content += run.n_blocks;
+  }
+  if (decision.skipped_for_intensity) {
+    stats_.blocks_skipped_intensity += run.n_blocks;
+  }
+
+  // --- Compression (CPU stage) -----------------------------------------
+  codec::CodecId tag = decision.codec;
+  std::size_t payload_size = orig;
+  SimTime comp_time = 0;
+  Bytes frame;
+
+  if (functional) {
+    auto fr = codec::FrameCompress(content, decision.codec);
+    if (!fr.ok()) return fr.status();
+    auto info = codec::FrameParse(*fr);
+    if (!info.ok()) return info.status();
+    tag = info->codec;
+    payload_size = info->payload_size;
+    // The paper's 75% rule: a block compressing to >75% of its original
+    // size is treated as non-compressible and stored raw.
+    if (tag != codec::CodecId::kStore &&
+        payload_size * 4 > orig * 3) {
+      auto stored = codec::FrameCompress(content, codec::CodecId::kStore);
+      if (!stored.ok()) return stored.status();
+      fr = std::move(stored);
+      tag = codec::CodecId::kStore;
+      payload_size = orig;
+    }
+    frame = std::move(*fr);
+    if (cost_model_ != nullptr && decision.codec != codec::CodecId::kStore) {
+      comp_time = cost_model_->CompressTime(decision.codec, kind, orig);
+    }
+  } else {
+    if (decision.codec != codec::CodecId::kStore) {
+      auto vit = versions_.find(run.first_block);
+      const u64 version = vit == versions_.end() ? 0 : vit->second;
+      payload_size = cost_model_->CompressedSize(
+          decision.codec, kind, orig,
+          run.first_block * 1315423911u + version);
+      comp_time = cost_model_->CompressTime(decision.codec, kind, orig);
+      if (payload_size * 4 > orig * 3) {
+        tag = codec::CodecId::kStore;
+        payload_size = orig;
+      }
+      // Drift self-check: run the real codec on a sampled group.
+      if (config_.modeled_check_interval != 0 &&
+          stats_.groups_written % config_.modeled_check_interval == 0) {
+        Bytes real_out;
+        Bytes real_in = MaterializeRun(run);
+        if (codec::GetCodec(decision.codec)
+                .Compress(real_in, &real_out)
+                .ok()) {
+          double modeled_f = static_cast<double>(payload_size) /
+                             static_cast<double>(orig);
+          double real_f = static_cast<double>(real_out.size()) /
+                          static_cast<double>(orig);
+          ++stats_.drift_checks;
+          stats_.drift_abs_error_sum += std::abs(modeled_f - real_f);
+        }
+      }
+    }
+  }
+
+  SimTime cpu_end = RunOnCpu(ready, comp_time);
+
+  // --- Placement and device write (Request Distributer) ----------------
+  u32 alloc_quanta = 0;
+  switch (config_.alloc_policy) {
+    case AllocPolicy::kSizeClass:
+      alloc_quanta = SizeClassQuanta(payload_size, run.n_blocks);
+      break;
+    case AllocPolicy::kExactQuanta:
+      alloc_quanta = static_cast<u32>(
+          (payload_size + kQuantumBytes - 1) / kQuantumBytes);
+      alloc_quanta = std::max(alloc_quanta, 1u);
+      break;
+    case AllocPolicy::kWholePage:
+      alloc_quanta = run.n_blocks * kQuantaPerBlock;
+      break;
+  }
+  std::vector<u64> freed;
+  const u64 bump_before = map_.allocator().bump_used();
+  auto gid = map_.Install(run.first_block, run.n_blocks, tag, payload_size,
+                          alloc_quanta, &freed);
+  if (!gid.ok()) return gid.status();
+  for (u64 dead : freed) {
+    payloads_.erase(dead);
+    CacheErase(dead);
+  }
+  if (functional) payloads_[*gid] = std::move(frame);
+
+  // Write-buffer packing: groups placed in the fresh (bump) region are
+  // flushed page-by-page as pages fill; a sub-page group that leaves the
+  // open page partially filled completes immediately (DRAM buffer ack) and
+  // its page is programmed by whichever later group completes it. Groups
+  // placed into recycled holes rewrite their covering pages out-of-place.
+  const GroupInfo& g = map_.Group(*gid);
+  const u64 bump_after = map_.allocator().bump_used();
+  SimTime completion = cpu_end;
+  if (bump_after > bump_before) {
+    u64 complete_pages = bump_after / kQuantaPerBlock;
+    if (complete_pages > flushed_frontier_page_) {
+      auto io = device_->WriteModeled(
+          flushed_frontier_page_, complete_pages - flushed_frontier_page_,
+          cpu_end);
+      if (!io.ok()) return io.status();
+      flushed_frontier_page_ = complete_pages;
+      completion = io->completion;
+    }
+  } else {
+    auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
+    auto io = device_->WriteModeled(first_page, n_pages, cpu_end);
+    if (!io.ok()) return io.status();
+    completion = io->completion;
+  }
+
+  // --- Accounting -------------------------------------------------------
+  ++stats_.groups_written;
+  if (run.n_blocks > 1) stats_.merged_blocks += run.n_blocks;
+  ++stats_.groups_by_codec[static_cast<std::size_t>(tag)];
+  stats_.logical_bytes_written += orig;
+  stats_.compressed_bytes_total += payload_size;
+  stats_.allocated_bytes_total +=
+      static_cast<u64>(alloc_quanta) * kQuantumBytes;
+
+  GroupOutcome outcome;
+  outcome.completion = completion;
+  return outcome;
+}
+
+Status Engine::MaybeIdleFlush(SimTime arrival) {
+  if (!config_.use_seq_detector || config_.seq.idle_flush_timeout == 0 ||
+      !seq_.has_pending()) {
+    return Status::Ok();
+  }
+  SimTime deadline = seq_.pending().last_arrival +
+                     config_.seq.idle_flush_timeout;
+  if (arrival <= deadline) return Status::Ok();
+  // The flush logically happened at the deadline, during the idle gap —
+  // it occupies the CPU/device then, not at `arrival`.
+  auto run = seq_.Flush();
+  auto outcome = CompressAndStore(*run, deadline);
+  return outcome.status();
+}
+
+Result<SimTime> Engine::Write(SimTime arrival, u64 offset, u32 size) {
+  if (size == 0) return arrival;
+  EDC_RETURN_IF_ERROR(MaybeIdleFlush(arrival));
+  monitor_.Record(arrival, size);
+  ++stats_.host_writes;
+
+  auto [first, n_blocks] = CoveringBlocks(offset, size);
+  for (u32 i = 0; i < n_blocks; ++i) {
+    ++versions_[first + i];
+  }
+
+  SimTime completion = arrival;
+  if (config_.use_seq_detector) {
+    for (const WriteRun& run : seq_.OnWrite(first, n_blocks, arrival)) {
+      auto outcome = CompressAndStore(run, arrival);
+      if (!outcome.ok()) return outcome.status();
+      completion = std::max(completion, outcome->completion);
+    }
+  } else {
+    WriteRun run{first, n_blocks, arrival};
+    auto outcome = CompressAndStore(run, arrival);
+    if (!outcome.ok()) return outcome.status();
+    completion = outcome->completion;
+  }
+
+  stats_.write_latency_us.Add(ToMicros(completion - arrival));
+  return completion;
+}
+
+bool Engine::CacheLookup(u64 group_id) {
+  if (config_.cache_groups == 0) return false;
+  auto it = cache_index_.find(group_id);
+  if (it == cache_index_.end()) {
+    ++stats_.cache_misses;
+    return false;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  ++stats_.cache_hits;
+  return true;
+}
+
+void Engine::CacheInsert(u64 group_id) {
+  if (config_.cache_groups == 0) return;
+  if (cache_index_.count(group_id) != 0) return;
+  cache_lru_.push_front(group_id);
+  cache_index_[group_id] = cache_lru_.begin();
+  while (cache_lru_.size() > config_.cache_groups) {
+    cache_index_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+}
+
+void Engine::CacheErase(u64 group_id) {
+  auto it = cache_index_.find(group_id);
+  if (it == cache_index_.end()) return;
+  cache_lru_.erase(it->second);
+  cache_index_.erase(it);
+}
+
+Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
+  if (size == 0) return arrival;
+  EDC_RETURN_IF_ERROR(MaybeIdleFlush(arrival));
+  monitor_.Record(arrival, size);
+  ++stats_.host_reads;
+
+  SimTime ready = arrival;
+  if (config_.use_seq_detector) {
+    if (auto run = seq_.OnRead()) {
+      auto outcome = CompressAndStore(*run, arrival);
+      if (!outcome.ok()) return outcome.status();
+      ready = std::max(ready, outcome->completion);
+    }
+  }
+
+  auto [first, n_blocks] = CoveringBlocks(offset, size);
+  SimTime completion = ready;
+  u64 prev_group = 0;
+  for (u32 i = 0; i < n_blocks; ++i) {
+    auto gid = map_.FindGroupId(first + i);
+    if (!gid) {
+      ++stats_.unmapped_block_reads;
+      continue;
+    }
+    if (*gid == prev_group) continue;  // group already fetched
+    prev_group = *gid;
+    const GroupInfo& g = map_.Group(*gid);
+
+    if (CacheLookup(*gid)) {
+      continue;  // served from the DRAM group cache: no device, no CPU
+    }
+
+    auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
+    auto io = device_->Read(first_page, n_pages, ready);
+    if (!io.ok()) return io.status();
+    SimTime t = io->completion;
+
+    if (g.tag != codec::CodecId::kStore && cost_model_ != nullptr) {
+      const std::size_t orig =
+          static_cast<std::size_t>(g.orig_blocks) * kLogicalBlockSize;
+      SimTime dt = cost_model_->DecompressTime(
+          g.tag, generator_->KindForLba(g.first_lba), orig);
+      t = RunOnCpu(t, dt);
+    }
+    CacheInsert(*gid);
+    completion = std::max(completion, t);
+  }
+
+  stats_.read_latency_us.Add(ToMicros(completion - arrival));
+  return completion;
+}
+
+Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {
+  if (size == 0) return arrival;
+  auto [first, n_blocks] = CoveringBlocks(offset, size);
+
+  SimTime ready = arrival;
+  if (config_.use_seq_detector && seq_.has_pending()) {
+    // Flush first if the discard overlaps the pending merge run; a
+    // non-overlapping discard leaves the run merging.
+    const WriteRun& p = seq_.pending();
+    bool overlap = first < p.first_block + p.n_blocks &&
+                   p.first_block < first + n_blocks;
+    if (overlap) {
+      auto run = seq_.Flush();
+      auto outcome = CompressAndStore(*run, arrival);
+      if (!outcome.ok()) return outcome.status();
+      ready = outcome->completion;
+    }
+  }
+
+  for (u32 i = 0; i < n_blocks; ++i) {
+    Lba lba = first + i;
+    if (auto dead = map_.Release(lba)) {
+      payloads_.erase(*dead);
+      CacheErase(*dead);
+    }
+    versions_.erase(lba);
+    ++stats_.trimmed_blocks;
+  }
+  return ready;
+}
+
+Result<SimTime> Engine::FlushPending(SimTime now) {
+  SimTime completion = now;
+  if (config_.use_seq_detector) {
+    if (auto run = seq_.Flush()) {
+      auto outcome = CompressAndStore(*run, now);
+      if (!outcome.ok()) return outcome.status();
+      completion = outcome->completion;
+    }
+  }
+  // Flush the partially-filled open page, if any.
+  u64 partial_pages =
+      (map_.allocator().bump_used() + kQuantaPerBlock - 1) / kQuantaPerBlock;
+  if (partial_pages > flushed_frontier_page_) {
+    auto io = device_->WriteModeled(
+        flushed_frontier_page_, partial_pages - flushed_frontier_page_,
+        completion);
+    if (!io.ok()) return io.status();
+    flushed_frontier_page_ = partial_pages;
+    completion = io->completion;
+  }
+  return completion;
+}
+
+
+namespace {
+constexpr u32 kStateMagic = 0x53434445;  // "EDCS"
+constexpr u64 kStateVersion = 1;
+}  // namespace
+
+Result<Bytes> Engine::SaveState() const {
+  if (seq_.has_pending()) {
+    return Status::FailedPrecondition(
+        "engine: flush the pending merge run before SaveState");
+  }
+  Bytes out;
+  PutU32Le(&out, kStateMagic);
+  PutVarint(&out, kStateVersion);
+
+  Bytes map_image = map_.Serialize();
+  PutVarint(&out, map_image.size());
+  out.insert(out.end(), map_image.begin(), map_image.end());
+
+  PutVarint(&out, versions_.size());
+  for (const auto& [lba, version] : versions_) {
+    PutVarint(&out, lba);
+    PutVarint(&out, version);
+  }
+
+  PutVarint(&out, payloads_.size());
+  for (const auto& [gid, frame] : payloads_) {
+    PutVarint(&out, gid);
+    PutVarint(&out, frame.size());
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+
+  PutU32Le(&out, Crc32(out));
+  return out;
+}
+
+Status Engine::RestoreState(ByteSpan image) {
+  if (image.size() < 8) return Status::DataLoss("engine: image too short");
+  ByteSpan body = image.first(image.size() - 4);
+  std::size_t crc_pos = image.size() - 4;
+  auto stored_crc = GetU32Le(image, &crc_pos);
+  if (!stored_crc.ok()) return stored_crc.status();
+  if (Crc32(body) != *stored_crc) {
+    return Status::DataLoss("engine: state CRC mismatch");
+  }
+
+  std::size_t pos = 0;
+  auto magic = GetU32Le(body, &pos);
+  if (!magic.ok()) return magic.status();
+  if (*magic != kStateMagic) return Status::DataLoss("engine: bad magic");
+  auto version = GetVarint(body, &pos);
+  if (!version.ok()) return version.status();
+  if (*version != kStateVersion) {
+    return Status::DataLoss("engine: unsupported state version");
+  }
+
+  auto map_len = GetVarint(body, &pos);
+  if (!map_len.ok()) return map_len.status();
+  if (pos + *map_len > body.size()) {
+    return Status::DataLoss("engine: truncated map image");
+  }
+  auto map = BlockMap::Deserialize(body.subspan(pos, *map_len));
+  if (!map.ok()) return map.status();
+  pos += *map_len;
+
+  std::unordered_map<Lba, u64> versions;
+  auto n_versions = GetVarint(body, &pos);
+  if (!n_versions.ok()) return n_versions.status();
+  for (u64 i = 0; i < *n_versions; ++i) {
+    auto lba = GetVarint(body, &pos);
+    auto ver = GetVarint(body, &pos);
+    if (!lba.ok() || !ver.ok()) {
+      return Status::DataLoss("engine: truncated version record");
+    }
+    versions[*lba] = *ver;
+  }
+
+  std::unordered_map<u64, Bytes> payloads;
+  auto n_payloads = GetVarint(body, &pos);
+  if (!n_payloads.ok()) return n_payloads.status();
+  for (u64 i = 0; i < *n_payloads; ++i) {
+    auto gid = GetVarint(body, &pos);
+    auto len = GetVarint(body, &pos);
+    if (!gid.ok() || !len.ok() || pos + *len > body.size()) {
+      return Status::DataLoss("engine: truncated payload record");
+    }
+    payloads[*gid] = Bytes(body.begin() + static_cast<std::ptrdiff_t>(pos),
+                           body.begin() +
+                               static_cast<std::ptrdiff_t>(pos + *len));
+    pos += *len;
+  }
+
+  map_ = std::move(*map);
+  versions_ = std::move(versions);
+  payloads_ = std::move(payloads);
+  cache_lru_.clear();
+  cache_index_.clear();
+  // Clean-shutdown semantics: everything in the image was flushed.
+  flushed_frontier_page_ =
+      (map_.allocator().bump_used() + kQuantaPerBlock - 1) /
+      kQuantaPerBlock;
+  return Status::Ok();
+}
+
+Result<Bytes> Engine::ReadBlockData(Lba block) {
+  if (config_.mode != ExecutionMode::kFunctional) {
+    return Status::FailedPrecondition(
+        "data reads require functional mode");
+  }
+  // Pending (still merging) blocks live in the DRAM buffer: serve them
+  // from the generator, as a real write-back buffer would.
+  if (seq_.has_pending()) {
+    const WriteRun& p = seq_.pending();
+    if (block >= p.first_block && block < p.first_block + p.n_blocks) {
+      return ExpectedBlockData(block);
+    }
+  }
+  auto gid = map_.FindGroupId(block);
+  if (!gid) return Bytes(kLogicalBlockSize, 0);
+  auto it = payloads_.find(*gid);
+  if (it == payloads_.end()) {
+    return Status::Internal("missing payload for live group");
+  }
+  auto content = codec::FrameDecompress(it->second);
+  if (!content.ok()) return content.status();
+  const GroupInfo& g = map_.Group(*gid);
+  std::size_t index = static_cast<std::size_t>(block - g.first_lba);
+  std::size_t off = index * kLogicalBlockSize;
+  if (off + kLogicalBlockSize > content->size()) {
+    return Status::DataLoss("group payload shorter than expected");
+  }
+  return Bytes(content->begin() + static_cast<std::ptrdiff_t>(off),
+               content->begin() +
+                   static_cast<std::ptrdiff_t>(off + kLogicalBlockSize));
+}
+
+Bytes Engine::ExpectedBlockData(Lba block) const {
+  auto it = versions_.find(block);
+  if (it == versions_.end()) return Bytes(kLogicalBlockSize, 0);
+  return generator_->Generate(block, it->second, kLogicalBlockSize);
+}
+
+}  // namespace edc::core

@@ -1,0 +1,209 @@
+// The EDC engine: the paper's three modules wired together on the I/O path.
+//
+//   Workload Monitor  -> calculated IOPS (4 KiB-normalized, 1 s window)
+//   Compression Engine-> estimator gate + elastic codec selection +
+//                        Sequentiality-Detector write merging
+//   Request Distributer-> issues page I/O to the Device (SSD or RAIS)
+//
+// Temporal model (documented in DESIGN.md §5):
+//  * The compression contexts (one per configured core) and the device
+//    are FIFO resources; work is dispatched to the earliest-free context.
+//  * A write completes when the data reaches the merge buffer AND every
+//    compression/flush operation it triggered has completed — so slow
+//    codecs build queueing delay under bursts, the paper's central effect.
+//  * A read first forces the pending merge run out (Fig. 7), then reads
+//    the covering flash pages and decompresses.
+//
+// Content model: write payloads are synthesized per (lba, version) by the
+// deterministic SDGen-like generator, so functional mode can verify every
+// read end to end; modeled mode charges calibrated codec costs instead and
+// re-checks a sampled subset against the real codecs.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "codec/container.hpp"
+#include "datagen/generator.hpp"
+#include "edc/cost_model.hpp"
+#include "edc/estimator.hpp"
+#include "edc/mapping.hpp"
+#include "edc/monitor.hpp"
+#include "edc/policy.hpp"
+#include "edc/seqdetect.hpp"
+#include "ssd/device.hpp"
+
+namespace edc::core {
+
+enum class ExecutionMode {
+  kFunctional,  // real payloads through real codecs; verifiable reads
+  kModeled,     // calibrated costs; fast enough for full-length traces
+};
+
+/// How much flash space a compressed group reserves (ablation knob; the
+/// paper's design is the 25/50/75/100% size-class grid).
+enum class AllocPolicy {
+  kSizeClass,   // the paper's 25/50/75/100% classes
+  kExactQuanta, // ceil to 1 KiB quanta (minimal space, fragments)
+  kWholePage,   // always the full original size (no space saving
+                // from sub-page placement; write-traffic saving only)
+};
+
+struct EngineConfig {
+  Scheme scheme = Scheme::kEdc;
+  ElasticParams elastic;       // used when scheme == kEdc
+  MonitorConfig monitor;
+  EstimatorConfig estimator;
+  SeqDetectorConfig seq;
+  /// SD write merging; the paper enables it for EDC. Fixed baselines
+  /// compress each request as one unit (products' behaviour).
+  bool use_seq_detector = true;
+  ExecutionMode mode = ExecutionMode::kFunctional;
+  AllocPolicy alloc_policy = AllocPolicy::kSizeClass;
+  /// LRU cache of decompressed groups in host DRAM: reads that hit skip
+  /// both the device fetch and the decompression (0 disables). Groups are
+  /// immutable once written, so the cache never serves stale data.
+  std::size_t cache_groups = 0;
+  /// Parallel compression contexts (the paper's multi-core observation):
+  /// each context is an independent FIFO CPU; work goes to the earliest
+  /// available one.
+  u32 cpu_contexts = 1;
+  /// In modeled mode, run the real codec on every Nth group as a
+  /// calibration drift check (0 disables).
+  u32 modeled_check_interval = 0;
+};
+
+struct EngineStats {
+  u64 host_writes = 0;
+  u64 host_reads = 0;
+  u64 logical_bytes_written = 0;
+  u64 groups_written = 0;
+  u64 merged_blocks = 0;  // blocks that entered groups of size > 1
+  u64 blocks_skipped_content = 0;
+  u64 blocks_skipped_intensity = 0;
+  std::array<u64, codec::kMaxCodecId + 1> groups_by_codec{};
+  u64 compressed_bytes_total = 0;  // payload bytes (post-codec)
+  u64 allocated_bytes_total = 0;   // class-rounded flash bytes
+  u64 unmapped_block_reads = 0;
+  u64 trimmed_blocks = 0;
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
+  /// Total simulated CPU time spent compressing/decompressing (energy
+  /// experiments charge cpu_watts over this).
+  SimTime cpu_busy_time = 0;
+  RunningStats write_latency_us;
+  RunningStats read_latency_us;
+  /// Modeled-vs-real drift check (modeled mode only).
+  u64 drift_checks = 0;
+  double drift_abs_error_sum = 0;
+
+  /// Cumulative compression ratio over everything written
+  /// (original / allocated) — the paper's Fig. 8 metric.
+  double cumulative_ratio() const {
+    return allocated_bytes_total == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes_written) /
+                     static_cast<double>(allocated_bytes_total);
+  }
+};
+
+class Engine {
+ public:
+  /// `device` and `generator` must outlive the engine. `cost_model` is
+  /// required in modeled mode; in functional mode it (optionally) supplies
+  /// simulated CPU times — without it, compression is charged zero
+  /// simulated time (fine for correctness tests).
+  Engine(const EngineConfig& config, ssd::Device* device,
+         const datagen::ContentGenerator* generator,
+         const CostModel* cost_model);
+
+  /// Host write of [offset, offset+size); returns the completion time.
+  Result<SimTime> Write(SimTime arrival, u64 offset, u32 size);
+
+  /// Host read; returns the completion time. In functional mode the data
+  /// is internally decompressed and integrity-checked against the mapping.
+  Result<SimTime> Read(SimTime arrival, u64 offset, u32 size);
+
+  /// Host discard (TRIM) of [offset, offset+size): releases the blocks
+  /// from the mapping — freeing a group's flash extent when its last live
+  /// member goes — and makes the blocks read as zeros. Metadata-only.
+  Result<SimTime> Trim(SimTime arrival, u64 offset, u32 size);
+
+  /// Flush the pending SD run (end of trace / idle timeout).
+  Result<SimTime> FlushPending(SimTime now);
+
+  /// Functional-mode data read of one block, bypassing timing: what a host
+  /// would get back. Zero-filled for never-written blocks.
+  Result<Bytes> ReadBlockData(Lba block);
+
+  /// The content the generator would produce for the block's latest
+  /// version — the expected value for ReadBlockData (test oracle).
+  Bytes ExpectedBlockData(Lba block) const;
+
+  /// Persist the engine's durable state — mapping table, per-block write
+  /// versions and (functional mode) the stored compressed frames — into
+  /// one CRC-protected image. The pending merge buffer must be empty
+  /// (call FlushPending first); clean-shutdown semantics.
+  Result<Bytes> SaveState() const;
+
+  /// Restore a SaveState image onto this engine (typically freshly
+  /// constructed with the same configuration and content seed). Replaces
+  /// the mapping, versions and payload store; resets caches.
+  Status RestoreState(ByteSpan image);
+
+  const EngineStats& stats() const { return stats_; }
+  const BlockMap& map() const { return map_; }
+  WorkloadMonitor& monitor() { return monitor_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct GroupOutcome {
+    SimTime completion = 0;
+  };
+
+  /// Compress one write run and issue it to the device.
+  Result<GroupOutcome> CompressAndStore(const WriteRun& run, SimTime ready);
+
+  /// Flush a pending run that has sat in the merge buffer past the idle
+  /// timeout (charged at its deadline, during the idle gap).
+  Status MaybeIdleFlush(SimTime arrival);
+
+  /// Concatenated current content of a run (functional mode).
+  Bytes MaterializeRun(const WriteRun& run) const;
+
+  datagen::ChunkKind KindOfRun(const WriteRun& run) const;
+
+  EngineConfig config_;
+  ssd::Device* device_;
+  const datagen::ContentGenerator* generator_;
+  const CostModel* cost_model_;
+
+  std::unique_ptr<CompressionPolicy> policy_;
+  WorkloadMonitor monitor_;
+  CompressibilityEstimator estimator_;
+  SequentialityDetector seq_;
+  BlockMap map_;
+
+  /// LRU group cache bookkeeping (ids only; in functional mode content is
+  /// already resident in payloads_, in modeled mode only timing matters).
+  bool CacheLookup(u64 group_id);
+  void CacheInsert(u64 group_id);
+  void CacheErase(u64 group_id);
+
+  /// Run `duration` of CPU work on the earliest-free compression context
+  /// starting no sooner than `ready`; returns the completion time.
+  SimTime RunOnCpu(SimTime ready, SimTime duration);
+
+  std::unordered_map<Lba, u64> versions_;
+  std::unordered_map<u64, Bytes> payloads_;  // group id -> framed bytes
+  std::list<u64> cache_lru_;                 // front = most recent
+  std::unordered_map<u64, std::list<u64>::iterator> cache_index_;
+  std::vector<SimTime> cpu_contexts_busy_;   // per-context busy-until
+  /// Device pages below this index have been programmed (write-buffer
+  /// packing: sub-page groups share one flash page and are flushed when
+  /// the page fills — see DESIGN.md §5).
+  u64 flushed_frontier_page_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace edc::core

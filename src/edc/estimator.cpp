@@ -1,0 +1,137 @@
+#include "edc/estimator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "codec/codec.hpp"
+#include "common/hash.hpp"
+
+namespace edc::core {
+namespace {
+
+/// Mean per-window byte entropy, bits per byte. Windows are scored
+/// independently and averaged: a merged run mixing compressible and
+/// random blocks then scores as the *mean* of its parts, where a pooled
+/// histogram would be flattened by the random part and overestimate.
+double SampleEntropy(ByteSpan block, u32 windows, u32 window_bytes) {
+  std::size_t stride =
+      windows > 0 ? std::max<std::size_t>(block.size() / windows, 1) : 1;
+  double sum = 0.0;
+  u32 scored = 0;
+  for (u32 w = 0; w < windows; ++w) {
+    std::size_t start = w * stride;
+    if (start >= block.size()) break;
+    std::size_t len = std::min<std::size_t>(window_bytes,
+                                            block.size() - start);
+    if (len == 0) break;
+    std::array<u32, 256> counts{};
+    for (std::size_t i = 0; i < len; ++i) {
+      ++counts[block[start + i]];
+    }
+    double h = 0.0;
+    for (u32 c : counts) {
+      if (c == 0) continue;
+      double p = static_cast<double>(c) / static_cast<double>(len);
+      h -= p * std::log2(p);
+    }
+    sum += h;
+    ++scored;
+  }
+  return scored == 0 ? 8.0 : sum / scored;
+}
+
+/// Fraction of 4-byte positions inside the samples whose hash repeats —
+/// a micro-probe of LZ match density without producing output.
+double SampleMatchDensity(ByteSpan block, u32 windows, u32 window_bytes) {
+  constexpr std::size_t kProbeLog = 10;
+  std::array<u32, std::size_t{1} << kProbeLog> table{};
+  u32 probes = 0, hits = 0;
+  std::size_t stride =
+      windows > 0 ? std::max<std::size_t>(block.size() / windows, 1) : 1;
+  u32 marker = 0;
+  for (u32 w = 0; w < windows; ++w) {
+    std::size_t start = w * stride;
+    if (start + 4 > block.size()) break;
+    std::size_t len = std::min<std::size_t>(window_bytes,
+                                            block.size() - start);
+    for (std::size_t i = 0; i + 4 <= len; i += 2) {
+      const u8* p = block.data() + start + i;
+      u32 v = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+              (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+      u32 h = Mix32(v);
+      u32 slot = h >> (32 - kProbeLog);
+      // Store a value-tag to distinguish hash collisions from matches.
+      u32 tag = (h << 8) | 1u;
+      ++probes;
+      if (table[slot] == tag) ++hits;
+      table[slot] = tag;
+      ++marker;
+    }
+  }
+  (void)marker;
+  if (probes == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(probes);
+}
+
+}  // namespace
+
+CompressibilityEstimator::CompressibilityEstimator(
+    const EstimatorConfig& config)
+    : config_(config) {}
+
+namespace {
+
+/// Compress evenly-spread slices totalling ~probe_bytes with LZF and use
+/// the achieved fraction directly.
+double PrefixProbeFraction(ByteSpan block, u32 probe_bytes) {
+  const codec::Codec& lzf = codec::GetCodec(codec::CodecId::kLzf);
+  std::size_t take = std::min<std::size_t>(probe_bytes, block.size());
+  // Probe the head and (when the block is larger) a middle slice, so a
+  // compressible header on an otherwise random block doesn't mislead.
+  Bytes probe(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(
+                                                 take / 2 + take % 2));
+  if (block.size() > take) {
+    std::size_t mid = block.size() / 2;
+    probe.insert(probe.end(),
+                 block.begin() + static_cast<std::ptrdiff_t>(mid),
+                 block.begin() + static_cast<std::ptrdiff_t>(
+                                     mid + take / 2));
+  } else {
+    probe.assign(block.begin(), block.end());
+  }
+  Bytes out;
+  if (!lzf.Compress(probe, &out).ok() || probe.empty()) return 1.0;
+  double f = static_cast<double>(out.size()) /
+             static_cast<double>(probe.size());
+  // LZF underperforms the actual codecs on compressible data; discount
+  // mildly so the gate's 75% rule lines up with gzip's behaviour.
+  return std::clamp(f * 0.95, 0.02, 1.05);
+}
+
+}  // namespace
+
+double CompressibilityEstimator::EstimateCompressedFraction(
+    ByteSpan block) const {
+  if (block.empty()) return 1.0;
+  if (config_.kind == EstimatorKind::kPrefixProbe) {
+    return PrefixProbeFraction(block, config_.probe_bytes);
+  }
+  // Scale the window count with the input so merged runs are sampled per
+  // member block, not just at four spots.
+  u32 windows = std::max<u32>(
+      config_.sample_windows,
+      static_cast<u32>(block.size() / (2 * kLogicalBlockSize)));
+  double entropy = SampleEntropy(block, windows, config_.window_bytes);
+  double match = SampleMatchDensity(block, windows, config_.window_bytes);
+
+  // Entropy alone bounds the best case of an order-0 coder (entropy/8);
+  // LZ does better when matches are dense. Empirical blend, validated by
+  // the estimator tests against real codec output on the datagen corpora:
+  // start from the order-0 bound and discount it by match density.
+  double order0 = entropy / 8.0;
+  double est = order0 * (1.0 - 0.75 * match) + 0.05;
+  return std::clamp(est, 0.02, 1.05);
+}
+
+}  // namespace edc::core

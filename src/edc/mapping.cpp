@@ -1,0 +1,329 @@
+#include "edc/mapping.hpp"
+
+#include <algorithm>
+
+#include "common/crc32.hpp"
+#include "common/varint.hpp"
+
+namespace edc::core {
+
+u32 SizeClassQuanta(std::size_t compressed_bytes, u32 orig_blocks) {
+  // Class grid: {25%, 50%, 75%, 100%} of the original size, i.e. multiples
+  // of orig_blocks quanta.
+  const u64 step_bytes =
+      static_cast<u64>(orig_blocks) * kQuantumBytes;  // 25% of original
+  u64 classes = (compressed_bytes + step_bytes - 1) / step_bytes;
+  classes = std::clamp<u64>(classes, 1, kQuantaPerBlock);
+  return static_cast<u32>(classes * orig_blocks);
+}
+
+QuantumAllocator::QuantumAllocator(u64 total_quanta) : total_(total_quanta) {}
+
+Result<u64> QuantumAllocator::Allocate(u32 len) {
+  if (len == 0) return Status::InvalidArgument("allocator: zero-length");
+  len = RoundedLen(len);
+
+  // Exact-fit free list.
+  if (len < free_lists_.size() && !free_lists_[len].empty()) {
+    u64 start = free_lists_[len].back();
+    free_lists_[len].pop_back();
+    allocated_ += len;
+    return start;
+  }
+
+  // Bump allocation, padding to keep the invariants (sub-page extents
+  // in-page; multi-page extents page aligned). The padding gap joins the
+  // free lists for later sub-page requests.
+  {
+    u32 in_page = static_cast<u32>(bump_ % kQuantaPerBlock);
+    u32 pad = 0;
+    if (len > kQuantaPerBlock || in_page + len > kQuantaPerBlock) {
+      pad = in_page == 0 ? 0 : kQuantaPerBlock - in_page;
+    }
+    if (bump_ + pad + len <= total_) {
+      if (pad > 0) PushFree(bump_, pad);
+      u64 start = bump_ + pad;
+      bump_ = start + len;
+      allocated_ += len;
+      return start;
+    }
+  }
+
+  // Split a larger free extent. Both invariants are preserved: sub-page
+  // parents yield sub-page children within the same page; page-multiple
+  // parents split into a front piece, an in-page remainder and whole
+  // pages.
+  for (std::size_t sz = len + 1; sz < free_lists_.size(); ++sz) {
+    if (free_lists_[sz].empty()) continue;
+    u64 start = free_lists_[sz].back();
+    free_lists_[sz].pop_back();
+    u64 tail = start + len;
+    u32 tail_len = static_cast<u32>(sz - len);
+    // In-page remainder up to the next page boundary, then whole pages.
+    u32 to_boundary = static_cast<u32>(
+        (kQuantaPerBlock - (tail % kQuantaPerBlock)) % kQuantaPerBlock);
+    u32 first_piece = std::min(tail_len, to_boundary);
+    if (first_piece > 0) PushFree(tail, first_piece);
+    if (tail_len > first_piece) {
+      PushFree(tail + first_piece, tail_len - first_piece);
+    }
+    allocated_ += len;
+    return start;
+  }
+  return Status::ResourceExhausted("allocator: out of quanta");
+}
+
+void QuantumAllocator::PushFree(u64 start, u32 len) {
+  if (len == 0) return;
+  if (free_lists_.size() <= len) free_lists_.resize(len + 1);
+  free_lists_[len].push_back(start);
+}
+
+void QuantumAllocator::Free(u64 start, u32 len) {
+  PushFree(start, len);
+  allocated_ -= len;
+}
+
+void QuantumAllocator::SaveTo(Bytes* out) const {
+  PutVarint(out, total_);
+  PutVarint(out, bump_);
+  PutVarint(out, allocated_);
+  u64 nonempty = 0;
+  for (const auto& list : free_lists_) nonempty += !list.empty();
+  PutVarint(out, nonempty);
+  for (std::size_t len = 0; len < free_lists_.size(); ++len) {
+    if (free_lists_[len].empty()) continue;
+    PutVarint(out, len);
+    PutVarint(out, free_lists_[len].size());
+    for (u64 start : free_lists_[len]) PutVarint(out, start);
+  }
+}
+
+Result<QuantumAllocator> QuantumAllocator::Load(ByteSpan data,
+                                                std::size_t* pos) {
+  auto total = GetVarint(data, pos);
+  if (!total.ok()) return total.status();
+  QuantumAllocator alloc(*total);
+  auto bump = GetVarint(data, pos);
+  if (!bump.ok()) return bump.status();
+  auto allocated = GetVarint(data, pos);
+  if (!allocated.ok()) return allocated.status();
+  if (*bump > *total || *allocated > *total) {
+    return Status::DataLoss("allocator: inconsistent sizes");
+  }
+  alloc.bump_ = *bump;
+  alloc.allocated_ = *allocated;
+  auto nonempty = GetVarint(data, pos);
+  if (!nonempty.ok()) return nonempty.status();
+  for (u64 i = 0; i < *nonempty; ++i) {
+    auto len = GetVarint(data, pos);
+    if (!len.ok()) return len.status();
+    auto count = GetVarint(data, pos);
+    if (!count.ok()) return count.status();
+    if (*len == 0 || *len > *total || *count > *total) {
+      return Status::DataLoss("allocator: bad free-list entry");
+    }
+    for (u64 j = 0; j < *count; ++j) {
+      auto start = GetVarint(data, pos);
+      if (!start.ok()) return start.status();
+      if (*start + *len > *total) {
+        return Status::DataLoss("allocator: free extent out of range");
+      }
+      alloc.PushFree(*start, static_cast<u32>(*len));
+    }
+  }
+  return alloc;
+}
+
+BlockMap::BlockMap(u64 total_quanta) : allocator_(total_quanta) {}
+
+Result<u64> BlockMap::Install(Lba first_lba, u32 n_blocks,
+                              codec::CodecId tag,
+                              std::size_t compressed_bytes,
+                              u32 alloc_quanta,
+                              std::vector<u64>* freed_groups) {
+  if (n_blocks == 0) return Status::InvalidArgument("blockmap: empty group");
+  if (n_blocks > 64) {
+    return Status::InvalidArgument("blockmap: group exceeds 64 blocks");
+  }
+  if (compressed_bytes >
+      static_cast<std::size_t>(alloc_quanta) * kQuantumBytes) {
+    return Status::InvalidArgument(
+        "blockmap: payload exceeds allocated quanta");
+  }
+  alloc_quanta = QuantumAllocator::RoundedLen(alloc_quanta);
+  auto start = allocator_.Allocate(alloc_quanta);
+  if (!start.ok()) return start.status();
+
+  // Supersede any previous mapping of the member blocks.
+  for (u32 i = 0; i < n_blocks; ++i) {
+    auto freed = Release(first_lba + i);
+    if (freed && freed_groups != nullptr) {
+      freed_groups->push_back(*freed);
+    }
+  }
+
+  u64 id = next_group_id_++;
+  GroupInfo g;
+  g.start_quantum = *start;
+  g.quanta = alloc_quanta;
+  g.orig_blocks = n_blocks;
+  g.live_blocks = n_blocks;
+  g.live_mask = n_blocks >= 64 ? ~u64{0} : ((u64{1} << n_blocks) - 1);
+  g.compressed_bytes = static_cast<u32>(compressed_bytes);
+  g.first_lba = first_lba;
+  g.tag = tag;
+  groups_.emplace(id, g);
+  for (u32 i = 0; i < n_blocks; ++i) {
+    block_to_group_[first_lba + i] = id;
+  }
+  live_logical_bytes_ +=
+      static_cast<u64>(n_blocks) * kLogicalBlockSize;
+  return id;
+}
+
+std::optional<GroupInfo> BlockMap::Find(Lba lba) const {
+  auto it = block_to_group_.find(lba);
+  if (it == block_to_group_.end()) return std::nullopt;
+  return groups_.at(it->second);
+}
+
+std::optional<u64> BlockMap::FindGroupId(Lba lba) const {
+  auto it = block_to_group_.find(lba);
+  if (it == block_to_group_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<u64> BlockMap::Release(Lba lba) {
+  auto it = block_to_group_.find(lba);
+  if (it == block_to_group_.end()) return std::nullopt;
+  u64 group_id = it->second;
+  bool died = ReleaseFromGroup(lba, group_id);
+  block_to_group_.erase(it);
+  if (died) return group_id;
+  return std::nullopt;
+}
+
+bool BlockMap::ReleaseFromGroup(Lba lba, u64 group_id) {
+  auto git = groups_.find(group_id);
+  if (git == groups_.end()) return false;
+  GroupInfo& g = git->second;
+  --g.live_blocks;
+  g.live_mask &= ~(u64{1} << (lba - g.first_lba));
+  live_logical_bytes_ -= kLogicalBlockSize;
+  if (g.live_blocks == 0) {
+    allocator_.Free(g.start_quantum, g.quanta);
+    groups_.erase(git);
+    return true;
+  }
+  return false;
+}
+
+
+
+namespace {
+constexpr u32 kMapMagic = 0x4D434445;  // "EDCM"
+constexpr u64 kMapVersion = 1;
+}  // namespace
+
+Bytes BlockMap::Serialize() const {
+  Bytes out;
+  PutU32Le(&out, kMapMagic);
+  PutVarint(&out, kMapVersion);
+  allocator_.SaveTo(&out);
+  PutVarint(&out, next_group_id_);
+  PutVarint(&out, groups_.size());
+  for (const auto& [id, g] : groups_) {
+    PutVarint(&out, id);
+    PutVarint(&out, g.start_quantum);
+    PutVarint(&out, g.quanta);
+    PutVarint(&out, g.orig_blocks);
+    PutVarint(&out, g.live_mask);
+    PutVarint(&out, g.compressed_bytes);
+    PutVarint(&out, g.first_lba);
+    out.push_back(static_cast<u8>(g.tag));
+  }
+  PutU32Le(&out, Crc32(out));
+  return out;
+}
+
+Result<BlockMap> BlockMap::Deserialize(ByteSpan image) {
+  if (image.size() < 8) return Status::DataLoss("blockmap: image too short");
+  // CRC covers everything before the trailing 4 bytes.
+  ByteSpan body = image.first(image.size() - 4);
+  std::size_t crc_pos = image.size() - 4;
+  auto stored_crc = GetU32Le(image, &crc_pos);
+  if (!stored_crc.ok()) return stored_crc.status();
+  if (Crc32(body) != *stored_crc) {
+    return Status::DataLoss("blockmap: CRC mismatch");
+  }
+
+  std::size_t pos = 0;
+  auto magic = GetU32Le(body, &pos);
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMapMagic) return Status::DataLoss("blockmap: bad magic");
+  auto version = GetVarint(body, &pos);
+  if (!version.ok()) return version.status();
+  if (*version != kMapVersion) {
+    return Status::DataLoss("blockmap: unsupported version");
+  }
+
+  auto alloc = QuantumAllocator::Load(body, &pos);
+  if (!alloc.ok()) return alloc.status();
+  BlockMap map(alloc->total_quanta());
+  map.allocator_ = std::move(*alloc);
+
+  auto next_id = GetVarint(body, &pos);
+  if (!next_id.ok()) return next_id.status();
+  map.next_group_id_ = *next_id;
+  auto count = GetVarint(body, &pos);
+  if (!count.ok()) return count.status();
+
+  for (u64 i = 0; i < *count; ++i) {
+    auto id = GetVarint(body, &pos);
+    auto start = GetVarint(body, &pos);
+    auto quanta = GetVarint(body, &pos);
+    auto orig_blocks = GetVarint(body, &pos);
+    auto live_mask = GetVarint(body, &pos);
+    auto compressed_bytes = GetVarint(body, &pos);
+    auto first_lba = GetVarint(body, &pos);
+    if (!id.ok() || !start.ok() || !quanta.ok() || !orig_blocks.ok() ||
+        !live_mask.ok() || !compressed_bytes.ok() || !first_lba.ok()) {
+      return Status::DataLoss("blockmap: truncated group record");
+    }
+    if (pos >= body.size()) {
+      return Status::DataLoss("blockmap: missing tag byte");
+    }
+    u8 tag = body[pos++];
+    if (tag > codec::kMaxCodecId) {
+      return Status::DataLoss("blockmap: bad tag");
+    }
+    if (*orig_blocks == 0 || *orig_blocks > 64) {
+      return Status::DataLoss("blockmap: bad group size");
+    }
+
+    GroupInfo g;
+    g.start_quantum = *start;
+    g.quanta = static_cast<u32>(*quanta);
+    g.orig_blocks = static_cast<u32>(*orig_blocks);
+    g.live_mask = *live_mask;
+    g.live_blocks = static_cast<u32>(__builtin_popcountll(*live_mask));
+    g.compressed_bytes = static_cast<u32>(*compressed_bytes);
+    g.first_lba = *first_lba;
+    g.tag = static_cast<codec::CodecId>(tag);
+    if (g.live_blocks == 0 || g.live_blocks > g.orig_blocks) {
+      return Status::DataLoss("blockmap: inconsistent live mask");
+    }
+    map.groups_.emplace(*id, g);
+    for (u32 b = 0; b < g.orig_blocks; ++b) {
+      if (g.live_mask & (u64{1} << b)) {
+        map.block_to_group_[g.first_lba + b] = *id;
+      }
+    }
+    map.live_logical_bytes_ +=
+        static_cast<u64>(g.live_blocks) * kLogicalBlockSize;
+  }
+  return map;
+}
+
+}  // namespace edc::core

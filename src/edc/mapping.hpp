@@ -1,0 +1,158 @@
+// Compressed-block placement (the paper's Fig. 5 data structure).
+//
+// EDC operates on 4 KiB host blocks but stores variable-size compressed
+// output. Space is managed in 1 KiB *quanta* (page_size / 4): a compressed
+// single block is allocated 1, 2, 3 or 4 quanta — the paper's 25/50/75/100%
+// size classes — and a merged run of K blocks is allocated ceil to the same
+// class grid scaled by K. Rounding to classes lets an updated block whose
+// new compressed size lands in the same class be rewritten without
+// relocation, and bounds free-list fragmentation.
+//
+// The BlockMap tracks, per host block: which compression *group* holds it
+// (a group is one compression unit — a single block or an SD-merged run),
+// and each group's extent (start quantum, length), codec Tag, and live
+// member count. When every member of a group has been overwritten or
+// trimmed, its extent is freed.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::core {
+
+inline constexpr std::size_t kQuantumBytes = kLogicalBlockSize / 4;  // 1 KiB
+inline constexpr u32 kQuantaPerBlock = 4;
+
+/// Round a compressed size up to the paper's size-class grid for a group
+/// of `orig_blocks` host blocks: multiples of orig_blocks quanta
+/// (25/50/75/100% of the original size). Returns the allocated quantum
+/// count; compressed data larger than 75% of the original should be stored
+/// uncompressed by the caller (class 100%).
+u32 SizeClassQuanta(std::size_t compressed_bytes, u32 orig_blocks);
+
+/// Free-list allocator over a linear quantum address space.
+///
+/// Two invariants keep the flash-page cost of a group minimal:
+///  * sub-page extents (len <= 4 quanta) never straddle a page boundary,
+///    so a compressed single block always costs exactly one flash page;
+///  * multi-page extents (len > 4) are whole-page rounded and page
+///    aligned, so an N-page group costs exactly N page programs.
+/// Boundary padding created by the first rule is pushed onto the free
+/// lists and recycled by later sub-page allocations. Per-size free lists
+/// without coalescing are sufficient because class rounding keeps the
+/// size population tiny — which is the point of the paper's design.
+class QuantumAllocator {
+ public:
+  explicit QuantumAllocator(u64 total_quanta);
+
+  /// Allocate `len` contiguous quanta; returns the start quantum. Lengths
+  /// above one page are rounded up to whole pages internally — query the
+  /// actual reserved size with RoundedLen before accounting.
+  Result<u64> Allocate(u32 len);
+
+  /// The quanta actually reserved for a request of `len`.
+  static u32 RoundedLen(u32 len) {
+    if (len <= kQuantaPerBlock) return len;
+    return (len + kQuantaPerBlock - 1) / kQuantaPerBlock * kQuantaPerBlock;
+  }
+
+  /// Return an extent to the allocator.
+  void Free(u64 start, u32 len);
+
+  u64 total_quanta() const { return total_; }
+  u64 allocated_quanta() const { return allocated_; }
+  /// High-water mark of the bump pointer (address-space consumption).
+  u64 bump_used() const { return bump_; }
+
+  /// Serialize the allocator state (bump pointer + free lists) and the
+  /// exact inverse. Used by BlockMap persistence.
+  void SaveTo(Bytes* out) const;
+  static Result<QuantumAllocator> Load(ByteSpan data, std::size_t* pos);
+
+ private:
+  void PushFree(u64 start, u32 len);
+
+  u64 total_;
+  u64 bump_ = 0;
+  u64 allocated_ = 0;
+  // free_lists_[len] = start quanta of free extents of exactly `len`.
+  std::vector<std::vector<u64>> free_lists_;
+};
+
+/// One compression unit as stored on flash.
+struct GroupInfo {
+  u64 start_quantum = 0;
+  u32 quanta = 0;           // allocated (class-rounded) length
+  u32 orig_blocks = 0;      // host blocks compressed together (<= 64)
+  u32 live_blocks = 0;      // members not yet superseded
+  u64 live_mask = 0;        // bit i: member first_lba+i still live
+  u32 compressed_bytes = 0; // actual payload size (<= quanta * 1 KiB)
+  Lba first_lba = 0;        // first host block of the group
+  codec::CodecId tag = codec::CodecId::kStore;  // the 3-bit Tag field
+};
+
+/// Host-block → group mapping plus group lifecycle and space accounting.
+class BlockMap {
+ public:
+  explicit BlockMap(u64 total_quanta);
+
+  /// Record a new group for host blocks [first_lba, first_lba+n) and
+  /// return its id. Blocks previously mapped elsewhere are released from
+  /// their old groups first (possibly freeing those groups' extents);
+  /// ids of groups freed this way are appended to *freed_groups (may be
+  /// null) so callers can reap per-group payload storage.
+  Result<u64> Install(Lba first_lba, u32 n_blocks, codec::CodecId tag,
+                      std::size_t compressed_bytes, u32 alloc_quanta,
+                      std::vector<u64>* freed_groups = nullptr);
+
+  /// Lookup the group holding a host block.
+  std::optional<GroupInfo> Find(Lba lba) const;
+  /// Group id holding a host block (for callers that key payload stores).
+  std::optional<u64> FindGroupId(Lba lba) const;
+  /// Group info by id (the id must be live).
+  const GroupInfo& Group(u64 group_id) const { return groups_.at(group_id); }
+
+  /// Drop a host block (TRIM); frees the group extent when the last live
+  /// member goes, returning the freed group id in that case.
+  std::optional<u64> Release(Lba lba);
+
+  const QuantumAllocator& allocator() const { return allocator_; }
+
+  /// Persist the whole mapping table (Fig. 5 metadata: group extents,
+  /// Tags, sizes, member liveness) into a CRC-protected byte image, and
+  /// restore it exactly. Group ids are preserved so external payload
+  /// stores keyed by id remain valid.
+  Bytes Serialize() const;
+  static Result<BlockMap> Deserialize(ByteSpan image);
+
+  /// Space accounting for the paper's compression-ratio metric.
+  u64 live_logical_bytes() const { return live_logical_bytes_; }
+  u64 live_allocated_bytes() const {
+    return allocator_.allocated_quanta() * kQuantumBytes;
+  }
+  /// Effective space ratio: logical bytes stored / flash bytes allocated.
+  double effective_ratio() const {
+    u64 alloc = live_allocated_bytes();
+    return alloc == 0 ? 1.0
+                      : static_cast<double>(live_logical_bytes_) /
+                            static_cast<double>(alloc);
+  }
+  std::size_t num_groups() const { return groups_.size(); }
+
+ private:
+  /// Returns true when the group died (its extent was freed).
+  bool ReleaseFromGroup(Lba lba, u64 group_id);
+
+  QuantumAllocator allocator_;
+  std::unordered_map<Lba, u64> block_to_group_;
+  std::unordered_map<u64, GroupInfo> groups_;
+  u64 next_group_id_ = 1;
+  u64 live_logical_bytes_ = 0;
+};
+
+}  // namespace edc::core

@@ -1,0 +1,34 @@
+#include "edc/monitor.hpp"
+
+namespace edc::core {
+
+WorkloadMonitor::WorkloadMonitor(const MonitorConfig& config)
+    : config_(config),
+      window_(config.window),
+      ewma_(config.ewma_alpha) {}
+
+void WorkloadMonitor::Record(SimTime now, u64 bytes) {
+  u64 units = PageUnits(bytes);
+  window_.Add(now, static_cast<double>(units));
+  ++total_requests_;
+  total_page_units_ += units;
+  if (!ewma_.primed() || now - last_update_ >= config_.update_interval) {
+    ewma_.Add(window_.Rate(now));
+    last_update_ = now;
+  }
+}
+
+double WorkloadMonitor::CalculatedIops(SimTime now) {
+  if (!ewma_.primed()) return window_.Rate(now);
+  // Blend the smoothed value with the live window so sudden bursts are
+  // seen quickly (the paper reacts within a burst, not after it).
+  double live = window_.Rate(now);
+  double smooth = ewma_.value();
+  return std::max(live, smooth * 0.5 + live * 0.5);
+}
+
+double WorkloadMonitor::InstantaneousIops(SimTime now) {
+  return window_.Rate(now);
+}
+
+}  // namespace edc::core

@@ -1,0 +1,103 @@
+#include "edc/policy.hpp"
+
+#include <cctype>
+
+namespace edc::core {
+
+PolicyDecision ElasticPolicy::Choose(const PolicyInputs& in) const {
+  PolicyDecision d;
+
+  // Semantic content hints (future work: file-type information) come
+  // first: they settle the compressibility question without sampling.
+  if (params_.use_content_hints && in.content_hint >= 0) {
+    auto kind = static_cast<datagen::ChunkKind>(in.content_hint);
+    if (kind == datagen::ChunkKind::kRandom) {
+      d.codec = codec::CodecId::kStore;
+      d.skipped_for_content = true;
+      return d;
+    }
+    if (kind == datagen::ChunkKind::kZero ||
+        kind == datagen::ChunkKind::kRuns) {
+      // Run-dominated data compresses at near-memcpy speed with any
+      // codec; take the ratio.
+      d.codec = params_.idle_codec;
+      return d;
+    }
+  } else if (params_.use_estimator &&
+             in.est_compressed_fraction >= params_.write_through_fraction) {
+    d.codec = codec::CodecId::kStore;
+    d.skipped_for_content = true;
+    return d;
+  }
+
+  // Fig. 6 feedback: a deep device queue overrides the arrival-rate view.
+  if (params_.backlog_saturate > 0) {
+    if (in.device_backlog >= params_.backlog_saturate) {
+      d.codec = codec::CodecId::kStore;
+      d.skipped_for_intensity = true;
+      return d;
+    }
+    if (in.device_backlog >= params_.backlog_saturate / 2) {
+      d.codec = params_.busy_codec;
+      return d;
+    }
+  }
+
+  if (in.calculated_iops >= params_.saturate_iops) {
+    d.codec = codec::CodecId::kStore;
+    d.skipped_for_intensity = true;
+    return d;
+  }
+  d.codec = in.calculated_iops >= params_.busy_iops ? params_.busy_codec
+                                                    : params_.idle_codec;
+  return d;
+}
+
+std::string_view SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNative: return "Native";
+    case Scheme::kLzf: return "Lzf";
+    case Scheme::kGzip: return "Gzip";
+    case Scheme::kBzip2: return "Bzip2";
+    case Scheme::kEdc: return "EDC";
+  }
+  return "?";
+}
+
+Result<Scheme> SchemeFromName(std::string_view name) {
+  std::string lower;
+  for (char c : name) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "native") return Scheme::kNative;
+  if (lower == "lzf") return Scheme::kLzf;
+  if (lower == "gzip") return Scheme::kGzip;
+  if (lower == "bzip2") return Scheme::kBzip2;
+  if (lower == "edc") return Scheme::kEdc;
+  return Status::InvalidArgument("unknown scheme: " + std::string(name));
+}
+
+std::vector<Scheme> AllSchemes() {
+  return {Scheme::kNative, Scheme::kLzf, Scheme::kGzip, Scheme::kBzip2,
+          Scheme::kEdc};
+}
+
+std::unique_ptr<CompressionPolicy> MakePolicy(Scheme scheme,
+                                              const ElasticParams& edc) {
+  switch (scheme) {
+    case Scheme::kNative:
+      return std::make_unique<NativePolicy>();
+    case Scheme::kLzf:
+      return std::make_unique<FixedPolicy>(codec::CodecId::kLzf);
+    case Scheme::kGzip:
+      return std::make_unique<FixedPolicy>(codec::CodecId::kGzip);
+    case Scheme::kBzip2:
+      return std::make_unique<FixedPolicy>(codec::CodecId::kBzip2);
+    case Scheme::kEdc:
+      return std::make_unique<ElasticPolicy>(edc);
+  }
+  return std::make_unique<NativePolicy>();
+}
+
+}  // namespace edc::core

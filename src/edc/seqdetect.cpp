@@ -1,0 +1,65 @@
+#include "edc/seqdetect.hpp"
+
+#include <algorithm>
+
+namespace edc::core {
+
+SequentialityDetector::SequentialityDetector(const SeqDetectorConfig& config)
+    : config_(config) {}
+
+std::optional<WriteRun> SequentialityDetector::TakePending() {
+  if (pending_.n_blocks == 0) return std::nullopt;
+  WriteRun out = pending_;
+  pending_ = WriteRun{};
+  return out;
+}
+
+std::vector<WriteRun> SequentialityDetector::OnWrite(Lba first, u32 n_blocks,
+                                                     SimTime now) {
+  std::vector<WriteRun> flushed;
+  if (n_blocks == 0) return flushed;
+
+  const bool contiguous =
+      pending_.n_blocks > 0 &&
+      first == pending_.first_block + pending_.n_blocks;
+
+  if (pending_.n_blocks > 0 && !contiguous) {
+    flushed.push_back(*TakePending());
+  }
+
+  if (contiguous) {
+    ++merged_runs_;
+  } else {
+    pending_.first_block = first;
+    pending_.n_blocks = 0;
+  }
+
+  // Absorb the new blocks, emitting full groups whenever the cap fills.
+  Lba cursor = first;
+  u32 remaining = n_blocks;
+  if (pending_.n_blocks == 0) pending_.first_block = cursor;
+  while (remaining > 0) {
+    u32 room = config_.max_merge_blocks - pending_.n_blocks;
+    u32 take = std::min(room, remaining);
+    pending_.n_blocks += take;
+    pending_.last_arrival = now;
+    cursor += take;
+    remaining -= take;
+    if (pending_.n_blocks == config_.max_merge_blocks) {
+      flushed.push_back(*TakePending());
+      pending_.first_block = cursor;
+      pending_.n_blocks = 0;
+    }
+  }
+  return flushed;
+}
+
+std::optional<WriteRun> SequentialityDetector::OnRead() {
+  return TakePending();
+}
+
+std::optional<WriteRun> SequentialityDetector::Flush() {
+  return TakePending();
+}
+
+}  // namespace edc::core

@@ -1,0 +1,61 @@
+#include "edc/stack.hpp"
+
+namespace edc::core {
+
+Result<std::shared_ptr<const CostModel>> Stack::CalibrateCostModel(
+    const StackConfig& config) {
+  auto profile = datagen::ProfileByName(config.content_profile);
+  if (!profile.ok()) return profile.status();
+  datagen::ContentGenerator generator(*profile, config.seed);
+  return std::make_shared<const CostModel>(CostModel::Calibrate(generator));
+}
+
+Result<std::unique_ptr<Stack>> Stack::Create(
+    const StackConfig& config,
+    std::shared_ptr<const CostModel> shared_cost_model) {
+  auto profile = datagen::ProfileByName(config.content_profile);
+  if (!profile.ok()) return profile.status();
+
+  auto stack = std::unique_ptr<Stack>(new Stack());
+  stack->config_ = config;
+  stack->generator_ = std::make_unique<datagen::ContentGenerator>(
+      *profile, config.seed);
+
+  if (shared_cost_model != nullptr) {
+    stack->cost_model_ = std::move(shared_cost_model);
+  } else if (config.mode == ExecutionMode::kModeled) {
+    stack->cost_model_ = std::make_shared<const CostModel>(
+        CostModel::Calibrate(*stack->generator_));
+  }
+
+  if (config.use_rais) {
+    stack->device_ = std::make_unique<ssd::Rais>(config.rais);
+  } else if (config.use_hdd) {
+    stack->device_ = std::make_unique<ssd::Hdd>(config.hdd);
+  } else if (config.use_nvm) {
+    stack->device_ = std::make_unique<ssd::Nvm>(config.nvm);
+  } else {
+    stack->device_ = std::make_unique<ssd::Ssd>(config.ssd);
+  }
+
+  EngineConfig ec;
+  ec.scheme = config.scheme;
+  ec.elastic = config.elastic;
+  ec.monitor = config.monitor;
+  ec.estimator = config.estimator;
+  ec.seq = config.seq;
+  ec.use_seq_detector =
+      config.scheme == Scheme::kEdc && config.use_seq_detector_for_edc;
+  ec.mode = config.mode;
+  ec.alloc_policy = config.alloc_policy;
+  ec.cache_groups = config.cache_groups;
+  ec.cpu_contexts = config.cpu_contexts;
+  ec.modeled_check_interval = config.modeled_check_interval;
+
+  stack->engine_ = std::make_unique<Engine>(
+      ec, stack->device_.get(), stack->generator_.get(),
+      stack->cost_model_.get());
+  return stack;
+}
+
+}  // namespace edc::core

@@ -1,0 +1,76 @@
+// Stack: one fully-wired storage system under test — content generator,
+// cost model, device (SSD or RAIS5) and the EDC engine with a chosen
+// scheme. This is the top-level object examples and benches construct.
+#pragma once
+
+#include <memory>
+
+#include "edc/engine.hpp"
+#include "ssd/hdd.hpp"
+#include "ssd/nvm.hpp"
+#include "ssd/raid.hpp"
+
+namespace edc::core {
+
+struct StackConfig {
+  Scheme scheme = Scheme::kEdc;
+  ElasticParams elastic;
+  ExecutionMode mode = ExecutionMode::kFunctional;
+
+  /// Content profile name (datagen) driving write payloads.
+  std::string content_profile = "usr";
+  u64 seed = 42;
+
+  /// Device: single SSD by default; set use_rais for an array or use_hdd
+  /// for a spinning disk (the paper's future-work target).
+  ssd::SsdConfig ssd = ssd::MakeX25eConfig(256, /*store_data=*/false);
+  bool use_rais = false;
+  ssd::RaisConfig rais;
+  bool use_hdd = false;
+  ssd::HddConfig hdd;
+  bool use_nvm = false;
+  ssd::NvmConfig nvm;
+
+  /// SD merging is the paper's EDC feature; fixed baselines compress each
+  /// request as a unit.
+  bool use_seq_detector_for_edc = true;
+  AllocPolicy alloc_policy = AllocPolicy::kSizeClass;
+  std::size_t cache_groups = 0;  // LRU group cache (see EngineConfig)
+  u32 cpu_contexts = 1;          // parallel compression contexts
+  MonitorConfig monitor;
+  EstimatorConfig estimator;
+  SeqDetectorConfig seq;
+  u32 modeled_check_interval = 0;
+};
+
+class Stack {
+ public:
+  /// Build a stack. `shared_cost_model` lets callers calibrate once and
+  /// reuse across schemes (calibration runs the real codecs); when null
+  /// and the mode is modeled, a private model is calibrated here.
+  static Result<std::unique_ptr<Stack>> Create(
+      const StackConfig& config,
+      std::shared_ptr<const CostModel> shared_cost_model = nullptr);
+
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+  ssd::Device& device() { return *device_; }
+  const ssd::Device& device() const { return *device_; }
+  const datagen::ContentGenerator& generator() const { return *generator_; }
+  const StackConfig& config() const { return config_; }
+
+  /// Calibrate a cost model for a config (shared across stacks).
+  static Result<std::shared_ptr<const CostModel>> CalibrateCostModel(
+      const StackConfig& config);
+
+ private:
+  Stack() = default;
+
+  StackConfig config_;
+  std::unique_ptr<datagen::ContentGenerator> generator_;
+  std::shared_ptr<const CostModel> cost_model_;
+  std::unique_ptr<ssd::Device> device_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace edc::core

@@ -1,0 +1,48 @@
+#include "sim/queue_model.hpp"
+
+#include <limits>
+
+namespace edc::sim {
+
+double Utilization(double arrival_rate_per_s, double mean_service_s) {
+  return arrival_rate_per_s * mean_service_s;
+}
+
+double MM1MeanWait(double arrival_rate_per_s, double mean_service_s) {
+  return MG1MeanWait(arrival_rate_per_s, mean_service_s, 1.0);
+}
+
+double MG1MeanWait(double arrival_rate_per_s, double mean_service_s,
+                   double service_scv) {
+  double rho = Utilization(arrival_rate_per_s, mean_service_s);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  // E[S^2] = Var + E[S]^2 = (scv + 1) * E[S]^2.
+  double second_moment =
+      (service_scv + 1.0) * mean_service_s * mean_service_s;
+  return arrival_rate_per_s * second_moment / (2.0 * (1.0 - rho));
+}
+
+double MG1MeanResponse(double arrival_rate_per_s, double mean_service_s,
+                       double service_scv) {
+  return MG1MeanWait(arrival_rate_per_s, mean_service_s, service_scv) +
+         mean_service_s;
+}
+
+double MG1SaturationRate(double mean_service_s, double service_scv,
+                         double target_response_s) {
+  if (mean_service_s >= target_response_s) return 0.0;
+  double lo = 0.0;
+  double hi = 1.0 / mean_service_s;  // rho = 1 bound
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = (lo + hi) / 2.0;
+    double r = MG1MeanResponse(mid, mean_service_s, service_scv);
+    if (r < target_response_s) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace edc::sim

@@ -1,0 +1,35 @@
+// Analytic queueing formulas (M/M/1, M/G/1 Pollaczek–Khinchine) used to
+// validate the discrete simulator against theory: a FIFO device driven by
+// Poisson arrivals must reproduce the predicted waiting times. Also handy
+// for back-of-envelope sizing of codec throughput vs offered load.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace edc::sim {
+
+/// Offered utilization rho = lambda * E[S].
+double Utilization(double arrival_rate_per_s, double mean_service_s);
+
+/// M/M/1 mean waiting time (in queue, excluding service), seconds.
+/// Diverges as rho -> 1; returns +inf for rho >= 1.
+double MM1MeanWait(double arrival_rate_per_s, double mean_service_s);
+
+/// M/G/1 mean waiting time via Pollaczek–Khinchine:
+///   W = lambda * E[S^2] / (2 * (1 - rho)).
+/// `service_scv` is the squared coefficient of variation of service time
+/// (0 for deterministic service = M/D/1, 1 for exponential = M/M/1).
+double MG1MeanWait(double arrival_rate_per_s, double mean_service_s,
+                   double service_scv);
+
+/// Mean response time (wait + service).
+double MG1MeanResponse(double arrival_rate_per_s, double mean_service_s,
+                       double service_scv);
+
+/// The arrival rate at which an M/G/1 queue's mean response first exceeds
+/// `target_response_s` (bisection; returns 0 if even an idle server is
+/// slower than the target).
+double MG1SaturationRate(double mean_service_s, double service_scv,
+                         double target_response_s);
+
+}  // namespace edc::sim

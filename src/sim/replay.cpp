@@ -1,0 +1,52 @@
+#include "sim/replay.hpp"
+
+namespace edc::sim {
+
+Result<ReplayResult> ReplayTrace(core::Stack& stack,
+                                 const trace::Trace& trace,
+                                 const ReplayOptions& options) {
+  ReplayResult result;
+  result.trace_name = trace.name;
+  result.scheme_name = std::string(core::SchemeName(stack.config().scheme));
+
+  PercentileReservoir reservoir(options.percentile_capacity,
+                                stack.config().seed);
+  core::Engine& engine = stack.engine();
+
+  u64 limit = options.max_requests == 0
+                  ? trace.records.size()
+                  : std::min<u64>(options.max_requests,
+                                  trace.records.size());
+  for (u64 i = 0; i < limit; ++i) {
+    const trace::TraceRecord& r = trace.records[i];
+    Result<SimTime> completion =
+        r.op == trace::OpType::kWrite
+            ? engine.Write(r.timestamp, r.offset, r.size)
+            : engine.Read(r.timestamp, r.offset, r.size);
+    if (!completion.ok()) return completion.status();
+
+    double us = ToMicros(*completion - r.timestamp);
+    result.response_us.Add(us);
+    reservoir.Add(us);
+    if (r.op == trace::OpType::kWrite) {
+      result.write_response_us.Add(us);
+    } else {
+      result.read_response_us.Add(us);
+    }
+    ++result.requests;
+  }
+
+  auto flushed = engine.FlushPending(trace.duration());
+  if (!flushed.ok()) return flushed.status();
+
+  result.trace_duration = trace.duration();
+  result.p50_us = reservoir.Quantile(0.50);
+  result.p95_us = reservoir.Quantile(0.95);
+  result.p99_us = reservoir.Quantile(0.99);
+  result.engine = engine.stats();
+  result.device = stack.device().stats();
+  result.compression_ratio = result.engine.cumulative_ratio();
+  return result;
+}
+
+}  // namespace edc::sim

@@ -1,0 +1,91 @@
+// SSD geometry and timing configuration.
+//
+// Defaults are calibrated to the paper's device class (Intel X25-E 64 GB,
+// SLC): ~75 µs 4 KiB random read, ~85 µs SLC page program, ~1.5 ms block
+// erase, 250 MB/s sequential read / 170 MB/s write interface bandwidth.
+// The simulated capacity defaults to a scaled-down volume so functional
+// tests run in memory; the timing model is capacity-independent.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace edc::ssd {
+
+struct SsdGeometry {
+  std::size_t page_size = kLogicalBlockSize;  // 4 KiB flash page
+  u32 pages_per_block = 64;                   // 256 KiB erase block
+  u32 num_blocks = 1024;                      // 256 MiB raw by default
+  /// Fraction of raw blocks reserved as over-provisioning (not visible
+  /// as logical capacity).
+  double overprovision = 0.125;
+
+  u64 raw_pages() const {
+    return static_cast<u64>(pages_per_block) * num_blocks;
+  }
+  /// Pages exposed to the host.
+  u64 logical_pages() const {
+    return static_cast<u64>(static_cast<double>(raw_pages()) *
+                            (1.0 - overprovision));
+  }
+  u64 raw_bytes() const { return raw_pages() * page_size; }
+};
+
+struct SsdTiming {
+  SimTime cmd_overhead = 20 * kMicrosecond;  // per-command firmware/SATA
+  SimTime read_page = 60 * kMicrosecond;     // flash array page read
+  SimTime prog_page = 90 * kMicrosecond;     // flash page program
+  SimTime erase_block = 1500 * kMicrosecond;
+  double bus_read_mb_s = 250.0;   // host interface bandwidth
+  double bus_write_mb_s = 170.0;
+  /// Internal channel/plane parallelism: this many flash pages can be
+  /// read/programmed concurrently.
+  u32 parallelism = 4;
+
+  /// Per-operation energy (micro-joules) for the energy-consumption
+  /// experiments (the paper's future-work item on energy).
+  double read_page_uj = 60.0;
+  double prog_page_uj = 120.0;
+  double erase_block_uj = 2000.0;
+};
+
+/// Mapping/GC policy of the simulated SSD firmware.
+enum class FtlKind {
+  kPageMapping,  // page map + greedy GC (modern SSDs; the paper's model)
+  kHybridLog,    // BAST-style block map + log blocks + full merges
+};
+
+struct SsdConfig {
+  SsdGeometry geometry;
+  SsdTiming timing;
+  FtlKind ftl = FtlKind::kPageMapping;
+  /// Start garbage collection when free blocks drop below this fraction.
+  double gc_low_watermark = 0.08;
+  /// Run GC until free blocks reach this fraction.
+  double gc_high_watermark = 0.12;
+  /// Static wear leveling: when the erase-count spread (max - min) exceeds
+  /// this threshold, cold data is migrated off the least-worn block so it
+  /// rejoins the erase rotation. 0 disables.
+  u32 wear_leveling_threshold = 0;
+  /// Background GC during idle periods (the device-side counterpart of
+  /// the paper's idleness exploitation): when the device has been idle
+  /// this long, it reclaims blocks up to the soft watermark off the
+  /// critical path. 0 disables.
+  SimTime background_gc_idle = 0;
+  /// Background GC reclaims until this fraction of blocks is free.
+  double background_gc_watermark = 0.25;
+  /// Keep page payload bytes in memory (functional mode). Off for
+  /// large-trace modeled replays.
+  bool store_data = true;
+};
+
+/// X25-E-class config with a given simulated raw capacity.
+inline SsdConfig MakeX25eConfig(u64 raw_mib = 256, bool store_data = true) {
+  SsdConfig cfg;
+  cfg.geometry.num_blocks = static_cast<u32>(
+      raw_mib * 1024 * 1024 /
+      (cfg.geometry.page_size * cfg.geometry.pages_per_block));
+  cfg.store_data = store_data;
+  return cfg;
+}
+
+}  // namespace edc::ssd

@@ -1,0 +1,72 @@
+// Abstract block device: the interface the EDC engine talks to. Both the
+// single simulated SSD and the RAIS arrays implement it. Devices are
+// *temporal*: every operation carries an arrival time and returns a
+// completion time computed against the device's internal queue/service
+// model, alongside the physical work performed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ssd/ftl.hpp"
+
+namespace edc::ssd {
+
+/// Outcome of one device operation.
+struct IoResult {
+  SimTime start = 0;       // when service began (>= arrival)
+  SimTime completion = 0;  // when the operation finished
+  OpCost cost;             // physical flash work (incl. foreground GC)
+  std::vector<Bytes> pages;  // read payloads (empty in modeled mode)
+
+  SimTime latency(SimTime arrival) const { return completion - arrival; }
+};
+
+struct DeviceStats {
+  u64 host_pages_read = 0;
+  u64 host_pages_written = 0;
+  u64 gc_pages_copied = 0;
+  u64 gc_runs = 0;
+  u64 background_reclaims = 0;
+  u64 total_erases = 0;
+  u32 max_erase_count = 0;
+  double mean_erase_count = 0;
+  double waf = 1.0;
+  SimTime busy_time = 0;  // total time the device was serving
+  double energy_j = 0;    // device energy consumed (flash ops / spindle)
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Logical pages exposed to the layer above.
+  virtual u64 logical_pages() const = 0;
+
+  /// Write `payloads.size()` consecutive pages starting at `first`.
+  /// Payload entries may be empty (modeled mode / no data retention).
+  virtual Result<IoResult> Write(Lba first, std::span<const Bytes> payloads,
+                                 SimTime arrival) = 0;
+
+  /// Timing-only write of `n` consecutive pages (no payloads).
+  Result<IoResult> WriteModeled(Lba first, u64 n, SimTime arrival) {
+    std::vector<Bytes> empty(static_cast<std::size_t>(n));
+    return Write(first, empty, arrival);
+  }
+
+  /// Read `n` consecutive pages starting at `first`.
+  virtual Result<IoResult> Read(Lba first, u64 n, SimTime arrival) = 0;
+
+  /// Discard `n` consecutive pages (TRIM).
+  virtual Result<IoResult> Trim(Lba first, u64 n, SimTime arrival) = 0;
+
+  virtual DeviceStats stats() const = 0;
+
+  /// When the device would start serving a request submitted now — the
+  /// queue-backlog signal the paper's feedback mechanism (Fig. 6) feeds
+  /// back into compression selection.
+  virtual SimTime next_free_time() const = 0;
+};
+
+}  // namespace edc::ssd

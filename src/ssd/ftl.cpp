@@ -1,0 +1,204 @@
+#include "ssd/ftl.hpp"
+
+#include <limits>
+
+namespace edc::ssd {
+
+PageFtl::PageFtl(const SsdConfig& config, FlashArray* flash)
+    : config_(config),
+      flash_(flash),
+      mapping_(config.geometry.logical_pages(), kInvalidPpa),
+      reverse_(config.geometry.raw_pages(), kInvalidLba) {
+  for (u32 b = 1; b < config_.geometry.num_blocks; ++b) {
+    free_blocks_.push_back(b);
+  }
+  active_block_ = 0;
+}
+
+Result<Ppa> PageFtl::AllocatePage() {
+  u32 wp = flash_->write_pointer(active_block_);
+  if (wp < config_.geometry.pages_per_block) {
+    return flash_->ppa_of(active_block_, wp);
+  }
+  if (free_blocks_.empty()) {
+    return Status::ResourceExhausted("ftl: no free blocks");
+  }
+  active_block_ = free_blocks_.front();
+  free_blocks_.pop_front();
+  return flash_->ppa_of(active_block_, 0);
+}
+
+namespace {
+
+Result<u32> PickVictimImpl(const FlashArray& flash, u32 active_block) {
+  const SsdGeometry& geo = flash.geometry();
+  u32 best = geo.num_blocks;
+  u32 best_valid = std::numeric_limits<u32>::max();
+  for (u32 b = 0; b < geo.num_blocks; ++b) {
+    if (b == active_block) continue;
+    // Only fully-programmed (sealed) blocks are GC candidates.
+    if (flash.write_pointer(b) != geo.pages_per_block) continue;
+    u32 valid = flash.valid_pages(b);
+    if (valid < best_valid) {
+      best_valid = valid;
+      best = b;
+    }
+  }
+  if (best == geo.num_blocks || best_valid == geo.pages_per_block) {
+    return Status::ResourceExhausted("ftl: no reclaimable block");
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<u32> PageFtl::PickVictim() const {
+  return PickVictimImpl(*flash_, active_block_);
+}
+
+Status PageFtl::RelocateAndErase(u32 block, OpCost* cost,
+                                 bool count_as_gc) {
+  Ppa base = flash_->ppa_of(block, 0);
+  for (u32 p = 0; p < config_.geometry.pages_per_block; ++p) {
+    Ppa old = base + p;
+    if (flash_->page_state(old) != PageState::kValid) continue;
+    Lba lba = reverse_[old];
+    auto data = flash_->Read(old);
+    if (!data.ok()) return data.status();
+    ++cost->pages_read;
+    auto fresh = AllocatePage();
+    if (!fresh.ok()) return fresh.status();
+    EDC_RETURN_IF_ERROR(flash_->Program(*fresh, *data));
+    ++cost->pages_programmed;
+    if (count_as_gc) ++stats_.gc_pages_copied;
+    EDC_RETURN_IF_ERROR(flash_->Invalidate(old));
+    mapping_[lba] = *fresh;
+    reverse_[*fresh] = lba;
+    reverse_[old] = kInvalidLba;
+  }
+  EDC_RETURN_IF_ERROR(flash_->EraseBlock(block));
+  ++cost->blocks_erased;
+  free_blocks_.push_back(block);
+  return Status::Ok();
+}
+
+Status PageFtl::CollectGarbage(OpCost* cost) {
+  const double total = config_.geometry.num_blocks;
+  const auto low = static_cast<std::size_t>(config_.gc_low_watermark * total);
+  const auto high =
+      static_cast<std::size_t>(config_.gc_high_watermark * total);
+  if (free_blocks_.size() > low) return Status::Ok();
+
+  ++stats_.gc_runs;
+  while (free_blocks_.size() <= high) {
+    auto victim = PickVictim();
+    if (!victim.ok()) {
+      // Nothing reclaimable: stop; the caller may still have space in the
+      // active block.
+      return Status::Ok();
+    }
+    EDC_RETURN_IF_ERROR(RelocateAndErase(*victim, cost, /*count_as_gc=*/true));
+  }
+  return Status::Ok();
+}
+
+Result<OpCost> PageFtl::BackgroundReclaim(double free_watermark) {
+  OpCost cost;
+  const auto target = static_cast<std::size_t>(
+      free_watermark * config_.geometry.num_blocks);
+  if (free_blocks_.size() >= target) return cost;
+  auto victim = PickVictim();
+  if (!victim.ok()) return cost;  // nothing reclaimable: benign
+  // Only worthwhile when the victim is mostly invalid — background GC
+  // must not burn write cycles relocating hot valid data.
+  if (flash_->valid_pages(*victim) >
+      config_.geometry.pages_per_block / 2) {
+    return cost;
+  }
+  EDC_RETURN_IF_ERROR(RelocateAndErase(*victim, &cost, /*count_as_gc=*/true));
+  ++stats_.background_reclaims;
+  return cost;
+}
+
+Status PageFtl::LevelWear(OpCost* cost) {
+  if (config_.wear_leveling_threshold == 0) return Status::Ok();
+  // Find the least- and most-worn blocks; migrate the cold one when the
+  // spread exceeds the threshold (one move per call keeps the overhead on
+  // any single host write bounded).
+  u32 min_block = config_.geometry.num_blocks;
+  u32 min_erase = std::numeric_limits<u32>::max();
+  u32 max_erase = 0;
+  for (u32 b = 0; b < config_.geometry.num_blocks; ++b) {
+    u32 e = flash_->erase_count(b);
+    max_erase = std::max(max_erase, e);
+    // Only sealed, non-active blocks can migrate.
+    if (b != active_block_ &&
+        flash_->write_pointer(b) == config_.geometry.pages_per_block &&
+        e < min_erase) {
+      min_erase = e;
+      min_block = b;
+    }
+  }
+  if (min_block == config_.geometry.num_blocks) return Status::Ok();
+  if (max_erase - min_erase <= config_.wear_leveling_threshold) {
+    return Status::Ok();
+  }
+  if (free_blocks_.empty()) return Status::Ok();  // no room to migrate
+  ++stats_.wear_level_moves;
+  return RelocateAndErase(min_block, cost, /*count_as_gc=*/false);
+}
+
+Result<OpCost> PageFtl::Write(Lba lba, ByteSpan data) {
+  if (lba >= mapping_.size()) {
+    return Status::OutOfRange("ftl: LBA beyond logical capacity");
+  }
+  OpCost cost;
+  EDC_RETURN_IF_ERROR(CollectGarbage(&cost));
+  EDC_RETURN_IF_ERROR(LevelWear(&cost));
+
+  auto ppa = AllocatePage();
+  if (!ppa.ok()) return ppa.status();
+  EDC_RETURN_IF_ERROR(flash_->Program(*ppa, data));
+  ++cost.pages_programmed;
+  ++stats_.host_pages_written;
+
+  if (mapping_[lba] != kInvalidPpa) {
+    EDC_RETURN_IF_ERROR(flash_->Invalidate(mapping_[lba]));
+    reverse_[mapping_[lba]] = kInvalidLba;
+  }
+  mapping_[lba] = *ppa;
+  reverse_[*ppa] = lba;
+  return cost;
+}
+
+Result<Bytes> PageFtl::Read(Lba lba, OpCost* cost) {
+  if (lba >= mapping_.size()) {
+    return Status::OutOfRange("ftl: LBA beyond logical capacity");
+  }
+  ++stats_.host_pages_read;
+  if (mapping_[lba] == kInvalidPpa) {
+    return Bytes{};  // unwritten page reads as empty
+  }
+  if (cost != nullptr) ++cost->pages_read;
+  return flash_->Read(mapping_[lba]);
+}
+
+bool PageFtl::IsMapped(Lba lba) const {
+  return lba < mapping_.size() && mapping_[lba] != kInvalidPpa;
+}
+
+Result<OpCost> PageFtl::Trim(Lba lba) {
+  if (lba >= mapping_.size()) {
+    return Status::OutOfRange("ftl: LBA beyond logical capacity");
+  }
+  OpCost cost;
+  if (mapping_[lba] != kInvalidPpa) {
+    EDC_RETURN_IF_ERROR(flash_->Invalidate(mapping_[lba]));
+    reverse_[mapping_[lba]] = kInvalidLba;
+    mapping_[lba] = kInvalidPpa;
+    ++stats_.trims;
+  }
+  return cost;
+}
+
+}  // namespace edc::ssd

@@ -1,0 +1,97 @@
+#include "ssd/hdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edc::ssd {
+
+SimTime Hdd::ServiceTime(Lba first, u64 n) const {
+  SimTime positioning = 0;
+  const bool sequential = head_valid_ && first == head_;
+  if (!sequential) {
+    SimTime seek = config_.avg_seek;
+    if (config_.distance_dependent_seek && head_valid_) {
+      double dist =
+          static_cast<double>(first > head_ ? first - head_
+                                            : head_ - first) /
+          static_cast<double>(std::max<u64>(config_.num_pages, 1));
+      seek = static_cast<SimTime>(
+          static_cast<double>(config_.avg_seek) * (0.3 + 0.7 * dist));
+    }
+    positioning = seek + config_.rotation / 2;  // mean rotational latency
+  }
+  double mb = static_cast<double>(n) *
+              static_cast<double>(kLogicalBlockSize) / (1024.0 * 1024.0);
+  SimTime transfer = FromSeconds(mb / config_.transfer_mb_s);
+  return config_.cmd_overhead + positioning + transfer;
+}
+
+IoResult Hdd::Admit(Lba first, u64 n, SimTime arrival) {
+  SimTime service = ServiceTime(first, n);
+  IoResult r;
+  r.start = std::max(arrival, busy_until_);
+  r.completion = r.start + service;
+  busy_until_ = r.completion;
+  busy_accum_ += service;
+  head_ = first + n;
+  head_valid_ = true;
+  return r;
+}
+
+Result<IoResult> Hdd::Write(Lba first, std::span<const Bytes> payloads,
+                            SimTime arrival) {
+  if (first + payloads.size() > config_.num_pages) {
+    return Status::OutOfRange("hdd: write beyond capacity");
+  }
+  IoResult r = Admit(first, payloads.size(), arrival);
+  pages_written_ += payloads.size();
+  if (config_.store_data) {
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      data_[first + i] = payloads[i];
+    }
+  }
+  return r;
+}
+
+Result<IoResult> Hdd::Read(Lba first, u64 n, SimTime arrival) {
+  if (first + n > config_.num_pages) {
+    return Status::OutOfRange("hdd: read beyond capacity");
+  }
+  IoResult r = Admit(first, n, arrival);
+  pages_read_ += n;
+  if (config_.store_data) {
+    for (u64 i = 0; i < n; ++i) {
+      auto it = data_.find(first + i);
+      r.pages.push_back(it == data_.end() ? Bytes{} : it->second);
+    }
+  }
+  return r;
+}
+
+Result<IoResult> Hdd::Trim(Lba first, u64 n, SimTime arrival) {
+  if (first + n > config_.num_pages) {
+    return Status::OutOfRange("hdd: trim beyond capacity");
+  }
+  // No flash semantics: drop any stored data, charge command overhead.
+  for (u64 i = 0; i < n && config_.store_data; ++i) {
+    data_.erase(first + i);
+  }
+  IoResult r;
+  r.start = std::max(arrival, busy_until_);
+  r.completion = r.start + config_.cmd_overhead;
+  busy_until_ = r.completion;
+  busy_accum_ += config_.cmd_overhead;
+  return r;
+}
+
+DeviceStats Hdd::stats() const {
+  DeviceStats s;
+  s.host_pages_read = pages_read_;
+  s.host_pages_written = pages_written_;
+  s.waf = 1.0;
+  s.busy_time = busy_accum_;
+  s.energy_j = config_.active_watts * ToSeconds(busy_accum_);
+  return s;
+}
+
+}  // namespace edc::ssd

@@ -1,0 +1,61 @@
+// Simulated hard disk drive — the paper's future-work target ("conduct
+// more experiments on HDD-based ... storage systems"). Mechanical timing:
+// a random access pays seek + rotational latency; a sequential access
+// (continuing the previous request) pays only transfer time. Implements
+// the same temporal Device interface as the SSD, so every EDC scheme and
+// bench runs unchanged on spinning media.
+#pragma once
+
+#include <unordered_map>
+
+#include "ssd/device.hpp"
+
+namespace edc::ssd {
+
+struct HddConfig {
+  u64 num_pages = 1u << 21;           // 8 GiB at 4 KiB pages
+  SimTime avg_seek = 8500 * kMicrosecond;       // average seek
+  SimTime rotation = 8333 * kMicrosecond;       // 7200 rpm full rotation
+  double transfer_mb_s = 150.0;                 // media transfer rate
+  SimTime cmd_overhead = 100 * kMicrosecond;    // controller + bus
+  /// Short-stroke factor: seeks between nearby LBAs cost less; the seek
+  /// charged is avg_seek * (0.3 + 0.7 * distance_fraction).
+  bool distance_dependent_seek = true;
+  double active_watts = 7.0;  // spindle + actuator while serving
+  bool store_data = false;
+};
+
+class Hdd final : public Device {
+ public:
+  explicit Hdd(const HddConfig& config) : config_(config) {}
+
+  u64 logical_pages() const override { return config_.num_pages; }
+
+  Result<IoResult> Write(Lba first, std::span<const Bytes> payloads,
+                         SimTime arrival) override;
+  Result<IoResult> Read(Lba first, u64 n, SimTime arrival) override;
+  Result<IoResult> Trim(Lba first, u64 n, SimTime arrival) override;
+
+  DeviceStats stats() const override;
+
+  /// Positioning + transfer time for a request at `first` covering `n`
+  /// pages given the current head position (exposed for tests).
+  SimTime ServiceTime(Lba first, u64 n) const;
+
+  SimTime busy_until() const { return busy_until_; }
+  SimTime next_free_time() const override { return busy_until_; }
+
+ private:
+  IoResult Admit(Lba first, u64 n, SimTime arrival);
+
+  HddConfig config_;
+  SimTime busy_until_ = 0;
+  SimTime busy_accum_ = 0;
+  Lba head_ = 0;  // LBA following the last access (sequentiality check)
+  bool head_valid_ = false;
+  u64 pages_read_ = 0;
+  u64 pages_written_ = 0;
+  std::unordered_map<Lba, Bytes> data_;
+};
+
+}  // namespace edc::ssd

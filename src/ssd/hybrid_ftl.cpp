@@ -1,0 +1,195 @@
+#include "ssd/hybrid_ftl.hpp"
+
+#include <algorithm>
+
+namespace edc::ssd {
+
+HybridLogFtl::HybridLogFtl(const SsdConfig& config, FlashArray* flash)
+    : config_(config), flash_(flash) {
+  const SsdGeometry& geo = config_.geometry;
+  // Block-mapped logical space: the page-FTL logical capacity rounded
+  // down to whole blocks.
+  num_lbns_ = static_cast<u32>(geo.logical_pages() / geo.pages_per_block);
+  data_block_.assign(num_lbns_, kNoBlock);
+  page_loc_.assign(logical_pages(), kInvalidPpa);
+  for (u32 b = 0; b < geo.num_blocks; ++b) {
+    free_blocks_.push_back(b);
+  }
+}
+
+Result<u32> HybridLogFtl::TakeFreeBlock() {
+  if (free_blocks_.empty()) {
+    return Status::ResourceExhausted("hybrid-ftl: no free blocks");
+  }
+  u32 b = free_blocks_.front();
+  free_blocks_.pop_front();
+  return b;
+}
+
+Status HybridLogFtl::Merge(u32 lbn, OpCost* cost) {
+  const u32 ppb = config_.geometry.pages_per_block;
+  ++stats_.gc_runs;
+
+  auto fresh = TakeFreeBlock();
+  if (!fresh.ok()) return fresh.status();
+
+  const Lba base = static_cast<Lba>(lbn) * ppb;
+  for (u32 off = 0; off < ppb; ++off) {
+    Ppa dst = flash_->ppa_of(*fresh, off);
+    Ppa src = page_loc_[base + off];
+    if (src != kInvalidPpa) {
+      auto data = flash_->Read(src);
+      if (!data.ok()) return data.status();
+      ++cost->pages_read;
+      EDC_RETURN_IF_ERROR(flash_->Program(dst, *data));
+      ++cost->pages_programmed;
+      ++stats_.gc_pages_copied;
+      EDC_RETURN_IF_ERROR(flash_->Invalidate(src));
+      page_loc_[base + off] = dst;
+    } else {
+      // Filler page: NAND in-block order demands every earlier page be
+      // programmed; dead space until the next merge of this block.
+      EDC_RETURN_IF_ERROR(flash_->Program(dst, {}));
+      ++cost->pages_programmed;
+      EDC_RETURN_IF_ERROR(flash_->Invalidate(dst));
+    }
+  }
+
+  // Retire the old data block and log block.
+  if (data_block_[lbn] != kNoBlock) {
+    EDC_RETURN_IF_ERROR(flash_->EraseBlock(data_block_[lbn]));
+    ++cost->blocks_erased;
+    free_blocks_.push_back(data_block_[lbn]);
+  }
+  auto log_it = log_blocks_.find(lbn);
+  if (log_it != log_blocks_.end()) {
+    // Any still-valid pages in the log were relocated above; unprogrammed
+    // tail slots are free; programmed ones were invalidated when
+    // superseded or relocated.
+    EDC_RETURN_IF_ERROR(flash_->EraseBlock(log_it->second.block));
+    ++cost->blocks_erased;
+    free_blocks_.push_back(log_it->second.block);
+    log_blocks_.erase(log_it);
+  }
+  data_block_[lbn] = *fresh;
+  return Status::Ok();
+}
+
+Status HybridLogFtl::EnsureFree(std::size_t needed, OpCost* cost) {
+  while (free_blocks_.size() < needed && !log_blocks_.empty()) {
+    // Victim: the fullest log block (most reclaimable after merge).
+    u32 victim = log_blocks_.begin()->first;
+    u32 best_fill = 0;
+    for (const auto& [lbn, log] : log_blocks_) {
+      u32 fill = flash_->write_pointer(log.block);
+      if (fill >= best_fill) {
+        best_fill = fill;
+        victim = lbn;
+      }
+    }
+    EDC_RETURN_IF_ERROR(Merge(victim, cost));
+  }
+  if (free_blocks_.size() < needed) {
+    return Status::ResourceExhausted("hybrid-ftl: cannot free blocks");
+  }
+  return Status::Ok();
+}
+
+Result<OpCost> HybridLogFtl::Write(Lba lba, ByteSpan data) {
+  if (lba >= logical_pages()) {
+    return Status::OutOfRange("hybrid-ftl: LBA beyond logical capacity");
+  }
+  OpCost cost;
+  const u32 ppb = config_.geometry.pages_per_block;
+  const u32 lbn = static_cast<u32>(lba / ppb);
+  const u32 off = static_cast<u32>(lba % ppb);
+
+  // Allocate the data block lazily (merging a victim if the pool is dry).
+  if (data_block_[lbn] == kNoBlock) {
+    EDC_RETURN_IF_ERROR(EnsureFree(2, &cost));  // keep one for merges
+    auto fresh = TakeFreeBlock();
+    if (!fresh.ok()) return fresh.status();
+    data_block_[lbn] = *fresh;
+  }
+
+  Ppa old = page_loc_[lba];
+  u32 d = data_block_[lbn];
+
+  // In-place sequential fill of the data block.
+  if (flash_->write_pointer(d) == off && old == kInvalidPpa) {
+    Ppa dst = flash_->ppa_of(d, off);
+    EDC_RETURN_IF_ERROR(flash_->Program(dst, data));
+    ++cost.pages_programmed;
+    ++stats_.host_pages_written;
+    page_loc_[lba] = dst;
+    return cost;
+  }
+
+  // Log path: append to this lbn's log block.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto log_it = log_blocks_.find(lbn);
+    if (log_it == log_blocks_.end()) {
+      EDC_RETURN_IF_ERROR(EnsureFree(2, &cost));
+      auto fresh = TakeFreeBlock();
+      if (!fresh.ok()) return fresh.status();
+      log_it = log_blocks_.emplace(lbn, LogBlock{*fresh}).first;
+    }
+    u32 log_block = log_it->second.block;
+    u32 slot = flash_->write_pointer(log_block);
+    if (slot >= ppb) {
+      // Log full: full merge, then retry (the write lands in place or in
+      // a fresh log).
+      EDC_RETURN_IF_ERROR(Merge(lbn, &cost));
+      old = page_loc_[lba];
+      d = data_block_[lbn];
+      if (flash_->write_pointer(d) == off && old == kInvalidPpa) {
+        Ppa dst = flash_->ppa_of(d, off);
+        EDC_RETURN_IF_ERROR(flash_->Program(dst, data));
+        ++cost.pages_programmed;
+        ++stats_.host_pages_written;
+        page_loc_[lba] = dst;
+        return cost;
+      }
+      continue;
+    }
+    Ppa dst = flash_->ppa_of(log_block, slot);
+    EDC_RETURN_IF_ERROR(flash_->Program(dst, data));
+    ++cost.pages_programmed;
+    ++stats_.host_pages_written;
+    if (old != kInvalidPpa) {
+      EDC_RETURN_IF_ERROR(flash_->Invalidate(old));
+    }
+    page_loc_[lba] = dst;
+    return cost;
+  }
+  return Status::Internal("hybrid-ftl: write retry exhausted");
+}
+
+Result<Bytes> HybridLogFtl::Read(Lba lba, OpCost* cost) {
+  if (lba >= logical_pages()) {
+    return Status::OutOfRange("hybrid-ftl: LBA beyond logical capacity");
+  }
+  ++stats_.host_pages_read;
+  if (page_loc_[lba] == kInvalidPpa) return Bytes{};
+  if (cost != nullptr) ++cost->pages_read;
+  return flash_->Read(page_loc_[lba]);
+}
+
+bool HybridLogFtl::IsMapped(Lba lba) const {
+  return lba < logical_pages() && page_loc_[lba] != kInvalidPpa;
+}
+
+Result<OpCost> HybridLogFtl::Trim(Lba lba) {
+  if (lba >= logical_pages()) {
+    return Status::OutOfRange("hybrid-ftl: LBA beyond logical capacity");
+  }
+  OpCost cost;
+  if (page_loc_[lba] != kInvalidPpa) {
+    EDC_RETURN_IF_ERROR(flash_->Invalidate(page_loc_[lba]));
+    page_loc_[lba] = kInvalidPpa;
+    ++stats_.trims;
+  }
+  return cost;
+}
+
+}  // namespace edc::ssd

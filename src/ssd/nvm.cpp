@@ -1,0 +1,80 @@
+#include "ssd/nvm.hpp"
+
+#include <algorithm>
+
+namespace edc::ssd {
+
+SimTime Nvm::ServiceTime(u64 n, bool write) const {
+  double mb = static_cast<double>(n) *
+              static_cast<double>(kLogicalBlockSize) / (1024.0 * 1024.0);
+  SimTime transfer = FromSeconds(mb / config_.bandwidth_mb_s);
+  return (write ? config_.write_latency : config_.read_latency) + transfer;
+}
+
+IoResult Nvm::Admit(u64 n, bool write, SimTime arrival) {
+  SimTime service = ServiceTime(n, write);
+  IoResult r;
+  r.start = std::max(arrival, busy_until_);
+  r.completion = r.start + service;
+  busy_until_ = r.completion;
+  busy_accum_ += service;
+  return r;
+}
+
+Result<IoResult> Nvm::Write(Lba first, std::span<const Bytes> payloads,
+                            SimTime arrival) {
+  if (first + payloads.size() > config_.num_pages) {
+    return Status::OutOfRange("nvm: write beyond capacity");
+  }
+  IoResult r = Admit(payloads.size(), true, arrival);
+  pages_written_ += payloads.size();
+  if (config_.store_data) {
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      data_[first + i] = payloads[i];
+    }
+  }
+  return r;
+}
+
+Result<IoResult> Nvm::Read(Lba first, u64 n, SimTime arrival) {
+  if (first + n > config_.num_pages) {
+    return Status::OutOfRange("nvm: read beyond capacity");
+  }
+  IoResult r = Admit(n, false, arrival);
+  pages_read_ += n;
+  if (config_.store_data) {
+    for (u64 i = 0; i < n; ++i) {
+      auto it = data_.find(first + i);
+      r.pages.push_back(it == data_.end() ? Bytes{} : it->second);
+    }
+  }
+  return r;
+}
+
+Result<IoResult> Nvm::Trim(Lba first, u64 n, SimTime arrival) {
+  if (first + n > config_.num_pages) {
+    return Status::OutOfRange("nvm: trim beyond capacity");
+  }
+  for (u64 i = 0; i < n && config_.store_data; ++i) data_.erase(first + i);
+  IoResult r;
+  r.start = std::max(arrival, busy_until_);
+  r.completion = r.start + config_.write_latency;
+  busy_until_ = r.completion;
+  busy_accum_ += config_.write_latency;
+  return r;
+}
+
+DeviceStats Nvm::stats() const {
+  DeviceStats s;
+  s.host_pages_read = pages_read_;
+  s.host_pages_written = pages_written_;
+  s.waf = 1.0;
+  s.busy_time = busy_accum_;
+  s.energy_j = (static_cast<double>(pages_read_) * config_.read_page_uj +
+                static_cast<double>(pages_written_) *
+                    config_.write_page_uj) *
+               1e-6;
+  return s;
+}
+
+}  // namespace edc::ssd

@@ -1,0 +1,53 @@
+// Simulated NVM / storage-class-memory device (the paper's future-work
+// target alongside HDDs, and the substrate of its NVM-Compression
+// citation). Near-DRAM latencies, byte-addressable semantics approximated
+// at page granularity, no erase/GC machinery — the regime where the
+// device is so fast that compression CPU time, not data movement,
+// dominates the trade-off.
+#pragma once
+
+#include <unordered_map>
+
+#include "ssd/device.hpp"
+
+namespace edc::ssd {
+
+struct NvmConfig {
+  u64 num_pages = 1u << 21;                    // 8 GiB at 4 KiB pages
+  SimTime read_latency = 1 * kMicrosecond;     // per-command
+  SimTime write_latency = 3 * kMicrosecond;    // per-command (PCM-class)
+  double bandwidth_mb_s = 2000.0;              // sequential stream rate
+  double read_page_uj = 2.0;                   // energy per page read
+  double write_page_uj = 15.0;                 // energy per page write
+  bool store_data = false;
+};
+
+class Nvm final : public Device {
+ public:
+  explicit Nvm(const NvmConfig& config) : config_(config) {}
+
+  u64 logical_pages() const override { return config_.num_pages; }
+
+  Result<IoResult> Write(Lba first, std::span<const Bytes> payloads,
+                         SimTime arrival) override;
+  Result<IoResult> Read(Lba first, u64 n, SimTime arrival) override;
+  Result<IoResult> Trim(Lba first, u64 n, SimTime arrival) override;
+
+  DeviceStats stats() const override;
+  SimTime next_free_time() const override { return busy_until_; }
+
+  /// Latency of an n-page access when the device is idle.
+  SimTime ServiceTime(u64 n, bool write) const;
+
+ private:
+  IoResult Admit(u64 n, bool write, SimTime arrival);
+
+  NvmConfig config_;
+  SimTime busy_until_ = 0;
+  SimTime busy_accum_ = 0;
+  u64 pages_read_ = 0;
+  u64 pages_written_ = 0;
+  std::unordered_map<Lba, Bytes> data_;
+};
+
+}  // namespace edc::ssd

@@ -1,0 +1,160 @@
+#include "ssd/raid.hpp"
+
+#include <algorithm>
+
+namespace edc::ssd {
+
+Rais::Rais(const RaisConfig& config) : config_(config) {
+  data_disks_per_row_ = config_.level == RaisLevel::kRais5
+                            ? config_.num_disks - 1
+                            : config_.num_disks;
+  for (u32 i = 0; i < config_.num_disks; ++i) {
+    disks_.push_back(std::make_unique<Ssd>(config_.member));
+  }
+}
+
+u64 Rais::logical_pages() const {
+  // Each stripe row provides data_disks_per_row_ chunks of data.
+  u64 member_pages = disks_[0]->logical_pages();
+  u64 rows = member_pages / config_.chunk_pages;
+  return rows * data_disks_per_row_ * config_.chunk_pages;
+}
+
+Rais::Placement Rais::Place(Lba lba) const {
+  const u64 chunk = config_.chunk_pages;
+  const u32 n = config_.num_disks;
+  u64 chunk_index = lba / chunk;
+  u64 in_chunk = lba % chunk;
+  u64 row = chunk_index / data_disks_per_row_;
+  u64 k = chunk_index % data_disks_per_row_;
+
+  Placement p{};
+  p.disk_lba = row * chunk + in_chunk;
+  if (config_.level == RaisLevel::kRais5) {
+    // Left-symmetric rotation: parity moves one disk left each row.
+    u32 parity = static_cast<u32>((n - 1) - (row % n));
+    p.parity_disk = parity;
+    p.parity_lba = row * chunk + in_chunk;
+    p.data_disk = static_cast<u32>((parity + 1 + k) % n);
+  } else {
+    p.data_disk = static_cast<u32>(k);
+    p.parity_disk = p.data_disk;
+    p.parity_lba = p.disk_lba;
+  }
+  return p;
+}
+
+Result<IoResult> Rais::Write(Lba first, std::span<const Bytes> payloads,
+                             SimTime arrival) {
+  IoResult agg;
+  agg.start = arrival;
+  agg.completion = arrival;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    Placement p = Place(first + i);
+    std::span<const Bytes> one(&payloads[i], 1);
+
+    if (config_.level == RaisLevel::kRais5) {
+      // Read-modify-write parity update. Old data/parity may be unwritten
+      // (first touch): the reads then cost nothing physical but the
+      // command sequence is still serialized through both members.
+      auto old_data = disks_[p.data_disk]->Read(p.disk_lba, 1, arrival);
+      if (!old_data.ok()) return old_data.status();
+      auto old_parity =
+          disks_[p.parity_disk]->Read(p.parity_lba, 1, arrival);
+      if (!old_parity.ok()) return old_parity.status();
+      SimTime rmw_ready =
+          std::max(old_data->completion, old_parity->completion);
+
+      auto new_data = disks_[p.data_disk]->Write(p.disk_lba, one, rmw_ready);
+      if (!new_data.ok()) return new_data.status();
+      // Parity payload: for the simulation the parity content is opaque;
+      // write an empty payload (parity blocks are never read back by EDC).
+      std::vector<Bytes> parity_payload(1);
+      auto new_parity = disks_[p.parity_disk]->Write(
+          p.parity_lba, parity_payload, rmw_ready);
+      if (!new_parity.ok()) return new_parity.status();
+
+      agg.cost += old_data->cost;
+      agg.cost += old_parity->cost;
+      agg.cost += new_data->cost;
+      agg.cost += new_parity->cost;
+      agg.completion = std::max(
+          agg.completion,
+          std::max(new_data->completion, new_parity->completion));
+    } else {
+      auto r = disks_[p.data_disk]->Write(p.disk_lba, one, arrival);
+      if (!r.ok()) return r.status();
+      agg.cost += r->cost;
+      agg.completion = std::max(agg.completion, r->completion);
+    }
+  }
+  return agg;
+}
+
+Result<IoResult> Rais::Read(Lba first, u64 n, SimTime arrival) {
+  IoResult agg;
+  agg.start = arrival;
+  agg.completion = arrival;
+  for (u64 i = 0; i < n; ++i) {
+    Placement p = Place(first + i);
+    auto r = disks_[p.data_disk]->Read(p.disk_lba, 1, arrival);
+    if (!r.ok()) return r.status();
+    agg.cost += r->cost;
+    agg.completion = std::max(agg.completion, r->completion);
+    if (!r->pages.empty()) {
+      agg.pages.push_back(std::move(r->pages.front()));
+    } else {
+      agg.pages.emplace_back();
+    }
+  }
+  return agg;
+}
+
+Result<IoResult> Rais::Trim(Lba first, u64 n, SimTime arrival) {
+  IoResult agg;
+  agg.start = arrival;
+  agg.completion = arrival;
+  for (u64 i = 0; i < n; ++i) {
+    Placement p = Place(first + i);
+    auto r = disks_[p.data_disk]->Trim(p.disk_lba, 1, arrival);
+    if (!r.ok()) return r.status();
+    agg.cost += r->cost;
+    agg.completion = std::max(agg.completion, r->completion);
+  }
+  return agg;
+}
+
+SimTime Rais::next_free_time() const {
+  SimTime earliest = disks_[0]->next_free_time();
+  for (const auto& d : disks_) {
+    earliest = std::min(earliest, d->next_free_time());
+  }
+  return earliest;
+}
+
+DeviceStats Rais::stats() const {
+  DeviceStats s;
+  double mean_sum = 0;
+  for (const auto& d : disks_) {
+    DeviceStats m = d->stats();
+    s.host_pages_read += m.host_pages_read;
+    s.host_pages_written += m.host_pages_written;
+    s.gc_pages_copied += m.gc_pages_copied;
+    s.gc_runs += m.gc_runs;
+    s.background_reclaims += m.background_reclaims;
+    s.total_erases += m.total_erases;
+    s.max_erase_count = std::max(s.max_erase_count, m.max_erase_count);
+    mean_sum += m.mean_erase_count;
+    s.busy_time = std::max(s.busy_time, m.busy_time);
+    s.energy_j += m.energy_j;
+  }
+  s.mean_erase_count = mean_sum / static_cast<double>(disks_.size());
+  s.waf = s.host_pages_written == 0
+              ? 1.0
+              : static_cast<double>(s.host_pages_written +
+                                    s.gc_pages_copied) /
+                    static_cast<double>(s.host_pages_written);
+  return s;
+}
+
+}  // namespace edc::ssd

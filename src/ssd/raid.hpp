@@ -1,0 +1,61 @@
+// RAIS — Redundant Array of Independent SSDs (the paper's §IV terminology).
+// Rais0 stripes pages across member SSDs; Rais5 adds rotating parity with
+// read-modify-write parity updates, like Linux md RAID5. Member devices
+// serve their sub-operations in parallel; an array operation completes when
+// the slowest involved member completes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ssd/ssd.hpp"
+
+namespace edc::ssd {
+
+enum class RaisLevel { kRais0, kRais5 };
+
+struct RaisConfig {
+  RaisLevel level = RaisLevel::kRais5;
+  u32 num_disks = 5;
+  u32 chunk_pages = 8;  // striping unit in 4 KiB pages
+  SsdConfig member;     // configuration of each member SSD
+};
+
+class Rais final : public Device {
+ public:
+  explicit Rais(const RaisConfig& config);
+
+  u64 logical_pages() const override;
+
+  Result<IoResult> Write(Lba first, std::span<const Bytes> payloads,
+                         SimTime arrival) override;
+  Result<IoResult> Read(Lba first, u64 n, SimTime arrival) override;
+  Result<IoResult> Trim(Lba first, u64 n, SimTime arrival) override;
+
+  /// Aggregated over members (sums for counters, max for wear peak).
+  DeviceStats stats() const override;
+
+  /// Earliest time any member becomes free (the array can start serving a
+  /// request as soon as one member is idle).
+  SimTime next_free_time() const override;
+
+  const Ssd& member(u32 i) const { return *disks_.at(i); }
+  u32 num_disks() const { return config_.num_disks; }
+
+  /// Address mapping, exposed for unit tests: logical page → member disk,
+  /// member-local page, and (RAIS5 only) the parity disk of its stripe row.
+  struct Placement {
+    u32 data_disk;
+    Lba disk_lba;
+    u32 parity_disk;  // == data_disk for RAIS0 (unused)
+    Lba parity_lba;
+  };
+  Placement Place(Lba lba) const;
+
+ private:
+  RaisConfig config_;
+  std::vector<std::unique_ptr<Ssd>> disks_;
+  u32 data_disks_per_row_;  // N for RAIS0, N-1 for RAIS5
+};
+
+}  // namespace edc::ssd

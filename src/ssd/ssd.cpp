@@ -1,0 +1,137 @@
+#include "ssd/ssd.hpp"
+
+#include <algorithm>
+
+namespace edc::ssd {
+namespace {
+
+u64 CeilDiv(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+Ssd::Ssd(const SsdConfig& config)
+    : config_(config), flash_(config.geometry, config.store_data) {
+  if (config_.ftl == FtlKind::kHybridLog) {
+    ftl_ = std::make_unique<HybridLogFtl>(config_, &flash_);
+  } else {
+    ftl_ = std::make_unique<PageFtl>(config_, &flash_);
+  }
+}
+
+SimTime Ssd::ServiceTime(const OpCost& cost, u64 bus_pages_read,
+                         u64 bus_pages_written) const {
+  const SsdTiming& t = config_.timing;
+  SimTime flash_time =
+      static_cast<SimTime>(CeilDiv(cost.pages_read, t.parallelism)) *
+          t.read_page +
+      static_cast<SimTime>(CeilDiv(cost.pages_programmed, t.parallelism)) *
+          t.prog_page +
+      static_cast<SimTime>(cost.blocks_erased) * t.erase_block;
+  double page_mb = static_cast<double>(config_.geometry.page_size) /
+                   (1024.0 * 1024.0);
+  SimTime bus_time =
+      FromSeconds(static_cast<double>(bus_pages_read) * page_mb /
+                  t.bus_read_mb_s) +
+      FromSeconds(static_cast<double>(bus_pages_written) * page_mb /
+                  t.bus_write_mb_s);
+  return t.cmd_overhead + flash_time + bus_time;
+}
+
+IoResult Ssd::Admit(SimTime arrival, SimTime service, OpCost cost) {
+  IoResult r;
+  r.start = std::max(arrival, busy_until_);
+  r.completion = r.start + service;
+  busy_until_ = r.completion;
+  busy_accum_ += service;
+  physical_reads_ += cost.pages_read;
+  r.cost = cost;
+  return r;
+}
+
+void Ssd::MaybeBackgroundGc(SimTime now) {
+  if (config_.background_gc_idle == 0) return;
+  // The device must have been idle for the configured window.
+  SimTime idle_start = busy_until_;
+  if (now - idle_start < config_.background_gc_idle) return;
+  // Reclaim blocks one at a time, spending only the idle gap.
+  SimTime cursor = idle_start + config_.background_gc_idle;
+  while (cursor < now) {
+    auto work = ftl_->BackgroundReclaim(config_.background_gc_watermark);
+    if (!work.ok()) return;
+    if (work->pages_programmed == 0 && work->blocks_erased == 0) return;
+    SimTime service = ServiceTime(*work, 0, 0);
+    cursor += service;
+    if (cursor > now) {
+      // The last reclaim spills past the gap; account it as busy time so
+      // the next request queues behind it (realistic preemption cost).
+      busy_until_ = cursor;
+    }
+    busy_accum_ += service;
+    physical_reads_ += work->pages_read;
+  }
+}
+
+Result<IoResult> Ssd::Write(Lba first, std::span<const Bytes> payloads,
+                            SimTime arrival) {
+  MaybeBackgroundGc(arrival);
+  OpCost total;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    auto cost = ftl_->Write(first + i, payloads[i]);
+    if (!cost.ok()) return cost.status();
+    total += *cost;
+  }
+  SimTime service = ServiceTime(total, 0, payloads.size());
+  return Admit(arrival, service, total);
+}
+
+Result<IoResult> Ssd::Read(Lba first, u64 n, SimTime arrival) {
+  MaybeBackgroundGc(arrival);
+  OpCost total;
+  std::vector<Bytes> pages;
+  pages.reserve(static_cast<std::size_t>(n));
+  for (u64 i = 0; i < n; ++i) {
+    auto data = ftl_->Read(first + i, &total);
+    if (!data.ok()) return data.status();
+    pages.push_back(std::move(*data));
+  }
+  SimTime service = ServiceTime(total, n, 0);
+  IoResult r = Admit(arrival, service, total);
+  r.pages = std::move(pages);
+  return r;
+}
+
+Result<IoResult> Ssd::Trim(Lba first, u64 n, SimTime arrival) {
+  OpCost total;
+  for (u64 i = 0; i < n; ++i) {
+    auto cost = ftl_->Trim(first + i);
+    if (!cost.ok()) return cost.status();
+    total += *cost;
+  }
+  // TRIM is a metadata-only command: charge just the command overhead.
+  return Admit(arrival, config_.timing.cmd_overhead, total);
+}
+
+DeviceStats Ssd::stats() const {
+  DeviceStats s;
+  const FtlStats& f = ftl_->stats();
+  s.host_pages_read = f.host_pages_read;
+  s.host_pages_written = f.host_pages_written;
+  s.gc_pages_copied = f.gc_pages_copied;
+  s.gc_runs = f.gc_runs;
+  s.background_reclaims = f.background_reclaims;
+  s.total_erases = flash_.total_erases();
+  s.max_erase_count = flash_.max_erase_count();
+  s.mean_erase_count = flash_.mean_erase_count();
+  s.waf = f.waf();
+  s.busy_time = busy_accum_;
+  const SsdTiming& t = config_.timing;
+  s.energy_j = (static_cast<double>(physical_reads_) * t.read_page_uj +
+                static_cast<double>(flash_.total_programs()) *
+                    t.prog_page_uj +
+                static_cast<double>(flash_.total_erases()) *
+                    t.erase_block_uj) *
+               1e-6;
+  return s;
+}
+
+}  // namespace edc::ssd

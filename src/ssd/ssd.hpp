@@ -1,0 +1,60 @@
+// Single simulated SSD: FlashArray + PageFtl behind the temporal Device
+// interface. Service times follow the calibrated X25-E model — a fixed
+// command overhead, flash-array time with channel parallelism, and a
+// size-proportional host-bus transfer (the linear size→latency relation
+// of the paper's Fig. 1). The device serves one command at a time (FIFO),
+// so bursts build queueing delay exactly as in the paper's analysis.
+#pragma once
+
+#include <memory>
+
+#include "ssd/device.hpp"
+#include "ssd/hybrid_ftl.hpp"
+
+namespace edc::ssd {
+
+class Ssd final : public Device {
+ public:
+  explicit Ssd(const SsdConfig& config);
+
+  u64 logical_pages() const override { return ftl_->logical_pages(); }
+
+  Result<IoResult> Write(Lba first, std::span<const Bytes> payloads,
+                         SimTime arrival) override;
+  Result<IoResult> Read(Lba first, u64 n, SimTime arrival) override;
+  Result<IoResult> Trim(Lba first, u64 n, SimTime arrival) override;
+
+  /// Opportunistic background GC: if the device has been idle for the
+  /// configured window before `now`, reclaim blocks during the gap
+  /// (their work occupies the idle time, not the next request). Called
+  /// by Write/Read admission; exposed for tests.
+  void MaybeBackgroundGc(SimTime now);
+
+  DeviceStats stats() const override;
+
+  /// Service time of the given physical work + host transfer, independent
+  /// of queue state (exposed for tests and the Fig. 1 bench).
+  SimTime ServiceTime(const OpCost& cost, u64 bus_pages_read,
+                      u64 bus_pages_written) const;
+
+  /// When the device becomes idle (for tests).
+  SimTime busy_until() const { return busy_until_; }
+  SimTime next_free_time() const override { return busy_until_; }
+
+  const SsdConfig& config() const { return config_; }
+  const FlashArray& flash() const { return flash_; }
+  const FtlStats& ftl_stats() const { return ftl_->stats(); }
+
+ private:
+  /// FIFO admission: start = max(arrival, busy_until).
+  IoResult Admit(SimTime arrival, SimTime service, OpCost cost);
+
+  SsdConfig config_;
+  FlashArray flash_;
+  std::unique_ptr<FtlInterface> ftl_;
+  SimTime busy_until_ = 0;
+  SimTime busy_accum_ = 0;
+  u64 physical_reads_ = 0;  // flash page reads incl. GC (for energy)
+};
+
+}  // namespace edc::ssd

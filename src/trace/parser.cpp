@@ -1,0 +1,192 @@
+#include "trace/parser.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace edc::trace {
+namespace {
+
+constexpr u64 kSectorSize = 512;
+
+/// Split a CSV line into at most `max_fields` trimmed fields.
+std::vector<std::string_view> SplitCsv(std::string_view line,
+                                       std::size_t max_fields) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (fields.size() < max_fields) {
+    std::size_t comma = line.find(',', start);
+    std::string_view f = comma == std::string_view::npos
+                             ? line.substr(start)
+                             : line.substr(start, comma - start);
+    while (!f.empty() && (f.front() == ' ' || f.front() == '\t')) {
+      f.remove_prefix(1);
+    }
+    while (!f.empty() && (f.back() == ' ' || f.back() == '\r' ||
+                          f.back() == '\t')) {
+      f.remove_suffix(1);
+    }
+    fields.push_back(f);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return fields;
+}
+
+Result<u64> ParseU64(std::string_view s) {
+  u64 v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("bad integer: " + std::string(s));
+  }
+  return v;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  // std::from_chars<double> is available in libstdc++ 11+; keep strtod for
+  // robustness with locales disabled.
+  std::string tmp(s);
+  char* end = nullptr;
+  double v = std::strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size() || tmp.empty()) {
+    return Status::InvalidArgument("bad number: " + tmp);
+  }
+  return v;
+}
+
+Result<TraceRecord> ParseSpcLine(std::string_view line) {
+  auto f = SplitCsv(line, 5);
+  if (f.size() < 5) return Status::InvalidArgument("SPC: expected 5 fields");
+  TraceRecord r;
+  auto lba = ParseU64(f[1]);
+  if (!lba.ok()) return lba.status();
+  auto size = ParseU64(f[2]);
+  if (!size.ok()) return size.status();
+  if (f[3].empty()) return Status::InvalidArgument("SPC: empty opcode");
+  char op = f[3][0];
+  if (op == 'r' || op == 'R') {
+    r.op = OpType::kRead;
+  } else if (op == 'w' || op == 'W') {
+    r.op = OpType::kWrite;
+  } else {
+    return Status::InvalidArgument("SPC: bad opcode");
+  }
+  auto ts = ParseDouble(f[4]);
+  if (!ts.ok()) return ts.status();
+  r.offset = *lba * kSectorSize;
+  r.size = static_cast<u32>(*size);
+  r.timestamp = FromSeconds(*ts);
+  return r;
+}
+
+Result<TraceRecord> ParseMsrLine(std::string_view line) {
+  auto f = SplitCsv(line, 7);
+  if (f.size() < 6) return Status::InvalidArgument("MSR: expected >=6 fields");
+  TraceRecord r;
+  auto ts = ParseU64(f[0]);
+  if (!ts.ok()) return ts.status();
+  if (f[3] == "Read" || f[3] == "read" || f[3] == "R") {
+    r.op = OpType::kRead;
+  } else if (f[3] == "Write" || f[3] == "write" || f[3] == "W") {
+    r.op = OpType::kWrite;
+  } else {
+    return Status::InvalidArgument("MSR: bad type: " + std::string(f[3]));
+  }
+  auto offset = ParseU64(f[4]);
+  if (!offset.ok()) return offset.status();
+  auto size = ParseU64(f[5]);
+  if (!size.ok()) return size.status();
+  r.timestamp = static_cast<SimTime>(*ts) * 100;  // filetime ticks → ns
+  r.offset = *offset;
+  r.size = static_cast<u32>(*size);
+  return r;
+}
+
+}  // namespace
+
+Result<TraceFormat> DetectFormat(std::string_view first_line) {
+  auto f = SplitCsv(first_line, 7);
+  if (f.size() >= 7) return TraceFormat::kMsr;
+  if (f.size() == 5) return TraceFormat::kSpc;
+  if (f.size() == 6) {
+    // MSR without response time column.
+    return TraceFormat::kMsr;
+  }
+  return Status::InvalidArgument("unrecognized trace line format");
+}
+
+Result<Trace> ParseTrace(std::string_view text, TraceFormat format,
+                         std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  bool first = true;
+  SimTime t0 = 0;
+
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() : nl + 1;
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+
+    auto rec = format == TraceFormat::kSpc ? ParseSpcLine(line)
+                                           : ParseMsrLine(line);
+    if (!rec.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + rec.status().message());
+    }
+    if (first) {
+      t0 = rec->timestamp;
+      first = false;
+    }
+    TraceRecord r = *rec;
+    r.timestamp -= t0;
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+Result<Trace> ParseTrace(std::istream& in, TraceFormat format,
+                         std::string name) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  return ParseTrace(text, format, std::move(name));
+}
+
+std::string ToSpcCsv(const Trace& trace, u32 asu) {
+  std::string out;
+  out.reserve(trace.records.size() * 36);
+  char line[128];
+  for (const TraceRecord& r : trace.records) {
+    std::snprintf(line, sizeof(line), "%u,%llu,%u,%c,%.6f\n", asu,
+                  static_cast<unsigned long long>(r.offset / kSectorSize),
+                  r.size, r.op == OpType::kRead ? 'R' : 'W',
+                  ToSeconds(r.timestamp));
+    out += line;
+  }
+  return out;
+}
+
+std::string ToMsrCsv(const Trace& trace, std::string_view hostname) {
+  std::string out;
+  out.reserve(trace.records.size() * 48);
+  char line[160];
+  for (const TraceRecord& r : trace.records) {
+    std::snprintf(line, sizeof(line), "%llu,%s,0,%s,%llu,%u,0\n",
+                  static_cast<unsigned long long>(r.timestamp / 100),
+                  std::string(hostname).c_str(),
+                  r.op == OpType::kRead ? "Read" : "Write",
+                  static_cast<unsigned long long>(r.offset), r.size);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace edc::trace

@@ -1,0 +1,47 @@
+// Parsers for the two public trace formats the paper evaluates with, so the
+// real traces can be dropped in unchanged:
+//
+//  SPC (UMass/Storage Performance Council "financial" OLTP traces):
+//      ASU,LBA,Size,Opcode,Timestamp
+//      e.g. "0,20941264,8192,W,0.551706"
+//      LBA is in 512-byte sectors, Size in bytes, Timestamp in seconds.
+//
+//  MSR Cambridge (SNIA IOTTA block traces):
+//      Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//      e.g. "128166372003061629,usr,0,Write,7014609920,24576,41286"
+//      Timestamp is a Windows filetime (100 ns ticks), Offset/Size bytes.
+//
+// Both parsers normalize timestamps to nanoseconds from the first record.
+#pragma once
+
+#include <istream>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace edc::trace {
+
+enum class TraceFormat { kSpc, kMsr };
+
+/// Parse a whole trace from text. Empty lines are skipped; a malformed
+/// line aborts with InvalidArgument naming the line number.
+Result<Trace> ParseTrace(std::string_view text, TraceFormat format,
+                         std::string name = "trace");
+
+/// Stream variant (for large files).
+Result<Trace> ParseTrace(std::istream& in, TraceFormat format,
+                         std::string name = "trace");
+
+/// Guess the format from the first non-empty line.
+Result<TraceFormat> DetectFormat(std::string_view first_line);
+
+/// Serialize a trace to MSR CSV (the richer of the two formats); useful for
+/// exporting synthetic traces and for parser round-trip tests.
+std::string ToMsrCsv(const Trace& trace, std::string_view hostname = "edc");
+
+/// Serialize a trace to SPC CSV (ASU,LBA,Size,Opcode,Timestamp). Offsets
+/// must be 512-byte aligned (they are for all synthetic traces).
+std::string ToSpcCsv(const Trace& trace, u32 asu = 0);
+
+}  // namespace edc::trace

@@ -1,0 +1,176 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/rng.hpp"
+
+namespace edc::trace {
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace GenerateSynthetic(const SyntheticParams& params, u64 seed) {
+  Trace trace;
+  trace.name = params.name;
+  Pcg32 rng(seed, 101);
+
+  const SimTime duration = FromSeconds(params.duration_s);
+  SimTime now = 0;
+  bool on = true;
+  SimTime state_end = FromSeconds(rng.NextExponential(params.mean_on_s));
+
+  // Sequential-run state.
+  u64 next_seq_offset = 0;
+  bool have_seq = false;
+
+  while (now < duration) {
+    double rate = on ? params.on_iops : params.off_iops;
+    rate = std::max(rate, 1e-3);
+    SimTime gap = FromSeconds(rng.NextExponential(1.0 / rate));
+    now += std::max<SimTime>(gap, 1);
+
+    while (now >= state_end) {
+      on = !on;
+      double mean = on ? params.mean_on_s : params.mean_off_s;
+      state_end += FromSeconds(std::max(rng.NextExponential(mean), 1e-4));
+    }
+    if (now >= duration) break;
+
+    TraceRecord r;
+    r.timestamp = now;
+    r.op = rng.NextBool(params.write_fraction) ? OpType::kWrite
+                                               : OpType::kRead;
+
+    // Request size: lognormal pages clamped to [1, max_pages].
+    double pages_d =
+        rng.NextLogNormal(params.size_pages_mu, params.size_pages_sigma);
+    u64 pages = static_cast<u64>(pages_d + 0.5);
+    pages = std::clamp<u64>(pages, 1, params.max_pages);
+    r.size = static_cast<u32>(pages * kLogicalBlockSize);
+
+    // Address: continue the current sequential run or jump via Zipf.
+    if (have_seq && rng.NextBool(params.seq_fraction)) {
+      r.offset = next_seq_offset;
+    } else {
+      u64 block = rng.NextZipf(
+          static_cast<u32>(std::min<u64>(params.working_set_blocks,
+                                         0xFFFFFFFFull)),
+          params.zipf_skew);
+      // Scatter the Zipf ranks over the address space so "hot" blocks are
+      // not all physically clustered at offset zero.
+      block = Mix64(block) % params.working_set_blocks;
+      r.offset = block * kLogicalBlockSize;
+    }
+    next_seq_offset = r.offset + r.size;
+    have_seq = true;
+
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+Result<SyntheticParams> PresetByName(std::string_view name,
+                                     double duration_s) {
+  std::string key = Lower(name);
+  SyntheticParams p;
+  p.duration_s = duration_s;
+
+  if (key == "fin1") {
+    // SPC Financial-1: OLTP, write-dominant (~77% writes), small requests
+    // (~4 KB), strong bursts with long idle valleys.
+    p.name = "Fin1";
+    p.write_fraction = 0.77;
+    p.on_iops = 900;
+    p.off_iops = 15;
+    p.mean_on_s = 1.5;
+    p.mean_off_s = 6.0;
+    p.size_pages_mu = 0.0;
+    p.size_pages_sigma = 0.4;
+    p.max_pages = 16;
+    p.working_set_blocks = 1u << 20;  // 4 GiB
+    p.zipf_skew = 1.0;
+    p.seq_fraction = 0.15;
+    return p;
+  }
+  if (key == "fin2") {
+    // SPC Financial-2: read-dominant OLTP (~18% writes), small requests,
+    // higher steady rate with sharper bursts.
+    p.name = "Fin2";
+    p.write_fraction = 0.18;
+    p.on_iops = 1300;
+    p.off_iops = 40;
+    p.mean_on_s = 1.0;
+    p.mean_off_s = 4.0;
+    p.size_pages_mu = 0.0;
+    p.size_pages_sigma = 0.3;
+    p.max_pages = 8;
+    p.working_set_blocks = 1u << 20;
+    p.zipf_skew = 1.1;
+    p.seq_fraction = 0.10;
+    return p;
+  }
+  if (key == "usr_0" || key == "usr0" || key == "usr") {
+    // MSR usr_0: user home volume, mixed (~60% writes), larger requests
+    // (~20 KB), substantial sequential runs, long idle periods.
+    p.name = "Usr_0";
+    p.write_fraction = 0.60;
+    p.on_iops = 450;
+    p.off_iops = 8;
+    p.mean_on_s = 2.5;
+    p.mean_off_s = 10.0;
+    p.size_pages_mu = 1.2;  // median ~3.3 pages
+    p.size_pages_sigma = 0.8;
+    p.max_pages = 64;
+    p.working_set_blocks = 1u << 22;  // 16 GiB
+    p.zipf_skew = 0.8;
+    p.seq_fraction = 0.45;
+    return p;
+  }
+  if (key == "prxy_0" || key == "prxy0" || key == "prxy") {
+    // MSR prxy_0: firewall/proxy volume, overwhelmingly writes (~97%),
+    // small-medium requests, near-continuous load with bursts.
+    p.name = "Prxy_0";
+    p.write_fraction = 0.97;
+    p.on_iops = 1100;
+    p.off_iops = 120;
+    p.mean_on_s = 2.0;
+    p.mean_off_s = 3.0;
+    p.size_pages_mu = 0.3;
+    p.size_pages_sigma = 0.6;
+    p.max_pages = 32;
+    p.working_set_blocks = 1u << 21;  // 8 GiB
+    p.zipf_skew = 1.0;
+    p.seq_fraction = 0.35;
+    return p;
+  }
+  return Status::NotFound("unknown trace preset: " + std::string(name));
+}
+
+std::vector<std::string> PaperTraceNames() {
+  return {"Fin1", "Fin2", "Usr_0", "Prxy_0"};
+}
+
+Result<std::string> ContentProfileForTrace(std::string_view trace_name) {
+  std::string key = Lower(trace_name);
+  if (key == "fin1" || key == "fin2") return std::string("fin");
+  if (key == "usr_0" || key == "usr0" || key == "usr") {
+    return std::string("usr");
+  }
+  if (key == "prxy_0" || key == "prxy0" || key == "prxy") {
+    return std::string("prxy");
+  }
+  return Status::NotFound("no content profile for trace: " +
+                          std::string(trace_name));
+}
+
+}  // namespace edc::trace

@@ -1,0 +1,59 @@
+// Synthetic workload generation reproducing the published characteristics
+// of the paper's four traces (Table II) — read/write mix, request sizes,
+// footprint, sequential-run behaviour, and the ON/OFF burstiness of Fig. 3.
+//
+// Arrivals follow a two-state Markov-modulated Poisson process: the
+// workload alternates between an ON (bursty) state with a high arrival
+// rate and an OFF (idle) state with a low rate; state holding times are
+// exponential. This is the standard model for the "interspersed idleness
+// and burstiness" the paper leans on (Golding et al.; Riska & Riedel).
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace edc::trace {
+
+struct SyntheticParams {
+  std::string name = "synthetic";
+  double duration_s = 60.0;
+
+  // Arrival process (requests/second).
+  double on_iops = 600.0;
+  double off_iops = 20.0;
+  double mean_on_s = 2.0;   // mean burst duration
+  double mean_off_s = 6.0;  // mean idle duration
+
+  // Request mix.
+  double write_fraction = 0.7;
+
+  // Request size: lognormal in 4 KiB pages, clamped to [1, max_pages].
+  double size_pages_mu = 0.0;     // ln-space mean  (mu=0 → median 1 page)
+  double size_pages_sigma = 0.7;  // ln-space stddev
+  u32 max_pages = 64;
+
+  // Address process.
+  u64 working_set_blocks = 1 << 20;  // footprint in 4 KiB blocks (4 GiB)
+  double zipf_skew = 0.9;            // hot/cold skew of random accesses
+  double seq_fraction = 0.3;         // P(request continues previous one)
+};
+
+/// Generate a deterministic synthetic trace.
+Trace GenerateSynthetic(const SyntheticParams& params, u64 seed);
+
+/// Per-trace presets with parameters matching the paper's workloads:
+/// "Fin1", "Fin2" (SPC OLTP) and "Usr_0", "Prxy_0" (MSR Cambridge).
+/// Also lowercase aliases. duration_s scales the trace length (the shape
+/// is time-invariant).
+Result<SyntheticParams> PresetByName(std::string_view name,
+                                     double duration_s = 60.0);
+
+/// All preset names in the paper's order.
+std::vector<std::string> PaperTraceNames();
+
+/// Content-profile name matching each trace preset (for datagen).
+Result<std::string> ContentProfileForTrace(std::string_view trace_name);
+
+}  // namespace edc::trace

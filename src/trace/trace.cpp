@@ -1,0 +1,96 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+
+namespace edc::trace {
+
+TraceStats ComputeStats(const Trace& trace) {
+  TraceStats s;
+  s.total_requests = trace.records.size();
+  if (trace.records.empty()) return s;
+
+  u64 read_bytes = 0, write_bytes = 0, page_units = 0;
+  std::unordered_set<Lba> footprint;
+  footprint.reserve(trace.records.size());
+  u64 seq_writes = 0;
+  bool have_prev_write = false;
+  u64 prev_write_end = 0;
+  u64 single_page = 0;
+  RunningStats interarrival;
+  SimTime prev_ts = 0;
+  bool have_prev_ts = false;
+
+  for (const TraceRecord& r : trace.records) {
+    page_units += r.block_count();
+    single_page += r.block_count() == 1;
+    s.max_request_kb =
+        std::max(s.max_request_kb, static_cast<double>(r.size) / 1024.0);
+    if (have_prev_ts) {
+      interarrival.Add(ToSeconds(r.timestamp - prev_ts));
+    }
+    prev_ts = r.timestamp;
+    have_prev_ts = true;
+    for (u64 b = 0; b < r.block_count(); ++b) {
+      footprint.insert(r.first_block() + b);
+    }
+    if (r.op == OpType::kRead) {
+      ++s.reads;
+      read_bytes += r.size;
+    } else {
+      ++s.writes;
+      write_bytes += r.size;
+      if (have_prev_write && r.offset == prev_write_end) ++seq_writes;
+      have_prev_write = true;
+      prev_write_end = r.offset + r.size;
+    }
+  }
+
+  s.write_ratio = static_cast<double>(s.writes) /
+                  static_cast<double>(s.total_requests);
+  s.duration_s = std::max(ToSeconds(trace.duration()), 1e-9);
+  s.mean_iops = static_cast<double>(s.total_requests) / s.duration_s;
+  s.mean_calculated_iops = static_cast<double>(page_units) / s.duration_s;
+  s.avg_request_kb = static_cast<double>(read_bytes + write_bytes) /
+                     static_cast<double>(s.total_requests) / 1024.0;
+  s.avg_read_kb = s.reads ? static_cast<double>(read_bytes) /
+                                static_cast<double>(s.reads) / 1024.0
+                          : 0;
+  s.avg_write_kb = s.writes ? static_cast<double>(write_bytes) /
+                                  static_cast<double>(s.writes) / 1024.0
+                            : 0;
+  s.footprint_blocks = footprint.size();
+  s.write_seq_fraction =
+      s.writes ? static_cast<double>(seq_writes) / static_cast<double>(s.writes)
+               : 0;
+
+  s.single_page_fraction = static_cast<double>(single_page) /
+                           static_cast<double>(s.total_requests);
+  if (interarrival.count() > 1 && interarrival.mean() > 0) {
+    s.interarrival_cv = interarrival.stddev() / interarrival.mean();
+  }
+
+  auto series = IopsTimeSeries(trace);
+  for (double v : series) s.peak_iops_1s = std::max(s.peak_iops_1s, v);
+  s.burstiness = s.mean_iops > 0 ? s.peak_iops_1s / s.mean_iops : 0;
+  return s;
+}
+
+std::vector<double> IopsTimeSeries(const Trace& trace, SimTime bucket) {
+  std::vector<double> series;
+  if (trace.records.empty() || bucket <= 0) return series;
+  std::size_t buckets =
+      static_cast<std::size_t>(trace.duration() / bucket) + 1;
+  series.assign(buckets, 0.0);
+  for (const TraceRecord& r : trace.records) {
+    auto b = static_cast<std::size_t>(r.timestamp / bucket);
+    if (b < series.size()) series[b] += 1.0;
+  }
+  double scale = 1.0 / ToSeconds(bucket);
+  for (double& v : series) v *= scale;
+  return series;
+}
+
+}  // namespace edc::trace

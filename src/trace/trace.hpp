@@ -1,0 +1,74 @@
+// Block-level I/O trace representation and workload statistics
+// (Table II of the paper: read/write ratio, raw IOPS, average request size).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace edc::trace {
+
+enum class OpType : u8 { kRead, kWrite };
+
+/// One trace record. Offsets and sizes are in bytes; timestamps are
+/// nanoseconds from trace start.
+struct TraceRecord {
+  SimTime timestamp = 0;
+  OpType op = OpType::kRead;
+  u64 offset = 0;  // byte offset on the volume
+  u32 size = 0;    // bytes
+
+  /// First 4 KiB logical block touched by this request.
+  Lba first_block() const { return offset / kLogicalBlockSize; }
+  /// Number of 4 KiB logical blocks touched ("calculated IOPS" units).
+  u64 block_count() const {
+    if (size == 0) return 0;
+    u64 first = offset / kLogicalBlockSize;
+    u64 last = (offset + size - 1) / kLogicalBlockSize;
+    return last - first + 1;
+  }
+};
+
+struct Trace {
+  std::string name;
+  std::vector<TraceRecord> records;
+
+  SimTime duration() const {
+    return records.empty() ? 0 : records.back().timestamp;
+  }
+};
+
+/// Aggregate workload characteristics (the paper's Table II columns plus
+/// burstiness descriptors used by Fig. 3).
+struct TraceStats {
+  u64 total_requests = 0;
+  u64 reads = 0;
+  u64 writes = 0;
+  double write_ratio = 0;           // writes / total
+  double duration_s = 0;
+  double mean_iops = 0;             // raw requests per second
+  double mean_calculated_iops = 0;  // 4 KiB page-units per second
+  double peak_iops_1s = 0;          // max requests in any 1 s bucket
+  double burstiness = 0;            // peak_iops_1s / mean_iops
+  double avg_request_kb = 0;
+  double avg_read_kb = 0;
+  double avg_write_kb = 0;
+  u64 footprint_blocks = 0;         // distinct 4 KiB blocks touched
+  double write_seq_fraction = 0;    // writes contiguous with previous write
+  /// Coefficient of variation of inter-arrival times (1 = Poisson;
+  /// ON/OFF-bursty traces run well above 1).
+  double interarrival_cv = 0;
+  /// Share of requests that are exactly one 4 KiB page.
+  double single_page_fraction = 0;
+  double max_request_kb = 0;
+};
+
+TraceStats ComputeStats(const Trace& trace);
+
+/// Requests-per-second time series in fixed buckets (Fig. 3 burstiness
+/// plots). Returns one value per `bucket` of simulated time.
+std::vector<double> IopsTimeSeries(const Trace& trace,
+                                   SimTime bucket = kSecond);
+
+}  // namespace edc::trace

@@ -1,0 +1,71 @@
+#include "trace/transform.hpp"
+
+#include <algorithm>
+
+namespace edc::trace {
+
+Trace TimeScale(const Trace& input, double factor) {
+  Trace out;
+  out.name = input.name;
+  out.name += "@x";
+  out.name += std::to_string(factor);
+  out.records.reserve(input.records.size());
+  if (factor <= 0) return out;
+  for (TraceRecord r : input.records) {
+    r.timestamp = static_cast<SimTime>(
+        static_cast<double>(r.timestamp) / factor);
+    out.records.push_back(r);
+  }
+  return out;
+}
+
+Trace Slice(const Trace& input, SimTime begin, SimTime end) {
+  Trace out;
+  out.name = input.name + "#slice";
+  for (TraceRecord r : input.records) {
+    if (r.timestamp < begin || r.timestamp >= end) continue;
+    r.timestamp -= begin;
+    out.records.push_back(r);
+  }
+  return out;
+}
+
+Trace Merge(const std::vector<Trace>& inputs, u64 address_stride) {
+  Trace out;
+  out.name = "merge";
+  std::size_t total = 0;
+  for (const Trace& t : inputs) total += t.records.size();
+  out.records.reserve(total);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (TraceRecord r : inputs[i].records) {
+      r.offset += static_cast<u64>(i) * address_stride;
+      out.records.push_back(r);
+    }
+  }
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+Trace FilterOp(const Trace& input, OpType keep) {
+  Trace out;
+  out.name = input.name + (keep == OpType::kRead ? "#reads" : "#writes");
+  for (const TraceRecord& r : input.records) {
+    if (r.op == keep) out.records.push_back(r);
+  }
+  return out;
+}
+
+Trace Head(const Trace& input, std::size_t n) {
+  Trace out;
+  out.name = input.name;
+  out.records.assign(input.records.begin(),
+                     input.records.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             std::min(n, input.records.size())));
+  return out;
+}
+
+}  // namespace edc::trace

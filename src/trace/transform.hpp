@@ -1,0 +1,27 @@
+// Trace transformations: time scaling (offered-load sweeps), slicing,
+// merging and filtering — the standard toolbox for trace-driven studies.
+#pragma once
+
+#include "trace/trace.hpp"
+
+namespace edc::trace {
+
+/// Compress or stretch time by `factor`: factor 2.0 doubles the offered
+/// load (timestamps halve). Request contents are unchanged.
+Trace TimeScale(const Trace& input, double factor);
+
+/// Keep records with begin <= timestamp < end, re-based to t=0.
+Trace Slice(const Trace& input, SimTime begin, SimTime end);
+
+/// Merge traces by timestamp (stable for ties). Each input trace `i` has
+/// its address space shifted by i * address_stride bytes so workloads
+/// don't alias (pass 0 to overlay them on the same volume).
+Trace Merge(const std::vector<Trace>& inputs, u64 address_stride);
+
+/// Keep only reads or only writes.
+Trace FilterOp(const Trace& input, OpType keep);
+
+/// Truncate to the first n records.
+Trace Head(const Trace& input, std::size_t n);
+
+}  // namespace edc::trace

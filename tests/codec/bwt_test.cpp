@@ -1,0 +1,134 @@
+#include "codec/bwt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace edc::codec {
+namespace {
+
+using edc::test::MakeMixed;
+using edc::test::MakePeriodic;
+using edc::test::MakeRandom;
+using edc::test::MakeText;
+
+Bytes FromString(const char* s) {
+  return Bytes(reinterpret_cast<const u8*>(s),
+               reinterpret_cast<const u8*>(s) + std::string(s).size());
+}
+
+TEST(Bwt, KnownTransformBanana) {
+  // Cyclic-rotation BWT of "banana": sorted rotations
+  //   abanan, anaban, ananab, banana, nabana, nanaba
+  // last column = "nnbaaa", original at row 3.
+  u32 primary = 0;
+  Bytes bwt = BwtForward(FromString("banana"), &primary);
+  EXPECT_EQ(bwt, FromString("nnbaaa"));
+  EXPECT_EQ(primary, 3u);
+}
+
+TEST(Bwt, InverseRecoversBanana) {
+  auto out = BwtInverse(FromString("nnbaaa"), 3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, FromString("banana"));
+}
+
+TEST(Bwt, EmptyAndSingle) {
+  u32 p = 99;
+  EXPECT_TRUE(BwtForward({}, &p).empty());
+  Bytes one = {42};
+  Bytes bwt = BwtForward(one, &p);
+  EXPECT_EQ(bwt, one);
+  auto inv = BwtInverse(bwt, p);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(*inv, one);
+}
+
+TEST(Bwt, RoundTripProperty) {
+  for (u64 seed = 0; seed < 20; ++seed) {
+    std::size_t n = 1 + (seed * 387) % 5000;
+    Bytes input = seed % 2 ? MakeText(n, seed) : MakeMixed(n, seed);
+    u32 primary = 0;
+    Bytes bwt = BwtForward(input, &primary);
+    ASSERT_EQ(bwt.size(), input.size());
+    auto out = BwtInverse(bwt, primary);
+    ASSERT_TRUE(out.ok()) << "seed " << seed;
+    EXPECT_EQ(*out, input) << "seed " << seed;
+  }
+}
+
+TEST(Bwt, PeriodicInputsRoundTrip) {
+  // Identical rotations stress tie handling in the rotation sort.
+  for (std::size_t period : {1u, 2u, 3u, 4u, 8u}) {
+    for (std::size_t reps : {2u, 7u, 50u}) {
+      Bytes input = MakePeriodic(period * reps, period, period * 7 + reps);
+      u32 primary = 0;
+      Bytes bwt = BwtForward(input, &primary);
+      auto out = BwtInverse(bwt, primary);
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(*out, input) << "period " << period << " reps " << reps;
+    }
+  }
+}
+
+TEST(Bwt, AllSameByte) {
+  Bytes input(777, 0xCD);
+  u32 primary = 0;
+  Bytes bwt = BwtForward(input, &primary);
+  EXPECT_EQ(bwt, input);  // all rotations identical
+  auto out = BwtInverse(bwt, primary);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Bwt, InverseRejectsBadPrimaryIndex) {
+  Bytes bwt = FromString("nnbaaa");
+  EXPECT_FALSE(BwtInverse(bwt, 6).ok());
+  EXPECT_FALSE(BwtInverse(bwt, 1000).ok());
+}
+
+TEST(Bwt, GroupsSimilarContext) {
+  // BWT of English-like text should have more adjacent equal bytes than
+  // the input (that locality is why MTF+RLE works).
+  Bytes input = MakeText(20000, 55);
+  u32 primary = 0;
+  Bytes bwt = BwtForward(input, &primary);
+  auto adjacent_equal = [](const Bytes& v) {
+    std::size_t c = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) c += v[i] == v[i - 1];
+    return c;
+  };
+  EXPECT_GT(adjacent_equal(bwt), adjacent_equal(input) * 2);
+}
+
+TEST(MoveToFront, KnownSequence) {
+  // MTF of "aaa" = {97, 0, 0}.
+  Bytes out = MoveToFront(FromString("aaa"));
+  EXPECT_EQ(out, (Bytes{97, 0, 0}));
+}
+
+TEST(MoveToFront, RoundTripProperty) {
+  for (u64 seed = 0; seed < 10; ++seed) {
+    Bytes input = MakeMixed(1 + seed * 333, seed);
+    EXPECT_EQ(InverseMoveToFront(MoveToFront(input)), input);
+  }
+}
+
+TEST(MoveToFront, RunsBecomeZeros) {
+  Bytes input(100, 7);
+  Bytes out = MoveToFront(input);
+  EXPECT_EQ(out[0], 7);
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(MoveToFront, IdentityStartOrder) {
+  // First occurrence of byte b encodes as its current index = b.
+  Bytes input = {0, 1, 2, 250};
+  Bytes out = MoveToFront(input);
+  EXPECT_EQ(out[0], 0);
+  // After moving 0 to front, order unchanged for 1.
+  EXPECT_EQ(out[1], 1);
+}
+
+}  // namespace
+}  // namespace edc::codec

@@ -1,0 +1,119 @@
+#include "codec/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace edc::codec {
+namespace {
+
+using edc::test::MakeRandom;
+using edc::test::MakeText;
+
+TEST(Container, RoundTripAllCodecs) {
+  Bytes input = MakeText(8192, 3);
+  for (CodecId id : AllCodecs()) {
+    auto frame = FrameCompress(input, id);
+    ASSERT_TRUE(frame.ok()) << CodecName(id);
+    auto out = FrameDecompress(*frame);
+    ASSERT_TRUE(out.ok()) << CodecName(id);
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(Container, ParseReportsCodecAndSizes) {
+  Bytes input = MakeText(4096, 4);
+  auto frame = FrameCompress(input, CodecId::kGzip);
+  ASSERT_TRUE(frame.ok());
+  auto info = FrameParse(*frame);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->codec, CodecId::kGzip);
+  EXPECT_EQ(info->original_size, input.size());
+  EXPECT_LT(info->payload_size, input.size());
+}
+
+TEST(Container, IncompressibleFallsBackToStore) {
+  Bytes input = MakeRandom(4096, 5);
+  for (CodecId id : {CodecId::kLzf, CodecId::kLzFast}) {
+    auto frame = FrameCompress(input, id);
+    ASSERT_TRUE(frame.ok());
+    auto info = FrameParse(*frame);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->codec, CodecId::kStore) << CodecName(id);
+    // Never larger than input + bounded header.
+    EXPECT_LE(frame->size(), input.size() + 12);
+    auto out = FrameDecompress(*frame);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(Container, EmptyInput) {
+  for (CodecId id : AllCodecs()) {
+    auto frame = FrameCompress({}, id);
+    ASSERT_TRUE(frame.ok());
+    auto out = FrameDecompress(*frame);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out->empty());
+  }
+}
+
+TEST(Container, DetectsPayloadCorruption) {
+  Bytes input = MakeText(4096, 6);
+  auto frame = FrameCompress(input, CodecId::kLzf);
+  ASSERT_TRUE(frame.ok());
+  // Flip one bit in every payload byte position; decompress must either
+  // fail or the CRC must catch the corruption — silent success with wrong
+  // data is the only forbidden outcome.
+  for (std::size_t pos = 8; pos < frame->size(); pos += 97) {
+    Bytes mutated = *frame;
+    mutated[pos] ^= 0x10;
+    auto out = FrameDecompress(mutated);
+    if (out.ok()) {
+      EXPECT_EQ(*out, input) << "undetected corruption at byte " << pos;
+    }
+  }
+}
+
+TEST(Container, DetectsBadMagic) {
+  Bytes input = MakeText(256, 7);
+  auto frame = FrameCompress(input, CodecId::kStore);
+  ASSERT_TRUE(frame.ok());
+  (*frame)[0] = 0x00;
+  EXPECT_FALSE(FrameDecompress(*frame).ok());
+}
+
+TEST(Container, DetectsBadTag) {
+  Bytes input = MakeText(256, 8);
+  auto frame = FrameCompress(input, CodecId::kStore);
+  ASSERT_TRUE(frame.ok());
+  (*frame)[1] = 7;  // unassigned tag value
+  EXPECT_FALSE(FrameDecompress(*frame).ok());
+}
+
+TEST(Container, DetectsTruncation) {
+  Bytes input = MakeText(2048, 9);
+  auto frame = FrameCompress(input, CodecId::kGzip);
+  ASSERT_TRUE(frame.ok());
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{6},
+                           frame->size() / 2, frame->size() - 1}) {
+    Bytes truncated(frame->begin(),
+                    frame->begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(FrameDecompress(truncated).ok()) << "keep " << keep;
+  }
+}
+
+TEST(Container, CrcMismatchDetected) {
+  Bytes input = MakeText(512, 10);
+  auto frame = FrameCompress(input, CodecId::kStore);
+  ASSERT_TRUE(frame.ok());
+  // CRC bytes sit after magic/tag/varint(origsize). For 512-byte input the
+  // varint is 2 bytes → CRC at offset 4..7.
+  (*frame)[4] ^= 0xFF;
+  auto out = FrameDecompress(*frame);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace edc::codec

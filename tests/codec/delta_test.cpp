@@ -1,0 +1,122 @@
+#include "codec/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.hpp"
+#include "testutil.hpp"
+
+namespace edc::codec {
+namespace {
+
+using edc::test::MakeRandom;
+using edc::test::MakeText;
+
+TEST(Delta, RoundTripIdenticalBlocks) {
+  Bytes base = MakeText(4096, 1);
+  auto delta = DeltaEncode(base, base);
+  ASSERT_TRUE(delta.ok());
+  // All-zero XOR collapses to almost nothing.
+  EXPECT_LT(delta->size(), 64u);
+  auto back = DeltaDecode(base, *delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, base);
+}
+
+TEST(Delta, RoundTripSparseUpdate) {
+  Bytes base = MakeRandom(4096, 2);
+  Bytes updated = base;
+  for (std::size_t i = 0; i < updated.size(); i += 97) {
+    updated[i] ^= 0x5A;  // ~1% of bytes changed
+  }
+  auto delta = DeltaEncode(base, updated);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_LT(delta->size(), base.size() / 4);
+  auto back = DeltaDecode(base, *delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, updated);
+}
+
+TEST(Delta, UnrelatedBlocksStillLossless) {
+  Bytes base = MakeRandom(4096, 3);
+  Bytes updated = MakeRandom(4096, 4);
+  auto delta = DeltaEncode(base, updated);
+  ASSERT_TRUE(delta.ok());
+  // Random XOR random = random; delta ~ full size, not worthwhile.
+  EXPECT_FALSE(DeltaWorthwhile(delta->size(), base.size()));
+  auto back = DeltaDecode(base, *delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, updated);
+}
+
+TEST(Delta, SizeMismatchRejected) {
+  Bytes base = MakeRandom(4096, 5);
+  Bytes updated = MakeRandom(2048, 6);
+  EXPECT_FALSE(DeltaEncode(base, updated).ok());
+}
+
+TEST(Delta, WrongBaseDetectedBySize) {
+  Bytes base = MakeRandom(4096, 7);
+  auto delta = DeltaEncode(base, base);
+  ASSERT_TRUE(delta.ok());
+  Bytes other = MakeRandom(2048, 8);
+  EXPECT_FALSE(DeltaDecode(other, *delta).ok());
+}
+
+TEST(Delta, GarbageDeltaNeverCrashes) {
+  Bytes base = MakeRandom(4096, 9);
+  for (u64 seed = 0; seed < 50; ++seed) {
+    Bytes garbage = MakeRandom(1 + seed * 13 % 300, seed);
+    (void)DeltaDecode(base, garbage);  // must return a status, not crash
+  }
+}
+
+TEST(Delta, EmptyBlocks) {
+  auto delta = DeltaEncode({}, {});
+  ASSERT_TRUE(delta.ok());
+  auto back = DeltaDecode({}, *delta);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Delta, DatagenUpdateModelYieldsSmallDeltas) {
+  // The update-similarity knob must produce the block-version similarity
+  // Delta-FTL exploits — and the delta codec must exploit it.
+  auto profile = datagen::ProfileByName("fin");
+  ASSERT_TRUE(profile.ok());
+  profile->update_delta = 0.02;  // 2% of bytes change per update
+  datagen::ContentGenerator gen(*profile, 71);
+
+  double total_fraction = 0;
+  int measured = 0;
+  for (Lba lba = 0; lba < 40; ++lba) {
+    Bytes v1 = gen.Generate(lba, 1, 4096);
+    Bytes v2 = gen.Generate(lba, 2, 4096);
+    ASSERT_EQ(v1.size(), v2.size());
+    auto delta = DeltaEncode(v1, v2);
+    ASSERT_TRUE(delta.ok());
+    auto back = DeltaDecode(v1, *delta);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(*back, v2);
+    total_fraction += static_cast<double>(delta->size()) / 4096.0;
+    ++measured;
+  }
+  // ~2x2% mutated bytes + run headers: deltas far below half a block.
+  EXPECT_LT(total_fraction / measured, 0.35);
+}
+
+TEST(Delta, VersionsIndependentWithoutUpdateModel) {
+  auto profile = datagen::ProfileByName("fin");
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile->update_delta, 0.0);
+  datagen::ContentGenerator gen(*profile, 72);
+  Lba lba = 0;
+  while (gen.KindForLba(lba) != datagen::ChunkKind::kRandom) ++lba;
+  Bytes v1 = gen.Generate(lba, 1, 4096);
+  Bytes v2 = gen.Generate(lba, 2, 4096);
+  auto delta = DeltaEncode(v1, v2);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_FALSE(DeltaWorthwhile(delta->size(), 4096));
+}
+
+}  // namespace
+}  // namespace edc::codec

@@ -1,0 +1,190 @@
+#include "codec/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "testutil.hpp"
+
+namespace edc::codec {
+namespace {
+
+u64 KraftSum(const std::vector<u8>& lengths, unsigned max_bits) {
+  u64 sum = 0;
+  for (u8 l : lengths) {
+    if (l > 0) sum += u64{1} << (max_bits - l);
+  }
+  return sum;
+}
+
+TEST(BuildCodeLengths, EmptyFrequencies) {
+  std::vector<u64> freqs(10, 0);
+  auto lens = BuildCodeLengths(freqs);
+  for (u8 l : lens) EXPECT_EQ(l, 0);
+}
+
+TEST(BuildCodeLengths, SingleSymbolGetsLengthOne) {
+  std::vector<u64> freqs(10, 0);
+  freqs[3] = 100;
+  auto lens = BuildCodeLengths(freqs);
+  EXPECT_EQ(lens[3], 1);
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    if (i != 3) {
+      EXPECT_EQ(lens[i], 0);
+    }
+  }
+}
+
+TEST(BuildCodeLengths, TwoSymbols) {
+  std::vector<u64> freqs = {5, 0, 7};
+  auto lens = BuildCodeLengths(freqs);
+  EXPECT_EQ(lens[0], 1);
+  EXPECT_EQ(lens[2], 1);
+  EXPECT_EQ(lens[1], 0);
+}
+
+TEST(BuildCodeLengths, RespectsKraftAndLimit) {
+  Pcg32 rng(77, 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t n = 2 + rng.NextBounded(300);
+    std::vector<u64> freqs(n);
+    for (auto& f : freqs) {
+      // Extremely skewed frequencies force the length limiter to kick in.
+      f = rng.NextBool(0.3) ? 0 : (u64{1} << rng.NextBounded(40));
+    }
+    std::size_t nonzero = 0;
+    for (u64 f : freqs) nonzero += f > 0;
+    if (nonzero == 0) freqs[0] = 1;
+
+    auto lens = BuildCodeLengths(freqs, kMaxCodeBits);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(lens[i] > 0, freqs[i] > 0);
+      EXPECT_LE(lens[i], kMaxCodeBits);
+    }
+    EXPECT_LE(KraftSum(lens, kMaxCodeBits), u64{1} << kMaxCodeBits)
+        << "trial " << trial;
+  }
+}
+
+TEST(BuildCodeLengths, FrequentSymbolsGetShorterCodes) {
+  std::vector<u64> freqs = {1000, 1, 1, 1, 1, 1, 1, 1};
+  auto lens = BuildCodeLengths(freqs);
+  for (std::size_t i = 1; i < freqs.size(); ++i) {
+    EXPECT_LE(lens[0], lens[i]);
+  }
+}
+
+TEST(CanonicalCodes, MatchesRfc1951Example) {
+  // DEFLATE spec example: lengths (3,3,3,3,3,2,4,4) -> codes
+  // 010,011,100,101,110,00,1110,1111.
+  std::vector<u8> lengths = {3, 3, 3, 3, 3, 2, 4, 4};
+  auto codes = CanonicalCodes(lengths);
+  ASSERT_TRUE(codes.ok());
+  EXPECT_EQ((*codes)[0], 0b010u);
+  EXPECT_EQ((*codes)[1], 0b011u);
+  EXPECT_EQ((*codes)[2], 0b100u);
+  EXPECT_EQ((*codes)[3], 0b101u);
+  EXPECT_EQ((*codes)[4], 0b110u);
+  EXPECT_EQ((*codes)[5], 0b00u);
+  EXPECT_EQ((*codes)[6], 0b1110u);
+  EXPECT_EQ((*codes)[7], 0b1111u);
+}
+
+TEST(CanonicalCodes, RejectsOversubscribed) {
+  std::vector<u8> lengths = {1, 1, 1};  // Kraft sum 1.5 > 1
+  EXPECT_FALSE(CanonicalCodes(lengths).ok());
+}
+
+TEST(HuffmanCoding, EncodeDecodeRoundTrip) {
+  Pcg32 rng(123, 5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t alphabet = 2 + rng.NextBounded(500);
+    std::vector<u64> freqs(alphabet);
+    for (auto& f : freqs) f = rng.NextBounded(1000);
+    if (std::accumulate(freqs.begin(), freqs.end(), u64{0}) == 0) {
+      freqs[0] = 1;
+    }
+    auto lens = BuildCodeLengths(freqs);
+    auto enc = HuffmanEncoder::FromLengths(lens);
+    auto dec = HuffmanDecoder::FromLengths(lens);
+    ASSERT_TRUE(enc.ok());
+    ASSERT_TRUE(dec.ok());
+
+    // Emit a random symbol sequence restricted to nonzero-freq symbols.
+    std::vector<std::size_t> live;
+    for (std::size_t s = 0; s < alphabet; ++s) {
+      if (freqs[s] > 0) live.push_back(s);
+    }
+    std::vector<std::size_t> message;
+    for (int i = 0; i < 500; ++i) {
+      message.push_back(live[rng.NextBounded(static_cast<u32>(live.size()))]);
+    }
+
+    Bytes buf;
+    BitWriter bw(&buf);
+    for (std::size_t s : message) enc->Encode(s, bw);
+    bw.AlignToByte();
+
+    BitReader br(buf);
+    for (std::size_t s : message) {
+      auto got = dec->Decode(br);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, s);
+    }
+  }
+}
+
+TEST(HuffmanCoding, DecoderRejectsGarbageLengths) {
+  std::vector<u8> lengths = {1, 1, 1, 1};  // oversubscribed
+  EXPECT_FALSE(HuffmanDecoder::FromLengths(lengths).ok());
+}
+
+TEST(CodeLengthSerialization, RoundTripsSparseTables) {
+  Pcg32 rng(9, 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::size_t n = 1 + rng.NextBounded(400);
+    std::vector<u8> lengths(n, 0);
+    for (auto& l : lengths) {
+      if (rng.NextBool(0.25)) {
+        l = static_cast<u8>(1 + rng.NextBounded(kMaxCodeBits));
+      }
+    }
+    Bytes buf;
+    BitWriter bw(&buf);
+    WriteCodeLengths(lengths, bw);
+    bw.AlignToByte();
+    BitReader br(buf);
+    auto got = ReadCodeLengths(n, br);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, lengths);
+  }
+}
+
+TEST(CodeLengthSerialization, AllZeroTableIsCompact) {
+  std::vector<u8> lengths(300, 0);
+  Bytes buf;
+  BitWriter bw(&buf);
+  WriteCodeLengths(lengths, bw);
+  bw.AlignToByte();
+  // 300 zeros = 5 runs of <=64 → 5 * 10 bits ≈ 7 bytes.
+  EXPECT_LE(buf.size(), 8u);
+  BitReader br(buf);
+  auto got = ReadCodeLengths(300, br);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, lengths);
+}
+
+TEST(CodeLengthSerialization, TruncatedInputFails) {
+  std::vector<u8> lengths(64, 4);
+  Bytes buf;
+  BitWriter bw(&buf);
+  WriteCodeLengths(lengths, bw);
+  bw.AlignToByte();
+  Bytes truncated(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(buf.size() / 2));
+  BitReader br(truncated);
+  EXPECT_FALSE(ReadCodeLengths(64, br).ok());
+}
+
+}  // namespace
+}  // namespace edc::codec

@@ -1,0 +1,118 @@
+#include "codec/lz77.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace edc::codec {
+namespace {
+
+using edc::test::MakeMixed;
+using edc::test::MakeRandom;
+using edc::test::MakeRuns;
+using edc::test::MakeText;
+
+TEST(Lz77, EmptyInputProducesNoTokens) {
+  EXPECT_TRUE(Lz77Tokenize({}).empty());
+}
+
+TEST(Lz77, ExpandReproducesInput) {
+  for (u64 seed = 0; seed < 12; ++seed) {
+    std::size_t n = 1 + (seed * 511) % 20000;
+    Bytes input = MakeMixed(n, seed);
+    auto tokens = Lz77Tokenize(input);
+    EXPECT_EQ(Lz77Expand(tokens), input) << "seed " << seed;
+  }
+}
+
+TEST(Lz77, TokensRespectFormatLimits) {
+  Bytes input = MakeText(50000, 21);
+  Lz77Params params;
+  for (const auto& t : Lz77Tokenize(input, params)) {
+    if (t.is_match) {
+      EXPECT_GE(t.length, params.min_match);
+      EXPECT_LE(t.length, params.max_match);
+      EXPECT_GE(t.distance, 1);
+      EXPECT_LE(t.distance, params.window_size);
+    }
+  }
+}
+
+TEST(Lz77, FindsLongRunMatches) {
+  Bytes input(1000, 'a');
+  auto tokens = Lz77Tokenize(input);
+  // A long run should collapse into a handful of tokens, not 1000 literals.
+  EXPECT_LT(tokens.size(), 20u);
+  EXPECT_EQ(Lz77Expand(tokens), input);
+}
+
+TEST(Lz77, RandomDataMostlyLiterals) {
+  Bytes input = MakeRandom(10000, 5);
+  auto tokens = Lz77Tokenize(input);
+  std::size_t matches = 0;
+  for (const auto& t : tokens) matches += t.is_match;
+  EXPECT_LT(matches, tokens.size() / 10);
+  EXPECT_EQ(Lz77Expand(tokens), input);
+}
+
+TEST(Lz77, RepeatedBlockCompressesToMatches) {
+  Bytes motif = MakeRandom(100, 6);
+  Bytes input;
+  for (int i = 0; i < 50; ++i) {
+    input.insert(input.end(), motif.begin(), motif.end());
+  }
+  auto tokens = Lz77Tokenize(input);
+  std::size_t matched_bytes = 0;
+  for (const auto& t : tokens) {
+    if (t.is_match) matched_bytes += t.length;
+  }
+  EXPECT_GT(matched_bytes, input.size() * 9 / 10);
+  EXPECT_EQ(Lz77Expand(tokens), input);
+}
+
+TEST(Lz77, LazyMatchingNeverHurtsCorrectness) {
+  Lz77Params lazy_on;
+  lazy_on.lazy = true;
+  Lz77Params lazy_off;
+  lazy_off.lazy = false;
+  for (u64 seed = 0; seed < 8; ++seed) {
+    Bytes input = MakeText(4096, seed + 100);
+    EXPECT_EQ(Lz77Expand(Lz77Tokenize(input, lazy_on)), input);
+    EXPECT_EQ(Lz77Expand(Lz77Tokenize(input, lazy_off)), input);
+  }
+}
+
+TEST(Lz77, OverlappingMatchExpansion) {
+  // "abcabcabc..." exercises dist < len self-overlap on expand.
+  Bytes input;
+  for (int i = 0; i < 300; ++i) input.push_back(static_cast<u8>('a' + i % 3));
+  auto tokens = Lz77Tokenize(input);
+  EXPECT_EQ(Lz77Expand(tokens), input);
+  bool has_overlap = false;
+  for (const auto& t : tokens) {
+    if (t.is_match && t.length > t.distance) has_overlap = true;
+  }
+  EXPECT_TRUE(has_overlap);
+}
+
+TEST(Lz77, TinyInputs) {
+  for (std::size_t n = 0; n <= 5; ++n) {
+    Bytes input = MakeRandom(n, n);
+    EXPECT_EQ(Lz77Expand(Lz77Tokenize(input)), input) << "n=" << n;
+  }
+}
+
+class Lz77ParamSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Lz77ParamSweep, MaxChainVariantsAreLossless) {
+  Lz77Params params;
+  params.max_chain = GetParam();
+  Bytes input = MakeMixed(30000, 77);
+  EXPECT_EQ(Lz77Expand(Lz77Tokenize(input, params)), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, Lz77ParamSweep,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace edc::codec

@@ -1,0 +1,183 @@
+// Round-trip property tests: for every codec and a wide grid of input
+// shapes and sizes, Decompress(Compress(x)) == x, and the compressed size
+// respects MaxCompressedSize.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codec/codec.hpp"
+#include "codec/deflate_like.hpp"
+#include "testutil.hpp"
+
+namespace edc::codec {
+namespace {
+
+using edc::test::MakeMixed;
+using edc::test::MakePeriodic;
+using edc::test::MakeRandom;
+using edc::test::MakeRuns;
+using edc::test::MakeText;
+using edc::test::MakeZeros;
+
+enum class DataKind { kRandom, kRuns, kText, kMixed, kZeros, kPeriodic };
+
+Bytes MakeData(DataKind kind, std::size_t n, u64 seed) {
+  switch (kind) {
+    case DataKind::kRandom: return MakeRandom(n, seed);
+    case DataKind::kRuns: return MakeRuns(n, seed);
+    case DataKind::kText: return MakeText(n, seed);
+    case DataKind::kMixed: return MakeMixed(n, seed);
+    case DataKind::kZeros: return MakeZeros(n);
+    case DataKind::kPeriodic: return MakePeriodic(n, 5 + seed % 7, seed);
+  }
+  return {};
+}
+
+const char* KindName(DataKind k) {
+  switch (k) {
+    case DataKind::kRandom: return "random";
+    case DataKind::kRuns: return "runs";
+    case DataKind::kText: return "text";
+    case DataKind::kMixed: return "mixed";
+    case DataKind::kZeros: return "zeros";
+    case DataKind::kPeriodic: return "periodic";
+  }
+  return "?";
+}
+
+using RoundTripParam = std::tuple<CodecId, DataKind, std::size_t>;
+
+std::string RoundTripParamName(
+    const ::testing::TestParamInfo<RoundTripParam>& info) {
+  return std::string(CodecName(std::get<0>(info.param))) + "_" +
+         KindName(std::get<1>(info.param)) + "_" +
+         std::to_string(std::get<2>(info.param));
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(CodecRoundTrip, LosslessAndBounded) {
+  auto [id, kind, size] = GetParam();
+  const Codec& codec = GetCodec(id);
+  Bytes input = MakeData(kind, size, size * 31 + static_cast<u64>(kind));
+
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+  EXPECT_LE(compressed.size(), codec.MaxCompressedSize(input.size()))
+      << codec.name() << " exceeded its own bound on " << KindName(kind);
+
+  Bytes output;
+  Status st = codec.Decompress(compressed, input.size(), &output);
+  ASSERT_TRUE(st.ok()) << codec.name() << " on " << KindName(kind) << " size "
+                       << size << ": " << st.ToString();
+  EXPECT_EQ(input, output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllShapes, CodecRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(CodecId::kStore, CodecId::kLzf, CodecId::kLzFast,
+                          CodecId::kGzip, CodecId::kBzip2),
+        ::testing::Values(DataKind::kRandom, DataKind::kRuns, DataKind::kText,
+                          DataKind::kMixed, DataKind::kZeros,
+                          DataKind::kPeriodic),
+        ::testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{3}, std::size_t{17}, std::size_t{255},
+                          std::size_t{4096}, std::size_t{65536})),
+    RoundTripParamName);
+
+TEST(CodecRoundTripExtra, CompressAppendsWithoutClearing) {
+  Bytes input = MakeText(1000, 9);
+  for (CodecId id : AllCodecs()) {
+    Bytes out = {0xAA, 0xBB};
+    ASSERT_TRUE(GetCodec(id).Compress(input, &out).ok());
+    EXPECT_EQ(out[0], 0xAA);
+    EXPECT_EQ(out[1], 0xBB);
+  }
+}
+
+TEST(CodecRoundTripExtra, DecompressAppendsWithoutClearing) {
+  Bytes input = MakeRuns(512, 10);
+  for (CodecId id : AllCodecs()) {
+    Bytes compressed;
+    ASSERT_TRUE(GetCodec(id).Compress(input, &compressed).ok());
+    Bytes out = {0x42};
+    ASSERT_TRUE(GetCodec(id).Decompress(compressed, input.size(), &out).ok());
+    ASSERT_EQ(out.size(), input.size() + 1);
+    EXPECT_EQ(out[0], 0x42);
+    EXPECT_TRUE(std::equal(input.begin(), input.end(), out.begin() + 1));
+  }
+}
+
+TEST(CodecRoundTripExtra, RatioOrderingOnText) {
+  // The paper's Fig. 2 ordering: bzip2 >= gzip > lzf-class on text-like
+  // data. We check it holds for our from-scratch implementations.
+  Bytes input = MakeText(64 * 1024, 11);
+  auto ratio = [&](CodecId id) {
+    Bytes c;
+    EXPECT_TRUE(GetCodec(id).Compress(input, &c).ok());
+    return static_cast<double>(input.size()) / static_cast<double>(c.size());
+  };
+  double r_lzf = ratio(CodecId::kLzf);
+  double r_gzip = ratio(CodecId::kGzip);
+  double r_bzip2 = ratio(CodecId::kBzip2);
+  EXPECT_GT(r_gzip, r_lzf);
+  EXPECT_GE(r_bzip2, r_gzip * 0.95);  // bzip2 ~>= gzip (allow small slack)
+  EXPECT_GT(r_lzf, 1.2);
+}
+
+TEST(CodecRoundTripExtra, RandomDataDoesNotExplode) {
+  Bytes input = MakeRandom(32 * 1024, 12);
+  for (CodecId id : AllCodecs()) {
+    Bytes c;
+    ASSERT_TRUE(GetCodec(id).Compress(input, &c).ok());
+    EXPECT_LE(c.size(), GetCodec(id).MaxCompressedSize(input.size()));
+  }
+}
+
+TEST(CodecRoundTripExtra, ManySmallSeeds) {
+  // Sweep many seeds at awkward sizes to shake out boundary bugs.
+  for (u64 seed = 0; seed < 40; ++seed) {
+    std::size_t size = 1 + (seed * 97) % 700;
+    Bytes input = MakeMixed(size, seed);
+    for (CodecId id : AllCodecs()) {
+      Bytes c, d;
+      ASSERT_TRUE(GetCodec(id).Compress(input, &c).ok());
+      ASSERT_TRUE(GetCodec(id).Decompress(c, input.size(), &d).ok())
+          << CodecName(id) << " seed " << seed << " size " << size;
+      ASSERT_EQ(input, d) << CodecName(id) << " seed " << seed;
+    }
+  }
+}
+
+
+TEST(CodecRoundTripExtra, DeflateEffortLevelsLosslessAndOrdered) {
+  Bytes input = MakeText(64 * 1024, 15);
+  double prev_ratio = 0;
+  for (int level : {1, 6, 9}) {
+    DeflateLikeCodec codec(DeflateLikeCodec::LevelParams(level));
+    Bytes c, d;
+    ASSERT_TRUE(codec.Compress(input, &c).ok()) << level;
+    ASSERT_TRUE(codec.Decompress(c, input.size(), &d).ok()) << level;
+    ASSERT_EQ(d, input) << level;
+    double ratio = static_cast<double>(input.size()) /
+                   static_cast<double>(c.size());
+    EXPECT_GE(ratio, prev_ratio * 0.999) << "level " << level;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(CodecRoundTripExtra, DeflateLevelsCrossDecode) {
+  // Streams from any effort level decode with any instance (same format).
+  Bytes input = MakeMixed(20000, 16);
+  DeflateLikeCodec fast(DeflateLikeCodec::LevelParams(1));
+  DeflateLikeCodec best(DeflateLikeCodec::LevelParams(9));
+  Bytes c;
+  ASSERT_TRUE(fast.Compress(input, &c).ok());
+  Bytes d;
+  ASSERT_TRUE(best.Decompress(c, input.size(), &d).ok());
+  EXPECT_EQ(d, input);
+}
+
+}  // namespace
+}  // namespace edc::codec

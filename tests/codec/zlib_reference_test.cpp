@@ -1,0 +1,71 @@
+// Cross-validation of the from-scratch DEFLATE-like codec against zlib
+// (when available at build time): on the same inputs, our ratio must land
+// in the same band as zlib level 6 — the codec the paper's "Gzip" rows
+// represent. This catches silent ratio regressions that round-trip tests
+// cannot.
+#include <gtest/gtest.h>
+
+#include "codec/codec.hpp"
+#include "datagen/generator.hpp"
+
+#if defined(EDC_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace edc::codec {
+namespace {
+
+#if defined(EDC_HAVE_ZLIB)
+
+double ZlibFraction(ByteSpan input) {
+  uLongf out_len = compressBound(static_cast<uLong>(input.size()));
+  Bytes out(out_len);
+  int rc = compress2(out.data(), &out_len, input.data(),
+                     static_cast<uLong>(input.size()), 6);
+  EXPECT_EQ(rc, Z_OK);
+  return static_cast<double>(out_len) / static_cast<double>(input.size());
+}
+
+double OurFraction(ByteSpan input) {
+  Bytes out;
+  EXPECT_TRUE(GetCodec(CodecId::kGzip).Compress(input, &out).ok());
+  return static_cast<double>(out.size()) /
+         static_cast<double>(input.size());
+}
+
+TEST(ZlibReference, RatioWithinBandAcrossContentClasses) {
+  auto profile = datagen::ProfileByName("usr");
+  ASSERT_TRUE(profile.ok());
+  for (const char* name : {"linux", "firefox", "fin", "usr"}) {
+    auto p = datagen::ProfileByName(name);
+    ASSERT_TRUE(p.ok());
+    datagen::ContentGenerator gen(*p, 42);
+    Bytes corpus = gen.GenerateCorpus(256 * 1024, 32 * 1024);
+    double zlib_f = ZlibFraction(corpus);
+    double ours_f = OurFraction(corpus);
+    // Within 25% relative of zlib-6 on compressible data; zlib may win
+    // (better block splitting and unlimited code lengths), we must not
+    // be wildly worse or mysteriously better.
+    EXPECT_LT(ours_f, zlib_f * 1.25) << name;
+    EXPECT_GT(ours_f, zlib_f * 0.75) << name;
+  }
+}
+
+TEST(ZlibReference, IncompressibleHandledComparably) {
+  datagen::ContentProfile p = *datagen::ProfileByName("random");
+  datagen::ContentGenerator gen(p, 43);
+  Bytes corpus = gen.GenerateCorpus(64 * 1024);
+  EXPECT_NEAR(OurFraction(corpus), 1.0, 0.01);
+  EXPECT_NEAR(ZlibFraction(corpus), 1.001, 0.01);
+}
+
+#else
+
+TEST(ZlibReference, SkippedWithoutZlib) {
+  GTEST_SKIP() << "zlib not found at configure time";
+}
+
+#endif
+
+}  // namespace
+}  // namespace edc::codec

@@ -1,0 +1,136 @@
+#include "common/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace edc {
+namespace {
+
+TEST(BitIo, SingleBits) {
+  Bytes buf;
+  BitWriter bw(&buf);
+  bool pattern[] = {true, false, true, true, false, false, true, false, true};
+  for (bool b : pattern) bw.WriteBit(b);
+  bw.AlignToByte();
+  ASSERT_EQ(buf.size(), 2u);
+
+  BitReader br(buf);
+  for (bool b : pattern) EXPECT_EQ(br.ReadBit(), b);
+  EXPECT_TRUE(br.ok());
+}
+
+TEST(BitIo, MultiBitFieldsRoundTrip) {
+  Pcg32 rng(5, 1);
+  std::vector<std::pair<u64, unsigned>> fields;
+  Bytes buf;
+  BitWriter bw(&buf);
+  for (int i = 0; i < 2000; ++i) {
+    unsigned width = 1 + rng.NextBounded(57);
+    u64 value = rng.NextU64() & ((width >= 64) ? ~0ULL : ((1ULL << width) - 1));
+    fields.emplace_back(value, width);
+    bw.WriteBits(value, width);
+  }
+  bw.AlignToByte();
+
+  BitReader br(buf);
+  for (auto [value, width] : fields) {
+    EXPECT_EQ(br.ReadBits(width), value);
+  }
+  EXPECT_TRUE(br.ok());
+}
+
+TEST(BitIo, PeekDoesNotConsume) {
+  Bytes buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0b101101, 6);
+  bw.AlignToByte();
+  BitReader br(buf);
+  EXPECT_EQ(br.PeekBits(6), 0b101101u);
+  EXPECT_EQ(br.PeekBits(6), 0b101101u);
+  EXPECT_EQ(br.ReadBits(6), 0b101101u);
+}
+
+TEST(BitIo, PeekThenSkip) {
+  Bytes buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0xABC, 12);
+  bw.WriteBits(0x5, 3);
+  bw.AlignToByte();
+  BitReader br(buf);
+  EXPECT_EQ(br.PeekBits(12), 0xABCu);
+  br.SkipBits(12);
+  EXPECT_EQ(br.ReadBits(3), 0x5u);
+}
+
+TEST(BitIo, ReadPastEndSetsOverrun) {
+  Bytes buf = {0xFF};
+  BitReader br(buf);
+  EXPECT_EQ(br.ReadBits(8), 0xFFu);
+  EXPECT_TRUE(br.ok());
+  br.ReadBits(1);
+  EXPECT_FALSE(br.ok());
+}
+
+TEST(BitIo, PeekPastEndReadsZeros) {
+  Bytes buf = {0x01};
+  BitReader br(buf);
+  EXPECT_EQ(br.PeekBits(16), 0x01u);  // high bits are zero-filled
+  EXPECT_TRUE(br.ok());               // peek alone doesn't overrun
+}
+
+TEST(BitIo, SkipPastEndSetsOverrun) {
+  Bytes buf = {0x01};
+  BitReader br(buf);
+  br.SkipBits(16);
+  EXPECT_FALSE(br.ok());
+}
+
+TEST(BitIo, AlignToByteOnWriterPadsZeros) {
+  Bytes buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0b1, 1);
+  bw.AlignToByte();
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0x01);
+}
+
+TEST(BitIo, ReaderAlignToByte) {
+  Bytes buf = {0xFF, 0xA5};
+  BitReader br(buf);
+  br.ReadBits(3);
+  br.AlignToByte();
+  EXPECT_EQ(br.ReadBits(8), 0xA5u);
+}
+
+TEST(BitIo, BitsRemaining) {
+  Bytes buf = {0x00, 0x00, 0x00};
+  BitReader br(buf);
+  EXPECT_EQ(br.bits_remaining(), 24u);
+  br.ReadBits(5);
+  EXPECT_EQ(br.bits_remaining(), 19u);
+}
+
+TEST(BitIo, EmptyInput) {
+  BitReader br({});
+  EXPECT_EQ(br.bits_remaining(), 0u);
+  EXPECT_EQ(br.PeekBits(8), 0u);
+  EXPECT_TRUE(br.ok());
+  br.ReadBits(1);
+  EXPECT_FALSE(br.ok());
+}
+
+TEST(BitIo, ZeroWidthWrites) {
+  Bytes buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0, 0);
+  bw.WriteBits(0x7, 3);
+  bw.WriteBits(0, 0);
+  bw.AlignToByte();
+  BitReader br(buf);
+  EXPECT_EQ(br.ReadBits(0), 0u);
+  EXPECT_EQ(br.ReadBits(3), 0x7u);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,83 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace edc {
+namespace {
+
+TEST(Hash32, DeterministicAndSeedSensitive) {
+  Bytes data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(Hash32(data), Hash32(data));
+  EXPECT_NE(Hash32(data, 0), Hash32(data, 1));
+}
+
+TEST(Hash32, AllLengthPathsCovered) {
+  // <16 bytes, exactly 16, >16 with 4-byte and 1-byte tails.
+  Bytes data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<u8>(i * 7 + 3);
+  }
+  std::set<u32> seen;
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    seen.insert(Hash32(ByteSpan(data.data(), len)));
+  }
+  // Distinct prefixes should essentially never collide.
+  EXPECT_GE(seen.size(), 64u);
+}
+
+TEST(Hash32, AvalancheOnSingleBitFlip) {
+  Pcg32 rng(3, 9);
+  Bytes data(32);
+  for (auto& b : data) b = static_cast<u8>(rng.NextU32());
+  u32 h0 = Hash32(data);
+  int total_bits = 0;
+  int flipped_output_bits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 1;
+    u32 h1 = Hash32(data);
+    data[i] ^= 1;
+    flipped_output_bits += __builtin_popcount(h0 ^ h1);
+    total_bits += 32;
+  }
+  // Expect roughly half the output bits to flip (allow a wide margin).
+  EXPECT_GT(flipped_output_bits, total_bits / 4);
+  EXPECT_LT(flipped_output_bits, total_bits * 3 / 4);
+}
+
+TEST(Mix32, BijectivityOverSample) {
+  std::set<u32> outputs;
+  for (u32 x = 0; x < 20000; ++x) outputs.insert(Mix32(x));
+  EXPECT_EQ(outputs.size(), 20000u);
+}
+
+TEST(Mix64, NonTrivialAndDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), 42u);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+
+TEST(Hash64, DistinctContentDistinctFingerprints) {
+  Pcg32 rng(7, 1);
+  std::set<u64> seen;
+  Bytes block(4096);
+  for (int i = 0; i < 2000; ++i) {
+    for (auto& b : block) b = static_cast<u8>(rng.NextU32());
+    seen.insert(Hash64(block));
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(Hash64, StableAndSizeSensitive) {
+  Bytes a = {1, 2, 3, 4, 5};
+  EXPECT_EQ(Hash64(a), Hash64(a));
+  Bytes b = {1, 2, 3, 4};
+  EXPECT_NE(Hash64(a), Hash64(b));
+}
+
+}  // namespace
+}  // namespace edc

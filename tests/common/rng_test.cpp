@@ -1,0 +1,118 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/stats.hpp"
+
+namespace edc {
+namespace {
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(123, 4);
+  Pcg32 b(123, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.NextU32() == b.NextU32();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(1, 1), b(1, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.NextU32() == b.NextU32();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedIsInRangeAndRoughlyUniform) {
+  Pcg32 rng(7);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 100000; ++i) {
+    u32 v = rng.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[v];
+  }
+  for (int c : buckets) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Pcg32, BoundedZeroAndOne) {
+  Pcg32 rng(8);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    stats.Add(d);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Pcg32, ExponentialHasRequestedMean) {
+  Pcg32 rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextExponential(3.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Pcg32, GaussianMoments) {
+  Pcg32 rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Pcg32, ParetoIsHeavyTailedAboveScale) {
+  Pcg32 rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextPareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Pcg32, ZipfSkewsTowardSmallValues) {
+  Pcg32 rng(13);
+  std::array<int, 100> counts{};
+  for (int i = 0; i < 100000; ++i) {
+    u32 v = rng.NextZipf(100, 1.0);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  EXPECT_GT(counts[0], counts[9] * 2);
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(Pcg32, ZipfZeroExponentIsUniformish) {
+  Pcg32 rng(14);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.NextZipf(10, 0.0)];
+  for (int c : counts) EXPECT_GT(c, 3500);
+}
+
+TEST(Pcg32, DeriveGivesIndependentDeterministicStreams) {
+  Pcg32 a = Pcg32::Derive(99, 1);
+  Pcg32 a2 = Pcg32::Derive(99, 1);
+  Pcg32 b = Pcg32::Derive(99, 2);
+  EXPECT_EQ(a.NextU64(), a2.NextU64());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU32() == b.NextU32();
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace edc

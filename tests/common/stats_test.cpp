@@ -1,0 +1,152 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace edc {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    double x = i * 0.37 - 5;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), a_copy.mean());
+  b.Merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(PercentileReservoir, ExactWhenUnderCapacity) {
+  PercentileReservoir r(1000);
+  for (int i = 1; i <= 100; ++i) r.Add(i);
+  EXPECT_NEAR(r.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(r.Quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(r.Quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(r.Quantile(0.99), 99.01, 0.2);
+}
+
+TEST(PercentileReservoir, ApproximateWhenSampling) {
+  PercentileReservoir r(512, 7);
+  for (int i = 0; i < 100000; ++i) r.Add(i % 1000);
+  EXPECT_EQ(r.seen(), 100000u);
+  EXPECT_EQ(r.size(), 512u);
+  EXPECT_NEAR(r.Quantile(0.5), 500.0, 80.0);
+}
+
+TEST(PercentileReservoir, EmptyQuantileIsZero) {
+  PercentileReservoir r;
+  EXPECT_EQ(r.Quantile(0.5), 0.0);
+}
+
+TEST(Ewma, FirstSamplePrimes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.primed());
+  e.Add(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.3);
+  e.Add(0.0);
+  for (int i = 0; i < 100; ++i) e.Add(5.0);
+  EXPECT_NEAR(e.value(), 5.0, 1e-6);
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e(0.2);
+  e.Add(3.0);
+  e.Reset();
+  EXPECT_FALSE(e.primed());
+  EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(5.5);
+  h.Add(-3.0);   // clamps to bucket 0
+  h.Add(100.0);  // clamps to last bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(5), 6.0);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  h.Add(1.2);
+  h.Add(3.0);
+  std::string art = h.ToAscii(20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(SlidingWindowRate, CountsOnlyWithinWindow) {
+  SlidingWindowRate w(kSecond);
+  w.Add(0, 1.0);
+  w.Add(kSecond / 2, 1.0);
+  EXPECT_DOUBLE_EQ(w.WindowSum(kSecond / 2), 2.0);
+  // At t=1.2 s the first event (t=0) has left the 1 s window.
+  EXPECT_DOUBLE_EQ(w.WindowSum(kSecond + kSecond / 5), 1.0);
+  // At t=2 s everything is gone.
+  EXPECT_DOUBLE_EQ(w.WindowSum(2 * kSecond), 0.0);
+}
+
+TEST(SlidingWindowRate, RateIsPerSecond) {
+  SlidingWindowRate w(kSecond);
+  for (int i = 0; i < 100; ++i) {
+    w.Add(i * (kSecond / 200), 1.0);  // 100 events in 0.5 s
+  }
+  EXPECT_NEAR(w.Rate(kSecond / 2), 100.0, 1.0);
+}
+
+TEST(SlidingWindowRate, WeightsAreSummed) {
+  SlidingWindowRate w(kSecond);
+  w.Add(0, 4.0);  // e.g. a 16 KB request = 4 page units
+  w.Add(1, 2.0);
+  EXPECT_DOUBLE_EQ(w.WindowSum(10), 6.0);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,75 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace edc {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "checksum mismatch");
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: checksum mismatch");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode c : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                       StatusCode::kNotFound, StatusCode::kOutOfRange,
+                       StatusCode::kResourceExhausted, StatusCode::kDataLoss,
+                       StatusCode::kFailedPrecondition,
+                       StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeName(c).empty());
+    EXPECT_NE(StatusCodeName(c), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r(5);
+  EXPECT_EQ(r.value_or(9), 5);
+}
+
+TEST(ReturnIfErrorMacro, PropagatesAndPasses) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto passes = []() -> Status { return Status::Ok(); };
+  auto wrapper = [&](bool fail) -> Status {
+    EDC_RETURN_IF_ERROR(passes());
+    if (fail) EDC_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_TRUE(wrapper(false).ok());
+  EXPECT_EQ(wrapper(true).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,44 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace edc {
+namespace {
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1.5"});
+  t.AddRow({"beta", "22.0"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t({"k", "metric"});
+  t.AddRow({"x", "1.0"});
+  t.AddRow({"y", "100.0"});
+  std::string out = t.ToString();
+  // "1.0" must be padded on the left to match "metric"/"100.0" width.
+  EXPECT_NE(out.find("  1.0"), std::string::npos);
+}
+
+TEST(TextTable, NumHelper) {
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Num(-0.5, 3), "-0.500");
+  EXPECT_EQ(TextTable::Num(10, 0), "10");
+}
+
+TEST(TextTable, ShortRowsTolerated) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,98 @@
+#include "common/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace edc {
+namespace {
+
+TEST(Varint, RoundTripBoundaryValues) {
+  for (u64 v : {u64{0}, u64{1}, u64{127}, u64{128}, u64{16383}, u64{16384},
+                u64{0xFFFFFFFF}, u64{1} << 56,
+                std::numeric_limits<u64>::max()}) {
+    Bytes buf;
+    PutVarint(&buf, v);
+    std::size_t pos = 0;
+    auto got = GetVarint(buf, &pos);
+    ASSERT_TRUE(got.ok()) << v;
+    EXPECT_EQ(*got, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, EncodedSizes) {
+  auto size_of = [](u64 v) {
+    Bytes buf;
+    PutVarint(&buf, v);
+    return buf.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(16383), 2u);
+  EXPECT_EQ(size_of(16384), 3u);
+  EXPECT_EQ(size_of(std::numeric_limits<u64>::max()), 10u);
+}
+
+TEST(Varint, SequentialDecoding) {
+  Bytes buf;
+  PutVarint(&buf, 5);
+  PutVarint(&buf, 300);
+  PutVarint(&buf, 0);
+  std::size_t pos = 0;
+  EXPECT_EQ(*GetVarint(buf, &pos), 5u);
+  EXPECT_EQ(*GetVarint(buf, &pos), 300u);
+  EXPECT_EQ(*GetVarint(buf, &pos), 0u);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncatedFails) {
+  Bytes buf;
+  PutVarint(&buf, 1u << 20);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos).ok());
+}
+
+TEST(Varint, OverlongFails) {
+  Bytes buf(11, 0x80);  // 11 continuation bytes: too long for 64 bits
+  std::size_t pos = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos).ok());
+}
+
+TEST(Varint, OverflowTopBitsFails) {
+  // 10 bytes where the last byte carries bits beyond position 63.
+  Bytes buf(9, 0xFF);
+  buf.push_back(0x7F);
+  std::size_t pos = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos).ok());
+}
+
+TEST(FixedWidth, U32LeRoundTrip) {
+  for (u32 v : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    Bytes buf;
+    PutU32Le(&buf, v);
+    EXPECT_EQ(buf.size(), 4u);
+    std::size_t pos = 0;
+    auto got = GetU32Le(buf, &pos);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+    EXPECT_EQ(pos, 4u);
+  }
+}
+
+TEST(FixedWidth, U32LeByteOrder) {
+  Bytes buf;
+  PutU32Le(&buf, 0x04030201u);
+  EXPECT_EQ(buf, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(FixedWidth, U32LeTruncatedFails) {
+  Bytes buf = {1, 2, 3};
+  std::size_t pos = 0;
+  EXPECT_FALSE(GetU32Le(buf, &pos).ok());
+}
+
+}  // namespace
+}  // namespace edc

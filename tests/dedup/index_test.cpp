@@ -1,0 +1,127 @@
+#include "dedup/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.hpp"
+#include "testutil.hpp"
+
+namespace edc::dedup {
+namespace {
+
+using edc::test::MakeRandom;
+using edc::test::MakeText;
+
+TEST(DedupIndex, FirstInsertIsUnique) {
+  DedupIndex index;
+  Bytes a = MakeRandom(4096, 1);
+  auto r = index.Insert(a, 100);
+  EXPECT_FALSE(r.is_duplicate);
+  EXPECT_EQ(r.location, 100u);
+  EXPECT_EQ(r.refcount, 1u);
+  EXPECT_EQ(index.entries(), 1u);
+}
+
+TEST(DedupIndex, IdenticalContentDeduplicates) {
+  DedupIndex index;
+  Bytes a = MakeText(4096, 2);
+  ASSERT_FALSE(index.Insert(a, 7).is_duplicate);
+  auto r = index.Insert(a, 999);
+  EXPECT_TRUE(r.is_duplicate);
+  EXPECT_EQ(r.location, 7u);  // representative location, not the new one
+  EXPECT_EQ(r.refcount, 2u);
+  EXPECT_EQ(index.entries(), 1u);
+  EXPECT_EQ(index.stats().duplicate_blocks, 1u);
+}
+
+TEST(DedupIndex, DifferentContentStaysSeparate) {
+  DedupIndex index;
+  for (u64 i = 0; i < 200; ++i) {
+    EXPECT_FALSE(index.Insert(MakeRandom(4096, i), i).is_duplicate) << i;
+  }
+  EXPECT_EQ(index.entries(), 200u);
+  EXPECT_EQ(index.stats().collisions, 0u);
+}
+
+TEST(DedupIndex, RefCountingLifecycle) {
+  DedupIndex index;
+  Bytes a = MakeText(4096, 3);
+  index.Insert(a, 1);
+  index.Insert(a, 2);
+  index.Insert(a, 3);
+  EXPECT_EQ(index.RefCount(a), 3u);
+  EXPECT_FALSE(index.Remove(a));  // 2 left
+  EXPECT_FALSE(index.Remove(a));  // 1 left
+  EXPECT_TRUE(index.Remove(a));   // last reference: reclaim
+  EXPECT_EQ(index.RefCount(a), 0u);
+  EXPECT_EQ(index.entries(), 0u);
+}
+
+TEST(DedupIndex, RemoveUnknownIsFalse) {
+  DedupIndex index;
+  EXPECT_FALSE(index.Remove(MakeRandom(4096, 9)));
+}
+
+TEST(DedupIndex, DedupRatioTracksRedundancy) {
+  DedupIndex index;
+  Bytes hot = MakeText(4096, 4);
+  for (int i = 0; i < 9; ++i) index.Insert(hot, 1);
+  index.Insert(MakeRandom(4096, 5), 2);
+  // 10 logical blocks, 2 unique.
+  EXPECT_DOUBLE_EQ(index.stats().dedup_ratio(), 5.0);
+}
+
+TEST(DedupIndex, DatagenDupFractionIsRecovered) {
+  // The generator's dedup knob must produce the redundancy the index can
+  // find — closing the loop between the SDGen analog and the CA-FTL
+  // analog.
+  auto profile = datagen::ProfileByName("usr");
+  ASSERT_TRUE(profile.ok());
+  profile->dup_fraction = 0.30;
+  profile->dup_universe = 64;
+  datagen::ContentGenerator gen(*profile, 55);
+
+  DedupIndex index;
+  const int n = 3000;
+  for (Lba lba = 0; lba < n; ++lba) {
+    index.Insert(gen.Generate(lba, 1, 4096), lba);
+  }
+  double dup_share = static_cast<double>(index.stats().duplicate_blocks) /
+                     static_cast<double>(n);
+  // ~30% of blocks are pool blocks; nearly all pool blocks after the
+  // first occurrence of each pool entry are duplicates.
+  EXPECT_GT(dup_share, 0.24);
+  EXPECT_LT(dup_share, 0.36);
+  EXPECT_GT(index.stats().dedup_ratio(), 1.2);
+}
+
+TEST(DedupIndex, ZeroDupFractionYieldsNoDuplicates) {
+  auto profile = datagen::ProfileByName("linux");
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile->dup_fraction, 0.0);
+  datagen::ContentGenerator gen(*profile, 56);
+  DedupIndex index;
+  int dups = 0;
+  for (Lba lba = 0; lba < 500; ++lba) {
+    // Skip zero-kind blocks: all-zero content is legitimately identical.
+    if (gen.KindForLba(lba) == datagen::ChunkKind::kZero) continue;
+    dups += index.Insert(gen.Generate(lba, 1, 4096), lba).is_duplicate;
+  }
+  EXPECT_EQ(dups, 0);
+}
+
+TEST(DedupIndex, DupContentStableAcrossVersions) {
+  auto profile = datagen::ProfileByName("usr");
+  ASSERT_TRUE(profile.ok());
+  profile->dup_fraction = 1.0;  // every block from the pool
+  profile->dup_universe = 8;
+  datagen::ContentGenerator gen(*profile, 57);
+  // With an 8-entry universe, 100 blocks must collapse to <= 8 uniques.
+  DedupIndex index;
+  for (Lba lba = 0; lba < 100; ++lba) {
+    index.Insert(gen.Generate(lba, lba % 3, 4096), lba);
+  }
+  EXPECT_LE(index.entries(), 8u);
+}
+
+}  // namespace
+}  // namespace edc::dedup

@@ -1,0 +1,100 @@
+// Allocation-policy matrix: every policy must preserve functional
+// correctness; their space accounting must obey the expected ordering
+// (exact <= size-class <= whole-page allocated bytes).
+#include <gtest/gtest.h>
+
+#include "edc/stack.hpp"
+
+namespace edc::core {
+namespace {
+
+std::unique_ptr<Stack> MakeStack(AllocPolicy policy, const char* profile) {
+  StackConfig cfg;
+  cfg.scheme = Scheme::kGzip;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = profile;
+  cfg.seed = 777;
+  cfg.ssd.geometry.pages_per_block = 16;
+  cfg.ssd.geometry.num_blocks = 512;
+  cfg.ssd.store_data = false;
+  cfg.alloc_policy = policy;
+  auto stack = Stack::Create(cfg);
+  EXPECT_TRUE(stack.ok());
+  return std::move(*stack);
+}
+
+void Workload(Engine& e) {
+  SimTime now = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (Lba b = 0; b < 60; b += 2) {
+      auto c = e.Write(now, b * kLogicalBlockSize,
+                       2 * static_cast<u32>(kLogicalBlockSize));
+      ASSERT_TRUE(c.ok());
+      now = std::max(now + 100 * kMicrosecond, *c);
+    }
+  }
+  ASSERT_TRUE(e.FlushPending(now).ok());
+}
+
+class AllocPolicyTest : public ::testing::TestWithParam<AllocPolicy> {};
+
+TEST_P(AllocPolicyTest, FunctionalCorrectness) {
+  auto stack = MakeStack(GetParam(), "usr");
+  Engine& e = stack->engine();
+  Workload(e);
+  for (Lba b = 0; b < 60; ++b) {
+    auto got = e.ReadBlockData(b);
+    ASSERT_TRUE(got.ok()) << "block " << b;
+    ASSERT_EQ(*got, e.ExpectedBlockData(b)) << "block " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AllocPolicyTest,
+    ::testing::Values(AllocPolicy::kSizeClass, AllocPolicy::kExactQuanta,
+                      AllocPolicy::kWholePage),
+    [](const ::testing::TestParamInfo<AllocPolicy>& param_info) {
+      switch (param_info.param) {
+        case AllocPolicy::kSizeClass: return "size_class";
+        case AllocPolicy::kExactQuanta: return "exact";
+        case AllocPolicy::kWholePage: return "whole_page";
+      }
+      return "unknown";
+    });
+
+TEST(AllocPolicyOrdering, AllocatedBytesOrdering) {
+  u64 allocated[3] = {};
+  AllocPolicy policies[3] = {AllocPolicy::kExactQuanta,
+                             AllocPolicy::kSizeClass,
+                             AllocPolicy::kWholePage};
+  for (int i = 0; i < 3; ++i) {
+    auto stack = MakeStack(policies[i], "linux");
+    Workload(stack->engine());
+    allocated[i] = stack->engine().stats().allocated_bytes_total;
+  }
+  EXPECT_LE(allocated[0], allocated[1]);  // exact <= size-class
+  EXPECT_LE(allocated[1], allocated[2]);  // size-class <= whole-page
+  EXPECT_LT(allocated[0], allocated[2]);  // strict end to end
+}
+
+TEST(AllocPolicyOrdering, WholePageRatioIsOne) {
+  auto stack = MakeStack(AllocPolicy::kWholePage, "linux");
+  Workload(stack->engine());
+  EXPECT_DOUBLE_EQ(stack->engine().stats().cumulative_ratio(), 1.0);
+}
+
+TEST(AllocPolicyOrdering, SizeClassWithinBandOfExact) {
+  // The paper's grid sacrifices bounded space vs exact placement: at most
+  // one class step (<= 1 quantum per original block quantum).
+  auto exact = MakeStack(AllocPolicy::kExactQuanta, "linux");
+  auto grid = MakeStack(AllocPolicy::kSizeClass, "linux");
+  Workload(exact->engine());
+  Workload(grid->engine());
+  double re = exact->engine().stats().cumulative_ratio();
+  double rg = grid->engine().stats().cumulative_ratio();
+  EXPECT_LE(rg, re + 1e-9);
+  EXPECT_GT(rg, re * 0.6);
+}
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,117 @@
+// Property tests for the QuantumAllocator invariants under random churn:
+//  * no live extent overlaps another,
+//  * sub-page extents (len <= 4) never straddle a flash-page boundary,
+//  * multi-page extents are page-aligned whole pages,
+//  * allocated_quanta() always equals the sum of live extents.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "edc/mapping.hpp"
+
+namespace edc::core {
+namespace {
+
+struct Extent {
+  u64 start;
+  u32 len;  // rounded length actually reserved
+};
+
+class AllocatorChurn : public ::testing::TestWithParam<u64> {};
+
+TEST_P(AllocatorChurn, InvariantsHoldUnderRandomChurn) {
+  const u64 seed = GetParam();
+  Pcg32 rng(seed, 21);
+  QuantumAllocator alloc(4096);
+  std::map<u64, Extent> live;  // key: start
+  u64 expected_allocated = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    bool do_alloc = live.empty() || rng.NextBool(0.55);
+    if (do_alloc) {
+      // Request sizes: mostly sub-page classes, sometimes merged groups.
+      u32 req = rng.NextBool(0.7)
+                    ? 1 + rng.NextBounded(4)
+                    : (1 + rng.NextBounded(16)) * 4;
+      auto start = alloc.Allocate(req);
+      if (!start.ok()) {
+        ASSERT_EQ(start.status().code(), StatusCode::kResourceExhausted);
+        continue;  // space pressure is fine; invariants still checked
+      }
+      u32 rounded = QuantumAllocator::RoundedLen(req);
+
+      // Invariant: placement rules.
+      if (rounded <= kQuantaPerBlock) {
+        EXPECT_LE(*start % kQuantaPerBlock + rounded, kQuantaPerBlock)
+            << "sub-page extent straddles a page, step " << step;
+      } else {
+        EXPECT_EQ(*start % kQuantaPerBlock, 0u) << "step " << step;
+        EXPECT_EQ(rounded % kQuantaPerBlock, 0u) << "step " << step;
+      }
+      EXPECT_LE(*start + rounded, alloc.total_quanta());
+
+      // Invariant: no overlap with any live extent.
+      auto next = live.lower_bound(*start);
+      if (next != live.end()) {
+        EXPECT_LE(*start + rounded, next->second.start)
+            << "overlap with successor, step " << step;
+      }
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        EXPECT_LE(prev->second.start + prev->second.len, *start)
+            << "overlap with predecessor, step " << step;
+      }
+
+      live[*start] = Extent{*start, rounded};
+      expected_allocated += rounded;
+    } else {
+      // Free a random live extent.
+      auto it = live.begin();
+      std::advance(it, rng.NextBounded(static_cast<u32>(live.size())));
+      alloc.Free(it->second.start, it->second.len);
+      expected_allocated -= it->second.len;
+      live.erase(it);
+    }
+    ASSERT_EQ(alloc.allocated_quanta(), expected_allocated)
+        << "accounting drift at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorChurn,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(AllocatorChurn, TightSpaceRecyclesForever) {
+  // With exactly enough room for the working set, reuse must never leak.
+  QuantumAllocator alloc(64);
+  std::vector<std::pair<u64, u32>> held;
+  Pcg32 rng(99, 3);
+  for (int round = 0; round < 2000; ++round) {
+    while (held.size() < 12) {
+      u32 req = 1 + rng.NextBounded(4);
+      auto start = alloc.Allocate(req);
+      if (!start.ok()) break;
+      held.emplace_back(*start, req);
+    }
+    // Free half, randomly.
+    for (int i = 0; i < 6 && !held.empty(); ++i) {
+      std::size_t idx = rng.NextBounded(static_cast<u32>(held.size()));
+      alloc.Free(held[idx].first, held[idx].second);
+      held[idx] = held.back();
+      held.pop_back();
+    }
+  }
+  EXPECT_LE(alloc.allocated_quanta(), 64u);
+}
+
+TEST(AllocatorRounding, RoundedLenGrid) {
+  EXPECT_EQ(QuantumAllocator::RoundedLen(1), 1u);
+  EXPECT_EQ(QuantumAllocator::RoundedLen(4), 4u);
+  EXPECT_EQ(QuantumAllocator::RoundedLen(5), 8u);
+  EXPECT_EQ(QuantumAllocator::RoundedLen(8), 8u);
+  EXPECT_EQ(QuantumAllocator::RoundedLen(9), 12u);
+  EXPECT_EQ(QuantumAllocator::RoundedLen(63), 64u);
+}
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,122 @@
+// LRU group-cache semantics: hits skip device + CPU work, eviction is LRU,
+// and invalidation on overwrite/trim prevents stale reuse (of timing —
+// content is immutable per group by construction).
+#include <gtest/gtest.h>
+
+#include "edc/stack.hpp"
+
+namespace edc::core {
+namespace {
+
+std::unique_ptr<Stack> MakeStack(std::size_t cache_groups) {
+  StackConfig cfg;
+  cfg.scheme = Scheme::kGzip;  // deterministic codec choice
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "linux";
+  cfg.seed = 31;
+  cfg.ssd.geometry.pages_per_block = 16;
+  cfg.ssd.geometry.num_blocks = 256;
+  cfg.ssd.store_data = false;
+  cfg.cache_groups = cache_groups;
+  auto stack = Stack::Create(cfg);
+  EXPECT_TRUE(stack.ok());
+  return std::move(*stack);
+}
+
+TEST(GroupCache, DisabledByDefaultCountsNothing) {
+  auto stack = MakeStack(0);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Read(kMillisecond, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Read(2 * kMillisecond, 0, kLogicalBlockSize).ok());
+  EXPECT_EQ(e.stats().cache_hits, 0u);
+  EXPECT_EQ(e.stats().cache_misses, 0u);
+}
+
+TEST(GroupCache, SecondReadHitsAndIsFaster) {
+  auto stack = MakeStack(16);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, 4 * kLogicalBlockSize).ok());
+
+  SimTime t1 = 10 * kMillisecond;
+  auto r1 = e.Read(t1, 0, 4 * kLogicalBlockSize);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(e.stats().cache_misses, 1u);
+
+  SimTime t2 = *r1 + 10 * kMillisecond;
+  auto r2 = e.Read(t2, 0, 4 * kLogicalBlockSize);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(e.stats().cache_hits, 1u);
+  EXPECT_LT(*r2 - t2, *r1 - t1);  // hit skips device + decompress
+  EXPECT_EQ(*r2, t2);             // in fact it is free in the model
+}
+
+TEST(GroupCache, OverwriteInvalidates) {
+  auto stack = MakeStack(16);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Read(kMillisecond, 0, kLogicalBlockSize).ok());  // miss+fill
+  ASSERT_TRUE(e.Write(2 * kMillisecond, 0, kLogicalBlockSize).ok());
+  auto r = e.Read(3 * kMillisecond, 0, kLogicalBlockSize);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(e.stats().cache_hits, 0u);
+  EXPECT_EQ(e.stats().cache_misses, 2u);
+  // Content is the latest version.
+  auto data = e.ReadBlockData(0);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, e.ExpectedBlockData(0));
+}
+
+TEST(GroupCache, TrimInvalidates) {
+  auto stack = MakeStack(16);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Read(kMillisecond, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Trim(2 * kMillisecond, 0, kLogicalBlockSize).ok());
+  // The group is gone; a read of the unmapped block touches no cache.
+  auto r = e.Read(3 * kMillisecond, 0, kLogicalBlockSize);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(e.stats().cache_hits, 0u);
+}
+
+TEST(GroupCache, LruEvictionOrder) {
+  auto stack = MakeStack(2);  // room for two groups
+  Engine& e = stack->engine();
+  for (Lba b : {0u, 10u, 20u}) {
+    ASSERT_TRUE(e.Write(0, b * kLogicalBlockSize, kLogicalBlockSize).ok());
+  }
+  SimTime t = kSecond;
+  auto read = [&](Lba b) {
+    auto r = e.Read(t, b * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(r.ok());
+    t = std::max(t, *r) + kMillisecond;
+  };
+  read(0);   // miss -> {0}
+  read(10);  // miss -> {10, 0}
+  read(0);   // hit  -> {0, 10}
+  read(20);  // miss -> {20, 0}  (10 evicted: LRU)
+  read(10);  // miss -> {10, 20} (0 evicted)
+  read(0);   // miss -> {0, 10}  (20 evicted)
+  EXPECT_EQ(e.stats().cache_hits, 1u);
+  EXPECT_EQ(e.stats().cache_misses, 5u);
+}
+
+TEST(GroupCache, HitReducesDeviceReads) {
+  auto hot = MakeStack(64);
+  auto cold = MakeStack(0);
+  for (auto* stack : {hot.get(), cold.get()}) {
+    Engine& e = stack->engine();
+    ASSERT_TRUE(e.Write(0, 0, 8 * kLogicalBlockSize).ok());
+    SimTime t = kSecond;
+    for (int i = 0; i < 20; ++i) {
+      auto r = e.Read(t, 0, 8 * kLogicalBlockSize);
+      ASSERT_TRUE(r.ok());
+      t = std::max(t, *r) + kMillisecond;
+    }
+  }
+  EXPECT_LT(hot->device().stats().host_pages_read,
+            cold->device().stats().host_pages_read / 5);
+}
+
+}  // namespace
+}  // namespace edc::core

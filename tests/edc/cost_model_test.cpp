@@ -1,0 +1,129 @@
+#include "edc/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edc::core {
+namespace {
+
+const CostModel& SharedModel() {
+  static const CostModel model = [] {
+    auto profile = datagen::ProfileByName("usr");
+    EXPECT_TRUE(profile.ok());
+    datagen::ContentGenerator gen(*profile, 5);
+    CostModelConfig cfg;
+    cfg.calib_bytes = 64 * 1024;  // keep the test fast
+    cfg.calib_block = 16 * 1024;
+    return CostModel::Calibrate(gen, cfg);
+  }();
+  return model;
+}
+
+TEST(CostModel, RatioOrderingOnText) {
+  const CostModel& m = SharedModel();
+  double lzf = m.Get(codec::CodecId::kLzf, datagen::ChunkKind::kText)
+                   .compressed_fraction;
+  double gzip = m.Get(codec::CodecId::kGzip, datagen::ChunkKind::kText)
+                    .compressed_fraction;
+  double bzip2 = m.Get(codec::CodecId::kBzip2, datagen::ChunkKind::kText)
+                     .compressed_fraction;
+  EXPECT_LT(gzip, lzf);           // gzip compresses text harder than lzf
+  EXPECT_LE(bzip2, gzip * 1.10);  // bzip2 at least comparable
+}
+
+TEST(CostModel, SpeedOrdering) {
+  const CostModel& m = SharedModel();
+  double lzf = m.Get(codec::CodecId::kLzf, datagen::ChunkKind::kText)
+                   .compress_mb_s;
+  double bzip2 = m.Get(codec::CodecId::kBzip2, datagen::ChunkKind::kText)
+                     .compress_mb_s;
+  EXPECT_GT(lzf, bzip2 * 3);  // the whole premise of elastic selection
+}
+
+TEST(CostModel, RandomContentIncompressible) {
+  const CostModel& m = SharedModel();
+  for (codec::CodecId id : codec::PaperCodecs()) {
+    EXPECT_GT(m.Get(id, datagen::ChunkKind::kRandom).compressed_fraction,
+              0.9)
+        << codec::CodecName(id);
+  }
+}
+
+TEST(CostModel, ZeroContentNearlyFree) {
+  const CostModel& m = SharedModel();
+  EXPECT_LT(m.Get(codec::CodecId::kLzf, datagen::ChunkKind::kZero)
+                .compressed_fraction,
+            0.10);
+}
+
+TEST(CostModel, TimesScaleWithBytes) {
+  const CostModel& m = SharedModel();
+  SimTime t4k = m.CompressTime(codec::CodecId::kGzip,
+                               datagen::ChunkKind::kText, 4096);
+  SimTime t64k = m.CompressTime(codec::CodecId::kGzip,
+                                datagen::ChunkKind::kText, 65536);
+  EXPECT_GT(t4k, 0);
+  // Time grows roughly proportionally (speeds are size-interpolated, so
+  // the factor is near — not exactly — the byte ratio).
+  EXPECT_GT(t64k, t4k * 8);
+  EXPECT_LT(t64k, t4k * 40);
+}
+
+TEST(CostModel, SizeInterpolationMonotoneForGzipRatio) {
+  // Small inputs compress worse than merged runs — the property the SD
+  // merging exploits.
+  const CostModel& m = SharedModel();
+  double f4k = m.GetAt(codec::CodecId::kGzip, datagen::ChunkKind::kText,
+                       4096)
+                   .compressed_fraction;
+  double f32k = m.GetAt(codec::CodecId::kGzip, datagen::ChunkKind::kText,
+                        32768)
+                    .compressed_fraction;
+  EXPECT_GE(f4k, f32k);
+  // Clamped outside the calibrated range.
+  EXPECT_EQ(m.GetAt(codec::CodecId::kGzip, datagen::ChunkKind::kText, 1)
+                .compressed_fraction,
+            f4k);
+}
+
+TEST(CostModel, StoreIsFree) {
+  const CostModel& m = SharedModel();
+  EXPECT_EQ(m.CompressTime(codec::CodecId::kStore,
+                           datagen::ChunkKind::kText, 4096),
+            0);
+  EXPECT_EQ(m.CompressedSize(codec::CodecId::kStore,
+                             datagen::ChunkKind::kText, 4096, 1),
+            4096u);
+}
+
+TEST(CostModel, CompressedSizeJitterBoundedAndDeterministic) {
+  const CostModel& m = SharedModel();
+  double base = m.GetAt(codec::CodecId::kGzip, datagen::ChunkKind::kText,
+                        4096)
+                    .compressed_fraction;
+  for (u64 key = 0; key < 50; ++key) {
+    std::size_t a = m.CompressedSize(codec::CodecId::kGzip,
+                                     datagen::ChunkKind::kText, 4096, key);
+    std::size_t b = m.CompressedSize(codec::CodecId::kGzip,
+                                     datagen::ChunkKind::kText, 4096, key);
+    EXPECT_EQ(a, b);
+    double f = static_cast<double>(a) / 4096.0;
+    EXPECT_GE(f, base * 0.88);
+    EXPECT_LE(f, base * 1.12);
+  }
+}
+
+TEST(CostModel, DecompressFasterThanCompressForHeavyCodecs) {
+  const CostModel& m = SharedModel();
+  const CodecCost& c =
+      m.Get(codec::CodecId::kBzip2, datagen::ChunkKind::kText);
+  EXPECT_GT(c.decompress_mb_s, c.compress_mb_s * 0.8);
+}
+
+TEST(CostModel, RendersTable) {
+  std::string table = SharedModel().ToString();
+  EXPECT_NE(table.find("bzip2"), std::string::npos);
+  EXPECT_NE(table.find("comp_MB/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,257 @@
+// Functional end-to-end tests of the EDC engine over a simulated SSD:
+// every byte written must read back exactly after compression, merging,
+// size-class placement and overwrites.
+#include "edc/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "edc/stack.hpp"
+
+namespace edc::core {
+namespace {
+
+StackConfig SmallStack(Scheme scheme, const char* profile = "usr") {
+  StackConfig cfg;
+  cfg.scheme = scheme;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = profile;
+  cfg.seed = 4242;
+  cfg.ssd.geometry.pages_per_block = 16;
+  cfg.ssd.geometry.num_blocks = 256;  // 16 MiB
+  cfg.ssd.store_data = false;         // engine holds payloads
+  return cfg;
+}
+
+std::unique_ptr<Stack> MakeStack(Scheme scheme, const char* profile = "usr") {
+  auto stack = Stack::Create(SmallStack(scheme, profile));
+  EXPECT_TRUE(stack.ok()) << stack.status().ToString();
+  return std::move(*stack);
+}
+
+void VerifyBlock(Stack& stack, Lba block) {
+  auto got = stack.engine().ReadBlockData(block);
+  ASSERT_TRUE(got.ok()) << "block " << block << ": "
+                        << got.status().ToString();
+  Bytes expected = stack.engine().ExpectedBlockData(block);
+  ASSERT_EQ(*got, expected) << "content mismatch at block " << block;
+}
+
+class EngineSchemeTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(EngineSchemeTest, WriteReadBackExact) {
+  auto stack = MakeStack(GetParam());
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  for (Lba block = 0; block < 50; ++block) {
+    auto c = e.Write(now, block * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(c.ok());
+    now = std::max(now + kMicrosecond, *c);
+  }
+  ASSERT_TRUE(e.FlushPending(now).ok());
+  for (Lba block = 0; block < 50; ++block) {
+    VerifyBlock(*stack, block);
+  }
+}
+
+TEST_P(EngineSchemeTest, OverwritesReturnLatestVersion) {
+  auto stack = MakeStack(GetParam());
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (Lba block = 0; block < 20; ++block) {
+      auto c = e.Write(now, block * kLogicalBlockSize, kLogicalBlockSize);
+      ASSERT_TRUE(c.ok());
+      now = std::max(now + kMicrosecond, *c);
+    }
+  }
+  ASSERT_TRUE(e.FlushPending(now).ok());
+  for (Lba block = 0; block < 20; ++block) {
+    VerifyBlock(*stack, block);
+  }
+}
+
+TEST_P(EngineSchemeTest, MultiBlockRequests) {
+  auto stack = MakeStack(GetParam());
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  // Mixed sizes, some overlapping previous writes.
+  struct Req {
+    Lba first;
+    u32 blocks;
+  };
+  for (Req r : {Req{0, 8}, Req{100, 3}, Req{4, 8}, Req{100, 1},
+                Req{50, 16}, Req{58, 4}}) {
+    auto c = e.Write(now, r.first * kLogicalBlockSize,
+                     r.blocks * static_cast<u32>(kLogicalBlockSize));
+    ASSERT_TRUE(c.ok());
+    now = std::max(now + kMicrosecond, *c);
+  }
+  ASSERT_TRUE(e.FlushPending(now).ok());
+  for (Lba b : {0u, 5u, 11u, 100u, 101u, 102u, 50u, 60u, 65u}) {
+    VerifyBlock(*stack, b);
+  }
+}
+
+TEST_P(EngineSchemeTest, UnwrittenBlocksReadZero) {
+  auto stack = MakeStack(GetParam());
+  auto got = stack->engine().ReadBlockData(777);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Bytes(kLogicalBlockSize, 0));
+}
+
+TEST_P(EngineSchemeTest, TimedReadsComplete) {
+  auto stack = MakeStack(GetParam());
+  Engine& e = stack->engine();
+  auto w = e.Write(0, 0, 8 * kLogicalBlockSize);
+  ASSERT_TRUE(w.ok());
+  auto r = e.Read(*w + kMillisecond, 0, 8 * kLogicalBlockSize);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(*r, *w);
+  EXPECT_GT(e.stats().read_latency_us.count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, EngineSchemeTest,
+    ::testing::Values(Scheme::kNative, Scheme::kLzf, Scheme::kGzip,
+                      Scheme::kBzip2, Scheme::kEdc),
+    [](const ::testing::TestParamInfo<Scheme>& param_info) {
+      return std::string(SchemeName(param_info.param));
+    });
+
+TEST(Engine, NativeRatioIsOne) {
+  auto stack = MakeStack(Scheme::kNative);
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 64; ++b) {
+    auto c = e.Write(now, b * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(c.ok());
+    now = *c;
+  }
+  EXPECT_DOUBLE_EQ(e.stats().cumulative_ratio(), 1.0);
+}
+
+TEST(Engine, CompressionSavesSpaceOnCompressibleProfile) {
+  auto stack = MakeStack(Scheme::kGzip, "linux");
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 128; ++b) {
+    auto c = e.Write(now, b * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(c.ok());
+    now = *c;
+  }
+  EXPECT_GT(e.stats().cumulative_ratio(), 1.3);
+  EXPECT_GT(e.map().effective_ratio(), 1.3);
+}
+
+TEST(Engine, RandomProfileStaysNearOne) {
+  auto stack = MakeStack(Scheme::kLzf, "random");
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 64; ++b) {
+    auto c = e.Write(now, b * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(c.ok());
+    now = *c;
+  }
+  // Incompressible data must not be inflated (75% rule / store fallback).
+  EXPECT_NEAR(e.stats().cumulative_ratio(), 1.0, 0.01);
+}
+
+TEST(Engine, EdcSkipsIncompressibleContent) {
+  auto stack = MakeStack(Scheme::kEdc, "random");
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 40; ++b) {
+    auto c = e.Write(now, b * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(c.ok());
+    now = std::max(now + kMicrosecond, *c);
+  }
+  ASSERT_TRUE(e.FlushPending(now).ok());
+  EXPECT_GT(e.stats().blocks_skipped_content, 30u);
+  EXPECT_EQ(e.stats().groups_by_codec[static_cast<std::size_t>(
+                codec::CodecId::kBzip2)],
+            0u);
+}
+
+TEST(Engine, EdcMergesSequentialWrites) {
+  auto stack = MakeStack(Scheme::kEdc, "linux");
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  // 8 contiguous single-block writes then a read to flush.
+  for (Lba b = 0; b < 8; ++b) {
+    auto c = e.Write(now, b * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(c.ok());
+    now += 10 * kMicrosecond;
+  }
+  auto r = e.Read(now, 0, kLogicalBlockSize);
+  ASSERT_TRUE(r.ok());
+  // One merged group of 8 blocks, not 8 groups.
+  EXPECT_EQ(e.stats().groups_written, 1u);
+  EXPECT_EQ(e.stats().merged_blocks, 8u);
+  auto g = e.map().Find(0);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->orig_blocks, 8u);
+  for (Lba b = 0; b < 8; ++b) VerifyBlock(*stack, b);
+}
+
+TEST(Engine, FixedSchemesCompressPerRequest) {
+  auto stack = MakeStack(Scheme::kGzip, "linux");
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 4; ++b) {
+    auto c = e.Write(now, b * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(c.ok());
+    now = *c;
+  }
+  EXPECT_EQ(e.stats().groups_written, 4u);  // no SD merging
+}
+
+TEST(Engine, PendingBlocksReadableBeforeFlush) {
+  auto stack = MakeStack(Scheme::kEdc, "linux");
+  Engine& e = stack->engine();
+  auto c = e.Write(0, 0, kLogicalBlockSize);
+  ASSERT_TRUE(c.ok());
+  // Still pending in the SD buffer; data must be served from the buffer.
+  EXPECT_EQ(e.stats().groups_written, 0u);
+  VerifyBlock(*stack, 0);
+}
+
+TEST(Engine, StatsAccumulateConsistently) {
+  auto stack = MakeStack(Scheme::kEdc, "usr");
+  Engine& e = stack->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 30; ++b) {
+    auto c = e.Write(now, b * 3 * kLogicalBlockSize, kLogicalBlockSize);
+    ASSERT_TRUE(c.ok());
+    now = std::max(now + 50 * kMicrosecond, *c);
+  }
+  ASSERT_TRUE(e.FlushPending(now).ok());
+  const EngineStats& s = e.stats();
+  EXPECT_EQ(s.host_writes, 30u);
+  EXPECT_EQ(s.logical_bytes_written, 30u * kLogicalBlockSize);
+  u64 by_codec = 0;
+  for (u64 c : s.groups_by_codec) by_codec += c;
+  EXPECT_EQ(by_codec, s.groups_written);
+  EXPECT_GE(s.allocated_bytes_total, s.compressed_bytes_total);
+  EXPECT_GE(s.cumulative_ratio(), 1.0);
+}
+
+TEST(Engine, DeviceSeesReducedTrafficUnderCompression) {
+  auto gzip_stack = MakeStack(Scheme::kGzip, "linux");
+  auto native_stack = MakeStack(Scheme::kNative, "linux");
+  SimTime now_g = 0, now_n = 0;
+  for (Lba b = 0; b < 100; ++b) {
+    auto g = gzip_stack->engine().Write(now_g, b * kLogicalBlockSize,
+                                        kLogicalBlockSize);
+    auto n = native_stack->engine().Write(now_n, b * kLogicalBlockSize,
+                                          kLogicalBlockSize);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(n.ok());
+    now_g = *g;
+    now_n = *n;
+  }
+  EXPECT_LT(gzip_stack->device().stats().host_pages_written,
+            native_stack->device().stats().host_pages_written);
+}
+
+}  // namespace
+}  // namespace edc::core

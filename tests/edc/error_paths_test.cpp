@@ -1,0 +1,123 @@
+// Error-path coverage: misconfiguration and resource exhaustion must
+// surface as typed Status errors, never as silent misbehaviour.
+#include <gtest/gtest.h>
+
+#include "edc/stack.hpp"
+#include "sim/replay.hpp"
+#include "trace/synthetic.hpp"
+
+namespace edc::core {
+namespace {
+
+TEST(ErrorPaths, UnknownContentProfileRejected) {
+  StackConfig cfg;
+  cfg.content_profile = "no-such-profile";
+  auto stack = Stack::Create(cfg);
+  EXPECT_FALSE(stack.ok());
+  EXPECT_EQ(stack.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ErrorPaths, DeviceFullSurfacesResourceExhausted) {
+  // Tiny device, Native scheme, write far beyond logical capacity.
+  StackConfig cfg;
+  cfg.scheme = Scheme::kNative;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "usr";
+  cfg.ssd.geometry.pages_per_block = 8;
+  cfg.ssd.geometry.num_blocks = 16;  // 112 logical pages
+  cfg.ssd.store_data = false;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  Status last = Status::Ok();
+  SimTime now = 0;
+  for (Lba b = 0; b < 400; ++b) {
+    auto r = e.Write(now, b * kLogicalBlockSize, kLogicalBlockSize);
+    if (!r.ok()) {
+      last = r.status();
+      break;
+    }
+    now = *r;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted)
+      << last.ToString();
+}
+
+TEST(ErrorPaths, ModeledCheckRequiresCostModelOnlyInModeledMode) {
+  // Functional stacks without a cost model are valid (zero CPU charge).
+  StackConfig cfg;
+  cfg.scheme = Scheme::kGzip;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "usr";
+  cfg.ssd.store_data = false;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  auto w = (*stack)->engine().Write(0, 0, kLogicalBlockSize);
+  EXPECT_TRUE(w.ok());
+}
+
+TEST(ErrorPaths, ReadBlockDataRefusedInModeledMode) {
+  StackConfig cfg;
+  cfg.scheme = Scheme::kNative;
+  cfg.mode = ExecutionMode::kModeled;
+  cfg.content_profile = "usr";
+  cfg.ssd.store_data = false;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  auto r = (*stack)->engine().ReadBlockData(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ErrorPaths, SchemeAndCodecNameParsing) {
+  EXPECT_FALSE(SchemeFromName("").ok());
+  EXPECT_FALSE(SchemeFromName("zstd").ok());
+  EXPECT_FALSE(codec::CodecFromName("snappy").ok());
+  EXPECT_TRUE(codec::CodecFromName("BZIP2").ok());
+}
+
+TEST(ErrorPaths, ReplayPropagatesEngineFailure) {
+  // A trace addressing far beyond device capacity fails the replay with
+  // a meaningful status rather than dying midway.
+  StackConfig cfg;
+  cfg.scheme = Scheme::kNative;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "usr";
+  cfg.ssd.geometry.pages_per_block = 8;
+  cfg.ssd.geometry.num_blocks = 16;
+  cfg.ssd.store_data = false;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+
+  trace::Trace t;
+  t.name = "overflow";
+  for (int i = 0; i < 500; ++i) {
+    trace::TraceRecord r;
+    r.timestamp = i * kMillisecond;
+    r.op = trace::OpType::kWrite;
+    r.offset = static_cast<u64>(i) * kLogicalBlockSize;
+    r.size = kLogicalBlockSize;
+    t.records.push_back(r);
+  }
+  auto result = sim::ReplayTrace(**stack, t);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ErrorPaths, ZeroSizedOpsAreNoops) {
+  StackConfig cfg;
+  cfg.scheme = Scheme::kEdc;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "usr";
+  cfg.ssd.store_data = false;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  EXPECT_TRUE(e.Write(5, 0, 0).ok());
+  EXPECT_TRUE(e.Read(5, 0, 0).ok());
+  EXPECT_EQ(e.stats().host_writes, 0u);
+  EXPECT_EQ(e.stats().host_reads, 0u);
+}
+
+}  // namespace
+}  // namespace edc::core

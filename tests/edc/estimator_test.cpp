@@ -1,0 +1,148 @@
+#include "edc/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codec/codec.hpp"
+#include "datagen/generator.hpp"
+#include "testutil.hpp"
+
+namespace edc::core {
+namespace {
+
+using edc::test::MakeRandom;
+using edc::test::MakeRuns;
+using edc::test::MakeText;
+using edc::test::MakeZeros;
+
+TEST(Estimator, RandomDataPredictedIncompressible) {
+  CompressibilityEstimator est;
+  Bytes block = MakeRandom(4096, 1);
+  EXPECT_GE(est.EstimateCompressedFraction(block), 0.75);
+  EXPECT_FALSE(est.IsCompressible(block));
+}
+
+TEST(Estimator, ZerosPredictedHighlyCompressible) {
+  CompressibilityEstimator est;
+  Bytes block = MakeZeros(4096);
+  EXPECT_LT(est.EstimateCompressedFraction(block), 0.2);
+  EXPECT_TRUE(est.IsCompressible(block));
+}
+
+TEST(Estimator, TextPredictedCompressible) {
+  CompressibilityEstimator est;
+  for (u64 seed = 0; seed < 5; ++seed) {
+    Bytes block = MakeText(4096, seed);
+    EXPECT_TRUE(est.IsCompressible(block)) << seed;
+  }
+}
+
+TEST(Estimator, RunsPredictedCompressible) {
+  CompressibilityEstimator est;
+  EXPECT_TRUE(est.IsCompressible(MakeRuns(4096, 3)));
+}
+
+TEST(Estimator, EmptyBlockNotCompressible) {
+  CompressibilityEstimator est;
+  EXPECT_FALSE(est.IsCompressible({}));
+}
+
+TEST(Estimator, ClassifiesDatagenKindsCorrectly) {
+  // The gate the paper relies on: the sampling estimator must agree with
+  // the real codec's compressible/non-compressible verdict on the datagen
+  // content classes (not necessarily on exact fractions).
+  auto profile = datagen::ProfileByName("usr");
+  ASSERT_TRUE(profile.ok());
+  CompressibilityEstimator est;
+  const codec::Codec& gzip = codec::GetCodec(codec::CodecId::kGzip);
+
+  int agree = 0, total = 0;
+  datagen::ContentGenerator gen(*profile, 77);
+  for (Lba lba = 0; lba < 120; ++lba) {
+    Bytes block = gen.Generate(lba, 1, 4096);
+    Bytes out;
+    ASSERT_TRUE(gzip.Compress(block, &out).ok());
+    bool actually = out.size() < block.size() * 3 / 4;
+    bool predicted = est.IsCompressible(block);
+    agree += actually == predicted;
+    ++total;
+  }
+  // Demand strong (not perfect) agreement — sampling is approximate.
+  EXPECT_GT(agree, total * 8 / 10) << agree << "/" << total;
+}
+
+TEST(Estimator, FractionMonotoneInContentOrder) {
+  CompressibilityEstimator est;
+  double f_random = est.EstimateCompressedFraction(MakeRandom(4096, 9));
+  double f_text = est.EstimateCompressedFraction(MakeText(4096, 9));
+  double f_zero = est.EstimateCompressedFraction(MakeZeros(4096));
+  EXPECT_GT(f_random, f_text);
+  EXPECT_GT(f_text, f_zero);
+}
+
+TEST(Estimator, ConfigurableThreshold) {
+  EstimatorConfig strict;
+  strict.write_through_fraction = 0.10;  // almost nothing passes
+  CompressibilityEstimator est(strict);
+  EXPECT_FALSE(est.IsCompressible(MakeText(4096, 2)));
+  EXPECT_TRUE(est.IsCompressible(MakeZeros(4096)));
+}
+
+TEST(Estimator, SamplesOnlySmallFractionDeterministically) {
+  CompressibilityEstimator est;
+  Bytes a = MakeText(65536, 4);
+  EXPECT_EQ(est.EstimateCompressedFraction(a),
+            est.EstimateCompressedFraction(a));
+}
+
+
+TEST(PrefixProbe, ClassifiesExtremes) {
+  EstimatorConfig cfg;
+  cfg.kind = EstimatorKind::kPrefixProbe;
+  CompressibilityEstimator est(cfg);
+  EXPECT_FALSE(est.IsCompressible(MakeRandom(4096, 21)));
+  EXPECT_TRUE(est.IsCompressible(MakeZeros(4096)));
+  EXPECT_TRUE(est.IsCompressible(MakeRuns(4096, 22)));
+}
+
+TEST(PrefixProbe, AccuracyAtLeastMatchesSampling) {
+  // Over the datagen content classes, the prefix probe should agree with
+  // the real codec's verdict at least as often as the sampling estimator
+  // (it pays a real small compression for that).
+  auto profile = datagen::ProfileByName("usr");
+  ASSERT_TRUE(profile.ok());
+  const codec::Codec& gzip = codec::GetCodec(codec::CodecId::kGzip);
+
+  EstimatorConfig probe_cfg;
+  probe_cfg.kind = EstimatorKind::kPrefixProbe;
+  CompressibilityEstimator probe(probe_cfg);
+  CompressibilityEstimator sampling;
+
+  datagen::ContentGenerator gen(*profile, 313);
+  int probe_agree = 0, sampling_agree = 0, total = 0;
+  for (Lba lba = 0; lba < 120; ++lba) {
+    Bytes block = gen.Generate(lba, 1, 4096);
+    Bytes out;
+    ASSERT_TRUE(gzip.Compress(block, &out).ok());
+    bool actually = out.size() < block.size() * 3 / 4;
+    probe_agree += probe.IsCompressible(block) == actually;
+    sampling_agree += sampling.IsCompressible(block) == actually;
+    ++total;
+  }
+  EXPECT_GE(probe_agree + 5, sampling_agree);  // at worst marginally behind
+  EXPECT_GT(probe_agree, total * 8 / 10);
+}
+
+TEST(PrefixProbe, MiddleSliceCatchesMixedBlocks) {
+  // Compressible header + random body: a head-only probe would say
+  // "compressible"; the middle slice must pull the estimate up.
+  Bytes block = MakeZeros(512);
+  Bytes tail = MakeRandom(3584, 23);
+  block.insert(block.end(), tail.begin(), tail.end());
+  EstimatorConfig cfg;
+  cfg.kind = EstimatorKind::kPrefixProbe;
+  CompressibilityEstimator est(cfg);
+  EXPECT_GT(est.EstimateCompressedFraction(block), 0.45);
+}
+
+}  // namespace
+}  // namespace edc::core

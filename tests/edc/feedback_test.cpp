@@ -1,0 +1,132 @@
+// Fig. 6 feedback loop and content-hint tests: the backlog signal must
+// override arrival-rate bands, and semantic hints must settle the
+// compressibility decision without sampling.
+#include <gtest/gtest.h>
+
+#include "edc/stack.hpp"
+
+namespace edc::core {
+namespace {
+
+using codec::CodecId;
+
+PolicyInputs In(double iops, SimTime backlog, int hint = -1) {
+  PolicyInputs in;
+  in.calculated_iops = iops;
+  in.est_compressed_fraction = 0.4;
+  in.device_backlog = backlog;
+  in.content_hint = hint;
+  return in;
+}
+
+TEST(BacklogFeedback, DisabledByDefault) {
+  ElasticPolicy p;
+  EXPECT_EQ(p.params().backlog_saturate, 0);
+  // Huge backlog ignored when disabled.
+  EXPECT_EQ(p.Choose(In(10, kSecond)).codec, CodecId::kGzip);
+}
+
+TEST(BacklogFeedback, DeepQueueForcesWriteThrough) {
+  ElasticParams params;
+  params.backlog_saturate = 10 * kMillisecond;
+  ElasticPolicy p(params);
+  auto d = p.Choose(In(10, 20 * kMillisecond));
+  EXPECT_EQ(d.codec, CodecId::kStore);
+  EXPECT_TRUE(d.skipped_for_intensity);
+}
+
+TEST(BacklogFeedback, ModerateQueueEscalatesToFastCodec) {
+  ElasticParams params;
+  params.backlog_saturate = 10 * kMillisecond;
+  ElasticPolicy p(params);
+  // Idle by arrival rate, but the queue says otherwise.
+  EXPECT_EQ(p.Choose(In(10, 6 * kMillisecond)).codec, CodecId::kLzf);
+  EXPECT_EQ(p.Choose(In(10, 1 * kMillisecond)).codec, CodecId::kGzip);
+}
+
+TEST(BacklogFeedback, ContentGateStillWins) {
+  ElasticParams params;
+  params.backlog_saturate = 10 * kMillisecond;
+  ElasticPolicy p(params);
+  PolicyInputs in = In(10, 0);
+  in.est_compressed_fraction = 0.9;
+  auto d = p.Choose(in);
+  EXPECT_TRUE(d.skipped_for_content);
+}
+
+TEST(ContentHints, RandomHintSkipsWithoutSampling) {
+  ElasticParams params;
+  params.use_content_hints = true;
+  ElasticPolicy p(params);
+  auto d = p.Choose(In(10, 0,
+                       static_cast<int>(datagen::ChunkKind::kRandom)));
+  EXPECT_EQ(d.codec, CodecId::kStore);
+  EXPECT_TRUE(d.skipped_for_content);
+}
+
+TEST(ContentHints, RunHintAlwaysTakesHighRatioCodec) {
+  ElasticParams params;
+  params.use_content_hints = true;
+  ElasticPolicy p(params);
+  // Even in the busy band, run-dominated content uses the idle codec.
+  auto d = p.Choose(In(params.busy_iops + 100, 0,
+                       static_cast<int>(datagen::ChunkKind::kRuns)));
+  EXPECT_EQ(d.codec, CodecId::kGzip);
+  auto z = p.Choose(In(params.busy_iops + 100, 0,
+                       static_cast<int>(datagen::ChunkKind::kZero)));
+  EXPECT_EQ(z.codec, CodecId::kGzip);
+}
+
+TEST(ContentHints, TextHintFollowsIntensityBands) {
+  ElasticParams params;
+  params.use_content_hints = true;
+  ElasticPolicy p(params);
+  int text = static_cast<int>(datagen::ChunkKind::kText);
+  EXPECT_EQ(p.Choose(In(10, 0, text)).codec, CodecId::kGzip);
+  EXPECT_EQ(p.Choose(In(params.busy_iops + 1, 0, text)).codec,
+            CodecId::kLzf);
+}
+
+TEST(ContentHints, IgnoredWhenDisabled) {
+  ElasticPolicy p;  // hints off
+  auto d = p.Choose(In(10, 0, static_cast<int>(datagen::ChunkKind::kRandom)));
+  // Falls back to the estimator fraction (0.4 -> compressible).
+  EXPECT_EQ(d.codec, CodecId::kGzip);
+}
+
+TEST(BacklogFeedback, EngineEndToEnd) {
+  // Saturate a tiny, slow device; with feedback EDC must fall back to
+  // write-through even though calculated IOPS alone would pick Gzip
+  // (few requests, but each is huge).
+  StackConfig cfg;
+  cfg.scheme = Scheme::kEdc;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "linux";
+  cfg.seed = 5;
+  cfg.ssd.geometry.pages_per_block = 16;
+  cfg.ssd.geometry.num_blocks = 512;
+  cfg.ssd.store_data = false;
+  cfg.elastic.backlog_saturate = 2 * kMillisecond;
+  cfg.elastic.busy_iops = 1e9;       // bands alone would always pick Gzip
+  cfg.elastic.saturate_iops = 1e18;
+  cfg.use_seq_detector_for_edc = false;
+
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  // Fire large writes back-to-back at t=0: the queue builds, and the
+  // backlog feedback must flip later groups to Store.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        e.Write(0, static_cast<u64>(i) * 16 * kLogicalBlockSize,
+                16 * kLogicalBlockSize)
+            .ok());
+  }
+  EXPECT_GT(e.stats().blocks_skipped_intensity, 0u);
+  EXPECT_GT(e.stats().groups_by_codec[static_cast<std::size_t>(
+                CodecId::kStore)],
+            0u);
+}
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,174 @@
+#include "edc/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edc::core {
+namespace {
+
+using codec::CodecId;
+
+TEST(SizeClass, SingleBlockClasses) {
+  // 4 KiB block: 1..1024 bytes -> 1 quantum (25%), up to 2048 -> 2, etc.
+  EXPECT_EQ(SizeClassQuanta(1, 1), 1u);
+  EXPECT_EQ(SizeClassQuanta(1024, 1), 1u);
+  EXPECT_EQ(SizeClassQuanta(1025, 1), 2u);
+  EXPECT_EQ(SizeClassQuanta(2048, 1), 2u);
+  EXPECT_EQ(SizeClassQuanta(3000, 1), 3u);
+  EXPECT_EQ(SizeClassQuanta(4096, 1), 4u);
+}
+
+TEST(SizeClass, OversizeClampsToFull) {
+  EXPECT_EQ(SizeClassQuanta(5000, 1), 4u);
+}
+
+TEST(SizeClass, MergedGroupsScaleWithBlocks) {
+  // 4 blocks (16 KiB): classes are multiples of 4 quanta.
+  EXPECT_EQ(SizeClassQuanta(1, 4), 4u);
+  EXPECT_EQ(SizeClassQuanta(4096, 4), 4u);    // <=25%
+  EXPECT_EQ(SizeClassQuanta(4097, 4), 8u);    // 50%
+  EXPECT_EQ(SizeClassQuanta(12288, 4), 12u);  // 75%
+  EXPECT_EQ(SizeClassQuanta(16384, 4), 16u);  // 100%
+}
+
+TEST(QuantumAllocator, BumpThenReuse) {
+  QuantumAllocator alloc(100);
+  auto a = alloc.Allocate(4);
+  auto b = alloc.Allocate(4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 4u);
+  EXPECT_EQ(alloc.allocated_quanta(), 8u);
+  alloc.Free(*a, 4);
+  EXPECT_EQ(alloc.allocated_quanta(), 4u);
+  auto c = alloc.Allocate(4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // exact-fit reuse
+}
+
+TEST(QuantumAllocator, SplitsLargerExtent) {
+  QuantumAllocator alloc(12);
+  auto a = alloc.Allocate(8);
+  ASSERT_TRUE(a.ok());
+  auto pad = alloc.Allocate(4);  // exhausts bump space
+  ASSERT_TRUE(pad.ok());
+  alloc.Free(*a, 8);
+  // Only an 8-extent is free; a 2-quanta request must split it.
+  auto b = alloc.Allocate(2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+  auto c = alloc.Allocate(2);  // uses another piece
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(alloc.allocated_quanta(), 12u - 4u);
+}
+
+TEST(QuantumAllocator, ExhaustionFails) {
+  QuantumAllocator alloc(4);
+  ASSERT_TRUE(alloc.Allocate(4).ok());
+  EXPECT_FALSE(alloc.Allocate(1).ok());
+}
+
+TEST(QuantumAllocator, ZeroLengthRejected) {
+  QuantumAllocator alloc(4);
+  EXPECT_FALSE(alloc.Allocate(0).ok());
+}
+
+TEST(BlockMap, InstallAndFind) {
+  BlockMap map(1000);
+  auto id = map.Install(10, 4, CodecId::kGzip, 5000, 8);
+  ASSERT_TRUE(id.ok());
+  for (Lba lba = 10; lba < 14; ++lba) {
+    auto g = map.Find(lba);
+    ASSERT_TRUE(g.has_value()) << lba;
+    EXPECT_EQ(g->first_lba, 10u);
+    EXPECT_EQ(g->orig_blocks, 4u);
+    EXPECT_EQ(g->tag, CodecId::kGzip);
+    EXPECT_EQ(g->quanta, 8u);
+  }
+  EXPECT_FALSE(map.Find(14).has_value());
+  EXPECT_FALSE(map.Find(9).has_value());
+}
+
+TEST(BlockMap, PayloadMustFitAllocation) {
+  BlockMap map(1000);
+  EXPECT_FALSE(map.Install(0, 1, CodecId::kLzf, 3000, 2).ok());
+}
+
+TEST(BlockMap, OverwriteReleasesOldGroup) {
+  BlockMap map(1000);
+  std::vector<u64> freed;
+  auto a = map.Install(0, 2, CodecId::kLzf, 2000, 2);
+  ASSERT_TRUE(a.ok());
+  u64 before = map.live_allocated_bytes();
+  // Overwrite both members: group A must die and report its id.
+  auto b = map.Install(0, 2, CodecId::kGzip, 1500, 2, &freed);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], *a);
+  EXPECT_EQ(map.live_allocated_bytes(), before);
+  EXPECT_EQ(map.num_groups(), 1u);
+}
+
+TEST(BlockMap, PartialOverwriteKeepsGroupAlive) {
+  BlockMap map(1000);
+  std::vector<u64> freed;
+  auto a = map.Install(0, 4, CodecId::kBzip2, 3000, 4);
+  ASSERT_TRUE(a.ok());
+  auto b = map.Install(1, 1, CodecId::kLzf, 500, 1, &freed);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(freed.empty());  // group A still has 3 live members
+  EXPECT_EQ(map.num_groups(), 2u);
+  // Block 1 now resolves to B; blocks 0, 2, 3 still to A.
+  EXPECT_EQ(*map.FindGroupId(1), *b);
+  EXPECT_EQ(*map.FindGroupId(0), *a);
+  EXPECT_EQ(*map.FindGroupId(3), *a);
+  // Overwriting the remaining members frees A.
+  map.Release(0);
+  map.Release(2);
+  auto dead = map.Release(3);
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(*dead, *a);
+  EXPECT_EQ(map.num_groups(), 1u);
+}
+
+TEST(BlockMap, LiveBytesAccounting) {
+  BlockMap map(1000);
+  ASSERT_TRUE(map.Install(0, 2, CodecId::kGzip, 1800, 2).ok());
+  EXPECT_EQ(map.live_logical_bytes(), 2u * 4096);
+  EXPECT_EQ(map.live_allocated_bytes(), 2u * 1024);
+  EXPECT_NEAR(map.effective_ratio(), 4.0, 1e-9);
+  map.Release(0);
+  EXPECT_EQ(map.live_logical_bytes(), 4096u);
+  map.Release(1);
+  EXPECT_EQ(map.live_logical_bytes(), 0u);
+  EXPECT_EQ(map.live_allocated_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(map.effective_ratio(), 1.0);
+}
+
+TEST(BlockMap, ReleaseUnknownIsNoop) {
+  BlockMap map(100);
+  EXPECT_FALSE(map.Release(55).has_value());
+}
+
+TEST(BlockMap, SpaceExhaustionSurfaces) {
+  BlockMap map(4);
+  ASSERT_TRUE(map.Install(0, 1, CodecId::kStore, 4096, 4).ok());
+  auto r = map.Install(10, 1, CodecId::kStore, 4096, 4);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BlockMap, ChurnedWorkloadReusesSpace) {
+  BlockMap map(40);  // tight: 10 blocks' worth
+  for (int round = 0; round < 100; ++round) {
+    for (Lba lba = 0; lba < 8; ++lba) {
+      auto r = map.Install(lba, 1, CodecId::kLzf, 900, 1);
+      ASSERT_TRUE(r.ok()) << "round " << round << " lba " << lba;
+    }
+  }
+  EXPECT_EQ(map.num_groups(), 8u);
+  EXPECT_LE(map.allocator().allocated_quanta(), 8u);
+}
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,72 @@
+#include "edc/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edc::core {
+namespace {
+
+TEST(Monitor, PageUnitNormalization) {
+  // The paper: one 8 KB request counts as two 4 KB requests.
+  WorkloadMonitor m;
+  m.Record(0, 8192);
+  m.Record(1, 4096);
+  m.Record(2, 1);  // sub-page rounds up
+  EXPECT_EQ(m.total_requests(), 3u);
+  EXPECT_EQ(m.total_page_units(), 4u);
+}
+
+TEST(Monitor, InstantaneousRateTracksWindow) {
+  WorkloadMonitor m;
+  for (int i = 0; i < 100; ++i) {
+    m.Record(i * (kSecond / 100), 4096);
+  }
+  EXPECT_NEAR(m.InstantaneousIops(kSecond - 1), 100.0, 2.0);
+  // After 2 idle seconds the window is empty.
+  EXPECT_NEAR(m.InstantaneousIops(3 * kSecond), 0.0, 1e-9);
+}
+
+TEST(Monitor, LargeRequestsRaiseIntensity) {
+  WorkloadMonitor small, large;
+  for (int i = 0; i < 50; ++i) {
+    SimTime t = i * (kSecond / 50);
+    small.Record(t, 4096);
+    large.Record(t, 65536);  // 16 page units each
+  }
+  EXPECT_GT(large.CalculatedIops(kSecond - 1),
+            small.CalculatedIops(kSecond - 1) * 8);
+}
+
+TEST(Monitor, BurstSeenQuickly) {
+  WorkloadMonitor m;
+  // Long quiet period...
+  for (int i = 0; i < 10; ++i) m.Record(i * kSecond, 4096);
+  double quiet = m.CalculatedIops(10 * kSecond);
+  // ...then a burst inside 100 ms.
+  for (int i = 0; i < 200; ++i) {
+    m.Record(10 * kSecond + i * (kMillisecond / 2), 4096);
+  }
+  double bursty = m.CalculatedIops(10 * kSecond + 100 * kMillisecond);
+  EXPECT_GT(bursty, quiet * 10);
+}
+
+TEST(Monitor, SmoothingDampsSingleGap) {
+  MonitorConfig cfg;
+  cfg.ewma_alpha = 0.2;
+  WorkloadMonitor m(cfg);
+  // Steady 500 IOPS for 5 seconds.
+  for (int i = 0; i < 2500; ++i) {
+    m.Record(i * (kSecond / 500), 4096);
+  }
+  double steady = m.CalculatedIops(5 * kSecond - 1);
+  // A 300 ms gap must not collapse the estimate to zero.
+  double after_gap = m.CalculatedIops(5 * kSecond + 300 * kMillisecond);
+  EXPECT_GT(after_gap, steady * 0.2);
+}
+
+TEST(Monitor, EmptyMonitorReportsZero) {
+  WorkloadMonitor m;
+  EXPECT_EQ(m.CalculatedIops(kSecond), 0.0);
+}
+
+}  // namespace
+}  // namespace edc::core

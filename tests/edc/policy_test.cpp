@@ -1,0 +1,121 @@
+#include "edc/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edc::core {
+namespace {
+
+using codec::CodecId;
+
+PolicyInputs In(double iops, double fraction = 0.4) {
+  PolicyInputs in;
+  in.calculated_iops = iops;
+  in.est_compressed_fraction = fraction;
+  return in;
+}
+
+TEST(NativePolicy, AlwaysStore) {
+  NativePolicy p;
+  EXPECT_EQ(p.Choose(In(0)).codec, CodecId::kStore);
+  EXPECT_EQ(p.Choose(In(1e9)).codec, CodecId::kStore);
+  EXPECT_EQ(p.name(), "native");
+}
+
+TEST(FixedPolicy, AlwaysItsCodec) {
+  for (CodecId id : {CodecId::kLzf, CodecId::kGzip, CodecId::kBzip2}) {
+    FixedPolicy p(id);
+    EXPECT_EQ(p.Choose(In(0)).codec, id);
+    EXPECT_EQ(p.Choose(In(1e9, 1.0)).codec, id);  // even incompressible
+  }
+}
+
+TEST(ElasticPolicy, IdleUsesHighRatioCodec) {
+  ElasticPolicy p;
+  auto d = p.Choose(In(10));
+  EXPECT_EQ(d.codec, CodecId::kGzip);
+  EXPECT_FALSE(d.skipped_for_content);
+  EXPECT_FALSE(d.skipped_for_intensity);
+}
+
+TEST(ElasticPolicy, BusyUsesFastCodec) {
+  ElasticParams params;
+  ElasticPolicy p(params);
+  EXPECT_EQ(p.Choose(In(params.busy_iops + 1)).codec, CodecId::kLzf);
+  EXPECT_EQ(p.Choose(In(params.busy_iops - 1)).codec, CodecId::kGzip);
+}
+
+TEST(ElasticPolicy, SaturatedSkipsCompression) {
+  ElasticParams params;
+  ElasticPolicy p(params);
+  auto d = p.Choose(In(params.saturate_iops + 1));
+  EXPECT_EQ(d.codec, CodecId::kStore);
+  EXPECT_TRUE(d.skipped_for_intensity);
+  EXPECT_FALSE(d.skipped_for_content);
+}
+
+TEST(ElasticPolicy, NonCompressibleWritesThrough) {
+  ElasticPolicy p;
+  auto d = p.Choose(In(10, 0.9));
+  EXPECT_EQ(d.codec, CodecId::kStore);
+  EXPECT_TRUE(d.skipped_for_content);
+}
+
+TEST(ElasticPolicy, ContentGateBeatsIntensity) {
+  // Even in the idle band, non-compressible data is written through —
+  // the 75% rule is independent of load.
+  ElasticPolicy p;
+  auto d = p.Choose(In(0, 0.80));
+  EXPECT_EQ(d.codec, CodecId::kStore);
+  EXPECT_TRUE(d.skipped_for_content);
+}
+
+TEST(ElasticPolicy, EstimatorCanBeDisabled) {
+  ElasticParams params;
+  params.use_estimator = false;
+  ElasticPolicy p(params);
+  EXPECT_EQ(p.Choose(In(10, 1.0)).codec, CodecId::kGzip);
+}
+
+TEST(ElasticPolicy, ThresholdBoundariesExact) {
+  ElasticParams params;
+  params.busy_iops = 100;
+  params.saturate_iops = 1000;
+  ElasticPolicy p(params);
+  EXPECT_EQ(p.Choose(In(99.9)).codec, CodecId::kGzip);
+  EXPECT_EQ(p.Choose(In(100)).codec, CodecId::kLzf);   // >= busy
+  EXPECT_EQ(p.Choose(In(999.9)).codec, CodecId::kLzf);
+  EXPECT_EQ(p.Choose(In(1000)).codec, CodecId::kStore);  // >= saturate
+}
+
+TEST(ElasticPolicy, CustomCodecBands) {
+  ElasticParams params;
+  params.busy_codec = CodecId::kLzFast;
+  params.idle_codec = CodecId::kBzip2;
+  ElasticPolicy p(params);
+  EXPECT_EQ(p.Choose(In(10)).codec, CodecId::kBzip2);
+  EXPECT_EQ(p.Choose(In(params.busy_iops)).codec, CodecId::kLzFast);
+}
+
+TEST(Schemes, NamesRoundTrip) {
+  for (Scheme s : AllSchemes()) {
+    auto back = SchemeFromName(SchemeName(s));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_TRUE(SchemeFromName("edc").ok());
+  EXPECT_TRUE(SchemeFromName("NATIVE").ok());
+  EXPECT_FALSE(SchemeFromName("zstd").ok());
+}
+
+TEST(Schemes, MakePolicyDispatch) {
+  EXPECT_EQ(MakePolicy(Scheme::kNative)->Choose(In(0)).codec,
+            CodecId::kStore);
+  EXPECT_EQ(MakePolicy(Scheme::kLzf)->Choose(In(0)).codec, CodecId::kLzf);
+  EXPECT_EQ(MakePolicy(Scheme::kGzip)->Choose(In(0)).codec, CodecId::kGzip);
+  EXPECT_EQ(MakePolicy(Scheme::kBzip2)->Choose(In(0)).codec,
+            CodecId::kBzip2);
+  EXPECT_EQ(MakePolicy(Scheme::kEdc)->Choose(In(0)).codec, CodecId::kGzip);
+}
+
+}  // namespace
+}  // namespace edc::core

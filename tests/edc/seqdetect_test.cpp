@@ -1,0 +1,151 @@
+// Tests mirror the paper's Fig. 7 walk-through plus cap/overflow edges.
+#include "edc/seqdetect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edc::core {
+namespace {
+
+TEST(SeqDetector, Fig7Walkthrough) {
+  // Order: A1 A2 A3 B1 B2 C1 D1 (all non-contiguous across letters).
+  // Expected: A1-3 compressed when B1 arrives, B1-2 when C1 arrives,
+  // C1 when D1 arrives; D1 stays pending.
+  SequentialityDetector sd;
+  const Lba A = 100, B = 500, C = 900, D = 1300;
+
+  EXPECT_TRUE(sd.OnWrite(A, 1, 1).empty());      // A1: wait
+  EXPECT_TRUE(sd.OnWrite(A + 1, 1, 2).empty());  // A2: merge
+  EXPECT_TRUE(sd.OnWrite(A + 2, 1, 3).empty());  // A3: merge
+
+  auto f1 = sd.OnWrite(B, 1, 4);  // B1: compress A1-3
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].first_block, A);
+  EXPECT_EQ(f1[0].n_blocks, 3u);
+
+  EXPECT_TRUE(sd.OnWrite(B + 1, 1, 5).empty());  // B2: merge
+
+  auto f2 = sd.OnWrite(C, 1, 6);  // C1: compress B1-2
+  ASSERT_EQ(f2.size(), 1u);
+  EXPECT_EQ(f2[0].first_block, B);
+  EXPECT_EQ(f2[0].n_blocks, 2u);
+
+  auto f3 = sd.OnWrite(D, 1, 7);  // D1: compress C1
+  ASSERT_EQ(f3.size(), 1u);
+  EXPECT_EQ(f3[0].first_block, C);
+  EXPECT_EQ(f3[0].n_blocks, 1u);
+
+  EXPECT_TRUE(sd.has_pending());
+  EXPECT_EQ(sd.pending().first_block, D);
+}
+
+TEST(SeqDetector, ReadBreaksContiguity) {
+  SequentialityDetector sd;
+  sd.OnWrite(10, 2, 1);
+  auto flushed = sd.OnRead();
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(flushed->first_block, 10u);
+  EXPECT_EQ(flushed->n_blocks, 2u);
+  EXPECT_FALSE(sd.has_pending());
+  // A read with nothing pending flushes nothing.
+  EXPECT_FALSE(sd.OnRead().has_value());
+}
+
+TEST(SeqDetector, MultiBlockWritesMerge) {
+  SequentialityDetector sd;
+  EXPECT_TRUE(sd.OnWrite(0, 4, 1).empty());
+  EXPECT_TRUE(sd.OnWrite(4, 4, 2).empty());  // contiguous
+  auto f = sd.Flush();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->first_block, 0u);
+  EXPECT_EQ(f->n_blocks, 8u);
+}
+
+TEST(SeqDetector, CapEmitsFullGroups) {
+  SeqDetectorConfig cfg;
+  cfg.max_merge_blocks = 4;
+  SequentialityDetector sd(cfg);
+  // A 10-block contiguous write: two full groups out, 2 blocks pending.
+  auto f = sd.OnWrite(0, 10, 1);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].first_block, 0u);
+  EXPECT_EQ(f[0].n_blocks, 4u);
+  EXPECT_EQ(f[1].first_block, 4u);
+  EXPECT_EQ(f[1].n_blocks, 4u);
+  EXPECT_EQ(sd.pending().first_block, 8u);
+  EXPECT_EQ(sd.pending().n_blocks, 2u);
+}
+
+TEST(SeqDetector, CapWithExistingPending) {
+  SeqDetectorConfig cfg;
+  cfg.max_merge_blocks = 4;
+  SequentialityDetector sd(cfg);
+  sd.OnWrite(0, 3, 1);
+  // Contiguous 3 more: fills one group (4), leaves 2 pending.
+  auto f = sd.OnWrite(3, 3, 2);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].first_block, 0u);
+  EXPECT_EQ(f[0].n_blocks, 4u);
+  EXPECT_EQ(sd.pending().first_block, 4u);
+  EXPECT_EQ(sd.pending().n_blocks, 2u);
+}
+
+TEST(SeqDetector, NonContiguousFlushesThenBuffers) {
+  SequentialityDetector sd;
+  sd.OnWrite(0, 2, 1);
+  auto f = sd.OnWrite(100, 1, 2);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].first_block, 0u);
+  EXPECT_EQ(sd.pending().first_block, 100u);
+}
+
+TEST(SeqDetector, BackwardWriteIsNonContiguous) {
+  SequentialityDetector sd;
+  sd.OnWrite(10, 2, 1);
+  auto f = sd.OnWrite(9, 1, 2);  // immediately before: still a break
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].first_block, 10u);
+}
+
+TEST(SeqDetector, OverlappingRewriteIsNonContiguous) {
+  SequentialityDetector sd;
+  sd.OnWrite(10, 2, 1);
+  auto f = sd.OnWrite(10, 2, 2);  // same place again
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(sd.pending().first_block, 10u);
+  EXPECT_EQ(sd.pending().n_blocks, 2u);
+}
+
+TEST(SeqDetector, FlushEmptiesState) {
+  SequentialityDetector sd;
+  EXPECT_FALSE(sd.Flush().has_value());
+  sd.OnWrite(5, 1, 1);
+  EXPECT_TRUE(sd.Flush().has_value());
+  EXPECT_FALSE(sd.Flush().has_value());
+}
+
+TEST(SeqDetector, TracksLastArrival) {
+  SequentialityDetector sd;
+  sd.OnWrite(0, 1, 100);
+  sd.OnWrite(1, 1, 250);
+  auto f = sd.Flush();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->last_arrival, 250);
+}
+
+TEST(SeqDetector, MergedRunCounter) {
+  SequentialityDetector sd;
+  sd.OnWrite(0, 1, 1);
+  sd.OnWrite(1, 1, 2);
+  sd.OnWrite(2, 1, 3);
+  sd.OnWrite(50, 1, 4);
+  EXPECT_EQ(sd.merged_runs(), 2u);
+}
+
+TEST(SeqDetector, ZeroBlockWriteIgnored) {
+  SequentialityDetector sd;
+  EXPECT_TRUE(sd.OnWrite(0, 0, 1).empty());
+  EXPECT_FALSE(sd.has_pending());
+}
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,105 @@
+// Stack factory behaviour: scheme wiring, shared cost models, device
+// dispatch and configuration pass-through.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "edc/stack.hpp"
+
+namespace edc::core {
+namespace {
+
+StackConfig Base() {
+  StackConfig cfg;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "usr";
+  cfg.ssd.geometry.num_blocks = 128;
+  cfg.ssd.store_data = false;
+  return cfg;
+}
+
+TEST(Stack, CreatesEverySchemeAndDeviceCombo) {
+  for (Scheme scheme : AllSchemes()) {
+    StackConfig cfg = Base();
+    cfg.scheme = scheme;
+    auto stack = Stack::Create(cfg);
+    ASSERT_TRUE(stack.ok()) << SchemeName(scheme);
+    EXPECT_EQ((*stack)->config().scheme, scheme);
+  }
+  for (int device = 0; device < 4; ++device) {
+    StackConfig cfg = Base();
+    cfg.use_rais = device == 1;
+    cfg.use_hdd = device == 2;
+    cfg.use_nvm = device == 3;
+    cfg.rais.member = cfg.ssd;
+    auto stack = Stack::Create(cfg);
+    ASSERT_TRUE(stack.ok()) << device;
+    EXPECT_GT((*stack)->device().logical_pages(), 0u);
+  }
+}
+
+TEST(Stack, SharedCostModelSkipsRecalibration) {
+  StackConfig cfg = Base();
+  cfg.mode = ExecutionMode::kModeled;
+  auto model = Stack::CalibrateCostModel(cfg);
+  ASSERT_TRUE(model.ok());
+  // Reuse across many stacks: must construct fast (no codec runs).
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) {
+    auto stack = Stack::Create(cfg, *model);
+    ASSERT_TRUE(stack.ok());
+  }
+  double s = std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
+  EXPECT_LT(s, 1.0);  // calibration alone takes multiple seconds
+}
+
+TEST(Stack, SeqDetectorOnlyForEdcByDefault) {
+  StackConfig cfg = Base();
+  cfg.scheme = Scheme::kLzf;
+  auto lzf = Stack::Create(cfg);
+  ASSERT_TRUE(lzf.ok());
+  EXPECT_FALSE((*lzf)->engine().config().use_seq_detector);
+  cfg.scheme = Scheme::kEdc;
+  auto edcs = Stack::Create(cfg);
+  ASSERT_TRUE(edcs.ok());
+  EXPECT_TRUE((*edcs)->engine().config().use_seq_detector);
+}
+
+TEST(Stack, ConfigKnobsReachEngine) {
+  StackConfig cfg = Base();
+  cfg.scheme = Scheme::kEdc;
+  cfg.cache_groups = 99;
+  cfg.cpu_contexts = 3;
+  cfg.alloc_policy = AllocPolicy::kExactQuanta;
+  cfg.elastic.busy_iops = 123;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  const EngineConfig& ec = (*stack)->engine().config();
+  EXPECT_EQ(ec.cache_groups, 99u);
+  EXPECT_EQ(ec.cpu_contexts, 3u);
+  EXPECT_EQ(ec.alloc_policy, AllocPolicy::kExactQuanta);
+  EXPECT_EQ(ec.elastic.busy_iops, 123);
+}
+
+TEST(Monitor, UpdateIntervalControlsSmoothing) {
+  // With a huge update interval the EWMA never re-primes, so the blended
+  // estimate leans on the live window; with a tiny interval it smooths.
+  MonitorConfig coarse;
+  coarse.update_interval = kSecond * 100;
+  MonitorConfig fine;
+  fine.update_interval = kMillisecond;
+  WorkloadMonitor a(coarse), b(fine);
+  for (int i = 0; i < 1000; ++i) {
+    SimTime t = i * kMillisecond;
+    a.Record(t, 4096);
+    b.Record(t, 4096);
+  }
+  // Both converge to ~1000 IOPS; neither may be wildly off.
+  EXPECT_NEAR(a.CalculatedIops(kSecond), 1000, 300);
+  EXPECT_NEAR(b.CalculatedIops(kSecond), 1000, 300);
+}
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,126 @@
+// Engine TRIM semantics: discarded blocks read as zeros, their groups'
+// flash space is reclaimed, and discards interact correctly with the
+// Sequentiality Detector's pending run.
+#include <gtest/gtest.h>
+
+#include "edc/stack.hpp"
+
+namespace edc::core {
+namespace {
+
+std::unique_ptr<Stack> MakeStack(Scheme scheme) {
+  StackConfig cfg;
+  cfg.scheme = scheme;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "linux";
+  cfg.seed = 99;
+  cfg.ssd.geometry.pages_per_block = 16;
+  cfg.ssd.geometry.num_blocks = 128;
+  cfg.ssd.store_data = false;
+  auto stack = Stack::Create(cfg);
+  EXPECT_TRUE(stack.ok());
+  return std::move(*stack);
+}
+
+TEST(EngineTrim, TrimmedBlocksReadZero) {
+  auto stack = MakeStack(Scheme::kGzip);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, 2 * kLogicalBlockSize).ok());
+  auto t = e.Trim(kMillisecond, 0, kLogicalBlockSize);
+  ASSERT_TRUE(t.ok());
+  auto gone = e.ReadBlockData(0);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_EQ(*gone, Bytes(kLogicalBlockSize, 0));
+  // The sibling block survives.
+  auto kept = e.ReadBlockData(1);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(*kept, e.ExpectedBlockData(1));
+  EXPECT_EQ(e.stats().trimmed_blocks, 1u);
+}
+
+TEST(EngineTrim, FullGroupTrimReclaimsSpace) {
+  auto stack = MakeStack(Scheme::kGzip);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, 8 * kLogicalBlockSize).ok());
+  u64 allocated = e.map().live_allocated_bytes();
+  EXPECT_GT(allocated, 0u);
+  ASSERT_TRUE(e.Trim(kMillisecond, 0, 8 * kLogicalBlockSize).ok());
+  EXPECT_EQ(e.map().live_allocated_bytes(), 0u);
+  EXPECT_EQ(e.map().num_groups(), 0u);
+}
+
+TEST(EngineTrim, PartialGroupTrimKeepsExtentUntilLastMember) {
+  auto stack = MakeStack(Scheme::kGzip);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, 4 * kLogicalBlockSize).ok());
+  u64 before = e.map().live_allocated_bytes();
+  ASSERT_TRUE(e.Trim(kMillisecond, 0, kLogicalBlockSize).ok());
+  // The group still holds 3 members; its extent cannot shrink.
+  EXPECT_EQ(e.map().live_allocated_bytes(), before);
+  ASSERT_TRUE(
+      e.Trim(2 * kMillisecond, kLogicalBlockSize, 3 * kLogicalBlockSize)
+          .ok());
+  EXPECT_EQ(e.map().live_allocated_bytes(), 0u);
+}
+
+TEST(EngineTrim, OverlappingPendingRunIsFlushedFirst) {
+  auto stack = MakeStack(Scheme::kEdc);
+  Engine& e = stack->engine();
+  // Two sequential writes stay pending in the SD.
+  ASSERT_TRUE(e.Write(0, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Write(kMicrosecond, kLogicalBlockSize,
+                      kLogicalBlockSize).ok());
+  EXPECT_EQ(e.stats().groups_written, 0u);
+  // Trim of block 1 overlaps the pending run: the run flushes, then the
+  // trim applies.
+  ASSERT_TRUE(e.Trim(kMillisecond, kLogicalBlockSize,
+                     kLogicalBlockSize).ok());
+  EXPECT_EQ(e.stats().groups_written, 1u);
+  auto gone = e.ReadBlockData(1);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_EQ(*gone, Bytes(kLogicalBlockSize, 0));
+  auto kept = e.ReadBlockData(0);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(*kept, e.ExpectedBlockData(0));
+}
+
+TEST(EngineTrim, NonOverlappingTrimLeavesPendingMerging) {
+  auto stack = MakeStack(Scheme::kEdc);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Trim(kMillisecond, 100 * kLogicalBlockSize,
+                     kLogicalBlockSize).ok());
+  // The pending run was not flushed.
+  EXPECT_EQ(e.stats().groups_written, 0u);
+}
+
+TEST(EngineTrim, RewriteAfterTrimWorks) {
+  auto stack = MakeStack(Scheme::kLzf);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Trim(kMillisecond, 0, kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Write(2 * kMillisecond, 0, kLogicalBlockSize).ok());
+  auto data = e.ReadBlockData(0);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, e.ExpectedBlockData(0));
+}
+
+TEST(EngineTrim, TrimOfUnwrittenRangeIsNoop) {
+  auto stack = MakeStack(Scheme::kNative);
+  Engine& e = stack->engine();
+  auto t = e.Trim(0, 500 * kLogicalBlockSize, 4 * kLogicalBlockSize);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 0);
+  EXPECT_EQ(e.stats().trimmed_blocks, 4u);
+}
+
+TEST(EngineTrim, ZeroSizeIsNoop) {
+  auto stack = MakeStack(Scheme::kNative);
+  auto t = stack->engine().Trim(5, 0, 0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 5);
+  EXPECT_EQ(stack->engine().stats().trimmed_blocks, 0u);
+}
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,121 @@
+// Randomized engine workload property test ("mini model checker"): a
+// random interleaving of writes, overwrites, reads, trims and idle gaps
+// is applied to every scheme in functional mode while a shadow model
+// tracks the expected per-block state. At checkpoints and at the end,
+// every block the shadow knows about must read back exactly.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "edc/stack.hpp"
+
+namespace edc::core {
+namespace {
+
+enum class Shadow { kUnwritten, kWritten, kTrimmed };
+
+struct ShadowModel {
+  std::unordered_map<Lba, Shadow> state;
+
+  void Write(Lba first, u32 n) {
+    for (u32 i = 0; i < n; ++i) state[first + i] = Shadow::kWritten;
+  }
+  void Trim(Lba first, u32 n) {
+    for (u32 i = 0; i < n; ++i) state[first + i] = Shadow::kTrimmed;
+  }
+};
+
+void CheckAll(Stack& stack, const ShadowModel& shadow) {
+  Engine& e = stack.engine();
+  for (const auto& [lba, st] : shadow.state) {
+    auto got = e.ReadBlockData(lba);
+    ASSERT_TRUE(got.ok()) << "block " << lba << ": "
+                          << got.status().ToString();
+    if (st == Shadow::kTrimmed) {
+      ASSERT_EQ(*got, Bytes(kLogicalBlockSize, 0)) << "block " << lba;
+    } else {
+      ASSERT_EQ(*got, e.ExpectedBlockData(lba)) << "block " << lba;
+    }
+  }
+}
+
+class EngineFuzz
+    : public ::testing::TestWithParam<std::tuple<Scheme, u64>> {};
+
+TEST_P(EngineFuzz, RandomOpsKeepDataConsistent) {
+  auto [scheme, seed] = GetParam();
+  StackConfig cfg;
+  cfg.scheme = scheme;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "usr";
+  cfg.seed = seed * 131 + 7;
+  cfg.ssd.geometry.pages_per_block = 16;
+  cfg.ssd.geometry.num_blocks = 512;  // 32 MiB
+  cfg.ssd.store_data = false;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+
+  Pcg32 rng(seed, 77);
+  ShadowModel shadow;
+  SimTime now = 0;
+  const Lba kSpan = 600;  // small space -> frequent overwrites
+
+  for (int step = 0; step < 800; ++step) {
+    now += FromMicros(rng.NextRange(1, 500));
+    if (rng.NextBool(0.15)) now += FromSeconds(rng.NextRange(0.01, 0.2));
+
+    u32 dice = rng.NextBounded(100);
+    Lba first = rng.NextBounded(kSpan);
+    u32 n = 1 + rng.NextBounded(8);
+    if (first + n > kSpan) n = static_cast<u32>(kSpan - first);
+    if (n == 0) continue;
+
+    if (dice < 55) {  // write
+      auto r = e.Write(now, first * kLogicalBlockSize,
+                       n * static_cast<u32>(kLogicalBlockSize));
+      ASSERT_TRUE(r.ok()) << "step " << step << ": "
+                          << r.status().ToString();
+      shadow.Write(first, n);
+    } else if (dice < 85) {  // read (timed path; content checked below)
+      auto r = e.Read(now, first * kLogicalBlockSize,
+                      n * static_cast<u32>(kLogicalBlockSize));
+      ASSERT_TRUE(r.ok()) << "step " << step;
+    } else {  // trim
+      auto r = e.Trim(now, first * kLogicalBlockSize,
+                      n * static_cast<u32>(kLogicalBlockSize));
+      ASSERT_TRUE(r.ok()) << "step " << step;
+      shadow.Trim(first, n);
+    }
+
+    if (step % 200 == 199) {
+      ASSERT_TRUE(e.FlushPending(now).ok());
+      CheckAll(**stack, shadow);
+    }
+  }
+  ASSERT_TRUE(e.FlushPending(now).ok());
+  CheckAll(**stack, shadow);
+
+  // Global invariants.
+  const EngineStats& s = e.stats();
+  u64 by_codec = 0;
+  for (u64 c : s.groups_by_codec) by_codec += c;
+  EXPECT_EQ(by_codec, s.groups_written);
+  EXPECT_GE(s.allocated_bytes_total, s.compressed_bytes_total);
+  EXPECT_LE(e.map().live_allocated_bytes(),
+            s.allocated_bytes_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, EngineFuzz,
+    ::testing::Combine(::testing::Values(Scheme::kNative, Scheme::kLzf,
+                                         Scheme::kGzip, Scheme::kEdc),
+                       ::testing::Values(u64{1}, u64{2}, u64{3})),
+    [](const ::testing::TestParamInfo<std::tuple<Scheme, u64>>& param_info) {
+      return std::string(SchemeName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace edc::core

@@ -1,0 +1,263 @@
+// Integration: synthetic paper traces replayed through full stacks.
+// Checks functional integrity under a realistic workload and the paper's
+// qualitative orderings (ratio ordering across schemes, EDC's balance).
+#include <gtest/gtest.h>
+
+#include "sim/replay.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/transform.hpp"
+
+namespace edc::sim {
+namespace {
+
+using core::ExecutionMode;
+using core::Scheme;
+using core::Stack;
+using core::StackConfig;
+
+StackConfig BaseConfig(Scheme scheme, ExecutionMode mode) {
+  StackConfig cfg;
+  cfg.scheme = scheme;
+  cfg.mode = mode;
+  cfg.content_profile = "fin";
+  cfg.seed = 77;
+  cfg.ssd.geometry.pages_per_block = 32;
+  cfg.ssd.geometry.num_blocks = 2048;  // 256 MiB
+  cfg.ssd.store_data = false;
+  return cfg;
+}
+
+trace::Trace SmallTrace(const char* preset, double seconds) {
+  auto p = trace::PresetByName(preset, seconds);
+  EXPECT_TRUE(p.ok());
+  // Shrink the footprint so a short functional test exercises overwrites.
+  p->working_set_blocks = 4000;
+  return GenerateSynthetic(*p, 11);
+}
+
+TEST(Replay, FunctionalIntegrityAcrossSchemesFin1) {
+  trace::Trace t = SmallTrace("Fin1", 3.0);
+  ASSERT_GT(t.records.size(), 200u);
+  for (Scheme scheme : core::AllSchemes()) {
+    auto stack = Stack::Create(BaseConfig(scheme, ExecutionMode::kFunctional));
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    auto result = ReplayTrace(**stack, t);
+    ASSERT_TRUE(result.ok()) << core::SchemeName(scheme) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->requests, t.records.size());
+
+    // Every block that was ever written must read back exactly.
+    core::Engine& engine = (*stack)->engine();
+    std::set<Lba> blocks;
+    for (const auto& r : t.records) {
+      if (r.op != trace::OpType::kWrite) continue;
+      for (u64 b = 0; b < r.block_count(); ++b) {
+        blocks.insert(r.first_block() + b);
+      }
+    }
+    int checked = 0;
+    for (Lba b : blocks) {
+      if (++checked > 400) break;  // sample; full check is O(minutes)
+      auto got = engine.ReadBlockData(b);
+      ASSERT_TRUE(got.ok()) << core::SchemeName(scheme) << " block " << b;
+      ASSERT_EQ(*got, engine.ExpectedBlockData(b))
+          << core::SchemeName(scheme) << " block " << b;
+    }
+  }
+}
+
+TEST(Replay, CompressionRatioOrderingMatchesPaper) {
+  // Fig. 8 ordering: Bzip2 >= Gzip > EDC > Lzf... with EDC between Lzf
+  // and Gzip (EDC mixes Gzip/Lzf/Store). Native == 1.
+  trace::Trace t = SmallTrace("Fin1", 3.0);
+  std::map<Scheme, double> ratio;
+  for (Scheme scheme : core::AllSchemes()) {
+    auto stack = Stack::Create(BaseConfig(scheme, ExecutionMode::kFunctional));
+    ASSERT_TRUE(stack.ok());
+    auto result = ReplayTrace(**stack, t);
+    ASSERT_TRUE(result.ok());
+    ratio[scheme] = result->compression_ratio;
+  }
+  EXPECT_DOUBLE_EQ(ratio[Scheme::kNative], 1.0);
+  EXPECT_GT(ratio[Scheme::kLzf], 1.05);
+  EXPECT_GE(ratio[Scheme::kGzip], ratio[Scheme::kLzf]);
+  EXPECT_GE(ratio[Scheme::kBzip2], ratio[Scheme::kGzip] * 0.9);
+  EXPECT_GT(ratio[Scheme::kEdc], 1.05);
+}
+
+TEST(Replay, ModeledModeRunsFastAndTracksFunctionalRatio) {
+  trace::Trace t = SmallTrace("Fin2", 3.0);
+
+  auto cfgm = BaseConfig(Scheme::kGzip, ExecutionMode::kModeled);
+  cfgm.modeled_check_interval = 64;
+  auto model = Stack::CalibrateCostModel(cfgm);
+  ASSERT_TRUE(model.ok());
+
+  auto modeled = Stack::Create(cfgm, *model);
+  ASSERT_TRUE(modeled.ok());
+  auto rm = ReplayTrace(**modeled, t);
+  ASSERT_TRUE(rm.ok()) << rm.status().ToString();
+
+  auto functional =
+      Stack::Create(BaseConfig(Scheme::kGzip, ExecutionMode::kFunctional));
+  ASSERT_TRUE(functional.ok());
+  auto rf = ReplayTrace(**functional, t);
+  ASSERT_TRUE(rf.ok());
+
+  EXPECT_NEAR(rm->compression_ratio, rf->compression_ratio,
+              rf->compression_ratio * 0.25);
+  // Drift self-check ran and stayed modest.
+  EXPECT_GT(rm->engine.drift_checks, 0u);
+  EXPECT_LT(rm->engine.drift_abs_error_sum /
+                static_cast<double>(rm->engine.drift_checks),
+            0.2);
+}
+
+TEST(Replay, ResponseTimeOrderingUnderLoad) {
+  // Fig. 10 shape: Bzip2 far slower than Lzf; EDC no slower than Gzip.
+  trace::Trace t = SmallTrace("Fin1", 4.0);
+  auto model = Stack::CalibrateCostModel(
+      BaseConfig(Scheme::kEdc, ExecutionMode::kModeled));
+  ASSERT_TRUE(model.ok());
+
+  std::map<Scheme, double> rt;
+  for (Scheme scheme : core::AllSchemes()) {
+    auto stack =
+        Stack::Create(BaseConfig(scheme, ExecutionMode::kModeled), *model);
+    ASSERT_TRUE(stack.ok());
+    auto result = ReplayTrace(**stack, t);
+    ASSERT_TRUE(result.ok());
+    rt[scheme] = result->response_us.mean();
+  }
+  EXPECT_GT(rt[Scheme::kBzip2], rt[Scheme::kLzf] * 1.5);
+  EXPECT_GT(rt[Scheme::kGzip], rt[Scheme::kLzf] * 0.9);
+  EXPECT_LE(rt[Scheme::kEdc], rt[Scheme::kGzip] * 1.1);
+}
+
+TEST(Replay, Rais5RunsAllSchemes) {
+  trace::Trace t = SmallTrace("Usr_0", 2.0);
+  auto base = BaseConfig(Scheme::kEdc, ExecutionMode::kModeled);
+  auto model = Stack::CalibrateCostModel(base);
+  ASSERT_TRUE(model.ok());
+  for (Scheme scheme : {Scheme::kNative, Scheme::kEdc}) {
+    StackConfig cfg = BaseConfig(scheme, ExecutionMode::kModeled);
+    cfg.use_rais = true;
+    cfg.rais.level = ssd::RaisLevel::kRais5;
+    cfg.rais.num_disks = 5;
+    cfg.rais.member = cfg.ssd;
+    auto stack = Stack::Create(cfg, *model);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    auto result = ReplayTrace(**stack, t);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->requests, 100u);
+    EXPECT_GT(result->device.host_pages_written, 0u);
+  }
+}
+
+TEST(Replay, MaxRequestsOptionTruncates) {
+  trace::Trace t = SmallTrace("Prxy_0", 2.0);
+  auto stack =
+      Stack::Create(BaseConfig(Scheme::kNative, ExecutionMode::kFunctional));
+  ASSERT_TRUE(stack.ok());
+  ReplayOptions opt;
+  opt.max_requests = 50;
+  auto result = ReplayTrace(**stack, t, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->requests, 50u);
+}
+
+TEST(Replay, PercentilesOrdered) {
+  trace::Trace t = SmallTrace("Fin2", 2.0);
+  auto stack =
+      Stack::Create(BaseConfig(Scheme::kLzf, ExecutionMode::kFunctional));
+  ASSERT_TRUE(stack.ok());
+  auto result = ReplayTrace(**stack, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->p50_us, result->p95_us);
+  EXPECT_LE(result->p95_us, result->p99_us);
+  EXPECT_GE(result->p50_us, 0.0);
+}
+
+TEST(Replay, SpaceSavingMetric) {
+  trace::Trace t = SmallTrace("Fin1", 2.0);
+  auto stack =
+      Stack::Create(BaseConfig(Scheme::kGzip, ExecutionMode::kFunctional));
+  ASSERT_TRUE(stack.ok());
+  auto result = ReplayTrace(**stack, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->space_saving(), 0.0);
+  EXPECT_LT(result->space_saving(), 1.0);
+  EXPECT_NEAR(result->space_saving(),
+              1.0 - 1.0 / result->compression_ratio, 1e-9);
+}
+
+
+TEST(Replay, HybridFtlStackRunsEdc) {
+  trace::Trace t = SmallTrace("Fin1", 2.0);
+  StackConfig cfg = BaseConfig(Scheme::kEdc, ExecutionMode::kFunctional);
+  cfg.ssd.ftl = ssd::FtlKind::kHybridLog;
+  cfg.ssd.geometry.overprovision = 0.2;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  auto result = ReplayTrace(**stack, t);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Spot-check functional integrity on the hybrid FTL.
+  core::Engine& engine = (*stack)->engine();
+  int checked = 0;
+  for (const auto& r : t.records) {
+    if (r.op != trace::OpType::kWrite || ++checked > 100) continue;
+    Lba b = r.first_block();
+    auto got = engine.ReadBlockData(b);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, engine.ExpectedBlockData(b)) << "block " << b;
+  }
+}
+
+TEST(Replay, HddStackRunsAllSchemes) {
+  trace::Trace base = SmallTrace("Fin2", 2.0);
+  trace::Trace t = trace::TimeScale(base, 0.05);  // HDD operating range
+  t.name = base.name;
+  for (Scheme scheme : {Scheme::kNative, Scheme::kEdc}) {
+    StackConfig cfg = BaseConfig(scheme, ExecutionMode::kFunctional);
+    cfg.use_hdd = true;
+    cfg.hdd.num_pages = 1u << 20;
+    auto stack = Stack::Create(cfg);
+    ASSERT_TRUE(stack.ok());
+    auto result = ReplayTrace(**stack, t);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->requests, 100u);
+  }
+}
+
+TEST(Replay, Rais0StackRuns) {
+  trace::Trace t = SmallTrace("Usr_0", 1.5);
+  StackConfig cfg = BaseConfig(Scheme::kLzf, ExecutionMode::kFunctional);
+  cfg.use_rais = true;
+  cfg.rais.level = ssd::RaisLevel::kRais0;
+  cfg.rais.num_disks = 4;
+  cfg.rais.member = cfg.ssd;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  auto result = ReplayTrace(**stack, t);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->device.host_pages_written, 0u);
+}
+
+TEST(Replay, DeterministicAcrossRuns) {
+  trace::Trace t = SmallTrace("Fin1", 1.5);
+  StackConfig cfg = BaseConfig(Scheme::kEdc, ExecutionMode::kFunctional);
+  auto a = Stack::Create(cfg);
+  auto b = Stack::Create(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto ra = ReplayTrace(**a, t);
+  auto rb = ReplayTrace(**b, t);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->response_us.mean(), rb->response_us.mean());
+  EXPECT_EQ(ra->compression_ratio, rb->compression_ratio);
+  EXPECT_EQ(ra->engine.groups_written, rb->engine.groups_written);
+}
+
+}  // namespace
+}  // namespace edc::sim

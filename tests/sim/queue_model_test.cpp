@@ -1,0 +1,96 @@
+// Validates (a) the analytic formulas against known values and (b) —
+// the important part — the discrete simulator against the analytics:
+// the simulated SSD under Poisson arrivals must reproduce the M/D/1
+// waiting-time curve, which certifies the FIFO/busy-until machinery that
+// every response-time figure rests on.
+#include "sim/queue_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ssd/ssd.hpp"
+
+namespace edc::sim {
+namespace {
+
+TEST(QueueModel, UtilizationIsLambdaTimesService) {
+  EXPECT_DOUBLE_EQ(Utilization(100, 0.005), 0.5);
+}
+
+TEST(QueueModel, MM1KnownValue) {
+  // rho = 0.5: W = rho/(1-rho) * E[S] = E[S].
+  EXPECT_NEAR(MM1MeanWait(100, 0.005), 0.005, 1e-12);
+  // rho = 0.8: W = 4 * E[S].
+  EXPECT_NEAR(MM1MeanWait(160, 0.005), 0.02, 1e-12);
+}
+
+TEST(QueueModel, MD1IsHalfOfMM1) {
+  // Deterministic service halves the PK waiting time.
+  double mm1 = MG1MeanWait(100, 0.005, 1.0);
+  double md1 = MG1MeanWait(100, 0.005, 0.0);
+  EXPECT_NEAR(md1, mm1 / 2, 1e-12);
+}
+
+TEST(QueueModel, SaturationDiverges) {
+  EXPECT_TRUE(std::isinf(MM1MeanWait(200, 0.005)));
+  EXPECT_TRUE(std::isinf(MM1MeanWait(300, 0.005)));
+}
+
+TEST(QueueModel, SaturationRateBracketsTarget) {
+  double s = 0.001;
+  double rate = MG1SaturationRate(s, 0.0, 0.004);
+  ASSERT_GT(rate, 0.0);
+  EXPECT_LT(MG1MeanResponse(rate * 0.99, s, 0.0), 0.004);
+  EXPECT_GT(MG1MeanResponse(rate * 1.01, s, 0.0), 0.004);
+  // Impossible target.
+  EXPECT_EQ(MG1SaturationRate(0.01, 0.0, 0.005), 0.0);
+}
+
+class SimulatorVsTheory : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimulatorVsTheory, SsdMatchesMD1WaitingTime) {
+  const double rho_target = GetParam();
+
+  // Fixed-size writes => deterministic service (M/D/1).
+  ssd::SsdConfig cfg = ssd::MakeX25eConfig(512, /*store_data=*/false);
+  ssd::Ssd ssd(cfg);
+  ssd::OpCost one_page;
+  one_page.pages_programmed = 1;
+  const double service_s = ToSeconds(ssd.ServiceTime(one_page, 0, 1));
+  const double lambda = rho_target / service_s;
+
+  Pcg32 rng(99, 5);
+  RunningStats wait_s;
+  SimTime now = 0;
+  const u64 span = ssd.logical_pages() / 2;
+  // Skip a warm-up prefix so the steady-state mean isn't diluted.
+  const int total = 30000, warmup = 2000;
+  for (int i = 0; i < total; ++i) {
+    now += FromSeconds(rng.NextExponential(1.0 / lambda));
+    auto io = ssd.WriteModeled(rng.NextU64() % span, 1, now);
+    ASSERT_TRUE(io.ok());
+    if (i >= warmup) {
+      wait_s.Add(ToSeconds(io->start - now));
+    }
+  }
+
+  double predicted = MG1MeanWait(lambda, service_s, 0.0);
+  // GC is negligible here (huge device, tiny write set); allow 15%
+  // stochastic tolerance plus a small absolute floor.
+  EXPECT_NEAR(wait_s.mean(), predicted,
+              predicted * 0.15 + service_s * 0.02)
+      << "rho=" << rho_target << " predicted W=" << predicted
+      << " simulated W=" << wait_s.mean();
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, SimulatorVsTheory,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.85),
+                         [](const ::testing::TestParamInfo<double>& param_info) {
+                           return "rho" +
+                                  std::to_string(static_cast<int>(
+                                      param_info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace edc::sim

@@ -1,0 +1,101 @@
+// Background GC: idle gaps must be used to reclaim space so that bursts
+// after idleness see fewer foreground GC stalls.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+#include "common/stats.hpp"
+
+namespace edc::ssd {
+namespace {
+
+SsdConfig Config(bool background) {
+  SsdConfig c;
+  c.geometry.pages_per_block = 8;
+  c.geometry.num_blocks = 64;
+  c.store_data = false;
+  if (background) {
+    c.background_gc_idle = 10 * kMillisecond;
+    c.background_gc_watermark = 0.3;
+  }
+  return c;
+}
+
+/// Dirty the device with random overwrites, tightly packed in time.
+SimTime Churn(Ssd& ssd, SimTime start, int ops, u64* x) {
+  SimTime now = start;
+  const u64 span = ssd.logical_pages() * 9 / 10;
+  for (int i = 0; i < ops; ++i) {
+    *x = *x * 6364136223846793005ull + 1442695040888963407ull;
+    auto w = ssd.WriteModeled((*x >> 33) % span, 1, now);
+    EXPECT_TRUE(w.ok());
+    now = w->completion;
+  }
+  return now;
+}
+
+TEST(BackgroundGc, ReclaimsDuringIdleGaps) {
+  Ssd ssd(Config(true));
+  u64 x = 7;
+  SimTime now = Churn(ssd, 0, 1500, &x);
+  // Long idle gap, then a single touch that triggers the background pass.
+  auto io = ssd.WriteModeled(0, 1, now + 10 * kSecond);
+  ASSERT_TRUE(io.ok());
+  EXPECT_GT(ssd.ftl_stats().background_reclaims, 0u);
+}
+
+TEST(BackgroundGc, DisabledByDefault) {
+  Ssd ssd(Config(false));
+  u64 x = 7;
+  SimTime now = Churn(ssd, 0, 1500, &x);
+  auto io = ssd.WriteModeled(0, 1, now + 10 * kSecond);
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(ssd.ftl_stats().background_reclaims, 0u);
+}
+
+TEST(BackgroundGc, NoIdleNoBackgroundWork) {
+  Ssd ssd(Config(true));
+  u64 x = 9;
+  Churn(ssd, 0, 1500, &x);  // back-to-back, never idle long enough
+  EXPECT_EQ(ssd.ftl_stats().background_reclaims, 0u);
+}
+
+TEST(BackgroundGc, ReducesForegroundStallsAfterIdle) {
+  // Identical workloads; the background-GC device should enter the
+  // post-idle burst with more free blocks and do less foreground GC
+  // inside it.
+  Ssd with(Config(true));
+  Ssd without(Config(false));
+  u64 xa = 11, xb = 11;
+  SimTime ta = Churn(with, 0, 1500, &xa);
+  SimTime tb = Churn(without, 0, 1500, &xb);
+
+  u64 fg_before_with = with.ftl_stats().gc_runs;
+  u64 fg_before_without = without.ftl_stats().gc_runs;
+
+  // Burst after a long idle gap.
+  SimTime burst_a = ta + 30 * kSecond;
+  SimTime burst_b = tb + 30 * kSecond;
+  u64 xa2 = 13;
+  RunningStats lat_with, lat_without;
+  const u64 span = with.logical_pages() * 9 / 10;
+  for (int i = 0; i < 300; ++i) {
+    xa2 = xa2 * 6364136223846793005ull + 1442695040888963407ull;
+    Lba lba = (xa2 >> 33) % span;
+    auto wa = with.WriteModeled(lba, 1, burst_a);
+    auto wb = without.WriteModeled(lba, 1, burst_b);
+    ASSERT_TRUE(wa.ok());
+    ASSERT_TRUE(wb.ok());
+    lat_with.Add(ToMicros(wa->completion - burst_a));
+    lat_without.Add(ToMicros(wb->completion - burst_b));
+    burst_a = wa->completion + 50 * kMicrosecond;
+    burst_b = wb->completion + 50 * kMicrosecond;
+  }
+  u64 fg_with = with.ftl_stats().gc_runs - fg_before_with;
+  u64 fg_without = without.ftl_stats().gc_runs - fg_before_without;
+  EXPECT_LE(fg_with, fg_without);
+  EXPECT_LE(lat_with.mean(), lat_without.mean() * 1.05);
+}
+
+}  // namespace
+}  // namespace edc::ssd

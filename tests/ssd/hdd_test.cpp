@@ -1,0 +1,125 @@
+#include "ssd/hdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace edc::ssd {
+namespace {
+
+HddConfig SmallHdd(bool store = true) {
+  HddConfig c;
+  c.num_pages = 10000;
+  c.store_data = store;
+  return c;
+}
+
+std::vector<Bytes> Payloads(u32 n, u8 fill) {
+  std::vector<Bytes> v;
+  for (u32 i = 0; i < n; ++i) v.emplace_back(4096, static_cast<u8>(fill + i));
+  return v;
+}
+
+TEST(Hdd, WriteReadRoundTrip) {
+  Hdd hdd(SmallHdd());
+  auto w = hdd.Write(5, Payloads(3, 9), 0);
+  ASSERT_TRUE(w.ok());
+  auto r = hdd.Read(5, 3, w->completion);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->pages.size(), 3u);
+  EXPECT_EQ(r->pages[1], Bytes(4096, 10));
+}
+
+TEST(Hdd, RandomAccessPaysPositioning) {
+  Hdd hdd(SmallHdd(false));
+  // First access (head invalid): full positioning.
+  SimTime t_random = hdd.ServiceTime(5000, 1);
+  EXPECT_GT(t_random, 4 * kMillisecond);  // seek + half rotation
+}
+
+TEST(Hdd, SequentialAccessSkipsPositioning) {
+  Hdd hdd(SmallHdd(false));
+  auto a = hdd.WriteModeled(100, 4, 0);
+  ASSERT_TRUE(a.ok());
+  // Continuing at 104: no seek, transfer only.
+  SimTime t_seq = hdd.ServiceTime(104, 4);
+  SimTime t_rand = hdd.ServiceTime(9000, 4);
+  EXPECT_LT(t_seq, kMillisecond);
+  EXPECT_GT(t_rand, t_seq * 5);
+}
+
+TEST(Hdd, DistanceDependentSeek) {
+  HddConfig cfg = SmallHdd(false);
+  Hdd hdd(cfg);
+  ASSERT_TRUE(hdd.WriteModeled(0, 1, 0).ok());  // head at 1
+  SimTime near = hdd.ServiceTime(10, 1);
+  SimTime far = hdd.ServiceTime(9999, 1);
+  EXPECT_LT(near, far);
+}
+
+TEST(Hdd, FifoQueueing) {
+  Hdd hdd(SmallHdd(false));
+  auto a = hdd.WriteModeled(0, 1, 0);
+  auto b = hdd.WriteModeled(5000, 1, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->start, a->completion);
+}
+
+TEST(Hdd, TransferScalesWithSize) {
+  Hdd hdd(SmallHdd(false));
+  SimTime t1 = hdd.ServiceTime(0, 1);
+  SimTime t64 = hdd.ServiceTime(0, 64);
+  // Both pay the same positioning; the difference is pure transfer.
+  SimTime delta = t64 - t1;
+  double mb = 63.0 * 4096 / (1024.0 * 1024.0);
+  EXPECT_NEAR(static_cast<double>(delta),
+              static_cast<double>(FromSeconds(mb / 150.0)), 1e5);
+}
+
+TEST(Hdd, TrimDropsData) {
+  Hdd hdd(SmallHdd());
+  auto w = hdd.Write(7, Payloads(1, 1), 0);
+  ASSERT_TRUE(w.ok());
+  auto t = hdd.Trim(7, 1, w->completion);
+  ASSERT_TRUE(t.ok());
+  auto r = hdd.Read(7, 1, t->completion);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pages[0].empty());
+}
+
+TEST(Hdd, OutOfRangeRejected) {
+  Hdd hdd(SmallHdd(false));
+  EXPECT_FALSE(hdd.WriteModeled(10000, 1, 0).ok());
+  EXPECT_FALSE(hdd.Read(9999, 2, 0).ok());
+  EXPECT_FALSE(hdd.Trim(10000, 1, 0).ok());
+}
+
+TEST(Hdd, StatsAndEnergy) {
+  Hdd hdd(SmallHdd(false));
+  SimTime now = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto w = hdd.WriteModeled(static_cast<Lba>(i) * 700, 2, now);
+    ASSERT_TRUE(w.ok());
+    now = w->completion;
+  }
+  DeviceStats s = hdd.stats();
+  EXPECT_EQ(s.host_pages_written, 20u);
+  EXPECT_EQ(s.total_erases, 0u);  // no flash semantics
+  EXPECT_GT(s.busy_time, 0);
+  // Energy = active watts over busy time.
+  EXPECT_NEAR(s.energy_j, 7.0 * ToSeconds(s.busy_time), 1e-9);
+}
+
+TEST(Hdd, MuchSlowerThanSsdOnRandomReads) {
+  Hdd hdd(SmallHdd(false));
+  Ssd flash_dev(MakeX25eConfig(64, false));
+  ASSERT_TRUE(flash_dev.WriteModeled(0, 64, 0).ok());
+  SimTime hdd_t = hdd.ServiceTime(5000, 1);
+  auto ssd_io = flash_dev.Read(3, 1, kSecond);
+  ASSERT_TRUE(ssd_io.ok());
+  EXPECT_GT(hdd_t, (ssd_io->completion - kSecond) * 20);
+}
+
+}  // namespace
+}  // namespace edc::ssd

@@ -1,0 +1,167 @@
+#include "ssd/hybrid_ftl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ssd/ssd.hpp"
+
+namespace edc::ssd {
+namespace {
+
+SsdConfig SmallConfig() {
+  SsdConfig c;
+  c.geometry.pages_per_block = 8;
+  c.geometry.num_blocks = 32;
+  c.geometry.overprovision = 0.25;  // generous log pool
+  c.ftl = FtlKind::kHybridLog;
+  c.store_data = true;
+  return c;
+}
+
+Bytes Payload(u32 tag) {
+  Bytes b(32);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<u8>(tag * 13 + i);
+  }
+  return b;
+}
+
+struct Fixture {
+  SsdConfig cfg = SmallConfig();
+  FlashArray flash{cfg.geometry, cfg.store_data};
+  HybridLogFtl ftl{cfg, &flash};
+};
+
+TEST(HybridFtl, SequentialFillStaysInPlace) {
+  Fixture f;
+  const u32 ppb = f.cfg.geometry.pages_per_block;
+  for (Lba lba = 0; lba < ppb; ++lba) {
+    auto cost = f.ftl.Write(lba, Payload(static_cast<u32>(lba)));
+    ASSERT_TRUE(cost.ok());
+    EXPECT_EQ(cost->pages_programmed, 1u) << lba;  // no merges
+  }
+  EXPECT_EQ(f.ftl.merges(), 0u);
+  EXPECT_EQ(f.ftl.active_log_blocks(), 0u);
+  for (Lba lba = 0; lba < ppb; ++lba) {
+    OpCost cost;
+    auto data = f.ftl.Read(lba, &cost);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, Payload(static_cast<u32>(lba)));
+  }
+}
+
+TEST(HybridFtl, OverwriteGoesToLogBlock) {
+  Fixture f;
+  ASSERT_TRUE(f.ftl.Write(0, Payload(1)).ok());
+  ASSERT_TRUE(f.ftl.Write(0, Payload(2)).ok());  // update -> log
+  EXPECT_EQ(f.ftl.active_log_blocks(), 1u);
+  OpCost cost;
+  auto data = f.ftl.Read(0, &cost);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Payload(2));
+}
+
+TEST(HybridFtl, LogOverflowTriggersFullMerge) {
+  Fixture f;
+  const u32 ppb = f.cfg.geometry.pages_per_block;
+  ASSERT_TRUE(f.ftl.Write(0, Payload(0)).ok());
+  // ppb+1 updates overflow one log block.
+  for (u32 i = 1; i <= ppb + 1; ++i) {
+    ASSERT_TRUE(f.ftl.Write(0, Payload(i)).ok()) << i;
+  }
+  EXPECT_GE(f.ftl.merges(), 1u);
+  OpCost cost;
+  auto data = f.ftl.Read(0, &cost);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Payload(ppb + 1));
+}
+
+TEST(HybridFtl, UnwrittenReadsEmpty) {
+  Fixture f;
+  OpCost cost;
+  auto data = f.ftl.Read(42, &cost);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->empty());
+  EXPECT_FALSE(f.ftl.IsMapped(42));
+}
+
+TEST(HybridFtl, TrimUnmaps) {
+  Fixture f;
+  ASSERT_TRUE(f.ftl.Write(3, Payload(3)).ok());
+  ASSERT_TRUE(f.ftl.Trim(3).ok());
+  EXPECT_FALSE(f.ftl.IsMapped(3));
+  OpCost cost;
+  auto data = f.ftl.Read(3, &cost);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->empty());
+}
+
+TEST(HybridFtl, OutOfRangeRejected) {
+  Fixture f;
+  Lba beyond = f.ftl.logical_pages();
+  EXPECT_FALSE(f.ftl.Write(beyond, Payload(0)).ok());
+  OpCost cost;
+  EXPECT_FALSE(f.ftl.Read(beyond, &cost).ok());
+  EXPECT_FALSE(f.ftl.Trim(beyond).ok());
+}
+
+TEST(HybridFtl, RandomChurnStaysConsistent) {
+  Fixture f;
+  Pcg32 rng(17, 5);
+  const Lba span = f.ftl.logical_pages();
+  std::vector<u32> latest(span, 0);
+  for (int step = 1; step < 3000; ++step) {
+    Lba lba = rng.NextU64() % span;
+    auto cost = f.ftl.Write(lba, Payload(static_cast<u32>(step)));
+    ASSERT_TRUE(cost.ok()) << "step " << step << ": "
+                           << cost.status().ToString();
+    latest[lba] = static_cast<u32>(step);
+  }
+  EXPECT_GT(f.ftl.merges(), 0u);
+  for (Lba lba = 0; lba < span; ++lba) {
+    if (latest[lba] == 0) continue;
+    OpCost cost;
+    auto data = f.ftl.Read(lba, &cost);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, Payload(latest[lba])) << lba;
+  }
+}
+
+TEST(HybridFtl, RandomOverwritesCostMoreThanPageFtl) {
+  // The design contrast: random updates are much more expensive under
+  // block mapping with full merges than under page mapping.
+  SsdConfig page_cfg = SmallConfig();
+  page_cfg.ftl = FtlKind::kPageMapping;
+  FlashArray page_flash(page_cfg.geometry, page_cfg.store_data);
+  PageFtl page_ftl(page_cfg, &page_flash);
+  Fixture hybrid;
+
+  Pcg32 rng(23, 7);
+  u64 span = std::min(page_ftl.logical_pages(),
+                      hybrid.ftl.logical_pages());
+  for (int step = 0; step < 2000; ++step) {
+    Lba lba = rng.NextU64() % span;
+    ASSERT_TRUE(page_ftl.Write(lba, Payload(1)).ok());
+    ASSERT_TRUE(hybrid.ftl.Write(lba, Payload(1)).ok());
+  }
+  EXPECT_GT(hybrid.flash.total_programs(),
+            page_flash.total_programs() * 3 / 2);
+}
+
+TEST(HybridFtl, SsdFacadeIntegration) {
+  SsdConfig cfg = SmallConfig();
+  Ssd ssd(cfg);
+  std::vector<Bytes> payload;
+  payload.emplace_back(4096, u8{0x5A});
+  SimTime now = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto w = ssd.Write(static_cast<Lba>(i * 7) % ssd.logical_pages(),
+                       payload, now);
+    ASSERT_TRUE(w.ok()) << i;
+    now = w->completion;
+  }
+  EXPECT_GT(ssd.stats().waf, 1.0);  // merges inflate programs
+}
+
+}  // namespace
+}  // namespace edc::ssd

@@ -1,0 +1,90 @@
+#include "ssd/nvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace edc::ssd {
+namespace {
+
+NvmConfig SmallNvm(bool store = true) {
+  NvmConfig c;
+  c.num_pages = 4096;
+  c.store_data = store;
+  return c;
+}
+
+std::vector<Bytes> Payloads(u32 n, u8 fill) {
+  std::vector<Bytes> v;
+  for (u32 i = 0; i < n; ++i) v.emplace_back(4096, static_cast<u8>(fill + i));
+  return v;
+}
+
+TEST(Nvm, WriteReadRoundTrip) {
+  Nvm nvm(SmallNvm());
+  auto w = nvm.Write(10, Payloads(2, 3), 0);
+  ASSERT_TRUE(w.ok());
+  auto r = nvm.Read(10, 2, w->completion);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages[0], Bytes(4096, 3));
+  EXPECT_EQ(r->pages[1], Bytes(4096, 4));
+}
+
+TEST(Nvm, MicrosecondLatencies) {
+  Nvm nvm(SmallNvm(false));
+  EXPECT_LT(nvm.ServiceTime(1, false), 5 * kMicrosecond);
+  EXPECT_LT(nvm.ServiceTime(1, true), 10 * kMicrosecond);
+  EXPECT_GT(nvm.ServiceTime(1, true), nvm.ServiceTime(1, false));
+}
+
+TEST(Nvm, OrdersOfMagnitudeFasterThanFlash) {
+  Nvm nvm(SmallNvm(false));
+  Ssd ssd(MakeX25eConfig(64, false));
+  ASSERT_TRUE(ssd.WriteModeled(0, 1, 0).ok());
+  auto flash_read = ssd.Read(0, 1, kSecond);
+  ASSERT_TRUE(flash_read.ok());
+  SimTime flash_t = flash_read->completion - kSecond;
+  EXPECT_GT(flash_t, nvm.ServiceTime(1, false) * 20);
+}
+
+TEST(Nvm, BandwidthBoundForLargeTransfers) {
+  Nvm nvm(SmallNvm(false));
+  SimTime t1 = nvm.ServiceTime(1, false);
+  SimTime t256 = nvm.ServiceTime(256, false);
+  double mb = 255.0 * 4096 / (1024.0 * 1024.0);
+  EXPECT_NEAR(static_cast<double>(t256 - t1),
+              static_cast<double>(FromSeconds(mb / 2000.0)), 1e4);
+}
+
+TEST(Nvm, FifoQueueing) {
+  Nvm nvm(SmallNvm(false));
+  auto a = nvm.WriteModeled(0, 1, 0);
+  auto b = nvm.WriteModeled(1, 1, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->start, a->completion);
+}
+
+TEST(Nvm, TrimAndBounds) {
+  Nvm nvm(SmallNvm());
+  ASSERT_TRUE(nvm.Write(5, Payloads(1, 1), 0).ok());
+  ASSERT_TRUE(nvm.Trim(5, 1, kMillisecond).ok());
+  auto r = nvm.Read(5, 1, kSecond);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pages[0].empty());
+  EXPECT_FALSE(nvm.WriteModeled(4096, 1, 0).ok());
+}
+
+TEST(Nvm, StatsAndEnergy) {
+  Nvm nvm(SmallNvm(false));
+  ASSERT_TRUE(nvm.WriteModeled(0, 10, 0).ok());
+  ASSERT_TRUE(nvm.Read(0, 4, kSecond).ok());
+  DeviceStats s = nvm.stats();
+  EXPECT_EQ(s.host_pages_written, 10u);
+  EXPECT_EQ(s.host_pages_read, 4u);
+  EXPECT_EQ(s.total_erases, 0u);
+  EXPECT_NEAR(s.energy_j, (10 * 15.0 + 4 * 2.0) * 1e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace edc::ssd

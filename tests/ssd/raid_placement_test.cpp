@@ -1,0 +1,106 @@
+// Parameterized RAIS placement properties over disk counts and chunk
+// sizes: full coverage, per-disk injectivity, parity rotation and
+// data/parity disjointness must hold for every geometry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssd/raid.hpp"
+
+namespace edc::ssd {
+namespace {
+
+using PlacementParam = std::tuple<u32 /*disks*/, u32 /*chunk*/, RaisLevel>;
+
+class RaisPlacement : public ::testing::TestWithParam<PlacementParam> {
+ protected:
+  RaisConfig Config() const {
+    auto [disks, chunk, level] = GetParam();
+    RaisConfig c;
+    c.level = level;
+    c.num_disks = disks;
+    c.chunk_pages = chunk;
+    c.member.geometry.pages_per_block = 8;
+    c.member.geometry.num_blocks = 64;
+    c.member.store_data = false;
+    return c;
+  }
+};
+
+TEST_P(RaisPlacement, PerDiskInjective) {
+  Rais rais(Config());
+  std::set<std::pair<u32, Lba>> seen;
+  Lba n = std::min<u64>(rais.logical_pages(), 2000);
+  for (Lba lba = 0; lba < n; ++lba) {
+    auto p = rais.Place(lba);
+    EXPECT_TRUE(seen.insert({p.data_disk, p.disk_lba}).second)
+        << "collision at " << lba;
+  }
+}
+
+TEST_P(RaisPlacement, DisksAndBoundsValid) {
+  auto [disks, chunk, level] = GetParam();
+  Rais rais(Config());
+  Lba n = std::min<u64>(rais.logical_pages(), 2000);
+  for (Lba lba = 0; lba < n; ++lba) {
+    auto p = rais.Place(lba);
+    EXPECT_LT(p.data_disk, disks);
+    if (level == RaisLevel::kRais5) {
+      EXPECT_LT(p.parity_disk, disks);
+      EXPECT_NE(p.data_disk, p.parity_disk) << lba;
+    }
+    (void)chunk;
+  }
+}
+
+TEST_P(RaisPlacement, ChunksAreContiguousOnOneDisk) {
+  auto [disks, chunk, level] = GetParam();
+  (void)disks;
+  (void)level;
+  Rais rais(Config());
+  Lba n = std::min<u64>(rais.logical_pages(), 2000);
+  for (Lba lba = 0; lba + 1 < n; ++lba) {
+    auto a = rais.Place(lba);
+    auto b = rais.Place(lba + 1);
+    if ((lba + 1) % chunk != 0) {
+      // Same chunk: same disk, consecutive member pages.
+      EXPECT_EQ(a.data_disk, b.data_disk) << lba;
+      EXPECT_EQ(a.disk_lba + 1, b.disk_lba) << lba;
+    }
+  }
+}
+
+TEST_P(RaisPlacement, ParityRotatesOverAllDisks) {
+  auto [disks, chunk, level] = GetParam();
+  if (level != RaisLevel::kRais5) GTEST_SKIP();
+  Rais rais(Config());
+  std::set<u32> parity_disks;
+  Lba rows_to_cover = static_cast<Lba>(disks) * 2;
+  Lba n = std::min<u64>(rais.logical_pages(),
+                        rows_to_cover * (disks - 1) * chunk);
+  for (Lba lba = 0; lba < n; ++lba) {
+    parity_disks.insert(rais.Place(lba).parity_disk);
+  }
+  EXPECT_EQ(parity_disks.size(), disks);
+}
+
+std::string PlacementParamName(
+    const ::testing::TestParamInfo<PlacementParam>& info) {
+  std::string name = "d";
+  name += std::to_string(std::get<0>(info.param));
+  name += "_c";
+  name += std::to_string(std::get<1>(info.param));
+  name += std::get<2>(info.param) == RaisLevel::kRais5 ? "_r5" : "_r0";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RaisPlacement,
+    ::testing::Combine(::testing::Values(3u, 5u, 8u),
+                       ::testing::Values(1u, 4u, 8u),
+                       ::testing::Values(RaisLevel::kRais0,
+                                         RaisLevel::kRais5)),
+    PlacementParamName);
+
+}  // namespace
+}  // namespace edc::ssd

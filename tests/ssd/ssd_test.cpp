@@ -1,0 +1,160 @@
+#include "ssd/ssd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edc::ssd {
+namespace {
+
+SsdConfig SmallConfig(bool store_data = true) {
+  SsdConfig c;
+  c.geometry.pages_per_block = 8;
+  c.geometry.num_blocks = 64;
+  c.store_data = store_data;
+  return c;
+}
+
+std::vector<Bytes> Payloads(u32 n, u8 fill) {
+  std::vector<Bytes> v;
+  for (u32 i = 0; i < n; ++i) v.emplace_back(4096, static_cast<u8>(fill + i));
+  return v;
+}
+
+TEST(Ssd, WriteThenReadReturnsData) {
+  Ssd ssd(SmallConfig());
+  auto w = ssd.Write(10, Payloads(2, 5), 0);
+  ASSERT_TRUE(w.ok());
+  auto r = ssd.Read(10, 2, w->completion);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->pages.size(), 2u);
+  EXPECT_EQ(r->pages[0], Bytes(4096, 5));
+  EXPECT_EQ(r->pages[1], Bytes(4096, 6));
+}
+
+TEST(Ssd, CompletionAfterArrival) {
+  Ssd ssd(SmallConfig());
+  auto w = ssd.Write(0, Payloads(1, 1), 1000);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GE(w->start, 1000);
+  EXPECT_GT(w->completion, w->start);
+}
+
+TEST(Ssd, FifoQueueingBuildsDelay) {
+  Ssd ssd(SmallConfig());
+  // Two requests arriving simultaneously: the second waits for the first.
+  auto a = ssd.Write(0, Payloads(1, 1), 0);
+  auto b = ssd.Write(1, Payloads(1, 2), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->start, a->completion);
+  EXPECT_GT(b->completion - 0, a->completion - 0);
+}
+
+TEST(Ssd, IdleDeviceStartsImmediately) {
+  Ssd ssd(SmallConfig());
+  auto a = ssd.Write(0, Payloads(1, 1), 0);
+  ASSERT_TRUE(a.ok());
+  SimTime later = a->completion + kSecond;
+  auto b = ssd.Write(1, Payloads(1, 2), later);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->start, later);
+}
+
+TEST(Ssd, ResponseTimeLinearInRequestSize) {
+  // The paper's Fig. 1 property: latency grows ~linearly with size.
+  Ssd ssd(SmallConfig(false));
+  SimTime t1 = 0, t4 = 0, t16 = 0;
+  SimTime now = 0;
+  {
+    auto r = ssd.WriteModeled(0, 1, now);
+    ASSERT_TRUE(r.ok());
+    t1 = r->completion - now;
+    now = r->completion;
+  }
+  {
+    auto r = ssd.WriteModeled(8, 4, now);
+    ASSERT_TRUE(r.ok());
+    t4 = r->completion - now;
+    now = r->completion;
+  }
+  {
+    auto r = ssd.WriteModeled(16, 16, now);
+    ASSERT_TRUE(r.ok());
+    t16 = r->completion - now;
+  }
+  EXPECT_GT(t4, t1);
+  EXPECT_GT(t16, t4);
+  // Slope roughly linear: t16/t4 within 2x of the size ratio guardrails.
+  double ratio = static_cast<double>(t16) / static_cast<double>(t4);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Ssd, ReadsFasterThanWrites) {
+  Ssd ssd(SmallConfig());
+  auto w = ssd.Write(0, Payloads(4, 1), 0);
+  ASSERT_TRUE(w.ok());
+  SimTime wt = w->completion - w->start;
+  auto r = ssd.Read(0, 4, w->completion);
+  ASSERT_TRUE(r.ok());
+  SimTime rt = r->completion - r->start;
+  EXPECT_LT(rt, wt);
+}
+
+TEST(Ssd, ServiceTimeComposition) {
+  Ssd ssd(SmallConfig());
+  const SsdTiming& t = ssd.config().timing;
+  OpCost cost;
+  cost.pages_programmed = 1;
+  SimTime svc = ssd.ServiceTime(cost, 0, 1);
+  EXPECT_GT(svc, t.cmd_overhead + t.prog_page);
+  OpCost gc = cost;
+  gc.blocks_erased = 1;
+  EXPECT_GE(ssd.ServiceTime(gc, 0, 1) - svc, t.erase_block);
+}
+
+TEST(Ssd, StatsReflectWorkAndWear) {
+  Ssd ssd(SmallConfig());
+  SimTime now = 0;
+  u64 x = 99;
+  const u64 span = ssd.logical_pages() * 9 / 10;
+  for (int i = 0; i < 3000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    Lba lba = (x >> 33) % span;
+    auto w = ssd.Write(lba, Payloads(1, static_cast<u8>(i)), now);
+    ASSERT_TRUE(w.ok()) << i;
+    now = w->completion;
+  }
+  DeviceStats s = ssd.stats();
+  EXPECT_EQ(s.host_pages_written, 3000u);
+  EXPECT_GT(s.total_erases, 0u);
+  EXPECT_GT(s.waf, 1.0);
+  EXPECT_GT(s.busy_time, 0);
+}
+
+TEST(Ssd, TrimIsCheap) {
+  Ssd ssd(SmallConfig());
+  auto w = ssd.Write(0, Payloads(1, 1), 0);
+  ASSERT_TRUE(w.ok());
+  auto t = ssd.Trim(0, 1, w->completion);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->completion - t->start, ssd.config().timing.cmd_overhead);
+  auto r = ssd.Read(0, 1, t->completion);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pages[0].empty());
+}
+
+TEST(Ssd, WriteBeyondCapacityFails) {
+  Ssd ssd(SmallConfig());
+  auto w = ssd.WriteModeled(ssd.logical_pages(), 1, 0);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(Ssd, MakeX25eConfigScalesCapacity) {
+  SsdConfig cfg = MakeX25eConfig(64, /*store_data=*/false);
+  EXPECT_EQ(cfg.geometry.raw_bytes(), 64ull * 1024 * 1024);
+  EXPECT_FALSE(cfg.store_data);
+  EXPECT_TRUE(MakeX25eConfig(64).store_data);
+}
+
+}  // namespace
+}  // namespace edc::ssd

@@ -1,0 +1,102 @@
+// Properties of the SSD service-time model: monotonicity in every cost
+// dimension, parallelism behaviour, bus asymmetry, and the exact
+// composition the model documents.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace edc::ssd {
+namespace {
+
+Ssd MakeDev(u32 parallelism = 4) {
+  SsdConfig cfg = MakeX25eConfig(64, /*store_data=*/false);
+  cfg.timing.parallelism = parallelism;
+  return Ssd(cfg);
+}
+
+OpCost Cost(u64 reads, u64 programs, u64 erases) {
+  OpCost c;
+  c.pages_read = reads;
+  c.pages_programmed = programs;
+  c.blocks_erased = erases;
+  return c;
+}
+
+TEST(Timing, MonotoneInEveryDimension) {
+  Ssd dev = MakeDev();
+  SimTime base = dev.ServiceTime(Cost(4, 4, 0), 4, 4);
+  EXPECT_GT(dev.ServiceTime(Cost(8, 4, 0), 4, 4), base);
+  EXPECT_GT(dev.ServiceTime(Cost(4, 8, 0), 4, 4), base);
+  EXPECT_GT(dev.ServiceTime(Cost(4, 4, 1), 4, 4), base);
+  EXPECT_GT(dev.ServiceTime(Cost(4, 4, 0), 8, 4), base);
+  EXPECT_GT(dev.ServiceTime(Cost(4, 4, 0), 4, 8), base);
+}
+
+TEST(Timing, ExactComposition) {
+  Ssd dev = MakeDev(4);
+  const SsdTiming& t = dev.config().timing;
+  // 8 reads at parallelism 4 = 2 waves; 1 erase; 2 bus pages read.
+  SimTime expected =
+      t.cmd_overhead + 2 * t.read_page + t.erase_block +
+      FromSeconds(2.0 * 4096 / (1024 * 1024) / t.bus_read_mb_s);
+  EXPECT_EQ(dev.ServiceTime(Cost(8, 0, 1), 2, 0), expected);
+}
+
+TEST(Timing, ParallelismReducesFlashTime) {
+  Ssd p1 = MakeDev(1);
+  Ssd p4 = MakeDev(4);
+  SimTime t1 = p1.ServiceTime(Cost(0, 8, 0), 0, 8);
+  SimTime t4 = p4.ServiceTime(Cost(0, 8, 0), 0, 8);
+  EXPECT_GT(t1, t4);
+  // The difference is exactly the saved program waves (6 of 8).
+  EXPECT_EQ(t1 - t4, 6 * p1.config().timing.prog_page);
+}
+
+TEST(Timing, ParallelismCeilsPartialWaves) {
+  Ssd dev = MakeDev(4);
+  // 5 programs = 2 waves, same as 8.
+  EXPECT_EQ(dev.ServiceTime(Cost(0, 5, 0), 0, 0),
+            dev.ServiceTime(Cost(0, 8, 0), 0, 0));
+  EXPECT_LT(dev.ServiceTime(Cost(0, 4, 0), 0, 0),
+            dev.ServiceTime(Cost(0, 5, 0), 0, 0));
+}
+
+TEST(Timing, BusAsymmetryReadsFasterThanWrites) {
+  Ssd dev = MakeDev();
+  SimTime read_bus = dev.ServiceTime(Cost(0, 0, 0), 16, 0);
+  SimTime write_bus = dev.ServiceTime(Cost(0, 0, 0), 0, 16);
+  EXPECT_LT(read_bus, write_bus);  // 250 vs 170 MB/s
+}
+
+TEST(Timing, ZeroCostIsJustOverhead) {
+  Ssd dev = MakeDev();
+  EXPECT_EQ(dev.ServiceTime(Cost(0, 0, 0), 0, 0),
+            dev.config().timing.cmd_overhead);
+}
+
+TEST(Timing, EraseDominatesSmallOps) {
+  Ssd dev = MakeDev();
+  EXPECT_GT(dev.ServiceTime(Cost(0, 0, 1), 0, 0),
+            dev.ServiceTime(Cost(4, 4, 0), 4, 4));
+}
+
+class TimingLinearity : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TimingLinearity, WriteServiceScalesWithPages) {
+  Ssd dev = MakeDev(4);
+  u64 n = GetParam();
+  SimTime t_n = dev.ServiceTime(Cost(0, n, 0), 0, n);
+  SimTime t_2n = dev.ServiceTime(Cost(0, 2 * n, 0), 0, 2 * n);
+  // Doubling the size roughly doubles the variable part: overall factor
+  // in (1.5, 2.2] once past the fixed overhead.
+  double factor = static_cast<double>(t_2n - dev.config().timing.cmd_overhead) /
+                  static_cast<double>(t_n - dev.config().timing.cmd_overhead);
+  EXPECT_GT(factor, 1.5) << n;
+  EXPECT_LE(factor, 2.2) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TimingLinearity,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace edc::ssd

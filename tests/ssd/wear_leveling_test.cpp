@@ -1,0 +1,99 @@
+// Static wear leveling: under a hot/cold split workload the erase-count
+// spread must stay bounded when WL is enabled and grow when disabled.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace edc::ssd {
+namespace {
+
+SsdConfig Config(u32 wl_threshold) {
+  SsdConfig c;
+  c.geometry.pages_per_block = 8;
+  c.geometry.num_blocks = 32;
+  c.store_data = false;
+  c.wear_leveling_threshold = wl_threshold;
+  return c;
+}
+
+/// Write a cold region once, then hammer a small hot region.
+void HotColdWorkload(Ssd& ssd, int rounds) {
+  SimTime now = 0;
+  const Lba cold_base = 40;
+  const Lba cold_span = 120;  // fills many blocks with immortal data
+  for (Lba lba = 0; lba < cold_span; ++lba) {
+    auto w = ssd.WriteModeled(cold_base + lba, 1, now);
+    ASSERT_TRUE(w.ok());
+    now = w->completion;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    for (Lba lba = 0; lba < 16; ++lba) {
+      auto w = ssd.WriteModeled(lba, 1, now);
+      ASSERT_TRUE(w.ok()) << "round " << round;
+      now = w->completion;
+    }
+  }
+}
+
+u32 EraseSpread(const Ssd& ssd) {
+  u32 min_e = ~0u, max_e = 0;
+  for (u32 b = 0; b < ssd.config().geometry.num_blocks; ++b) {
+    min_e = std::min(min_e, ssd.flash().erase_count(b));
+    max_e = std::max(max_e, ssd.flash().erase_count(b));
+  }
+  return max_e - min_e;
+}
+
+TEST(WearLeveling, BoundsEraseSpread) {
+  Ssd without(Config(0));
+  Ssd with(Config(4));
+  HotColdWorkload(without, 400);
+  HotColdWorkload(with, 400);
+
+  u32 spread_without = EraseSpread(without);
+  u32 spread_with = EraseSpread(with);
+  EXPECT_GT(spread_without, 8u)
+      << "workload too weak to differentiate wear";
+  EXPECT_LT(spread_with, spread_without);
+  // The threshold plus one migration-in-flight bounds the spread loosely.
+  EXPECT_LE(spread_with, 8u);
+  EXPECT_GT(with.ftl_stats().wear_level_moves, 0u);
+  EXPECT_EQ(without.ftl_stats().wear_level_moves, 0u);
+}
+
+TEST(WearLeveling, MovesAreCountedAndDataSurvives) {
+  SsdConfig cfg = Config(4);
+  cfg.store_data = true;
+  Ssd ssd(cfg);
+  SimTime now = 0;
+  std::vector<Bytes> payload;
+  payload.emplace_back(64, u8{0xEE});
+  for (Lba lba = 0; lba < 120; ++lba) {
+    std::vector<Bytes> p;
+    p.emplace_back(64, static_cast<u8>(lba));
+    auto w = ssd.Write(40 + lba, p, now);
+    ASSERT_TRUE(w.ok());
+    now = w->completion;
+  }
+  for (int round = 0; round < 300; ++round) {
+    for (Lba lba = 0; lba < 16; ++lba) {
+      auto w = ssd.Write(lba, payload, now);
+      ASSERT_TRUE(w.ok());
+      now = w->completion;
+    }
+  }
+  // Cold data is still intact after being migrated around.
+  for (Lba lba = 0; lba < 120; ++lba) {
+    auto r = ssd.Read(40 + lba, 1, now);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->pages[0], Bytes(64, static_cast<u8>(lba))) << lba;
+  }
+}
+
+TEST(WearLeveling, DisabledByDefault) {
+  SsdConfig cfg;
+  EXPECT_EQ(cfg.wear_leveling_threshold, 0u);
+}
+
+}  // namespace
+}  // namespace edc::ssd

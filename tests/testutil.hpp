@@ -1,0 +1,88 @@
+// Shared helpers for generating deterministic test inputs with a range of
+// compressibility profiles (before/independent of the datagen substrate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace edc::test {
+
+/// Incompressible: uniform random bytes.
+inline Bytes MakeRandom(std::size_t n, u64 seed = 1) {
+  Pcg32 rng(seed, 11);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<u8>(rng.NextU32() & 0xFF);
+  return out;
+}
+
+/// Highly compressible: long runs of few symbols.
+inline Bytes MakeRuns(std::size_t n, u64 seed = 2) {
+  Pcg32 rng(seed, 13);
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    u8 value = static_cast<u8>(rng.NextBounded(4) * 37);
+    std::size_t run = 1 + rng.NextBounded(200);
+    for (std::size_t i = 0; i < run && out.size() < n; ++i) {
+      out.push_back(value);
+    }
+  }
+  return out;
+}
+
+/// Text-like: words drawn from a small vocabulary with whitespace —
+/// mid-range compressibility similar to source code.
+inline Bytes MakeText(std::size_t n, u64 seed = 3) {
+  static const char* kWords[] = {
+      "static", "const", "return", "include", "struct", "class", "void",
+      "size_t", "uint8_t", "for", "while", "if", "else", "namespace",
+      "template", "typename", "buffer", "offset", "length", "compress"};
+  Pcg32 rng(seed, 17);
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const char* w = kWords[rng.NextZipf(20, 1.1)];
+    for (const char* p = w; *p && out.size() < n; ++p) {
+      out.push_back(static_cast<u8>(*p));
+    }
+    if (out.size() < n) {
+      out.push_back(rng.NextBool(0.1) ? u8{'\n'} : u8{' '});
+    }
+  }
+  return out;
+}
+
+/// Mixed: alternating compressible and random stretches.
+inline Bytes MakeMixed(std::size_t n, u64 seed = 4) {
+  Pcg32 rng(seed, 19);
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::size_t len = 64 + rng.NextBounded(512);
+    Bytes chunk = rng.NextBool(0.5) ? MakeRandom(len, rng.NextU64())
+                                    : MakeText(len, rng.NextU64());
+    for (u8 b : chunk) {
+      if (out.size() >= n) break;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+/// All zeroes — degenerate best case.
+inline Bytes MakeZeros(std::size_t n) { return Bytes(n, 0); }
+
+/// Periodic pattern (BWT tie-breaking stress).
+inline Bytes MakePeriodic(std::size_t n, std::size_t period = 5,
+                          u64 seed = 6) {
+  Bytes motif = MakeRandom(period, seed);
+  Bytes out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(motif[i % period]);
+  return out;
+}
+
+}  // namespace edc::test

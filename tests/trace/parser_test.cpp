@@ -1,0 +1,150 @@
+#include "trace/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace edc::trace {
+namespace {
+
+TEST(SpcParser, ParsesWellFormedLines) {
+  const char* text =
+      "0,20941264,8192,W,0.551706\n"
+      "0,20939840,8192,R,0.554041\n";
+  auto t = ParseTrace(text, TraceFormat::kSpc, "fin");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->records.size(), 2u);
+  EXPECT_EQ(t->name, "fin");
+  EXPECT_EQ(t->records[0].op, OpType::kWrite);
+  EXPECT_EQ(t->records[0].offset, 20941264ull * 512);
+  EXPECT_EQ(t->records[0].size, 8192u);
+  EXPECT_EQ(t->records[0].timestamp, 0);  // normalized to first record
+  EXPECT_EQ(t->records[1].op, OpType::kRead);
+  EXPECT_NEAR(ToSeconds(t->records[1].timestamp), 0.002335, 1e-6);
+}
+
+TEST(SpcParser, LowercaseOpcodes) {
+  auto t = ParseTrace("1,100,512,r,1.0\n1,200,512,w,2.0\n",
+                      TraceFormat::kSpc);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->records[0].op, OpType::kRead);
+  EXPECT_EQ(t->records[1].op, OpType::kWrite);
+}
+
+TEST(SpcParser, RejectsMalformedLine) {
+  auto t = ParseTrace("0,abc,8192,W,0.5\n", TraceFormat::kSpc);
+  EXPECT_FALSE(t.ok());
+  // Error names the line.
+  EXPECT_NE(t.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(SpcParser, RejectsBadOpcode) {
+  EXPECT_FALSE(ParseTrace("0,1,512,X,0.5\n", TraceFormat::kSpc).ok());
+}
+
+TEST(SpcParser, SkipsEmptyLines) {
+  auto t = ParseTrace("\n0,1,512,W,0.5\n\n\n0,2,512,R,0.6\n\n",
+                      TraceFormat::kSpc);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->records.size(), 2u);
+}
+
+TEST(MsrParser, ParsesWellFormedLines) {
+  const char* text =
+      "128166372003061629,usr,0,Write,7014609920,24576,41286\n"
+      "128166372013061629,usr,0,Read,7014609920,24576,20000\n";
+  auto t = ParseTrace(text, TraceFormat::kMsr, "usr_0");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->records.size(), 2u);
+  EXPECT_EQ(t->records[0].op, OpType::kWrite);
+  EXPECT_EQ(t->records[0].offset, 7014609920ull);
+  EXPECT_EQ(t->records[0].size, 24576u);
+  EXPECT_EQ(t->records[0].timestamp, 0);
+  // 10^7 filetime ticks = 1 s.
+  EXPECT_NEAR(ToSeconds(t->records[1].timestamp), 1.0, 1e-9);
+}
+
+TEST(MsrParser, RejectsBadType) {
+  EXPECT_FALSE(
+      ParseTrace("1,h,0,Wrote,0,512,0\n", TraceFormat::kMsr).ok());
+}
+
+TEST(MsrParser, WindowsCrLfTolerated) {
+  auto t = ParseTrace("1,h,0,Read,0,512,0\r\n2,h,0,Write,512,512,0\r\n",
+                      TraceFormat::kMsr);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->records.size(), 2u);
+}
+
+TEST(DetectFormat, DistinguishesSpcAndMsr) {
+  auto spc = DetectFormat("0,20941264,8192,W,0.551706");
+  ASSERT_TRUE(spc.ok());
+  EXPECT_EQ(*spc, TraceFormat::kSpc);
+  auto msr = DetectFormat("128166372003061629,usr,0,Write,7014609920,24576,41286");
+  ASSERT_TRUE(msr.ok());
+  EXPECT_EQ(*msr, TraceFormat::kMsr);
+  EXPECT_FALSE(DetectFormat("not a trace line").ok());
+}
+
+TEST(MsrCsvWriter, RoundTripsThroughParser) {
+  Trace t;
+  t.name = "rt";
+  for (int i = 0; i < 20; ++i) {
+    TraceRecord r;
+    r.timestamp = i * kMillisecond * 100;  // 100 ms apart, filetime-exact
+    r.op = i % 3 == 0 ? OpType::kRead : OpType::kWrite;
+    r.offset = static_cast<u64>(i) * 8192;
+    r.size = static_cast<u32>(4096 * (1 + i % 4));
+    t.records.push_back(r);
+  }
+  std::string csv = ToMsrCsv(t);
+  auto parsed = ParseTrace(csv, TraceFormat::kMsr, "rt");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->records.size(), t.records.size());
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(parsed->records[i].timestamp, t.records[i].timestamp) << i;
+    EXPECT_EQ(parsed->records[i].op, t.records[i].op) << i;
+    EXPECT_EQ(parsed->records[i].offset, t.records[i].offset) << i;
+    EXPECT_EQ(parsed->records[i].size, t.records[i].size) << i;
+  }
+}
+
+TEST(StreamParser, WorksViaIstream) {
+  std::istringstream in("0,1,512,W,0.5\n0,2,512,R,0.6\n");
+  auto t = ParseTrace(in, TraceFormat::kSpc, "s");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->records.size(), 2u);
+}
+
+
+TEST(SpcCsvWriter, RoundTripsThroughParser) {
+  Trace t;
+  t.name = "rt";
+  for (int i = 0; i < 15; ++i) {
+    TraceRecord r;
+    r.timestamp = i * 250 * kMillisecond;
+    r.op = i % 2 ? OpType::kWrite : OpType::kRead;
+    r.offset = static_cast<u64>(i) * 512 * 9;  // sector aligned
+    r.size = static_cast<u32>(512 * (1 + i % 8));
+    t.records.push_back(r);
+  }
+  std::string csv = ToSpcCsv(t, 3);
+  auto format = DetectFormat(csv.substr(0, csv.find('\n')));
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ(*format, TraceFormat::kSpc);
+  auto parsed = ParseTrace(csv, TraceFormat::kSpc, "rt");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->records.size(), t.records.size());
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(parsed->records[i].op, t.records[i].op) << i;
+    EXPECT_EQ(parsed->records[i].offset, t.records[i].offset) << i;
+    EXPECT_EQ(parsed->records[i].size, t.records[i].size) << i;
+    // SPC timestamps are seconds with 1 us resolution.
+    EXPECT_NEAR(ToSeconds(parsed->records[i].timestamp),
+                ToSeconds(t.records[i].timestamp), 1e-5)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace edc::trace

@@ -1,0 +1,134 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edc::trace {
+namespace {
+
+TEST(Presets, AllPaperTracesResolve) {
+  for (const std::string& name : PaperTraceNames()) {
+    auto p = PresetByName(name, 10.0);
+    ASSERT_TRUE(p.ok()) << name;
+    EXPECT_EQ(p->name, name);
+    EXPECT_DOUBLE_EQ(p->duration_s, 10.0);
+  }
+  EXPECT_FALSE(PresetByName("nope").ok());
+}
+
+TEST(Presets, AliasesWork) {
+  EXPECT_TRUE(PresetByName("fin1").ok());
+  EXPECT_TRUE(PresetByName("USR_0").ok());
+  EXPECT_TRUE(PresetByName("prxy").ok());
+}
+
+TEST(Presets, ContentProfileMapping) {
+  for (const std::string& name : PaperTraceNames()) {
+    auto p = ContentProfileForTrace(name);
+    ASSERT_TRUE(p.ok()) << name;
+  }
+  EXPECT_EQ(*ContentProfileForTrace("Fin1"), "fin");
+  EXPECT_EQ(*ContentProfileForTrace("Usr_0"), "usr");
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  auto p = PresetByName("Fin1", 5.0);
+  ASSERT_TRUE(p.ok());
+  Trace a = GenerateSynthetic(*p, 99);
+  Trace b = GenerateSynthetic(*p, 99);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].timestamp, b.records[i].timestamp);
+    EXPECT_EQ(a.records[i].offset, b.records[i].offset);
+  }
+  Trace c = GenerateSynthetic(*p, 100);
+  EXPECT_NE(a.records.size(), c.records.size());
+}
+
+TEST(Synthetic, TimestampsMonotoneAndBounded) {
+  auto p = PresetByName("Prxy_0", 8.0);
+  ASSERT_TRUE(p.ok());
+  Trace t = GenerateSynthetic(*p, 1);
+  ASSERT_GT(t.records.size(), 100u);
+  SimTime prev = -1;
+  for (const auto& r : t.records) {
+    EXPECT_GT(r.timestamp, prev);
+    prev = r.timestamp;
+    EXPECT_LT(r.timestamp, FromSeconds(8.0));
+    EXPECT_GT(r.size, 0u);
+    EXPECT_EQ(r.size % kLogicalBlockSize, 0u);
+  }
+}
+
+TEST(Synthetic, WriteRatioMatchesPreset) {
+  struct Expect {
+    const char* name;
+    double ratio;
+  };
+  for (Expect e : {Expect{"Fin1", 0.77}, Expect{"Fin2", 0.18},
+                   Expect{"Usr_0", 0.60}, Expect{"Prxy_0", 0.97}}) {
+    auto p = PresetByName(e.name, 30.0);
+    ASSERT_TRUE(p.ok());
+    Trace t = GenerateSynthetic(*p, 5);
+    TraceStats s = ComputeStats(t);
+    EXPECT_NEAR(s.write_ratio, e.ratio, 0.04) << e.name;
+  }
+}
+
+TEST(Synthetic, BurstyArrivals) {
+  auto p = PresetByName("Fin1", 60.0);
+  ASSERT_TRUE(p.ok());
+  Trace t = GenerateSynthetic(*p, 3);
+  TraceStats s = ComputeStats(t);
+  // ON/OFF modulation: the peak second must be far above the mean.
+  EXPECT_GT(s.burstiness, 1.5) << "mean=" << s.mean_iops
+                               << " peak=" << s.peak_iops_1s;
+}
+
+TEST(Synthetic, RequestSizesDifferAcrossPresets) {
+  auto fin = PresetByName("Fin1", 20.0);
+  auto usr = PresetByName("Usr_0", 20.0);
+  ASSERT_TRUE(fin.ok());
+  ASSERT_TRUE(usr.ok());
+  TraceStats sf = ComputeStats(GenerateSynthetic(*fin, 7));
+  TraceStats su = ComputeStats(GenerateSynthetic(*usr, 7));
+  // Usr_0 requests are materially larger than OLTP's.
+  EXPECT_GT(su.avg_request_kb, sf.avg_request_kb * 2);
+}
+
+TEST(Synthetic, SequentialFractionTracksPreset) {
+  auto usr = PresetByName("Usr_0", 20.0);
+  auto fin2 = PresetByName("Fin2", 20.0);
+  ASSERT_TRUE(usr.ok());
+  ASSERT_TRUE(fin2.ok());
+  TraceStats su = ComputeStats(GenerateSynthetic(*usr, 3));
+  TraceStats sf = ComputeStats(GenerateSynthetic(*fin2, 3));
+  EXPECT_GT(su.write_seq_fraction, sf.write_seq_fraction);
+  EXPECT_GT(su.write_seq_fraction, 0.25);
+}
+
+TEST(Synthetic, FootprintBounded) {
+  auto p = PresetByName("Fin1", 10.0);
+  ASSERT_TRUE(p.ok());
+  p->working_set_blocks = 1000;
+  Trace t = GenerateSynthetic(*p, 11);
+  for (const auto& r : t.records) {
+    // Offsets stay within working set (+ max request size slack for
+    // sequential continuation).
+    EXPECT_LT(r.offset / kLogicalBlockSize,
+              1000u + p->max_pages * 4);
+  }
+}
+
+TEST(Synthetic, OffPeriodsExist) {
+  auto p = PresetByName("Usr_0", 60.0);
+  ASSERT_TRUE(p.ok());
+  Trace t = GenerateSynthetic(*p, 13);
+  auto series = IopsTimeSeries(t, kSecond);
+  int quiet = 0;
+  for (double v : series) quiet += v < p->on_iops * 0.1;
+  // A meaningful share of seconds are idle-ish.
+  EXPECT_GT(quiet, static_cast<int>(series.size() / 10));
+}
+
+}  // namespace
+}  // namespace edc::trace

@@ -1,0 +1,148 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace edc::trace {
+namespace {
+
+TraceRecord Rec(double t_s, OpType op, u64 offset, u32 size) {
+  TraceRecord r;
+  r.timestamp = FromSeconds(t_s);
+  r.op = op;
+  r.offset = offset;
+  r.size = size;
+  return r;
+}
+
+TEST(TraceRecord, BlockMathAligned) {
+  TraceRecord r = Rec(0, OpType::kWrite, 8192, 8192);
+  EXPECT_EQ(r.first_block(), 2u);
+  EXPECT_EQ(r.block_count(), 2u);
+}
+
+TEST(TraceRecord, BlockMathUnaligned) {
+  // 1 byte before a boundary, spanning into the next block.
+  TraceRecord r = Rec(0, OpType::kRead, 4095, 2);
+  EXPECT_EQ(r.first_block(), 0u);
+  EXPECT_EQ(r.block_count(), 2u);
+}
+
+TEST(TraceRecord, ZeroSize) {
+  TraceRecord r = Rec(0, OpType::kRead, 4096, 0);
+  EXPECT_EQ(r.block_count(), 0u);
+}
+
+TEST(TraceRecord, CalculatedIopsUnits) {
+  // The paper: one 8 KB request counts as two 4 KB requests.
+  TraceRecord r = Rec(0, OpType::kWrite, 0, 8192);
+  EXPECT_EQ(r.block_count(), 2u);
+}
+
+TEST(ComputeStats, EmptyTrace) {
+  Trace t;
+  TraceStats s = ComputeStats(t);
+  EXPECT_EQ(s.total_requests, 0u);
+  EXPECT_EQ(s.write_ratio, 0.0);
+}
+
+TEST(ComputeStats, CountsAndRatios) {
+  Trace t;
+  t.records = {
+      Rec(0.0, OpType::kWrite, 0, 4096),
+      Rec(0.5, OpType::kWrite, 4096, 4096),
+      Rec(1.0, OpType::kRead, 0, 8192),
+      Rec(2.0, OpType::kWrite, 100 * 4096, 4096),
+  };
+  TraceStats s = ComputeStats(t);
+  EXPECT_EQ(s.total_requests, 4u);
+  EXPECT_EQ(s.writes, 3u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_DOUBLE_EQ(s.write_ratio, 0.75);
+  EXPECT_NEAR(s.duration_s, 2.0, 1e-9);
+  EXPECT_NEAR(s.mean_iops, 2.0, 1e-6);
+  EXPECT_NEAR(s.avg_request_kb, 5.0, 1e-6);  // (4+4+8+4)/4 KB
+  EXPECT_EQ(s.footprint_blocks, 3u);         // blocks 0,1,100
+}
+
+TEST(ComputeStats, SequentialWriteDetection) {
+  Trace t;
+  t.records = {
+      Rec(0.0, OpType::kWrite, 0, 4096),
+      Rec(0.1, OpType::kWrite, 4096, 4096),   // contiguous
+      Rec(0.2, OpType::kWrite, 8192, 4096),   // contiguous
+      Rec(0.3, OpType::kWrite, 50 * 4096, 4096),  // jump
+  };
+  TraceStats s = ComputeStats(t);
+  EXPECT_DOUBLE_EQ(s.write_seq_fraction, 0.5);  // 2 of 4 continue
+}
+
+TEST(IopsTimeSeries, BucketsRequests) {
+  Trace t;
+  t.records = {
+      Rec(0.1, OpType::kWrite, 0, 4096),
+      Rec(0.2, OpType::kWrite, 0, 4096),
+      Rec(1.5, OpType::kRead, 0, 4096),
+  };
+  auto series = IopsTimeSeries(t, kSecond);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 2.0);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);
+}
+
+TEST(IopsTimeSeries, SubSecondBuckets) {
+  Trace t;
+  t.records = {Rec(0.05, OpType::kWrite, 0, 4096)};
+  auto series = IopsTimeSeries(t, kSecond / 10);
+  ASSERT_GE(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 10.0);  // 1 request / 0.1 s
+}
+
+TEST(ComputeStats, BurstinessAboveOneForBurstyTrace) {
+  Trace t;
+  // 50 requests in the first second, then 1 request at t=9.
+  for (int i = 0; i < 50; ++i) {
+    t.records.push_back(
+        Rec(i * 0.01, OpType::kWrite, static_cast<u64>(i) * 4096, 4096));
+  }
+  t.records.push_back(Rec(9.0, OpType::kRead, 0, 4096));
+  TraceStats s = ComputeStats(t);
+  EXPECT_GT(s.burstiness, 5.0);
+}
+
+
+TEST(ComputeStats, InterarrivalCv) {
+  // Evenly spaced arrivals: CV ~ 0. Bursty (two clusters): CV >> 1.
+  Trace even;
+  for (int i = 0; i < 100; ++i) {
+    even.records.push_back(Rec(i * 0.01, OpType::kWrite, 0, 4096));
+  }
+  EXPECT_LT(ComputeStats(even).interarrival_cv, 0.01);
+
+  Trace bursty;
+  for (int i = 0; i < 50; ++i) {
+    bursty.records.push_back(Rec(i * 0.001, OpType::kWrite, 0, 4096));
+    bursty.records.push_back(Rec(10.0 + i * 0.001, OpType::kWrite, 0, 4096));
+  }
+  std::sort(bursty.records.begin(), bursty.records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  EXPECT_GT(ComputeStats(bursty).interarrival_cv, 3.0);
+}
+
+TEST(ComputeStats, SizeShape) {
+  Trace t;
+  t.records = {
+      Rec(0.0, OpType::kWrite, 0, 4096),
+      Rec(0.1, OpType::kWrite, 0, 4096),
+      Rec(0.2, OpType::kWrite, 0, 16384),
+  };
+  TraceStats s = ComputeStats(t);
+  EXPECT_NEAR(s.single_page_fraction, 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max_request_kb, 16.0);
+}
+
+}  // namespace
+}  // namespace edc::trace
