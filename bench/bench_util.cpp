@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "common/table.hpp"
 
@@ -17,11 +20,21 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opt.seed = static_cast<u64>(std::atoll(a + 7));
     } else if (std::strncmp(a, "--device-mib=", 13) == 0) {
       opt.device_mib = static_cast<u64>(std::atoll(a + 13));
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      opt.threads = static_cast<u32>(std::atoi(a + 10));
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      opt.json_path = a + 7;
     } else if (std::strcmp(a, "--verbose") == 0) {
       opt.verbose = true;
     }
   }
   return opt;
+}
+
+u32 EffectiveThreads(const BenchOptions& opt) {
+  u32 n = opt.threads != 0 ? opt.threads
+                           : std::thread::hardware_concurrency();
+  return std::max<u32>(n, 1);
 }
 
 std::vector<trace::Trace> PaperTraces(const BenchOptions& opt) {
@@ -35,11 +48,15 @@ std::vector<trace::Trace> PaperTraces(const BenchOptions& opt) {
 }
 
 Result<std::shared_ptr<const core::CostModel>> CostModelFor(
-    const std::string& profile) {
+    const std::string& profile, WorkerPool* pool) {
+  static std::mutex mu;
   static std::map<std::string, std::shared_ptr<const core::CostModel>>
       cache;
-  auto it = cache.find(profile);
-  if (it != cache.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(profile);
+    if (it != cache.end()) return it->second;
+  }
 
   auto p = datagen::ProfileByName(profile);
   if (!p.ok()) return p.status();
@@ -47,9 +64,13 @@ Result<std::shared_ptr<const core::CostModel>> CostModelFor(
   core::CostModelConfig cfg;
   cfg.calib_bytes = 128 * 1024;  // keep startup in seconds, not minutes
   auto model = std::make_shared<const core::CostModel>(
-      core::CostModel::Calibrate(gen, cfg));
-  cache.emplace(profile, model);
-  return std::shared_ptr<const core::CostModel>(model);
+      core::CostModel::Calibrate(gen, cfg, pool));
+
+  std::lock_guard<std::mutex> lock(mu);
+  // A concurrent caller may have calibrated the same profile; first in
+  // wins so every later cell sees one consistent model.
+  auto [it, inserted] = cache.emplace(profile, model);
+  return std::shared_ptr<const core::CostModel>(it->second);
 }
 
 Result<core::StackConfig> BaseStackConfig(const std::string& trace_name,
@@ -84,20 +105,101 @@ Result<Matrix> RunMatrix(
     const std::function<void(core::StackConfig&)>& tweak) {
   Matrix m;
   m.schemes = schemes;
-  for (const trace::Trace& t : PaperTraces(opt)) {
+  const std::vector<trace::Trace> traces = PaperTraces(opt);
+  const u32 threads = EffectiveThreads(opt);
+
+  struct CellJob {
+    const trace::Trace* trace;
+    core::Scheme scheme;
+  };
+  std::vector<CellJob> jobs;
+  for (const trace::Trace& t : traces) {
     m.traces.push_back(t.name);
-    for (core::Scheme scheme : schemes) {
-      auto cell = RunCell(t, scheme, opt, tweak);
-      if (!cell.ok()) return cell.status();
-      if (opt.verbose) {
-        std::printf("  [%s/%s] rt=%.3f ms ratio=%.3f\n", t.name.c_str(),
-                    std::string(core::SchemeName(scheme)).c_str(),
-                    cell->mean_response_ms(), cell->compression_ratio);
-      }
-      m.cells[t.name].emplace(scheme, std::move(*cell));
+    for (core::Scheme scheme : schemes) jobs.push_back({&t, scheme});
+  }
+  std::printf("[bench] matrix: %zu traces x %zu schemes, threads=%u\n",
+              traces.size(), schemes.size(), threads);
+
+  std::vector<std::optional<Result<sim::ReplayResult>>> results(jobs.size());
+  if (threads <= 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = RunCell(*jobs[i].trace, jobs[i].scheme, opt, tweak);
     }
+  } else {
+    WorkerPool pool(std::min<std::size_t>(threads, jobs.size()));
+    // Warm the per-profile cost-model cache up front (the calibration
+    // itself fans out over the pool) so concurrent cells don't race to
+    // calibrate the same profile.
+    for (const trace::Trace& t : traces) {
+      auto profile = trace::ContentProfileForTrace(t.name);
+      if (!profile.ok()) return profile.status();
+      auto model = CostModelFor(*profile, &pool);
+      if (!model.ok()) return model.status();
+    }
+    ParallelFor(pool, 0, jobs.size(), [&](std::size_t i) {
+      results[i] = RunCell(*jobs[i].trace, jobs[i].scheme, opt, tweak);
+    });
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto& cell = *results[i];
+    if (!cell.ok()) return cell.status();
+    if (opt.verbose) {
+      std::printf("  [%s/%s] rt=%.3f ms ratio=%.3f\n",
+                  jobs[i].trace->name.c_str(),
+                  std::string(core::SchemeName(jobs[i].scheme)).c_str(),
+                  cell->mean_response_ms(), cell->compression_ratio);
+    }
+    m.cells[jobs[i].trace->name].emplace(jobs[i].scheme,
+                                         std::move(*cell));
+  }
+
+  if (!opt.json_path.empty()) {
+    Status s = WriteMatrixJson(m, opt, opt.json_path);
+    if (!s.ok()) return s;
+    std::printf("[bench] wrote %s\n", opt.json_path.c_str());
   }
   return m;
+}
+
+Status WriteMatrixJson(const Matrix& m, const BenchOptions& opt,
+                       const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("bench: cannot open json output: " + path);
+  }
+  std::fprintf(f,
+               "{\n  \"seconds\": %g,\n  \"seed\": %llu,\n"
+               "  \"device_mib\": %llu,\n  \"threads\": %u,\n"
+               "  \"cells\": [\n",
+               opt.seconds, static_cast<unsigned long long>(opt.seed),
+               static_cast<unsigned long long>(opt.device_mib),
+               EffectiveThreads(opt));
+  bool first = true;
+  for (const std::string& trace_name : m.traces) {
+    const auto& row = m.cells.at(trace_name);
+    for (core::Scheme s : m.schemes) {
+      const sim::ReplayResult& r = row.at(s);
+      std::fprintf(
+          f,
+          "%s    {\"trace\": \"%s\", \"scheme\": \"%s\", "
+          "\"requests\": %llu, \"mean_response_ms\": %.6g, "
+          "\"p50_us\": %.6g, \"p95_us\": %.6g, \"p99_us\": %.6g, "
+          "\"compression_ratio\": %.6g, \"space_saving\": %.6g, "
+          "\"ratio_over_time\": %.6g, \"cpu_utilization\": %.6g, "
+          "\"device_utilization\": %.6g}",
+          first ? "" : ",\n", trace_name.c_str(),
+          std::string(core::SchemeName(s)).c_str(),
+          static_cast<unsigned long long>(r.requests),
+          r.mean_response_ms(), r.p50_us, r.p95_us, r.p99_us,
+          r.compression_ratio, r.space_saving(), r.ratio_over_time(),
+          r.cpu_utilization(), r.device_utilization());
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return Status::Ok();
 }
 
 namespace {

@@ -2,6 +2,11 @@
 // four synthetic workloads, calibrating cost models once per content
 // profile, running the scheme × trace matrix, and printing normalized
 // tables in the same form as the paper's figures.
+//
+// The matrix is embarrassingly parallel — every (trace, scheme) cell owns
+// an independent Stack — so RunMatrix runs cells across a WorkerPool
+// (--threads=N, default the hardware concurrency). --json=PATH dumps the
+// matrix machine-readably so perf trajectory can be tracked across PRs.
 #pragma once
 
 #include <functional>
@@ -9,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/worker_pool.hpp"
 #include "sim/replay.hpp"
 #include "trace/synthetic.hpp"
 
@@ -19,17 +25,28 @@ struct BenchOptions {
   u64 seed = 20170529;     // IPDPS'17 vintage
   u64 device_mib = 8192;   // simulated raw capacity per SSD
   bool verbose = false;
+  /// Worker threads for RunMatrix cells and cost-model calibration.
+  /// 0 resolves to std::thread::hardware_concurrency().
+  u32 threads = 0;
+  /// When non-empty, RunMatrix dumps the matrix as JSON to this path.
+  std::string json_path;
 };
 
-/// Parse "--seconds=30 --seed=7 --device-mib=4096 --verbose" style args.
+/// Parse "--seconds=30 --seed=7 --device-mib=4096 --threads=4
+/// --json=out.json --verbose" style args.
 BenchOptions ParseArgs(int argc, char** argv);
+
+/// The resolved worker-thread count (threads, or hardware concurrency
+/// when threads == 0; always at least 1).
+u32 EffectiveThreads(const BenchOptions& opt);
 
 /// The four paper workloads as synthetic traces.
 std::vector<trace::Trace> PaperTraces(const BenchOptions& opt);
 
-/// Calibrated cost model per content profile, cached for the process.
+/// Calibrated cost model per content profile, cached for the process
+/// (thread-safe). A pool parallelizes a cache-miss calibration.
 Result<std::shared_ptr<const core::CostModel>> CostModelFor(
-    const std::string& profile);
+    const std::string& profile, WorkerPool* pool = nullptr);
 
 /// Base stack config for a trace (content profile resolved from the trace
 /// name) in modeled mode.
@@ -51,10 +68,19 @@ struct Matrix {
   std::map<std::string, std::map<core::Scheme, sim::ReplayResult>> cells;
 };
 
+/// Run every (trace, scheme) cell, `EffectiveThreads(opt)` at a time.
+/// Prints a one-line header with the thread count; writes opt.json_path
+/// when set. `tweak` must be safe to call concurrently (all the harness
+/// tweaks only write into their own StackConfig).
 Result<Matrix> RunMatrix(
     const BenchOptions& opt,
     const std::vector<core::Scheme>& schemes,
     const std::function<void(core::StackConfig&)>& tweak = nullptr);
+
+/// Dump the matrix as JSON (schemes × traces with latency percentiles,
+/// compression ratio and utilizations).
+Status WriteMatrixJson(const Matrix& m, const BenchOptions& opt,
+                       const std::string& path);
 
 /// Print a normalized table: metric(cell) / metric(Native row cell).
 void PrintNormalized(const Matrix& m, const std::string& title,

@@ -4,11 +4,16 @@
 //   $ ./trace_replay --trace=Fin1 --scheme=edc --seconds=30
 //   $ ./trace_replay --trace-file=/path/to/Financial1.spc --scheme=gzip
 //
-// Schemes: native | lzf | gzip | bzip2 | edc.
+// Schemes: native | lzf | gzip | bzip2 | edc. --threads=N attaches a real
+// worker pool: modeled runs calibrate the cost model in parallel,
+// functional runs offload the codec work (results are identical either
+// way — see docs/simulator.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
+#include "common/worker_pool.hpp"
 #include "sim/replay.hpp"
 #include "trace/parser.hpp"
 #include "trace/synthetic.hpp"
@@ -24,6 +29,7 @@ struct Options {
   double seconds = 30.0;
   u64 seed = 42;
   bool functional = false;
+  u32 threads = 0;  // 0 = hardware concurrency
 };
 
 Options Parse(int argc, char** argv) {
@@ -36,12 +42,13 @@ Options Parse(int argc, char** argv) {
     else if (std::strncmp(a, "--seconds=", 10) == 0) o.seconds = std::atof(a + 10);
     else if (std::strncmp(a, "--seed=", 7) == 0) o.seed = static_cast<u64>(std::atoll(a + 7));
     else if (std::strcmp(a, "--functional") == 0) o.functional = true;
+    else if (std::strncmp(a, "--threads=", 10) == 0) o.threads = static_cast<u32>(std::atoi(a + 10));
     else {
       std::fprintf(stderr,
                    "usage: trace_replay [--trace=Fin1|Fin2|Usr_0|Prxy_0] "
                    "[--trace-file=PATH]\n"
                    "                    [--scheme=native|lzf|gzip|bzip2|edc] "
-                   "[--seconds=N] [--seed=N] [--functional]\n");
+                   "[--seconds=N] [--seed=N] [--functional] [--threads=N]\n");
       std::exit(2);
     }
   }
@@ -107,10 +114,26 @@ int main(int argc, char** argv) {
   cfg.content_profile = profile;
   cfg.seed = o.seed;
   cfg.ssd = ssd::MakeX25eConfig(8192, /*store_data=*/false);
+
+  u32 threads = o.threads != 0 ? o.threads
+                               : std::max(std::thread::hardware_concurrency(),
+                                          1u);
+  WorkerPool pool(threads);
+  std::shared_ptr<const core::CostModel> model;
   if (cfg.mode == core::ExecutionMode::kModeled) {
-    std::printf("calibrating cost model (runs the real codecs)...\n");
+    std::printf("calibrating cost model (runs the real codecs, "
+                "%u threads)...\n", threads);
+    auto calibrated = core::Stack::CalibrateCostModel(cfg, &pool);
+    if (!calibrated.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   calibrated.status().ToString().c_str());
+      return 1;
+    }
+    model = *calibrated;
+  } else if (threads > 1) {
+    cfg.compress_pool = &pool;  // offload functional codec work
   }
-  auto stack = core::Stack::Create(cfg);
+  auto stack = core::Stack::Create(cfg, model);
   if (!stack.ok()) {
     std::fprintf(stderr, "%s\n", stack.status().ToString().c_str());
     return 1;

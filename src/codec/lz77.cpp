@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codec/match.hpp"
 #include "common/hash.hpp"
 
 namespace edc::codec {
@@ -47,10 +48,13 @@ class ChainMatcher {
       if (cand >= pos) break;  // self or future (after Insert(pos))
       std::size_t dist = pos - cand;
       if (dist > params_.window_size) break;  // chains are position-ordered
-      // Quick reject: match must beat best_len, so check that byte first.
-      if (best_len == 0 || base_[cand + best_len] == base_[pos + best_len]) {
-        std::size_t len = 0;
-        while (len < limit && base_[cand + len] == base_[pos + len]) ++len;
+      // Two-byte quick reject: a better match must agree through byte
+      // best_len, so probe [best_len - 1, best_len] before the full scan.
+      // (best_len < limit <= size_ - pos keeps the probe in bounds.)
+      if (best_len == 0 ||
+          Read16(base_ + cand + best_len - 1) ==
+              Read16(base_ + pos + best_len - 1)) {
+        std::size_t len = MatchLength(base_ + cand, base_ + pos, limit);
         if (len >= params_.min_match && len > best_len) {
           best_len = len;
           best_dist = dist;

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 
+#include "codec/match.hpp"
 #include "common/hash.hpp"
 
 namespace edc::codec {
@@ -57,11 +58,14 @@ Status LzfCodec::Compress(ByteSpan input, Bytes* out) const {
       std::size_t dist = static_cast<std::size_t>(ip - cand);
       if (dist > 0 && dist <= kMaxOffset && cand[0] == ip[0] &&
           cand[1] == ip[1] && cand[2] == ip[2]) {
-        // Extend the match.
-        std::size_t len = kMinMatchLen;
+        // Extend the match word-at-a-time past the verified 3 bytes
+        // (ip + max_len <= end bounds every read).
         std::size_t max_len = std::min<std::size_t>(
             kMaxMatchLen, static_cast<std::size_t>(end - ip));
-        while (len < max_len && cand[len] == ip[len]) ++len;
+        std::size_t len =
+            kMinMatchLen + MatchLength(cand + kMinMatchLen,
+                                       ip + kMinMatchLen,
+                                       max_len - kMinMatchLen);
 
         EmitLiterals(lit_start, ip, out);
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "codec/match.hpp"
 #include "common/hash.hpp"
 
 namespace edc::codec {
@@ -73,9 +74,14 @@ Status LzFastCodec::Compress(ByteSpan input, Bytes* out) const {
     if (cand != nullptr &&
         static_cast<std::size_t>(ip - cand) <= kMaxDistance &&
         Read32(cand) == Read32(ip)) {
-      std::size_t len = kMinMatch;
+      // Word-at-a-time extension past the verified 4 bytes; ip + max_len
+      // stays 4 bytes short of `end`, within the buffer for every read.
       std::size_t max_len = static_cast<std::size_t>(end - ip) - 4;
-      while (len < max_len && cand[len] == ip[len]) ++len;
+      std::size_t len = kMinMatch;
+      if (max_len > kMinMatch) {
+        len += MatchLength(cand + kMinMatch, ip + kMinMatch,
+                           max_len - kMinMatch);
+      }
 
       EmitSequence(lit_start, static_cast<std::size_t>(ip - lit_start), len,
                    static_cast<std::size_t>(ip - cand), out);

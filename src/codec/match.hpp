@@ -1,0 +1,45 @@
+// Word-at-a-time match extension shared by the LZ-family codecs.
+//
+// The inner loop of every LZ compressor here is "how far do these two
+// byte runs agree?". Comparing 8 bytes per iteration (XOR + count
+// trailing zeros to locate the first differing byte) answers that ~8x
+// faster than a byte loop on compressible data, with an exact-equality
+// result — the emitted token streams are byte-identical to the scalar
+// scan. Reads never exceed `limit` bytes past either pointer, so callers
+// only need the same bounds the byte loop needed.
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "common/types.hpp"
+
+namespace edc::codec {
+
+/// Length of the common prefix of a[0..limit) and b[0..limit).
+inline std::size_t MatchLength(const u8* a, const u8* b, std::size_t limit) {
+  std::size_t len = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + sizeof(u64) <= limit) {
+      u64 va, vb;
+      std::memcpy(&va, a + len, sizeof(u64));
+      std::memcpy(&vb, b + len, sizeof(u64));
+      const u64 diff = va ^ vb;
+      if (diff != 0) {
+        return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+      }
+      len += sizeof(u64);
+    }
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+/// Unaligned 2-byte load (quick-reject probes).
+inline u16 Read16(const u8* p) {
+  u16 v;
+  std::memcpy(&v, p, sizeof(u16));
+  return v;
+}
+
+}  // namespace edc::codec

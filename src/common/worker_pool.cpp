@@ -1,0 +1,82 @@
+#include "common/worker_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace edc {
+
+WorkerPool::WorkerPool(std::size_t threads, std::size_t max_queue)
+    : max_queue_(max_queue) {
+  threads_.reserve(std::max<std::size_t>(threads, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(threads, 1); ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Enqueue(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_space_.wait(lock, [this] {
+      return shutting_down_ || max_queue_ == 0 || queue_.size() < max_queue_;
+    });
+    if (shutting_down_) {
+      throw std::runtime_error("WorkerPool: Submit after Shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain the queue even when shutting down; exit only once empty.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_space_.notify_one();
+    task();  // exceptions propagate through the packaged_task's future
+  }
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && threads_.empty()) return;
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  queue_space_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ParallelFor(WorkerPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    futures.push_back(pool.Submit([&body, i] { body(i); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace edc

@@ -1,0 +1,94 @@
+// Fixed-size worker-thread pool for the *real* (wall-clock) parallelism
+// layer: functional-mode codec offload, cost-model calibration and the
+// bench matrix. Distinct from EngineConfig::cpu_contexts, which models
+// parallel compression contexts in *simulated* time only.
+//
+// Semantics:
+//  * Submit() enqueues a task and returns a std::future for its result;
+//    exceptions thrown by the task surface from future::get().
+//  * The queue may be bounded (max_queue > 0): Submit blocks until a slot
+//    frees, providing backpressure instead of unbounded memory growth.
+//  * A pool with threads == 1 executes tasks in exact submission order.
+//  * Shutdown() (and the destructor) stops accepting work, drains every
+//    already-queued task and joins the threads.
+//  * Do not block inside a task on work submitted to the same pool — with
+//    every worker waiting, nothing can make progress.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace edc {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (at least one). `max_queue` bounds the
+  /// number of queued-but-not-started tasks; 0 means unbounded.
+  explicit WorkerPool(std::size_t threads, std::size_t max_queue = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+  /// Enqueue `fn` for execution; blocks while the bounded queue is full.
+  /// Throws std::runtime_error if the pool has been shut down.
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> Submit(F&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Stop accepting new tasks, run everything already queued, join all
+  /// workers. Idempotent.
+  void Shutdown();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // workers wait here
+  std::condition_variable queue_space_;  // bounded Submit waits here
+  std::deque<std::function<void()>> queue_;
+  std::size_t max_queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Run body(i) for i in [begin, end) across the pool; blocks until every
+/// iteration finished. The first exception thrown by any iteration is
+/// rethrown (after all iterations completed or were attempted).
+void ParallelFor(WorkerPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body);
+
+/// Map fn over items on the pool, preserving order of results.
+template <typename T, typename F>
+auto ParallelMap(WorkerPool& pool, const std::vector<T>& items, F&& fn)
+    -> std::vector<std::invoke_result_t<F&, const T&>> {
+  using R = std::invoke_result_t<F&, const T&>;
+  std::vector<std::future<R>> futures;
+  futures.reserve(items.size());
+  for (const T& item : items) {
+    futures.push_back(pool.Submit([&fn, &item] { return fn(item); }));
+  }
+  std::vector<R> out;
+  out.reserve(items.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace edc

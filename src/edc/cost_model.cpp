@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/hash.hpp"
+#include "common/worker_pool.hpp"
 
 namespace edc::core {
 namespace {
@@ -60,28 +61,48 @@ CodecCost MeasureCell(const codec::Codec& c, const Bytes& corpus,
 }  // namespace
 
 CostModel CostModel::Calibrate(const datagen::ContentGenerator& generator,
-                               const CostModelConfig& config) {
+                               const CostModelConfig& config,
+                               WorkerPool* pool) {
   CostModel model;
   model.log_small_ =
       std::log2(static_cast<double>(config.calib_block_small));
   model.log_large_ = std::log2(static_cast<double>(config.calib_block));
-  datagen::ContentProfile pure = generator.profile();
 
-  for (std::size_t k = 0; k < datagen::kNumChunkKinds; ++k) {
-    // A single-kind generator so each cell measures one content class.
+  // One corpus per chunk kind, from a single-kind generator so each cell
+  // measures one content class.
+  std::array<Bytes, datagen::kNumChunkKinds> corpora;
+  auto make_corpus = [&](std::size_t k) {
+    datagen::ContentProfile pure = generator.profile();
     pure.weights.fill(0.0);
     pure.weights[k] = 1.0;
     datagen::ContentGenerator gen(pure, config.seed + k);
-    Bytes corpus = gen.GenerateCorpus(config.calib_bytes, config.calib_block);
+    corpora[k] = gen.GenerateCorpus(config.calib_bytes, config.calib_block);
+  };
 
-    for (codec::CodecId id : codec::AllCodecs()) {
-      const codec::Codec& c = codec::GetCodec(id);
-      model.small_[static_cast<std::size_t>(id)][k] =
-          MeasureCell(c, corpus, config.calib_block_small);
-      model.large_[static_cast<std::size_t>(id)][k] =
-          MeasureCell(c, corpus, config.calib_block);
+  auto measure = [&](std::size_t k, codec::CodecId id) {
+    const codec::Codec& c = codec::GetCodec(id);
+    model.small_[static_cast<std::size_t>(id)][k] =
+        MeasureCell(c, corpora[k], config.calib_block_small);
+    model.large_[static_cast<std::size_t>(id)][k] =
+        MeasureCell(c, corpora[k], config.calib_block);
+  };
+
+  const std::vector<codec::CodecId> codecs = codec::AllCodecs();
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    for (std::size_t k = 0; k < datagen::kNumChunkKinds; ++k) {
+      make_corpus(k);
+      for (codec::CodecId id : codecs) measure(k, id);
     }
+    return model;
   }
+
+  // Pooled calibration: corpora first, then every (kind, codec) cell —
+  // each writes a distinct model slot, so no synchronization is needed.
+  ParallelFor(*pool, 0, datagen::kNumChunkKinds, make_corpus);
+  ParallelFor(*pool, 0, datagen::kNumChunkKinds * codecs.size(),
+              [&](std::size_t i) {
+                measure(i / codecs.size(), codecs[i % codecs.size()]);
+              });
   return model;
 }
 

@@ -18,6 +18,10 @@
 #include "common/status.hpp"
 #include "datagen/generator.hpp"
 
+namespace edc {
+class WorkerPool;
+}
+
 namespace edc::core {
 
 struct CodecCost {
@@ -40,9 +44,13 @@ struct CostModelConfig {
 class CostModel {
  public:
   /// Calibrate against the given content generator's profile. Runs the
-  /// real codecs; takes O(seconds) for the slow ones by design.
+  /// real codecs; takes O(seconds) for the slow ones by design. With a
+  /// pool, the per-(codec, kind) measurement cells run concurrently —
+  /// faster startup, but concurrent cells contend for cores, so the
+  /// measured MB/s skews low once threads exceed idle cores.
   static CostModel Calibrate(const datagen::ContentGenerator& generator,
-                             const CostModelConfig& config = {});
+                             const CostModelConfig& config = {},
+                             WorkerPool* pool = nullptr);
 
   /// Calibrated cost at the large (merged-run) block size.
   const CodecCost& Get(codec::CodecId codec,

@@ -1,9 +1,13 @@
 #include "edc/engine.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <future>
+#include <memory>
 
 #include "common/crc32.hpp"
 #include "common/varint.hpp"
+#include "common/worker_pool.hpp"
 
 namespace edc::core {
 namespace {
@@ -70,103 +74,118 @@ datagen::ChunkKind Engine::KindOfRun(const WriteRun& run) const {
   return generator_->KindForLba(run.first_block);
 }
 
-Result<Engine::GroupOutcome> Engine::CompressAndStore(const WriteRun& run,
-                                                      SimTime ready) {
-  const std::size_t orig =
-      static_cast<std::size_t>(run.n_blocks) * kLogicalBlockSize;
-  const datagen::ChunkKind kind = KindOfRun(run);
-  const bool functional = config_.mode == ExecutionMode::kFunctional;
+Engine::GroupPlan Engine::PlanGroup(const WriteRun& run, SimTime ready) {
+  GroupPlan plan;
+  plan.run = run;
+  plan.orig = static_cast<std::size_t>(run.n_blocks) * kLogicalBlockSize;
+  plan.kind = KindOfRun(run);
 
-  // --- Policy decision -------------------------------------------------
   PolicyInputs in;
   in.calculated_iops = monitor_.CalculatedIops(ready);
   in.group_blocks = run.n_blocks;
   in.device_backlog = std::max<SimTime>(
       0, device_->next_free_time() - ready);
   if (config_.elastic.use_content_hints) {
-    in.content_hint = static_cast<int>(kind);
+    in.content_hint = static_cast<int>(plan.kind);
   }
 
-  Bytes content;
-  if (functional) {
-    content = MaterializeRun(run);
+  if (config_.mode == ExecutionMode::kFunctional) {
+    plan.content = MaterializeRun(run);
     if (config_.scheme == Scheme::kEdc && config_.elastic.use_estimator) {
       in.est_compressed_fraction =
-          estimator_.EstimateCompressedFraction(content);
+          estimator_.EstimateCompressedFraction(plan.content);
     }
   } else {
     // Modeled sampling estimate: the calibrated fraction of the fast
     // codec stands in for the sampling probe's prediction.
     in.est_compressed_fraction =
-        cost_model_->Get(codec::CodecId::kLzf, kind).compressed_fraction;
+        cost_model_->Get(codec::CodecId::kLzf, plan.kind)
+            .compressed_fraction;
   }
-  const PolicyDecision decision = policy_->Choose(in);
-  if (decision.skipped_for_content) {
+  plan.decision = policy_->Choose(in);
+  if (plan.decision.skipped_for_content) {
     stats_.blocks_skipped_content += run.n_blocks;
   }
-  if (decision.skipped_for_intensity) {
+  if (plan.decision.skipped_for_intensity) {
     stats_.blocks_skipped_intensity += run.n_blocks;
   }
+  return plan;
+}
 
-  // --- Compression (CPU stage) -----------------------------------------
-  codec::CodecId tag = decision.codec;
-  std::size_t payload_size = orig;
-  SimTime comp_time = 0;
-  Bytes frame;
+Result<Engine::CodecResult> Engine::ExecuteCodec(
+    const GroupPlan& plan) const {
+  CodecResult cr;
+  auto fr = codec::FrameCompress(plan.content, plan.decision.codec);
+  if (!fr.ok()) return fr.status();
+  auto info = codec::FrameParse(*fr);
+  if (!info.ok()) return info.status();
+  cr.tag = info->codec;
+  cr.payload_size = info->payload_size;
+  // The paper's 75% rule: a block compressing to >75% of its original
+  // size is treated as non-compressible and stored raw.
+  if (cr.tag != codec::CodecId::kStore &&
+      cr.payload_size * 4 > plan.orig * 3) {
+    auto stored = codec::FrameCompress(plan.content, codec::CodecId::kStore);
+    if (!stored.ok()) return stored.status();
+    fr = std::move(stored);
+    cr.tag = codec::CodecId::kStore;
+    cr.payload_size = plan.orig;
+  }
+  cr.frame = std::move(*fr);
+  if (cost_model_ != nullptr &&
+      plan.decision.codec != codec::CodecId::kStore) {
+    cr.comp_time =
+        cost_model_->CompressTime(plan.decision.codec, plan.kind, plan.orig);
+  }
+  return cr;
+}
 
-  if (functional) {
-    auto fr = codec::FrameCompress(content, decision.codec);
-    if (!fr.ok()) return fr.status();
-    auto info = codec::FrameParse(*fr);
-    if (!info.ok()) return info.status();
-    tag = info->codec;
-    payload_size = info->payload_size;
-    // The paper's 75% rule: a block compressing to >75% of its original
-    // size is treated as non-compressible and stored raw.
-    if (tag != codec::CodecId::kStore &&
-        payload_size * 4 > orig * 3) {
-      auto stored = codec::FrameCompress(content, codec::CodecId::kStore);
-      if (!stored.ok()) return stored.status();
-      fr = std::move(stored);
-      tag = codec::CodecId::kStore;
-      payload_size = orig;
-    }
-    frame = std::move(*fr);
-    if (cost_model_ != nullptr && decision.codec != codec::CodecId::kStore) {
-      comp_time = cost_model_->CompressTime(decision.codec, kind, orig);
-    }
-  } else {
-    if (decision.codec != codec::CodecId::kStore) {
-      auto vit = versions_.find(run.first_block);
-      const u64 version = vit == versions_.end() ? 0 : vit->second;
-      payload_size = cost_model_->CompressedSize(
-          decision.codec, kind, orig,
-          run.first_block * 1315423911u + version);
-      comp_time = cost_model_->CompressTime(decision.codec, kind, orig);
-      if (payload_size * 4 > orig * 3) {
-        tag = codec::CodecId::kStore;
-        payload_size = orig;
-      }
-      // Drift self-check: run the real codec on a sampled group.
-      if (config_.modeled_check_interval != 0 &&
-          stats_.groups_written % config_.modeled_check_interval == 0) {
-        Bytes real_out;
-        Bytes real_in = MaterializeRun(run);
-        if (codec::GetCodec(decision.codec)
-                .Compress(real_in, &real_out)
-                .ok()) {
-          double modeled_f = static_cast<double>(payload_size) /
-                             static_cast<double>(orig);
-          double real_f = static_cast<double>(real_out.size()) /
-                          static_cast<double>(orig);
-          ++stats_.drift_checks;
-          stats_.drift_abs_error_sum += std::abs(modeled_f - real_f);
-        }
-      }
+Result<Engine::CodecResult> Engine::ModeledCodecOutcome(
+    const GroupPlan& plan) {
+  CodecResult cr;
+  cr.tag = plan.decision.codec;
+  cr.payload_size = plan.orig;
+  if (plan.decision.codec == codec::CodecId::kStore) return cr;
+
+  auto vit = versions_.find(plan.run.first_block);
+  const u64 version = vit == versions_.end() ? 0 : vit->second;
+  cr.payload_size = cost_model_->CompressedSize(
+      plan.decision.codec, plan.kind, plan.orig,
+      plan.run.first_block * 1315423911u + version);
+  cr.comp_time =
+      cost_model_->CompressTime(plan.decision.codec, plan.kind, plan.orig);
+  if (cr.payload_size * 4 > plan.orig * 3) {
+    cr.tag = codec::CodecId::kStore;
+    cr.payload_size = plan.orig;
+  }
+  // Drift self-check: run the real codec on a sampled group.
+  if (config_.modeled_check_interval != 0 &&
+      stats_.groups_written % config_.modeled_check_interval == 0) {
+    Bytes real_out;
+    Bytes real_in = MaterializeRun(plan.run);
+    if (codec::GetCodec(plan.decision.codec)
+            .Compress(real_in, &real_out)
+            .ok()) {
+      double modeled_f = static_cast<double>(cr.payload_size) /
+                         static_cast<double>(plan.orig);
+      double real_f = static_cast<double>(real_out.size()) /
+                      static_cast<double>(plan.orig);
+      ++stats_.drift_checks;
+      stats_.drift_abs_error_sum += std::abs(modeled_f - real_f);
     }
   }
+  return cr;
+}
 
-  SimTime cpu_end = RunOnCpu(ready, comp_time);
+Result<Engine::GroupOutcome> Engine::InstallGroup(const GroupPlan& plan,
+                                                  CodecResult cr,
+                                                  SimTime ready) {
+  const WriteRun& run = plan.run;
+  const std::size_t orig = plan.orig;
+  const codec::CodecId tag = cr.tag;
+  const std::size_t payload_size = cr.payload_size;
+
+  SimTime cpu_end = RunOnCpu(ready, cr.comp_time);
 
   // --- Placement and device write (Request Distributer) ----------------
   u32 alloc_quanta = 0;
@@ -192,7 +211,9 @@ Result<Engine::GroupOutcome> Engine::CompressAndStore(const WriteRun& run,
     payloads_.erase(dead);
     CacheErase(dead);
   }
-  if (functional) payloads_[*gid] = std::move(frame);
+  if (config_.mode == ExecutionMode::kFunctional) {
+    payloads_[*gid] = std::move(cr.frame);
+  }
 
   // Write-buffer packing: groups placed in the fresh (bump) region are
   // flushed page-by-page as pages fill; a sub-page group that leaves the
@@ -233,6 +254,76 @@ Result<Engine::GroupOutcome> Engine::CompressAndStore(const WriteRun& run,
   return outcome;
 }
 
+Result<Engine::GroupOutcome> Engine::CompressAndStore(const WriteRun& run,
+                                                      SimTime ready) {
+  GroupPlan plan = PlanGroup(run, ready);
+  auto execute = [&]() -> Result<CodecResult> {
+    if (config_.mode != ExecutionMode::kFunctional) {
+      return ModeledCodecOutcome(plan);
+    }
+    if (config_.compress_pool != nullptr) {
+      // Even a single run executes on the pool, keeping all real codec
+      // work off the simulation thread.
+      return config_.compress_pool
+          ->Submit([this, &plan] { return ExecuteCodec(plan); })
+          .get();
+    }
+    return ExecuteCodec(plan);
+  };
+  auto cr = execute();
+  if (!cr.ok()) return cr.status();
+  return InstallGroup(plan, std::move(*cr), ready);
+}
+
+bool Engine::PlansCommute() const {
+  // Fixed/Native policies ignore their inputs entirely; the elastic
+  // policy reads the device backlog — the only policy input an install
+  // changes — just when the Fig. 6 feedback is enabled.
+  return config_.scheme != Scheme::kEdc ||
+         config_.elastic.backlog_saturate == 0;
+}
+
+Result<SimTime> Engine::CompressBatch(const std::vector<WriteRun>& runs,
+                                      SimTime ready) {
+  struct Inflight {
+    std::shared_ptr<GroupPlan> plan;
+    std::future<Result<CodecResult>> result;
+  };
+  std::deque<Inflight> inflight;
+  const std::size_t window = std::max<u32>(1, config_.cpu_contexts);
+  SimTime completion = ready;
+  std::size_t next = 0;
+
+  Status failed = Status::Ok();
+  while (next < runs.size() || !inflight.empty()) {
+    if (failed.ok() && next < runs.size() && inflight.size() < window) {
+      auto plan = std::make_shared<GroupPlan>(PlanGroup(runs[next], ready));
+      ++next;
+      auto fut = config_.compress_pool->Submit(
+          [this, plan] { return ExecuteCodec(*plan); });
+      inflight.push_back(Inflight{std::move(plan), std::move(fut)});
+      continue;
+    }
+    if (inflight.empty()) break;
+    Inflight job = std::move(inflight.front());
+    inflight.pop_front();
+    auto cr = job.result.get();  // also drains the queue after a failure
+    if (!failed.ok()) continue;
+    if (!cr.ok()) {
+      failed = cr.status();
+      continue;
+    }
+    auto outcome = InstallGroup(*job.plan, std::move(*cr), ready);
+    if (!outcome.ok()) {
+      failed = outcome.status();
+      continue;
+    }
+    completion = std::max(completion, outcome->completion);
+  }
+  if (!failed.ok()) return failed;
+  return completion;
+}
+
 Status Engine::MaybeIdleFlush(SimTime arrival) {
   if (!config_.use_seq_detector || config_.seq.idle_flush_timeout == 0 ||
       !seq_.has_pending()) {
@@ -261,10 +352,22 @@ Result<SimTime> Engine::Write(SimTime arrival, u64 offset, u32 size) {
 
   SimTime completion = arrival;
   if (config_.use_seq_detector) {
-    for (const WriteRun& run : seq_.OnWrite(first, n_blocks, arrival)) {
-      auto outcome = CompressAndStore(run, arrival);
-      if (!outcome.ok()) return outcome.status();
-      completion = std::max(completion, outcome->completion);
+    const std::vector<WriteRun> sealed =
+        seq_.OnWrite(first, n_blocks, arrival);
+    // A large write can seal several runs at once; overlap their real
+    // codec work across the pool when the decisions provably cannot
+    // depend on each other's installs (results stay byte-identical).
+    if (sealed.size() > 1 && config_.compress_pool != nullptr &&
+        config_.mode == ExecutionMode::kFunctional && PlansCommute()) {
+      auto done = CompressBatch(sealed, arrival);
+      if (!done.ok()) return done.status();
+      completion = std::max(completion, *done);
+    } else {
+      for (const WriteRun& run : sealed) {
+        auto outcome = CompressAndStore(run, arrival);
+        if (!outcome.ok()) return outcome.status();
+        completion = std::max(completion, outcome->completion);
+      }
     }
   } else {
     WriteRun run{first, n_blocks, arrival};

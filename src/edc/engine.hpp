@@ -33,6 +33,10 @@
 #include "edc/seqdetect.hpp"
 #include "ssd/device.hpp"
 
+namespace edc {
+class WorkerPool;
+}
+
 namespace edc::core {
 
 enum class ExecutionMode {
@@ -71,6 +75,14 @@ struct EngineConfig {
   /// In modeled mode, run the real codec on every Nth group as a
   /// calibration drift check (0 disables).
   u32 modeled_check_interval = 0;
+  /// Optional *real* worker pool (non-owning; must outlive the engine).
+  /// In functional mode, codec execution for sealed write runs is
+  /// dispatched to this pool — up to `cpu_contexts` jobs in flight, joined
+  /// in arrival order — so replay results (stats, mapping, timings, data)
+  /// are byte-identical to the serial path while the real compression work
+  /// runs on pool threads. Null (the default) keeps the seed's serial
+  /// behaviour; modeled mode never uses the pool.
+  WorkerPool* compress_pool = nullptr;
 };
 
 struct EngineStats {
@@ -161,8 +173,55 @@ class Engine {
     SimTime completion = 0;
   };
 
-  /// Compress one write run and issue it to the device.
+  /// Sequential pre-compression stage: policy decision, estimator probe
+  /// and (functional mode) materialized content for one sealed run.
+  struct GroupPlan {
+    WriteRun run;
+    std::size_t orig = 0;
+    datagen::ChunkKind kind{};
+    PolicyDecision decision;
+    Bytes content;  // functional mode only
+  };
+
+  /// Output of the pure codec-execution stage.
+  struct CodecResult {
+    codec::CodecId tag = codec::CodecId::kStore;
+    std::size_t payload_size = 0;
+    SimTime comp_time = 0;
+    Bytes frame;  // functional mode only
+  };
+
+  /// Stage A (sequential): decide how to compress `run`. Mutates the
+  /// monitor and the skip counters exactly as the seed's inline path did.
+  GroupPlan PlanGroup(const WriteRun& run, SimTime ready);
+
+  /// Stage B (pure, thread-safe): run the real codec over plan.content,
+  /// applying the paper's 75% store-fallback rule. Functional mode only;
+  /// touches no engine state, so it may run on a pool thread.
+  Result<CodecResult> ExecuteCodec(const GroupPlan& plan) const;
+
+  /// Stage B, modeled flavour (sequential: reads versions_, may run the
+  /// drift self-check which mutates stats_).
+  Result<CodecResult> ModeledCodecOutcome(const GroupPlan& plan);
+
+  /// Stage C (sequential): charge simulated CPU time, install the group in
+  /// the mapping, issue the device write and account stats.
+  Result<GroupOutcome> InstallGroup(const GroupPlan& plan, CodecResult cr,
+                                    SimTime ready);
+
+  /// Compress one write run and issue it to the device (A → B → C).
   Result<GroupOutcome> CompressAndStore(const WriteRun& run, SimTime ready);
+
+  /// True when multiple runs sealed at the same instant may be planned
+  /// ahead of each other's installs without changing any decision: the
+  /// only policy input affected by an install is the device backlog.
+  bool PlansCommute() const;
+
+  /// Pooled pipeline over runs sealed by one request: plan sequentially,
+  /// execute codecs on the pool (≤ cpu_contexts in flight), join and
+  /// install in arrival order. Byte-identical to the serial loop.
+  Result<SimTime> CompressBatch(const std::vector<WriteRun>& runs,
+                                SimTime ready);
 
   /// Flush a pending run that has sat in the merge buffer past the idle
   /// timeout (charged at its deadline, during the idle gap).

@@ -3,11 +3,12 @@
 namespace edc::core {
 
 Result<std::shared_ptr<const CostModel>> Stack::CalibrateCostModel(
-    const StackConfig& config) {
+    const StackConfig& config, WorkerPool* pool) {
   auto profile = datagen::ProfileByName(config.content_profile);
   if (!profile.ok()) return profile.status();
   datagen::ContentGenerator generator(*profile, config.seed);
-  return std::make_shared<const CostModel>(CostModel::Calibrate(generator));
+  return std::make_shared<const CostModel>(
+      CostModel::Calibrate(generator, {}, pool));
 }
 
 Result<std::unique_ptr<Stack>> Stack::Create(
@@ -51,6 +52,7 @@ Result<std::unique_ptr<Stack>> Stack::Create(
   ec.cache_groups = config.cache_groups;
   ec.cpu_contexts = config.cpu_contexts;
   ec.modeled_check_interval = config.modeled_check_interval;
+  ec.compress_pool = config.compress_pool;
 
   stack->engine_ = std::make_unique<Engine>(
       ec, stack->device_.get(), stack->generator_.get(),

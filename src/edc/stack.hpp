@@ -37,6 +37,10 @@ struct StackConfig {
   AllocPolicy alloc_policy = AllocPolicy::kSizeClass;
   std::size_t cache_groups = 0;  // LRU group cache (see EngineConfig)
   u32 cpu_contexts = 1;          // parallel compression contexts
+  /// Real worker pool for functional-mode codec offload (non-owning; must
+  /// outlive the stack). Null keeps the serial seed behaviour. See
+  /// EngineConfig::compress_pool.
+  WorkerPool* compress_pool = nullptr;
   MonitorConfig monitor;
   EstimatorConfig estimator;
   SeqDetectorConfig seq;
@@ -59,9 +63,11 @@ class Stack {
   const datagen::ContentGenerator& generator() const { return *generator_; }
   const StackConfig& config() const { return config_; }
 
-  /// Calibrate a cost model for a config (shared across stacks).
+  /// Calibrate a cost model for a config (shared across stacks). With a
+  /// pool the per-codec calibration samples run in parallel (see
+  /// CostModel::Calibrate for the measurement caveat).
   static Result<std::shared_ptr<const CostModel>> CalibrateCostModel(
-      const StackConfig& config);
+      const StackConfig& config, WorkerPool* pool = nullptr);
 
  private:
   Stack() = default;

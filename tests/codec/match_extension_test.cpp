@@ -1,0 +1,160 @@
+// Fuzz-style coverage for the word-at-a-time match extension
+// (codec/match.hpp) and the LZ hot paths that now use it. MatchLength is
+// exercised at every prefix length and alignment around the 8-byte word
+// boundary; the codecs are round-tripped on random and pathological
+// (all-equal, period-1/2/3) buffers so any over-read or off-by-one in the
+// extension shows up as a corrupted stream.
+#include "codec/match.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codec/codec.hpp"
+#include "codec/lz77.hpp"
+#include "common/rng.hpp"
+#include "testutil.hpp"
+
+namespace edc::codec {
+namespace {
+
+TEST(MatchLength, EveryPrefixLengthAndOffset) {
+  // First mismatch placed at every position 0..40 crosses all residues
+  // mod 8; starting offsets 0..7 cover every load alignment.
+  constexpr std::size_t kLen = 48;
+  for (std::size_t mismatch = 0; mismatch <= 40; ++mismatch) {
+    for (std::size_t off = 0; off < 8; ++off) {
+      Bytes lhs(kLen + off, 0x5C);
+      Bytes rhs(kLen + off, 0x5C);
+      if (off + mismatch < rhs.size()) rhs[off + mismatch] ^= 0xFF;
+      EXPECT_EQ(MatchLength(lhs.data() + off, rhs.data() + off, kLen),
+                std::min(mismatch, kLen))
+          << "mismatch=" << mismatch << " off=" << off;
+      // Shorter limits clamp the result.
+      EXPECT_EQ(MatchLength(lhs.data() + off, rhs.data() + off,
+                            mismatch / 2),
+                mismatch / 2);
+    }
+  }
+}
+
+TEST(MatchLength, IdenticalBuffersReturnLimit) {
+  Bytes buf = test::MakeRandom(1024, 99);
+  for (std::size_t limit : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 1024u}) {
+    EXPECT_EQ(MatchLength(buf.data(), buf.data(), limit), limit);
+  }
+}
+
+TEST(MatchLength, UnalignedPointers) {
+  Bytes buf = test::MakeRuns(512, 5);
+  // Self-overlapping comparison at every small distance — the exact shape
+  // the LZ extenders use for period-1/2/3 matches.
+  for (std::size_t dist = 1; dist <= 9; ++dist) {
+    std::size_t limit = buf.size() - dist;
+    std::size_t got = MatchLength(buf.data(), buf.data() + dist, limit);
+    std::size_t want = 0;
+    while (want < limit && buf[want] == buf[want + dist]) ++want;
+    EXPECT_EQ(got, want) << "dist=" << dist;
+  }
+}
+
+TEST(MatchLength, MatchesScalarReferenceOnRandomPairs) {
+  Pcg32 rng(2024, 7);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::size_t n = 1 + rng.NextBounded(200);
+    Bytes a = test::MakeRandom(n, rng.NextU64());
+    Bytes b = a;
+    // Corrupt a random suffix-start so prefixes of all lengths occur.
+    std::size_t cut = rng.NextBounded(static_cast<u32>(n + 1));
+    for (std::size_t i = cut; i < n; ++i) b[i] = static_cast<u8>(~b[i]);
+    std::size_t want = 0;
+    while (want < n && a[want] == b[want]) ++want;
+    EXPECT_EQ(MatchLength(a.data(), b.data(), n), want);
+  }
+}
+
+// ---- round trips through the codecs that use the new extension ----
+
+Bytes PeriodicBytes(std::size_t n, std::size_t period) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<u8>('A' + (i % period));
+  }
+  return out;
+}
+
+std::vector<Bytes> PathologicalInputs() {
+  std::vector<Bytes> inputs;
+  const std::size_t sizes[] = {0,  1,  2,  3,    7,   8,   9,
+                               15, 16, 17, 63,   64,  65,  255,
+                               256, 257, 4096, 4097};
+  for (std::size_t n : sizes) {
+    inputs.push_back(Bytes(n, 0x00));            // all-equal (zeros)
+    inputs.push_back(Bytes(n, 0x7E));            // all-equal (nonzero)
+    inputs.push_back(PeriodicBytes(n, 1));
+    inputs.push_back(PeriodicBytes(n, 2));
+    inputs.push_back(PeriodicBytes(n, 3));
+    inputs.push_back(test::MakeRandom(n, n + 1));
+    inputs.push_back(test::MakeText(n, n + 2));
+    inputs.push_back(test::MakeRuns(n, n + 3));
+  }
+  inputs.push_back(test::MakeMixed(32768, 12));
+  inputs.push_back(PeriodicBytes(32768, 3));
+  return inputs;
+}
+
+void RoundTrip(CodecId id, const Bytes& input) {
+  const Codec& c = GetCodec(id);
+  Bytes compressed;
+  ASSERT_TRUE(c.Compress(input, &compressed).ok())
+      << c.name() << " n=" << input.size();
+  Bytes restored;
+  ASSERT_TRUE(c.Decompress(compressed, input.size(), &restored).ok())
+      << c.name() << " n=" << input.size();
+  ASSERT_EQ(restored, input) << c.name() << " n=" << input.size();
+}
+
+TEST(MatchExtensionRoundTrip, Lzf) {
+  for (const Bytes& input : PathologicalInputs()) {
+    RoundTrip(CodecId::kLzf, input);
+  }
+}
+
+TEST(MatchExtensionRoundTrip, LzFast) {
+  for (const Bytes& input : PathologicalInputs()) {
+    RoundTrip(CodecId::kLzFast, input);
+  }
+}
+
+TEST(MatchExtensionRoundTrip, GzipLz77Backend) {
+  for (const Bytes& input : PathologicalInputs()) {
+    RoundTrip(CodecId::kGzip, input);
+  }
+}
+
+TEST(MatchExtensionRoundTrip, Lz77TokensReproduceInput) {
+  for (const Bytes& input : PathologicalInputs()) {
+    std::vector<Lz77Token> tokens = Lz77Tokenize(input);
+    EXPECT_EQ(Lz77Expand(tokens), input) << "n=" << input.size();
+  }
+}
+
+TEST(MatchExtensionRoundTrip, RandomFuzz) {
+  Pcg32 rng(4242, 3);
+  for (int iter = 0; iter < 60; ++iter) {
+    std::size_t n = rng.NextBounded(8192);
+    Bytes input;
+    switch (iter % 4) {
+      case 0: input = test::MakeRandom(n, rng.NextU64()); break;
+      case 1: input = test::MakeRuns(n, rng.NextU64()); break;
+      case 2: input = test::MakeText(n, rng.NextU64()); break;
+      default:
+        input = PeriodicBytes(n, 1 + rng.NextBounded(5));
+        break;
+    }
+    RoundTrip(CodecId::kLzf, input);
+    RoundTrip(CodecId::kLzFast, input);
+    RoundTrip(CodecId::kGzip, input);
+  }
+}
+
+}  // namespace
+}  // namespace edc::codec

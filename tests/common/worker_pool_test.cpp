@@ -1,0 +1,132 @@
+#include "common/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace edc {
+namespace {
+
+TEST(WorkerPool, SubmitReturnsResults) {
+  WorkerPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(WorkerPool, AtLeastOneThread) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(WorkerPool, SingleThreadExecutesInSubmissionOrder) {
+  WorkerPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(WorkerPool, ExceptionPropagatesThroughFuture) {
+  WorkerPool pool(2);
+  auto ok = pool.Submit([] { return 1; });
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 2; }).get(), 2);
+}
+
+TEST(WorkerPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    WorkerPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++done;
+      });
+    }
+    pool.Shutdown();  // must run everything already queued
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(WorkerPool, SubmitAfterShutdownThrows) {
+  WorkerPool pool(1);
+  pool.Shutdown();
+  EXPECT_THROW((void)pool.Submit([] { return 0; }), std::runtime_error);
+}
+
+TEST(WorkerPool, BoundedQueueAppliesBackpressureAndCompletes) {
+  WorkerPool pool(2, /*max_queue=*/2);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    // Submissions beyond queue capacity block until a slot frees; every
+    // task must still run exactly once.
+    futures.push_back(pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++done;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(WorkerPool, ParallelForCoversEveryIndexOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(pool, 0, hits.size(),
+              [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, ParallelForEmptyRangeIsNoop) {
+  WorkerPool pool(2);
+  ParallelFor(pool, 5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(WorkerPool, ParallelForRethrowsAfterAllIterationsFinish) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      ParallelFor(pool, 0, 16,
+                  [&ran](std::size_t i) {
+                    ++ran;
+                    if (i == 3) throw std::runtime_error("iteration 3");
+                  }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(WorkerPool, ParallelMapPreservesOrder) {
+  WorkerPool pool(4);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> doubled =
+      ParallelMap(pool, items, [](const int& x) { return 2 * x; });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(doubled[i], 2 * static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace edc
