@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Static-analysis entry point: clang-tidy over src/ (the checked-in
+# .clang-tidy config) plus a clang-format check over the whole tree.
+#
+# Usage: scripts/lint.sh [build-dir]
+#
+# The build dir must have a compile_commands.json (the top-level
+# CMakeLists exports one unconditionally). Tools that are not installed
+# are reported and skipped so the script is usable on minimal boxes;
+# CI treats missing tools as a hard failure via LINT_REQUIRE_TOOLS=1.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-"$ROOT/build"}"
+REQUIRE="${LINT_REQUIRE_TOOLS:-0}"
+STATUS=0
+
+find_tool() {
+  # Accept versioned binaries (clang-tidy-18 etc.) as found on CI images.
+  local base="$1" v
+  if command -v "$base" >/dev/null 2>&1; then
+    echo "$base"
+    return 0
+  fi
+  for v in 20 19 18 17 16 15 14; do
+    if command -v "$base-$v" >/dev/null 2>&1; then
+      echo "$base-$v"
+      return 0
+    fi
+  done
+  return 1
+}
+
+missing_tool() {
+  echo "lint: $1 not found; skipping" >&2
+  if [ "$REQUIRE" = "1" ]; then
+    STATUS=1
+  fi
+}
+
+# --- clang-tidy over src/ ---------------------------------------------------
+if TIDY="$(find_tool clang-tidy)"; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint: $BUILD_DIR/compile_commands.json missing;" \
+         "configure with cmake first" >&2
+    STATUS=1
+  else
+    echo "lint: running $TIDY over src/ ..."
+    # Sources only; headers are pulled in via HeaderFilterRegex.
+    mapfile -t SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
+    if ! "$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}"; then
+      echo "lint: clang-tidy reported findings" >&2
+      STATUS=1
+    fi
+  fi
+else
+  missing_tool clang-tidy
+fi
+
+# --- clang-format check (no reformat) ---------------------------------------
+if FMT="$(find_tool clang-format)"; then
+  echo "lint: running $FMT --dry-run ..."
+  mapfile -t ALL < <(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" \
+                          "$ROOT/examples" \
+                          \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+  if ! "$FMT" --dry-run --Werror "${ALL[@]}"; then
+    echo "lint: formatting drift detected (clang-format --dry-run)" >&2
+    STATUS=1
+  fi
+else
+  missing_tool clang-format
+fi
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "lint: OK"
+fi
+exit "$STATUS"

@@ -38,6 +38,9 @@ Result<FrameInfo> FrameParse(ByteSpan frame) {
   std::size_t pos = 2;
   auto orig = GetVarint(frame, &pos);
   if (!orig.ok()) return orig.status();
+  if (*orig > kMaxFrameOriginalSize) {
+    return Status::DataLoss("frame: implausible original size");
+  }
   auto crc = GetU32Le(frame, &pos);
   if (!crc.ok()) return crc.status();
   return FrameInfo{static_cast<CodecId>(frame[1]),
@@ -47,6 +50,10 @@ Result<FrameInfo> FrameParse(ByteSpan frame) {
 Result<Bytes> FrameDecompress(ByteSpan frame) {
   auto info = FrameParse(frame);
   if (!info.ok()) return info.status();
+  if (info->codec == CodecId::kStore &&
+      info->payload_size != info->original_size) {
+    return Status::DataLoss("frame: store payload size mismatch");
+  }
   ByteSpan payload = frame.subspan(frame.size() - info->payload_size);
   Bytes out;
   out.reserve(info->original_size);

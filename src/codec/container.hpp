@@ -18,6 +18,12 @@ namespace edc::codec {
 
 inline constexpr u8 kFrameMagic = 0xED;
 
+/// Upper bound accepted for a frame's declared uncompressed size. Real
+/// frames are at most one merged run (64 blocks = 256 KiB); the slack
+/// covers tool/bench use while keeping a corrupt varint from driving a
+/// multi-gigabyte allocation before any payload validation runs.
+inline constexpr std::size_t kMaxFrameOriginalSize = std::size_t{1} << 30;
+
 struct FrameInfo {
   CodecId codec;
   std::size_t original_size;

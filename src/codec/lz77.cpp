@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codec/match.hpp"
+#include "common/check.hpp"
 #include "common/hash.hpp"
 
 namespace edc::codec {
@@ -131,6 +132,9 @@ Bytes Lz77Expand(const std::vector<Lz77Token>& tokens) {
     if (!t.is_match) {
       out.push_back(t.literal);
     } else {
+      EDC_CHECK(t.distance > 0 && t.distance <= out.size())
+          << "lz77 token distance " << t.distance << " at offset "
+          << out.size();
       std::size_t src = out.size() - t.distance;
       for (std::size_t k = 0; k < t.length; ++k) {
         out.push_back(out[src + k]);

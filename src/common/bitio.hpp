@@ -2,9 +2,9 @@
 // BWT codec back end. LSB-first bit order, little-endian byte order.
 #pragma once
 
-#include <cassert>
 #include <cstring>
 
+#include "common/check.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 
@@ -16,12 +16,13 @@ namespace edc {
 /// whole bytes eagerly, so at most 7 stale bits remain before a write).
 class BitWriter {
  public:
-  explicit BitWriter(Bytes* out) : out_(out) { assert(out != nullptr); }
+  explicit BitWriter(Bytes* out) : out_(out) { EDC_DCHECK(out != nullptr); }
 
   /// Write the low `count` bits of `bits`. Bits above `count` must be zero.
   void WriteBits(u64 bits, unsigned count) {
-    assert(count <= 57);
-    assert(count == 64 || (bits >> count) == 0);
+    EDC_DCHECK(count <= 57) << "count=" << count;
+    EDC_DCHECK(count == 64 || (bits >> count) == 0)
+        << "stray high bits above count=" << count;
     acc_ |= bits << filled_;
     filled_ += count;
     while (filled_ >= 8) {
@@ -60,7 +61,7 @@ class BitReader {
 
   /// Read `count` bits (count <= 57).
   u64 ReadBits(unsigned count) {
-    assert(count <= 57);
+    EDC_DCHECK(count <= 57) << "count=" << count;
     Fill();
     if (filled_ < count) {
       overrun_ = true;
@@ -81,7 +82,7 @@ class BitReader {
   /// Peek up to `count` bits without consuming (used by table-driven
   /// Huffman decoding). Bits past the end of input read as zero.
   u64 PeekBits(unsigned count) {
-    assert(count <= 57);
+    EDC_DCHECK(count <= 57) << "count=" << count;
     Fill();
     return acc_ & ((count >= 64) ? ~0ULL : ((1ULL << count) - 1));
   }

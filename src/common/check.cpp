@@ -1,0 +1,38 @@
+#include "common/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace edc {
+namespace {
+
+std::atomic<CheckFailureHandler> g_handler{nullptr};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+namespace check_internal {
+
+void CheckFailed(const std::string& message) {
+  if (CheckFailureHandler handler = g_handler.load()) {
+    handler(message);
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::abort();
+}
+
+FailureStream::FailureStream(const char* file, int line,
+                             const char* condition) {
+  stream_ << file << ":" << line << ": CHECK failed: " << condition;
+}
+
+FailureStream::~FailureStream() noexcept(false) {
+  CheckFailed(stream_.str());
+}
+
+}  // namespace check_internal
+}  // namespace edc

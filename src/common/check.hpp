@@ -1,0 +1,87 @@
+// EDC_CHECK / EDC_DCHECK: invariant assertions with streamed context.
+//
+// EDC_CHECK(cond) aborts (via the installed failure handler) when `cond` is
+// false; extra context is streamed onto the macro and only evaluated on the
+// failing path:
+//
+//   EDC_CHECK(start + len <= total) << "extent " << start << "+" << len;
+//
+// EDC_DCHECK compiles to the same thing in debug builds and to a
+// syntactically-checked no-op under NDEBUG, replacing the bare <cassert>
+// calls this code base used before.
+//
+// Tests install a handler that records or throws instead of aborting (see
+// ScopedCheckFailureHandler); the default handler prints the message to
+// stderr and calls std::abort.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace edc {
+
+/// Called with the fully formatted failure message. If the handler returns
+/// (instead of throwing or exiting), the process aborts.
+using CheckFailureHandler = void (*)(const std::string& message);
+
+/// Install a process-wide handler; nullptr restores the default
+/// (print + abort). Returns the previous handler.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+/// RAII scope for tests: installs `handler` and restores the previous one.
+class ScopedCheckFailureHandler {
+ public:
+  explicit ScopedCheckFailureHandler(CheckFailureHandler handler)
+      : previous_(SetCheckFailureHandler(handler)) {}
+  ~ScopedCheckFailureHandler() { SetCheckFailureHandler(previous_); }
+  ScopedCheckFailureHandler(const ScopedCheckFailureHandler&) = delete;
+  ScopedCheckFailureHandler& operator=(const ScopedCheckFailureHandler&) =
+      delete;
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+namespace check_internal {
+
+/// Dispatches to the installed handler; aborts if the handler returns.
+void CheckFailed(const std::string& message);
+
+/// Accumulates the streamed context; its destructor (end of the failing
+/// full-expression) fires the failure. noexcept(false) so test handlers may
+/// throw.
+class FailureStream {
+ public:
+  FailureStream(const char* file, int line, const char* condition);
+  ~FailureStream() noexcept(false);
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< sink so streamed context binds to the stream.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace check_internal
+}  // namespace edc
+
+#define EDC_CHECK(condition)                                 \
+  (condition) ? (void)0                                      \
+              : ::edc::check_internal::Voidify() &           \
+                    ::edc::check_internal::FailureStream(    \
+                        __FILE__, __LINE__, #condition)      \
+                        .stream()
+
+#ifndef NDEBUG
+#define EDC_DCHECK(condition) EDC_CHECK(condition)
+#else
+// Never evaluated, but still parsed/type-checked.
+#define EDC_DCHECK(condition) \
+  while (false) EDC_CHECK(condition)
+#endif

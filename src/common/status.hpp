@@ -2,12 +2,13 @@
 // hot paths; exceptions are reserved for programming errors).
 #pragma once
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
+
+#include "common/check.hpp"
 
 namespace edc {
 
@@ -78,23 +79,23 @@ class Result {
  public:
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(implicit)
   Result(Status status) : payload_(std::move(status)) {  // NOLINT(implicit)
-    assert(!std::get<Status>(payload_).ok() &&
-           "Result must not be constructed from an OK status");
+    EDC_DCHECK(!std::get<Status>(payload_).ok())
+        << "Result must not be constructed from an OK status";
   }
 
   bool ok() const { return std::holds_alternative<T>(payload_); }
   explicit operator bool() const { return ok(); }
 
   const T& value() const& {
-    assert(ok());
+    EDC_DCHECK(ok()) << "value() on error Result: " << status().ToString();
     return std::get<T>(payload_);
   }
   T& value() & {
-    assert(ok());
+    EDC_DCHECK(ok()) << "value() on error Result: " << status().ToString();
     return std::get<T>(payload_);
   }
   T&& value() && {
-    assert(ok());
+    EDC_DCHECK(ok()) << "value() on error Result: " << status().ToString();
     return std::get<T>(std::move(payload_));
   }
   const T& operator*() const& { return value(); }

@@ -1,0 +1,287 @@
+#include "edc/auditor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace edc::core {
+
+bool AuditReport::Has(std::string_view invariant) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const AuditViolation& v) {
+                       return v.invariant == invariant;
+                     });
+}
+
+void AuditReport::Add(std::string_view invariant, std::string detail) {
+  violations.push_back(AuditViolation{std::string(invariant),
+                                      std::move(detail)});
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  out << "audit: " << violations.size() << " violation(s)";
+  for (const AuditViolation& v : violations) {
+    out << "\n  [" << v.invariant << "] " << v.detail;
+  }
+  return out.str();
+}
+
+u32 StateAuditor::ExpectedQuanta(AllocPolicy policy,
+                                 std::size_t compressed_bytes,
+                                 u32 orig_blocks) {
+  u32 quanta = 0;
+  switch (policy) {
+    case AllocPolicy::kSizeClass:
+      quanta = SizeClassQuanta(compressed_bytes, orig_blocks);
+      break;
+    case AllocPolicy::kExactQuanta:
+      quanta = std::max<u32>(
+          1, static_cast<u32>((compressed_bytes + kQuantumBytes - 1) /
+                              kQuantumBytes));
+      break;
+    case AllocPolicy::kWholePage:
+      quanta = orig_blocks * kQuantaPerBlock;
+      break;
+  }
+  return QuantumAllocator::RoundedLen(quanta);
+}
+
+namespace {
+
+struct Extent {
+  u64 start;
+  u32 len;
+  bool live;  // group extent (true) or free-list extent (false)
+};
+
+std::string ExtentName(const Extent& e) {
+  std::ostringstream out;
+  out << (e.live ? "live extent [" : "free extent [") << e.start << ", "
+      << e.start + e.len << ")";
+  return out.str();
+}
+
+}  // namespace
+
+void StateAuditor::CheckTiling(
+    const QuantumAllocator& allocator,
+    std::span<const std::pair<u64, u32>> live_extents,
+    AuditReport* report) {
+  const u64 bump = allocator.bump_used();
+  if (bump > allocator.total_quanta()) {
+    std::ostringstream d;
+    d << "bump pointer " << bump << " beyond quantum space "
+      << allocator.total_quanta();
+    report->Add(audit::kExtentBounds, d.str());
+  }
+
+  std::vector<Extent> extents;
+  u64 live_total = 0;
+  for (const auto& [start, len] : live_extents) {
+    extents.push_back(Extent{start, len, true});
+    live_total += len;
+  }
+  for (const auto& [start, len] : allocator.FreeExtents()) {
+    extents.push_back(Extent{start, len, false});
+  }
+
+  if (live_total != allocator.allocated_quanta()) {
+    std::ostringstream d;
+    d << "live extents hold " << live_total
+      << " quanta but the allocator accounts " << allocator.allocated_quanta();
+    report->Add(audit::kSpaceAccounting, d.str());
+  }
+
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.start != b.start ? a.start < b.start : a.len < b.len;
+            });
+  u64 cursor = 0;
+  for (const Extent& e : extents) {
+    if (e.len == 0) {
+      report->Add(audit::kExtentBounds, ExtentName(e) + " is empty");
+      continue;
+    }
+    if (e.start + e.len > bump) {
+      std::ostringstream d;
+      d << ExtentName(e) << " reaches past consumed space " << bump;
+      report->Add(audit::kExtentBounds, d.str());
+    }
+    if (e.start < cursor) {
+      std::ostringstream d;
+      d << ExtentName(e) << " overlaps the previous extent ending at "
+        << cursor;
+      report->Add(audit::kExtentOverlap, d.str());
+    } else if (e.start > cursor) {
+      std::ostringstream d;
+      d << "quanta [" << cursor << ", " << e.start
+        << ") are neither free nor owned by any group";
+      report->Add(audit::kSpaceTiling, d.str());
+    }
+    cursor = std::max(cursor, e.start + e.len);
+  }
+  if (cursor < bump) {
+    std::ostringstream d;
+    d << "quanta [" << cursor << ", " << bump
+      << ") are neither free nor owned by any group";
+    report->Add(audit::kSpaceTiling, d.str());
+  }
+}
+
+AuditReport StateAuditor::AuditMap(const BlockMap& map,
+                                   const Options& options) {
+  AuditReport report;
+  const QuantumAllocator& allocator = map.allocator();
+
+  std::vector<std::pair<u64, u32>> live_extents;
+  live_extents.reserve(map.groups().size());
+  u64 live_blocks_total = 0;
+
+  for (const auto& [id, g] : map.groups()) {
+    std::ostringstream who;
+    who << "group " << id << " (lba " << g.first_lba << ", " << g.quanta
+        << "q @ " << g.start_quantum << ")";
+    const std::string name = who.str();
+
+    // --- Extent geometry -------------------------------------------------
+    if (g.quanta == 0) {
+      report.Add(audit::kExtentBounds, name + ": empty extent");
+    }
+    if (g.quanta <= kQuantaPerBlock) {
+      // Sub-page extents must stay inside one flash page.
+      if (g.start_quantum % kQuantaPerBlock + g.quanta > kQuantaPerBlock) {
+        report.Add(audit::kPageStraddle,
+                   name + ": sub-page extent straddles a flash page");
+      }
+    } else {
+      if (g.start_quantum % kQuantaPerBlock != 0) {
+        report.Add(audit::kPageAlign,
+                   name + ": multi-page extent is not page aligned");
+      }
+      if (g.quanta % kQuantaPerBlock != 0) {
+        report.Add(audit::kPageAlign,
+                   name + ": multi-page extent is not whole-page rounded");
+      }
+    }
+
+    // --- Size class ------------------------------------------------------
+    if (static_cast<std::size_t>(g.compressed_bytes) >
+        static_cast<std::size_t>(g.quanta) * kQuantumBytes) {
+      std::ostringstream d;
+      d << name << ": payload " << g.compressed_bytes
+        << " B exceeds the extent's " << g.quanta * kQuantumBytes << " B";
+      report.Add(audit::kSizeClass, d.str());
+    } else if (options.policy.has_value()) {
+      u32 expected =
+          ExpectedQuanta(*options.policy, g.compressed_bytes, g.orig_blocks);
+      if (g.quanta != expected) {
+        std::ostringstream d;
+        d << name << ": extent holds " << g.quanta << " quanta, size class"
+          << " for " << g.compressed_bytes << " B over " << g.orig_blocks
+          << " block(s) requires " << expected;
+        report.Add(audit::kSizeClass, d.str());
+      }
+    }
+
+    // --- Codec tag -------------------------------------------------------
+    const u8 tag = static_cast<u8>(g.tag);
+    if (tag >= (1u << codec::kTagBits)) {
+      std::ostringstream d;
+      d << name << ": tag " << static_cast<unsigned>(tag)
+        << " does not fit the 3-bit Tag field";
+      report.Add(audit::kCodecTag, d.str());
+    } else if (tag > codec::kMaxCodecId) {
+      std::ostringstream d;
+      d << name << ": tag " << static_cast<unsigned>(tag)
+        << " names no registered codec";
+      report.Add(audit::kCodecTag, d.str());
+    }
+
+    // --- Liveness accounting --------------------------------------------
+    if (g.orig_blocks == 0 || g.orig_blocks > 64) {
+      std::ostringstream d;
+      d << name << ": group spans " << g.orig_blocks << " blocks";
+      report.Add(audit::kLiveCount, d.str());
+    } else {
+      if (g.orig_blocks < 64 && (g.live_mask >> g.orig_blocks) != 0) {
+        report.Add(audit::kLiveCount,
+                   name + ": live mask has bits beyond the member count");
+      }
+      const u32 mask_pop = static_cast<u32>(std::popcount(g.live_mask));
+      if (g.live_blocks != mask_pop) {
+        std::ostringstream d;
+        d << name << ": live count " << g.live_blocks
+          << " != live mask population " << mask_pop;
+        report.Add(audit::kLiveCount, d.str());
+      }
+      if (g.live_blocks == 0) {
+        report.Add(audit::kLiveCount,
+                   name + ": dead group still resident (extent leak)");
+      }
+      if (g.live_blocks > g.orig_blocks) {
+        std::ostringstream d;
+        d << name << ": live count " << g.live_blocks << " exceeds "
+          << g.orig_blocks << " members";
+        report.Add(audit::kLiveCount, d.str());
+      }
+    }
+
+    // --- Reverse map, forward direction ---------------------------------
+    for (u32 b = 0; b < g.orig_blocks && b < 64; ++b) {
+      if ((g.live_mask >> b & 1) == 0) continue;
+      Lba lba = g.first_lba + b;
+      auto it = map.block_index().find(lba);
+      if (it == map.block_index().end()) {
+        std::ostringstream d;
+        d << name << ": live member lba " << lba
+          << " is missing from the block index";
+        report.Add(audit::kReverseMap, d.str());
+      } else if (it->second != id) {
+        std::ostringstream d;
+        d << name << ": live member lba " << lba << " maps to group "
+          << it->second << " instead";
+        report.Add(audit::kReverseMap, d.str());
+      }
+    }
+
+    live_blocks_total += g.live_blocks;
+    live_extents.emplace_back(g.start_quantum, g.quanta);
+  }
+
+  // --- Reverse map, backward direction ----------------------------------
+  for (const auto& [lba, id] : map.block_index()) {
+    auto git = map.groups().find(id);
+    if (git == map.groups().end()) {
+      std::ostringstream d;
+      d << "block index: lba " << lba << " maps to nonexistent group " << id;
+      report.Add(audit::kReverseMap, d.str());
+      continue;
+    }
+    const GroupInfo& g = git->second;
+    if (lba < g.first_lba || lba - g.first_lba >= g.orig_blocks) {
+      std::ostringstream d;
+      d << "block index: lba " << lba << " maps to group " << id
+        << " whose range is [" << g.first_lba << ", "
+        << g.first_lba + g.orig_blocks << ")";
+      report.Add(audit::kReverseMap, d.str());
+    } else if ((g.live_mask >> (lba - g.first_lba) & 1) == 0) {
+      std::ostringstream d;
+      d << "block index: lba " << lba << " maps to group " << id
+        << " but its live-mask bit is clear";
+      report.Add(audit::kReverseMap, d.str());
+    }
+  }
+
+  // --- Space accounting and tiling ---------------------------------------
+  if (live_blocks_total * kLogicalBlockSize != map.live_logical_bytes()) {
+    std::ostringstream d;
+    d << "live blocks hold " << live_blocks_total * kLogicalBlockSize
+      << " B but the map accounts " << map.live_logical_bytes() << " B";
+    report.Add(audit::kSpaceAccounting, d.str());
+  }
+  CheckTiling(allocator, live_extents, &report);
+  return report;
+}
+
+}  // namespace edc::core

@@ -1,0 +1,98 @@
+// StateAuditor: mechanical verification of the cross-layer invariants the
+// mapping/allocator design documents but the hot path only maintains
+// implicitly (see mapping.hpp and DESIGN.md):
+//
+//   * every group extent lies inside the consumed quantum space and the
+//     extents of distinct groups are disjoint;
+//   * extent lengths match the 25/50/75/100% size-class grid for the
+//     group's member count (policy-dependent);
+//   * sub-page extents never straddle a flash page and multi-page extents
+//     are whole-page rounded and page aligned;
+//   * codec tags fit the 3-bit on-flash Tag field and name a registered
+//     codec;
+//   * per-group live counts equal the live-mask population and agree with
+//     the reverse (block → group) map in both directions;
+//   * the allocator's free lists plus the live group extents exactly tile
+//     the consumed quantum space, and byte accounting matches.
+//
+// Engine::Audit() layers engine-level checks (payload store consistency,
+// SD merge-buffer sanity) on top of the map audit; the
+// EngineConfig::audit_every_n_ops knob runs it inline on the I/O path.
+//
+// Every violation names the invariant it breaks, so mutation tests can
+// assert that a seeded corruption class is detected *as itself*.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "edc/mapping.hpp"
+
+namespace edc::core {
+
+/// Invariant identifiers reported by the auditor. Kept as named constants
+/// so tests and log scrapers match on exact strings.
+namespace audit {
+inline constexpr std::string_view kExtentBounds = "extent-bounds";
+inline constexpr std::string_view kExtentOverlap = "extent-overlap";
+inline constexpr std::string_view kSizeClass = "size-class";
+inline constexpr std::string_view kPageStraddle = "page-straddle";
+inline constexpr std::string_view kPageAlign = "page-align";
+inline constexpr std::string_view kCodecTag = "codec-tag";
+inline constexpr std::string_view kLiveCount = "live-count";
+inline constexpr std::string_view kReverseMap = "reverse-map";
+inline constexpr std::string_view kSpaceTiling = "space-tiling";
+inline constexpr std::string_view kSpaceAccounting = "space-accounting";
+inline constexpr std::string_view kPayloadStore = "payload-store";
+inline constexpr std::string_view kMergeBuffer = "merge-buffer";
+}  // namespace audit
+
+/// One detected inconsistency: which invariant broke, and where.
+struct AuditViolation {
+  std::string invariant;  // one of the audit:: constants
+  std::string detail;     // human-readable location/context
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// True when at least one violation names `invariant`.
+  bool Has(std::string_view invariant) const;
+  void Add(std::string_view invariant, std::string detail);
+  /// Multi-line summary ("audit: N violation(s)" + one line each).
+  std::string ToString() const;
+};
+
+/// Stateless verifier over BlockMap / QuantumAllocator state.
+class StateAuditor {
+ public:
+  struct Options {
+    /// When set, group extent lengths are checked against the expectation
+    /// of this allocation policy (the engine passes its own policy).
+    std::optional<AllocPolicy> policy;
+  };
+
+  /// Full map-level audit: per-group invariants, both directions of the
+  /// reverse map, space accounting and the free-list tiling.
+  static AuditReport AuditMap(const BlockMap& map,
+                              const Options& options = {});
+
+  /// The extent length the allocator must hold for a group under `policy`.
+  static u32 ExpectedQuanta(AllocPolicy policy, std::size_t compressed_bytes,
+                            u32 orig_blocks);
+
+  /// Verify that `live_extents` plus the allocator's free lists exactly
+  /// tile [0, bump_used()) with no gap or overlap, and that the allocator's
+  /// allocated-quanta counter equals the live total. Also usable standalone
+  /// by allocator tests that track their own extent set.
+  static void CheckTiling(
+      const QuantumAllocator& allocator,
+      std::span<const std::pair<u64, u32>> live_extents,
+      AuditReport* report);
+};
+
+}  // namespace edc::core

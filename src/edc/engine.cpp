@@ -324,6 +324,87 @@ Result<SimTime> Engine::CompressBatch(const std::vector<WriteRun>& runs,
   return completion;
 }
 
+AuditReport Engine::Audit() const {
+  StateAuditor::Options options;
+  options.policy = config_.alloc_policy;
+  AuditReport report = StateAuditor::AuditMap(map_, options);
+
+  // Payload store: in functional mode every live group must own exactly one
+  // stored frame whose header agrees with the group's mapping metadata.
+  if (config_.mode == ExecutionMode::kFunctional) {
+    for (const auto& [id, g] : map_.groups()) {
+      auto it = payloads_.find(id);
+      if (it == payloads_.end()) {
+        report.Add(audit::kPayloadStore,
+                   "group " + std::to_string(id) + ": no stored frame");
+        continue;
+      }
+      auto info = codec::FrameParse(it->second);
+      if (!info.ok()) {
+        report.Add(audit::kPayloadStore,
+                   "group " + std::to_string(id) +
+                       ": unparseable frame: " + info.status().ToString());
+        continue;
+      }
+      if (info->codec != g.tag) {
+        report.Add(audit::kPayloadStore,
+                   "group " + std::to_string(id) +
+                       ": frame codec disagrees with the mapping tag");
+      }
+      if (info->original_size !=
+          static_cast<std::size_t>(g.orig_blocks) * kLogicalBlockSize) {
+        report.Add(audit::kPayloadStore,
+                   "group " + std::to_string(id) +
+                       ": frame original size disagrees with member count");
+      }
+      if (info->payload_size != g.compressed_bytes) {
+        report.Add(audit::kPayloadStore,
+                   "group " + std::to_string(id) +
+                       ": frame payload size disagrees with the mapping");
+      }
+    }
+    for (const auto& [id, frame] : payloads_) {
+      if (map_.groups().find(id) == map_.groups().end()) {
+        report.Add(audit::kPayloadStore,
+                   "orphan frame for dead group " + std::to_string(id));
+      }
+    }
+  }
+
+  // SD merge buffer: a pending run must be a sane, still-unflushed write
+  // run — nonempty, within the merge cap, and every member block must have
+  // a recorded write version (reads/non-contiguous writes flush the run
+  // before touching it, so a version can never disappear under it).
+  if (seq_.has_pending()) {
+    const WriteRun& p = seq_.pending();
+    if (p.n_blocks == 0 || p.n_blocks > config_.seq.max_merge_blocks) {
+      report.Add(audit::kMergeBuffer,
+                 "pending run of " + std::to_string(p.n_blocks) +
+                     " blocks violates the merge cap");
+    }
+    for (u32 i = 0; i < p.n_blocks; ++i) {
+      if (versions_.find(p.first_block + i) == versions_.end()) {
+        report.Add(audit::kMergeBuffer,
+                   "pending lba " + std::to_string(p.first_block + i) +
+                       " has no recorded write version");
+      }
+    }
+  }
+  return report;
+}
+
+Status Engine::MaybeAudit() {
+  if (config_.audit_every_n_ops == 0) return Status::Ok();
+  if (++ops_since_audit_ < config_.audit_every_n_ops) return Status::Ok();
+  ops_since_audit_ = 0;
+  AuditReport report = Audit();
+  if (!report.ok()) {
+    return Status::Internal("inline state audit failed: " +
+                            report.ToString());
+  }
+  return Status::Ok();
+}
+
 Status Engine::MaybeIdleFlush(SimTime arrival) {
   if (!config_.use_seq_detector || config_.seq.idle_flush_timeout == 0 ||
       !seq_.has_pending()) {
@@ -377,6 +458,7 @@ Result<SimTime> Engine::Write(SimTime arrival, u64 offset, u32 size) {
   }
 
   stats_.write_latency_us.Add(ToMicros(completion - arrival));
+  EDC_RETURN_IF_ERROR(MaybeAudit());
   return completion;
 }
 
@@ -459,6 +541,7 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
   }
 
   stats_.read_latency_us.Add(ToMicros(completion - arrival));
+  EDC_RETURN_IF_ERROR(MaybeAudit());
   return completion;
 }
 
@@ -490,6 +573,7 @@ Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {
     versions_.erase(lba);
     ++stats_.trimmed_blocks;
   }
+  EDC_RETURN_IF_ERROR(MaybeAudit());
   return ready;
 }
 

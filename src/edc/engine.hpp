@@ -25,6 +25,7 @@
 
 #include "codec/container.hpp"
 #include "datagen/generator.hpp"
+#include "edc/auditor.hpp"
 #include "edc/cost_model.hpp"
 #include "edc/estimator.hpp"
 #include "edc/mapping.hpp"
@@ -42,15 +43,6 @@ namespace edc::core {
 enum class ExecutionMode {
   kFunctional,  // real payloads through real codecs; verifiable reads
   kModeled,     // calibrated costs; fast enough for full-length traces
-};
-
-/// How much flash space a compressed group reserves (ablation knob; the
-/// paper's design is the 25/50/75/100% size-class grid).
-enum class AllocPolicy {
-  kSizeClass,   // the paper's 25/50/75/100% classes
-  kExactQuanta, // ceil to 1 KiB quanta (minimal space, fragments)
-  kWholePage,   // always the full original size (no space saving
-                // from sub-page placement; write-traffic saving only)
 };
 
 struct EngineConfig {
@@ -75,6 +67,11 @@ struct EngineConfig {
   /// In modeled mode, run the real codec on every Nth group as a
   /// calibration drift check (0 disables).
   u32 modeled_check_interval = 0;
+  /// Debug knob: run the StateAuditor inline after every Nth host op
+  /// (write/read/trim); a detected violation fails the op with an Internal
+  /// status carrying the full report. 0 (the default) disables inline
+  /// auditing; Engine::Audit() is always available on demand.
+  u32 audit_every_n_ops = 0;
   /// Optional *real* worker pool (non-owning; must outlive the engine).
   /// In functional mode, codec execution for sealed write runs is
   /// dispatched to this pool — up to `cpu_contexts` jobs in flight, joined
@@ -168,6 +165,20 @@ class Engine {
   WorkloadMonitor& monitor() { return monitor_; }
   const EngineConfig& config() const { return config_; }
 
+  /// Verify every cross-layer invariant (mapping, allocator tiling,
+  /// payload store, SD merge buffer). Cheap enough to run between
+  /// requests; see auditor.hpp for the invariant catalogue.
+  AuditReport Audit() const;
+
+  /// Mutation-test hooks (corruption seeding only; see auditor tests).
+  BlockMap* MutableMapForTest() { return &map_; }
+  std::unordered_map<Lba, u64>* MutableVersionsForTest() {
+    return &versions_;
+  }
+  std::unordered_map<u64, Bytes>* MutablePayloadsForTest() {
+    return &payloads_;
+  }
+
  private:
   struct GroupOutcome {
     SimTime completion = 0;
@@ -227,6 +238,9 @@ class Engine {
   /// timeout (charged at its deadline, during the idle gap).
   Status MaybeIdleFlush(SimTime arrival);
 
+  /// Inline audit every config_.audit_every_n_ops host ops (0 = off).
+  Status MaybeAudit();
+
   /// Concatenated current content of a run (functional mode).
   Bytes MaterializeRun(const WriteRun& run) const;
 
@@ -262,6 +276,7 @@ class Engine {
   /// packing: sub-page groups share one flash page and are flushed when
   /// the page fills — see DESIGN.md §5).
   u64 flushed_frontier_page_ = 0;
+  u64 ops_since_audit_ = 0;
   EngineStats stats_;
 };
 

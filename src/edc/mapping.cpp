@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/crc32.hpp"
 #include "common/varint.hpp"
 
@@ -80,8 +81,32 @@ void QuantumAllocator::PushFree(u64 start, u32 len) {
 }
 
 void QuantumAllocator::Free(u64 start, u32 len) {
+  EDC_DCHECK(start + len <= total_)
+      << "free extent " << start << "+" << len << " beyond " << total_;
+  EDC_DCHECK(allocated_ >= len)
+      << "freeing " << len << " quanta with only " << allocated_
+      << " allocated";
   PushFree(start, len);
   allocated_ -= len;
+}
+
+std::vector<std::pair<u64, u32>> QuantumAllocator::FreeExtents() const {
+  std::vector<std::pair<u64, u32>> extents;
+  for (std::size_t len = 0; len < free_lists_.size(); ++len) {
+    for (u64 start : free_lists_[len]) {
+      extents.emplace_back(start, static_cast<u32>(len));
+    }
+  }
+  return extents;
+}
+
+bool QuantumAllocator::RemoveFreeExtentForTest(u64 start, u32 len) {
+  if (len >= free_lists_.size()) return false;
+  auto& list = free_lists_[len];
+  auto it = std::find(list.begin(), list.end(), start);
+  if (it == list.end()) return false;
+  list.erase(it);
+  return true;
 }
 
 void QuantumAllocator::SaveTo(Bytes* out) const {
@@ -182,6 +207,11 @@ Result<u64> BlockMap::Install(Lba first_lba, u32 n_blocks,
   return id;
 }
 
+GroupInfo* BlockMap::MutableGroupForTest(u64 group_id) {
+  auto it = groups_.find(group_id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
 std::optional<GroupInfo> BlockMap::Find(Lba lba) const {
   auto it = block_to_group_.find(lba);
   if (it == block_to_group_.end()) return std::nullopt;
@@ -208,6 +238,11 @@ bool BlockMap::ReleaseFromGroup(Lba lba, u64 group_id) {
   auto git = groups_.find(group_id);
   if (git == groups_.end()) return false;
   GroupInfo& g = git->second;
+  EDC_DCHECK(g.live_blocks > 0) << "release from dead group " << group_id;
+  EDC_DCHECK(lba >= g.first_lba && lba - g.first_lba < g.orig_blocks)
+      << "lba " << lba << " outside group at " << g.first_lba;
+  EDC_DCHECK((g.live_mask >> (lba - g.first_lba)) & 1)
+      << "double release of lba " << lba;
   --g.live_blocks;
   g.live_mask &= ~(u64{1} << (lba - g.first_lba));
   live_logical_bytes_ -= kLogicalBlockSize;

@@ -28,6 +28,15 @@ namespace edc::core {
 inline constexpr std::size_t kQuantumBytes = kLogicalBlockSize / 4;  // 1 KiB
 inline constexpr u32 kQuantaPerBlock = 4;
 
+/// How much flash space a compressed group reserves (ablation knob; the
+/// paper's design is the 25/50/75/100% size-class grid).
+enum class AllocPolicy {
+  kSizeClass,   // the paper's 25/50/75/100% classes
+  kExactQuanta, // ceil to 1 KiB quanta (minimal space, fragments)
+  kWholePage,   // always the full original size (no space saving
+                // from sub-page placement; write-traffic saving only)
+};
+
 /// Round a compressed size up to the paper's size-class grid for a group
 /// of `orig_blocks` host blocks: multiples of orig_blocks quanta
 /// (25/50/75/100% of the original size). Returns the allocated quantum
@@ -68,6 +77,15 @@ class QuantumAllocator {
   u64 allocated_quanta() const { return allocated_; }
   /// High-water mark of the bump pointer (address-space consumption).
   u64 bump_used() const { return bump_; }
+
+  /// Snapshot of every free extent as (start, len) pairs, unordered. Used
+  /// by the StateAuditor's tiling check; O(free-list size).
+  std::vector<std::pair<u64, u32>> FreeExtents() const;
+
+  /// Drop one free extent without allocating it — deliberately corrupts
+  /// the free-list/extent tiling. Mutation-test hook only; returns false
+  /// when no such extent exists.
+  bool RemoveFreeExtentForTest(u64 start, u32 len);
 
   /// Serialize the allocator state (bump pointer + free lists) and the
   /// exact inverse. Used by BlockMap persistence.
@@ -122,6 +140,24 @@ class BlockMap {
   std::optional<u64> Release(Lba lba);
 
   const QuantumAllocator& allocator() const { return allocator_; }
+
+  /// Read-only views for the StateAuditor (invariant verification walks
+  /// every group and the whole reverse map).
+  const std::unordered_map<u64, GroupInfo>& groups() const {
+    return groups_;
+  }
+  const std::unordered_map<Lba, u64>& block_index() const {
+    return block_to_group_;
+  }
+
+  /// Mutation-test hooks: direct handles into the private state so tests
+  /// can seed precise corruption classes and prove the auditor flags them.
+  /// Never use these outside tests.
+  GroupInfo* MutableGroupForTest(u64 group_id);
+  QuantumAllocator* MutableAllocatorForTest() { return &allocator_; }
+  std::unordered_map<Lba, u64>* MutableBlockIndexForTest() {
+    return &block_to_group_;
+  }
 
   /// Persist the whole mapping table (Fig. 5 metadata: group extents,
   /// Tags, sizes, member liveness) into a CRC-protected byte image, and

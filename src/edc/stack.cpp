@@ -52,6 +52,7 @@ Result<std::unique_ptr<Stack>> Stack::Create(
   ec.cache_groups = config.cache_groups;
   ec.cpu_contexts = config.cpu_contexts;
   ec.modeled_check_interval = config.modeled_check_interval;
+  ec.audit_every_n_ops = config.audit_every_n_ops;
   ec.compress_pool = config.compress_pool;
 
   stack->engine_ = std::make_unique<Engine>(

@@ -45,6 +45,8 @@ struct StackConfig {
   EstimatorConfig estimator;
   SeqDetectorConfig seq;
   u32 modeled_check_interval = 0;
+  /// Inline StateAuditor cadence (see EngineConfig::audit_every_n_ops).
+  u32 audit_every_n_ops = 0;
 };
 
 class Stack {

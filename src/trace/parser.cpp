@@ -98,7 +98,11 @@ Result<TraceRecord> ParseMsrLine(std::string_view line) {
   if (!offset.ok()) return offset.status();
   auto size = ParseU64(f[5]);
   if (!size.ok()) return size.status();
-  r.timestamp = static_cast<SimTime>(*ts) * 100;  // filetime ticks → ns
+  // FILETIME ticks (100 ns) → ns. Absolute Windows epochs exceed i64 at
+  // nanosecond scale, so scale in u64 (wraparound is well-defined there);
+  // ParseTrace normalizes to the first timestamp in u64 as well, and only
+  // those exact deltas survive into the trace.
+  r.timestamp = static_cast<SimTime>(*ts * u64{100});
   r.offset = *offset;
   r.size = static_cast<u32>(*size);
   return r;
@@ -146,7 +150,10 @@ Result<Trace> ParseTrace(std::string_view text, TraceFormat format,
       first = false;
     }
     TraceRecord r = *rec;
-    r.timestamp -= t0;
+    // Unsigned subtraction: absolute timestamps may have wrapped (MSR
+    // FILETIME scaling), but the delta to t0 is exact mod 2^64.
+    r.timestamp = static_cast<SimTime>(static_cast<u64>(r.timestamp) -
+                                       static_cast<u64>(t0));
     trace.records.push_back(r);
   }
   return trace;

@@ -1,0 +1,376 @@
+// Mutation tests for the StateAuditor: each test seeds one precise
+// corruption class through the ForTest hooks and asserts the auditor
+// detects it *and names the violated invariant*. A clean state must audit
+// clean (no false positives), which the workload tests at the bottom pin
+// down across policies and schemes.
+#include "edc/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "edc/engine.hpp"
+#include "edc/stack.hpp"
+
+namespace edc::core {
+namespace {
+
+using codec::CodecId;
+
+constexpr u64 kTestQuanta = 4096;
+
+StateAuditor::Options SizeClassOptions() {
+  StateAuditor::Options options;
+  options.policy = AllocPolicy::kSizeClass;
+  return options;
+}
+
+/// Install a group whose extent matches the size-class grid (what the
+/// engine's kSizeClass placement would reserve).
+u64 InstallGroup(BlockMap& map, Lba first, u32 n_blocks,
+                 std::size_t compressed_bytes,
+                 CodecId tag = CodecId::kLzf) {
+  u32 quanta = SizeClassQuanta(compressed_bytes, n_blocks);
+  auto id = map.Install(first, n_blocks, tag, compressed_bytes, quanta);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  return *id;
+}
+
+/// A map with a representative population: sub-page singles, a multi-page
+/// merged run, and a recycled hole from an overwrite.
+BlockMap MakePopulatedMap() {
+  BlockMap map(kTestQuanta);
+  InstallGroup(map, 0, 1, 800);         // 1 quantum
+  InstallGroup(map, 1, 1, 1800);        // 2 quanta
+  InstallGroup(map, 2, 1, 3000);        // 3 quanta
+  InstallGroup(map, 10, 8, 9000);       // merged run: 16 quanta (2 pages)
+  InstallGroup(map, 1, 1, 700);         // overwrite -> frees the 2-quanta
+  return map;
+}
+
+TEST(StateAuditor, CleanMapAuditsClean) {
+  BlockMap map = MakePopulatedMap();
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(StateAuditor, EmptyMapAuditsClean) {
+  BlockMap map(kTestQuanta);
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// Corruption class 1: two groups claiming the same flash extent.
+TEST(StateAuditor, DetectsOverlappingExtents) {
+  BlockMap map = MakePopulatedMap();
+  u64 a = InstallGroup(map, 20, 1, 900);
+  u64 b = InstallGroup(map, 21, 1, 900);
+  GroupInfo* ga = map.MutableGroupForTest(a);
+  GroupInfo* gb = map.MutableGroupForTest(b);
+  ASSERT_NE(ga, nullptr);
+  ASSERT_NE(gb, nullptr);
+  gb->start_quantum = ga->start_quantum;
+
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kExtentOverlap)) << report.ToString();
+  EXPECT_NE(report.ToString().find("extent-overlap"), std::string::npos);
+}
+
+// Corruption class 2: extent length off the 25/50/75/100% grid for the
+// group's payload.
+TEST(StateAuditor, DetectsWrongSizeClass) {
+  BlockMap map = MakePopulatedMap();
+  u64 id = InstallGroup(map, 30, 1, 3800);  // 4 quanta
+  GroupInfo* g = map.MutableGroupForTest(id);
+  ASSERT_NE(g, nullptr);
+  // Payload that belongs in the 25% class sitting in a 100% extent.
+  g->compressed_bytes = 500;
+
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kSizeClass)) << report.ToString();
+}
+
+// Corruption class 3: a sub-page extent crossing a flash-page boundary
+// (breaks the one-page-per-compressed-block cost guarantee).
+TEST(StateAuditor, DetectsPageStraddlingSubPageExtent) {
+  BlockMap map = MakePopulatedMap();
+  u64 id = InstallGroup(map, 40, 1, 1800);  // 2 quanta
+  GroupInfo* g = map.MutableGroupForTest(id);
+  ASSERT_NE(g, nullptr);
+  g->start_quantum = 3;  // [3, 5) crosses the page-0/page-1 boundary
+
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kPageStraddle)) << report.ToString();
+}
+
+// Corruption class 3b: a multi-page extent that lost its page alignment.
+TEST(StateAuditor, DetectsMisalignedMultiPageExtent) {
+  BlockMap map = MakePopulatedMap();
+  u64 id = InstallGroup(map, 50, 8, 9000);  // 16 quanta, page aligned
+  GroupInfo* g = map.MutableGroupForTest(id);
+  ASSERT_NE(g, nullptr);
+  g->start_quantum += 1;
+
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kPageAlign)) << report.ToString();
+}
+
+// Corruption class 4: stale live count disagreeing with the live mask.
+TEST(StateAuditor, DetectsStaleLiveCount) {
+  BlockMap map = MakePopulatedMap();
+  u64 id = InstallGroup(map, 60, 4, 3000);
+  ASSERT_FALSE(map.Release(61).has_value());  // group stays alive
+  GroupInfo* g = map.MutableGroupForTest(id);
+  ASSERT_NE(g, nullptr);
+  g->live_blocks = 4;  // mask says 3
+
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kLiveCount)) << report.ToString();
+}
+
+// Corruption class 5: a free-list extent vanishing — the free lists and
+// the live extents no longer tile the consumed quantum space.
+TEST(StateAuditor, DetectsFreeListTilingGap) {
+  BlockMap map = MakePopulatedMap();
+  auto free_extents = map.allocator().FreeExtents();
+  ASSERT_FALSE(free_extents.empty())
+      << "populated map should have boundary padding / freed extents";
+  auto [start, len] = free_extents.front();
+  ASSERT_TRUE(map.MutableAllocatorForTest()->RemoveFreeExtentForTest(start,
+                                                                     len));
+
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kSpaceTiling)) << report.ToString();
+}
+
+// Corruption class 6: codec tags outside the registered set / the 3-bit
+// on-flash Tag field.
+TEST(StateAuditor, DetectsInvalidCodecTag) {
+  BlockMap map = MakePopulatedMap();
+  u64 id = InstallGroup(map, 70, 1, 900);
+  GroupInfo* g = map.MutableGroupForTest(id);
+  ASSERT_NE(g, nullptr);
+
+  g->tag = static_cast<CodecId>(7);  // fits 3 bits, registered codec? no
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kCodecTag)) << report.ToString();
+
+  g->tag = static_cast<CodecId>(9);  // does not even fit the Tag field
+  report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kCodecTag)) << report.ToString();
+}
+
+// Corruption class 7: reverse-map entries dropped or dangling.
+TEST(StateAuditor, DetectsReverseMapCorruption) {
+  BlockMap map = MakePopulatedMap();
+  InstallGroup(map, 80, 2, 1500);
+  ASSERT_EQ(map.MutableBlockIndexForTest()->erase(80), 1u);
+
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kReverseMap)) << report.ToString();
+
+  // Dangling direction: an index entry pointing at a dead group.
+  BlockMap map2 = MakePopulatedMap();
+  (*map2.MutableBlockIndexForTest())[999] = 123456;
+  report = StateAuditor::AuditMap(map2, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kReverseMap)) << report.ToString();
+}
+
+// Corruption class 8: byte accounting drifting from the group population.
+TEST(StateAuditor, DetectsSpaceAccountingDrift) {
+  BlockMap map = MakePopulatedMap();
+  u64 id = InstallGroup(map, 90, 1, 900);
+  GroupInfo* g = map.MutableGroupForTest(id);
+  ASSERT_NE(g, nullptr);
+  g->quanta += 1;  // extent grows without the allocator knowing
+
+  AuditReport report = StateAuditor::AuditMap(map, SizeClassOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kSpaceAccounting) ||
+              report.Has(audit::kExtentOverlap))
+      << report.ToString();
+  EXPECT_TRUE(report.Has(audit::kSizeClass)) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level audits (payload store, merge buffer, inline knob).
+
+StackConfig AuditStack(Scheme scheme = Scheme::kEdc) {
+  StackConfig cfg;
+  cfg.scheme = scheme;
+  cfg.mode = ExecutionMode::kFunctional;
+  cfg.content_profile = "usr";
+  cfg.seed = 777;
+  cfg.ssd.geometry.pages_per_block = 16;
+  cfg.ssd.geometry.num_blocks = 256;
+  cfg.ssd.store_data = false;
+  return cfg;
+}
+
+void WriteBlocks(Engine& e, Lba first, u32 n, SimTime* now) {
+  auto c = e.Write(*now, first * kLogicalBlockSize,
+                   n * static_cast<u32>(kLogicalBlockSize));
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  *now = std::max(*now + kMicrosecond, *c);
+}
+
+TEST(EngineAudit, CleanEngineAuditsClean) {
+  auto stack = Stack::Create(AuditStack());
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 60; ++b) WriteBlocks(e, b, 1, &now);
+  for (Lba b = 0; b < 20; ++b) WriteBlocks(e, b, 1, &now);  // overwrites
+  ASSERT_TRUE(e.Trim(now, 5 * kLogicalBlockSize, 8 * kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.FlushPending(now).ok());
+  AuditReport report = e.Audit();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(EngineAudit, DetectsMissingPayloadFrame) {
+  auto stack = Stack::Create(AuditStack());
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 10; ++b) WriteBlocks(e, b, 1, &now);
+  ASSERT_TRUE(e.FlushPending(now).ok());
+
+  auto* payloads = e.MutablePayloadsForTest();
+  ASSERT_FALSE(payloads->empty());
+  payloads->erase(payloads->begin());
+
+  AuditReport report = e.Audit();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kPayloadStore)) << report.ToString();
+}
+
+TEST(EngineAudit, DetectsOrphanPayloadFrame) {
+  auto stack = Stack::Create(AuditStack());
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  SimTime now = 0;
+  WriteBlocks(e, 0, 4, &now);
+  ASSERT_TRUE(e.FlushPending(now).ok());
+
+  (*e.MutablePayloadsForTest())[999999] = Bytes{1, 2, 3};
+  AuditReport report = e.Audit();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kPayloadStore)) << report.ToString();
+}
+
+TEST(EngineAudit, DetectsPayloadTagMismatch) {
+  auto stack = Stack::Create(AuditStack());
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 10; ++b) WriteBlocks(e, b, 1, &now);
+  ASSERT_TRUE(e.FlushPending(now).ok());
+
+  ASSERT_FALSE(e.map().groups().empty());
+  u64 id = e.map().groups().begin()->first;
+  GroupInfo* g = e.MutableMapForTest()->MutableGroupForTest(id);
+  ASSERT_NE(g, nullptr);
+  g->tag = g->tag == CodecId::kStore ? CodecId::kLzf : CodecId::kStore;
+
+  AuditReport report = e.Audit();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kPayloadStore)) << report.ToString();
+}
+
+TEST(EngineAudit, DetectsMergeBufferVersionLoss) {
+  auto stack = Stack::Create(AuditStack());
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  SimTime now = 0;
+  // A couple of contiguous single-block writes leaves a pending SD run.
+  WriteBlocks(e, 100, 1, &now);
+  WriteBlocks(e, 101, 1, &now);
+  AuditReport clean = e.Audit();
+  ASSERT_TRUE(clean.ok()) << clean.ToString();
+
+  ASSERT_EQ(e.MutableVersionsForTest()->erase(101), 1u);
+  AuditReport report = e.Audit();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(audit::kMergeBuffer)) << report.ToString();
+}
+
+TEST(EngineAudit, InlineKnobFailsTheOpAndNamesTheInvariant) {
+  StackConfig cfg = AuditStack();
+  cfg.audit_every_n_ops = 1;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+  SimTime now = 0;
+  for (Lba b = 0; b < 10; ++b) WriteBlocks(e, b, 1, &now);
+  ASSERT_TRUE(e.FlushPending(now).ok());
+
+  ASSERT_FALSE(e.map().groups().empty());
+  u64 id = e.map().groups().begin()->first;
+  GroupInfo* g = e.MutableMapForTest()->MutableGroupForTest(id);
+  ASSERT_NE(g, nullptr);
+  g->live_blocks += 1;
+
+  auto c = e.Write(now, 500 * kLogicalBlockSize, kLogicalBlockSize);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInternal);
+  EXPECT_NE(c.status().message().find("live-count"), std::string::npos)
+      << c.status().ToString();
+}
+
+/// No false positives under continuous inline auditing, for every
+/// allocation policy (the size-class expectation is policy-dependent).
+class EngineAuditPolicyTest : public ::testing::TestWithParam<AllocPolicy> {};
+
+TEST_P(EngineAuditPolicyTest, ContinuousAuditStaysClean) {
+  StackConfig cfg = AuditStack();
+  cfg.alloc_policy = GetParam();
+  cfg.audit_every_n_ops = 1;
+  auto stack = Stack::Create(cfg);
+  ASSERT_TRUE(stack.ok());
+  Engine& e = (*stack)->engine();
+
+  SimTime now = 0;
+  u64 x = 88172645463325252ull;  // xorshift64
+  for (int op = 0; op < 300; ++op) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Lba first = x % 120;
+    u32 n = 1 + static_cast<u32>(x >> 32) % 6;
+    u64 kind = (x >> 24) % 10;
+    if (kind < 6) {
+      auto c = e.Write(now, first * kLogicalBlockSize,
+                       n * static_cast<u32>(kLogicalBlockSize));
+      ASSERT_TRUE(c.ok()) << "op " << op << ": " << c.status().ToString();
+      now = std::max(now + kMicrosecond, *c);
+    } else if (kind < 8) {
+      auto c = e.Read(now, first * kLogicalBlockSize,
+                      n * static_cast<u32>(kLogicalBlockSize));
+      ASSERT_TRUE(c.ok()) << "op " << op << ": " << c.status().ToString();
+      now = std::max(now + kMicrosecond, *c);
+    } else {
+      auto c = e.Trim(now, first * kLogicalBlockSize,
+                      n * static_cast<u32>(kLogicalBlockSize));
+      ASSERT_TRUE(c.ok()) << "op " << op << ": " << c.status().ToString();
+    }
+  }
+  ASSERT_TRUE(e.FlushPending(now).ok());
+  AuditReport report = e.Audit();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EngineAuditPolicyTest,
+                         ::testing::Values(AllocPolicy::kSizeClass,
+                                           AllocPolicy::kExactQuanta,
+                                           AllocPolicy::kWholePage));
+
+}  // namespace
+}  // namespace edc::core
