@@ -1,0 +1,102 @@
+// Extension — durability overhead: what the crash-consistent on-flash
+// format costs. Three variants of the same EDC stack replay one
+// write-heavy workload in functional mode:
+//   baseline   in-memory mapping only (the seed behaviour)
+//   durable    extent headers + CRCs + mapping journal, write-through
+//   faulted    durable plus program failures at p = 1e-3 per page
+// and the table reports the paper's latency/ratio metrics next to the
+// journal and retry accounting, so the price of "every acknowledged write
+// survives" is visible in one place. --json=PATH dumps the rows.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "trace/transform.hpp"
+
+using namespace edc;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool durable;
+  double p_program_fail;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseArgs(argc, argv);
+  std::printf("Extension — fault-tolerance overhead: durable format + "
+              "journal vs in-memory mapping (Prxy_0)\n");
+
+  auto params = trace::PresetByName("Prxy_0", opt.seconds);
+  if (!params.ok()) return 1;
+  // Functional durable mode keeps page payloads in memory; keep the
+  // footprint small so all three variants fit comfortably.
+  params->working_set_blocks = 8 * 1024;  // 32 MiB logical footprint
+  trace::Trace t = GenerateSynthetic(*params, opt.seed);
+
+  const Variant variants[] = {
+      {"baseline", false, 0.0},
+      {"durable", true, 0.0},
+      {"faulted", true, 1e-3},
+  };
+
+  TextTable table({"variant", "mean_ms", "p99_ms", "ratio",
+                   "journal_KiB", "checkpoints", "pgm_failures",
+                   "pgm_retries"});
+  std::string json = "[\n";
+  for (const Variant& v : variants) {
+    auto cell = bench::RunCell(
+        t, core::Scheme::kEdc, opt, [&](core::StackConfig& cfg) {
+          cfg.mode = core::ExecutionMode::kFunctional;
+          cfg.ssd = ssd::MakeX25eConfig(64, /*store_data=*/true);
+          cfg.ssd.fault.seed = opt.seed;
+          cfg.ssd.fault.p_program_fail = v.p_program_fail;
+          cfg.durability.enabled = v.durable;
+        });
+    if (!cell.ok()) {
+      std::fprintf(stderr, "error: %s\n", cell.status().ToString().c_str());
+      return 1;
+    }
+    const core::EngineStats& e = cell->engine;
+    table.AddRow({v.name,
+                  TextTable::Num(cell->mean_response_ms(), 3),
+                  TextTable::Num(cell->p99_us / 1000.0, 3),
+                  TextTable::Num(cell->compression_ratio, 3),
+                  TextTable::Num(
+                      static_cast<double>(e.journal_bytes_written) / 1024.0,
+                      1),
+                  std::to_string(e.journal_checkpoints),
+                  std::to_string(e.program_failures),
+                  std::to_string(e.program_retries)});
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "  {\"variant\": \"%s\", \"mean_ms\": %.4f, "
+                  "\"p99_ms\": %.4f, \"compression_ratio\": %.4f, "
+                  "\"journal_bytes\": %llu, \"journal_checkpoints\": %llu, "
+                  "\"program_failures\": %llu, \"program_retries\": %llu}",
+                  v.name, cell->mean_response_ms(), cell->p99_us / 1000.0,
+                  cell->compression_ratio,
+                  static_cast<unsigned long long>(e.journal_bytes_written),
+                  static_cast<unsigned long long>(e.journal_checkpoints),
+                  static_cast<unsigned long long>(e.program_failures),
+                  static_cast<unsigned long long>(e.program_retries));
+    json += row;
+    json += (&v == &variants[2]) ? "\n" : ",\n";
+  }
+  json += "]\n";
+  std::fputs(table.ToString().c_str(), stdout);
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    out << json;
+    std::printf("[bench] wrote %s\n", opt.json_path.c_str());
+  }
+  std::printf("\nExpected shape: durable adds a modest latency/space tax "
+              "(headers, CRCs, journal\npages); the faulted variant stays "
+              "within noise of durable — retries absorb the\nfailures off "
+              "the ack path's common case.\n");
+  return 0;
+}

@@ -47,6 +47,91 @@ Result<FrameInfo> FrameParse(ByteSpan frame) {
                    static_cast<std::size_t>(*orig), frame.size() - pos, *crc};
 }
 
+Result<Bytes> BuildExtent(Lba first_lba, u32 n_blocks, ByteSpan frame) {
+  if (n_blocks == 0 || n_blocks > kMaxExtentBlocks) {
+    return Status::InvalidArgument("extent: n_blocks out of range");
+  }
+  auto info = FrameParse(frame);
+  if (!info.ok()) return info.status();
+  Bytes out;
+  out.reserve(frame.size() + 24);
+  PutU32Le(&out, kExtentMagic);
+  out.push_back(kExtentVersion);
+  out.push_back(static_cast<u8>(info->codec));
+  PutVarint(&out, first_lba);
+  PutVarint(&out, n_blocks);
+  PutVarint(&out, frame.size());
+  PutU32Le(&out, Crc32(frame));
+  PutU32Le(&out, Crc32(out));
+  out.insert(out.end(), frame.begin(), frame.end());
+  return out;
+}
+
+Result<ExtentInfo> ParseExtentHeader(ByteSpan extent) {
+  std::size_t pos = 0;
+  auto magic = GetU32Le(extent, &pos);
+  if (!magic.ok()) return Status::DataLoss("extent: too short");
+  if (*magic != kExtentMagic) return Status::DataLoss("extent: bad magic");
+  if (pos + 2 > extent.size()) return Status::DataLoss("extent: too short");
+  u8 version = extent[pos++];
+  if (version != kExtentVersion) {
+    return Status::DataLoss("extent: unsupported version");
+  }
+  u8 tag = extent[pos++];
+  if (tag > kMaxCodecId) return Status::DataLoss("extent: bad codec tag");
+  auto first_lba = GetVarint(extent, &pos);
+  if (!first_lba.ok()) return Status::DataLoss("extent: truncated header");
+  auto n_blocks = GetVarint(extent, &pos);
+  if (!n_blocks.ok()) return Status::DataLoss("extent: truncated header");
+  if (*n_blocks == 0 || *n_blocks > kMaxExtentBlocks) {
+    return Status::DataLoss("extent: n_blocks out of range");
+  }
+  auto frame_size = GetVarint(extent, &pos);
+  if (!frame_size.ok()) return Status::DataLoss("extent: truncated header");
+  if (*frame_size > kMaxFrameOriginalSize) {
+    return Status::DataLoss("extent: implausible frame size");
+  }
+  auto frame_crc = GetU32Le(extent, &pos);
+  if (!frame_crc.ok()) return Status::DataLoss("extent: truncated header");
+  std::size_t crc_end = pos;  // header CRC covers [0, crc_end)
+  auto header_crc = GetU32Le(extent, &pos);
+  if (!header_crc.ok()) return Status::DataLoss("extent: truncated header");
+  if (Crc32(extent.subspan(0, crc_end)) != *header_crc) {
+    return Status::DataLoss("extent: header CRC mismatch");
+  }
+  if (extent.size() - pos < *frame_size) {
+    return Status::DataLoss("extent: truncated frame");
+  }
+  return ExtentInfo{*first_lba, static_cast<u32>(*n_blocks),
+                    static_cast<CodecId>(tag),
+                    static_cast<std::size_t>(*frame_size), *frame_crc, pos};
+}
+
+Result<ByteSpan> ExtentFrame(ByteSpan extent) {
+  auto info = ParseExtentHeader(extent);
+  if (!info.ok()) return info.status();
+  ByteSpan frame = extent.subspan(info->header_size, info->frame_size);
+  if (Crc32(frame) != info->frame_crc32) {
+    return Status::DataLoss("extent: frame CRC mismatch");
+  }
+  auto frame_info = FrameParse(frame);
+  if (!frame_info.ok()) return frame_info.status();
+  if (frame_info->codec != info->codec) {
+    return Status::DataLoss("extent: header/frame codec tag disagree");
+  }
+  return frame;
+}
+
+std::size_t ExtentHeaderSize(Lba first_lba, u32 n_blocks,
+                             std::size_t frame_size) {
+  Bytes scratch;
+  PutVarint(&scratch, first_lba);
+  PutVarint(&scratch, n_blocks);
+  PutVarint(&scratch, frame_size);
+  // magic(4) + version(1) + tag(1) + varints + frame_crc(4) + header_crc(4)
+  return 4 + 1 + 1 + scratch.size() + 4 + 4;
+}
+
 Result<Bytes> FrameDecompress(ByteSpan frame) {
   auto info = FrameParse(frame);
   if (!info.ok()) return info.status();

@@ -42,4 +42,53 @@ Result<FrameInfo> FrameParse(ByteSpan frame);
 /// Decompress a frame, verifying the CRC. Returns the original bytes.
 Result<Bytes> FrameDecompress(ByteSpan frame);
 
+// ---------------------------------------------------------------------------
+// Extent container — the durable on-flash representation of one installed
+// block group. An extent is a self-describing header followed by the frame,
+// so crash recovery can re-derive the mapping entry from flash alone and
+// every read can cross-check placement against the mapping table.
+//
+// Layout:
+//   magic      u32 LE = kExtentMagic ("EDCX")
+//   version    u8  = kExtentVersion
+//   tag        u8  = CodecId of the embedded frame (must agree with it)
+//   first_lba  varint
+//   n_blocks   varint (1..kMaxExtentBlocks)
+//   frame_size varint
+//   frame_crc  u32 LE (CRC-32 over the frame bytes)
+//   header_crc u32 LE (CRC-32 over every preceding header byte)
+//   frame      (a valid frame as produced by FrameCompress)
+// ---------------------------------------------------------------------------
+
+inline constexpr u32 kExtentMagic = 0x58434445;  // "EDCX" little-endian
+inline constexpr u8 kExtentVersion = 1;
+/// Largest merged run the engine can install (matches the sequentiality
+/// detector's cap of 64 blocks = 256 KiB).
+inline constexpr u32 kMaxExtentBlocks = 64;
+
+struct ExtentInfo {
+  Lba first_lba;
+  u32 n_blocks;
+  CodecId codec;
+  std::size_t frame_size;
+  u32 frame_crc32;
+  std::size_t header_size;  // bytes before the frame begins
+};
+
+/// Wrap `frame` (which must parse as a valid frame) in an extent header.
+Result<Bytes> BuildExtent(Lba first_lba, u32 n_blocks, ByteSpan frame);
+
+/// Validate and decode the header only; does not touch frame payload bytes
+/// beyond checking that `extent` is long enough to hold them.
+Result<ExtentInfo> ParseExtentHeader(ByteSpan extent);
+
+/// Full validation: header CRC, frame CRC over the stored frame bytes, and
+/// header-tag / frame-tag agreement. Returns a view of the frame.
+Result<ByteSpan> ExtentFrame(ByteSpan extent);
+
+/// Exact header size BuildExtent would emit for these parameters (varint
+/// widths depend on the values). Used by space accounting and the auditor.
+std::size_t ExtentHeaderSize(Lba first_lba, u32 n_blocks,
+                             std::size_t frame_size);
+
 }  // namespace edc::codec

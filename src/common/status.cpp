@@ -13,6 +13,8 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kMediaError: return "MEDIA_ERROR";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kUnavailable,    // device offline (simulated power loss)
+  kMediaError,     // uncorrectable read / program failure on flash
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -57,6 +59,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status MediaError(std::string msg) {
+    return Status(StatusCode::kMediaError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -50,15 +50,20 @@ u32 StateAuditor::ExpectedQuanta(AllocPolicy policy,
 namespace {
 
 struct Extent {
+  enum class Kind { kLive, kFree, kQuarantined };
   u64 start;
   u32 len;
-  bool live;  // group extent (true) or free-list extent (false)
+  Kind kind;
 };
 
 std::string ExtentName(const Extent& e) {
   std::ostringstream out;
-  out << (e.live ? "live extent [" : "free extent [") << e.start << ", "
-      << e.start + e.len << ")";
+  switch (e.kind) {
+    case Extent::Kind::kLive: out << "live extent ["; break;
+    case Extent::Kind::kFree: out << "free extent ["; break;
+    case Extent::Kind::kQuarantined: out << "quarantined extent ["; break;
+  }
+  out << e.start << ", " << e.start + e.len << ")";
   return out.str();
 }
 
@@ -79,11 +84,16 @@ void StateAuditor::CheckTiling(
   std::vector<Extent> extents;
   u64 live_total = 0;
   for (const auto& [start, len] : live_extents) {
-    extents.push_back(Extent{start, len, true});
+    extents.push_back(Extent{start, len, Extent::Kind::kLive});
     live_total += len;
   }
   for (const auto& [start, len] : allocator.FreeExtents()) {
-    extents.push_back(Extent{start, len, false});
+    extents.push_back(Extent{start, len, Extent::Kind::kFree});
+  }
+  // Quarantined (bad-media) extents left the allocated count but still own
+  // their address range: live ∪ free ∪ quarantined must tile [0, bump).
+  for (const auto& [start, len] : allocator.QuarantinedExtents()) {
+    extents.push_back(Extent{start, len, Extent::Kind::kQuarantined});
   }
 
   if (live_total != allocator.allocated_quanta()) {

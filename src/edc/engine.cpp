@@ -5,6 +5,7 @@
 #include <future>
 #include <memory>
 
+#include "common/check.hpp"
 #include "common/crc32.hpp"
 #include "common/varint.hpp"
 #include "common/worker_pool.hpp"
@@ -26,6 +27,20 @@ std::pair<Lba, u32> CoveringBlocks(u64 offset, u32 size) {
   return {first, static_cast<u32>(last - first + 1)};
 }
 
+/// Device pages left for data after the journal reservation.
+u64 DataPages(const EngineConfig& config, const ssd::Device& device) {
+  u64 pages = device.logical_pages();
+  if (!config.durability.enabled) return pages;
+  EDC_CHECK(config.durability.journal_pages >= 2 &&
+            config.durability.journal_pages % 2 == 0)
+      << "journal_pages must be an even count >= 2, got "
+      << config.durability.journal_pages;
+  EDC_CHECK(config.durability.journal_pages < pages)
+      << "journal_pages " << config.durability.journal_pages
+      << " leaves no data pages on a " << pages << "-page device";
+  return pages - config.durability.journal_pages;
+}
+
 }  // namespace
 
 Engine::Engine(const EngineConfig& config, ssd::Device* device,
@@ -39,8 +54,16 @@ Engine::Engine(const EngineConfig& config, ssd::Device* device,
       monitor_(config.monitor),
       estimator_(config.estimator),
       seq_(config.seq),
-      map_(device->logical_pages() * kQuantaPerBlock) {
+      map_(DataPages(config, *device) * kQuantaPerBlock) {
   cpu_contexts_busy_.assign(std::max<u32>(1, config_.cpu_contexts), 0);
+  data_pages_ = DataPages(config_, *device_);
+  if (config_.durability.enabled) {
+    EDC_CHECK(config_.mode == ExecutionMode::kFunctional)
+        << "durable mode needs functional execution (real payloads)";
+    EDC_CHECK(config_.durability.max_program_retries < 16)
+        << "program-retry budget exceeds the journal's attempt bound";
+    flash_image_.assign(data_pages_ * kLogicalBlockSize, 0);
+  }
 }
 
 SimTime Engine::RunOnCpu(SimTime ready, SimTime duration) {
@@ -109,7 +132,20 @@ Engine::GroupPlan Engine::PlanGroup(const WriteRun& run, SimTime ready) {
   if (plan.decision.skipped_for_intensity) {
     stats_.blocks_skipped_intensity += run.n_blocks;
   }
+  if (stats_.breaker_open) {
+    // Degraded operation: the media-error budget is exhausted, so stop
+    // exercising the codec path and store everything raw.
+    plan.decision.codec = codec::CodecId::kStore;
+  }
   return plan;
+}
+
+void Engine::NoteBreakerError() {
+  if (config_.breaker_error_budget == 0 || stats_.breaker_open) return;
+  if (++breaker_errors_ >= config_.breaker_error_budget) {
+    stats_.breaker_open = true;
+    ++stats_.breaker_trips;
+  }
 }
 
 Result<Engine::CodecResult> Engine::ExecuteCodec(
@@ -187,15 +223,27 @@ Result<Engine::GroupOutcome> Engine::InstallGroup(const GroupPlan& plan,
 
   SimTime cpu_end = RunOnCpu(ready, cr.comp_time);
 
+  // Durable mode stores the frame wrapped in a self-describing extent
+  // header; the extent (not the bare frame) is what occupies flash, so it
+  // drives size-classing and the mapping's stored-size field.
+  Bytes extent;
+  std::size_t stored_bytes = payload_size;
+  if (config_.durability.enabled) {
+    auto ext = codec::BuildExtent(run.first_block, run.n_blocks, cr.frame);
+    if (!ext.ok()) return ext.status();
+    extent = std::move(*ext);
+    stored_bytes = extent.size();
+  }
+
   // --- Placement and device write (Request Distributer) ----------------
   u32 alloc_quanta = 0;
   switch (config_.alloc_policy) {
     case AllocPolicy::kSizeClass:
-      alloc_quanta = SizeClassQuanta(payload_size, run.n_blocks);
+      alloc_quanta = SizeClassQuanta(stored_bytes, run.n_blocks);
       break;
     case AllocPolicy::kExactQuanta:
       alloc_quanta = static_cast<u32>(
-          (payload_size + kQuantumBytes - 1) / kQuantumBytes);
+          (stored_bytes + kQuantumBytes - 1) / kQuantumBytes);
       alloc_quanta = std::max(alloc_quanta, 1u);
       break;
     case AllocPolicy::kWholePage:
@@ -204,7 +252,7 @@ Result<Engine::GroupOutcome> Engine::InstallGroup(const GroupPlan& plan,
   }
   std::vector<u64> freed;
   const u64 bump_before = map_.allocator().bump_used();
-  auto gid = map_.Install(run.first_block, run.n_blocks, tag, payload_size,
+  auto gid = map_.Install(run.first_block, run.n_blocks, tag, stored_bytes,
                           alloc_quanta, &freed);
   if (!gid.ok()) return gid.status();
   for (u64 dead : freed) {
@@ -215,15 +263,37 @@ Result<Engine::GroupOutcome> Engine::InstallGroup(const GroupPlan& plan,
     payloads_[*gid] = std::move(cr.frame);
   }
 
-  // Write-buffer packing: groups placed in the fresh (bump) region are
-  // flushed page-by-page as pages fill; a sub-page group that leaves the
-  // open page partially filled completes immediately (DRAM buffer ack) and
-  // its page is programmed by whichever later group completes it. Groups
-  // placed into recycled holes rewrite their covering pages out-of-place.
   const GroupInfo& g = map_.Group(*gid);
   const u64 bump_after = map_.allocator().bump_used();
   SimTime completion = cpu_end;
-  if (bump_after > bump_before) {
+  if (config_.durability.enabled) {
+    // Write-through: the extent is programmed (with program-failure
+    // relocation) and the install journaled before the write is acked.
+    std::vector<u64> attempt_starts{g.start_quantum};
+    auto programmed =
+        DurableProgramExtent(*gid, extent, cpu_end, &attempt_starts);
+    if (!programmed.ok()) return programmed.status();
+    InstallRecord rec;
+    rec.first_lba = run.first_block;
+    rec.n_blocks = run.n_blocks;
+    rec.tag = tag;
+    rec.stored_bytes = stored_bytes;
+    rec.quanta = g.quanta;
+    rec.attempt_starts = std::move(attempt_starts);
+    for (u32 i = 0; i < run.n_blocks; ++i) {
+      auto vit = versions_.find(run.first_block + i);
+      rec.versions.push_back(vit == versions_.end() ? 0 : vit->second);
+    }
+    auto journaled = JournalAppendRecord(cpu_end, &rec, nullptr);
+    if (!journaled.ok()) return journaled.status();
+    completion = std::max(*programmed, *journaled);
+    if (stats_.breaker_open) ++stats_.degraded_groups;
+  } else if (bump_after > bump_before) {
+    // Write-buffer packing: groups placed in the fresh (bump) region are
+    // flushed page-by-page as pages fill; a sub-page group that leaves the
+    // open page partially filled completes immediately (DRAM buffer ack)
+    // and its page is programmed by whichever later group completes it.
+    // Groups placed into recycled holes rewrite their pages out-of-place.
     u64 complete_pages = bump_after / kQuantaPerBlock;
     if (complete_pages > flushed_frontier_page_) {
       auto io = device_->WriteModeled(
@@ -357,7 +427,19 @@ AuditReport Engine::Audit() const {
                    "group " + std::to_string(id) +
                        ": frame original size disagrees with member count");
       }
-      if (info->payload_size != g.compressed_bytes) {
+      if (config_.durability.enabled) {
+        // Durable mapping records the whole on-flash extent (header +
+        // frame), not the bare codec payload.
+        std::size_t expect =
+            it->second.size() +
+            codec::ExtentHeaderSize(g.first_lba, g.orig_blocks,
+                                    it->second.size());
+        if (expect != g.compressed_bytes) {
+          report.Add(audit::kPayloadStore,
+                     "group " + std::to_string(id) +
+                         ": extent size disagrees with the mapping");
+        }
+      } else if (info->payload_size != g.compressed_bytes) {
         report.Add(audit::kPayloadStore,
                    "group " + std::to_string(id) +
                        ": frame payload size disagrees with the mapping");
@@ -457,6 +539,18 @@ Result<SimTime> Engine::Write(SimTime arrival, u64 offset, u32 size) {
     completion = outcome->completion;
   }
 
+  if (config_.durability.enabled && config_.use_seq_detector &&
+      seq_.has_pending()) {
+    // Write-through durability: an acked write must be on flash and in
+    // the journal, so the merge buffer cannot hold data across requests.
+    // (Merging within one request still happens above; cross-request
+    // merging is forfeited — the measured cost of the crash guarantee.)
+    auto run = seq_.Flush();
+    auto outcome = CompressAndStore(*run, arrival);
+    if (!outcome.ok()) return outcome.status();
+    completion = std::max(completion, outcome->completion);
+  }
+
   stats_.write_latency_us.Add(ToMicros(completion - arrival));
   EDC_RETURN_IF_ERROR(MaybeAudit());
   return completion;
@@ -526,8 +620,17 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
 
     auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
     auto io = device_->Read(first_page, n_pages, ready);
-    if (!io.ok()) return io.status();
+    if (!io.ok()) {
+      if (io.status().code() == StatusCode::kMediaError) {
+        ++stats_.media_errors;
+        NoteBreakerError();
+      }
+      return io.status();
+    }
     SimTime t = io->completion;
+    if (config_.durability.enabled) {
+      EDC_RETURN_IF_ERROR(VerifyExtentRead(g, io->pages));
+    }
 
     if (g.tag != codec::CodecId::kStore && cost_model_ != nullptr) {
       const std::size_t orig =
@@ -543,6 +646,37 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
   stats_.read_latency_us.Add(ToMicros(completion - arrival));
   EDC_RETURN_IF_ERROR(MaybeAudit());
   return completion;
+}
+
+Status Engine::VerifyExtentRead(const GroupInfo& g,
+                                const std::vector<Bytes>& pages) {
+  auto fail = [&](const std::string& why) {
+    ++stats_.media_errors;
+    NoteBreakerError();
+    return Status::DataLoss("read integrity: " + why);
+  };
+  Bytes span(pages.size() * kLogicalBlockSize, 0);
+  for (std::size_t p = 0; p < pages.size(); ++p) {
+    if (pages[p].empty()) return fail("extent page never programmed");
+    std::copy(pages[p].begin(), pages[p].end(),
+              span.begin() +
+                  static_cast<std::ptrdiff_t>(p * kLogicalBlockSize));
+  }
+  std::size_t off = static_cast<std::size_t>(
+      g.start_quantum % kQuantaPerBlock) * kQuantumBytes;
+  if (off + g.compressed_bytes > span.size()) {
+    return fail("extent overruns its pages");
+  }
+  ByteSpan extent(span.data() + off, g.compressed_bytes);
+  auto info = codec::ParseExtentHeader(extent);
+  if (!info.ok()) return fail(info.status().ToString());
+  if (info->first_lba != g.first_lba || info->n_blocks != g.orig_blocks ||
+      info->codec != g.tag) {
+    return fail("extent header disagrees with the mapping");
+  }
+  auto frame = codec::ExtentFrame(extent);
+  if (!frame.ok()) return fail(frame.status().ToString());
+  return Status::Ok();
 }
 
 Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {
@@ -573,6 +707,14 @@ Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {
     versions_.erase(lba);
     ++stats_.trimmed_blocks;
   }
+  if (config_.durability.enabled) {
+    ReleaseRecord rec;
+    rec.first_lba = first;
+    rec.n_blocks = n_blocks;
+    auto journaled = JournalAppendRecord(ready, nullptr, &rec);
+    if (!journaled.ok()) return journaled.status();
+    ready = std::max(ready, *journaled);
+  }
   EDC_RETURN_IF_ERROR(MaybeAudit());
   return ready;
 }
@@ -586,7 +728,9 @@ Result<SimTime> Engine::FlushPending(SimTime now) {
       completion = outcome->completion;
     }
   }
-  // Flush the partially-filled open page, if any.
+  // Flush the partially-filled open page, if any. Durable mode already
+  // writes every extent through at install time, so there is no open page.
+  if (config_.durability.enabled) return completion;
   u64 partial_pages =
       (map_.allocator().bump_used() + kQuantaPerBlock - 1) / kQuantaPerBlock;
   if (partial_pages > flushed_frontier_page_) {
@@ -600,6 +744,320 @@ Result<SimTime> Engine::FlushPending(SimTime now) {
   return completion;
 }
 
+
+Result<SimTime> Engine::DurableProgramExtent(
+    u64 group_id, ByteSpan extent, SimTime ready,
+    std::vector<u64>* attempt_starts) {
+  u32 retries_left = config_.durability.max_program_retries;
+  for (;;) {
+    const GroupInfo& g = map_.Group(group_id);
+    // Compose the extent into the host-side page image, then program the
+    // covering pages byte-exact (sub-page neighbours ride along, so their
+    // on-flash bytes are preserved by the rewrite).
+    std::size_t byte_off =
+        static_cast<std::size_t>(g.start_quantum) * kQuantumBytes;
+    EDC_CHECK(byte_off + extent.size() <= flash_image_.size())
+        << "extent of group " << group_id << " overruns the data area";
+    std::copy(extent.begin(), extent.end(),
+              flash_image_.begin() + static_cast<std::ptrdiff_t>(byte_off));
+    auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
+    std::vector<Bytes> pages;
+    pages.reserve(static_cast<std::size_t>(n_pages));
+    for (u64 p = 0; p < n_pages; ++p) {
+      auto begin = flash_image_.begin() +
+                   static_cast<std::ptrdiff_t>((first_page + p) *
+                                               kLogicalBlockSize);
+      pages.emplace_back(begin, begin + kLogicalBlockSize);
+    }
+    auto io = device_->Write(first_page, pages, ready);
+    if (io.ok()) return io->completion;
+    if (io.status().code() != StatusCode::kMediaError) return io.status();
+    ++stats_.program_failures;
+    NoteBreakerError();
+    if (retries_left == 0) return io.status();
+    --retries_left;
+    ++stats_.program_retries;
+    // The failed extent's media is suspect: quarantine it and move the
+    // group to a fresh extent, then rewrite after a backoff.
+    auto moved = map_.RelocateGroup(group_id);
+    if (!moved.ok()) return moved.status();
+    attempt_starts->push_back(*moved);
+    ready += config_.durability.retry_backoff;
+  }
+}
+
+Result<SimTime> Engine::JournalFlush(SimTime ready) {
+  const u64 half_pages = config_.durability.journal_pages / 2;
+  const Bytes& stream = journal_->stream();
+  if (stream.size() == journal_flushed_) return ready;
+  // Program every page touched by the new bytes; the partially-filled
+  // last page is rewritten each time (its zero padding doubles as the
+  // stream terminator for the prefix parser).
+  u64 first_rel = journal_flushed_ / kLogicalBlockSize;
+  u64 end_rel =
+      (stream.size() + kLogicalBlockSize - 1) / kLogicalBlockSize;
+  std::vector<Bytes> pages;
+  pages.reserve(static_cast<std::size_t>(end_rel - first_rel));
+  for (u64 p = first_rel; p < end_rel; ++p) {
+    Bytes page(kLogicalBlockSize, 0);
+    std::size_t off = static_cast<std::size_t>(p) * kLogicalBlockSize;
+    std::size_t n = std::min(stream.size() - off, kLogicalBlockSize);
+    std::copy_n(stream.begin() + static_cast<std::ptrdiff_t>(off), n,
+                page.begin());
+    pages.push_back(std::move(page));
+  }
+  Lba base = data_pages_ + journal_half_ * half_pages;
+  u32 retries_left = config_.durability.max_program_retries;
+  for (;;) {
+    // Journal pages need no relocation on failure: the FTL already remaps
+    // every rewrite to a fresh physical page, so retrying is enough.
+    auto io = device_->Write(base + first_rel, pages, ready);
+    if (io.ok()) {
+      stats_.journal_bytes_written += stream.size() - journal_flushed_;
+      journal_flushed_ = stream.size();
+      return io->completion;
+    }
+    if (io.status().code() != StatusCode::kMediaError) return io.status();
+    ++stats_.program_failures;
+    NoteBreakerError();
+    if (retries_left == 0) return io.status();
+    --retries_left;
+    ++stats_.program_retries;
+    ready += config_.durability.retry_backoff;
+  }
+}
+
+Result<SimTime> Engine::JournalAppendRecord(SimTime ready,
+                                            const InstallRecord* install,
+                                            const ReleaseRecord* release) {
+  const u64 half_pages = config_.durability.journal_pages / 2;
+  const std::size_t half_bytes =
+      static_cast<std::size_t>(half_pages) * kLogicalBlockSize;
+  if (journal_ == nullptr) {
+    // Fresh engine: generation 1 replays from an empty base, so it needs
+    // no leading checkpoint.
+    journal_ = std::make_unique<JournalWriter>(1);
+    journal_half_ = 0;
+    journal_flushed_ = 0;
+  }
+  if (install != nullptr) journal_->AppendInstall(*install);
+  if (release != nullptr) journal_->AppendRelease(*release);
+  if (journal_->stream().size() > half_bytes) {
+    // The active half is full: switch to the other half with the next
+    // generation, led by a checkpoint of the post-op state. The record
+    // just appended is subsumed by that checkpoint and dropped with the
+    // old stream; none of its bytes ever reached flash.
+    u64 next_gen = journal_->generation() + 1;
+    journal_half_ ^= 1;
+    Lba base = data_pages_ + journal_half_ * half_pages;
+    auto trimmed = device_->Trim(base, half_pages, ready);
+    if (!trimmed.ok()) return trimmed.status();
+    ready = trimmed->completion;
+    journal_ = std::make_unique<JournalWriter>(next_gen);
+    journal_->AppendCheckpoint(SerializeDurableState());
+    journal_flushed_ = 0;
+    ++stats_.journal_checkpoints;
+    if (journal_->stream().size() > half_bytes) {
+      return Status::ResourceExhausted(
+          "journal: checkpoint exceeds a half; raise journal_pages");
+    }
+  }
+  return JournalFlush(ready);
+}
+
+Bytes Engine::SerializeDurableState() const {
+  Bytes out;
+  Bytes map_image = map_.Serialize();
+  PutVarint(&out, map_image.size());
+  out.insert(out.end(), map_image.begin(), map_image.end());
+  PutVarint(&out, versions_.size());
+  for (const auto& [lba, version] : versions_) {
+    PutVarint(&out, lba);
+    PutVarint(&out, version);
+  }
+  return out;
+}
+
+Status Engine::RestoreDurableState(ByteSpan body) {
+  std::size_t pos = 0;
+  auto map_len = GetVarint(body, &pos);
+  if (!map_len.ok()) return map_len.status();
+  if (*map_len > body.size() - pos) {
+    return Status::DataLoss("checkpoint: truncated map image");
+  }
+  auto map = BlockMap::Deserialize(body.subspan(pos, *map_len));
+  if (!map.ok()) return map.status();
+  pos += *map_len;
+  std::unordered_map<Lba, u64> versions;
+  auto n_versions = GetVarint(body, &pos);
+  if (!n_versions.ok()) return n_versions.status();
+  for (u64 i = 0; i < *n_versions; ++i) {
+    auto lba = GetVarint(body, &pos);
+    auto ver = GetVarint(body, &pos);
+    if (!lba.ok() || !ver.ok()) {
+      return Status::DataLoss("checkpoint: truncated version record");
+    }
+    versions[*lba] = *ver;
+  }
+  if (pos != body.size()) {
+    return Status::DataLoss("checkpoint: trailing bytes");
+  }
+  map_ = std::move(*map);
+  versions_ = std::move(versions);
+  return Status::Ok();
+}
+
+Status Engine::RecoverFromDevice(SimTime now) {
+  if (!config_.durability.enabled) {
+    return Status::FailedPrecondition(
+        "engine: recovery requires durable mode");
+  }
+  const u64 half_pages = config_.durability.journal_pages / 2;
+  const std::size_t half_bytes =
+      static_cast<std::size_t>(half_pages) * kLogicalBlockSize;
+
+  // --- Choose the newest usable generation ------------------------------
+  struct Candidate {
+    ParsedJournal parsed;
+    u32 half;
+  };
+  std::optional<Candidate> best;
+  for (u32 h = 0; h < 2; ++h) {
+    Lba base = data_pages_ + h * half_pages;
+    auto io = device_->Read(base, half_pages, now);
+    if (!io.ok()) continue;  // unreadable half: fall back to the other
+    Bytes raw(half_bytes, 0);
+    for (std::size_t p = 0; p < io->pages.size(); ++p) {
+      const Bytes& page = io->pages[p];
+      std::copy(page.begin(), page.end(),
+                raw.begin() + static_cast<std::ptrdiff_t>(
+                                  p * kLogicalBlockSize));
+    }
+    auto parsed = ParseJournal(raw);
+    if (!parsed.ok()) continue;  // unused or unrecognizable half
+    // A generation > 1 is only usable if its base checkpoint survived; a
+    // checkpoint torn by the cut means the op that triggered the switch
+    // was never acked, so the previous generation is the right truth.
+    bool usable =
+        parsed->generation == 1 ||
+        (!parsed->records.empty() &&
+         parsed->records.front().type == JournalRecordType::kCheckpoint);
+    if (!usable) continue;
+    if (!best || parsed->generation > best->parsed.generation) {
+      best = Candidate{std::move(*parsed), h};
+    }
+  }
+
+  // --- Reset host-side state and replay the journal ---------------------
+  map_ = BlockMap(data_pages_ * kQuantaPerBlock);
+  versions_.clear();
+  payloads_.clear();
+  cache_lru_.clear();
+  cache_index_.clear();
+  seq_ = SequentialityDetector(config_.seq);
+  std::fill(flash_image_.begin(), flash_image_.end(), u8{0});
+  stats_.recovered_groups = 0;
+
+  u64 recovered_gen = 0;
+  if (best) {
+    recovered_gen = best->parsed.generation;
+    std::size_t first = 0;
+    if (best->parsed.generation > 1) {
+      EDC_RETURN_IF_ERROR(
+          RestoreDurableState(best->parsed.records.front().body));
+      first = 1;
+    }
+    for (std::size_t i = first; i < best->parsed.records.size(); ++i) {
+      const JournalRecord& rec = best->parsed.records[i];
+      switch (rec.type) {
+        case JournalRecordType::kInstall: {
+          auto ins = DecodeInstall(rec.body);
+          if (!ins.ok()) return ins.status();
+          auto gid = map_.InstallReplay(ins->first_lba, ins->n_blocks,
+                                        ins->tag, ins->stored_bytes,
+                                        ins->quanta, ins->attempt_starts);
+          if (!gid.ok()) return gid.status();
+          for (u32 b = 0; b < ins->n_blocks; ++b) {
+            versions_[ins->first_lba + b] = ins->versions[b];
+          }
+          break;
+        }
+        case JournalRecordType::kRelease: {
+          auto rel = DecodeRelease(rec.body);
+          if (!rel.ok()) return rel.status();
+          for (u64 b = 0; b < rel->n_blocks; ++b) {
+            map_.Release(rel->first_lba + b);
+            versions_.erase(rel->first_lba + b);
+          }
+          break;
+        }
+        case JournalRecordType::kCheckpoint:
+          return Status::DataLoss("journal: checkpoint mid-stream");
+        case JournalRecordType::kEnd:
+          return Status::DataLoss("journal: unexpected end record");
+      }
+    }
+  }
+
+  // --- Re-read every live extent, verify, rebuild the payload store -----
+  for (const auto& [id, g] : map_.groups()) {
+    auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
+    auto io = device_->Read(first_page, n_pages, now);
+    if (!io.ok()) return io.status();
+    Bytes span(static_cast<std::size_t>(n_pages) * kLogicalBlockSize, 0);
+    for (std::size_t p = 0; p < io->pages.size(); ++p) {
+      const Bytes& page = io->pages[p];
+      if (page.empty()) {
+        return Status::DataLoss(
+            "recovery: journaled extent page " +
+            std::to_string(first_page + p) + " was never programmed");
+      }
+      std::copy(page.begin(), page.end(),
+                span.begin() + static_cast<std::ptrdiff_t>(
+                                   p * kLogicalBlockSize));
+    }
+    std::size_t off = static_cast<std::size_t>(
+        g.start_quantum % kQuantaPerBlock) * kQuantumBytes;
+    if (off + g.compressed_bytes > span.size()) {
+      return Status::DataLoss("recovery: extent overruns its pages");
+    }
+    ByteSpan extent(span.data() + off, g.compressed_bytes);
+    auto info = codec::ParseExtentHeader(extent);
+    if (!info.ok()) return info.status();
+    if (info->first_lba != g.first_lba || info->n_blocks != g.orig_blocks ||
+        info->codec != g.tag) {
+      return Status::DataLoss(
+          "recovery: extent header disagrees with the journaled mapping");
+    }
+    auto frame = codec::ExtentFrame(extent);
+    if (!frame.ok()) return frame.status();
+    payloads_[id] = Bytes(frame->begin(), frame->end());
+    std::copy(extent.begin(), extent.end(),
+              flash_image_.begin() + static_cast<std::ptrdiff_t>(
+                                         g.start_quantum * kQuantumBytes));
+    ++stats_.recovered_groups;
+  }
+
+  // --- Checkpoint the recovered state into a fresh generation -----------
+  journal_half_ = best ? (best->half ^ 1u) : 0;
+  u64 next_gen = recovered_gen + 1;
+  Lba base = data_pages_ + journal_half_ * half_pages;
+  auto trimmed = device_->Trim(base, half_pages, now);
+  if (!trimmed.ok()) return trimmed.status();
+  journal_ = std::make_unique<JournalWriter>(next_gen);
+  if (next_gen > 1) {
+    journal_->AppendCheckpoint(SerializeDurableState());
+    ++stats_.journal_checkpoints;
+  }
+  journal_flushed_ = 0;
+  if (journal_->stream().size() > half_bytes) {
+    return Status::ResourceExhausted(
+        "journal: checkpoint exceeds a half; raise journal_pages");
+  }
+  auto flushed = JournalFlush(trimmed->completion);
+  if (!flushed.ok()) return flushed.status();
+  return Status::Ok();
+}
 
 namespace {
 constexpr u32 kStateMagic = 0x53434445;  // "EDCS"
@@ -701,6 +1159,28 @@ Status Engine::RestoreState(ByteSpan image) {
   flushed_frontier_page_ =
       (map_.allocator().bump_used() + kQuantaPerBlock - 1) /
       kQuantaPerBlock;
+  if (config_.durability.enabled) {
+    // Rebuild the host-side page composition from the restored frames and
+    // start journaling from scratch (the image is host state, not flash).
+    std::fill(flash_image_.begin(), flash_image_.end(), u8{0});
+    for (const auto& [id, g] : map_.groups()) {
+      auto it = payloads_.find(id);
+      if (it == payloads_.end()) continue;
+      auto extent = codec::BuildExtent(g.first_lba, g.orig_blocks,
+                                       it->second);
+      if (!extent.ok()) return extent.status();
+      std::size_t off =
+          static_cast<std::size_t>(g.start_quantum) * kQuantumBytes;
+      if (off + extent->size() > flash_image_.size()) {
+        return Status::DataLoss("engine: restored extent overruns device");
+      }
+      std::copy(extent->begin(), extent->end(),
+                flash_image_.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+    journal_.reset();
+    journal_half_ = 0;
+    journal_flushed_ = 0;
+  }
   return Status::Ok();
 }
 

@@ -28,6 +28,7 @@
 #include "edc/auditor.hpp"
 #include "edc/cost_model.hpp"
 #include "edc/estimator.hpp"
+#include "edc/journal.hpp"
 #include "edc/mapping.hpp"
 #include "edc/monitor.hpp"
 #include "edc/policy.hpp"
@@ -43,6 +44,23 @@ namespace edc::core {
 enum class ExecutionMode {
   kFunctional,  // real payloads through real codecs; verifiable reads
   kModeled,     // calibrated costs; fast enough for full-length traces
+};
+
+/// Crash-consistency knobs. When enabled (functional mode with a
+/// data-retaining device only), every installed group is written to flash
+/// as a self-describing extent (header + frame), mapping mutations are
+/// logged to an on-device journal, and Engine::RecoverFromDevice() can
+/// rebuild the full engine state from flash after a power cut.
+struct DurabilityConfig {
+  bool enabled = false;
+  /// Logical pages reserved at the top of the device for the journal's
+  /// two ping-pong halves. Even, >= 2, < the device's logical pages.
+  u64 journal_pages = 64;
+  /// Program-failure handling: relocate-and-rewrite retries per extent
+  /// (and plain rewrite retries for journal pages) before the write fails.
+  u32 max_program_retries = 3;
+  /// Simulated delay before each rewrite attempt.
+  SimTime retry_backoff = 200 * kMicrosecond;
 };
 
 struct EngineConfig {
@@ -72,6 +90,13 @@ struct EngineConfig {
   /// status carrying the full report. 0 (the default) disables inline
   /// auditing; Engine::Audit() is always available on demand.
   u32 audit_every_n_ops = 0;
+  /// Durable on-flash format + mapping journal (see DurabilityConfig).
+  DurabilityConfig durability;
+  /// Graceful-degradation circuit breaker: after this many media errors
+  /// (program failures, read UCEs, integrity failures) the engine stops
+  /// compressing and falls back to uncompressed (Store) groups, trading
+  /// space savings for a simpler, better-tested write path. 0 disables.
+  u32 breaker_error_budget = 0;
   /// Optional *real* worker pool (non-owning; must outlive the engine).
   /// In functional mode, codec execution for sealed write runs is
   /// dispatched to this pool — up to `cpu_contexts` jobs in flight, joined
@@ -105,6 +130,16 @@ struct EngineStats {
   /// Modeled-vs-real drift check (modeled mode only).
   u64 drift_checks = 0;
   double drift_abs_error_sum = 0;
+  /// Fault handling and durability observability.
+  u64 program_failures = 0;   // page-program failures seen (extent+journal)
+  u64 program_retries = 0;    // relocate/rewrite attempts after failures
+  u64 media_errors = 0;       // read-side faults: UCEs + integrity failures
+  u64 breaker_trips = 0;      // times the degradation breaker opened
+  bool breaker_open = false;  // currently demoted to uncompressed writes
+  u64 degraded_groups = 0;    // groups written while the breaker was open
+  u64 journal_bytes_written = 0;
+  u64 journal_checkpoints = 0;
+  u64 recovered_groups = 0;   // groups rebuilt by RecoverFromDevice
 
   /// Cumulative compression ratio over everything written
   /// (original / allocated) — the paper's Fig. 8 metric.
@@ -159,6 +194,14 @@ class Engine {
   /// constructed with the same configuration and content seed). Replaces
   /// the mapping, versions and payload store; resets caches.
   Status RestoreState(ByteSpan image);
+
+  /// Crash recovery (durable mode): rebuild the mapping table, allocator,
+  /// version oracle and payload store from the on-device journal and the
+  /// extent headers on flash. Call after the device is powered again
+  /// (Ssd::RestorePower). Every acknowledged operation is recovered; the
+  /// at-most-one operation in flight at the cut is rolled back. Finishes
+  /// by checkpointing the recovered state into a fresh journal generation.
+  Status RecoverFromDevice(SimTime now = 0);
 
   const EngineStats& stats() const { return stats_; }
   const BlockMap& map() const { return map_; }
@@ -246,6 +289,40 @@ class Engine {
 
   datagen::ChunkKind KindOfRun(const WriteRun& run) const;
 
+  // --- Durability (see DurabilityConfig) --------------------------------
+
+  /// Count one media error toward the degradation breaker; opens it (all
+  /// later groups stored uncompressed) when the budget is exhausted.
+  void NoteBreakerError();
+
+  /// Program a group's extent bytes to its covering flash pages, retrying
+  /// program failures by relocating the group to a fresh extent. Appends
+  /// each relocation target to `attempt_starts`.
+  Result<SimTime> DurableProgramExtent(u64 group_id, ByteSpan extent,
+                                       SimTime ready,
+                                       std::vector<u64>* attempt_starts);
+
+  /// Append one record to the journal (exactly one of `install`/`release`
+  /// non-null), switching to a fresh checkpointed generation when the
+  /// active half is full, and program the new journal bytes.
+  Result<SimTime> JournalAppendRecord(SimTime ready,
+                                      const InstallRecord* install,
+                                      const ReleaseRecord* release);
+
+  /// Program the not-yet-flushed tail of the journal stream.
+  Result<SimTime> JournalFlush(SimTime ready);
+
+  /// Durable-read integrity check: the pages fetched for a group must hold
+  /// a valid extent that agrees with the mapping (catches latent bit
+  /// corruption end to end). Counts media errors and feeds the breaker.
+  Status VerifyExtentRead(const GroupInfo& g,
+                          const std::vector<Bytes>& pages);
+
+  /// Checkpoint body: mapping image + version oracle (payloads live on
+  /// flash as extents and are rebuilt from there).
+  Bytes SerializeDurableState() const;
+  Status RestoreDurableState(ByteSpan body);
+
   EngineConfig config_;
   ssd::Device* device_;
   const datagen::ContentGenerator* generator_;
@@ -277,6 +354,16 @@ class Engine {
   /// the page fills — see DESIGN.md §5).
   u64 flushed_frontier_page_ = 0;
   u64 ops_since_audit_ = 0;
+  // Durable-mode state. `data_pages_` is the device capacity left after
+  // the journal reservation; `flash_image_` is the host-side composition
+  // of every data page (extent writes program full pages, so sub-page
+  // neighbours must be re-sent byte-exact).
+  u64 data_pages_ = 0;
+  Bytes flash_image_;
+  std::unique_ptr<JournalWriter> journal_;
+  u32 journal_half_ = 0;        // half holding the active generation
+  std::size_t journal_flushed_ = 0;  // stream bytes already programmed
+  u32 breaker_errors_ = 0;
   EngineStats stats_;
 };
 

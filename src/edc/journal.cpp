@@ -1,0 +1,163 @@
+#include "edc/journal.hpp"
+
+#include "common/crc32.hpp"
+#include "common/varint.hpp"
+
+namespace edc::core {
+namespace {
+
+/// Relocation attempts are bounded by the engine's retry budget; anything
+/// larger in a decoded record is corruption, not history.
+constexpr u64 kMaxAttempts = 16;
+
+constexpr u8 kMaxRecordType = static_cast<u8>(JournalRecordType::kRelease);
+
+}  // namespace
+
+u32 JournalRecordCrc(u64 generation, JournalRecordType type, ByteSpan body) {
+  Bytes scratch;
+  scratch.reserve(body.size() + 16);
+  PutVarint(&scratch, generation);
+  scratch.push_back(static_cast<u8>(type));
+  PutVarint(&scratch, body.size());
+  scratch.insert(scratch.end(), body.begin(), body.end());
+  return Crc32(scratch);
+}
+
+JournalWriter::JournalWriter(u64 generation) : generation_(generation) {
+  PutU32Le(&stream_, kJournalMagic);
+  PutVarint(&stream_, generation_);
+}
+
+void JournalWriter::AppendRecord(JournalRecordType type, ByteSpan body) {
+  stream_.push_back(static_cast<u8>(type));
+  PutVarint(&stream_, body.size());
+  stream_.insert(stream_.end(), body.begin(), body.end());
+  PutU32Le(&stream_, JournalRecordCrc(generation_, type, body));
+}
+
+void JournalWriter::AppendCheckpoint(ByteSpan state) {
+  AppendRecord(JournalRecordType::kCheckpoint, state);
+}
+
+void JournalWriter::AppendInstall(const InstallRecord& r) {
+  Bytes body;
+  PutVarint(&body, r.first_lba);
+  PutVarint(&body, r.n_blocks);
+  body.push_back(static_cast<u8>(r.tag));
+  PutVarint(&body, r.stored_bytes);
+  PutVarint(&body, r.quanta);
+  PutVarint(&body, r.attempt_starts.size());
+  for (u64 start : r.attempt_starts) PutVarint(&body, start);
+  for (u64 v : r.versions) PutVarint(&body, v);
+  AppendRecord(JournalRecordType::kInstall, body);
+}
+
+void JournalWriter::AppendRelease(const ReleaseRecord& r) {
+  Bytes body;
+  PutVarint(&body, r.first_lba);
+  PutVarint(&body, r.n_blocks);
+  AppendRecord(JournalRecordType::kRelease, body);
+}
+
+Result<ParsedJournal> ParseJournal(ByteSpan data) {
+  std::size_t pos = 0;
+  auto magic = GetU32Le(data, &pos);
+  if (!magic.ok() || *magic != kJournalMagic) {
+    return Status::NotFound("journal: no header");
+  }
+  auto generation = GetVarint(data, &pos);
+  if (!generation.ok() || *generation == 0) {
+    return Status::NotFound("journal: bad generation");
+  }
+
+  ParsedJournal out;
+  out.generation = *generation;
+  while (pos < data.size()) {
+    // Any malformed record ends the valid prefix — a torn append, the
+    // zero terminator, or leftover bytes from an older generation.
+    u8 type = data[pos];
+    if (type == 0 || type > kMaxRecordType) break;
+    std::size_t p = pos + 1;
+    auto len = GetVarint(data, &p);
+    if (!len.ok()) break;
+    if (*len > data.size() - p) break;
+    ByteSpan body = data.subspan(p, static_cast<std::size_t>(*len));
+    p += static_cast<std::size_t>(*len);
+    auto crc = GetU32Le(data, &p);
+    if (!crc.ok()) break;
+    if (JournalRecordCrc(out.generation, static_cast<JournalRecordType>(type),
+                         body) != *crc) {
+      break;
+    }
+    out.records.push_back(JournalRecord{
+        static_cast<JournalRecordType>(type), Bytes(body.begin(), body.end())});
+    pos = p;
+  }
+  return out;
+}
+
+Result<InstallRecord> DecodeInstall(ByteSpan body) {
+  std::size_t pos = 0;
+  InstallRecord r;
+  auto first_lba = GetVarint(body, &pos);
+  if (!first_lba.ok()) return first_lba.status();
+  auto n_blocks = GetVarint(body, &pos);
+  if (!n_blocks.ok()) return n_blocks.status();
+  if (*n_blocks == 0 || *n_blocks > 64) {
+    return Status::DataLoss("journal: install n_blocks out of range");
+  }
+  if (pos >= body.size()) return Status::DataLoss("journal: missing tag");
+  u8 tag = body[pos++];
+  if (tag > codec::kMaxCodecId) {
+    return Status::DataLoss("journal: install bad codec tag");
+  }
+  auto stored_bytes = GetVarint(body, &pos);
+  if (!stored_bytes.ok()) return stored_bytes.status();
+  auto quanta = GetVarint(body, &pos);
+  if (!quanta.ok()) return quanta.status();
+  auto n_attempts = GetVarint(body, &pos);
+  if (!n_attempts.ok()) return n_attempts.status();
+  if (*n_attempts == 0 || *n_attempts > kMaxAttempts) {
+    return Status::DataLoss("journal: install attempt count out of range");
+  }
+  r.first_lba = *first_lba;
+  r.n_blocks = static_cast<u32>(*n_blocks);
+  r.tag = static_cast<codec::CodecId>(tag);
+  r.stored_bytes = *stored_bytes;
+  r.quanta = static_cast<u32>(*quanta);
+  for (u64 i = 0; i < *n_attempts; ++i) {
+    auto start = GetVarint(body, &pos);
+    if (!start.ok()) return start.status();
+    r.attempt_starts.push_back(*start);
+  }
+  for (u64 i = 0; i < *n_blocks; ++i) {
+    auto v = GetVarint(body, &pos);
+    if (!v.ok()) return v.status();
+    r.versions.push_back(*v);
+  }
+  if (pos != body.size()) {
+    return Status::DataLoss("journal: install record trailing bytes");
+  }
+  return r;
+}
+
+Result<ReleaseRecord> DecodeRelease(ByteSpan body) {
+  std::size_t pos = 0;
+  ReleaseRecord r;
+  auto first_lba = GetVarint(body, &pos);
+  if (!first_lba.ok()) return first_lba.status();
+  auto n_blocks = GetVarint(body, &pos);
+  if (!n_blocks.ok()) return n_blocks.status();
+  if (*n_blocks == 0) {
+    return Status::DataLoss("journal: empty release record");
+  }
+  if (pos != body.size()) {
+    return Status::DataLoss("journal: release record trailing bytes");
+  }
+  r.first_lba = *first_lba;
+  r.n_blocks = *n_blocks;
+  return r;
+}
+
+}  // namespace edc::core

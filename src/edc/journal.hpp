@@ -1,0 +1,104 @@
+// Crash-consistent mapping journal (metadata logging for Fig. 5 state).
+//
+// The engine reserves a few logical pages at the top of the device and
+// splits them into two ping-pong halves. Each half holds one journal
+// *generation*: a header {magic, generation} followed by a sequence of
+// CRC-protected records and a zero terminator. Successive generations
+// alternate halves: when the active half fills up, the engine starts
+// generation+1 in the other half with a fresh checkpoint of the whole
+// durable state, which subsumes every earlier record.
+//
+// Torn-write safety: recovery takes the longest valid *prefix* of the
+// active generation — parsing stops at the first record whose CRC fails,
+// whose length runs past the half, or whose type byte is 0 (never-written
+// flash reads back as zeros). Each record's CRC is salted with the
+// generation number, so stale records from generation g-2 that survive in
+// a reused half can never be mistaken for the current stream.
+//
+// This module is pure byte-level encode/decode; device I/O and replay
+// live in the engine.
+#pragma once
+
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::core {
+
+inline constexpr u32 kJournalMagic = 0x4A434445;  // "EDCJ" little-endian
+
+enum class JournalRecordType : u8 {
+  kEnd = 0,         // terminator — erased/unwritten flash reads as zeros
+  kCheckpoint = 1,  // body: opaque durable-state image (engine-defined)
+  kInstall = 2,     // body: InstallRecord
+  kRelease = 3,     // body: ReleaseRecord
+};
+
+/// One group installation, with enough context to replay the exact
+/// allocator calls the live path made.
+struct InstallRecord {
+  Lba first_lba = 0;
+  u32 n_blocks = 0;
+  codec::CodecId tag = codec::CodecId::kStore;
+  u64 stored_bytes = 0;  // extent bytes on flash (header + frame)
+  u32 quanta = 0;        // class-rounded extent length
+  /// Placement history: [0] = initial allocation, each further entry a
+  /// program-failure relocation target. The last entry is where the group
+  /// finally landed.
+  std::vector<u64> attempt_starts;
+  /// Per-member content versions (size n_blocks), so recovery can rebuild
+  /// the host's version oracle.
+  std::vector<u64> versions;
+};
+
+/// A trim/overwrite of blocks [first_lba, first_lba + n_blocks) that did
+/// not install a new group (pure release).
+struct ReleaseRecord {
+  Lba first_lba = 0;
+  u64 n_blocks = 0;
+};
+
+struct JournalRecord {
+  JournalRecordType type;
+  Bytes body;
+};
+
+/// Builds one generation's byte stream (header + records). The engine
+/// appends the stream's new bytes to the journal pages after each record.
+class JournalWriter {
+ public:
+  explicit JournalWriter(u64 generation);
+
+  void AppendCheckpoint(ByteSpan state);
+  void AppendInstall(const InstallRecord& r);
+  void AppendRelease(const ReleaseRecord& r);
+
+  const Bytes& stream() const { return stream_; }
+  u64 generation() const { return generation_; }
+
+ private:
+  void AppendRecord(JournalRecordType type, ByteSpan body);
+
+  u64 generation_;
+  Bytes stream_;
+};
+
+struct ParsedJournal {
+  u64 generation = 0;
+  std::vector<JournalRecord> records;  // longest valid prefix
+};
+
+/// Parse one journal half. Returns NotFound when no journal header is
+/// present (an unused half); otherwise the longest valid record prefix.
+Result<ParsedJournal> ParseJournal(ByteSpan data);
+
+Result<InstallRecord> DecodeInstall(ByteSpan body);
+Result<ReleaseRecord> DecodeRelease(ByteSpan body);
+
+/// CRC of one record, salted with the generation (exposed for tests that
+/// forge corrupt journals).
+u32 JournalRecordCrc(u64 generation, JournalRecordType type, ByteSpan body);
+
+}  // namespace edc::core

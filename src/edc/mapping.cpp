@@ -9,12 +9,14 @@
 namespace edc::core {
 
 u32 SizeClassQuanta(std::size_t compressed_bytes, u32 orig_blocks) {
-  // Class grid: {25%, 50%, 75%, 100%} of the original size, i.e. multiples
-  // of orig_blocks quanta.
+  // Class grid: {25%, 50%, 75%, 100%, ...} of the original size, i.e.
+  // multiples of orig_blocks quanta. A payload may exceed 100% of the
+  // original (the durable extent header wraps incompressible data); it
+  // simply takes the next grid step rather than being rejected.
   const u64 step_bytes =
       static_cast<u64>(orig_blocks) * kQuantumBytes;  // 25% of original
   u64 classes = (compressed_bytes + step_bytes - 1) / step_bytes;
-  classes = std::clamp<u64>(classes, 1, kQuantaPerBlock);
+  classes = std::max<u64>(classes, 1);
   return static_cast<u32>(classes * orig_blocks);
 }
 
@@ -90,6 +92,17 @@ void QuantumAllocator::Free(u64 start, u32 len) {
   allocated_ -= len;
 }
 
+void QuantumAllocator::MarkQuarantined(u64 start, u32 len) {
+  EDC_DCHECK(start + len <= total_)
+      << "quarantine extent " << start << "+" << len << " beyond " << total_;
+  EDC_DCHECK(allocated_ >= len)
+      << "quarantining " << len << " quanta with only " << allocated_
+      << " allocated";
+  allocated_ -= len;
+  quarantined_quanta_ += len;
+  quarantined_.emplace_back(start, len);
+}
+
 std::vector<std::pair<u64, u32>> QuantumAllocator::FreeExtents() const {
   std::vector<std::pair<u64, u32>> extents;
   for (std::size_t len = 0; len < free_lists_.size(); ++len) {
@@ -121,6 +134,11 @@ void QuantumAllocator::SaveTo(Bytes* out) const {
     PutVarint(out, len);
     PutVarint(out, free_lists_[len].size());
     for (u64 start : free_lists_[len]) PutVarint(out, start);
+  }
+  PutVarint(out, quarantined_.size());
+  for (const auto& [start, len] : quarantined_) {
+    PutVarint(out, start);
+    PutVarint(out, len);
   }
 }
 
@@ -156,6 +174,22 @@ Result<QuantumAllocator> QuantumAllocator::Load(ByteSpan data,
       }
       alloc.PushFree(*start, static_cast<u32>(*len));
     }
+  }
+  auto n_quarantined = GetVarint(data, pos);
+  if (!n_quarantined.ok()) return n_quarantined.status();
+  if (*n_quarantined > *total) {
+    return Status::DataLoss("allocator: implausible quarantine count");
+  }
+  for (u64 i = 0; i < *n_quarantined; ++i) {
+    auto start = GetVarint(data, pos);
+    if (!start.ok()) return start.status();
+    auto len = GetVarint(data, pos);
+    if (!len.ok()) return len.status();
+    if (*len == 0 || *start + *len > *total) {
+      return Status::DataLoss("allocator: quarantined extent out of range");
+    }
+    alloc.quarantined_.emplace_back(*start, static_cast<u32>(*len));
+    alloc.quarantined_quanta_ += *len;
   }
   return alloc;
 }
@@ -205,6 +239,56 @@ Result<u64> BlockMap::Install(Lba first_lba, u32 n_blocks,
   live_logical_bytes_ +=
       static_cast<u64>(n_blocks) * kLogicalBlockSize;
   return id;
+}
+
+Result<u64> BlockMap::RelocateGroup(u64 group_id) {
+  auto it = groups_.find(group_id);
+  if (it == groups_.end()) {
+    return Status::InvalidArgument("blockmap: relocating unknown group");
+  }
+  GroupInfo& g = it->second;
+  auto start = allocator_.Allocate(g.quanta);
+  if (!start.ok()) return start.status();
+  allocator_.MarkQuarantined(g.start_quantum, g.quanta);
+  g.start_quantum = *start;
+  return *start;
+}
+
+Result<u64> BlockMap::InstallReplay(Lba first_lba, u32 n_blocks,
+                                    codec::CodecId tag,
+                                    std::size_t compressed_bytes,
+                                    u32 alloc_quanta,
+                                    std::span<const u64> attempt_starts,
+                                    std::vector<u64>* freed_groups) {
+  if (attempt_starts.empty()) {
+    return Status::DataLoss("blockmap: replay record with no placements");
+  }
+  // Install makes the exact allocator calls the live path made (allocate,
+  // then release superseded members), so a matching history reproduces the
+  // journaled placement deterministically.
+  auto id = Install(first_lba, n_blocks, tag, compressed_bytes, alloc_quanta,
+                    freed_groups);
+  if (!id.ok()) return id.status();
+  GroupInfo& g = groups_.at(*id);
+  if (g.start_quantum != attempt_starts[0]) {
+    return Status::DataLoss("blockmap: journal/allocator divergence (got " +
+                            std::to_string(g.start_quantum) + ", journaled " +
+                            std::to_string(attempt_starts[0]) + ")");
+  }
+  // Replay any program-failure relocations the live path performed.
+  for (std::size_t i = 1; i < attempt_starts.size(); ++i) {
+    auto start = allocator_.Allocate(g.quanta);
+    if (!start.ok()) return start.status();
+    if (*start != attempt_starts[i]) {
+      return Status::DataLoss(
+          "blockmap: journal/allocator divergence on relocation (got " +
+          std::to_string(*start) + ", journaled " +
+          std::to_string(attempt_starts[i]) + ")");
+    }
+    allocator_.MarkQuarantined(g.start_quantum, g.quanta);
+    g.start_quantum = *start;
+  }
+  return *id;
 }
 
 GroupInfo* BlockMap::MutableGroupForTest(u64 group_id) {
@@ -258,7 +342,8 @@ bool BlockMap::ReleaseFromGroup(Lba lba, u64 group_id) {
 
 namespace {
 constexpr u32 kMapMagic = 0x4D434445;  // "EDCM"
-constexpr u64 kMapVersion = 1;
+// v2: allocator images carry the quarantined-extent list.
+constexpr u64 kMapVersion = 2;
 }  // namespace
 
 Bytes BlockMap::Serialize() const {

@@ -73,8 +73,21 @@ class QuantumAllocator {
   /// Return an extent to the allocator.
   void Free(u64 start, u32 len);
 
+  /// Retire an extent whose flash pages failed to program: the space is no
+  /// longer allocated but must never be handed out again (the media under
+  /// it is suspect). Quarantined extents still participate in the tiling
+  /// invariant — they own their address range until end of life.
+  void MarkQuarantined(u64 start, u32 len);
+
   u64 total_quanta() const { return total_; }
   u64 allocated_quanta() const { return allocated_; }
+  /// Total quanta retired by MarkQuarantined.
+  u64 quarantined_quanta() const { return quarantined_quanta_; }
+  /// Snapshot of quarantined extents as (start, len) pairs, in retirement
+  /// order. Used by the StateAuditor's tiling check.
+  std::vector<std::pair<u64, u32>> QuarantinedExtents() const {
+    return quarantined_;
+  }
   /// High-water mark of the bump pointer (address-space consumption).
   u64 bump_used() const { return bump_; }
 
@@ -98,8 +111,11 @@ class QuantumAllocator {
   u64 total_;
   u64 bump_ = 0;
   u64 allocated_ = 0;
+  u64 quarantined_quanta_ = 0;
   // free_lists_[len] = start quanta of free extents of exactly `len`.
   std::vector<std::vector<u64>> free_lists_;
+  // Retired (bad-media) extents, in retirement order.
+  std::vector<std::pair<u64, u32>> quarantined_;
 };
 
 /// One compression unit as stored on flash.
@@ -127,6 +143,22 @@ class BlockMap {
   Result<u64> Install(Lba first_lba, u32 n_blocks, codec::CodecId tag,
                       std::size_t compressed_bytes, u32 alloc_quanta,
                       std::vector<u64>* freed_groups = nullptr);
+
+  /// Move a group whose extent failed to program: allocate a fresh extent
+  /// of the same length, quarantine the old one, and return the new start
+  /// quantum. The caller rewrites the payload at the new location.
+  Result<u64> RelocateGroup(u64 group_id);
+
+  /// Journal-replay twin of Install (+ any RelocateGroup retries). Makes
+  /// the exact allocator calls the live path made and verifies each
+  /// placement against the journaled `attempt_starts` (first = initial
+  /// allocation, subsequent = relocation targets); any divergence means
+  /// the replayed history does not match this allocator state and is
+  /// reported as DataLoss. Returns the installed group id.
+  Result<u64> InstallReplay(Lba first_lba, u32 n_blocks, codec::CodecId tag,
+                            std::size_t compressed_bytes, u32 alloc_quanta,
+                            std::span<const u64> attempt_starts,
+                            std::vector<u64>* freed_groups = nullptr);
 
   /// Lookup the group holding a host block.
   std::optional<GroupInfo> Find(Lba lba) const;

@@ -29,6 +29,22 @@ Result<std::unique_ptr<Stack>> Stack::Create(
         CostModel::Calibrate(*stack->generator_));
   }
 
+  if (config.durability.enabled) {
+    if (config.mode != ExecutionMode::kFunctional) {
+      return Status::InvalidArgument(
+          "stack: durable mode requires functional execution");
+    }
+    const bool store_data = config.use_rais ? config.rais.member.store_data
+                            : config.use_hdd ? config.hdd.store_data
+                            : config.use_nvm ? config.nvm.store_data
+                                             : config.ssd.store_data;
+    if (!store_data) {
+      return Status::InvalidArgument(
+          "stack: durable mode requires a data-retaining device "
+          "(store_data = true)");
+    }
+  }
+
   if (config.use_rais) {
     stack->device_ = std::make_unique<ssd::Rais>(config.rais);
   } else if (config.use_hdd) {
@@ -54,6 +70,8 @@ Result<std::unique_ptr<Stack>> Stack::Create(
   ec.modeled_check_interval = config.modeled_check_interval;
   ec.audit_every_n_ops = config.audit_every_n_ops;
   ec.compress_pool = config.compress_pool;
+  ec.durability = config.durability;
+  ec.breaker_error_budget = config.breaker_error_budget;
 
   stack->engine_ = std::make_unique<Engine>(
       ec, stack->device_.get(), stack->generator_.get(),

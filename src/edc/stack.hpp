@@ -47,6 +47,12 @@ struct StackConfig {
   u32 modeled_check_interval = 0;
   /// Inline StateAuditor cadence (see EngineConfig::audit_every_n_ops).
   u32 audit_every_n_ops = 0;
+  /// Crash-consistent on-flash format + mapping journal. Requires
+  /// functional mode and a data-retaining device (store_data = true).
+  DurabilityConfig durability;
+  /// Media-error budget before the engine demotes itself to uncompressed
+  /// writes (see EngineConfig::breaker_error_budget). 0 disables.
+  u32 breaker_error_budget = 0;
 };
 
 class Stack {

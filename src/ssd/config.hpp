@@ -7,7 +7,9 @@
 // tests run in memory; the timing model is capacity-independent.
 #pragma once
 
+#include "common/check.hpp"
 #include "common/types.hpp"
+#include "ssd/fault.hpp"
 
 namespace edc::ssd {
 
@@ -22,10 +24,18 @@ struct SsdGeometry {
   u64 raw_pages() const {
     return static_cast<u64>(pages_per_block) * num_blocks;
   }
-  /// Pages exposed to the host.
+  /// Pages exposed to the host. Overprovision must leave at least one
+  /// logical page; a fraction outside (0, 1) silently truncated to a
+  /// nonsensical capacity before — now it fails loudly.
   u64 logical_pages() const {
-    return static_cast<u64>(static_cast<double>(raw_pages()) *
-                            (1.0 - overprovision));
+    EDC_CHECK(overprovision > 0.0 && overprovision < 1.0)
+        << "overprovision " << overprovision << " outside (0, 1)";
+    u64 logical = static_cast<u64>(static_cast<double>(raw_pages()) *
+                                   (1.0 - overprovision));
+    EDC_CHECK(logical >= 1)
+        << "geometry exposes no logical pages (raw " << raw_pages()
+        << ", overprovision " << overprovision << ")";
+    return logical;
   }
   u64 raw_bytes() const { return raw_pages() * page_size; }
 };
@@ -76,6 +86,10 @@ struct SsdConfig {
   /// Keep page payload bytes in memory (functional mode). Off for
   /// large-trace modeled replays.
   bool store_data = true;
+  /// Deterministic fault injection (read UCEs, program failures, latent
+  /// bit corruption, power cut). All probabilities default to zero — a
+  /// default-constructed device never faults.
+  FaultConfig fault;
 };
 
 /// X25-E-class config with a given simulated raw capacity.

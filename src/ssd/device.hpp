@@ -35,6 +35,11 @@ struct DeviceStats {
   double waf = 1.0;
   SimTime busy_time = 0;  // total time the device was serving
   double energy_j = 0;    // device energy consumed (flash ops / spindle)
+  // Fault-injection observability (zero on fault-free devices).
+  u64 read_faults = 0;          // uncorrectable read errors surfaced
+  u64 program_faults = 0;       // page program failures surfaced
+  u64 pages_corrupted = 0;      // latent bit flips injected into reads
+  u64 reconstructed_reads = 0;  // pages rebuilt from RAIS-5 parity
 };
 
 class Device {

@@ -1,0 +1,76 @@
+#include "ssd/fault.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace edc::ssd {
+
+Status FaultInjector::BeginOp() {
+  ++stats_.ops;
+  if (stats_.power_lost) {
+    return Status::Unavailable("device: power lost");
+  }
+  if (config_.power_cut_at_op != 0 && stats_.ops > config_.power_cut_at_op) {
+    stats_.power_lost = true;
+    return Status::Unavailable("device: power cut at operation " +
+                               std::to_string(stats_.ops));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::OnProgram(Lba page) {
+  ++stats_.page_programs;
+  if (stats_.power_lost) {
+    return Status::Unavailable("device: power lost");
+  }
+  if (config_.power_cut_at_program != 0 &&
+      stats_.page_programs > config_.power_cut_at_program) {
+    stats_.power_lost = true;
+    return Status::Unavailable("device: power cut during program of page " +
+                               std::to_string(page));
+  }
+  if (config_.p_program_fail > 0.0 &&
+      rng_.NextBool(config_.p_program_fail)) {
+    ++stats_.program_failures;
+    return Status::MediaError("device: program failure at page " +
+                              std::to_string(page));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::OnRead(Lba page) {
+  ++stats_.page_reads;
+  if (stats_.power_lost) {
+    return Status::Unavailable("device: power lost");
+  }
+  auto it = std::find(forced_read_faults_.begin(), forced_read_faults_.end(),
+                      page);
+  if (it != forced_read_faults_.end()) {
+    forced_read_faults_.erase(it);
+    ++stats_.read_uces;
+    return Status::MediaError("device: uncorrectable read at page " +
+                              std::to_string(page) + " (forced)");
+  }
+  if (config_.p_read_uce > 0.0 && rng_.NextBool(config_.p_read_uce)) {
+    ++stats_.read_uces;
+    return Status::MediaError("device: uncorrectable read at page " +
+                              std::to_string(page));
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::MaybeCorrupt(Bytes* page) {
+  if (config_.p_bit_corrupt <= 0.0 || page->empty()) return;
+  if (!rng_.NextBool(config_.p_bit_corrupt)) return;
+  std::size_t pos = rng_.NextBounded(static_cast<u32>(page->size()));
+  (*page)[pos] ^= static_cast<u8>(1u << rng_.NextBounded(8));
+  ++stats_.pages_corrupted;
+}
+
+void FaultInjector::RestorePower() {
+  stats_.power_lost = false;
+  config_.power_cut_at_op = 0;
+  config_.power_cut_at_program = 0;
+}
+
+}  // namespace edc::ssd

@@ -1,0 +1,99 @@
+// Deterministic, seed-driven fault injection for the simulated flash
+// devices (see docs/fault_model.md for the fault classes and semantics).
+//
+// The injector sits at the device's host-operation boundary:
+//   * BeginOp gates every Write/Read/Trim — after a configured power cut
+//     the device is frozen and every operation fails kUnavailable;
+//   * OnProgram rolls per-page program failures (kMediaError) and the
+//     program-granular power cut (which tears multi-page writes);
+//   * OnRead rolls per-page uncorrectable read errors (kMediaError);
+//   * MaybeCorrupt flips a random bit of a read page image (latent
+//     corruption that only CRC checking can catch).
+//
+// All randomness comes from one PCG32 stream seeded from FaultConfig, so a
+// given (seed, workload) pair replays the identical fault sequence — the
+// crash-consistency sweeps depend on this.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace edc::ssd {
+
+struct FaultConfig {
+  u64 seed = 0x0FA17;
+  /// Per-page probability of an uncorrectable read error.
+  double p_read_uce = 0.0;
+  /// Per-page probability of a program (write) failure.
+  double p_program_fail = 0.0;
+  /// Per-page probability of flipping one random bit of a read payload.
+  double p_bit_corrupt = 0.0;
+  /// Power cut after this many device operations complete (0 = never):
+  /// operation N+1 and everything after it fails kUnavailable.
+  u64 power_cut_at_op = 0;
+  /// Power cut after this many page programs (0 = never). Unlike the
+  /// operation-granular cut this one tears multi-page writes: pages
+  /// programmed before the threshold stick, the rest are lost.
+  u64 power_cut_at_program = 0;
+
+  bool any_enabled() const {
+    return p_read_uce > 0.0 || p_program_fail > 0.0 || p_bit_corrupt > 0.0 ||
+           power_cut_at_op != 0 || power_cut_at_program != 0;
+  }
+};
+
+struct FaultStats {
+  u64 ops = 0;            // device operations admitted (incl. failing ones)
+  u64 page_programs = 0;  // page programs attempted
+  u64 page_reads = 0;     // page reads attempted
+  u64 read_uces = 0;
+  u64 program_failures = 0;
+  u64 pages_corrupted = 0;
+  bool power_lost = false;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultConfig& config)
+      : config_(config), rng_(config.seed, /*stream=*/0xFA) {}
+
+  /// Gate one device operation (Write/Read/Trim). Fails kUnavailable once
+  /// power is lost; the failing operation has no device-state effect.
+  Status BeginOp();
+
+  /// Gate one page program. May lose power mid-operation (tearing the
+  /// write at this page) or fail the program; either way the page keeps
+  /// its previous content.
+  Status OnProgram(Lba page);
+
+  /// Gate one page read.
+  Status OnRead(Lba page);
+
+  /// Latent corruption: with p_bit_corrupt, flip one random bit of the
+  /// page image (no-op for empty/timing-only pages).
+  void MaybeCorrupt(Bytes* page);
+
+  /// Arm a one-shot deterministic read fault on a specific logical page —
+  /// the next OnRead of that page fails kMediaError regardless of
+  /// probabilities (targeted tests, e.g. RAIS-5 reconstruction).
+  void ForceReadFaultOnce(Lba page) { forced_read_faults_.push_back(page); }
+
+  /// Reboot: clears the power-lost latch and disarms both cut triggers so
+  /// recovery I/O can proceed. Probabilistic faults stay armed.
+  void RestorePower();
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultConfig config_;
+  FaultStats stats_;
+  Pcg32 rng_{0x0FA17, 0xFA};
+  std::vector<Lba> forced_read_faults_;
+};
+
+}  // namespace edc::ssd

@@ -3,13 +3,34 @@
 #include <algorithm>
 
 namespace edc::ssd {
+namespace {
+
+/// XOR `b` into `acc`, growing `acc` as needed. Empty pages (unwritten /
+/// timing-only) contribute zeros, so mixed-population stripes still XOR
+/// to the right content.
+void XorInto(Bytes* acc, ByteSpan b) {
+  if (b.empty()) return;
+  if (acc->size() < b.size()) acc->resize(b.size(), 0);
+  for (std::size_t i = 0; i < b.size(); ++i) (*acc)[i] ^= b[i];
+}
+
+ByteSpan FirstPage(const IoResult& io) {
+  if (io.pages.empty()) return {};
+  return io.pages.front();
+}
+
+}  // namespace
 
 Rais::Rais(const RaisConfig& config) : config_(config) {
   data_disks_per_row_ = config_.level == RaisLevel::kRais5
                             ? config_.num_disks - 1
                             : config_.num_disks;
   for (u32 i = 0; i < config_.num_disks; ++i) {
-    disks_.push_back(std::make_unique<Ssd>(config_.member));
+    // Each member rolls an independent fault stream; otherwise every disk
+    // would fail the same pages in lockstep and parity could never help.
+    SsdConfig member = config_.member;
+    member.fault.seed += 0x9E3779B97F4A7C15ull * (i + 1);
+    disks_.push_back(std::make_unique<Ssd>(member));
   }
 }
 
@@ -67,9 +88,14 @@ Result<IoResult> Rais::Write(Lba first, std::span<const Bytes> payloads,
 
       auto new_data = disks_[p.data_disk]->Write(p.disk_lba, one, rmw_ready);
       if (!new_data.ok()) return new_data.status();
-      // Parity payload: for the simulation the parity content is opaque;
-      // write an empty payload (parity blocks are never read back by EDC).
+      // Parity update: new_parity = old_parity XOR old_data XOR new_data.
+      // With empty (timing-only) payloads everywhere this degenerates to
+      // an empty parity write; with real data it keeps the stripe
+      // reconstructible after a member read fault.
       std::vector<Bytes> parity_payload(1);
+      XorInto(&parity_payload[0], FirstPage(*old_parity));
+      XorInto(&parity_payload[0], FirstPage(*old_data));
+      XorInto(&parity_payload[0], payloads[i]);
       auto new_parity = disks_[p.parity_disk]->Write(
           p.parity_lba, parity_payload, rmw_ready);
       if (!new_parity.ok()) return new_parity.status();
@@ -98,7 +124,32 @@ Result<IoResult> Rais::Read(Lba first, u64 n, SimTime arrival) {
   for (u64 i = 0; i < n; ++i) {
     Placement p = Place(first + i);
     auto r = disks_[p.data_disk]->Read(p.disk_lba, 1, arrival);
-    if (!r.ok()) return r.status();
+    if (!r.ok()) {
+      if (config_.level != RaisLevel::kRais5 ||
+          r.status().code() != StatusCode::kMediaError) {
+        return r.status();
+      }
+      // Degraded read: rebuild the page as the XOR of every other member
+      // at the same member address (the row's data chunks plus parity).
+      Bytes rebuilt;
+      SimTime done = arrival;
+      for (u32 d = 0; d < config_.num_disks; ++d) {
+        if (d == p.data_disk) continue;
+        auto rr = disks_[d]->Read(p.disk_lba, 1, arrival);
+        if (!rr.ok()) {
+          return Status::DataLoss(
+              "RAIS5: double fault, cannot reconstruct page " +
+              std::to_string(first + i) + ": " + rr.status().ToString());
+        }
+        agg.cost += rr->cost;
+        done = std::max(done, rr->completion);
+        XorInto(&rebuilt, FirstPage(*rr));
+      }
+      ++reconstructed_reads_;
+      agg.completion = std::max(agg.completion, done);
+      agg.pages.push_back(std::move(rebuilt));
+      continue;
+    }
     agg.cost += r->cost;
     agg.completion = std::max(agg.completion, r->completion);
     if (!r->pages.empty()) {
@@ -147,7 +198,11 @@ DeviceStats Rais::stats() const {
     mean_sum += m.mean_erase_count;
     s.busy_time = std::max(s.busy_time, m.busy_time);
     s.energy_j += m.energy_j;
+    s.read_faults += m.read_faults;
+    s.program_faults += m.program_faults;
+    s.pages_corrupted += m.pages_corrupted;
   }
+  s.reconstructed_reads = reconstructed_reads_;
   s.mean_erase_count = mean_sum / static_cast<double>(disks_.size());
   s.waf = s.host_pages_written == 0
               ? 1.0

@@ -40,7 +40,12 @@ class Rais final : public Device {
   SimTime next_free_time() const override;
 
   const Ssd& member(u32 i) const { return *disks_.at(i); }
+  /// Mutable member handle for fault-injection tests (arming one-shot
+  /// read faults on a specific member).
+  Ssd& member_for_test(u32 i) { return *disks_.at(i); }
   u32 num_disks() const { return config_.num_disks; }
+  /// Pages transparently rebuilt from parity after a member read fault.
+  u64 reconstructed_reads() const { return reconstructed_reads_; }
 
   /// Address mapping, exposed for unit tests: logical page → member disk,
   /// member-local page, and (RAIS5 only) the parity disk of its stripe row.
@@ -56,6 +61,7 @@ class Rais final : public Device {
   RaisConfig config_;
   std::vector<std::unique_ptr<Ssd>> disks_;
   u32 data_disks_per_row_;  // N for RAIS0, N-1 for RAIS5
+  u64 reconstructed_reads_ = 0;
 };
 
 }  // namespace edc::ssd

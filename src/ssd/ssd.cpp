@@ -10,7 +10,9 @@ u64 CeilDiv(u64 a, u64 b) { return (a + b - 1) / b; }
 }  // namespace
 
 Ssd::Ssd(const SsdConfig& config)
-    : config_(config), flash_(config.geometry, config.store_data) {
+    : config_(config),
+      flash_(config.geometry, config.store_data),
+      fault_(config.fault) {
   if (config_.ftl == FtlKind::kHybridLog) {
     ftl_ = std::make_unique<HybridLogFtl>(config_, &flash_);
   } else {
@@ -73,9 +75,13 @@ void Ssd::MaybeBackgroundGc(SimTime now) {
 
 Result<IoResult> Ssd::Write(Lba first, std::span<const Bytes> payloads,
                             SimTime arrival) {
+  EDC_RETURN_IF_ERROR(fault_.BeginOp());
   MaybeBackgroundGc(arrival);
   OpCost total;
   for (std::size_t i = 0; i < payloads.size(); ++i) {
+    // The fault gate runs before the FTL mutates anything: a failed or
+    // torn program leaves the logical page's previous content readable.
+    EDC_RETURN_IF_ERROR(fault_.OnProgram(first + i));
     auto cost = ftl_->Write(first + i, payloads[i]);
     if (!cost.ok()) return cost.status();
     total += *cost;
@@ -85,13 +91,16 @@ Result<IoResult> Ssd::Write(Lba first, std::span<const Bytes> payloads,
 }
 
 Result<IoResult> Ssd::Read(Lba first, u64 n, SimTime arrival) {
+  EDC_RETURN_IF_ERROR(fault_.BeginOp());
   MaybeBackgroundGc(arrival);
   OpCost total;
   std::vector<Bytes> pages;
   pages.reserve(static_cast<std::size_t>(n));
   for (u64 i = 0; i < n; ++i) {
+    EDC_RETURN_IF_ERROR(fault_.OnRead(first + i));
     auto data = ftl_->Read(first + i, &total);
     if (!data.ok()) return data.status();
+    fault_.MaybeCorrupt(&*data);
     pages.push_back(std::move(*data));
   }
   SimTime service = ServiceTime(total, n, 0);
@@ -101,6 +110,7 @@ Result<IoResult> Ssd::Read(Lba first, u64 n, SimTime arrival) {
 }
 
 Result<IoResult> Ssd::Trim(Lba first, u64 n, SimTime arrival) {
+  EDC_RETURN_IF_ERROR(fault_.BeginOp());
   OpCost total;
   for (u64 i = 0; i < n; ++i) {
     auto cost = ftl_->Trim(first + i);
@@ -131,6 +141,10 @@ DeviceStats Ssd::stats() const {
                 static_cast<double>(flash_.total_erases()) *
                     t.erase_block_uj) *
                1e-6;
+  const FaultStats& fs = fault_.stats();
+  s.read_faults = fs.read_uces;
+  s.program_faults = fs.program_failures;
+  s.pages_corrupted = fs.pages_corrupted;
   return s;
 }
 

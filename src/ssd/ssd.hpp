@@ -45,12 +45,20 @@ class Ssd final : public Device {
   const FlashArray& flash() const { return flash_; }
   const FtlStats& ftl_stats() const { return ftl_->stats(); }
 
+  /// Fault-injection handle: arm one-shot faults, inspect fault stats.
+  FaultInjector& fault() { return fault_; }
+  const FaultInjector& fault() const { return fault_; }
+  /// Reboot after a simulated power cut: the device serves again (the
+  /// flash retains exactly what was programmed before the cut).
+  void RestorePower() { fault_.RestorePower(); }
+
  private:
   /// FIFO admission: start = max(arrival, busy_until).
   IoResult Admit(SimTime arrival, SimTime service, OpCost cost);
 
   SsdConfig config_;
   FlashArray flash_;
+  FaultInjector fault_;
   std::unique_ptr<FtlInterface> ftl_;
   SimTime busy_until_ = 0;
   SimTime busy_accum_ = 0;

@@ -27,7 +27,8 @@ TEST(Status, AllCodesHaveNames) {
                        StatusCode::kNotFound, StatusCode::kOutOfRange,
                        StatusCode::kResourceExhausted, StatusCode::kDataLoss,
                        StatusCode::kFailedPrecondition,
-                       StatusCode::kUnimplemented, StatusCode::kInternal}) {
+                       StatusCode::kUnimplemented, StatusCode::kInternal,
+                       StatusCode::kUnavailable, StatusCode::kMediaError}) {
     EXPECT_FALSE(StatusCodeName(c).empty());
     EXPECT_NE(StatusCodeName(c), "UNKNOWN");
   }

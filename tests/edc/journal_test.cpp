@@ -1,0 +1,217 @@
+// Mapping-journal encode/decode: round trips, prefix semantics under torn
+// writes, generation-salted CRCs, and record-level validation.
+#include <gtest/gtest.h>
+
+#include "common/varint.hpp"
+#include "edc/journal.hpp"
+
+namespace edc::core {
+namespace {
+
+InstallRecord SampleInstall() {
+  InstallRecord r;
+  r.first_lba = 40;
+  r.n_blocks = 3;
+  r.tag = codec::CodecId::kGzip;
+  r.stored_bytes = 2345;
+  r.quanta = 9;
+  r.attempt_starts = {12, 96};
+  r.versions = {5, 1, 7};
+  return r;
+}
+
+TEST(Journal, InstallAndReleaseRoundTrip) {
+  JournalWriter w(1);
+  InstallRecord ins = SampleInstall();
+  w.AppendInstall(ins);
+  ReleaseRecord rel{40, 2};
+  w.AppendRelease(rel);
+
+  auto parsed = ParseJournal(w.stream());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->generation, 1u);
+  ASSERT_EQ(parsed->records.size(), 2u);
+  ASSERT_EQ(parsed->records[0].type, JournalRecordType::kInstall);
+  ASSERT_EQ(parsed->records[1].type, JournalRecordType::kRelease);
+
+  auto ins2 = DecodeInstall(parsed->records[0].body);
+  ASSERT_TRUE(ins2.ok()) << ins2.status().ToString();
+  EXPECT_EQ(ins2->first_lba, ins.first_lba);
+  EXPECT_EQ(ins2->n_blocks, ins.n_blocks);
+  EXPECT_EQ(ins2->tag, ins.tag);
+  EXPECT_EQ(ins2->stored_bytes, ins.stored_bytes);
+  EXPECT_EQ(ins2->quanta, ins.quanta);
+  EXPECT_EQ(ins2->attempt_starts, ins.attempt_starts);
+  EXPECT_EQ(ins2->versions, ins.versions);
+
+  auto rel2 = DecodeRelease(parsed->records[1].body);
+  ASSERT_TRUE(rel2.ok());
+  EXPECT_EQ(rel2->first_lba, rel.first_lba);
+  EXPECT_EQ(rel2->n_blocks, rel.n_blocks);
+}
+
+TEST(Journal, UnusedHalfIsNotFound) {
+  // Erased/never-written flash reads back as zeros: no magic, no journal.
+  Bytes zeros(4096, 0);
+  auto parsed = ParseJournal(zeros);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseJournal({}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Journal, ZeroPaddingTerminatesTheStream) {
+  JournalWriter w(3);
+  w.AppendCheckpoint(Bytes{1, 2, 3});
+  w.AppendRelease(ReleaseRecord{0, 1});
+  // A flash half is zero-padded past the stream's end; the parser must
+  // stop exactly at the padding.
+  Bytes padded = w.stream();
+  padded.resize(padded.size() + 512, 0);
+  auto parsed = ParseJournal(padded);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->generation, 3u);
+  EXPECT_EQ(parsed->records.size(), 2u);
+  EXPECT_EQ(parsed->records[0].type, JournalRecordType::kCheckpoint);
+  EXPECT_EQ(parsed->records[0].body, (Bytes{1, 2, 3}));
+}
+
+TEST(Journal, TornTailYieldsTheLongestValidPrefix) {
+  JournalWriter w(1);
+  for (u64 i = 0; i < 4; ++i) {
+    w.AppendRelease(ReleaseRecord{i, 1});
+  }
+  std::size_t full = w.stream().size();
+  // A power cut can persist any byte prefix of the stream. Whatever
+  // survives, parsing never fails and never invents records.
+  std::size_t last_count = 0;
+  for (std::size_t keep = 5; keep <= full; ++keep) {
+    Bytes torn(w.stream().begin(),
+               w.stream().begin() + static_cast<std::ptrdiff_t>(keep));
+    torn.resize(full + 64, 0);  // rest of the half reads as zeros
+    auto parsed = ParseJournal(torn);
+    ASSERT_TRUE(parsed.ok()) << "keep " << keep;
+    EXPECT_LE(parsed->records.size(), 4u);
+    EXPECT_GE(parsed->records.size(), last_count) << "keep " << keep;
+    last_count = parsed->records.size();
+    for (std::size_t i = 0; i < parsed->records.size(); ++i) {
+      auto rel = DecodeRelease(parsed->records[i].body);
+      ASSERT_TRUE(rel.ok());
+      EXPECT_EQ(rel->first_lba, i);
+    }
+  }
+  EXPECT_EQ(last_count, 4u);
+}
+
+TEST(Journal, CorruptRecordStopsTheParseThere) {
+  JournalWriter w(2);
+  w.AppendCheckpoint(Bytes{9});
+  w.AppendRelease(ReleaseRecord{7, 1});
+  w.AppendRelease(ReleaseRecord{8, 1});
+  // Flip one bit inside the *second* record's body; its CRC fails, and the
+  // third record — although intact — is unreachable by design (a torn
+  // middle means the tail's provenance is unknown).
+  Bytes bad = w.stream();
+  // Locate record 2 by re-parsing the intact stream layout: header is
+  // 4 bytes magic + 1 byte generation varint; skip record 1.
+  std::size_t pos = 5;
+  auto skip_record = [&bad](std::size_t p) {
+    // type u8 | len varint | body | crc32.
+    std::size_t q = p + 1;
+    auto len = GetVarint(bad, &q);
+    EXPECT_TRUE(len.ok());
+    return q + *len + 4;
+  };
+  std::size_t rec2 = skip_record(pos);
+  bad[rec2 + 2] ^= 0x40;  // inside record 2's len/body region
+  auto parsed = ParseJournal(bad);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->records.size(), 1u);
+  EXPECT_EQ(parsed->records[0].type, JournalRecordType::kCheckpoint);
+}
+
+TEST(Journal, StaleGenerationRecordsAreRejectedByTheCrcSalt) {
+  // A reused half may still hold bytes from generation g-2. Forge the
+  // realistic failure: an old generation's record tail surviving after a
+  // new, shorter generation's header — the CRC salt must reject it.
+  JournalWriter old_gen(4);
+  old_gen.AppendRelease(ReleaseRecord{1, 1});
+  old_gen.AppendRelease(ReleaseRecord{2, 1});
+
+  JournalWriter new_gen(6);
+  new_gen.AppendRelease(ReleaseRecord{1, 1});
+
+  // New stream overwrites the front of the old one; the old second record
+  // survives byte-intact right where the new stream ends.
+  Bytes half = old_gen.stream();
+  ASSERT_LT(new_gen.stream().size(), half.size());
+  std::copy(new_gen.stream().begin(), new_gen.stream().end(), half.begin());
+
+  auto parsed = ParseJournal(half);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->generation, 6u);
+  // Only the new generation's record; the stale tail must not resurrect.
+  EXPECT_EQ(parsed->records.size(), 1u);
+
+  // Sanity-check the mechanism itself: the same bytes CRC differently
+  // under different generations.
+  Bytes body{0xAA, 0xBB};
+  EXPECT_NE(JournalRecordCrc(4, JournalRecordType::kRelease, body),
+            JournalRecordCrc(6, JournalRecordType::kRelease, body));
+}
+
+TEST(Journal, UnknownRecordTypeStopsTheParse) {
+  JournalWriter w(1);
+  w.AppendRelease(ReleaseRecord{3, 1});
+  Bytes bad = w.stream();
+  bad.push_back(0x7F);  // type byte outside the known set
+  bad.push_back(0x00);
+  auto parsed = ParseJournal(bad);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->records.size(), 1u);
+}
+
+TEST(Journal, DecodeInstallValidatesItsFields) {
+  auto encode = [](const InstallRecord& r) {
+    JournalWriter w(1);
+    w.AppendInstall(r);
+    auto parsed = ParseJournal(w.stream());
+    EXPECT_TRUE(parsed.ok());
+    return parsed->records.at(0).body;
+  };
+
+  {
+    InstallRecord r = SampleInstall();
+    r.n_blocks = 0;
+    r.versions.clear();
+    EXPECT_FALSE(DecodeInstall(encode(r)).ok()) << "zero blocks";
+  }
+  {
+    InstallRecord r = SampleInstall();
+    r.n_blocks = 65;  // above the extent container's member cap
+    r.versions.assign(65, 1);
+    EXPECT_FALSE(DecodeInstall(encode(r)).ok()) << "oversized group";
+  }
+  {
+    InstallRecord r = SampleInstall();
+    r.attempt_starts.clear();
+    EXPECT_FALSE(DecodeInstall(encode(r)).ok()) << "no placement";
+  }
+  {
+    InstallRecord r = SampleInstall();
+    r.attempt_starts.assign(17, 0);  // above the relocation-retry cap
+    EXPECT_FALSE(DecodeInstall(encode(r)).ok()) << "too many attempts";
+  }
+  {
+    Bytes body = encode(SampleInstall());
+    body.push_back(0);
+    EXPECT_FALSE(DecodeInstall(body).ok()) << "trailing bytes";
+  }
+  {
+    Bytes body = encode(SampleInstall());
+    body.pop_back();
+    EXPECT_FALSE(DecodeInstall(body).ok()) << "truncated body";
+  }
+  EXPECT_FALSE(DecodeRelease(Bytes{1}).ok()) << "truncated release";
+}
+
+}  // namespace
+}  // namespace edc::core

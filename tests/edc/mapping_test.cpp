@@ -17,8 +17,13 @@ TEST(SizeClass, SingleBlockClasses) {
   EXPECT_EQ(SizeClassQuanta(4096, 1), 4u);
 }
 
-TEST(SizeClass, OversizeClampsToFull) {
-  EXPECT_EQ(SizeClassQuanta(5000, 1), 4u);
+TEST(SizeClass, OversizeTakesTheNextGridStep) {
+  // A payload can exceed 100% of the original (the durable extent header
+  // wraps incompressible data); the grid keeps extending in orig_blocks
+  // multiples rather than rejecting the install.
+  EXPECT_EQ(SizeClassQuanta(4097, 1), 5u);
+  EXPECT_EQ(SizeClassQuanta(5000, 1), 5u);
+  EXPECT_EQ(SizeClassQuanta(16400, 4), 20u);
 }
 
 TEST(SizeClass, MergedGroupsScaleWithBlocks) {

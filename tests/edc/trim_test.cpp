@@ -105,6 +105,46 @@ TEST(EngineTrim, RewriteAfterTrimWorks) {
   EXPECT_EQ(*data, e.ExpectedBlockData(0));
 }
 
+// Regression: a partially-live group (some members trimmed) followed by a
+// re-write of the trimmed range must keep the allocator's free-list tiling
+// invariant — the old group keeps its whole extent while any member lives,
+// and the re-written blocks land in a fresh extent, so live ∪ free must
+// still exactly tile the consumed address space.
+TEST(EngineTrim, PartialTrimThenRewriteKeepsFreeListTiling) {
+  auto stack = MakeStack(Scheme::kEdc);
+  Engine& e = stack->engine();
+  ASSERT_TRUE(e.Write(0, 0, 4 * kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.FlushPending(kMillisecond).ok());
+  ASSERT_TRUE(
+      e.Trim(2 * kMillisecond, 0, 2 * kLogicalBlockSize).ok());
+  AuditReport after_trim = e.Audit();
+  EXPECT_TRUE(after_trim.ok()) << after_trim.ToString();
+
+  // Re-write the trimmed half: a new group, while the old one still holds
+  // members 2..3 and therefore its full extent.
+  ASSERT_TRUE(
+      e.Write(3 * kMillisecond, 0, 2 * kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.FlushPending(4 * kMillisecond).ok());
+  EXPECT_GE(e.map().num_groups(), 2u);
+  AuditReport after_rewrite = e.Audit();
+  EXPECT_TRUE(after_rewrite.ok()) << after_rewrite.ToString();
+
+  // Now retire the old group completely and rewrite again: its freed
+  // extent re-enters the free lists and must still tile.
+  ASSERT_TRUE(e.Trim(5 * kMillisecond, 2 * kLogicalBlockSize,
+                     2 * kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.Write(6 * kMillisecond, 2 * kLogicalBlockSize,
+                      2 * kLogicalBlockSize).ok());
+  ASSERT_TRUE(e.FlushPending(7 * kMillisecond).ok());
+  AuditReport final_report = e.Audit();
+  EXPECT_TRUE(final_report.ok()) << final_report.ToString();
+  for (Lba lba = 0; lba < 4; ++lba) {
+    auto data = e.ReadBlockData(lba);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, e.ExpectedBlockData(lba)) << "lba " << lba;
+  }
+}
+
 TEST(EngineTrim, TrimOfUnwrittenRangeIsNoop) {
   auto stack = MakeStack(Scheme::kNative);
   Engine& e = stack->engine();

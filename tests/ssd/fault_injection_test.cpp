@@ -1,0 +1,191 @@
+// Fault-injection framework at the device boundary: deterministic,
+// seed-driven read/program failures, latent bit corruption and power cuts
+// (see docs/fault_model.md for the fault classes).
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace edc::ssd {
+namespace {
+
+SsdConfig SmallConfig() {
+  SsdConfig cfg;
+  cfg.geometry.pages_per_block = 16;
+  cfg.geometry.num_blocks = 64;
+  cfg.store_data = true;
+  return cfg;
+}
+
+Bytes PageOf(u8 fill) { return Bytes(kLogicalBlockSize, fill); }
+
+Status WriteOne(Ssd& ssd, Lba lba, u8 fill) {
+  std::vector<Bytes> pages{PageOf(fill)};
+  return ssd.Write(lba, pages, 0).status();
+}
+
+TEST(FaultInjection, DefaultDeviceNeverFaults) {
+  Ssd ssd(SmallConfig());
+  for (u8 i = 0; i < 50; ++i) {
+    ASSERT_TRUE(WriteOne(ssd, i, i).ok());
+    auto r = ssd.Read(i, 1, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->pages.at(0), PageOf(i));
+  }
+  const FaultStats& fs = ssd.fault().stats();
+  EXPECT_EQ(fs.read_uces, 0u);
+  EXPECT_EQ(fs.program_failures, 0u);
+  EXPECT_EQ(fs.pages_corrupted, 0u);
+  EXPECT_FALSE(fs.power_lost);
+  // The injector still counts ops, so crash sweeps can size cut points.
+  EXPECT_EQ(fs.ops, 100u);
+}
+
+TEST(FaultInjection, PowerCutFreezesDeviceUntilRestore) {
+  SsdConfig cfg = SmallConfig();
+  cfg.fault.power_cut_at_op = 3;
+  Ssd ssd(cfg);
+  ASSERT_TRUE(WriteOne(ssd, 0, 0xA1).ok());
+  ASSERT_TRUE(WriteOne(ssd, 1, 0xA2).ok());
+  ASSERT_TRUE(WriteOne(ssd, 2, 0xA3).ok());
+  // Operation 4 trips the cut; everything after fails the same way.
+  auto st = WriteOne(ssd, 3, 0xA4);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ssd.Read(0, 1, 0).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ssd.Trim(0, 1, 0).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ssd.fault().stats().power_lost);
+
+  // Reboot: the flash retains exactly what was programmed before the cut.
+  ssd.RestorePower();
+  auto r = ssd.Read(0, 3, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages.at(0), PageOf(0xA1));
+  EXPECT_EQ(r->pages.at(1), PageOf(0xA2));
+  EXPECT_EQ(r->pages.at(2), PageOf(0xA3));
+  // The write that hit the cut never reached the flash.
+  auto lost = ssd.Read(3, 1, 0);
+  ASSERT_TRUE(lost.ok());
+  EXPECT_TRUE(lost->pages.at(0).empty());
+}
+
+TEST(FaultInjection, ProgramGranularCutTearsMultiPageWrite) {
+  SsdConfig cfg = SmallConfig();
+  cfg.fault.power_cut_at_program = 2;
+  Ssd ssd(cfg);
+  std::vector<Bytes> pages{PageOf(1), PageOf(2), PageOf(3), PageOf(4)};
+  auto st = ssd.Write(0, pages, 0);
+  EXPECT_EQ(st.status().code(), StatusCode::kUnavailable);
+
+  ssd.RestorePower();
+  auto r = ssd.Read(0, 4, 0);
+  ASSERT_TRUE(r.ok());
+  // Pages before the threshold stuck; the rest were lost mid-operation.
+  EXPECT_EQ(r->pages.at(0), PageOf(1));
+  EXPECT_EQ(r->pages.at(1), PageOf(2));
+  EXPECT_TRUE(r->pages.at(2).empty());
+  EXPECT_TRUE(r->pages.at(3).empty());
+}
+
+TEST(FaultInjection, ProgramFailureKeepsPreviousContent) {
+  SsdConfig cfg = SmallConfig();
+  cfg.fault.seed = 7;
+  cfg.fault.p_program_fail = 0.3;
+  Ssd ssd(cfg);
+  // Rewrite one page until the injector fails a program; the page must
+  // keep the content of the last successful write.
+  u8 last_good = 0;
+  bool failed = false;
+  for (u8 fill = 1; fill <= 100; ++fill) {
+    Status st = WriteOne(ssd, 9, fill);
+    if (st.ok()) {
+      last_good = fill;
+    } else {
+      EXPECT_EQ(st.code(), StatusCode::kMediaError);
+      failed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(failed) << "p=0.3 over 100 writes must fail at least once";
+  ASSERT_GT(last_good, 0) << "seed 7 must allow at least one write first";
+  auto r = ssd.Read(9, 1, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages.at(0), PageOf(last_good));
+  EXPECT_EQ(ssd.stats().program_faults, 1u);
+}
+
+TEST(FaultInjection, FaultSequenceIsDeterministicAcrossReplays) {
+  SsdConfig cfg = SmallConfig();
+  cfg.fault.seed = 1234;
+  cfg.fault.p_program_fail = 0.2;
+  cfg.fault.p_read_uce = 0.1;
+  Ssd a(cfg);
+  Ssd b(cfg);
+  for (int i = 0; i < 200; ++i) {
+    Lba lba = static_cast<Lba>(i % 32);
+    if (i % 3 == 0) {
+      EXPECT_EQ(WriteOne(a, lba, static_cast<u8>(i)).code(),
+                WriteOne(b, lba, static_cast<u8>(i)).code())
+          << "op " << i;
+    } else {
+      EXPECT_EQ(a.Read(lba, 1, 0).status().code(),
+                b.Read(lba, 1, 0).status().code())
+          << "op " << i;
+    }
+  }
+  EXPECT_EQ(a.fault().stats().program_failures,
+            b.fault().stats().program_failures);
+  EXPECT_EQ(a.fault().stats().read_uces, b.fault().stats().read_uces);
+  EXPECT_GT(a.fault().stats().program_failures +
+                a.fault().stats().read_uces,
+            0u);
+}
+
+TEST(FaultInjection, ForcedReadFaultFiresExactlyOnce) {
+  Ssd ssd(SmallConfig());
+  ASSERT_TRUE(WriteOne(ssd, 5, 0x5A).ok());
+  ssd.fault().ForceReadFaultOnce(5);
+  auto bad = ssd.Read(5, 1, 0);
+  EXPECT_EQ(bad.status().code(), StatusCode::kMediaError);
+  // The fault is one-shot: the next read succeeds with the stored data.
+  auto good = ssd.Read(5, 1, 0);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->pages.at(0), PageOf(0x5A));
+  EXPECT_EQ(ssd.stats().read_faults, 1u);
+}
+
+TEST(FaultInjection, BitCorruptionFlipsExactlyOneBit) {
+  SsdConfig cfg = SmallConfig();
+  cfg.fault.p_bit_corrupt = 1.0;
+  Ssd ssd(cfg);
+  ASSERT_TRUE(WriteOne(ssd, 0, 0x00).ok());
+  auto r = ssd.Read(0, 1, 0);
+  ASSERT_TRUE(r.ok());
+  const Bytes& page = r->pages.at(0);
+  ASSERT_EQ(page.size(), kLogicalBlockSize);
+  int bits_flipped = 0;
+  for (u8 byte : page) {
+    bits_flipped += __builtin_popcount(byte);
+  }
+  EXPECT_EQ(bits_flipped, 1);
+  EXPECT_EQ(ssd.stats().pages_corrupted, 1u);
+  // Latent corruption: the flash content itself is intact — a second read
+  // sees a fresh (independent) corruption of the true bytes.
+  auto again = ssd.Read(0, 1, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ssd.stats().pages_corrupted, 2u);
+}
+
+TEST(FaultInjection, RestorePowerKeepsProbabilisticFaultsArmed) {
+  SsdConfig cfg = SmallConfig();
+  cfg.fault.power_cut_at_op = 1;
+  cfg.fault.p_read_uce = 1.0;
+  Ssd ssd(cfg);
+  ASSERT_TRUE(WriteOne(ssd, 0, 1).ok());
+  EXPECT_EQ(WriteOne(ssd, 1, 2).code(), StatusCode::kUnavailable);
+  ssd.RestorePower();
+  // The cut trigger is disarmed, but the (worn-device) read UCE rate stays.
+  EXPECT_TRUE(WriteOne(ssd, 1, 2).ok());
+  EXPECT_EQ(ssd.Read(0, 1, 0).status().code(), StatusCode::kMediaError);
+}
+
+}  // namespace
+}  // namespace edc::ssd

@@ -1,0 +1,56 @@
+// SsdGeometry::logical_pages() guards: an overprovision fraction outside
+// (0, 1) or a geometry that exposes zero logical pages used to be silently
+// truncated into a nonsensical capacity; now it fails the EDC_CHECK loudly.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ssd/config.hpp"
+
+namespace edc::ssd {
+namespace {
+
+void ThrowOnCheckFailure(const std::string& message) {
+  throw std::runtime_error(message);
+}
+
+TEST(GeometryGuard, DefaultGeometryIsValid) {
+  SsdGeometry geom;
+  EXPECT_EQ(geom.raw_pages(), 64u * 1024u);
+  EXPECT_EQ(geom.logical_pages(),
+            static_cast<u64>(static_cast<double>(geom.raw_pages()) *
+                             (1.0 - geom.overprovision)));
+  EXPECT_GE(geom.logical_pages(), 1u);
+}
+
+TEST(GeometryGuard, OverprovisionOutsideUnitIntervalIsRejected) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  for (double bad : {0.0, 1.0, -0.25, 1.5}) {
+    SsdGeometry geom;
+    geom.overprovision = bad;
+    EXPECT_THROW(geom.logical_pages(), std::runtime_error)
+        << "overprovision " << bad;
+  }
+}
+
+TEST(GeometryGuard, GeometryExposingNoLogicalPagesIsRejected) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  SsdGeometry geom;
+  geom.pages_per_block = 1;
+  geom.num_blocks = 1;
+  geom.overprovision = 0.999;  // floor(1 * 0.001) = 0 logical pages
+  EXPECT_THROW(geom.logical_pages(), std::runtime_error);
+}
+
+TEST(GeometryGuard, BoundaryFractionsStillWork) {
+  SsdGeometry geom;
+  geom.pages_per_block = 16;
+  geom.num_blocks = 16;
+  geom.overprovision = 0.99;  // floor(256 * 0.01) = 2 logical pages
+  EXPECT_EQ(geom.logical_pages(), 2u);
+  geom.overprovision = 1e-9;  // effectively all pages visible
+  EXPECT_EQ(geom.logical_pages(), 255u);
+}
+
+}  // namespace
+}  // namespace edc::ssd
