@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 
 #include "common/table.hpp"
+#include "obs/observer.hpp"
 
 namespace edc::bench {
 
@@ -24,6 +26,8 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opt.threads = static_cast<u32>(std::atoi(a + 10));
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       opt.json_path = a + 7;
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      opt.collect_metrics = true;
     } else if (std::strcmp(a, "--verbose") == 0) {
       opt.verbose = true;
     }
@@ -93,6 +97,16 @@ Result<sim::ReplayResult> RunCell(
   auto cfg = BaseStackConfig(trace.name, scheme, opt);
   if (!cfg.ok()) return cfg.status();
   if (tweak) tweak(*cfg);
+  // Each cell owns its observer (metrics only, no tracing): cells run
+  // concurrently but a registry is confined to its one cell's thread.
+  std::unique_ptr<obs::Observer> observer;
+  if (opt.collect_metrics) {
+    obs::Observer::Options oo;
+    oo.metrics = true;
+    oo.trace = false;
+    observer = std::make_unique<obs::Observer>(oo);
+    cfg->obs = observer.get();
+  }
   auto model = CostModelFor(cfg->content_profile);
   if (!model.ok()) return model.status();
   auto stack = core::Stack::Create(*cfg, *model);
@@ -186,14 +200,20 @@ Status WriteMatrixJson(const Matrix& m, const BenchOptions& opt,
           "\"requests\": %llu, \"mean_response_ms\": %.6g, "
           "\"p50_us\": %.6g, \"p95_us\": %.6g, \"p99_us\": %.6g, "
           "\"compression_ratio\": %.6g, \"space_saving\": %.6g, "
+          "\"write_p99_us\": %.6g, \"read_p99_us\": %.6g, "
           "\"ratio_over_time\": %.6g, \"cpu_utilization\": %.6g, "
-          "\"device_utilization\": %.6g}",
+          "\"device_utilization\": %.6g",
           first ? "" : ",\n", trace_name.c_str(),
           std::string(core::SchemeName(s)).c_str(),
           static_cast<unsigned long long>(r.requests),
           r.mean_response_ms(), r.p50_us, r.p95_us, r.p99_us,
-          r.compression_ratio, r.space_saving(), r.ratio_over_time(),
-          r.cpu_utilization(), r.device_utilization());
+          r.compression_ratio, r.space_saving(), r.write_p99_us,
+          r.read_p99_us, r.ratio_over_time(), r.cpu_utilization(),
+          r.device_utilization());
+      if (!r.metrics.empty()) {
+        std::fprintf(f, ", \"metrics\": %s", r.metrics.ToJson().c_str());
+      }
+      std::fputs("}", f);
       first = false;
     }
   }

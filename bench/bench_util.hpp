@@ -30,6 +30,9 @@ struct BenchOptions {
   u32 threads = 0;
   /// When non-empty, RunMatrix dumps the matrix as JSON to this path.
   std::string json_path;
+  /// --metrics: give every cell its own metrics-only Observer and embed
+  /// the deterministic snapshot in each cell of the --json dump.
+  bool collect_metrics = false;
 };
 
 /// Parse "--seconds=30 --seed=7 --device-mib=4096 --threads=4

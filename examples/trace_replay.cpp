@@ -11,9 +11,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "common/worker_pool.hpp"
+#include "obs/observer.hpp"
 #include "sim/replay.hpp"
 #include "trace/parser.hpp"
 #include "trace/synthetic.hpp"
@@ -30,6 +32,10 @@ struct Options {
   u64 seed = 42;
   bool functional = false;
   u32 threads = 0;  // 0 = hardware concurrency
+  std::string metrics_out;   // metrics snapshot as JSON
+  std::string metrics_prom;  // metrics snapshot as Prometheus text
+  std::string trace_out;     // Chrome trace-event JSON (Perfetto)
+  std::string trace_filter;  // comma-separated trace categories
 };
 
 Options Parse(int argc, char** argv) {
@@ -43,12 +49,20 @@ Options Parse(int argc, char** argv) {
     else if (std::strncmp(a, "--seed=", 7) == 0) o.seed = static_cast<u64>(std::atoll(a + 7));
     else if (std::strcmp(a, "--functional") == 0) o.functional = true;
     else if (std::strncmp(a, "--threads=", 10) == 0) o.threads = static_cast<u32>(std::atoi(a + 10));
+    else if (std::strncmp(a, "--metrics-out=", 14) == 0) o.metrics_out = a + 14;
+    else if (std::strncmp(a, "--metrics-prom=", 15) == 0) o.metrics_prom = a + 15;
+    else if (std::strncmp(a, "--trace-out=", 12) == 0) o.trace_out = a + 12;
+    else if (std::strncmp(a, "--trace-filter=", 15) == 0) o.trace_filter = a + 15;
     else {
       std::fprintf(stderr,
                    "usage: trace_replay [--trace=Fin1|Fin2|Usr_0|Prxy_0] "
                    "[--trace-file=PATH]\n"
                    "                    [--scheme=native|lzf|gzip|bzip2|edc] "
-                   "[--seconds=N] [--seed=N] [--functional] [--threads=N]\n");
+                   "[--seconds=N] [--seed=N] [--functional] [--threads=N]\n"
+                   "                    [--metrics-out=PATH.json] "
+                   "[--metrics-prom=PATH.prom]\n"
+                   "                    [--trace-out=PATH.json] "
+                   "[--trace-filter=cat1,cat2,...]\n");
       std::exit(2);
     }
   }
@@ -115,6 +129,20 @@ int main(int argc, char** argv) {
   cfg.seed = o.seed;
   cfg.ssd = ssd::MakeX25eConfig(8192, /*store_data=*/false);
 
+  // Observability is opt-in: construct the observer only when an export
+  // flag asks for it (the null fast path costs nothing otherwise).
+  const bool want_metrics = !o.metrics_out.empty() || !o.metrics_prom.empty();
+  const bool want_trace = !o.trace_out.empty();
+  std::unique_ptr<obs::Observer> observer;
+  if (want_metrics || want_trace) {
+    obs::Observer::Options oo;
+    oo.metrics = want_metrics;
+    oo.trace = want_trace;
+    oo.trace_filter = o.trace_filter;
+    observer = std::make_unique<obs::Observer>(oo);
+    cfg.obs = observer.get();
+  }
+
   u32 threads = o.threads != 0 ? o.threads
                                : std::max(std::thread::hardware_concurrency(),
                                           1u);
@@ -133,6 +161,7 @@ int main(int argc, char** argv) {
   } else if (threads > 1) {
     cfg.compress_pool = &pool;  // offload functional codec work
   }
+  if (observer != nullptr) observer->AttachWorkerPool(&pool);
   auto stack = core::Stack::Create(cfg, model);
   if (!stack.ok()) {
     std::fprintf(stderr, "%s\n", stack.status().ToString().c_str());
@@ -155,6 +184,12 @@ int main(int argc, char** argv) {
   std::printf("  write / read mean  : %.2f / %.2f us\n",
               result->write_response_us.mean(),
               result->read_response_us.mean());
+  std::printf("  write percentiles  : p50 %.2f / p95 %.2f / p99 %.2f us\n",
+              result->write_p50_us, result->write_p95_us,
+              result->write_p99_us);
+  std::printf("  read percentiles   : p50 %.2f / p95 %.2f / p99 %.2f us\n",
+              result->read_p50_us, result->read_p95_us,
+              result->read_p99_us);
   std::printf("  compression ratio  : %.3fx (%.1f%% space saved)\n",
               result->compression_ratio, result->space_saving() * 100);
   std::printf("  ratio / time       : %.3f\n", result->ratio_over_time());
@@ -165,5 +200,36 @@ int main(int argc, char** argv) {
               result->device.waf,
               static_cast<unsigned long long>(result->device.total_erases),
               result->device.max_erase_count);
+
+  // --- Observability exports -------------------------------------------
+  auto write_file = [](const std::string& path,
+                       const std::string& body) -> bool {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << body;
+    return true;
+  };
+  if (observer != nullptr) {
+    obs::MetricsSnapshot snap = result->metrics;
+    if (!o.metrics_out.empty()) {
+      if (!write_file(o.metrics_out, snap.ToJson())) return 1;
+      std::printf("  metrics            : %zu samples -> %s\n",
+                  snap.samples.size(), o.metrics_out.c_str());
+    }
+    if (!o.metrics_prom.empty()) {
+      if (!write_file(o.metrics_prom, snap.ToPrometheus())) return 1;
+      std::printf("  metrics (prom)     : -> %s\n", o.metrics_prom.c_str());
+    }
+    if (!o.trace_out.empty()) {
+      const obs::TraceRecorder* rec = observer->trace();
+      if (!write_file(o.trace_out, rec->ToJson())) return 1;
+      std::printf("  trace              : %zu events -> %s "
+                  "(load in ui.perfetto.dev)\n",
+                  rec->event_count(), o.trace_out.c_str());
+    }
+  }
   return 0;
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validate trace_replay's observability exports.
+
+Usage: validate_obs.py METRICS.json TRACE.json
+
+Checks that the metrics snapshot parses, carries the expected schema
+tag and well-formed samples, and that the trace file is valid Chrome
+trace-event JSON (the format Perfetto loads). Exits non-zero with a
+message on the first problem so CI fails loudly.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print("validate_obs: FAIL: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_metrics(path):
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "edc-metrics-v1":
+        fail("%s: schema is %r, want 'edc-metrics-v1'" %
+             (path, doc.get("schema")))
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail("%s: 'metrics' missing or empty" % path)
+    names = set()
+    for m in metrics:
+        for key in ("name", "type"):
+            if key not in m:
+                fail("%s: sample missing %r: %r" % (path, key, m))
+        if m["type"] not in ("counter", "gauge", "histogram"):
+            fail("%s: bad type %r" % (path, m["type"]))
+        if m["type"] == "histogram":
+            for key in ("buckets", "sum", "count"):
+                if key not in m:
+                    fail("%s: histogram %s missing %r" %
+                         (path, m["name"], key))
+        elif "value" not in m:
+            fail("%s: %s missing 'value'" % (path, m["name"]))
+        names.add(m["name"])
+    for expected in ("edc_host_writes_total", "edc_write_latency_us",
+                     "edc_breaker_open", "edc_device_host_pages_written_total"):
+        if expected not in names:
+            fail("%s: expected metric %s absent" % (path, expected))
+    print("validate_obs: %s ok (%d samples)" % (path, len(metrics)))
+
+
+def validate_trace(path):
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("%s: 'traceEvents' missing or empty" % path)
+    phases = set()
+    for e in events:
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail("%s: event missing %r: %r" % (path, key, e))
+        if e["ph"] not in ("X", "i", "M"):
+            fail("%s: unexpected phase %r" % (path, e["ph"]))
+        if e["ph"] != "M" and "ts" not in e:
+            fail("%s: %s event missing 'ts'" % (path, e["ph"]))
+        if e["ph"] == "X" and "dur" not in e:
+            fail("%s: complete event missing 'dur'" % path)
+        phases.add(e["ph"])
+    if "X" not in phases:
+        fail("%s: no complete ('X') spans recorded" % path)
+    if not any(e["ph"] == "M" and e["name"] == "thread_name"
+               for e in events):
+        fail("%s: no thread_name metadata (lanes unnamed)" % path)
+    print("validate_obs: %s ok (%d events)" % (path, len(events)))
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: validate_obs.py METRICS.json TRACE.json")
+    validate_metrics(sys.argv[1])
+    validate_trace(sys.argv[2])
+    print("validate_obs: PASS")
+
+
+if __name__ == "__main__":
+    main()

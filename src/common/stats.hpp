@@ -142,14 +142,17 @@ class Ewma {
 };
 
 /// Fixed-width linear histogram over [lo, hi); out-of-range values clamp to
-/// the edge buckets.
+/// the edge buckets. A degenerate range (hi <= lo) or a zero bucket count
+/// is guarded: the histogram still accepts values (everything lands in
+/// bucket 0) instead of dividing by zero.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+      : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(buckets, 1), 0) {}
 
   void Add(double x) {
-    double t = (x - lo_) / (hi_ - lo_);
+    const double width = hi_ - lo_;
+    double t = width > 0 ? (x - lo_) / width : 0.0;
     auto b = static_cast<std::ptrdiff_t>(
         t * static_cast<double>(counts_.size()));
     b = std::clamp<std::ptrdiff_t>(
@@ -204,6 +207,9 @@ class SlidingWindowRate {
   SimTime window() const { return window_; }
 
  private:
+  /// Eviction boundary: an event at exactly `now - window_` is OUTSIDE
+  /// the trailing window (the window is the half-open interval
+  /// (now - window, now]). Pinned by SlidingWindowRateTest.
   void Evict(SimTime now) {
     while (!events_.empty() && events_.front().at <= now - window_) {
       sum_ -= events_.front().weight;

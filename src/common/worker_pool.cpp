@@ -1,15 +1,19 @@
 #include "common/worker_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 namespace edc {
 
 WorkerPool::WorkerPool(std::size_t threads, std::size_t max_queue)
     : max_queue_(max_queue) {
-  threads_.reserve(std::max<std::size_t>(threads, 1));
-  for (std::size_t i = 0; i < std::max<std::size_t>(threads, 1); ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+  const std::size_t n = std::max<std::size_t>(threads, 1);
+  thread_busy_ns_ = std::make_unique<std::atomic<u64>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) thread_busy_ns_[i] = 0;
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -25,11 +29,13 @@ void WorkerPool::Enqueue(std::function<void()> task) {
       throw std::runtime_error("WorkerPool: Submit after Shutdown");
     }
     queue_.push_back(std::move(task));
+    ++jobs_submitted_;
+    max_queue_depth_ = std::max<u64>(max_queue_depth_, queue_.size());
   }
   work_ready_.notify_one();
 }
 
-void WorkerPool::WorkerLoop() {
+void WorkerPool::WorkerLoop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -42,8 +48,32 @@ void WorkerPool::WorkerLoop() {
       queue_.pop_front();
     }
     queue_space_.notify_one();
+    auto started = std::chrono::steady_clock::now();
     task();  // exceptions propagate through the packaged_task's future
+    auto elapsed = std::chrono::steady_clock::now() - started;
+    thread_busy_ns_[worker_index].fetch_add(
+        static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+WorkerPool::Stats WorkerPool::GetStats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.jobs_submitted = jobs_submitted_;
+    s.max_queue_depth = max_queue_depth_;
+  }
+  s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  s.thread_busy_ns.reserve(threads_.size());
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    s.thread_busy_ns.push_back(
+        thread_busy_ns_[i].load(std::memory_order_relaxed));
+  }
+  return s;
 }
 
 void WorkerPool::Shutdown() {

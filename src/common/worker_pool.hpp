@@ -15,6 +15,7 @@
 //    every worker waiting, nothing can make progress.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -26,6 +27,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/types.hpp"
 
 namespace edc {
 
@@ -40,6 +43,18 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   std::size_t thread_count() const { return threads_.size(); }
+
+  /// Pool telemetry for the observability layer. Job counts are exact;
+  /// queue depth and per-thread busy time depend on wall-clock scheduling
+  /// and are therefore only exported as *volatile* metrics (see
+  /// obs::Observer::AttachWorkerPool).
+  struct Stats {
+    u64 jobs_submitted = 0;
+    u64 jobs_completed = 0;
+    u64 max_queue_depth = 0;            // peak queued-but-not-started
+    std::vector<u64> thread_busy_ns;    // wall-clock task time per worker
+  };
+  Stats GetStats() const;
 
   /// Enqueue `fn` for execution; blocks while the bounded queue is full.
   /// Throws std::runtime_error if the pool has been shut down.
@@ -58,14 +73,18 @@ class WorkerPool {
 
  private:
   void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void WorkerLoop(std::size_t worker_index);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;   // workers wait here
   std::condition_variable queue_space_;  // bounded Submit waits here
   std::deque<std::function<void()>> queue_;
   std::size_t max_queue_;
   bool shutting_down_ = false;
+  u64 jobs_submitted_ = 0;      // guarded by mu_
+  u64 max_queue_depth_ = 0;     // guarded by mu_
+  std::atomic<u64> jobs_completed_{0};
+  std::unique_ptr<std::atomic<u64>[]> thread_busy_ns_;
   std::vector<std::thread> threads_;
 };
 

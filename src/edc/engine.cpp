@@ -64,9 +64,122 @@ Engine::Engine(const EngineConfig& config, ssd::Device* device,
         << "program-retry budget exceeds the journal's attempt bound";
     flash_image_.assign(data_pages_ * kLogicalBlockSize, 0);
   }
+  RegisterObservability();
 }
 
-SimTime Engine::RunOnCpu(SimTime ready, SimTime duration) {
+void Engine::RegisterObservability() {
+  obs::Observer* o = config_.obs;
+  if (o == nullptr) return;
+  trace_ = o->trace();
+  if (trace_ != nullptr) {
+    trace_->NameThread(obs::kHostTid, "host requests");
+    for (u32 c = 0; c < std::max<u32>(1, config_.cpu_contexts); ++c) {
+      trace_->NameThread(obs::kCpuTidBase + c,
+                         "cpu context " + std::to_string(c));
+    }
+    trace_->NameThread(obs::kDeviceTid, "device");
+    if (config_.durability.enabled) {
+      trace_->NameThread(obs::kJournalTid, "journal");
+    }
+  }
+  obs::MetricRegistry* m = o->metrics();
+  if (m == nullptr) return;
+  write_latency_hist_ =
+      m->GetHistogram("edc_write_latency_us", {}, obs::LatencyBoundsUs(),
+                      "Host write latency in simulated microseconds");
+  read_latency_hist_ =
+      m->GetHistogram("edc_read_latency_us", {}, obs::LatencyBoundsUs(),
+                      "Host read latency in simulated microseconds");
+  alloc_quanta_hist_ = m->GetHistogram(
+      "edc_alloc_quanta", {}, {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64},
+      "Size-class quanta allocated per installed group");
+  breaker_gauge_ =
+      m->GetGauge("edc_breaker_open", {},
+                  "1 while the degradation breaker has the engine demoted "
+                  "to uncompressed writes");
+  // Everything EngineStats already tracks is exported via a pull
+  // collector, so the snapshot always agrees with stats() and the hot
+  // path pays nothing extra for these.
+  m->AddCollector([this](obs::SampleList& out) {
+    const EngineStats& s = stats_;
+    out.AddCounter("edc_host_writes_total", {}, s.host_writes,
+                   "Host write requests");
+    out.AddCounter("edc_host_reads_total", {}, s.host_reads,
+                   "Host read requests");
+    out.AddCounter("edc_logical_bytes_written_total", {},
+                   s.logical_bytes_written,
+                   "Original (pre-compression) bytes written");
+    out.AddCounter("edc_compressed_bytes_total", {},
+                   s.compressed_bytes_total,
+                   "Post-codec payload bytes written");
+    out.AddCounter("edc_allocated_bytes_total", {}, s.allocated_bytes_total,
+                   "Size-class-rounded flash bytes allocated");
+    out.AddCounter("edc_groups_written_total", {}, s.groups_written,
+                   "Compression groups installed");
+    out.AddCounter("edc_merged_blocks_total", {}, s.merged_blocks,
+                   "Blocks written as part of multi-block merged groups");
+    out.AddCounter("edc_blocks_skipped_total", {{"reason", "content"}},
+                   s.blocks_skipped_content,
+                   "Blocks stored raw by estimator/intensity skip");
+    out.AddCounter("edc_blocks_skipped_total", {{"reason", "intensity"}},
+                   s.blocks_skipped_intensity,
+                   "Blocks stored raw by estimator/intensity skip");
+    for (std::size_t c = 0; c <= codec::kMaxCodecId; ++c) {
+      out.AddCounter(
+          "edc_groups_by_codec_total",
+          {{"codec",
+            std::string(codec::CodecName(static_cast<codec::CodecId>(c)))}},
+          s.groups_by_codec[c], "Groups written per selected codec");
+    }
+    out.AddCounter("edc_unmapped_block_reads_total", {},
+                   s.unmapped_block_reads,
+                   "Reads of never-written blocks (served as zeros)");
+    out.AddCounter("edc_trimmed_blocks_total", {}, s.trimmed_blocks,
+                   "Blocks released by host TRIM");
+    out.AddCounter("edc_cache_hits_total", {}, s.cache_hits,
+                   "Group-cache hits");
+    out.AddCounter("edc_cache_misses_total", {}, s.cache_misses,
+                   "Group-cache misses");
+    out.AddGauge("edc_cpu_busy_seconds", {}, ToSeconds(s.cpu_busy_time),
+                 "Simulated CPU time spent in codecs");
+    out.AddGauge("edc_compression_ratio", {}, s.cumulative_ratio(),
+                 "Cumulative original/allocated ratio (Fig. 8 metric)");
+    out.AddGauge("edc_monitor_calculated_iops", {},
+                 monitor_.smoothed_iops(),
+                 "Workload monitor's smoothed calculated IOPS");
+    out.AddCounter("edc_monitor_requests_total", {},
+                   monitor_.total_requests(),
+                   "Requests observed by the workload monitor");
+    out.AddCounter("edc_monitor_page_units_total", {},
+                   monitor_.total_page_units(),
+                   "4 KiB page units observed by the workload monitor");
+    // Fault handling, degradation and durability (PR 3 behaviour in one
+    // snapshot: breaker state + trips + journal progress).
+    out.AddCounter("edc_program_failures_total", {}, s.program_failures,
+                   "Page-program failures seen (extent + journal)");
+    out.AddCounter("edc_program_retries_total", {}, s.program_retries,
+                   "Relocate/rewrite attempts after program failures");
+    out.AddCounter("edc_media_errors_total", {}, s.media_errors,
+                   "Read-side media errors (UCEs + integrity failures)");
+    out.AddCounter("edc_breaker_trips_total", {}, s.breaker_trips,
+                   "Times the degradation breaker opened");
+    out.AddCounter("edc_degraded_groups_total", {}, s.degraded_groups,
+                   "Groups written while the breaker was open");
+    out.AddCounter("edc_journal_bytes_written_total", {},
+                   s.journal_bytes_written,
+                   "Journal stream bytes programmed to flash");
+    out.AddCounter("edc_journal_checkpoints_total", {},
+                   s.journal_checkpoints,
+                   "Journal generation switches (checkpoints written)");
+    out.AddGauge("edc_journal_generation", {},
+                 journal_ ? static_cast<double>(journal_->generation()) : 0,
+                 "Active journal generation (0 = journaling idle)");
+    out.AddCounter("edc_recovered_groups_total", {}, s.recovered_groups,
+                   "Groups rebuilt by RecoverFromDevice");
+  });
+}
+
+Engine::CpuSlot Engine::RunOnCpu(SimTime ready, SimTime duration) {
   // Earliest-available compression context serves the work (M/G/k-style
   // dispatch with a single arrival stream).
   std::size_t best = 0;
@@ -77,7 +190,7 @@ SimTime Engine::RunOnCpu(SimTime ready, SimTime duration) {
   SimTime end = start + duration;
   cpu_contexts_busy_[best] = end;
   stats_.cpu_busy_time += duration;
-  return end;
+  return CpuSlot{start, end, static_cast<u32>(best)};
 }
 
 Bytes Engine::MaterializeRun(const WriteRun& run) const {
@@ -117,6 +230,11 @@ Engine::GroupPlan Engine::PlanGroup(const WriteRun& run, SimTime ready) {
     if (config_.scheme == Scheme::kEdc && config_.elastic.use_estimator) {
       in.est_compressed_fraction =
           estimator_.EstimateCompressedFraction(plan.content);
+      if (trace_ != nullptr) {
+        trace_->Instant("estimator.probe", "policy", obs::kHostTid, ready,
+                        {{"lba", run.first_block},
+                         {"est_fraction", in.est_compressed_fraction}});
+      }
     }
   } else {
     // Modeled sampling estimate: the calibrated fraction of the fast
@@ -137,14 +255,37 @@ Engine::GroupPlan Engine::PlanGroup(const WriteRun& run, SimTime ready) {
     // exercising the codec path and store everything raw.
     plan.decision.codec = codec::CodecId::kStore;
   }
+  if (trace_ != nullptr) {
+    // The paper's elastic selection in one event: the monitor's
+    // calculated-IOPS band, the estimator's verdict and the chosen codec.
+    trace_->Instant(
+        "policy.select", "policy", obs::kHostTid, ready,
+        {{"lba", run.first_block},
+         {"blocks", run.n_blocks},
+         {"calculated_iops", in.calculated_iops},
+         {"est_fraction", in.est_compressed_fraction},
+         {"codec", codec::CodecName(plan.decision.codec)},
+         {"skipped_content", plan.decision.skipped_for_content},
+         {"skipped_intensity", plan.decision.skipped_for_intensity},
+         {"breaker_open", stats_.breaker_open}});
+  }
   return plan;
 }
 
-void Engine::NoteBreakerError() {
+void Engine::ObserveBreakerTransition(bool open, SimTime at) {
+  if (breaker_gauge_ != nullptr) breaker_gauge_->Set(open ? 1.0 : 0.0);
+  if (trace_ != nullptr) {
+    trace_->Instant(open ? "breaker.open" : "breaker.close", "fault",
+                    obs::kHostTid, at, {{"errors", breaker_errors_}});
+  }
+}
+
+void Engine::NoteBreakerError(SimTime at) {
   if (config_.breaker_error_budget == 0 || stats_.breaker_open) return;
   if (++breaker_errors_ >= config_.breaker_error_budget) {
     stats_.breaker_open = true;
     ++stats_.breaker_trips;
+    ObserveBreakerTransition(true, at);
   }
 }
 
@@ -221,7 +362,15 @@ Result<Engine::GroupOutcome> Engine::InstallGroup(const GroupPlan& plan,
   const codec::CodecId tag = cr.tag;
   const std::size_t payload_size = cr.payload_size;
 
-  SimTime cpu_end = RunOnCpu(ready, cr.comp_time);
+  CpuSlot cpu = RunOnCpu(ready, cr.comp_time);
+  SimTime cpu_end = cpu.end;
+  if (trace_ != nullptr && cr.comp_time > 0) {
+    trace_->Span("codec.compress", "codec", obs::kCpuTidBase + cpu.context,
+                 cpu.start, cpu.end,
+                 {{"codec", codec::CodecName(tag)},
+                  {"orig_bytes", static_cast<u64>(orig)},
+                  {"payload_bytes", static_cast<u64>(payload_size)}});
+  }
 
   // Durable mode stores the frame wrapped in a self-describing extent
   // header; the extent (not the bare frame) is what occupies flash, so it
@@ -265,6 +414,16 @@ Result<Engine::GroupOutcome> Engine::InstallGroup(const GroupPlan& plan,
 
   const GroupInfo& g = map_.Group(*gid);
   const u64 bump_after = map_.allocator().bump_used();
+  if (alloc_quanta_hist_ != nullptr) {
+    alloc_quanta_hist_->Observe(static_cast<double>(alloc_quanta));
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant("alloc.place", "alloc", obs::kHostTid, cpu_end,
+                    {{"group", *gid},
+                     {"quanta", alloc_quanta},
+                     {"stored_bytes", static_cast<u64>(stored_bytes)},
+                     {"start_quantum", g.start_quantum}});
+  }
   SimTime completion = cpu_end;
   if (config_.durability.enabled) {
     // Write-through: the extent is programmed (with program-failure
@@ -300,6 +459,12 @@ Result<Engine::GroupOutcome> Engine::InstallGroup(const GroupPlan& plan,
           flushed_frontier_page_, complete_pages - flushed_frontier_page_,
           cpu_end);
       if (!io.ok()) return io.status();
+      if (trace_ != nullptr) {
+        trace_->Span("flash.program", "device", obs::kDeviceTid, io->start,
+                     io->completion,
+                     {{"first_page", flushed_frontier_page_},
+                      {"pages", complete_pages - flushed_frontier_page_}});
+      }
       flushed_frontier_page_ = complete_pages;
       completion = io->completion;
     }
@@ -307,6 +472,11 @@ Result<Engine::GroupOutcome> Engine::InstallGroup(const GroupPlan& plan,
     auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
     auto io = device_->WriteModeled(first_page, n_pages, cpu_end);
     if (!io.ok()) return io.status();
+    if (trace_ != nullptr) {
+      trace_->Span("flash.program", "device", obs::kDeviceTid, io->start,
+                   io->completion,
+                   {{"first_page", first_page}, {"pages", n_pages}});
+    }
     completion = io->completion;
   }
 
@@ -498,6 +668,10 @@ Status Engine::MaybeIdleFlush(SimTime arrival) {
   // The flush logically happened at the deadline, during the idle gap —
   // it occupies the CPU/device then, not at `arrival`.
   auto run = seq_.Flush();
+  if (trace_ != nullptr) {
+    trace_->Instant("sd.idle_flush", "sd", obs::kHostTid, deadline,
+                    {{"lba", run->first_block}, {"blocks", run->n_blocks}});
+  }
   auto outcome = CompressAndStore(*run, deadline);
   return outcome.status();
 }
@@ -517,6 +691,18 @@ Result<SimTime> Engine::Write(SimTime arrival, u64 offset, u32 size) {
   if (config_.use_seq_detector) {
     const std::vector<WriteRun> sealed =
         seq_.OnWrite(first, n_blocks, arrival);
+    if (trace_ != nullptr) {
+      for (const WriteRun& run : sealed) {
+        trace_->Instant("sd.seal", "sd", obs::kHostTid, arrival,
+                        {{"lba", run.first_block},
+                         {"blocks", run.n_blocks}});
+      }
+      if (seq_.has_pending()) {
+        const WriteRun& p = seq_.pending();
+        trace_->Instant("sd.merge", "sd", obs::kHostTid, arrival,
+                        {{"lba", p.first_block}, {"blocks", p.n_blocks}});
+      }
+    }
     // A large write can seal several runs at once; overlap their real
     // codec work across the pool when the decisions provably cannot
     // depend on each other's installs (results stay byte-identical).
@@ -552,6 +738,13 @@ Result<SimTime> Engine::Write(SimTime arrival, u64 offset, u32 size) {
   }
 
   stats_.write_latency_us.Add(ToMicros(completion - arrival));
+  if (write_latency_hist_ != nullptr) {
+    write_latency_hist_->Observe(ToMicros(completion - arrival));
+  }
+  if (trace_ != nullptr) {
+    trace_->Span("host.write", "host", obs::kHostTid, arrival, completion,
+                 {{"offset", offset}, {"size", size}});
+  }
   EDC_RETURN_IF_ERROR(MaybeAudit());
   return completion;
 }
@@ -608,6 +801,10 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
     auto gid = map_.FindGroupId(first + i);
     if (!gid) {
       ++stats_.unmapped_block_reads;
+      if (trace_ != nullptr) {
+        trace_->Instant("map.miss", "map", obs::kHostTid, ready,
+                        {{"lba", first + i}});
+      }
       continue;
     }
     if (*gid == prev_group) continue;  // group already fetched
@@ -615,7 +812,15 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
     const GroupInfo& g = map_.Group(*gid);
 
     if (CacheLookup(*gid)) {
+      if (trace_ != nullptr && config_.cache_groups != 0) {
+        trace_->Instant("cache.hit", "cache", obs::kHostTid, ready,
+                        {{"group", *gid}});
+      }
       continue;  // served from the DRAM group cache: no device, no CPU
+    }
+    if (trace_ != nullptr && config_.cache_groups != 0) {
+      trace_->Instant("cache.miss", "cache", obs::kHostTid, ready,
+                      {{"group", *gid}});
     }
 
     auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
@@ -623,13 +828,25 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
     if (!io.ok()) {
       if (io.status().code() == StatusCode::kMediaError) {
         ++stats_.media_errors;
-        NoteBreakerError();
+        if (trace_ != nullptr) {
+          trace_->Instant("fault.media_error", "fault", obs::kDeviceTid,
+                          ready,
+                          {{"first_page", first_page}, {"group", *gid}});
+        }
+        NoteBreakerError(ready);
       }
       return io.status();
     }
+    if (trace_ != nullptr) {
+      trace_->Span("flash.read", "device", obs::kDeviceTid, io->start,
+                   io->completion,
+                   {{"first_page", first_page},
+                    {"pages", n_pages},
+                    {"group", *gid}});
+    }
     SimTime t = io->completion;
     if (config_.durability.enabled) {
-      EDC_RETURN_IF_ERROR(VerifyExtentRead(g, io->pages));
+      EDC_RETURN_IF_ERROR(VerifyExtentRead(g, io->pages, t));
     }
 
     if (g.tag != codec::CodecId::kStore && cost_model_ != nullptr) {
@@ -637,22 +854,42 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
           static_cast<std::size_t>(g.orig_blocks) * kLogicalBlockSize;
       SimTime dt = cost_model_->DecompressTime(
           g.tag, generator_->KindForLba(g.first_lba), orig);
-      t = RunOnCpu(t, dt);
+      CpuSlot cpu = RunOnCpu(t, dt);
+      if (trace_ != nullptr && dt > 0) {
+        trace_->Span("codec.decompress", "codec",
+                     obs::kCpuTidBase + cpu.context, cpu.start, cpu.end,
+                     {{"codec", codec::CodecName(g.tag)},
+                      {"orig_bytes", static_cast<u64>(orig)},
+                      {"group", *gid}});
+      }
+      t = cpu.end;
     }
     CacheInsert(*gid);
     completion = std::max(completion, t);
   }
 
   stats_.read_latency_us.Add(ToMicros(completion - arrival));
+  if (read_latency_hist_ != nullptr) {
+    read_latency_hist_->Observe(ToMicros(completion - arrival));
+  }
+  if (trace_ != nullptr) {
+    trace_->Span("host.read", "host", obs::kHostTid, arrival, completion,
+                 {{"offset", offset}, {"size", size}});
+  }
   EDC_RETURN_IF_ERROR(MaybeAudit());
   return completion;
 }
 
 Status Engine::VerifyExtentRead(const GroupInfo& g,
-                                const std::vector<Bytes>& pages) {
+                                const std::vector<Bytes>& pages,
+                                SimTime at) {
   auto fail = [&](const std::string& why) {
     ++stats_.media_errors;
-    NoteBreakerError();
+    if (trace_ != nullptr) {
+      trace_->Instant("extent.verify_fail", "fault", obs::kDeviceTid, at,
+                      {{"first_lba", g.first_lba}, {"why", why}});
+    }
+    NoteBreakerError(at);
     return Status::DataLoss("read integrity: " + why);
   };
   Bytes span(pages.size() * kLogicalBlockSize, 0);
@@ -715,6 +952,10 @@ Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {
     if (!journaled.ok()) return journaled.status();
     ready = std::max(ready, *journaled);
   }
+  if (trace_ != nullptr) {
+    trace_->Span("host.trim", "host", obs::kHostTid, arrival, ready,
+                 {{"offset", offset}, {"size", size}});
+  }
   EDC_RETURN_IF_ERROR(MaybeAudit());
   return ready;
 }
@@ -738,6 +979,12 @@ Result<SimTime> Engine::FlushPending(SimTime now) {
         flushed_frontier_page_, partial_pages - flushed_frontier_page_,
         completion);
     if (!io.ok()) return io.status();
+    if (trace_ != nullptr) {
+      trace_->Span("flash.program", "device", obs::kDeviceTid, io->start,
+                   io->completion,
+                   {{"first_page", flushed_frontier_page_},
+                    {"pages", partial_pages - flushed_frontier_page_}});
+    }
     flushed_frontier_page_ = partial_pages;
     completion = io->completion;
   }
@@ -770,10 +1017,26 @@ Result<SimTime> Engine::DurableProgramExtent(
       pages.emplace_back(begin, begin + kLogicalBlockSize);
     }
     auto io = device_->Write(first_page, pages, ready);
-    if (io.ok()) return io->completion;
+    if (io.ok()) {
+      if (trace_ != nullptr) {
+        trace_->Span("flash.program", "device", obs::kDeviceTid, io->start,
+                     io->completion,
+                     {{"first_page", first_page},
+                      {"pages", n_pages},
+                      {"group", group_id}});
+      }
+      return io->completion;
+    }
     if (io.status().code() != StatusCode::kMediaError) return io.status();
     ++stats_.program_failures;
-    NoteBreakerError();
+    if (trace_ != nullptr) {
+      trace_->Instant("fault.program_failure", "fault", obs::kDeviceTid,
+                      ready,
+                      {{"first_page", first_page},
+                       {"group", group_id},
+                       {"retries_left", retries_left}});
+    }
+    NoteBreakerError(ready);
     if (retries_left == 0) return io.status();
     --retries_left;
     ++stats_.program_retries;
@@ -813,13 +1076,23 @@ Result<SimTime> Engine::JournalFlush(SimTime ready) {
     // every rewrite to a fresh physical page, so retrying is enough.
     auto io = device_->Write(base + first_rel, pages, ready);
     if (io.ok()) {
+      if (trace_ != nullptr) {
+        trace_->Span("journal.program", "journal", obs::kJournalTid,
+                     io->start, io->completion,
+                     {{"bytes", stream.size() - journal_flushed_},
+                      {"generation", journal_->generation()}});
+      }
       stats_.journal_bytes_written += stream.size() - journal_flushed_;
       journal_flushed_ = stream.size();
       return io->completion;
     }
     if (io.status().code() != StatusCode::kMediaError) return io.status();
     ++stats_.program_failures;
-    NoteBreakerError();
+    if (trace_ != nullptr) {
+      trace_->Instant("fault.program_failure", "fault", obs::kJournalTid,
+                      ready, {{"first_page", base + first_rel}});
+    }
+    NoteBreakerError(ready);
     if (retries_left == 0) return io.status();
     --retries_left;
     ++stats_.program_retries;
@@ -857,6 +1130,10 @@ Result<SimTime> Engine::JournalAppendRecord(SimTime ready,
     journal_->AppendCheckpoint(SerializeDurableState());
     journal_flushed_ = 0;
     ++stats_.journal_checkpoints;
+    if (trace_ != nullptr) {
+      trace_->Instant("journal.checkpoint", "journal", obs::kJournalTid,
+                      ready, {{"generation", next_gen}});
+    }
     if (journal_->stream().size() > half_bytes) {
       return Status::ResourceExhausted(
           "journal: checkpoint exceeds a half; raise journal_pages");

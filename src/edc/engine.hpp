@@ -33,6 +33,7 @@
 #include "edc/monitor.hpp"
 #include "edc/policy.hpp"
 #include "edc/seqdetect.hpp"
+#include "obs/observer.hpp"
 #include "ssd/device.hpp"
 
 namespace edc {
@@ -97,6 +98,12 @@ struct EngineConfig {
   /// compressing and falls back to uncompressed (Store) groups, trading
   /// space savings for a simpler, better-tested write path. 0 disables.
   u32 breaker_error_budget = 0;
+  /// Optional observability sink (non-owning; must outlive the engine).
+  /// When set, the engine registers its metric collectors/instruments
+  /// into the observer's registry and emits request-lifecycle trace
+  /// events. Null (the default) is the zero-cost fast path; enabling it
+  /// never changes simulated timings or results.
+  obs::Observer* obs = nullptr;
   /// Optional *real* worker pool (non-owning; must outlive the engine).
   /// In functional mode, codec execution for sealed write runs is
   /// dispatched to this pool — up to `cpu_contexts` jobs in flight, joined
@@ -293,7 +300,8 @@ class Engine {
 
   /// Count one media error toward the degradation breaker; opens it (all
   /// later groups stored uncompressed) when the budget is exhausted.
-  void NoteBreakerError();
+  /// `at` is the simulated time of the error (trace event timestamp).
+  void NoteBreakerError(SimTime at);
 
   /// Program a group's extent bytes to its covering flash pages, retrying
   /// program failures by relocating the group to a fresh extent. Appends
@@ -316,7 +324,7 @@ class Engine {
   /// a valid extent that agrees with the mapping (catches latent bit
   /// corruption end to end). Counts media errors and feeds the breaker.
   Status VerifyExtentRead(const GroupInfo& g,
-                          const std::vector<Bytes>& pages);
+                          const std::vector<Bytes>& pages, SimTime at);
 
   /// Checkpoint body: mapping image + version oracle (payloads live on
   /// flash as extents and are rebuilt from there).
@@ -340,9 +348,23 @@ class Engine {
   void CacheInsert(u64 group_id);
   void CacheErase(u64 group_id);
 
+  /// One scheduled slice of modeled CPU work (for trace spans).
+  struct CpuSlot {
+    SimTime start = 0;
+    SimTime end = 0;
+    u32 context = 0;
+  };
+
   /// Run `duration` of CPU work on the earliest-free compression context
-  /// starting no sooner than `ready`; returns the completion time.
-  SimTime RunOnCpu(SimTime ready, SimTime duration);
+  /// starting no sooner than `ready`; returns the scheduled slot.
+  CpuSlot RunOnCpu(SimTime ready, SimTime duration);
+
+  /// Register metric instruments and the engine-stats collector into the
+  /// observer (constructor helper; no-op without an observer).
+  void RegisterObservability();
+
+  /// Flip the breaker gauge and emit the state-transition trace event.
+  void ObserveBreakerTransition(bool open, SimTime at);
 
   std::unordered_map<Lba, u64> versions_;
   std::unordered_map<u64, Bytes> payloads_;  // group id -> framed bytes
@@ -364,6 +386,15 @@ class Engine {
   u32 journal_half_ = 0;        // half holding the active generation
   std::size_t journal_flushed_ = 0;  // stream bytes already programmed
   u32 breaker_errors_ = 0;
+  // Observability (all null when config_.obs is null — the fast path is
+  // a single pointer compare per event site). Trace events are emitted
+  // only from the simulation thread; ExecuteCodec (pool threads) stays
+  // instrumentation-free by design.
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::HistogramMetric* write_latency_hist_ = nullptr;
+  obs::HistogramMetric* read_latency_hist_ = nullptr;
+  obs::HistogramMetric* alloc_quanta_hist_ = nullptr;
+  obs::Gauge* breaker_gauge_ = nullptr;
   EngineStats stats_;
 };
 

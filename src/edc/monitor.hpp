@@ -33,6 +33,10 @@ class WorkloadMonitor {
   u64 total_requests() const { return total_requests_; }
   u64 total_page_units() const { return total_page_units_; }
 
+  /// Last smoothed EWMA value without advancing the window — safe to call
+  /// from metric collectors (no state mutation, no `now` required).
+  double smoothed_iops() const { return ewma_.value(); }
+
  private:
   MonitorConfig config_;
   SlidingWindowRate window_;

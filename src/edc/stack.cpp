@@ -72,10 +72,57 @@ Result<std::unique_ptr<Stack>> Stack::Create(
   ec.compress_pool = config.compress_pool;
   ec.durability = config.durability;
   ec.breaker_error_budget = config.breaker_error_budget;
+  ec.obs = config.obs;
 
   stack->engine_ = std::make_unique<Engine>(
       ec, stack->device_.get(), stack->generator_.get(),
       stack->cost_model_.get());
+
+  if (config.obs != nullptr) {
+    stack->device_->AttachObs(config.obs, obs::kDeviceTid);
+    if (obs::MetricRegistry* m = config.obs->metrics()) {
+      // One generic collector works for every device type because the
+      // Device interface already aggregates (Rais sums its members).
+      ssd::Device* dev = stack->device_.get();
+      m->AddCollector([dev](obs::SampleList& out) {
+        ssd::DeviceStats d = dev->stats();
+        out.AddCounter("edc_device_host_pages_read_total", {},
+                       d.host_pages_read, "Host pages read from flash");
+        out.AddCounter("edc_device_host_pages_written_total", {},
+                       d.host_pages_written, "Host pages programmed");
+        out.AddCounter("edc_device_gc_pages_copied_total", {},
+                       d.gc_pages_copied, "Pages relocated by GC");
+        out.AddCounter("edc_device_gc_runs_total", {}, d.gc_runs,
+                       "Foreground GC invocations");
+        out.AddCounter("edc_device_background_reclaims_total", {},
+                       d.background_reclaims, "Idle-time GC reclaims");
+        out.AddCounter("edc_device_erases_total", {}, d.total_erases,
+                       "Blocks erased");
+        out.AddGauge("edc_device_max_erase_count", {},
+                     static_cast<double>(d.max_erase_count),
+                     "Hottest block's erase count (wear peak)");
+        out.AddGauge("edc_device_mean_erase_count", {},
+                     d.mean_erase_count, "Mean per-block erase count");
+        out.AddGauge("edc_device_waf", {}, d.waf,
+                     "Write amplification factor");
+        out.AddGauge("edc_device_busy_seconds", {},
+                     ToSeconds(d.busy_time),
+                     "Simulated time the device spent serving");
+        out.AddGauge("edc_device_energy_joules", {}, d.energy_j,
+                     "Device energy consumed (flash ops / spindle)");
+        out.AddCounter("edc_device_read_faults_total", {}, d.read_faults,
+                       "Uncorrectable read errors surfaced");
+        out.AddCounter("edc_device_program_faults_total", {},
+                       d.program_faults, "Page program failures surfaced");
+        out.AddCounter("edc_device_pages_corrupted_total", {},
+                       d.pages_corrupted,
+                       "Latent bit flips injected into reads");
+        out.AddCounter("edc_device_reconstructed_reads_total", {},
+                       d.reconstructed_reads,
+                       "Pages rebuilt from RAIS-5 parity");
+      });
+    }
+  }
   return stack;
 }
 

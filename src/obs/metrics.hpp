@@ -1,0 +1,198 @@
+// Cross-layer metrics registry: named, labeled counters / gauges /
+// histograms that components register into, plus pull-style collectors
+// that materialize samples from existing stats structs at snapshot time.
+//
+// Design constraints (see docs/observability.md):
+//  * Deterministic snapshots — samples are emitted sorted by
+//    (name, labels), and every value is derived from simulated state, so
+//    two replays with the same seed export byte-identical text. Metrics
+//    whose values depend on wall-clock or thread scheduling (e.g. the
+//    WorkerPool collector) are registered as *volatile* and excluded from
+//    snapshots unless explicitly requested.
+//  * Zero cost when disabled — components hold plain pointers that are
+//    null when observability is off; the hot path pays one branch.
+//  * Single-threaded by design: instruments are updated only from the
+//    simulation thread. Cross-thread sources (WorkerPool) bridge through
+//    their own atomics and are read by a collector at snapshot time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace edc::obs {
+
+/// Sorted (key, value) pairs identifying one time series of a metric.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Inc(u64 delta = 1) { value_ += delta; }
+  u64 value() const { return value_; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Point-in-time double metric.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Histogram with explicit upper bounds (Prometheus "le" semantics):
+/// counts_[i] counts observations <= bounds_[i]; the last slot is +Inf.
+/// Counts are stored non-cumulative and accumulated by the exporters.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<u64>& bucket_counts() const { return counts_; }
+  double sum() const { return sum_; }
+  u64 count() const { return count_; }
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::vector<u64> counts_;     // bounds_.size() + 1 (last = +Inf)
+  double sum_ = 0.0;
+  u64 count_ = 0;
+};
+
+/// Default latency bounds in microseconds (roughly log-spaced, covering
+/// DRAM-ack fast paths through multi-millisecond queueing tails).
+const std::vector<double>& LatencyBoundsUs();
+
+/// One exported sample (a single time series at snapshot time).
+struct Sample {
+  MetricType type = MetricType::kCounter;
+  std::string name;
+  LabelSet labels;
+  std::string help;
+  u64 counter_value = 0;   // kCounter
+  double gauge_value = 0;  // kGauge
+  // kHistogram
+  std::vector<double> bounds;
+  std::vector<u64> bucket_counts;  // non-cumulative; bounds.size() + 1
+  double sum = 0;
+  u64 count = 0;
+};
+
+/// Deterministically ordered set of samples with text exporters.
+struct MetricsSnapshot {
+  std::vector<Sample> samples;
+
+  bool empty() const { return samples.empty(); }
+  const Sample* Find(const std::string& name,
+                     const LabelSet& labels = {}) const;
+
+  /// {"schema":"edc-metrics-v1","metrics":[...]} — see
+  /// docs/observability.md for the full schema.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format (version 0.0.4).
+  std::string ToPrometheus() const;
+};
+
+/// Interface collectors use to append samples at snapshot time.
+class SampleList {
+ public:
+  explicit SampleList(std::vector<Sample>* out) : out_(out) {}
+
+  void AddCounter(std::string name, LabelSet labels, u64 value,
+                  std::string help = "");
+  void AddGauge(std::string name, LabelSet labels, double value,
+                std::string help = "");
+
+ private:
+  std::vector<Sample>* out_;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Find-or-create; returned pointers are stable for the registry's
+  /// lifetime. Re-requesting an existing (name, labels) pair returns the
+  /// same instrument; requesting it with a different type is an error
+  /// (reported by ok()/error()).
+  Counter* GetCounter(const std::string& name, LabelSet labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, LabelSet labels = {},
+                  const std::string& help = "");
+  HistogramMetric* GetHistogram(const std::string& name, LabelSet labels,
+                                std::vector<double> bounds,
+                                const std::string& help = "");
+
+  /// Pull-style source: `fn` is invoked at Snapshot() time to append
+  /// samples computed from live component state (always agrees with the
+  /// component's own stats struct, costs nothing on the hot path).
+  /// `deterministic = false` marks wall-clock/scheduling-dependent
+  /// sources, excluded from snapshots unless requested.
+  using Collector = std::function<void(SampleList&)>;
+  void AddCollector(Collector fn, bool deterministic = true);
+
+  /// Materialize every instrument and collector into a sorted sample
+  /// list. With include_volatile = false (the default), non-deterministic
+  /// collectors are skipped so the output is byte-stable across runs.
+  MetricsSnapshot Snapshot(bool include_volatile = false) const;
+
+  /// First registration-type conflict, if any (empty string = none).
+  const std::string& error() const { return error_; }
+  bool ok() const { return error_.empty(); }
+
+ private:
+  struct Key {
+    std::string name;
+    LabelSet labels;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+  struct Entry {
+    MetricType type;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+  struct CollectorEntry {
+    Collector fn;
+    bool deterministic;
+  };
+
+  Entry* FindOrCreate(const std::string& name, LabelSet labels,
+                      MetricType type, const std::string& help);
+
+  std::map<Key, Entry> entries_;
+  std::vector<CollectorEntry> collectors_;
+  std::string error_;
+};
+
+/// Shortest deterministic text form of a double: integers print without a
+/// fraction, everything else round-trips via %.17g. Shared by both
+/// exporters so JSON and Prometheus agree on values.
+std::string FormatDouble(double v);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace edc::obs

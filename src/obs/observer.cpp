@@ -1,0 +1,42 @@
+#include "obs/observer.hpp"
+
+#include "common/worker_pool.hpp"
+
+namespace edc::obs {
+
+Observer::Observer() : Observer(Options{}) {}
+
+Observer::Observer(const Options& options)
+    : options_(options), recorder_(options.trace_filter) {}
+
+void Observer::AttachWorkerPool(const WorkerPool* pool) {
+  if (!options_.metrics || pool == nullptr) return;
+  registry_.AddCollector(
+      [pool](SampleList& out) {
+        WorkerPool::Stats s = pool->GetStats();
+        out.AddCounter("edc_workerpool_jobs_submitted_total", {},
+                       s.jobs_submitted,
+                       "Tasks submitted to the worker pool");
+        out.AddCounter("edc_workerpool_jobs_completed_total", {},
+                       s.jobs_completed,
+                       "Tasks completed by the worker pool");
+        out.AddGauge("edc_workerpool_max_queue_depth", {},
+                     static_cast<double>(s.max_queue_depth),
+                     "Peak queued-but-not-started tasks");
+        for (std::size_t i = 0; i < s.thread_busy_ns.size(); ++i) {
+          out.AddGauge(
+              "edc_workerpool_thread_busy_seconds",
+              {{"thread", std::to_string(i)}},
+              static_cast<double>(s.thread_busy_ns[i]) * 1e-9,
+              "Wall-clock seconds each worker spent running tasks");
+        }
+      },
+      /*deterministic=*/false);
+}
+
+MetricsSnapshot Observer::Snapshot(bool include_volatile) const {
+  if (!options_.metrics) return MetricsSnapshot{};
+  return registry_.Snapshot(include_volatile);
+}
+
+}  // namespace edc::obs

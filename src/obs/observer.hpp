@@ -1,0 +1,59 @@
+// Observer: the single handle components take to opt into observability.
+// Owns a MetricRegistry and a TraceRecorder; either half can be disabled
+// independently. Components store the pointers returned by metrics() /
+// trace() (null when that half is off), so the disabled fast path is one
+// pointer compare per event site.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace edc {
+class WorkerPool;
+}
+
+namespace edc::obs {
+
+class Observer {
+ public:
+  struct Options {
+    bool metrics = true;
+    bool trace = true;
+    /// Comma-separated trace categories to record; empty = all.
+    std::string trace_filter;
+  };
+
+  Observer();
+  explicit Observer(const Options& options);
+
+  /// Null when the respective half is disabled.
+  MetricRegistry* metrics() {
+    return options_.metrics ? &registry_ : nullptr;
+  }
+  TraceRecorder* trace() { return options_.trace ? &recorder_ : nullptr; }
+  const MetricRegistry* metrics() const {
+    return options_.metrics ? &registry_ : nullptr;
+  }
+  const TraceRecorder* trace() const {
+    return options_.trace ? &recorder_ : nullptr;
+  }
+
+  /// Register the pool's counters (jobs, queue depth, per-thread busy
+  /// time) as a *volatile* collector: wall-clock and scheduling
+  /// dependent, so excluded from deterministic snapshots by default.
+  /// `pool` must outlive the observer's last Snapshot call.
+  void AttachWorkerPool(const WorkerPool* pool);
+
+  /// Deterministic snapshot of the registry (empty when metrics are
+  /// disabled). include_volatile adds wall-clock collectors.
+  MetricsSnapshot Snapshot(bool include_volatile = false) const;
+
+ private:
+  Options options_;
+  MetricRegistry registry_;
+  TraceRecorder recorder_;
+};
+
+}  // namespace edc::obs

@@ -1,0 +1,147 @@
+#include "obs/trace_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"  // JsonEscape, FormatDouble
+
+namespace edc::obs {
+namespace {
+
+/// SimTime nanoseconds as microseconds with exactly three fraction
+/// digits — integer math only, so the text is deterministic.
+std::string FormatTsUs(SimTime ns) {
+  bool neg = ns < 0;
+  u64 abs = neg ? static_cast<u64>(-ns) : static_cast<u64>(ns);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%s%llu.%03llu", neg ? "-" : "",
+                static_cast<unsigned long long>(abs / 1000),
+                static_cast<unsigned long long>(abs % 1000));
+  return buf;
+}
+
+void AppendArgValue(std::string* out, const TraceArg& arg) {
+  struct Visitor {
+    std::string* out;
+    void operator()(u64 v) { *out += std::to_string(v); }
+    void operator()(i64 v) { *out += std::to_string(v); }
+    void operator()(double v) {
+      std::string s = FormatDouble(v);
+      // JSON has no Inf/NaN literals; quote the rare non-finite value.
+      if (!s.empty() && (s == "NaN" || s.back() == 'f')) {
+        *out += "\"" + s + "\"";
+      } else {
+        *out += s;
+      }
+    }
+    void operator()(const std::string& v) {
+      *out += "\"" + JsonEscape(v) + "\"";
+    }
+    void operator()(bool v) { *out += v ? "true" : "false"; }
+  };
+  std::visit(Visitor{out}, arg.value);
+}
+
+void AppendArgs(std::string* out, const TraceArgs& args) {
+  if (args.empty()) return;
+  *out += ",\"args\":{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) *out += ',';
+    first = false;
+    *out += "\"" + JsonEscape(a.key) + "\":";
+    AppendArgValue(out, a);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(const std::string& filter) {
+  std::size_t pos = 0;
+  while (pos < filter.size()) {
+    std::size_t comma = filter.find(',', pos);
+    if (comma == std::string::npos) comma = filter.size();
+    std::string cat = filter.substr(pos, comma - pos);
+    // Trim surrounding spaces.
+    while (!cat.empty() && cat.front() == ' ') cat.erase(cat.begin());
+    while (!cat.empty() && cat.back() == ' ') cat.pop_back();
+    if (!cat.empty()) filter_.push_back(std::move(cat));
+    pos = comma + 1;
+  }
+}
+
+bool TraceRecorder::Enabled(std::string_view cat) const {
+  if (filter_.empty()) return true;
+  return std::find(filter_.begin(), filter_.end(), cat) != filter_.end();
+}
+
+void TraceRecorder::Span(std::string name, std::string_view cat, u32 tid,
+                         SimTime start, SimTime end, TraceArgs args) {
+  if (!Enabled(cat)) return;
+  Event e;
+  e.name = std::move(name);
+  e.cat = std::string(cat);
+  e.phase = 'X';
+  e.tid = tid;
+  e.ts = start;
+  e.dur = end >= start ? end - start : 0;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::Instant(std::string name, std::string_view cat,
+                            u32 tid, SimTime ts, TraceArgs args) {
+  if (!Enabled(cat)) return;
+  Event e;
+  e.name = std::move(name);
+  e.cat = std::string(cat);
+  e.phase = 'i';
+  e.tid = tid;
+  e.ts = ts;
+  e.dur = 0;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::NameThread(u32 tid, std::string name) {
+  for (auto& [t, n] : thread_names_) {
+    if (t == tid) {
+      n = std::move(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, std::move(name));
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto names = thread_names_;
+  std::sort(names.begin(), names.end());
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"edc\"}}";
+  first = false;
+  for (const auto& [tid, name] : names) {
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" +
+           JsonEscape(name) + "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.cat) + "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + FormatTsUs(e.ts);
+    if (e.phase == 'X') out += ",\"dur\":" + FormatTsUs(e.dur);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    AppendArgs(&out, e.args);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace edc::obs

@@ -1,0 +1,95 @@
+// Deterministic per-request trace recorder: structured span/instant
+// events for the full request lifecycle, exported as Chrome trace-event
+// JSON (the format Perfetto and chrome://tracing load natively).
+//
+// Timestamps are SimTime nanoseconds rendered as microseconds with a
+// fixed three-digit fraction, so the emitted bytes are a pure function of
+// the simulation — two replays with the same seed produce byte-identical
+// trace files. Events must be recorded from the simulation thread only.
+//
+// Lanes ("tid" in the trace): requests, each modeled compression context,
+// the device (one lane per RAIS member), and the journal get their own
+// named track so Perfetto shows queueing per resource.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace edc::obs {
+
+/// Well-known trace lanes. RAIS members use kDeviceTid + 1 + member.
+inline constexpr u32 kHostTid = 0;
+inline constexpr u32 kCpuTidBase = 1;  // + modeled context index
+inline constexpr u32 kDeviceTid = 64;
+inline constexpr u32 kJournalTid = 96;
+
+/// One "args" entry on an event. Values keep their arrival type so the
+/// JSON renders integers as integers and strings quoted.
+struct TraceArg {
+  std::string key;
+  std::variant<u64, i64, double, std::string, bool> value;
+
+  TraceArg(std::string k, u64 v) : key(std::move(k)), value(v) {}
+  TraceArg(std::string k, i64 v) : key(std::move(k)), value(v) {}
+  TraceArg(std::string k, u32 v) : key(std::move(k)), value(u64{v}) {}
+  TraceArg(std::string k, int v) : key(std::move(k)), value(i64{v}) {}
+  TraceArg(std::string k, double v) : key(std::move(k)), value(v) {}
+  TraceArg(std::string k, bool v) : key(std::move(k)), value(v) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  TraceArg(std::string k, const char* v)
+      : key(std::move(k)), value(std::string(v)) {}
+  TraceArg(std::string k, std::string_view v)
+      : key(std::move(k)), value(std::string(v)) {}
+};
+
+using TraceArgs = std::vector<TraceArg>;
+
+class TraceRecorder {
+ public:
+  /// `filter` is a comma-separated list of categories to record
+  /// (e.g. "host,codec,device"); empty records everything. Unknown
+  /// category names simply match nothing.
+  explicit TraceRecorder(const std::string& filter = "");
+
+  /// Whether events of `cat` pass the filter (callers may use this to
+  /// skip building expensive args).
+  bool Enabled(std::string_view cat) const;
+
+  /// Complete event ("ph":"X") spanning [start, end] of simulated time.
+  void Span(std::string name, std::string_view cat, u32 tid, SimTime start,
+            SimTime end, TraceArgs args = {});
+
+  /// Instant event ("ph":"i", thread scope).
+  void Instant(std::string name, std::string_view cat, u32 tid, SimTime ts,
+               TraceArgs args = {});
+
+  /// Name a lane; rendered as a "thread_name" metadata event.
+  void NameThread(u32 tid, std::string name);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Full Chrome trace-event JSON document:
+  /// {"displayTimeUnit":"ms","traceEvents":[...]}.
+  std::string ToJson() const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string cat;
+    char phase;  // 'X' or 'i'
+    u32 tid;
+    SimTime ts;
+    SimTime dur;  // 'X' only
+    TraceArgs args;
+  };
+
+  std::vector<std::string> filter_;  // empty = record everything
+  std::vector<Event> events_;
+  std::vector<std::pair<u32, std::string>> thread_names_;
+};
+
+}  // namespace edc::obs

@@ -11,6 +11,14 @@ Result<ReplayResult> ReplayTrace(core::Stack& stack,
 
   PercentileReservoir reservoir(options.percentile_capacity,
                                 stack.config().seed);
+  // Per-class reservoirs draw from derived seeds so all three replacement
+  // streams stay independent yet deterministic.
+  PercentileReservoir write_reservoir(
+      options.percentile_capacity,
+      stack.config().seed ^ 0x9E3779B97F4A7C15ull);
+  PercentileReservoir read_reservoir(
+      options.percentile_capacity,
+      stack.config().seed ^ 0xC2B2AE3D27D4EB4Full);
   core::Engine& engine = stack.engine();
 
   u64 limit = options.max_requests == 0
@@ -30,8 +38,10 @@ Result<ReplayResult> ReplayTrace(core::Stack& stack,
     reservoir.Add(us);
     if (r.op == trace::OpType::kWrite) {
       result.write_response_us.Add(us);
+      write_reservoir.Add(us);
     } else {
       result.read_response_us.Add(us);
+      read_reservoir.Add(us);
     }
     ++result.requests;
   }
@@ -43,9 +53,18 @@ Result<ReplayResult> ReplayTrace(core::Stack& stack,
   result.p50_us = reservoir.Quantile(0.50);
   result.p95_us = reservoir.Quantile(0.95);
   result.p99_us = reservoir.Quantile(0.99);
+  result.write_p50_us = write_reservoir.Quantile(0.50);
+  result.write_p95_us = write_reservoir.Quantile(0.95);
+  result.write_p99_us = write_reservoir.Quantile(0.99);
+  result.read_p50_us = read_reservoir.Quantile(0.50);
+  result.read_p95_us = read_reservoir.Quantile(0.95);
+  result.read_p99_us = read_reservoir.Quantile(0.99);
   result.engine = engine.stats();
   result.device = stack.device().stats();
   result.compression_ratio = result.engine.cumulative_ratio();
+  if (stack.config().obs != nullptr) {
+    result.metrics = stack.config().obs->Snapshot();
+  }
   return result;
 }
 

@@ -27,6 +27,10 @@ struct ReplayResult {
   RunningStats write_response_us;
   RunningStats read_response_us;
   double p50_us = 0, p95_us = 0, p99_us = 0;
+  /// Per-class latency percentiles (reads queue behind forced merge-buffer
+  /// flushes, so their tail differs from the writes').
+  double write_p50_us = 0, write_p95_us = 0, write_p99_us = 0;
+  double read_p50_us = 0, read_p95_us = 0, read_p99_us = 0;
 
   /// The paper's metrics.
   double mean_response_ms() const { return response_us.mean() / 1000.0; }
@@ -43,6 +47,10 @@ struct ReplayResult {
   core::EngineStats engine;
   ssd::DeviceStats device;
   SimTime trace_duration = 0;
+
+  /// Deterministic metrics snapshot, captured after the final flush; empty
+  /// unless the stack was created with an Observer with metrics enabled.
+  obs::MetricsSnapshot metrics;
 
   /// Fraction of the trace during which the device was serving.
   double device_utilization() const {

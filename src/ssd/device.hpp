@@ -11,6 +11,10 @@
 #include "common/status.hpp"
 #include "ssd/ftl.hpp"
 
+namespace edc::obs {
+class Observer;
+}
+
 namespace edc::ssd {
 
 /// Outcome of one device operation.
@@ -67,6 +71,11 @@ class Device {
   virtual Result<IoResult> Trim(Lba first, u64 n, SimTime arrival) = 0;
 
   virtual DeviceStats stats() const = 0;
+
+  /// Opt into observability: emit device-level trace events (GC runs,
+  /// injected faults, parity reconstructions) on lane `tid` of the
+  /// observer's trace recorder. Default is a no-op; null detaches.
+  virtual void AttachObs(obs::Observer* /*observer*/, u32 /*tid*/) {}
 
   /// When the device would start serving a request submitted now — the
   /// queue-backlog signal the paper's feedback mechanism (Fig. 6) feeds

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
+
 namespace edc::ssd {
 namespace {
 
@@ -31,6 +33,17 @@ Rais::Rais(const RaisConfig& config) : config_(config) {
     SsdConfig member = config_.member;
     member.fault.seed += 0x9E3779B97F4A7C15ull * (i + 1);
     disks_.push_back(std::make_unique<Ssd>(member));
+  }
+}
+
+void Rais::AttachObs(obs::Observer* observer, u32 tid) {
+  trace_ = observer != nullptr ? observer->trace() : nullptr;
+  trace_tid_ = tid;
+  for (u32 i = 0; i < config_.num_disks; ++i) {
+    if (trace_ != nullptr) {
+      trace_->NameThread(tid + 1 + i, "rais member " + std::to_string(i));
+    }
+    disks_[i]->AttachObs(observer, tid + 1 + i);
   }
 }
 
@@ -146,6 +159,10 @@ Result<IoResult> Rais::Read(Lba first, u64 n, SimTime arrival) {
         XorInto(&rebuilt, FirstPage(*rr));
       }
       ++reconstructed_reads_;
+      if (trace_ != nullptr) {
+        trace_->Instant("rais.reconstruct", "device", trace_tid_, arrival,
+                        {{"lba", first + i}, {"member", p.data_disk}});
+      }
       agg.completion = std::max(agg.completion, done);
       agg.pages.push_back(std::move(rebuilt));
       continue;

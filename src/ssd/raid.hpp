@@ -35,6 +35,10 @@ class Rais final : public Device {
   /// Aggregated over members (sums for counters, max for wear peak).
   DeviceStats stats() const override;
 
+  /// Attach each member on its own named lane (tid + 1 + member index);
+  /// the array lane itself carries rais.reconstruct instants.
+  void AttachObs(obs::Observer* observer, u32 tid) override;
+
   /// Earliest time any member becomes free (the array can start serving a
   /// request as soon as one member is idle).
   SimTime next_free_time() const override;
@@ -62,6 +66,8 @@ class Rais final : public Device {
   std::vector<std::unique_ptr<Ssd>> disks_;
   u32 data_disks_per_row_;  // N for RAIS0, N-1 for RAIS5
   u64 reconstructed_reads_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  u32 trace_tid_ = 0;
 };
 
 }  // namespace edc::ssd

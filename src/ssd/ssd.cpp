@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
+
 namespace edc::ssd {
 namespace {
 
@@ -39,6 +41,21 @@ SimTime Ssd::ServiceTime(const OpCost& cost, u64 bus_pages_read,
   return t.cmd_overhead + flash_time + bus_time;
 }
 
+void Ssd::AttachObs(obs::Observer* observer, u32 tid) {
+  trace_ = observer != nullptr ? observer->trace() : nullptr;
+  trace_tid_ = tid;
+}
+
+void Ssd::EmitGcEvents(u64 runs_before, u64 copied_before, SimTime at) {
+  if (trace_ == nullptr) return;
+  const FtlStats& f = ftl_->stats();
+  if (f.gc_runs > runs_before) {
+    trace_->Instant("gc.run", "gc", trace_tid_, at,
+                    {{"runs", f.gc_runs - runs_before},
+                     {"pages_copied", f.gc_pages_copied - copied_before}});
+  }
+}
+
 IoResult Ssd::Admit(SimTime arrival, SimTime service, OpCost cost) {
   IoResult r;
   r.start = std::max(arrival, busy_until_);
@@ -62,6 +79,11 @@ void Ssd::MaybeBackgroundGc(SimTime now) {
     if (!work.ok()) return;
     if (work->pages_programmed == 0 && work->blocks_erased == 0) return;
     SimTime service = ServiceTime(*work, 0, 0);
+    if (trace_ != nullptr) {
+      trace_->Instant("gc.background", "gc", trace_tid_, cursor,
+                      {{"pages_copied", work->pages_programmed},
+                       {"blocks_erased", work->blocks_erased}});
+    }
     cursor += service;
     if (cursor > now) {
       // The last reclaim spills past the gap; account it as busy time so
@@ -77,15 +99,25 @@ Result<IoResult> Ssd::Write(Lba first, std::span<const Bytes> payloads,
                             SimTime arrival) {
   EDC_RETURN_IF_ERROR(fault_.BeginOp());
   MaybeBackgroundGc(arrival);
+  const u64 gc_runs_before = ftl_->stats().gc_runs;
+  const u64 gc_copied_before = ftl_->stats().gc_pages_copied;
   OpCost total;
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     // The fault gate runs before the FTL mutates anything: a failed or
     // torn program leaves the logical page's previous content readable.
-    EDC_RETURN_IF_ERROR(fault_.OnProgram(first + i));
+    Status gate = fault_.OnProgram(first + i);
+    if (!gate.ok()) {
+      if (trace_ != nullptr) {
+        trace_->Instant("fault.program_fail", "fault", trace_tid_, arrival,
+                        {{"page", first + i}});
+      }
+      return gate;
+    }
     auto cost = ftl_->Write(first + i, payloads[i]);
     if (!cost.ok()) return cost.status();
     total += *cost;
   }
+  EmitGcEvents(gc_runs_before, gc_copied_before, arrival);
   SimTime service = ServiceTime(total, 0, payloads.size());
   return Admit(arrival, service, total);
 }
@@ -97,7 +129,14 @@ Result<IoResult> Ssd::Read(Lba first, u64 n, SimTime arrival) {
   std::vector<Bytes> pages;
   pages.reserve(static_cast<std::size_t>(n));
   for (u64 i = 0; i < n; ++i) {
-    EDC_RETURN_IF_ERROR(fault_.OnRead(first + i));
+    Status gate = fault_.OnRead(first + i);
+    if (!gate.ok()) {
+      if (trace_ != nullptr) {
+        trace_->Instant("fault.read_uce", "fault", trace_tid_, arrival,
+                        {{"page", first + i}});
+      }
+      return gate;
+    }
     auto data = ftl_->Read(first + i, &total);
     if (!data.ok()) return data.status();
     fault_.MaybeCorrupt(&*data);

@@ -11,6 +11,10 @@
 #include "ssd/device.hpp"
 #include "ssd/hybrid_ftl.hpp"
 
+namespace edc::obs {
+class TraceRecorder;
+}
+
 namespace edc::ssd {
 
 class Ssd final : public Device {
@@ -31,6 +35,9 @@ class Ssd final : public Device {
   void MaybeBackgroundGc(SimTime now);
 
   DeviceStats stats() const override;
+
+  /// Emit gc.run / gc.background / fault.* trace instants on lane `tid`.
+  void AttachObs(obs::Observer* observer, u32 tid) override;
 
   /// Service time of the given physical work + host transfer, independent
   /// of queue state (exposed for tests and the Fig. 1 bench).
@@ -56,6 +63,9 @@ class Ssd final : public Device {
   /// FIFO admission: start = max(arrival, busy_until).
   IoResult Admit(SimTime arrival, SimTime service, OpCost cost);
 
+  /// Emit a gc.run instant if foreground GC ran since the given baseline.
+  void EmitGcEvents(u64 runs_before, u64 copied_before, SimTime at);
+
   SsdConfig config_;
   FlashArray flash_;
   FaultInjector fault_;
@@ -63,6 +73,9 @@ class Ssd final : public Device {
   SimTime busy_until_ = 0;
   SimTime busy_accum_ = 0;
   u64 physical_reads_ = 0;  // flash page reads incl. GC (for energy)
+  // Observability (null when detached; one pointer compare per site).
+  obs::TraceRecorder* trace_ = nullptr;
+  u32 trace_tid_ = 0;
 };
 
 }  // namespace edc::ssd

@@ -112,6 +112,28 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.bucket_hi(5), 6.0);
 }
 
+TEST(Histogram, DegenerateRangeDoesNotDivideByZero) {
+  // hi <= lo used to divide by the zero width; everything must land in
+  // bucket 0 instead of producing NaN bucket indices.
+  Histogram h(5.0, 5.0, 4);
+  h.Add(5.0);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.bucket(0), 3u);
+  EXPECT_EQ(h.total(), 3u);
+
+  Histogram inverted(10.0, 0.0, 4);
+  inverted.Add(5.0);
+  EXPECT_EQ(inverted.bucket(0), 1u);
+}
+
+TEST(Histogram, ZeroBucketRequestGetsOneBucket) {
+  Histogram h(0.0, 1.0, 0);
+  h.Add(0.5);
+  EXPECT_EQ(h.num_buckets(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
 TEST(Histogram, AsciiRendersOneLinePerBucket) {
   Histogram h(0.0, 4.0, 4);
   h.Add(1.0);
@@ -139,6 +161,16 @@ TEST(SlidingWindowRate, RateIsPerSecond) {
     w.Add(i * (kSecond / 200), 1.0);  // 100 events in 0.5 s
   }
   EXPECT_NEAR(w.Rate(kSecond / 2), 100.0, 1.0);
+}
+
+TEST(SlidingWindowRate, EvictionBoundaryIsHalfOpen) {
+  // The window is (now - window, now]: an event at exactly now - window
+  // is evicted, one tick inside survives. Pins the <= in Evict().
+  SlidingWindowRate w(kSecond);
+  w.Add(0, 1.0);
+  w.Add(1, 1.0);
+  EXPECT_DOUBLE_EQ(w.WindowSum(kSecond), 1.0);      // t=0 is out, t=1 in
+  EXPECT_DOUBLE_EQ(w.WindowSum(kSecond + 1), 0.0);  // now both are out
 }
 
 TEST(SlidingWindowRate, WeightsAreSummed) {
