@@ -34,6 +34,8 @@ Reduction Measure(const datagen::ContentProfile& profile, u64 seed,
     Bytes block = gen.Generate(lba, 1, 4096);
     logical += block.size();
     Bytes a, b;
+    a.reserve(lzf.MaxCompressedSize(block.size()));
+    b.reserve(gzip.MaxCompressedSize(block.size()));
     (void)lzf.Compress(block, &a);
     (void)gzip.Compress(block, &b);
     lzf_bytes += std::min(a.size(), block.size());

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
       Bytes v1 = gen.Generate(lba, 1, 4096);
       Bytes v2 = gen.Generate(lba, 2, 4096);
       Bytes full;
+      full.reserve(gzip.MaxCompressedSize(v2.size()));
       (void)gzip.Compress(v2, &full);
       std::size_t full_size = std::min(full.size(), v2.size());
       auto delta = codec::DeltaEncode(v1, v2);

@@ -30,6 +30,7 @@ Accuracy Evaluate(const core::CompressibilityEstimator& est,
   for (Lba lba = 0; lba < static_cast<Lba>(blocks); ++lba) {
     Bytes block = gen.Generate(lba, 1, 4096);
     Bytes out;
+    out.reserve(gzip.MaxCompressedSize(block.size()));
     (void)gzip.Compress(block, &out);
     double actual = std::min(
         1.0, static_cast<double>(out.size()) /

@@ -34,6 +34,7 @@ int main() {
         std::size_t len = std::min<std::size_t>(64 * 1024,
                                                 corpus.size() - off);
         Bytes out;
+        out.reserve(codec.MaxCompressedSize(len));
         if (!codec.Compress(ByteSpan(corpus.data() + off, len), &out)
                  .ok()) {
           return 1;

@@ -54,6 +54,7 @@ std::vector<Bytes> CompressCorpus(const codec::Codec& c, const Bytes& corpus,
   for (std::size_t off = 0; off < corpus.size(); off += kBlock) {
     std::size_t len = std::min(kBlock, corpus.size() - off);
     Bytes out;
+    out.reserve(c.MaxCompressedSize(len));
     (void)c.Compress(ByteSpan(corpus.data() + off, len), &out);
     *total_out += out.size();
     blobs.push_back(std::move(out));
@@ -71,6 +72,7 @@ void BM_Compress(benchmark::State& state, codec::CodecId id,
     for (std::size_t off = 0; off < corpus.size(); off += kBlock) {
       std::size_t len = std::min(kBlock, corpus.size() - off);
       Bytes out;
+      out.reserve(c.MaxCompressedSize(len));
       benchmark::DoNotOptimize(
           c.Compress(ByteSpan(corpus.data() + off, len), &out));
       total_out += out.size();

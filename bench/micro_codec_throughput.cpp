@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
       std::vector<Bytes> compressed(blocks.size());
       std::size_t comp_total = 0;
       for (std::size_t i = 0; i < blocks.size(); ++i) {
+        compressed[i].reserve(c.MaxCompressedSize(blocks[i].size));
         (void)c.Compress(ByteSpan(blocks[i].data, blocks[i].size),
                          &compressed[i]);
         comp_total += compressed[i].size();
@@ -106,6 +107,7 @@ int main(int argc, char** argv) {
       t0 = std::chrono::steady_clock::now();
       ParallelMap(pool, index, [&](const std::size_t& i) {
         Bytes out;
+        out.reserve(c.MaxCompressedSize(blocks[i].size));
         (void)c.Compress(ByteSpan(blocks[i].data, blocks[i].size), &out);
         return out.size();
       });

@@ -1,0 +1,421 @@
+// Micro-benchmark — the per-I/O hot-path primitives this repo's mapping
+// and codec layers are built on:
+//
+//   * mapping lookup/churn: FlatIndex (open addressing, contiguous
+//     slots) against the std::unordered_map it replaced, same keys, same
+//     access sequence — plus the end-to-end BlockMap install/find/release
+//     cycle;
+//   * CRC-32 throughput: the slicing-by-8 kernel against a bytewise
+//     single-table reference (compiled here, so the comparison survives
+//     future changes to common/crc32.cpp);
+//   * codec scratch arenas: per-call compress/decompress cost with a
+//     reused codec::Scratch vs. the fresh-allocation path.
+//
+//   $ ./micro_hotpath --json=BENCH_hotpath.json
+//
+// The committed baseline lives in BENCH_hotpath.json (refreshed by
+// scripts/bench_baseline.sh; see docs/performance.md).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "codec/codec.hpp"
+#include "codec/scratch.hpp"
+#include "common/crc32.hpp"
+#include "common/flat_index.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/profile.hpp"
+#include "edc/mapping.hpp"
+
+using namespace edc;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double PerSec(std::size_t ops, double seconds) {
+  return seconds <= 0 ? 0 : static_cast<double>(ops) / seconds;
+}
+
+double Mbps(std::size_t bytes, double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+
+/// Bytewise single-table CRC-32 — the pre-slicing reference kernel, kept
+/// here so the benchmark always compares against the same baseline.
+u32 BytewiseCrc32(ByteSpan data, u32 seed = 0) {
+  static const auto table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  u32 crc = ~seed;
+  for (u8 b : data) crc = (crc >> 8) ^ table[(crc ^ b) & 0xFF];
+  return ~crc;
+}
+
+struct MappingResult {
+  double flat_lookups_per_sec = 0;
+  double unordered_lookups_per_sec = 0;
+  double lookup_speedup = 0;
+  double flat_churn_per_sec = 0;
+  double unordered_churn_per_sec = 0;
+  double churn_speedup = 0;
+  double blockmap_find_per_sec = 0;
+  double blockmap_cycle_per_sec = 0;  // install + find + release
+};
+
+MappingResult BenchMapping(std::size_t n_keys, std::size_t lookups) {
+  MappingResult r;
+  // Round the key count down to a power of two so the chained-lookup key
+  // derivation below is a mask, not a division (a division's ~25-cycle
+  // latency would sit inside both serial chains and dilute the contrast).
+  while ((n_keys & (n_keys - 1)) != 0) n_keys &= n_keys - 1;
+  const u64 key_mask = n_keys - 1;
+
+  // Key population shaped like the real index: dense LBAs. Both structures
+  // are pre-sized, as the real BlockMap is (from the device capacity), so
+  // everything measured below is steady-state behaviour.
+  std::vector<u64> keys(n_keys);
+  for (std::size_t i = 0; i < n_keys; ++i) keys[i] = i;
+  std::vector<u64> probe(lookups);
+  Pcg32 rng(20170529);
+  for (std::size_t i = 0; i < lookups; ++i) {
+    probe[i] = keys[rng.NextBounded(static_cast<u32>(n_keys))];
+  }
+
+  FlatIndex flat;
+  flat.Reserve(n_keys);
+  for (u64 k : keys) flat.Insert(k, k * 3);
+  std::unordered_map<u64, u64> umap;
+  umap.reserve(n_keys);
+  for (u64 k : keys) umap.emplace(k, k * 3);
+
+  // Steady-state churn: erase + reinsert in a hash-scattered order — the
+  // overwrite pattern the mapping sees once the working set is resident.
+  // FlatIndex recycles its slots in place; the node-based map pays a
+  // delete/new pair per cycle. (Bulk-loading fresh keys is a one-off
+  // construction event that Reserve already amortizes, so it is not the
+  // number worth tracking.)
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_keys; ++i) {
+    u64 k = probe[i % lookups];
+    flat.Erase(k);
+    flat.Insert(k, k * 3);
+  }
+  r.flat_churn_per_sec = PerSec(n_keys, Seconds(t0));
+
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_keys; ++i) {
+    u64 k = probe[i % lookups];
+    umap.erase(k);
+    umap.emplace(k, k * 3);
+  }
+  r.unordered_churn_per_sec = PerSec(n_keys, Seconds(t0));
+
+  // Lookups: a dependent chain — each fetched value derives the next key
+  // (pure ALU, no shared memory traffic), mirroring the per-I/O path where
+  // the mapping result decides what happens next. This measures the latency
+  // a request actually pays; an independent-probe loop would instead
+  // measure how many misses the out-of-order window can overlap, which
+  // flatters the node-based map. Values are key*3, so both structures walk
+  // the identical key sequence.
+  u64 sink = 0;
+  u64 k = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < lookups; ++i) {
+    const u64* v = flat.Find(k);
+    sink += *v;
+    k = Mix64(*v + i) & key_mask;
+  }
+  r.flat_lookups_per_sec = PerSec(lookups, Seconds(t0));
+
+  k = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < lookups; ++i) {
+    auto it = umap.find(k);
+    sink += it->second;
+    k = Mix64(it->second + i) & key_mask;
+  }
+  r.unordered_lookups_per_sec = PerSec(lookups, Seconds(t0));
+  if (sink == 0) std::puts("");  // keep `sink` observable
+
+  r.lookup_speedup = r.flat_lookups_per_sec /
+                     std::max(r.unordered_lookups_per_sec, 1e-9);
+  r.churn_speedup = r.flat_churn_per_sec /
+                     std::max(r.unordered_churn_per_sec, 1e-9);
+
+  // End-to-end BlockMap: a steady-state working set being overwritten.
+  const std::size_t working_set = 4096;
+  core::BlockMap map(working_set * core::kQuantaPerBlock * 4);
+  for (Lba lba = 0; lba < working_set; ++lba) {
+    (void)map.Install(lba, 1, codec::CodecId::kLzf, 2048, 2);
+  }
+  t0 = std::chrono::steady_clock::now();
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < lookups; ++i) {
+    found += map.Find(probe[i] % working_set).has_value() ? 1u : 0u;
+  }
+  r.blockmap_find_per_sec = PerSec(lookups, Seconds(t0));
+
+  const std::size_t cycles = 200000;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < cycles; ++i) {
+    Lba lba = probe[i % lookups] % working_set;
+    (void)map.Install(lba, 1, codec::CodecId::kLzf, 2048, 2);
+    found += map.Find(lba).has_value() ? 1u : 0u;
+    (void)map.Release(lba);
+  }
+  r.blockmap_cycle_per_sec = PerSec(cycles, Seconds(t0));
+  if (found == 0) std::puts("");
+  return r;
+}
+
+struct CrcResult {
+  double slicing_mbps = 0;
+  double bytewise_mbps = 0;
+  double time_reduction_pct = 0;
+  double short_slicing_mbps = 0;  // 12-byte buffers (fast-path check)
+};
+
+CrcResult BenchCrc(const Bytes& corpus) {
+  CrcResult r;
+  const int reps = 64;
+  u32 sink = 0;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) sink ^= Crc32(corpus);
+  r.slicing_mbps = Mbps(corpus.size() * static_cast<std::size_t>(reps),
+                        Seconds(t0));
+
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) sink ^= BytewiseCrc32(corpus);
+  r.bytewise_mbps = Mbps(corpus.size() * static_cast<std::size_t>(reps),
+                         Seconds(t0));
+
+  // Short buffers take the bytewise fast path inside Crc32.
+  const std::size_t short_len = 12;
+  const std::size_t short_iters = 2000000;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < short_iters; ++i) {
+    sink ^= Crc32(ByteSpan(corpus.data() + (i % 1024), short_len));
+  }
+  r.short_slicing_mbps = Mbps(short_len * short_iters, Seconds(t0));
+  if (sink == 0) std::puts("");
+
+  // Time per byte is 1/throughput, so the fraction of CRC time removed is
+  // 1 - (bytewise_mbps / slicing_mbps) inverted: 1 - slow/fast.
+  r.time_reduction_pct =
+      100.0 * (1.0 - r.bytewise_mbps / std::max(r.slicing_mbps, 1e-9));
+  return r;
+}
+
+struct CodecScratchResult {
+  std::string name;
+  double fresh_comp_us = 0;
+  double scratch_comp_us = 0;
+  double comp_reduction_pct = 0;
+  double fresh_decomp_us = 0;
+  double scratch_decomp_us = 0;
+  double decomp_reduction_pct = 0;
+};
+
+std::vector<CodecScratchResult> BenchScratch(
+    const std::vector<Bytes>& blocks) {
+  std::vector<CodecScratchResult> out;
+  codec::Scratch scratch;
+  for (codec::CodecId id : codec::AllCodecs()) {
+    if (id == codec::CodecId::kStore) continue;
+    const codec::Codec& c = codec::GetCodec(id);
+    CodecScratchResult r;
+    r.name = std::string(c.name());
+    const int reps = id == codec::CodecId::kBzip2 ? 8 : 64;
+
+    std::vector<Bytes> compressed(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      (void)c.Compress(blocks[i], &compressed[i]);
+    }
+    const std::size_t calls =
+        blocks.size() * static_cast<std::size_t>(reps);
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const Bytes& b : blocks) {
+        Bytes o;
+        (void)c.Compress(b, &o);
+      }
+    }
+    r.fresh_comp_us = 1e6 * Seconds(t0) / static_cast<double>(calls);
+
+    Bytes reused;
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const Bytes& b : blocks) {
+        reused.clear();
+        (void)c.Compress(b, &reused, &scratch);
+      }
+    }
+    r.scratch_comp_us = 1e6 * Seconds(t0) / static_cast<double>(calls);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        Bytes o;
+        (void)c.Decompress(compressed[i], blocks[i].size(), &o);
+      }
+    }
+    r.fresh_decomp_us = 1e6 * Seconds(t0) / static_cast<double>(calls);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        reused.clear();
+        (void)c.Decompress(compressed[i], blocks[i].size(), &reused,
+                           &scratch);
+      }
+    }
+    r.scratch_decomp_us = 1e6 * Seconds(t0) / static_cast<double>(calls);
+
+    r.comp_reduction_pct =
+        100.0 * (1.0 - r.scratch_comp_us / std::max(r.fresh_comp_us, 1e-9));
+    r.decomp_reduction_pct =
+        100.0 *
+        (1.0 - r.scratch_decomp_us / std::max(r.fresh_decomp_us, 1e-9));
+    out.push_back(r);
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const MappingResult& m,
+               const CrcResult& crc,
+               const std::vector<CodecScratchResult>& codecs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"mapping\": {\n");
+  std::fprintf(f, "    \"flat_lookups_per_sec\": %.0f,\n",
+               m.flat_lookups_per_sec);
+  std::fprintf(f, "    \"unordered_lookups_per_sec\": %.0f,\n",
+               m.unordered_lookups_per_sec);
+  std::fprintf(f, "    \"lookup_speedup\": %.2f,\n", m.lookup_speedup);
+  std::fprintf(f, "    \"flat_churn_per_sec\": %.0f,\n",
+               m.flat_churn_per_sec);
+  std::fprintf(f, "    \"unordered_churn_per_sec\": %.0f,\n",
+               m.unordered_churn_per_sec);
+  std::fprintf(f, "    \"churn_speedup\": %.2f,\n", m.churn_speedup);
+  std::fprintf(f, "    \"blockmap_find_per_sec\": %.0f,\n",
+               m.blockmap_find_per_sec);
+  std::fprintf(f, "    \"blockmap_install_find_release_per_sec\": %.0f\n",
+               m.blockmap_cycle_per_sec);
+  std::fprintf(f, "  },\n  \"crc32\": {\n");
+  std::fprintf(f, "    \"slicing_by_8_mbps\": %.1f,\n", crc.slicing_mbps);
+  std::fprintf(f, "    \"bytewise_mbps\": %.1f,\n", crc.bytewise_mbps);
+  std::fprintf(f, "    \"time_reduction_pct\": %.1f,\n",
+               crc.time_reduction_pct);
+  std::fprintf(f, "    \"short_buffer_mbps\": %.1f\n",
+               crc.short_slicing_mbps);
+  std::fprintf(f, "  },\n  \"codec_scratch\": [\n");
+  for (std::size_t i = 0; i < codecs.size(); ++i) {
+    const CodecScratchResult& r = codecs[i];
+    std::fprintf(
+        f,
+        "    {\"codec\": \"%s\", \"fresh_comp_us\": %.2f, "
+        "\"scratch_comp_us\": %.2f, \"comp_reduction_pct\": %.1f, "
+        "\"fresh_decomp_us\": %.2f, \"scratch_decomp_us\": %.2f, "
+        "\"decomp_reduction_pct\": %.1f}%s\n",
+        r.name.c_str(), r.fresh_comp_us, r.scratch_comp_us,
+        r.comp_reduction_pct, r.fresh_decomp_us, r.scratch_decomp_us,
+        r.decomp_reduction_pct, i + 1 < codecs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::ParseArgs(argc, argv);
+  std::size_t n_keys = 1u << 20;
+  std::size_t lookups = 4u << 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--keys=", 7) == 0) {
+      n_keys = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    }
+  }
+
+  std::printf("Hot-path micro benchmark — %zu index keys, %zu lookups\n",
+              n_keys, lookups);
+
+  MappingResult m = BenchMapping(n_keys, lookups);
+  TextTable map_table({"structure", "lookups/s", "churn/s"});
+  map_table.AddRow({"FlatIndex", TextTable::Num(m.flat_lookups_per_sec, 0),
+                    TextTable::Num(m.flat_churn_per_sec, 0)});
+  map_table.AddRow({"unordered_map",
+                    TextTable::Num(m.unordered_lookups_per_sec, 0),
+                    TextTable::Num(m.unordered_churn_per_sec, 0)});
+  map_table.AddRow({"speedup", TextTable::Num(m.lookup_speedup, 2),
+                    TextTable::Num(m.churn_speedup, 2)});
+  std::fputs(map_table.ToString().c_str(), stdout);
+  std::printf("BlockMap: %.0f finds/s, %.0f install+find+release cycles/s\n",
+              m.blockmap_find_per_sec, m.blockmap_cycle_per_sec);
+
+  auto profile = datagen::ProfileByName("Fin1");
+  Bytes corpus;
+  if (profile.ok()) {
+    datagen::ContentGenerator gen(*profile, opt.seed);
+    corpus = gen.GenerateCorpus(8u << 20, 4096);
+  } else {
+    corpus = Bytes(8u << 20, 0xA5);
+  }
+
+  CrcResult crc = BenchCrc(corpus);
+  std::printf("\nCRC-32: slicing-by-8 %.1f MB/s, bytewise %.1f MB/s "
+              "(%.1f%% less time/byte), short-buffer %.1f MB/s\n",
+              crc.slicing_mbps, crc.bytewise_mbps, crc.time_reduction_pct,
+              crc.short_slicing_mbps);
+
+  std::vector<Bytes> blocks;
+  for (std::size_t off = 0; off + 4096 <= corpus.size() && blocks.size() < 64;
+       off += 4096) {
+    blocks.emplace_back(corpus.begin() + static_cast<std::ptrdiff_t>(off),
+                        corpus.begin() + static_cast<std::ptrdiff_t>(off) +
+                            4096);
+  }
+  std::vector<CodecScratchResult> codecs = BenchScratch(blocks);
+  TextTable codec_table({"codec", "comp us (fresh)", "comp us (scratch)",
+                         "comp saved %", "decomp us (fresh)",
+                         "decomp us (scratch)", "decomp saved %"});
+  for (const CodecScratchResult& r : codecs) {
+    codec_table.AddRow({r.name, TextTable::Num(r.fresh_comp_us, 2),
+                        TextTable::Num(r.scratch_comp_us, 2),
+                        TextTable::Num(r.comp_reduction_pct, 1),
+                        TextTable::Num(r.fresh_decomp_us, 2),
+                        TextTable::Num(r.scratch_decomp_us, 2),
+                        TextTable::Num(r.decomp_reduction_pct, 1)});
+  }
+  std::printf("\n%s", codec_table.ToString().c_str());
+
+  if (!opt.json_path.empty()) {
+    WriteJson(opt.json_path, m, crc, codecs);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Refresh the committed hot-path performance baseline.
+#
+# Builds Release (no sanitizers — they would swamp the numbers), runs the
+# hot-path micro benchmark with its JSON dump, prints the codec-throughput
+# table for human eyes, and leaves BENCH_hotpath.json at the repo root
+# ready to commit. Compare against the previous commit's file to see the
+# perf trajectory of a change; docs/performance.md documents the fields.
+#
+#   $ scripts/bench_baseline.sh [build-dir]
+#
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
+OUT_JSON="$REPO_ROOT/BENCH_hotpath.json"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=Release -DEDC_BUILD_BENCH=ON -DEDC_BUILD_TESTS=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target micro_hotpath micro_codec_throughput
+
+echo "== hot-path micro benchmark =="
+"$BUILD_DIR/bench/micro_hotpath" --json="$OUT_JSON"
+
+echo
+echo "== codec throughput (context for the scratch numbers) =="
+"$BUILD_DIR/bench/micro_codec_throughput" --mib=2
+
+echo
+echo "Baseline written to $OUT_JSON — commit it with your change."

@@ -323,7 +323,11 @@ std::vector<u8> TrainTables(const std::vector<u16>& symbols,
 
 }  // namespace
 
-Status BwtCodec::Compress(ByteSpan input, Bytes* out) const {
+Status BwtCodec::CompressTo(ByteSpan input, Bytes* out,
+                              Scratch* scratch) const {
+  // BWT is the low-IOPS heavy codec; its dominant costs (suffix ranking)
+  // do not map onto the scratch arenas, so it keeps the fresh path.
+  (void)scratch;
   if (input.size() < 16) {
     // BWT overhead dominates tiny blocks.
     EmitStored(input, out);
@@ -390,8 +394,9 @@ Status BwtCodec::Compress(ByteSpan input, Bytes* out) const {
   return Status::Ok();
 }
 
-Status BwtCodec::Decompress(ByteSpan input, std::size_t original_size,
-                            Bytes* out) const {
+Status BwtCodec::DecompressTo(ByteSpan input, std::size_t original_size,
+                              Bytes* out, Scratch* scratch) const {
+  (void)scratch;
   if (input.empty()) return Status::DataLoss("bwt: empty input");
   if (input[0] == 0x01) {
     if (input.size() - 1 != original_size) {

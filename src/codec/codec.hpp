@@ -38,12 +38,19 @@ std::string_view CodecName(CodecId id);
 /// Parse a codec name ("lzf", "gzip", ...); case-insensitive.
 Result<CodecId> CodecFromName(std::string_view name);
 
+class Scratch;  // codec/scratch.hpp — reusable per-worker working memory
+
 /// One-shot lossless compressor.
 ///
 /// Contract: Decompress(Compress(x)) == x for every input, including empty
 /// input and inputs the codec expands. Compress appends to *out (it does not
 /// clear it); Decompress requires the exact original size, which EDC always
 /// tracks in its mapping metadata.
+///
+/// Both operations take an optional Scratch: when supplied, the codec
+/// reuses its match tables and temp buffers instead of allocating per call.
+/// Output bytes are identical with and without one (property-tested); a
+/// Scratch must not be shared across threads (see codec/scratch.hpp).
 class Codec {
  public:
   virtual ~Codec() = default;
@@ -55,12 +62,30 @@ class Codec {
   virtual std::size_t MaxCompressedSize(std::size_t input_size) const = 0;
 
   /// Compress `input`, appending the encoded bytes to `*out`.
-  virtual Status Compress(ByteSpan input, Bytes* out) const = 0;
+  Status Compress(ByteSpan input, Bytes* out) const {
+    return CompressTo(input, out, nullptr);
+  }
+  Status Compress(ByteSpan input, Bytes* out, Scratch* scratch) const {
+    return CompressTo(input, out, scratch);
+  }
 
   /// Decompress `input` into exactly `original_size` bytes appended to
   /// `*out`. Returns DataLoss on any malformed input.
-  virtual Status Decompress(ByteSpan input, std::size_t original_size,
-                            Bytes* out) const = 0;
+  Status Decompress(ByteSpan input, std::size_t original_size,
+                    Bytes* out) const {
+    return DecompressTo(input, original_size, out, nullptr);
+  }
+  Status Decompress(ByteSpan input, std::size_t original_size, Bytes* out,
+                    Scratch* scratch) const {
+    return DecompressTo(input, original_size, out, scratch);
+  }
+
+ protected:
+  /// Codec implementations; `scratch` may be null (fresh-allocation path).
+  virtual Status CompressTo(ByteSpan input, Bytes* out,
+                            Scratch* scratch) const = 0;
+  virtual Status DecompressTo(ByteSpan input, std::size_t original_size,
+                              Bytes* out, Scratch* scratch) const = 0;
 };
 
 /// Process-wide codec registry; instances are stateless and shared.

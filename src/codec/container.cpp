@@ -1,5 +1,6 @@
 #include "codec/container.hpp"
 
+#include "codec/scratch.hpp"
 #include "common/crc32.hpp"
 #include "common/varint.hpp"
 
@@ -20,10 +21,16 @@ Bytes BuildFrame(CodecId id, ByteSpan original, ByteSpan payload) {
 }  // namespace
 
 Result<Bytes> FrameCompress(ByteSpan input, CodecId id) {
+  return FrameCompress(input, id, nullptr);
+}
+
+Result<Bytes> FrameCompress(ByteSpan input, CodecId id, Scratch* scratch) {
   const Codec& codec = GetCodec(id);
-  Bytes payload;
+  Bytes local_payload;
+  Bytes& payload =
+      scratch != nullptr ? scratch->frame_payload() : local_payload;
   payload.reserve(codec.MaxCompressedSize(input.size()));
-  EDC_RETURN_IF_ERROR(codec.Compress(input, &payload));
+  EDC_RETURN_IF_ERROR(codec.Compress(input, &payload, scratch));
   if (id != CodecId::kStore && payload.size() >= input.size()) {
     // Expansion: store raw instead; the tag records the fallback.
     return BuildFrame(CodecId::kStore, input, input);
@@ -133,6 +140,10 @@ std::size_t ExtentHeaderSize(Lba first_lba, u32 n_blocks,
 }
 
 Result<Bytes> FrameDecompress(ByteSpan frame) {
+  return FrameDecompress(frame, nullptr);
+}
+
+Result<Bytes> FrameDecompress(ByteSpan frame, Scratch* scratch) {
   auto info = FrameParse(frame);
   if (!info.ok()) return info.status();
   if (info->codec == CodecId::kStore &&
@@ -143,7 +154,8 @@ Result<Bytes> FrameDecompress(ByteSpan frame) {
   Bytes out;
   out.reserve(info->original_size);
   EDC_RETURN_IF_ERROR(GetCodec(info->codec)
-                          .Decompress(payload, info->original_size, &out));
+                          .Decompress(payload, info->original_size, &out,
+                                      scratch));
   if (Crc32(out) != info->crc32) {
     return Status::DataLoss("frame: CRC mismatch");
   }

@@ -34,13 +34,19 @@ struct FrameInfo {
 /// Compress `input` with `id` and wrap it in a frame. If the framed result
 /// would be no smaller than a kStore frame, falls back to kStore — the
 /// frame is therefore never larger than input + header.
+///
+/// The Scratch overload stages the codec payload in the scratch's reusable
+/// buffer and forwards the scratch to the codec; the returned frame bytes
+/// are identical either way.
 Result<Bytes> FrameCompress(ByteSpan input, CodecId id);
+Result<Bytes> FrameCompress(ByteSpan input, CodecId id, Scratch* scratch);
 
 /// Parse a frame header without decompressing.
 Result<FrameInfo> FrameParse(ByteSpan frame);
 
 /// Decompress a frame, verifying the CRC. Returns the original bytes.
 Result<Bytes> FrameDecompress(ByteSpan frame);
+Result<Bytes> FrameDecompress(ByteSpan frame, Scratch* scratch);
 
 // ---------------------------------------------------------------------------
 // Extent container — the durable on-flash representation of one installed

@@ -4,6 +4,7 @@
 
 #include "codec/huffman.hpp"
 #include "codec/lz77.hpp"
+#include "codec/scratch.hpp"
 #include "common/bitio.hpp"
 
 namespace edc::codec {
@@ -72,14 +73,20 @@ Lz77Params DeflateLikeCodec::LevelParams(int level) {
   return p;  // defaults = level 6
 }
 
-Status DeflateLikeCodec::Compress(ByteSpan input, Bytes* out) const {
+Status DeflateLikeCodec::CompressTo(ByteSpan input, Bytes* out,
+                                    Scratch* scratch) const {
   const std::size_t out_start = out->size();
   if (input.empty()) {
     EmitStored(input, out);
     return Status::Ok();
   }
 
-  std::vector<Lz77Token> tokens = Lz77Tokenize(input, params_);
+  // Reuse the Scratch's token buffer and match tables when available; the
+  // token stream (and hence every emitted bit) is identical either way.
+  std::vector<Lz77Token> local_tokens;
+  std::vector<Lz77Token>& tokens =
+      scratch != nullptr ? scratch->tokens() : local_tokens;
+  Lz77Tokenize(input, params_, scratch, &tokens);
 
   // Gather symbol frequencies.
   std::array<u64, kLitLenAlphabet> litlen_freq{};
@@ -101,7 +108,8 @@ Status DeflateLikeCodec::Compress(ByteSpan input, Bytes* out) const {
   if (!litlen_enc.ok()) return litlen_enc.status();
   if (!dist_enc.ok()) return dist_enc.status();
 
-  Bytes packed;
+  Bytes local_packed;
+  Bytes& packed = scratch != nullptr ? scratch->packed() : local_packed;
   packed.reserve(input.size() / 2 + 64);
   BitWriter bw(&packed);
   bw.WriteBit(false);  // huffman block
@@ -131,8 +139,8 @@ Status DeflateLikeCodec::Compress(ByteSpan input, Bytes* out) const {
   return Status::Ok();
 }
 
-Status DeflateLikeCodec::Decompress(ByteSpan input, std::size_t original_size,
-                                    Bytes* out) const {
+Status DeflateLikeCodec::DecompressTo(ByteSpan input, std::size_t original_size,
+                                      Bytes* out, Scratch* scratch) const {
   if (input.empty()) {
     return original_size == 0
                ? Status::DataLoss("deflate: missing flag byte")
@@ -150,14 +158,41 @@ Status DeflateLikeCodec::Decompress(ByteSpan input, std::size_t original_size,
   BitReader br(input);
   if (br.ReadBit()) return Status::DataLoss("deflate: bad block flag");
 
-  auto litlen_lens = ReadCodeLengths(kLitLenAlphabet, br);
-  if (!litlen_lens.ok()) return litlen_lens.status();
-  auto dist_lens = ReadCodeLengths(kNumDistCodes, br);
-  if (!dist_lens.ok()) return dist_lens.status();
-  auto litlen_dec = HuffmanDecoder::FromLengths(*litlen_lens);
-  if (!litlen_dec.ok()) return Status::DataLoss("deflate: bad litlen table");
-  auto dist_dec = HuffmanDecoder::FromLengths(*dist_lens);
-  if (!dist_dec.ok()) return Status::DataLoss("deflate: bad dist table");
+  std::vector<u8> local_litlen_lens;
+  std::vector<u8> local_dist_lens;
+  std::vector<u8>& litlen_lens =
+      scratch != nullptr ? scratch->litlen_lengths() : local_litlen_lens;
+  std::vector<u8>& dist_lens =
+      scratch != nullptr ? scratch->dist_lengths() : local_dist_lens;
+  Status lens_status = ReadCodeLengthsInto(kLitLenAlphabet, br, &litlen_lens);
+  if (!lens_status.ok()) return lens_status;
+  lens_status = ReadCodeLengthsInto(kNumDistCodes, br, &dist_lens);
+  if (!lens_status.ok()) return lens_status;
+
+  // With a Scratch, decoder tables are served from its cache — steady
+  // workloads repeat the same code-length sets block after block, and the
+  // cache skips the ReverseBits/table-fill rebuild on every hit.
+  HuffmanDecoder local_litlen_dec;
+  HuffmanDecoder local_dist_dec;
+  const HuffmanDecoder* litlen_dec = nullptr;
+  const HuffmanDecoder* dist_dec = nullptr;
+  if (scratch != nullptr) {
+    auto ld = scratch->CachedDecoder(litlen_lens);
+    if (!ld.ok()) return Status::DataLoss("deflate: bad litlen table");
+    litlen_dec = *ld;
+    auto dd = scratch->CachedDecoder(dist_lens);
+    if (!dd.ok()) return Status::DataLoss("deflate: bad dist table");
+    dist_dec = *dd;
+  } else {
+    auto ld = HuffmanDecoder::FromLengths(litlen_lens);
+    if (!ld.ok()) return Status::DataLoss("deflate: bad litlen table");
+    local_litlen_dec = std::move(*ld);
+    litlen_dec = &local_litlen_dec;
+    auto dd = HuffmanDecoder::FromLengths(dist_lens);
+    if (!dd.ok()) return Status::DataLoss("deflate: bad dist table");
+    local_dist_dec = std::move(*dd);
+    dist_dec = &local_dist_dec;
+  }
 
   const std::size_t out_base = out->size();
   out->reserve(out_base + original_size);

@@ -34,9 +34,10 @@ class DeflateLikeCodec final : public Codec {
     return input_size + 8;  // stored escape: flag byte + raw copy
   }
 
-  Status Compress(ByteSpan input, Bytes* out) const override;
-  Status Decompress(ByteSpan input, std::size_t original_size,
-                    Bytes* out) const override;
+  Status CompressTo(ByteSpan input, Bytes* out,
+                    Scratch* scratch) const override;
+  Status DecompressTo(ByteSpan input, std::size_t original_size,
+                      Bytes* out, Scratch* scratch) const override;
 
  private:
   Lz77Params params_{};

@@ -232,6 +232,15 @@ void WriteCodeLengths(std::span<const u8> lengths, BitWriter& bw) {
 Result<std::vector<u8>> ReadCodeLengths(std::size_t alphabet_size,
                                         BitReader& br) {
   std::vector<u8> lengths;
+  Status s = ReadCodeLengthsInto(alphabet_size, br, &lengths);
+  if (!s.ok()) return s;
+  return lengths;
+}
+
+Status ReadCodeLengthsInto(std::size_t alphabet_size, BitReader& br,
+                           std::vector<u8>* out) {
+  std::vector<u8>& lengths = *out;
+  lengths.clear();
   lengths.reserve(alphabet_size);
   while (lengths.size() < alphabet_size) {
     if (!br.ok()) return Status::DataLoss("huffman: truncated lengths");
@@ -250,7 +259,7 @@ Result<std::vector<u8>> ReadCodeLengths(std::size_t alphabet_size,
     }
   }
   if (!br.ok()) return Status::DataLoss("huffman: truncated lengths");
-  return lengths;
+  return Status::Ok();
 }
 
 }  // namespace edc::codec

@@ -79,4 +79,9 @@ void WriteCodeLengths(std::span<const u8> lengths, BitWriter& bw);
 Result<std::vector<u8>> ReadCodeLengths(std::size_t alphabet_size,
                                         BitReader& br);
 
+/// Same, decoding into `*out` (cleared first) so callers can reuse the
+/// vector's capacity across blocks.
+Status ReadCodeLengthsInto(std::size_t alphabet_size, BitReader& br,
+                           std::vector<u8>* out);
+
 }  // namespace edc::codec

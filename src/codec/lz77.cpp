@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codec/match.hpp"
+#include "codec/scratch.hpp"
 #include "common/check.hpp"
 #include "common/hash.hpp"
 
@@ -19,27 +20,38 @@ u32 HashTriplet(const u8* p) {
 }
 
 /// Hash chains over the input; head[h] / prev[pos] store pos+1 (0 = none).
+///
+/// With a Scratch, the head table is generation-stamped (O(1) clear) and
+/// the chain-link array is reused *without* clearing: a link is only ever
+/// read for a position reached through a generation-validated head entry
+/// (or a link written after it this run), so stale links are unreachable.
 class ChainMatcher {
  public:
-  ChainMatcher(ByteSpan input, const Lz77Params& params)
-      : base_(input.data()),
-        size_(input.size()),
-        params_(params),
-        head_(kHashSize, 0),
-        prev_(input.size(), 0) {}
+  ChainMatcher(ByteSpan input, const Lz77Params& params, Scratch* scratch)
+      : base_(input.data()), size_(input.size()), params_(params) {
+    if (scratch != nullptr) {
+      heads_ = &scratch->lz77_heads();
+      links_ = &scratch->chain_links(size_);
+    } else {
+      local_links_.resize(size_);
+      heads_ = &local_heads_;
+      links_ = &local_links_;
+    }
+    heads_->Begin(kHashSize);
+  }
 
   void Insert(std::size_t pos) {
     if (pos + 3 > size_) return;
     u32 h = HashTriplet(base_ + pos);
-    prev_[pos] = head_[h];
-    head_[h] = static_cast<u32>(pos) + 1;
+    (*links_)[pos] = heads_->Get(h);
+    heads_->Set(h, static_cast<u32>(pos) + 1);
   }
 
   /// Best match at `pos`; returns length 0 if none.
   std::pair<std::size_t, std::size_t> FindBest(std::size_t pos) const {
     if (pos + params_.min_match > size_) return {0, 0};
     u32 h = HashTriplet(base_ + pos);
-    u32 cand_plus1 = head_[h];
+    u32 cand_plus1 = heads_->Get(h);
     std::size_t best_len = 0, best_dist = 0;
     std::size_t chain = params_.max_chain;
     std::size_t limit = std::min(params_.max_match, size_ - pos);
@@ -62,7 +74,7 @@ class ChainMatcher {
           if (len >= params_.good_match || len == limit) break;
         }
       }
-      cand_plus1 = prev_[cand];
+      cand_plus1 = (*links_)[cand];
     }
     return {best_len, best_dist};
   }
@@ -71,18 +83,28 @@ class ChainMatcher {
   const u8* base_;
   std::size_t size_;
   const Lz77Params& params_;
-  std::vector<u32> head_;
-  std::vector<u32> prev_;
+  StampedTable local_heads_;       // used only when no Scratch is supplied
+  std::vector<u32> local_links_;
+  StampedTable* heads_;
+  std::vector<u32>* links_;
 };
 
 }  // namespace
 
 std::vector<Lz77Token> Lz77Tokenize(ByteSpan input, const Lz77Params& params) {
   std::vector<Lz77Token> tokens;
-  if (input.empty()) return tokens;
+  Lz77Tokenize(input, params, nullptr, &tokens);
+  return tokens;
+}
+
+void Lz77Tokenize(ByteSpan input, const Lz77Params& params, Scratch* scratch,
+                  std::vector<Lz77Token>* out) {
+  std::vector<Lz77Token>& tokens = *out;
+  tokens.clear();
+  if (input.empty()) return;
   tokens.reserve(input.size() / 3);
 
-  ChainMatcher matcher(input, params);
+  ChainMatcher matcher(input, params, scratch);
   std::size_t pos = 0;
 
   auto emit_literal = [&](std::size_t p) {
@@ -123,7 +145,6 @@ std::vector<Lz77Token> Lz77Tokenize(ByteSpan input, const Lz77Params& params) {
     for (std::size_t p = pos + 1; p < stop; ++p) matcher.Insert(p);
     pos = stop;
   }
-  return tokens;
 }
 
 Bytes Lz77Expand(const std::vector<Lz77Token>& tokens) {

@@ -26,10 +26,18 @@ struct Lz77Params {
   bool lazy = true;                 // one-step lazy matching
 };
 
+class Scratch;  // codec/scratch.hpp — reusable per-worker working memory
+
 /// Tokenize `input`. The token stream reproduces the input exactly when
 /// expanded in order (property-tested).
 std::vector<Lz77Token> Lz77Tokenize(ByteSpan input,
                                     const Lz77Params& params = {});
+
+/// Tokenize into `*out` (cleared first). When `scratch` is non-null the
+/// matcher reuses its stamped head table and chain-link array instead of
+/// allocating ~128 KiB per call; the token stream is identical either way.
+void Lz77Tokenize(ByteSpan input, const Lz77Params& params, Scratch* scratch,
+                  std::vector<Lz77Token>* out);
 
 /// Expand a token stream back to bytes (reference decoder for tests).
 Bytes Lz77Expand(const std::vector<Lz77Token>& tokens);

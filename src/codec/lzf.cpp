@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "codec/match.hpp"
+#include "codec/scratch.hpp"
 #include "common/hash.hpp"
 
 namespace edc::codec {
@@ -35,23 +36,27 @@ void EmitLiterals(const u8* lit_start, const u8* lit_end, Bytes* out) {
 
 }  // namespace
 
-Status LzfCodec::Compress(ByteSpan input, Bytes* out) const {
+Status LzfCodec::CompressTo(ByteSpan input, Bytes* out,
+                            Scratch* scratch) const {
   const u8* base = input.data();
   const u8* ip = base;
   const u8* end = base + input.size();
   const u8* lit_start = ip;
 
   // Positions are stored relative to `base`; 0 means "empty slot", so we
-  // store pos+1.
-  std::vector<u32> table(kHashSize, 0);
+  // store pos+1. A supplied Scratch reuses its generation-stamped table
+  // (O(1) logical clear) instead of zero-filling kHashSize slots per call.
+  StampedTable local;
+  StampedTable& table = scratch != nullptr ? scratch->lzf_table() : local;
+  table.Begin(kHashSize);
 
   // Need at least 3 bytes beyond ip to hash; stop matching near the end.
   const u8* match_limit = input.size() >= kMinMatchLen ? end - 2 : base;
 
   while (ip < match_limit) {
     u32 h = HashTriplet(ip);
-    u32 cand_plus1 = table[h];
-    table[h] = static_cast<u32>(ip - base) + 1;
+    u32 cand_plus1 = table.Get(h);
+    table.Set(h, static_cast<u32>(ip - base) + 1);
 
     if (cand_plus1 != 0) {
       const u8* cand = base + (cand_plus1 - 1);
@@ -85,7 +90,7 @@ Status LzfCodec::Compress(ByteSpan input, Bytes* out) const {
         const u8* stop = ip + len;
         ++ip;
         while (ip < stop && ip < match_limit) {
-          table[HashTriplet(ip)] = static_cast<u32>(ip - base) + 1;
+          table.Set(HashTriplet(ip), static_cast<u32>(ip - base) + 1);
           ++ip;
         }
         ip = stop;
@@ -100,8 +105,9 @@ Status LzfCodec::Compress(ByteSpan input, Bytes* out) const {
   return Status::Ok();
 }
 
-Status LzfCodec::Decompress(ByteSpan input, std::size_t original_size,
-                            Bytes* out) const {
+Status LzfCodec::DecompressTo(ByteSpan input, std::size_t original_size,
+                              Bytes* out, Scratch* scratch) const {
+  (void)scratch;  // decode writes straight into *out; nothing to reuse
   const std::size_t out_base = out->size();
   out->reserve(out_base + original_size);
   std::size_t ip = 0;

@@ -24,9 +24,10 @@ class LzfCodec final : public Codec {
     return input_size + input_size / 32 + 2;
   }
 
-  Status Compress(ByteSpan input, Bytes* out) const override;
-  Status Decompress(ByteSpan input, std::size_t original_size,
-                    Bytes* out) const override;
+  Status CompressTo(ByteSpan input, Bytes* out,
+                    Scratch* scratch) const override;
+  Status DecompressTo(ByteSpan input, std::size_t original_size,
+                      Bytes* out, Scratch* scratch) const override;
 };
 
 }  // namespace edc::codec

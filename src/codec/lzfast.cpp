@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "codec/match.hpp"
+#include "codec/scratch.hpp"
 #include "common/hash.hpp"
 
 namespace edc::codec {
@@ -47,7 +48,8 @@ void EmitSequence(const u8* lit, std::size_t lit_len, std::size_t match_len,
 
 }  // namespace
 
-Status LzFastCodec::Compress(ByteSpan input, Bytes* out) const {
+Status LzFastCodec::CompressTo(ByteSpan input, Bytes* out,
+                               Scratch* scratch) const {
   const u8* base = input.data();
   const u8* ip = base;
   const u8* end = base + input.size();
@@ -59,7 +61,9 @@ Status LzFastCodec::Compress(ByteSpan input, Bytes* out) const {
     return Status::Ok();
   }
 
-  std::vector<u32> table(kHashSize, 0);
+  StampedTable local;
+  StampedTable& table = scratch != nullptr ? scratch->lzfast_table() : local;
+  table.Begin(kHashSize);
   // LZ4 requires the last 5 bytes to be literals and matches must not
   // reach the last 4 bytes; use a conservative bound.
   const u8* match_limit = end - (kMinMatch + 4);
@@ -67,8 +71,8 @@ Status LzFastCodec::Compress(ByteSpan input, Bytes* out) const {
 
   while (ip <= match_limit) {
     u32 h = HashQuad(ip);
-    u32 cand_plus1 = table[h];
-    table[h] = static_cast<u32>(ip - base) + 1;
+    u32 cand_plus1 = table.Get(h);
+    table.Set(h, static_cast<u32>(ip - base) + 1);
 
     const u8* cand = cand_plus1 ? base + (cand_plus1 - 1) : nullptr;
     if (cand != nullptr &&
@@ -89,10 +93,10 @@ Status LzFastCodec::Compress(ByteSpan input, Bytes* out) const {
       const u8* stop = ip + len;
       // Re-prime the table at two positions inside the match (LZ4 idiom).
       if (ip + 1 <= match_limit) {
-        table[HashQuad(ip + 1)] = static_cast<u32>(ip + 1 - base) + 1;
+        table.Set(HashQuad(ip + 1), static_cast<u32>(ip + 1 - base) + 1);
       }
       if (stop - 2 > ip && stop - 2 <= match_limit) {
-        table[HashQuad(stop - 2)] = static_cast<u32>(stop - 2 - base) + 1;
+        table.Set(HashQuad(stop - 2), static_cast<u32>(stop - 2 - base) + 1);
       }
       ip = stop;
       lit_start = ip;
@@ -109,8 +113,9 @@ Status LzFastCodec::Compress(ByteSpan input, Bytes* out) const {
   return Status::Ok();
 }
 
-Status LzFastCodec::Decompress(ByteSpan input, std::size_t original_size,
-                               Bytes* out) const {
+Status LzFastCodec::DecompressTo(ByteSpan input, std::size_t original_size,
+                                 Bytes* out, Scratch* scratch) const {
+  (void)scratch;  // decode writes straight into *out; nothing to reuse
   const std::size_t out_base = out->size();
   out->reserve(out_base + original_size);
   std::size_t ip = 0;

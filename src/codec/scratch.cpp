@@ -1,0 +1,38 @@
+#include "codec/scratch.hpp"
+
+#include "common/hash.hpp"
+
+namespace edc::codec {
+
+Result<const HuffmanDecoder*> Scratch::CachedDecoder(
+    std::span<const u8> lengths) {
+  const u64 hash = Hash64(ByteSpan(lengths.data(), lengths.size()));
+
+  for (std::size_t i = 0; i < kDecoderCacheSize; ++i) {
+    DecoderEntry& e = decoder_cache_[i];
+    if (e.valid && e.hash == hash && e.lengths.size() == lengths.size() &&
+        std::equal(lengths.begin(), lengths.end(), e.lengths.begin())) {
+      ++decoder_cache_hits_;
+      // Keep the entry we are about to hand out safe from the next insert:
+      // a following miss must not evict the pointer just returned.
+      if (decoder_cache_next_ == i) {
+        decoder_cache_next_ = (i + 1) % kDecoderCacheSize;
+      }
+      return &e.decoder;
+    }
+  }
+
+  ++decoder_cache_misses_;
+  auto built = HuffmanDecoder::FromLengths(lengths);
+  if (!built.ok()) return built.status();  // failures are never cached
+
+  DecoderEntry& e = decoder_cache_[decoder_cache_next_];
+  decoder_cache_next_ = (decoder_cache_next_ + 1) % kDecoderCacheSize;
+  e.hash = hash;
+  e.lengths.assign(lengths.begin(), lengths.end());
+  e.decoder = std::move(*built);
+  e.valid = true;
+  return &e.decoder;
+}
+
+}  // namespace edc::codec

@@ -1,0 +1,158 @@
+// Reusable per-worker codec working memory — the hot-path arena that lets
+// Compress/Decompress run without per-call heap allocation.
+//
+// Every codec call used to allocate (and zero) its match tables and temp
+// buffers from scratch: the LZ77 hash chains are 128 KiB of memset per 4 KiB
+// block, and deflate rebuilds the same Huffman decoder tables for every
+// block of a steady workload. A Scratch owns those structures across calls:
+//
+//  * StampedTable — a generation-stamped hash table whose O(size) clear is
+//    replaced by bumping a generation counter; entries from earlier calls
+//    read as "empty" without being touched.
+//  * reusable token / byte buffers for the deflate pipeline and the frame
+//    container;
+//  * a small cache of HuffmanDecoder tables keyed by the exact code-length
+//    set, deduplicating the ReverseBits/table-fill work when consecutive
+//    blocks carry identical codes.
+//
+// Contract: for any input, a codec produces byte-identical output with and
+// without a Scratch (property-tested across the fuzz corpora). Passing null
+// selects the original fresh-allocation path.
+//
+// Thread affinity: a Scratch is NOT thread-safe and must be confined to one
+// thread at a time. The intended owners are WorkerPool workers (one Scratch
+// per worker index, see Engine) and single-threaded callers (benches,
+// tests) that own a local instance. See docs/performance.md.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "codec/huffman.hpp"
+#include "codec/lz77.hpp"
+#include "common/types.hpp"
+
+namespace edc::codec {
+
+/// Hash table with O(1) logical clear: each slot carries the generation
+/// that last wrote it, and slots whose stamp is stale read as empty (0).
+/// Callers store pos+1 so that 0 keeps meaning "no entry", exactly like
+/// the zero-initialized vectors this replaces.
+class StampedTable {
+ public:
+  /// Start a new run over a table of `size` slots. O(1) except on first
+  /// use, a size change, or generation wrap-around (every 2^32 runs).
+  void Begin(std::size_t size) {
+    if (slots_.size() != size) {
+      slots_.assign(size, 0);
+      stamps_.assign(size, 0);
+      gen_ = 1;
+      return;
+    }
+    if (++gen_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      gen_ = 1;
+    }
+  }
+
+  u32 Get(std::size_t h) const { return stamps_[h] == gen_ ? slots_[h] : 0; }
+
+  void Set(std::size_t h, u32 v) {
+    slots_[h] = v;
+    stamps_[h] = gen_;
+  }
+
+ private:
+  std::vector<u32> slots_;
+  std::vector<u32> stamps_;
+  u32 gen_ = 0;
+};
+
+class Scratch {
+ public:
+  Scratch() = default;
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  /// LZ match tables — one per codec family: their sizes differ, and the
+  /// engine's elastic selection interleaves codecs on one worker, so a
+  /// shared table would be re-allocated on every codec switch.
+  StampedTable& lzf_table() { return lzf_table_; }
+  StampedTable& lzfast_table() { return lzfast_table_; }
+  StampedTable& lz77_heads() { return lz77_heads_; }
+
+  /// LZ77 chain-link array, grown (never shrunk) to at least `n` slots.
+  /// Not cleared between runs: chains only ever traverse positions already
+  /// inserted in the current run, because every link is reached through a
+  /// generation-validated head entry.
+  std::vector<u32>& chain_links(std::size_t n) {
+    if (chain_links_.size() < n) chain_links_.resize(n);
+    return chain_links_;
+  }
+
+  /// Deflate token buffer, cleared for reuse.
+  std::vector<Lz77Token>& tokens() {
+    tokens_.clear();
+    return tokens_;
+  }
+
+  /// Deflate bit-packed output staging buffer, cleared for reuse.
+  Bytes& packed() {
+    packed_.clear();
+    return packed_;
+  }
+
+  /// Frame-container payload staging buffer, cleared for reuse.
+  Bytes& frame_payload() {
+    frame_payload_.clear();
+    return frame_payload_;
+  }
+
+  /// Reusable code-length vectors for the deflate decode path.
+  std::vector<u8>& litlen_lengths() {
+    litlen_lengths_.clear();
+    return litlen_lengths_;
+  }
+  std::vector<u8>& dist_lengths() {
+    dist_lengths_.clear();
+    return dist_lengths_;
+  }
+
+  /// Decoder table for `lengths`, built on miss and cached by the exact
+  /// code-length set (hash + full compare, so distinct sets never alias).
+  /// Returns DataLoss when the lengths do not form a valid code. The
+  /// returned pointer is valid until the entry is evicted, i.e. at least
+  /// until kDecoderCacheSize further distinct length sets are requested.
+  Result<const HuffmanDecoder*> CachedDecoder(std::span<const u8> lengths);
+
+  /// Cache telemetry for tests and the micro benchmark.
+  u64 decoder_cache_hits() const { return decoder_cache_hits_; }
+  u64 decoder_cache_misses() const { return decoder_cache_misses_; }
+
+ private:
+  static constexpr std::size_t kDecoderCacheSize = 8;
+
+  struct DecoderEntry {
+    u64 hash = 0;
+    std::vector<u8> lengths;
+    HuffmanDecoder decoder;
+    bool valid = false;
+  };
+
+  StampedTable lzf_table_;
+  StampedTable lzfast_table_;
+  StampedTable lz77_heads_;
+  std::vector<u32> chain_links_;
+  std::vector<Lz77Token> tokens_;
+  Bytes packed_;
+  Bytes frame_payload_;
+  std::vector<u8> litlen_lengths_;
+  std::vector<u8> dist_lengths_;
+  DecoderEntry decoder_cache_[kDecoderCacheSize];
+  std::size_t decoder_cache_next_ = 0;  // round-robin eviction
+  u64 decoder_cache_hits_ = 0;
+  u64 decoder_cache_misses_ = 0;
+};
+
+}  // namespace edc::codec

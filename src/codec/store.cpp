@@ -2,13 +2,16 @@
 
 namespace edc::codec {
 
-Status StoreCodec::Compress(ByteSpan input, Bytes* out) const {
+Status StoreCodec::CompressTo(ByteSpan input, Bytes* out,
+                                Scratch* scratch) const {
+  (void)scratch;  // identity copy: nothing to reuse
   out->insert(out->end(), input.begin(), input.end());
   return Status::Ok();
 }
 
-Status StoreCodec::Decompress(ByteSpan input, std::size_t original_size,
-                              Bytes* out) const {
+Status StoreCodec::DecompressTo(ByteSpan input, std::size_t original_size,
+                                Bytes* out, Scratch* scratch) const {
+  (void)scratch;
   if (input.size() != original_size) {
     return Status::DataLoss("store: size mismatch");
   }

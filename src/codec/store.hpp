@@ -11,9 +11,10 @@ class StoreCodec final : public Codec {
   std::size_t MaxCompressedSize(std::size_t input_size) const override {
     return input_size;
   }
-  Status Compress(ByteSpan input, Bytes* out) const override;
-  Status Decompress(ByteSpan input, std::size_t original_size,
-                    Bytes* out) const override;
+  Status CompressTo(ByteSpan input, Bytes* out,
+                    Scratch* scratch) const override;
+  Status DecompressTo(ByteSpan input, std::size_t original_size,
+                      Bytes* out, Scratch* scratch) const override;
 };
 
 }  // namespace edc::codec

@@ -1,0 +1,147 @@
+// Flat open-addressing hash index (u64 key -> u64 value) for the per-I/O
+// hot path. Replaces std::unordered_map where every probe previously cost
+// a pointer chase into a separately allocated node: slots live in one
+// contiguous array (16 bytes each), lookups are a mixed-hash plus a short
+// linear scan, and erase uses backward-shift deletion so the table never
+// accumulates tombstones. Iteration order is slot order, which is a pure
+// function of the insert/erase history — deterministic across runs, which
+// the replay and trace-export tests rely on.
+//
+// Keys are arbitrary u64 except the reserved kEmptyKey sentinel (~0), which
+// never occurs for the two users (LBAs are bounded by the device geometry;
+// group ids are small monotonic counters). In steady state — a working set
+// that is overwritten rather than grown — Insert/Erase perform zero heap
+// allocations (growth only triggers when size crosses the load-factor
+// threshold), which the allocation-regression test pins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace edc {
+
+class FlatIndex {
+ public:
+  static constexpr u64 kEmptyKey = ~u64{0};
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  struct Slot {
+    u64 key = kEmptyKey;
+    u64 value = 0;
+  };
+
+  FlatIndex() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of slots (power of two, or 0 before the first insert).
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Pre-size the table for `n` entries so inserts up to `n` never rehash.
+  void Reserve(std::size_t n) {
+    std::size_t want = 16;
+    // Keep the load factor below 7/8 after n inserts.
+    while (want * 7 < n * 8) want <<= 1;
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  /// Insert `key` or overwrite its value; returns a reference to the value
+  /// slot (stable until the next insert).
+  u64& Upsert(u64 key) {
+    EDC_DCHECK(key != kEmptyKey) << "flat index: reserved key";
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
+      Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    std::size_t i = ProbeFor(key);
+    if (slots_[i].key == kEmptyKey) {
+      slots_[i].key = key;
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  void Insert(u64 key, u64 value) { Upsert(key) = value; }
+
+  /// Pointer to the value for `key`, or null when absent. Stable until the
+  /// next insert or erase.
+  const u64* Find(u64 key) const {
+    std::size_t i = FindSlot(key);
+    return i == npos ? nullptr : &slots_[i].value;
+  }
+
+  /// Slot index holding `key`, or npos. Valid until the next mutation.
+  std::size_t FindSlot(u64 key) const {
+    if (slots_.empty() || key == kEmptyKey) return npos;
+    std::size_t i = ProbeFor(key);
+    return slots_[i].key == key ? i : npos;
+  }
+
+  /// Remove `key` via backward-shift deletion (no tombstones). Returns
+  /// true when the key was present.
+  bool Erase(u64 key) {
+    std::size_t i = FindSlot(key);
+    if (i == npos) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (slots_[j].key == kEmptyKey) break;
+      // An entry may shift back only if its home slot lies at or before
+      // the hole (cyclically); otherwise it would become unreachable.
+      std::size_t home = Home(slots_[j].key);
+      if (((j - home) & mask) >= ((j - i) & mask)) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i].key = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    for (Slot& s : slots_) s.key = kEmptyKey;
+    size_ = 0;
+  }
+
+  /// Raw slot access for view iterators; index must be < slot_count().
+  const Slot& slot(std::size_t i) const { return slots_[i]; }
+  bool slot_occupied(std::size_t i) const {
+    return slots_[i].key != kEmptyKey;
+  }
+
+ private:
+  std::size_t Home(u64 key) const {
+    return static_cast<std::size_t>(Mix64(key)) & (slots_.size() - 1);
+  }
+
+  /// First slot holding `key`, or the first empty slot of its probe chain.
+  /// The load-factor cap guarantees an empty slot always terminates the
+  /// scan.
+  std::size_t ProbeFor(u64 key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Home(key);
+    while (slots_[i].key != kEmptyKey && slots_[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Rehash(std::size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.key != kEmptyKey) Insert(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace edc

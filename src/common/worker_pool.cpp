@@ -5,6 +5,16 @@
 #include <exception>
 
 namespace edc {
+namespace {
+
+thread_local WorkerPool* t_current_pool = nullptr;
+thread_local std::size_t t_worker_index = 0;
+
+}  // namespace
+
+WorkerPool* WorkerPool::CurrentPool() { return t_current_pool; }
+
+std::size_t WorkerPool::CurrentWorkerIndex() { return t_worker_index; }
 
 WorkerPool::WorkerPool(std::size_t threads, std::size_t max_queue)
     : max_queue_(max_queue) {
@@ -36,6 +46,8 @@ void WorkerPool::Enqueue(std::function<void()> task) {
 }
 
 void WorkerPool::WorkerLoop(std::size_t worker_index) {
+  t_current_pool = this;
+  t_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

@@ -71,6 +71,16 @@ class WorkerPool {
   /// workers. Idempotent.
   void Shutdown();
 
+  /// The pool whose worker thread is running the current task, or null
+  /// when called from any thread that is not a pool worker. Lets task code
+  /// pick per-worker resources (e.g. codec scratch arenas) without
+  /// threading the worker identity through every call.
+  static WorkerPool* CurrentPool();
+
+  /// Worker index (0..thread_count()-1) of the current pool thread.
+  /// Meaningful only when CurrentPool() is non-null.
+  static std::size_t CurrentWorkerIndex();
+
  private:
   void Enqueue(std::function<void()> task);
   void WorkerLoop(std::size_t worker_index);

@@ -32,6 +32,7 @@ CodecCost MeasureCell(const codec::Codec& c, const Bytes& corpus,
   for (std::size_t off = 0; off < corpus.size(); off += block) {
     std::size_t len = std::min(block, corpus.size() - off);
     Bytes out;
+    out.reserve(c.MaxCompressedSize(len));
     (void)c.Compress(ByteSpan(corpus.data() + off, len), &out);
     comp_total += out.size();
     compressed.push_back(std::move(out));

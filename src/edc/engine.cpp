@@ -57,6 +57,12 @@ Engine::Engine(const EngineConfig& config, ssd::Device* device,
       map_(DataPages(config, *device) * kQuantaPerBlock) {
   cpu_contexts_busy_.assign(std::max<u32>(1, config_.cpu_contexts), 0);
   data_pages_ = DataPages(config_, *device_);
+  if (config_.compress_pool != nullptr) {
+    pool_scratch_.reserve(config_.compress_pool->thread_count());
+    for (std::size_t i = 0; i < config_.compress_pool->thread_count(); ++i) {
+      pool_scratch_.push_back(std::make_unique<codec::Scratch>());
+    }
+  }
   if (config_.durability.enabled) {
     EDC_CHECK(config_.mode == ExecutionMode::kFunctional)
         << "durable mode needs functional execution (real payloads)";
@@ -289,10 +295,19 @@ void Engine::NoteBreakerError(SimTime at) {
   }
 }
 
+codec::Scratch* Engine::ScratchForThisThread() const {
+  WorkerPool* pool = WorkerPool::CurrentPool();
+  if (pool != nullptr && pool == config_.compress_pool) {
+    return pool_scratch_[WorkerPool::CurrentWorkerIndex()].get();
+  }
+  return &serial_scratch_;
+}
+
 Result<Engine::CodecResult> Engine::ExecuteCodec(
     const GroupPlan& plan) const {
   CodecResult cr;
-  auto fr = codec::FrameCompress(plan.content, plan.decision.codec);
+  codec::Scratch* scratch = ScratchForThisThread();
+  auto fr = codec::FrameCompress(plan.content, plan.decision.codec, scratch);
   if (!fr.ok()) return fr.status();
   auto info = codec::FrameParse(*fr);
   if (!info.ok()) return info.status();
@@ -302,7 +317,8 @@ Result<Engine::CodecResult> Engine::ExecuteCodec(
   // size is treated as non-compressible and stored raw.
   if (cr.tag != codec::CodecId::kStore &&
       cr.payload_size * 4 > plan.orig * 3) {
-    auto stored = codec::FrameCompress(plan.content, codec::CodecId::kStore);
+    auto stored =
+        codec::FrameCompress(plan.content, codec::CodecId::kStore, scratch);
     if (!stored.ok()) return stored.status();
     fr = std::move(stored);
     cr.tag = codec::CodecId::kStore;
@@ -340,9 +356,9 @@ Result<Engine::CodecResult> Engine::ModeledCodecOutcome(
       stats_.groups_written % config_.modeled_check_interval == 0) {
     Bytes real_out;
     Bytes real_in = MaterializeRun(plan.run);
-    if (codec::GetCodec(plan.decision.codec)
-            .Compress(real_in, &real_out)
-            .ok()) {
+    const codec::Codec& real_codec = codec::GetCodec(plan.decision.codec);
+    real_out.reserve(real_codec.MaxCompressedSize(real_in.size()));
+    if (real_codec.Compress(real_in, &real_out, &serial_scratch_).ok()) {
       double modeled_f = static_cast<double>(cr.payload_size) /
                          static_cast<double>(plan.orig);
       double real_f = static_cast<double>(real_out.size()) /
@@ -1480,7 +1496,7 @@ Result<Bytes> Engine::ReadBlockData(Lba block) {
   if (it == payloads_.end()) {
     return Status::Internal("missing payload for live group");
   }
-  auto content = codec::FrameDecompress(it->second);
+  auto content = codec::FrameDecompress(it->second, &serial_scratch_);
   if (!content.ok()) return content.status();
   const GroupInfo& g = map_.Group(*gid);
   std::size_t index = static_cast<std::size_t>(block - g.first_lba);

@@ -21,9 +21,12 @@
 #pragma once
 
 #include <list>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "codec/container.hpp"
+#include "codec/scratch.hpp"
 #include "datagen/generator.hpp"
 #include "edc/auditor.hpp"
 #include "edc/cost_model.hpp"
@@ -359,6 +362,12 @@ class Engine {
   /// starting no sooner than `ready`; returns the scheduled slot.
   CpuSlot RunOnCpu(SimTime ready, SimTime duration);
 
+  /// Codec scratch arena for the calling thread: a compress-pool worker
+  /// gets its per-worker arena (no locking — each worker only ever touches
+  /// its own); every other caller is the simulation thread and uses
+  /// serial_scratch_. Codec output is byte-identical with any scratch.
+  codec::Scratch* ScratchForThisThread() const;
+
   /// Register metric instruments and the engine-stats collector into the
   /// observer (constructor helper; no-op without an observer).
   void RegisterObservability();
@@ -395,6 +404,11 @@ class Engine {
   obs::HistogramMetric* read_latency_hist_ = nullptr;
   obs::HistogramMetric* alloc_quanta_hist_ = nullptr;
   obs::Gauge* breaker_gauge_ = nullptr;
+  // Reusable codec working memory (see codec/scratch.hpp). ExecuteCodec is
+  // const, so these are mutable; thread confinement is by construction:
+  // one arena per pool worker plus one for the simulation thread.
+  mutable codec::Scratch serial_scratch_;
+  mutable std::vector<std::unique_ptr<codec::Scratch>> pool_scratch_;
   EngineStats stats_;
 };
 

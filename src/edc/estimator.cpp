@@ -101,6 +101,7 @@ double PrefixProbeFraction(ByteSpan block, u32 probe_bytes) {
     probe.assign(block.begin(), block.end());
   }
   Bytes out;
+  out.reserve(lzf.MaxCompressedSize(probe.size()));
   if (!lzf.Compress(probe, &out).ok() || probe.empty()) return 1.0;
   double f = static_cast<double>(out.size()) /
              static_cast<double>(probe.size());

@@ -232,9 +232,9 @@ Result<u64> BlockMap::Install(Lba first_lba, u32 n_blocks,
   g.compressed_bytes = static_cast<u32>(compressed_bytes);
   g.first_lba = first_lba;
   g.tag = tag;
-  groups_.emplace(id, g);
+  AddGroup(id, g);
   for (u32 i = 0; i < n_blocks; ++i) {
-    block_to_group_[first_lba + i] = id;
+    block_to_group_.Insert(first_lba + i, id);
   }
   live_logical_bytes_ +=
       static_cast<u64>(n_blocks) * kLogicalBlockSize;
@@ -242,11 +242,11 @@ Result<u64> BlockMap::Install(Lba first_lba, u32 n_blocks,
 }
 
 Result<u64> BlockMap::RelocateGroup(u64 group_id) {
-  auto it = groups_.find(group_id);
-  if (it == groups_.end()) {
+  GroupInfo* gp = FindGroupInfo(group_id);
+  if (gp == nullptr) {
     return Status::InvalidArgument("blockmap: relocating unknown group");
   }
-  GroupInfo& g = it->second;
+  GroupInfo& g = *gp;
   auto start = allocator_.Allocate(g.quanta);
   if (!start.ok()) return start.status();
   allocator_.MarkQuarantined(g.start_quantum, g.quanta);
@@ -269,7 +269,7 @@ Result<u64> BlockMap::InstallReplay(Lba first_lba, u32 n_blocks,
   auto id = Install(first_lba, n_blocks, tag, compressed_bytes, alloc_quanta,
                     freed_groups);
   if (!id.ok()) return id.status();
-  GroupInfo& g = groups_.at(*id);
+  GroupInfo& g = *FindGroupInfo(*id);
   if (g.start_quantum != attempt_starts[0]) {
     return Status::DataLoss("blockmap: journal/allocator divergence (got " +
                             std::to_string(g.start_quantum) + ", journaled " +
@@ -292,36 +292,72 @@ Result<u64> BlockMap::InstallReplay(Lba first_lba, u32 n_blocks,
 }
 
 GroupInfo* BlockMap::MutableGroupForTest(u64 group_id) {
-  auto it = groups_.find(group_id);
-  return it == groups_.end() ? nullptr : &it->second;
+  return FindGroupInfo(group_id);
+}
+
+void BlockMap::AddGroup(u64 id, const GroupInfo& g) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = group_slots_.size();
+    group_slots_.emplace_back();
+  }
+  group_slots_[slot].id = id;
+  group_slots_[slot].info = g;
+  group_index_.Insert(id, slot);
+}
+
+GroupInfo* BlockMap::FindGroupInfo(u64 group_id) {
+  const u64* slot = group_index_.Find(group_id);
+  return slot == nullptr
+             ? nullptr
+             : &group_slots_[static_cast<std::size_t>(*slot)].info;
+}
+
+const GroupInfo* BlockMap::FindGroupInfo(u64 group_id) const {
+  const u64* slot = group_index_.Find(group_id);
+  return slot == nullptr
+             ? nullptr
+             : &group_slots_[static_cast<std::size_t>(*slot)].info;
+}
+
+void BlockMap::EraseGroup(u64 group_id) {
+  const u64* slot = group_index_.Find(group_id);
+  if (slot == nullptr) return;
+  std::size_t s = static_cast<std::size_t>(*slot);
+  group_slots_[s].id = 0;
+  free_slots_.push_back(static_cast<u32>(s));
+  group_index_.Erase(group_id);
 }
 
 std::optional<GroupInfo> BlockMap::Find(Lba lba) const {
-  auto it = block_to_group_.find(lba);
-  if (it == block_to_group_.end()) return std::nullopt;
-  return groups_.at(it->second);
+  const u64* id = block_to_group_.Find(lba);
+  if (id == nullptr) return std::nullopt;
+  return Group(*id);
 }
 
 std::optional<u64> BlockMap::FindGroupId(Lba lba) const {
-  auto it = block_to_group_.find(lba);
-  if (it == block_to_group_.end()) return std::nullopt;
-  return it->second;
+  const u64* id = block_to_group_.Find(lba);
+  if (id == nullptr) return std::nullopt;
+  return *id;
 }
 
 std::optional<u64> BlockMap::Release(Lba lba) {
-  auto it = block_to_group_.find(lba);
-  if (it == block_to_group_.end()) return std::nullopt;
-  u64 group_id = it->second;
+  const u64* idp = block_to_group_.Find(lba);
+  if (idp == nullptr) return std::nullopt;
+  u64 group_id = *idp;
   bool died = ReleaseFromGroup(lba, group_id);
-  block_to_group_.erase(it);
+  block_to_group_.Erase(lba);
   if (died) return group_id;
   return std::nullopt;
 }
 
 bool BlockMap::ReleaseFromGroup(Lba lba, u64 group_id) {
-  auto git = groups_.find(group_id);
-  if (git == groups_.end()) return false;
-  GroupInfo& g = git->second;
+  GroupInfo* gp = FindGroupInfo(group_id);
+  if (gp == nullptr) return false;
+  GroupInfo& g = *gp;
   EDC_DCHECK(g.live_blocks > 0) << "release from dead group " << group_id;
   EDC_DCHECK(lba >= g.first_lba && lba - g.first_lba < g.orig_blocks)
       << "lba " << lba << " outside group at " << g.first_lba;
@@ -332,7 +368,7 @@ bool BlockMap::ReleaseFromGroup(Lba lba, u64 group_id) {
   live_logical_bytes_ -= kLogicalBlockSize;
   if (g.live_blocks == 0) {
     allocator_.Free(g.start_quantum, g.quanta);
-    groups_.erase(git);
+    EraseGroup(group_id);
     return true;
   }
   return false;
@@ -352,9 +388,14 @@ Bytes BlockMap::Serialize() const {
   PutVarint(&out, kMapVersion);
   allocator_.SaveTo(&out);
   PutVarint(&out, next_group_id_);
-  PutVarint(&out, groups_.size());
-  for (const auto& [id, g] : groups_) {
-    PutVarint(&out, id);
+  PutVarint(&out, group_index_.size());
+  // Slab order: deterministic for a given operation history, and each
+  // record's byte size is independent of order, so the image size (which
+  // journal-space accounting observes) matches any other record order.
+  for (const GroupSlot& s : group_slots_) {
+    if (s.id == 0) continue;
+    const GroupInfo& g = s.info;
+    PutVarint(&out, s.id);
     PutVarint(&out, g.start_quantum);
     PutVarint(&out, g.quanta);
     PutVarint(&out, g.orig_blocks);
@@ -421,6 +462,10 @@ Result<BlockMap> BlockMap::Deserialize(ByteSpan image) {
     if (*orig_blocks == 0 || *orig_blocks > 64) {
       return Status::DataLoss("blockmap: bad group size");
     }
+    if (*id == 0 || *id == FlatIndex::kEmptyKey ||
+        *first_lba > kInvalidLba - 64) {
+      return Status::DataLoss("blockmap: bad group record");
+    }
 
     GroupInfo g;
     g.start_quantum = *start;
@@ -434,10 +479,13 @@ Result<BlockMap> BlockMap::Deserialize(ByteSpan image) {
     if (g.live_blocks == 0 || g.live_blocks > g.orig_blocks) {
       return Status::DataLoss("blockmap: inconsistent live mask");
     }
-    map.groups_.emplace(*id, g);
+    if (map.group_index_.Find(*id) != nullptr) {
+      return Status::DataLoss("blockmap: duplicate group id");
+    }
+    map.AddGroup(*id, g);
     for (u32 b = 0; b < g.orig_blocks; ++b) {
       if (g.live_mask & (u64{1} << b)) {
-        map.block_to_group_[g.first_lba + b] = *id;
+        map.block_to_group_.Insert(g.first_lba + b, *id);
       }
     }
     map.live_logical_bytes_ +=

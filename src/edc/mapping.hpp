@@ -16,10 +16,11 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "common/check.hpp"
+#include "common/flat_index.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 
@@ -131,6 +132,16 @@ struct GroupInfo {
 };
 
 /// Host-block → group mapping plus group lifecycle and space accounting.
+///
+/// Hot-path layout: the LBA → group-id index and the group-id → slot index
+/// are FlatIndex open-addressing tables (one contiguous slot array each,
+/// no per-entry nodes), and GroupInfo records live in a slab vector whose
+/// freed slots are recycled through a free list. Externally-visible group
+/// ids stay small monotonic u64s (preserved across Serialize/Deserialize)
+/// so payload stores keyed by id remain valid; slot indices are purely
+/// internal. The groups()/block_index() accessors return thin read-only
+/// views with unordered_map-shaped iteration so the StateAuditor, journal
+/// replay and recovery code read the new structures unchanged.
 class BlockMap {
  public:
   explicit BlockMap(u64 total_quanta);
@@ -165,7 +176,11 @@ class BlockMap {
   /// Group id holding a host block (for callers that key payload stores).
   std::optional<u64> FindGroupId(Lba lba) const;
   /// Group info by id (the id must be live).
-  const GroupInfo& Group(u64 group_id) const { return groups_.at(group_id); }
+  const GroupInfo& Group(u64 group_id) const {
+    const GroupInfo* g = FindGroupInfo(group_id);
+    EDC_CHECK(g != nullptr) << "blockmap: unknown group " << group_id;
+    return *g;
+  }
 
   /// Drop a host block (TRIM); frees the group extent when the last live
   /// member goes, returning the freed group id in that case.
@@ -173,22 +188,168 @@ class BlockMap {
 
   const QuantumAllocator& allocator() const { return allocator_; }
 
+  /// One slab slot of the group pool; id == 0 marks a free (recycled)
+  /// slot. Public only so the views below can iterate the slab.
+  struct GroupSlot {
+    u64 id = 0;
+    GroupInfo info;
+  };
+
+  /// Read-only view over the live groups with unordered_map-shaped
+  /// iteration: `for (const auto& [id, g] : map.groups())`, `find(id)`,
+  /// `end()`, `it->first` / `it->second`. Iterators from distinct view
+  /// instances of the same map compare equal at equal positions.
+  class GroupsView {
+   public:
+    struct value_type {
+      u64 first;
+      const GroupInfo& second;
+    };
+    class iterator {
+     public:
+      iterator(const std::vector<GroupSlot>* slots, std::size_t i)
+          : slots_(slots), i_(i) {
+        SkipFree();
+      }
+      value_type operator*() const {
+        return {(*slots_)[i_].id, (*slots_)[i_].info};
+      }
+      struct ArrowProxy {
+        value_type pair;
+        const value_type* operator->() const { return &pair; }
+      };
+      ArrowProxy operator->() const { return ArrowProxy{**this}; }
+      iterator& operator++() {
+        ++i_;
+        SkipFree();
+        return *this;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.slots_ == b.slots_ && a.i_ == b.i_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return !(a == b);
+      }
+
+     private:
+      void SkipFree() {
+        while (i_ < slots_->size() && (*slots_)[i_].id == 0) ++i_;
+      }
+      const std::vector<GroupSlot>* slots_;
+      std::size_t i_;
+    };
+
+    iterator begin() const { return iterator(slots_, 0); }
+    iterator end() const { return iterator(slots_, slots_->size()); }
+    iterator find(u64 id) const {
+      std::size_t slot = index_->FindSlot(id);
+      if (slot == FlatIndex::npos) return end();
+      return iterator(slots_, static_cast<std::size_t>(
+                                  index_->slot(slot).value));
+    }
+    std::size_t count(u64 id) const {
+      return index_->Find(id) != nullptr ? 1u : 0u;
+    }
+    std::size_t size() const { return index_->size(); }
+    bool empty() const { return index_->empty(); }
+
+   private:
+    friend class BlockMap;
+    GroupsView(const std::vector<GroupSlot>* slots, const FlatIndex* index)
+        : slots_(slots), index_(index) {}
+    const std::vector<GroupSlot>* slots_;
+    const FlatIndex* index_;
+  };
+
+  /// Read-only view over the LBA → group-id index, same iteration shape
+  /// as the unordered_map it replaced.
+  class BlockIndexView {
+   public:
+    struct value_type {
+      Lba first;
+      u64 second;
+    };
+    class iterator {
+     public:
+      iterator(const FlatIndex* idx, std::size_t i) : idx_(idx), i_(i) {
+        SkipEmpty();
+      }
+      value_type operator*() const {
+        const FlatIndex::Slot& s = idx_->slot(i_);
+        return {s.key, s.value};
+      }
+      struct ArrowProxy {
+        value_type pair;
+        const value_type* operator->() const { return &pair; }
+      };
+      ArrowProxy operator->() const { return ArrowProxy{**this}; }
+      iterator& operator++() {
+        ++i_;
+        SkipEmpty();
+        return *this;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.idx_ == b.idx_ && a.i_ == b.i_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return !(a == b);
+      }
+
+     private:
+      void SkipEmpty() {
+        while (i_ < idx_->slot_count() && !idx_->slot_occupied(i_)) ++i_;
+      }
+      const FlatIndex* idx_;
+      std::size_t i_;
+    };
+
+    iterator begin() const { return iterator(idx_, 0); }
+    iterator end() const { return iterator(idx_, idx_->slot_count()); }
+    iterator find(Lba lba) const {
+      std::size_t slot = idx_->FindSlot(lba);
+      return slot == FlatIndex::npos ? end() : iterator(idx_, slot);
+    }
+    std::size_t count(Lba lba) const {
+      return idx_->Find(lba) != nullptr ? 1u : 0u;
+    }
+    std::size_t size() const { return idx_->size(); }
+    bool empty() const { return idx_->empty(); }
+
+   private:
+    friend class BlockMap;
+    explicit BlockIndexView(const FlatIndex* idx) : idx_(idx) {}
+    const FlatIndex* idx_;
+  };
+
   /// Read-only views for the StateAuditor (invariant verification walks
   /// every group and the whole reverse map).
-  const std::unordered_map<u64, GroupInfo>& groups() const {
-    return groups_;
+  GroupsView groups() const { return GroupsView(&group_slots_, &group_index_); }
+  BlockIndexView block_index() const {
+    return BlockIndexView(&block_to_group_);
   }
-  const std::unordered_map<Lba, u64>& block_index() const {
-    return block_to_group_;
-  }
+
+  /// Mutable test handle over the block index, pointer-shaped so the
+  /// mutation-test call sites (`...->erase(lba)`, `(*...)[lba] = id`) read
+  /// exactly as they did against the unordered_map.
+  class BlockIndexTestHook {
+   public:
+    explicit BlockIndexTestHook(FlatIndex* idx) : idx_(idx) {}
+    std::size_t erase(Lba lba) { return idx_->Erase(lba) ? 1u : 0u; }
+    u64& operator[](Lba lba) { return idx_->Upsert(lba); }
+    BlockIndexTestHook* operator->() { return this; }
+    BlockIndexTestHook& operator*() { return *this; }
+
+   private:
+    FlatIndex* idx_;
+  };
 
   /// Mutation-test hooks: direct handles into the private state so tests
   /// can seed precise corruption classes and prove the auditor flags them.
   /// Never use these outside tests.
   GroupInfo* MutableGroupForTest(u64 group_id);
   QuantumAllocator* MutableAllocatorForTest() { return &allocator_; }
-  std::unordered_map<Lba, u64>* MutableBlockIndexForTest() {
-    return &block_to_group_;
+  BlockIndexTestHook MutableBlockIndexForTest() {
+    return BlockIndexTestHook(&block_to_group_);
   }
 
   /// Persist the whole mapping table (Fig. 5 metadata: group extents,
@@ -210,15 +371,24 @@ class BlockMap {
                       : static_cast<double>(live_logical_bytes_) /
                             static_cast<double>(alloc);
   }
-  std::size_t num_groups() const { return groups_.size(); }
+  std::size_t num_groups() const { return group_index_.size(); }
 
  private:
   /// Returns true when the group died (its extent was freed).
   bool ReleaseFromGroup(Lba lba, u64 group_id);
 
+  /// Place a new group record, recycling a free slab slot when available.
+  void AddGroup(u64 id, const GroupInfo& g);
+  GroupInfo* FindGroupInfo(u64 group_id);
+  const GroupInfo* FindGroupInfo(u64 group_id) const;
+  /// Drop a group record and recycle its slab slot.
+  void EraseGroup(u64 group_id);
+
   QuantumAllocator allocator_;
-  std::unordered_map<Lba, u64> block_to_group_;
-  std::unordered_map<u64, GroupInfo> groups_;
+  FlatIndex block_to_group_;  // lba -> group id
+  FlatIndex group_index_;     // group id -> slab slot
+  std::vector<GroupSlot> group_slots_;
+  std::vector<u32> free_slots_;
   u64 next_group_id_ = 1;
   u64 live_logical_bytes_ = 0;
 };

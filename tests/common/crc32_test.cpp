@@ -43,23 +43,52 @@ TEST(Crc32, DetectsSingleBitFlips) {
   }
 }
 
+/// Bit-at-a-time reference implementation (the polynomial definition).
+u32 BitwiseReference(ByteSpan d, u32 seed = 0) {
+  u32 crc = ~seed;
+  for (u8 b : d) {
+    crc ^= b;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+  }
+  return ~crc;
+}
+
 TEST(Crc32, UnalignedLengths) {
   // Exercise the 1/2/3-byte tail path against a bytewise reference.
-  auto reference = [](ByteSpan d) {
-    u32 crc = 0xFFFFFFFFu;
-    for (u8 b : d) {
-      crc ^= b;
-      for (int k = 0; k < 8; ++k) {
-        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
-      }
-    }
-    return ~crc;
-  };
   Bytes data;
   for (int i = 0; i < 37; ++i) data.push_back(static_cast<u8>(i * 11));
   for (std::size_t len = 0; len <= data.size(); ++len) {
     ByteSpan d(data.data(), len);
-    EXPECT_EQ(Crc32(d), reference(d)) << "len " << len;
+    EXPECT_EQ(Crc32(d), BitwiseReference(d)) << "len " << len;
+  }
+}
+
+TEST(Crc32, AllLengthsZeroTo64MatchBitwiseReference) {
+  // Every length 0..64 crosses the short-buffer fast path (< 16 B), the
+  // 8-byte slicing loop entry, and every possible tail length — this pins
+  // the slicing-by-8 implementation over all of its code paths.
+  Bytes data;
+  for (int i = 0; i < 64; ++i) data.push_back(static_cast<u8>(i * 37 + 5));
+  for (std::size_t len = 0; len <= 64; ++len) {
+    ByteSpan d(data.data(), len);
+    EXPECT_EQ(Crc32(d), BitwiseReference(d)) << "len " << len;
+  }
+}
+
+TEST(Crc32, SeedChainingMatchesBitwiseReference) {
+  // Seed-chained (incremental) computation must agree with the reference
+  // at every split point, including splits that land inside the slicing
+  // loop of one half and the short-buffer path of the other.
+  Bytes data;
+  for (int i = 0; i < 64; ++i) data.push_back(static_cast<u8>(201 - i * 3));
+  const u32 whole = BitwiseReference(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    u32 part = Crc32(ByteSpan(data).subspan(0, split));
+    EXPECT_EQ(part, BitwiseReference(ByteSpan(data).subspan(0, split)));
+    EXPECT_EQ(Crc32(ByteSpan(data).subspan(split), part), whole)
+        << "split at " << split;
   }
 }
 
