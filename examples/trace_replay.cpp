@@ -14,6 +14,7 @@
 #include <memory>
 #include <thread>
 
+#include "codec/backend.hpp"
 #include "common/worker_pool.hpp"
 #include "obs/observer.hpp"
 #include "sim/replay.hpp"
@@ -177,6 +178,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\nscheme %s on %s:\n", result->scheme_name.c_str(),
               result->trace_name.c_str());
+  std::printf("  codec backend      : %s\n",
+              codec::ActiveBackend().name);
   std::printf("  mean response time : %.3f ms (p50 %.2f / p95 %.2f / "
               "p99 %.2f us)\n",
               result->mean_response_ms(), result->p50_us, result->p95_us,

@@ -1,0 +1,158 @@
+#include "codec/backend.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "codec/backend_x86.hpp"
+#include "codec/match.hpp"
+#include "common/cpu.hpp"
+#include "common/crc32.hpp"
+
+namespace edc::codec {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar kernels — byte-for-byte the behaviour the codecs had before the
+// kernel table existed. The scalar backend is the reference every other
+// backend is property-tested against.
+
+std::size_t ScalarMatchLength(const u8* a, const u8* b, std::size_t limit) {
+  return MatchLength(a, b, limit);
+}
+
+// Two-byte probe at [best_len - 1, best_len]: a strictly longer match
+// must agree on byte best_len (and all before it), so equality here is a
+// necessary condition — exactly the reject ChainMatcher always used.
+bool ScalarChainProbe(const u8* cand, const u8* pos, std::size_t best_len) {
+  return Read16(cand + best_len - 1) == Read16(pos + best_len - 1);
+}
+
+// Four-byte probe at [best_len - 3, best_len] once enough bytes exist:
+// still only necessary-condition bytes, so it prunes more chain
+// candidates without ever skipping a winning one. Plain memcpy loads —
+// the "wide" part is the stronger reject, not the instruction set — so
+// the SIMD backends share this one implementation.
+bool WideChainProbe(const u8* cand, const u8* pos, std::size_t best_len) {
+  if (best_len >= 3) {
+    u32 ca, cb;
+    std::memcpy(&ca, cand + best_len - 3, sizeof(u32));
+    std::memcpy(&cb, pos + best_len - 3, sizeof(u32));
+    return ca == cb;
+  }
+  return Read16(cand + best_len - 1) == Read16(pos + best_len - 1);
+}
+
+// The push_back-per-byte copy every decoder used.
+void ScalarLzCopy(u8* dst, std::size_t dist, std::size_t len) {
+  const u8* src = dst - dist;
+  for (std::size_t i = 0; i < len; ++i) dst[i] = src[i];
+}
+
+// The per-byte flush loop BitWriter defaults to.
+void ScalarPackFlush(Bytes* out, u64 word, unsigned nbytes) {
+  for (unsigned i = 0; i < nbytes; ++i) {
+    out->push_back(static_cast<u8>(word & 0xFF));
+    word >>= 8;
+  }
+}
+
+// Word-at-a-time flush: one resize + one store instead of up to eight
+// push_backs. Identical byte stream; endian-safe (explicit LSB-first
+// staging that the compiler folds into a single store on little-endian).
+// Lives here — not in the SIMD TUs — because it instantiates
+// std::vector<u8>::resize, which must stay at the baseline ISA.
+void WordPackFlush(Bytes* out, u64 word, unsigned nbytes) {
+  u8 staged[8];
+  for (unsigned i = 0; i < 8; ++i) {
+    staged[i] = static_cast<u8>(word >> (8 * i));
+  }
+  const std::size_t sz = out->size();
+  out->resize(sz + nbytes);
+  std::memcpy(out->data() + sz, staged, nbytes);
+}
+
+constexpr Backend kScalarBackend = {
+    "scalar",
+    0,
+    &ScalarMatchLength,
+    &ScalarChainProbe,
+    &ScalarLzCopy,
+    &ScalarPackFlush,
+    &Crc32Scalar,
+};
+
+#if defined(EDC_HAVE_X86_SIMD)
+const Backend kSse42Backend = {
+    "sse42",
+    1,
+    &x86::MatchLengthSse2,
+    &WideChainProbe,
+    &x86::LzCopySse2,
+    &WordPackFlush,
+    &Crc32Hw,  // falls back to scalar internally if PCLMUL is absent
+};
+
+const Backend kAvx2Backend = {
+    "avx2",
+    2,
+    &x86::MatchLengthAvx2,
+    &WideChainProbe,
+    &x86::LzCopyAvx2,
+    &WordPackFlush,
+    &Crc32Hw,
+};
+#endif
+
+std::vector<const Backend*> BuildRegistry() {
+  std::vector<const Backend*> backends{&kScalarBackend};
+#if defined(EDC_HAVE_X86_SIMD)
+  const CpuFeatures& f = DetectCpuFeatures();
+  if (f.sse42) backends.push_back(&kSse42Backend);
+  if (f.avx2) backends.push_back(&kAvx2Backend);
+#endif
+  return backends;
+}
+
+const Backend* SelectDefault() {
+  const int tier_cap = static_cast<int>(ActiveSimdTier());
+  const Backend* best = &kScalarBackend;
+  for (const Backend* b : AvailableBackends()) {
+    if (b->tier <= tier_cap && b->tier >= best->tier) best = b;
+  }
+  return best;
+}
+
+std::atomic<const Backend*> g_active{nullptr};
+
+}  // namespace
+
+const Backend& ScalarBackend() { return kScalarBackend; }
+
+const std::vector<const Backend*>& AvailableBackends() {
+  static const std::vector<const Backend*> backends = BuildRegistry();
+  return backends;
+}
+
+const Backend* FindBackend(std::string_view name) {
+  for (const Backend* b : AvailableBackends()) {
+    if (name == b->name) return b;
+  }
+  return nullptr;
+}
+
+const Backend& ActiveBackend() {
+  const Backend* b = g_active.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    b = SelectDefault();
+    // First caller wins; concurrent first calls select the same pointer.
+    g_active.store(b, std::memory_order_release);
+  }
+  return *b;
+}
+
+void SetActiveBackendForTesting(const Backend* backend) {
+  g_active.store(backend == nullptr ? SelectDefault() : backend,
+                 std::memory_order_release);
+}
+
+}  // namespace edc::codec

@@ -1,0 +1,88 @@
+// codec::Backend — runtime-dispatched kernel table for the codec hot
+// loops.
+//
+// Every cycle removed from the codecs widens the band where the paper's
+// heavy compression tier is affordable, so the innermost loops — match
+// extension, hash-chain candidate probing, LZ match copies, Huffman
+// bit-packing flush, CRC-32 — are factored into a small table of function
+// pointers with one portable scalar implementation and x86 SIMD
+// implementations (SSE2/SSE4.2 and AVX2 via intrinsics, PCLMUL folding
+// for CRC-32). The best backend the CPU supports is selected once at
+// startup; EDC_BACKEND=scalar|sse42|avx2 caps the choice for testing.
+//
+// Contract: every backend computes the exact same functions — identical
+// match lengths, identical copied bytes, identical bit-stream flushes,
+// identical CRC values — so compressed output is byte-for-byte identical
+// across backends and across machines. tests/codec/backend_test.cpp
+// property-tests this over the fuzz corpora; never register a kernel that
+// trades bytes for speed.
+//
+// On non-x86 builds (or -DEDC_SIMD=off) the scalar backend is the sole
+// registration and all of this compiles away to the portable code.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace edc::codec {
+
+/// The kernel table. All pointers are always non-null.
+struct Backend {
+  const char* name;  // "scalar" | "sse42" | "avx2"
+  int tier;          // matches edc::SimdTier, higher = wider vectors
+
+  /// Length of the common prefix of a[0..limit) and b[0..limit).
+  /// Reads never touch bytes past either pointer + limit.
+  std::size_t (*match_length)(const u8* a, const u8* b, std::size_t limit);
+
+  /// Hash-chain quick reject: true when the candidate at `cand` may beat
+  /// the current best match of `best_len` bytes against `pos` (i.e. the
+  /// bytes both runs must share for a strictly longer match agree).
+  /// Requires best_len >= 1 and both runs readable through
+  /// [0, best_len + 1). Conservative by construction: may return true for
+  /// a losing candidate (the exact match_length decides), but never false
+  /// for a winning one — so chain walks prune differently per backend yet
+  /// always find the same best match.
+  bool (*chain_probe)(const u8* cand, const u8* pos, std::size_t best_len);
+
+  /// LZ match copy: replicate `len` bytes ending `dist` bytes before
+  /// `dst` into [dst, dst + len), byte-at-a-time semantics (self-overlap
+  /// replicates the pattern, exactly like the push_back loop it
+  /// replaces). Requires dist >= 1 and dst - dist readable.
+  void (*lz_copy)(u8* dst, std::size_t dist, std::size_t len);
+
+  /// BitWriter flush hook (see common/bitio.hpp): append the low `nbytes`
+  /// bytes of `word`, LSB first, to `out`.
+  void (*pack_flush)(Bytes* out, u64 word, unsigned nbytes);
+
+  /// CRC-32 (IEEE reflected, zlib-compatible) of `data` continuing from
+  /// `seed`. Identical values on every backend.
+  u32 (*crc32)(ByteSpan data, u32 seed);
+};
+
+/// The portable backend — always registered, byte-for-byte the behaviour
+/// the codecs had before the kernel table existed.
+const Backend& ScalarBackend();
+
+/// Backends usable on this build + CPU, in increasing tier order
+/// (scalar first). Ignores EDC_BACKEND: the override caps the *active*
+/// choice, not what exists — tests iterate this list.
+const std::vector<const Backend*>& AvailableBackends();
+
+/// Backend by name ("scalar" | "sse42" | "avx2"); nullptr when unknown or
+/// not available on this build/CPU.
+const Backend* FindBackend(std::string_view name);
+
+/// The process-wide selection: the highest available tier, capped by
+/// EDC_BACKEND. Stable after first call unless overridden for testing.
+const Backend& ActiveBackend();
+
+/// Test/bench hook: force the active backend (must come from
+/// AvailableBackends()), or pass nullptr to restore automatic selection.
+/// Not thread-safe against concurrent codec calls — single-threaded
+/// callers (tests, benches) only.
+void SetActiveBackendForTesting(const Backend* backend);
+
+}  // namespace edc::codec

@@ -1,0 +1,120 @@
+// AVX2-width kernels (32-byte vectors). This TU is compiled with -mavx2;
+// it contains only raw-pointer kernels — see backend_x86.hpp for why
+// nothing else may live here.
+#include "codec/backend_x86.hpp"
+
+#if defined(EDC_HAVE_X86_SIMD)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+namespace edc::codec::x86 {
+
+std::size_t MatchLengthAvx2(const u8* a, const u8* b, std::size_t limit) {
+  std::size_t len = 0;
+  // Short matches dominate LZ scans, so resolve the first 16 bytes with a
+  // single 128-bit compare before spinning up the 256-bit loop — most
+  // calls return here without ever touching the wide unit.
+  if (len + 16 <= limit) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+    const u32 eq =
+        static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) {
+      return static_cast<std::size_t>(std::countr_zero(~eq & 0xFFFFu));
+    }
+    len = 16;
+  }
+  while (len + 32 <= limit) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + len));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + len));
+    const u32 eq =
+        static_cast<u32>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFFFFFu) {
+      return len + static_cast<std::size_t>(std::countr_zero(~eq));
+    }
+    len += 32;
+  }
+  if (len + 16 <= limit) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + len));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + len));
+    const u32 eq =
+        static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) {
+      return len + static_cast<std::size_t>(std::countr_zero(~eq & 0xFFFFu));
+    }
+    len += 16;
+  }
+  while (len + 8 <= limit) {
+    u64 va, vb;
+    std::memcpy(&va, a + len, 8);
+    std::memcpy(&vb, b + len, 8);
+    const u64 diff = va ^ vb;
+    if (diff != 0) {
+      return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+    }
+    len += 8;
+  }
+  const std::size_t rem = limit - len;
+  if (rem != 0) {
+    u64 va = 0, vb = 0;
+    std::memcpy(&va, a + len, rem);
+    std::memcpy(&vb, b + len, rem);
+    const u64 diff = va ^ vb;
+    if (diff != 0) {
+      return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+    }
+  }
+  return limit;
+}
+
+void LzCopyAvx2(u8* dst, std::size_t dist, std::size_t len) {
+  const u8* src = dst - dist;
+  if (dist == 1) {
+    std::memset(dst, *src, len);
+    return;
+  }
+  if (dist >= 32) {
+    while (len >= 32) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src)));
+      dst += 32;
+      src += 32;
+      len -= 32;
+    }
+  }
+  if (dist >= 16) {
+    while (len >= 16) {
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(dst),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src)));
+      dst += 16;
+      src += 16;
+      len -= 16;
+    }
+  } else if (dist >= 8) {
+    while (len >= 8) {
+      u64 w;
+      std::memcpy(&w, src, 8);
+      std::memcpy(dst, &w, 8);
+      dst += 8;
+      src += 8;
+      len -= 8;
+    }
+  }
+  while (len > 0) {
+    *dst++ = *src++;
+    --len;
+  }
+}
+
+}  // namespace edc::codec::x86
+
+#endif  // EDC_HAVE_X86_SIMD

@@ -1,0 +1,88 @@
+// SSE2/SSE4.2-width kernels (16-byte vectors). This TU is compiled with
+// -msse4.2; it contains only raw-pointer kernels — see backend_x86.hpp
+// for why nothing else may live here.
+#include "codec/backend_x86.hpp"
+
+#if defined(EDC_HAVE_X86_SIMD)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+namespace edc::codec::x86 {
+
+std::size_t MatchLengthSse2(const u8* a, const u8* b, std::size_t limit) {
+  std::size_t len = 0;
+  while (len + 16 <= limit) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + len));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + len));
+    const u32 eq =
+        static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) {
+      return len + static_cast<std::size_t>(std::countr_zero(~eq & 0xFFFFu));
+    }
+    len += 16;
+  }
+  // Word tail (memcpy loads, exact bounds — same as the scalar kernel).
+  while (len + 8 <= limit) {
+    u64 va, vb;
+    std::memcpy(&va, a + len, 8);
+    std::memcpy(&vb, b + len, 8);
+    const u64 diff = va ^ vb;
+    if (diff != 0) {
+      return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+    }
+    len += 8;
+  }
+  const std::size_t rem = limit - len;
+  if (rem != 0) {
+    u64 va = 0, vb = 0;
+    std::memcpy(&va, a + len, rem);
+    std::memcpy(&vb, b + len, rem);
+    const u64 diff = va ^ vb;
+    if (diff != 0) {
+      return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+    }
+  }
+  return limit;
+}
+
+void LzCopySse2(u8* dst, std::size_t dist, std::size_t len) {
+  const u8* src = dst - dist;
+  if (dist == 1) {
+    // Run of one byte — the dominant shape for zero/space runs.
+    std::memset(dst, *src, len);
+    return;
+  }
+  if (dist >= 16) {
+    // Chunks never read past bytes already written: src + 16 <= dst.
+    while (len >= 16) {
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(dst),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src)));
+      dst += 16;
+      src += 16;
+      len -= 16;
+    }
+  } else if (dist >= 8) {
+    while (len >= 8) {
+      u64 w;
+      std::memcpy(&w, src, 8);
+      std::memcpy(dst, &w, 8);
+      dst += 8;
+      src += 8;
+      len -= 8;
+    }
+  }
+  while (len > 0) {
+    *dst++ = *src++;
+    --len;
+  }
+}
+
+}  // namespace edc::codec::x86
+
+#endif  // EDC_HAVE_X86_SIMD

@@ -1,0 +1,28 @@
+// Internal declarations for the x86 SIMD kernels. Each function is
+// defined in exactly one translation unit compiled with the matching
+// -m flags (backend_sse42.cpp, backend_avx2.cpp); declarations here keep
+// backend.cpp — compiled at the baseline ISA — free of intrinsics.
+//
+// The SIMD TUs contain only raw-pointer kernels (no std::vector or other
+// header-template instantiations): any inline symbol emitted there with
+// an elevated ISA could be picked by the linker for the whole program and
+// fault on older CPUs.
+#pragma once
+
+#include "common/types.hpp"
+
+#if defined(EDC_HAVE_X86_SIMD)
+
+namespace edc::codec::x86 {
+
+// backend_sse42.cpp (compiled with -msse4.2)
+std::size_t MatchLengthSse2(const u8* a, const u8* b, std::size_t limit);
+void LzCopySse2(u8* dst, std::size_t dist, std::size_t len);
+
+// backend_avx2.cpp (compiled with -mavx2)
+std::size_t MatchLengthAvx2(const u8* a, const u8* b, std::size_t limit);
+void LzCopyAvx2(u8* dst, std::size_t dist, std::size_t len);
+
+}  // namespace edc::codec::x86
+
+#endif  // EDC_HAVE_X86_SIMD

@@ -4,6 +4,7 @@
 #include <array>
 #include <numeric>
 
+#include "codec/backend.hpp"
 #include "codec/huffman.hpp"
 #include "common/bitio.hpp"
 #include "common/varint.hpp"
@@ -372,7 +373,7 @@ Status BwtCodec::CompressTo(ByteSpan input, Bytes* out,
   packed.reserve(input.size() / 2 + 64);
   packed.push_back(0x00);
   PutVarint(&packed, primary);
-  BitWriter bw(&packed);
+  BitWriter bw(&packed, ActiveBackend().pack_flush);
   bw.WriteBits(num_tables - 1, 3);
   for (const auto& lens : table_lens) WriteCodeLengths(lens, bw);
   for (std::size_t c = 0; c < num_chunks; ++c) {

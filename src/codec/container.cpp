@@ -1,7 +1,7 @@
 #include "codec/container.hpp"
 
+#include "codec/backend.hpp"
 #include "codec/scratch.hpp"
-#include "common/crc32.hpp"
 #include "common/varint.hpp"
 
 namespace edc::codec {
@@ -13,7 +13,7 @@ Bytes BuildFrame(CodecId id, ByteSpan original, ByteSpan payload) {
   frame.push_back(kFrameMagic);
   frame.push_back(static_cast<u8>(id));
   PutVarint(&frame, original.size());
-  PutU32Le(&frame, Crc32(original));
+  PutU32Le(&frame, ActiveBackend().crc32(original, 0));
   frame.insert(frame.end(), payload.begin(), payload.end());
   return frame;
 }
@@ -68,8 +68,8 @@ Result<Bytes> BuildExtent(Lba first_lba, u32 n_blocks, ByteSpan frame) {
   PutVarint(&out, first_lba);
   PutVarint(&out, n_blocks);
   PutVarint(&out, frame.size());
-  PutU32Le(&out, Crc32(frame));
-  PutU32Le(&out, Crc32(out));
+  PutU32Le(&out, ActiveBackend().crc32(frame, 0));
+  PutU32Le(&out, ActiveBackend().crc32(out, 0));
   out.insert(out.end(), frame.begin(), frame.end());
   return out;
 }
@@ -103,7 +103,7 @@ Result<ExtentInfo> ParseExtentHeader(ByteSpan extent) {
   std::size_t crc_end = pos;  // header CRC covers [0, crc_end)
   auto header_crc = GetU32Le(extent, &pos);
   if (!header_crc.ok()) return Status::DataLoss("extent: truncated header");
-  if (Crc32(extent.subspan(0, crc_end)) != *header_crc) {
+  if (ActiveBackend().crc32(extent.subspan(0, crc_end), 0) != *header_crc) {
     return Status::DataLoss("extent: header CRC mismatch");
   }
   if (extent.size() - pos < *frame_size) {
@@ -118,7 +118,7 @@ Result<ByteSpan> ExtentFrame(ByteSpan extent) {
   auto info = ParseExtentHeader(extent);
   if (!info.ok()) return info.status();
   ByteSpan frame = extent.subspan(info->header_size, info->frame_size);
-  if (Crc32(frame) != info->frame_crc32) {
+  if (ActiveBackend().crc32(frame, 0) != info->frame_crc32) {
     return Status::DataLoss("extent: frame CRC mismatch");
   }
   auto frame_info = FrameParse(frame);
@@ -156,7 +156,7 @@ Result<Bytes> FrameDecompress(ByteSpan frame, Scratch* scratch) {
   EDC_RETURN_IF_ERROR(GetCodec(info->codec)
                           .Decompress(payload, info->original_size, &out,
                                       scratch));
-  if (Crc32(out) != info->crc32) {
+  if (ActiveBackend().crc32(out, 0) != info->crc32) {
     return Status::DataLoss("frame: CRC mismatch");
   }
   return out;

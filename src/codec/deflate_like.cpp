@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "codec/backend.hpp"
 #include "codec/huffman.hpp"
 #include "codec/lz77.hpp"
 #include "codec/scratch.hpp"
@@ -111,7 +112,9 @@ Status DeflateLikeCodec::CompressTo(ByteSpan input, Bytes* out,
   Bytes local_packed;
   Bytes& packed = scratch != nullptr ? scratch->packed() : local_packed;
   packed.reserve(input.size() / 2 + 64);
-  BitWriter bw(&packed);
+  // The backend's flush kernel drains the accumulator a word at a time
+  // instead of byte-by-byte; the emitted bit stream is identical.
+  BitWriter bw(&packed, ActiveBackend().pack_flush);
   bw.WriteBit(false);  // huffman block
   WriteCodeLengths(litlen_lens, bw);
   WriteCodeLengths(dist_lens, bw);
@@ -194,6 +197,7 @@ Status DeflateLikeCodec::DecompressTo(ByteSpan input, std::size_t original_size,
     dist_dec = &local_dist_dec;
   }
 
+  const Backend& bk = ActiveBackend();
   const std::size_t out_base = out->size();
   out->reserve(out_base + original_size);
 
@@ -227,10 +231,11 @@ Status DeflateLikeCodec::DecompressTo(ByteSpan input, std::size_t original_size,
     if (produced + len > original_size) {
       return Status::DataLoss("deflate: output overrun (match)");
     }
-    std::size_t src = out->size() - dist;
-    for (std::size_t k = 0; k < len; ++k) {
-      out->push_back((*out)[src + k]);
-    }
+    // Pattern-replicating copy (self-overlap allowed); resize stays within
+    // the upfront reserve, so no reallocation happens.
+    const std::size_t dst = out->size();
+    out->resize(dst + len);
+    bk.lz_copy(out->data() + dst, dist, len);
   }
 
   if (out->size() - out_base != original_size) {

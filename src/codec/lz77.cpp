@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codec/backend.hpp"
 #include "codec/match.hpp"
 #include "codec/scratch.hpp"
 #include "common/check.hpp"
@@ -28,7 +29,10 @@ u32 HashTriplet(const u8* p) {
 class ChainMatcher {
  public:
   ChainMatcher(ByteSpan input, const Lz77Params& params, Scratch* scratch)
-      : base_(input.data()), size_(input.size()), params_(params) {
+      : base_(input.data()),
+        size_(input.size()),
+        params_(params),
+        bk_(ActiveBackend()) {
     if (scratch != nullptr) {
       heads_ = &scratch->lz77_heads();
       links_ = &scratch->chain_links(size_);
@@ -61,13 +65,15 @@ class ChainMatcher {
       if (cand >= pos) break;  // self or future (after Insert(pos))
       std::size_t dist = pos - cand;
       if (dist > params_.window_size) break;  // chains are position-ordered
-      // Two-byte quick reject: a better match must agree through byte
-      // best_len, so probe [best_len - 1, best_len] before the full scan.
+      // Quick reject before the full scan: a better match must agree
+      // through byte best_len, so the backend probes necessary-condition
+      // bytes around it. Conservative per the Backend contract — probes
+      // may pass losing candidates but never reject a winner, so every
+      // backend finds the same best match.
       // (best_len < limit <= size_ - pos keeps the probe in bounds.)
       if (best_len == 0 ||
-          Read16(base_ + cand + best_len - 1) ==
-              Read16(base_ + pos + best_len - 1)) {
-        std::size_t len = MatchLength(base_ + cand, base_ + pos, limit);
+          bk_.chain_probe(base_ + cand, base_ + pos, best_len)) {
+        std::size_t len = bk_.match_length(base_ + cand, base_ + pos, limit);
         if (len >= params_.min_match && len > best_len) {
           best_len = len;
           best_dist = dist;
@@ -87,6 +93,7 @@ class ChainMatcher {
   std::vector<u32> local_links_;
   StampedTable* heads_;
   std::vector<u32>* links_;
+  const Backend& bk_;
 };
 
 }  // namespace
@@ -148,6 +155,7 @@ void Lz77Tokenize(ByteSpan input, const Lz77Params& params, Scratch* scratch,
 }
 
 Bytes Lz77Expand(const std::vector<Lz77Token>& tokens) {
+  const Backend& bk = ActiveBackend();
   Bytes out;
   for (const Lz77Token& t : tokens) {
     if (!t.is_match) {
@@ -156,10 +164,9 @@ Bytes Lz77Expand(const std::vector<Lz77Token>& tokens) {
       EDC_CHECK(t.distance > 0 && t.distance <= out.size())
           << "lz77 token distance " << t.distance << " at offset "
           << out.size();
-      std::size_t src = out.size() - t.distance;
-      for (std::size_t k = 0; k < t.length; ++k) {
-        out.push_back(out[src + k]);
-      }
+      const std::size_t dst = out.size();
+      out.resize(dst + t.length);
+      bk.lz_copy(out.data() + dst, t.distance, t.length);
     }
   }
   return out;

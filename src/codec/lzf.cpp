@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 
+#include "codec/backend.hpp"
 #include "codec/match.hpp"
 #include "codec/scratch.hpp"
 #include "common/hash.hpp"
@@ -38,6 +39,7 @@ void EmitLiterals(const u8* lit_start, const u8* lit_end, Bytes* out) {
 
 Status LzfCodec::CompressTo(ByteSpan input, Bytes* out,
                             Scratch* scratch) const {
+  const Backend& bk = ActiveBackend();
   const u8* base = input.data();
   const u8* ip = base;
   const u8* end = base + input.size();
@@ -68,9 +70,9 @@ Status LzfCodec::CompressTo(ByteSpan input, Bytes* out,
         std::size_t max_len = std::min<std::size_t>(
             kMaxMatchLen, static_cast<std::size_t>(end - ip));
         std::size_t len =
-            kMinMatchLen + MatchLength(cand + kMinMatchLen,
-                                       ip + kMinMatchLen,
-                                       max_len - kMinMatchLen);
+            kMinMatchLen + bk.match_length(cand + kMinMatchLen,
+                                           ip + kMinMatchLen,
+                                           max_len - kMinMatchLen);
 
         EmitLiterals(lit_start, ip, out);
 
@@ -108,6 +110,7 @@ Status LzfCodec::CompressTo(ByteSpan input, Bytes* out,
 Status LzfCodec::DecompressTo(ByteSpan input, std::size_t original_size,
                               Bytes* out, Scratch* scratch) const {
   (void)scratch;  // decode writes straight into *out; nothing to reuse
+  const Backend& bk = ActiveBackend();
   const std::size_t out_base = out->size();
   out->reserve(out_base + original_size);
   std::size_t ip = 0;
@@ -140,11 +143,12 @@ Status LzfCodec::DecompressTo(ByteSpan input, std::size_t original_size,
       if (produced + len > original_size) {
         return Status::DataLoss("lzf: output overrun (match)");
       }
-      // Byte-by-byte copy: matches may self-overlap.
-      std::size_t src = out->size() - dist;
-      for (std::size_t k = 0; k < len; ++k) {
-        out->push_back((*out)[src + k]);
-      }
+      // Pattern-replicating copy (matches may self-overlap); the resize
+      // stays within the upfront reserve, so no reallocation happens and
+      // pointers into the buffer remain valid.
+      const std::size_t dst = out->size();
+      out->resize(dst + len);
+      bk.lz_copy(out->data() + dst, dist, len);
     }
   }
 

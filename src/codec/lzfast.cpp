@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "codec/backend.hpp"
 #include "codec/match.hpp"
 #include "codec/scratch.hpp"
 #include "common/hash.hpp"
@@ -50,6 +51,7 @@ void EmitSequence(const u8* lit, std::size_t lit_len, std::size_t match_len,
 
 Status LzFastCodec::CompressTo(ByteSpan input, Bytes* out,
                                Scratch* scratch) const {
+  const Backend& bk = ActiveBackend();
   const u8* base = input.data();
   const u8* ip = base;
   const u8* end = base + input.size();
@@ -83,8 +85,8 @@ Status LzFastCodec::CompressTo(ByteSpan input, Bytes* out,
       std::size_t max_len = static_cast<std::size_t>(end - ip) - 4;
       std::size_t len = kMinMatch;
       if (max_len > kMinMatch) {
-        len += MatchLength(cand + kMinMatch, ip + kMinMatch,
-                           max_len - kMinMatch);
+        len += bk.match_length(cand + kMinMatch, ip + kMinMatch,
+                               max_len - kMinMatch);
       }
 
       EmitSequence(lit_start, static_cast<std::size_t>(ip - lit_start), len,
@@ -116,6 +118,7 @@ Status LzFastCodec::CompressTo(ByteSpan input, Bytes* out,
 Status LzFastCodec::DecompressTo(ByteSpan input, std::size_t original_size,
                                  Bytes* out, Scratch* scratch) const {
   (void)scratch;  // decode writes straight into *out; nothing to reuse
+  const Backend& bk = ActiveBackend();
   const std::size_t out_base = out->size();
   out->reserve(out_base + original_size);
   std::size_t ip = 0;
@@ -167,10 +170,11 @@ Status LzFastCodec::DecompressTo(ByteSpan input, std::size_t original_size,
     if (produced + match_len > original_size) {
       return Status::DataLoss("lzfast: output overrun (match)");
     }
-    std::size_t src = out->size() - dist;
-    for (std::size_t k = 0; k < match_len; ++k) {
-      out->push_back((*out)[src + k]);
-    }
+    // Pattern-replicating copy (self-overlap allowed); resize stays within
+    // the upfront reserve, so no reallocation happens.
+    const std::size_t dst = out->size();
+    out->resize(dst + match_len);
+    bk.lz_copy(out->data() + dst, dist, match_len);
   }
 
   if (out->size() - out_base != original_size) {

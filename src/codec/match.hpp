@@ -5,8 +5,14 @@
 // trailing zeros to locate the first differing byte) answers that ~8x
 // faster than a byte loop on compressible data, with an exact-equality
 // result — the emitted token streams are byte-identical to the scalar
-// scan. Reads never exceed `limit` bytes past either pointer, so callers
-// only need the same bounds the byte loop needed.
+// scan. All multi-byte loads go through std::memcpy, including the final
+// sub-word tail, so no read ever touches bytes past `limit` on either
+// pointer and there are no unaligned-dereference or strict-aliasing holes
+// for the sanitizers to (fail to) catch. Callers only need the same
+// bounds the byte loop needed.
+//
+// This is the portable kernel; codec::Backend (codec/backend.hpp) swaps
+// in SSE2/AVX2 variants at runtime with the identical contract.
 #pragma once
 
 #include <bit>
@@ -30,6 +36,21 @@ inline std::size_t MatchLength(const u8* a, const u8* b, std::size_t limit) {
       }
       len += sizeof(u64);
     }
+    // Sub-word tail: load exactly the remaining 1..7 bytes into
+    // zero-padded words. The padding bytes XOR to zero, so the first
+    // differing byte (if any) is always inside the loaded range and the
+    // reads never extend past a + limit / b + limit.
+    const std::size_t rem = limit - len;
+    if (rem != 0) {
+      u64 va = 0, vb = 0;
+      std::memcpy(&va, a + len, rem);
+      std::memcpy(&vb, b + len, rem);
+      const u64 diff = va ^ vb;
+      if (diff != 0) {
+        return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+      }
+    }
+    return limit;
   }
   while (len < limit && a[len] == b[len]) ++len;
   return len;

@@ -12,24 +12,33 @@ namespace edc {
 
 /// Appends bits LSB-first into a growing byte vector.
 ///
-/// Writes of up to 57 bits per call are supported (the accumulator flushes
-/// whole bytes eagerly, so at most 7 stale bits remain before a write).
+/// Writes of up to 57 bits per call are supported. Bits accumulate in a
+/// 64-bit register and whole bytes are drained only when the next write
+/// would not fit, so a typical flush moves 6-8 bytes at once instead of
+/// trickling one or two per write.
+///
+/// The flush inner loop is pluggable: a FlushFn appends the low `nbytes`
+/// bytes of `word` (LSB first) to `out`. The codec backends supply a
+/// word-at-a-time flush (resize + single store) here; with no hook the
+/// writer uses the portable per-byte loop. The emitted byte stream is
+/// identical either way — a hook only changes how bytes are appended.
 class BitWriter {
  public:
-  explicit BitWriter(Bytes* out) : out_(out) { EDC_DCHECK(out != nullptr); }
+  using FlushFn = void (*)(Bytes* out, u64 word, unsigned nbytes);
+
+  explicit BitWriter(Bytes* out, FlushFn flush = nullptr)
+      : out_(out), flush_(flush) {
+    EDC_DCHECK(out != nullptr);
+  }
 
   /// Write the low `count` bits of `bits`. Bits above `count` must be zero.
   void WriteBits(u64 bits, unsigned count) {
     EDC_DCHECK(count <= 57) << "count=" << count;
     EDC_DCHECK(count == 64 || (bits >> count) == 0)
         << "stray high bits above count=" << count;
+    if (filled_ + count > 64) FlushWholeBytes();
     acc_ |= bits << filled_;
     filled_ += count;
-    while (filled_ >= 8) {
-      out_->push_back(static_cast<u8>(acc_ & 0xFF));
-      acc_ >>= 8;
-      filled_ -= 8;
-    }
   }
 
   /// Write a single bit.
@@ -37,6 +46,7 @@ class BitWriter {
 
   /// Pad with zero bits to the next byte boundary and flush.
   void AlignToByte() {
+    FlushWholeBytes();
     if (filled_ > 0) {
       out_->push_back(static_cast<u8>(acc_ & 0xFF));
       acc_ = 0;
@@ -48,7 +58,26 @@ class BitWriter {
   u64 bit_count() const { return out_->size() * 8 + filled_; }
 
  private:
+  void FlushWholeBytes() {
+    const unsigned nbytes = filled_ >> 3;
+    if (nbytes == 0) return;
+    if (flush_ != nullptr) {
+      flush_(out_, acc_, nbytes);
+    } else {
+      u64 w = acc_;
+      for (unsigned i = 0; i < nbytes; ++i) {
+        out_->push_back(static_cast<u8>(w & 0xFF));
+        w >>= 8;
+      }
+    }
+    // nbytes is 8 when the accumulator filled to exactly 64 bits; branch
+    // instead of shifting by 64 (UB).
+    acc_ = nbytes == 8 ? 0 : acc_ >> (nbytes * 8);
+    filled_ -= nbytes * 8;
+  }
+
   Bytes* out_;
+  FlushFn flush_ = nullptr;
   u64 acc_ = 0;
   unsigned filled_ = 0;
 };

@@ -1,0 +1,70 @@
+#include "common/cpu.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace edc {
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.pclmul = __builtin_cpu_supports("pclmul") != 0;
+#endif
+  return f;
+}
+
+std::optional<SimdTier> ParseOverride() {
+  const char* env = std::getenv("EDC_BACKEND");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  if (std::strcmp(env, "scalar") == 0) return SimdTier::kScalar;
+  if (std::strcmp(env, "sse42") == 0) return SimdTier::kSse42;
+  if (std::strcmp(env, "avx2") == 0) return SimdTier::kAvx2;
+  std::fprintf(stderr,
+               "edc: ignoring unrecognized EDC_BACKEND=%s "
+               "(want scalar|sse42|avx2)\n",
+               env);
+  return std::nullopt;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::optional<SimdTier> SimdTierOverride() {
+  static const std::optional<SimdTier> override_tier = ParseOverride();
+  return override_tier;
+}
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier tier = [] {
+    const CpuFeatures& f = DetectCpuFeatures();
+    SimdTier best = SimdTier::kScalar;
+    if (f.sse42) best = SimdTier::kSse42;
+    if (f.avx2) best = SimdTier::kAvx2;
+    if (auto forced = SimdTierOverride();
+        forced.has_value() && *forced < best) {
+      best = *forced;
+    }
+    return best;
+  }();
+  return tier;
+}
+
+std::string_view SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kSse42: return "sse42";
+    case SimdTier::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+}  // namespace edc

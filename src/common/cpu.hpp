@@ -1,0 +1,51 @@
+// Runtime CPU feature detection and SIMD tier selection.
+//
+// The codec backends (codec/backend.hpp) and the CRC-32 dispatch
+// (common/crc32.cpp) pick their kernels once per process from two inputs:
+//
+//   * what the CPU supports (CPUID, via __builtin_cpu_supports), and
+//   * the EDC_BACKEND environment variable — "scalar" | "sse42" | "avx2" —
+//     which caps the tier for testing (e.g. CI forces the portable path on
+//     AVX2 runners). An override above what the CPU supports is clamped
+//     down; an unrecognized value is ignored with a one-time warning.
+//
+// On non-x86 targets (or with -DEDC_SIMD=off) every query reports "no
+// SIMD" and the scalar tier is the only one that exists, so callers never
+// need their own architecture guards.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace edc {
+
+/// Instruction-set tiers the codec kernels are specialized for, in
+/// strictly increasing capability order.
+enum class SimdTier : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx2 = false;
+  bool pclmul = false;  // carry-less multiply (hardware CRC folding)
+};
+
+/// CPUID-derived features of the running CPU (cached after first call).
+/// All false on non-x86 builds.
+const CpuFeatures& DetectCpuFeatures();
+
+/// The EDC_BACKEND override, parsed once: kScalar/kSse42/kAvx2, or nullopt
+/// when the variable is unset or unrecognized.
+std::optional<SimdTier> SimdTierOverride();
+
+/// The tier this process should run: the highest tier the CPU supports,
+/// clamped by EDC_BACKEND when set. Computed once; stable for the process.
+SimdTier ActiveSimdTier();
+
+/// "scalar" | "sse42" | "avx2".
+std::string_view SimdTierName(SimdTier tier);
+
+}  // namespace edc

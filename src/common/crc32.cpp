@@ -2,7 +2,18 @@
 
 #include <array>
 
+#include "common/cpu.hpp"
+
 namespace edc {
+
+#if defined(EDC_HAVE_X86_SIMD)
+namespace crc32_detail {
+// Defined in crc32_pclmul.cpp (the only TU built with -mpclmul). `state`
+// is the raw inverted register; len must be >= 64 and a multiple of 16.
+u32 FoldPclmul(u32 state, const u8* buf, std::size_t len);
+}  // namespace crc32_detail
+#endif
+
 namespace {
 
 // Slicing-by-8 tables for the reflected IEEE polynomial 0xEDB88320,
@@ -37,9 +48,27 @@ inline u32 Load32Le(const u8* p) {
          (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
 }
 
+/// Advance the raw register over [p, p+n) with the slicing-by-8 tables.
+inline u32 TableUpdate(u32 crc, const u8* p, std::size_t n) {
+  const auto& t = kTables.t;
+  while (n >= 8) {
+    const u32 lo = Load32Le(p) ^ crc;
+    const u32 hi = Load32Le(p + 4);
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n, ++p) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p) & 0xFF];
+  }
+  return crc;
+}
+
 }  // namespace
 
-u32 Crc32(ByteSpan data, u32 seed) {
+u32 Crc32Scalar(ByteSpan data, u32 seed) {
   const auto& t = kTables.t;
   u32 crc = ~seed;
   const u8* p = data.data();
@@ -55,20 +84,42 @@ u32 Crc32(ByteSpan data, u32 seed) {
     return ~crc;
   }
 
-  // Main loop: fold 8 input bytes per iteration through the 8 tables.
-  while (n >= 8) {
-    const u32 lo = Load32Le(p) ^ crc;
-    const u32 hi = Load32Le(p + 4);
-    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
-          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
-          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
-    p += 8;
-    n -= 8;
+  return ~TableUpdate(crc, p, n);
+}
+
+bool Crc32HwAvailable() {
+#if defined(EDC_HAVE_X86_SIMD)
+  const CpuFeatures& f = DetectCpuFeatures();
+  // The folding core also uses SSE4.1 extract; every PCLMUL-era CPU has
+  // it, but check both to be exact about what we require.
+  return f.pclmul && f.sse42;
+#else
+  return false;
+#endif
+}
+
+u32 Crc32Hw(ByteSpan data, u32 seed) {
+#if defined(EDC_HAVE_X86_SIMD)
+  if (Crc32HwAvailable() && data.size() >= 64) {
+    u32 crc = ~seed;
+    const u8* p = data.data();
+    std::size_t n = data.size();
+    const std::size_t folded = n & ~std::size_t{15};  // >= 64 here
+    crc = crc32_detail::FoldPclmul(crc, p, folded);
+    return ~TableUpdate(crc, p + folded, n - folded);
   }
-  for (; n > 0; --n, ++p) {
-    crc = (crc >> 8) ^ t[0][(crc ^ *p) & 0xFF];
-  }
-  return ~crc;
+#endif
+  return Crc32Scalar(data, seed);
+}
+
+u32 Crc32(ByteSpan data, u32 seed) {
+  // One-time choice: hardware folding unless the CPU lacks it or
+  // EDC_BACKEND=scalar pins the portable path. Buffers under 64 bytes
+  // take the scalar path inside Crc32Hw regardless (folding needs a full
+  // 64-byte block to start).
+  static const bool use_hw =
+      Crc32HwAvailable() && ActiveSimdTier() != SimdTier::kScalar;
+  return use_hw ? Crc32Hw(data, seed) : Crc32Scalar(data, seed);
 }
 
 }  // namespace edc

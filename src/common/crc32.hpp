@@ -1,5 +1,13 @@
-// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven, 4 bytes/iteration.
-// Used as the integrity checksum of framed compressed blocks.
+// CRC-32 (IEEE 802.3 polynomial, reflected), used as the integrity
+// checksum of framed compressed blocks and the mapping journal.
+//
+// Two kernels compute the same function:
+//   * slicing-by-8 tables (portable, 8 bytes/iteration) — Crc32Scalar;
+//   * PCLMULQDQ folding (x86, ~64 bytes/iteration) — Crc32Hw, compiled in
+//     only on x86 builds and used only when the CPU supports it.
+// Crc32() dispatches once per process based on common/cpu.hpp (CPUID plus
+// the EDC_BACKEND override), so EDC_BACKEND=scalar pins the table path
+// everywhere. All kernels are property-tested to agree bit-for-bit.
 #pragma once
 
 #include "common/types.hpp"
@@ -8,6 +16,19 @@ namespace edc {
 
 /// Compute CRC-32 of `data`, continuing from `seed` (pass 0 for a fresh
 /// checksum). Compatible with zlib's crc32() for the same input.
+/// Dispatches to the fastest kernel the CPU (and EDC_BACKEND) allows.
 u32 Crc32(ByteSpan data, u32 seed = 0);
+
+/// The portable slicing-by-8 kernel, always available.
+u32 Crc32Scalar(ByteSpan data, u32 seed = 0);
+
+/// True when the PCLMUL folding kernel is compiled in AND the running CPU
+/// supports it (ignores EDC_BACKEND — callers that want the override
+/// respected should call Crc32()).
+bool Crc32HwAvailable();
+
+/// The hardware folding kernel; falls back to Crc32Scalar when
+/// Crc32HwAvailable() is false, so it is always safe to call.
+u32 Crc32Hw(ByteSpan data, u32 seed = 0);
 
 }  // namespace edc

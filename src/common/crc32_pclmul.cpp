@@ -1,0 +1,131 @@
+// Hardware CRC-32 (IEEE 802.3 reflected polynomial) via PCLMULQDQ folding.
+//
+// The SSE4.2 CRC32 instruction computes the Castagnoli polynomial, not the
+// IEEE one our frames use, so the hardware path is carry-less-multiply
+// folding instead: fold 64 input bytes per iteration across four 128-bit
+// accumulators, reduce to one lane, then Barrett-reduce to 32 bits. The
+// bit-reflected folding constants (x^{512+64} mod P etc.) are the standard
+// ones for 0xEDB88320 from Intel's "Fast CRC Computation for Generic
+// Polynomials Using PCLMULQDQ" white paper.
+//
+// This file is the only translation unit compiled with -mpclmul/-msse4.1;
+// it deliberately contains nothing but the raw-pointer folding core, so no
+// inline/template code that the rest of the program links against can ever
+// be emitted here with an elevated ISA. Callers (common/crc32.cpp) must
+// gate on CPU detection before calling.
+//
+// State convention: `state` is the raw (already inverted) CRC register, the
+// same domain the slicing-by-8 loop carries between bytes, so the two
+// kernels compose: table-update the unaligned tail after folding the body.
+#include "common/types.hpp"
+
+#if defined(EDC_HAVE_X86_SIMD)
+
+#include <immintrin.h>
+
+namespace edc::crc32_detail {
+
+u32 FoldPclmul(u32 state, const u8* buf, std::size_t len) {
+  // k1 = x^(4*128+64) mod P, k2 = x^(4*128) mod P  (64-byte stride)
+  // k3 = x^(128+64) mod P,   k4 = x^128 mod P      (16-byte stride)
+  // k5 = x^96 mod P; poly = {P', mu} for the Barrett reduction.
+  alignas(16) static const u64 k1k2[] = {0x0154442bd4, 0x01c6e41596};
+  alignas(16) static const u64 k3k4[] = {0x01751997d0, 0x00ccaa009e};
+  alignas(16) static const u64 k5k0[] = {0x0163cd6124, 0x0000000000};
+  alignas(16) static const u64 poly[] = {0x01db710641, 0x01f7011641};
+
+  // Callers guarantee len >= 64 and len % 16 == 0.
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(state)));
+
+  __m128i x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  buf += 64;
+  len -= 64;
+
+  // Parallel fold: four independent 128-bit lanes, 64 bytes per step.
+  while (len >= 64) {
+    __m128i x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    __m128i x6 = _mm_clmulepi64_si128(x2, x0, 0x00);
+    __m128i x7 = _mm_clmulepi64_si128(x3, x0, 0x00);
+    __m128i x8 = _mm_clmulepi64_si128(x4, x0, 0x00);
+
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, x0, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, x0, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, x0, 0x11);
+
+    __m128i y5 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+    __m128i y6 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+    __m128i y7 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+    __m128i y8 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), y5);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), y6);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), y7);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), y8);
+
+    buf += 64;
+    len -= 64;
+  }
+
+  // Fold the four lanes into one.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+
+  __m128i x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), x5);
+
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), x5);
+
+  // Single-lane fold for the remaining 16-byte blocks.
+  while (len >= 16) {
+    __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, y), x5);
+    buf += 16;
+    len -= 16;
+  }
+
+  // Fold 128 -> 64 bits.
+  __m128i x2f = _mm_clmulepi64_si128(x1, x0, 0x10);
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, x2f);
+
+  x0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+
+  x2f = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2f);
+
+  // Barrett reduce 64 -> 32 bits.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+
+  x2f = _mm_and_si128(x1, mask32);
+  x2f = _mm_clmulepi64_si128(x2f, x0, 0x10);
+  x2f = _mm_and_si128(x2f, mask32);
+  x2f = _mm_clmulepi64_si128(x2f, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2f);
+
+  return static_cast<u32>(_mm_extract_epi32(x1, 1));
+}
+
+}  // namespace edc::crc32_detail
+
+#endif  // EDC_HAVE_X86_SIMD

@@ -1,5 +1,6 @@
 #include "obs/observer.hpp"
 
+#include "common/cpu.hpp"
 #include "common/worker_pool.hpp"
 
 namespace edc::obs {
@@ -7,7 +8,20 @@ namespace edc::obs {
 Observer::Observer() : Observer(Options{}) {}
 
 Observer::Observer(const Options& options)
-    : options_(options), recorder_(options.trace_filter) {}
+    : options_(options), recorder_(options.trace_filter) {
+  if (options_.metrics) {
+    // Which SIMD codec backend this process selected (CPUID detection
+    // capped by EDC_BACKEND — see src/codec/backend.hpp). Stable for the
+    // process lifetime, hence a deterministic collector; the label keys
+    // dashboards off the backend name without schema changes.
+    registry_.AddCollector([](SampleList& out) {
+      out.AddGauge("edc_codec_backend_active",
+                   {{std::string("backend"),
+                     std::string(SimdTierName(ActiveSimdTier()))}},
+                   1.0, "Selected SIMD codec backend (1 = active)");
+    });
+  }
+}
 
 void Observer::AttachWorkerPool(const WorkerPool* pool) {
   if (!options_.metrics || pool == nullptr) return;

@@ -77,6 +77,38 @@ TEST(Crc32, AllLengthsZeroTo64MatchBitwiseReference) {
   }
 }
 
+TEST(Crc32, HardwarePathMatchesScalarOverAllFoldBoundaries) {
+  // The PCLMUL folding kernel has thresholds at 64 bytes (minimum fold)
+  // and every multiple of 16 (fold width); sweep across them plus large
+  // buffers so all fold/tail combinations hit. When the CPU lacks PCLMUL,
+  // Crc32Hw falls back to scalar and this degenerates to A == A.
+  Bytes data;
+  for (int i = 0; i < 1024; ++i) data.push_back(static_cast<u8>(i * 131 + 7));
+  for (std::size_t len = 0; len <= 256; ++len) {
+    ByteSpan d(data.data(), len);
+    EXPECT_EQ(Crc32Hw(d, 0), Crc32Scalar(d, 0)) << "len " << len;
+  }
+  for (std::size_t len : {std::size_t{511}, std::size_t{512},
+                          std::size_t{1000}, std::size_t{1024}}) {
+    for (u32 seed : {0u, 0x12345678u, 0xFFFFFFFFu}) {
+      ByteSpan d(data.data(), len);
+      EXPECT_EQ(Crc32Hw(d, seed), Crc32Scalar(d, seed))
+          << "len " << len << " seed " << seed;
+    }
+  }
+}
+
+TEST(Crc32, DispatchedResultMatchesScalar) {
+  // Whatever Crc32() dispatched to (tables or PCLMUL) must be value-equal
+  // to the scalar kernel.
+  Bytes data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<u8>(i ^ 0x5C));
+  for (std::size_t len = 0; len <= data.size(); len += 13) {
+    ByteSpan d(data.data(), len);
+    EXPECT_EQ(Crc32(d), Crc32Scalar(d, 0)) << "len " << len;
+  }
+}
+
 TEST(Crc32, SeedChainingMatchesBitwiseReference) {
   // Seed-chained (incremental) computation must agree with the reference
   // at every split point, including splits that land inside the slicing
