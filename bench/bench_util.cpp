@@ -3,10 +3,10 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
+#include "common/sync.hpp"
 #include "common/table.hpp"
 #include "obs/observer.hpp"
 
@@ -53,11 +53,11 @@ std::vector<trace::Trace> PaperTraces(const BenchOptions& opt) {
 
 Result<std::shared_ptr<const core::CostModel>> CostModelFor(
     const std::string& profile, WorkerPool* pool) {
-  static std::mutex mu;
+  static sync::Mutex mu{sync::lock_rank::kBenchUtil, "bench.CostModelFor"};
   static std::map<std::string, std::shared_ptr<const core::CostModel>>
       cache;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    sync::MutexLock lock(&mu);
     auto it = cache.find(profile);
     if (it != cache.end()) return it->second;
   }
@@ -70,7 +70,7 @@ Result<std::shared_ptr<const core::CostModel>> CostModelFor(
   auto model = std::make_shared<const core::CostModel>(
       core::CostModel::Calibrate(gen, cfg, pool));
 
-  std::lock_guard<std::mutex> lock(mu);
+  sync::MutexLock lock(&mu);
   // A concurrent caller may have calibrated the same profile; first in
   // wins so every later cell sees one consistent model.
   auto [it, inserted] = cache.emplace(profile, model);

@@ -1,0 +1,568 @@
+#!/usr/bin/env python3
+"""edc_lint: project-specific source lint for the edc tree.
+
+Pins rules the compiler cannot (portably) enforce, complementing the two
+compiled guards — Clang `-Wthread-safety` and `[[nodiscard]]` — so that
+configurations that never compile (GCC-only machines, ifdef'd-out code)
+stay covered. Checks are deliberately regex-AST: comments and string
+literals are stripped, then shallow structural patterns (declaration
+lines, balanced-brace function bodies, balanced-paren macro arguments)
+are matched. That misses exotic formatting; it does not miss the idioms
+this code base actually writes, and it runs anywhere python3 runs.
+
+Checks (suppress one occurrence with `// edc-lint-allow(<check>): reason`
+on the same or the preceding line — the reason is mandatory):
+
+  no-raw-mutex          std::mutex / lock_guard / condition_variable /
+                        pthread primitives anywhere outside
+                        src/common/sync.hpp + sync.cpp. Everything else
+                        must use sync::Mutex / MutexLock / CondVar so the
+                        lock-rank registry and the Clang thread-safety
+                        annotations see every acquisition.
+  no-ignored-status     a call to a function whose every declaration in
+                        the tree returns Status or Result<T>, used as a
+                        bare expression statement. Deliberate discards
+                        take a visible `(void)` cast.
+  no-alloc-in-hot       heap allocation (new / malloc / growing container
+                        calls) inside a function marked EDC_HOT.
+  no-dcheck-side-effects  ++ / -- / assignment inside an EDC_DCHECK
+                        condition: EDC_DCHECK compiles out in release
+                        builds, so a side effect there changes behaviour
+                        between build types.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+`--strict` also promotes heuristic-grade findings (no-ignored-status) from
+warnings to errors; CI runs with it, local runs may not.
+"""
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+CHECKS = {
+    "no-raw-mutex": "raw std:: / pthread mutex vocabulary outside sync.hpp",
+    "no-ignored-status": "Status/Result return value silently dropped",
+    "no-alloc-in-hot": "heap allocation inside an EDC_HOT function",
+    "no-dcheck-side-effects": "side effect inside an EDC_DCHECK condition",
+}
+
+# no-ignored-status is heuristic (regex declaration harvesting): without
+# --strict it warns instead of failing the run.
+HEURISTIC_CHECKS = {"no-ignored-status"}
+
+SCAN_ROOTS = ("src", "tests", "bench", "examples")
+SOURCE_EXTS = (".hpp", ".cpp", ".h", ".cc")
+
+# The one place allowed to spell std::mutex: the annotated wrappers.
+RAW_MUTEX_EXEMPT = {
+    os.path.join("src", "common", "sync.hpp"),
+    os.path.join("src", "common", "sync.cpp"),
+}
+
+RAW_MUTEX_TOKENS = re.compile(
+    r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::(?:call_once|once_flag)\b"
+    r"|\bpthread_(?:mutex|cond|rwlock)_"
+)
+
+ALLOW_RE = re.compile(r"//\s*edc-lint-allow\(([a-z0-9-]+)\)\s*:\s*\S")
+
+# Function declarations/definitions whose return type we can classify.
+# Anchored to a statement boundary (start of line, or after ; { }) so
+# inline class-body declarations are harvested too.
+DECL_RE = re.compile(
+    r"(?:^|[;{}])\s*(?:\[\[nodiscard\]\]\s*)?"
+    r"(?:(?:virtual|static|inline|constexpr|explicit|friend|mutable)\s+)*"
+    r"(?P<ret>[A-Za-z_][\w:]*(?:<[^;{}=]*?>)?(?:\s*[*&])?)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(",
+    re.MULTILINE,
+)
+
+STATUS_RET_RE = re.compile(r"^(?:::)?(?:edc::)?(?:Status|Result<.*>)\s*[*&]?$")
+
+# Non-return-type keywords DECL_RE can misread as a return type.
+NOT_RETURN_TYPES = {
+    "return", "if", "while", "for", "switch", "case", "else", "do",
+    "new", "delete", "sizeof", "throw", "using", "typedef", "namespace",
+    "class", "struct", "enum", "template", "public", "private", "protected",
+    "co_return", "co_await", "goto", "default",
+}
+
+ALLOC_RE = re.compile(
+    r"\bnew\b(?!\s*\()"          # placement new `new (ptr) T` is arena reuse
+    r"|\bnew\s*\("               # but operator-new-with-args still flags...
+    r"|\b(?:malloc|calloc|realloc|strdup)\s*\("
+    r"|[.\->]\s*(?:push_back|emplace_back|resize|reserve|insert|emplace|"
+    r"append|assign)\s*\("
+)
+# Simpler and stricter: any `new` keyword flags (placement new included —
+# it is rare enough that a suppression comment documents the intent).
+ALLOC_RE = re.compile(
+    r"\bnew\b"
+    r"|\b(?:malloc|calloc|realloc|strdup)\s*\("
+    r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|insert|emplace|"
+    r"append|assign)\s*\("
+)
+
+DCHECK_RE = re.compile(r"\bEDC_DCHECK\s*\(")
+# An assignment that is not ==, !=, <=, >=, <<=, >>=, and not <= etc.
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--"
+    r"|(?<![=!<>+\-*/%&|^])=(?![=])"
+)
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    check: str
+    message: str
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literal contents, preserving
+    line structure and length so line numbers and column math survive."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                mode = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # inside a string or char literal
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+            elif c == mode:
+                mode = None
+                out.append(c)
+                i += 1
+            elif c == "\n":  # unterminated (raw string etc.) — bail out
+                mode = None
+                out.append(c)
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out)
+
+
+def collect_allows(text: str) -> Dict[int, Set[str]]:
+    """Line number (1-based) -> checks suppressed on that line. A
+    suppression comment also covers the line directly below it."""
+    allows: Dict[int, Set[str]] = {}
+    for ln, line in enumerate(text.splitlines(), start=1):
+        for m in ALLOW_RE.finditer(line):
+            allows.setdefault(ln, set()).add(m.group(1))
+            allows.setdefault(ln + 1, set()).add(m.group(1))
+    return allows
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def match_paren(text: str, open_idx: int) -> int:
+    """Index just past the ')' matching the '(' at open_idx; -1 if none."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+# ---------------------------------------------------------------- checks
+
+
+def check_raw_mutex(path: str, stripped: str) -> List[Finding]:
+    if path.replace("\\", "/") in {p.replace("\\", "/") for p in RAW_MUTEX_EXEMPT}:
+        return []
+    findings = []
+    for m in RAW_MUTEX_TOKENS.finditer(stripped):
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "no-raw-mutex",
+            f"'{m.group(0)}' — use edc::sync::{{Mutex,MutexLock,CondVar}} "
+            f"(src/common/sync.hpp) so the lock-rank registry and "
+            f"-Wthread-safety see this lock"))
+    return findings
+
+
+def harvest_return_types(files: Dict[str, str]) -> Tuple[Set[str], Set[str]]:
+    """Names declared returning Status/Result vs. anything else."""
+    status_names: Set[str] = set()
+    other_names: Set[str] = set()
+    for _, stripped in files.items():
+        for m in DECL_RE.finditer(stripped):
+            ret, name = m.group("ret"), m.group("name")
+            if ret in NOT_RETURN_TYPES or name in NOT_RETURN_TYPES:
+                continue
+            if STATUS_RET_RE.match(ret):
+                status_names.add(name)
+            else:
+                other_names.add(name)
+    return status_names, other_names
+
+
+BARE_CALL_RE_TEMPLATE = (
+    r"^\s*(?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*"
+    r"(?P<name>{names})\s*\("
+)
+
+
+def check_ignored_status(path: str, stripped: str,
+                         status_only: Set[str]) -> List[Finding]:
+    if not status_only:
+        return []
+    call_re = re.compile(BARE_CALL_RE_TEMPLATE.format(
+        names="|".join(sorted(re.escape(n) for n in status_only))))
+    findings = []
+    prev_content = ""
+    for ln, line in enumerate(stripped.splitlines(), start=1):
+        prior, prev_content = prev_content, line.strip() or prev_content
+        m = call_re.match(line)
+        if not m:
+            continue
+        # Must be a whole expression statement: balanced parens, ends ';',
+        # and not the continuation of an assignment/argument/return from
+        # the previous line.
+        body = line.strip()
+        if not body.endswith(";"):
+            continue
+        if body.count("(") != body.count(")"):
+            continue
+        if prior and (prior[-1] in "=(,+-*/%&|^<>?:." or
+                      prior.endswith("return")):
+            continue
+        findings.append(Finding(
+            path, ln, "no-ignored-status",
+            f"return value of '{m.group('name')}' (Status/Result) dropped — "
+            f"propagate it, handle it, or discard with an explicit (void)"))
+    return findings
+
+
+def check_alloc_in_hot(path: str, stripped: str) -> List[Finding]:
+    findings = []
+    for m in re.finditer(r"\bEDC_HOT\b", stripped):
+        brace = stripped.find("{", m.end())
+        semi = stripped.find(";", m.end())
+        if brace == -1 or (semi != -1 and semi < brace):
+            continue  # declaration only — body lives elsewhere
+        end = match_brace(stripped, brace)
+        if end == -1:
+            continue
+        body = stripped[brace:end]
+        for am in ALLOC_RE.finditer(body):
+            findings.append(Finding(
+                path, line_of(stripped, brace + am.start()),
+                "no-alloc-in-hot",
+                f"'{am.group(0).strip()}' allocates inside an EDC_HOT "
+                f"function — hot-path functions must be allocation-free "
+                f"(pre-size in setup code or use a scratch arena)"))
+    return findings
+
+
+def check_dcheck_side_effects(path: str, stripped: str) -> List[Finding]:
+    findings = []
+    for m in DCHECK_RE.finditer(stripped):
+        open_idx = stripped.find("(", m.start())
+        end = match_paren(stripped, open_idx)
+        if end == -1:
+            continue
+        cond = stripped[open_idx + 1:end - 1]
+        sm = SIDE_EFFECT_RE.search(cond)
+        if sm:
+            findings.append(Finding(
+                path, line_of(stripped, open_idx + 1 + sm.start()),
+                "no-dcheck-side-effects",
+                f"'{sm.group(0)}' inside EDC_DCHECK — the condition "
+                f"vanishes in release builds (NDEBUG), so side effects "
+                f"here change behaviour between build types"))
+    return findings
+
+
+# ------------------------------------------------------------------ run
+
+
+def lint_files(files: Dict[str, str],
+               checks: Set[str]) -> List[Finding]:
+    stripped_files = {p: strip_comments_and_strings(t) for p, t in files.items()}
+    status_names, other_names = harvest_return_types(stripped_files)
+    status_only = status_names - other_names
+
+    findings: List[Finding] = []
+    for path, text in files.items():
+        stripped = stripped_files[path]
+        per_file: List[Finding] = []
+        if "no-raw-mutex" in checks:
+            per_file += check_raw_mutex(path, stripped)
+        if "no-ignored-status" in checks:
+            per_file += check_ignored_status(path, stripped, status_only)
+        if "no-alloc-in-hot" in checks:
+            per_file += check_alloc_in_hot(path, stripped)
+        if "no-dcheck-side-effects" in checks:
+            per_file += check_dcheck_side_effects(path, stripped)
+
+        allows = collect_allows(text)
+        for f in per_file:
+            if f.check in allows.get(f.line, ()):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+    return findings
+
+
+def load_tree(root: str) -> Dict[str, str]:
+    files: Dict[str, str] = {}
+    for scan_root in SCAN_ROOTS:
+        top = os.path.join(root, scan_root)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, root)
+                try:
+                    with open(full, "r", encoding="utf-8",
+                              errors="replace") as fh:
+                        files[rel] = fh.read()
+                except OSError as e:
+                    print(f"edc_lint: cannot read {rel}: {e}",
+                          file=sys.stderr)
+                    sys.exit(2)
+    return files
+
+
+# ------------------------------------------------------------ self-test
+
+# Each sample MUST produce exactly the findings listed in `expect`
+# (check names, in order of line); negatives prove the checks do not
+# fire on the idioms the tree actually uses.
+SELF_TEST_CASES = [
+    ("raw mutex flags", {
+        "src/x/a.hpp": "#include <mutex>\nstd::mutex m;\n",
+    }, ["no-raw-mutex"]),
+    ("lock_guard flags", {
+        "src/x/a.cpp": "void f() { std::lock_guard<std::mutex> l(m); }\n",
+    }, ["no-raw-mutex", "no-raw-mutex"]),
+    ("sync.hpp itself is exempt", {
+        "src/common/sync.hpp": "std::mutex mu_;\nstd::condition_variable cv_;\n",
+    }, []),
+    ("sync wrappers do not flag", {
+        "src/x/a.cpp": "void f() { sync::MutexLock lock(&mu_); }\n",
+    }, []),
+    ("mutex token in comment/string ignored", {
+        "src/x/a.cpp": '// std::mutex is banned\nconst char* s = "std::mutex";\n',
+    }, []),
+    ("ignored status flags", {
+        "src/x/a.hpp": "Status DoThing(int x);\n",
+        "src/x/a.cpp": "void g() {\n  DoThing(1);\n}\n",
+    }, ["no-ignored-status"]),
+    ("ignored result-through-object flags", {
+        "src/x/a.hpp": "struct D { Result<int> Fetch(int k); };\n",
+        "src/x/a.cpp": "void g(D* d) {\n  d->Fetch(2);\n}\n",
+    }, ["no-ignored-status"]),
+    ("(void) discard is the sanctioned escape", {
+        "src/x/a.hpp": "Status DoThing(int x);\n",
+        "src/x/a.cpp": "void g() {\n  (void)DoThing(1);\n}\n",
+    }, []),
+    ("consumed status does not flag", {
+        "src/x/a.hpp": "Status DoThing(int x);\n",
+        "src/x/a.cpp":
+            "Status g() {\n"
+            "  Status s = DoThing(1);\n"
+            "  if (!s.ok()) return s;\n"
+            "  return DoThing(2);\n"
+            "}\n",
+    }, []),
+    ("multi-line assignment continuation passes", {
+        "src/x/a.hpp": "Status DoThing(int x);\n",
+        "src/x/a.cpp":
+            "void g() {\n"
+            "  auto s =\n"
+            "      DoThing(1);\n"
+            "  (void)s;\n"
+            "}\n",
+    }, []),
+    ("compound-assignment continuation passes", {
+        "src/x/a.hpp": "struct M { Status Install(int k); };\n",
+        "src/x/a.cpp":
+            "void g(M& m, bool& ok) {\n"
+            "  ok &=\n"
+            "      m.Install(4).ok();\n"
+            "}\n",
+    }, []),
+    ("name also declared returning void is exempt", {
+        "src/x/a.hpp": "Status Write(int x);\nstruct Dev { void Write(int); };\n",
+        "src/x/a.cpp": "void g(Dev* d) {\n  d->Write(1);\n}\n",
+    }, []),
+    ("alloc in hot flags", {
+        "src/x/a.hpp":
+            "EDC_HOT void f(std::vector<int>& v) {\n  v.push_back(1);\n}\n",
+    }, ["no-alloc-in-hot"]),
+    ("new in hot flags", {
+        "src/x/a.cpp": "EDC_HOT int* f() {\n  return new int(3);\n}\n",
+    }, ["no-alloc-in-hot"]),
+    ("allocation-free hot body passes", {
+        "src/x/a.hpp":
+            "EDC_HOT std::size_t f(const u8* a, const u8* b, std::size_t n) {\n"
+            "  std::size_t i = 0;\n"
+            "  while (i < n && a[i] == b[i]) ++i;\n"
+            "  return i;\n"
+            "}\n",
+    }, []),
+    ("alloc outside the hot function passes", {
+        "src/x/a.cpp":
+            "EDC_HOT int f() { return 1; }\n"
+            "void warm(std::vector<int>& v) { v.push_back(1); }\n",
+    }, []),
+    ("dcheck increment flags", {
+        "src/x/a.cpp": "void f(int x) {\n  EDC_DCHECK(++x > 0) << x;\n}\n",
+    }, ["no-dcheck-side-effects"]),
+    ("dcheck assignment flags", {
+        "src/x/a.cpp": "void f(int x) {\n  EDC_DCHECK(x = 1);\n}\n",
+    }, ["no-dcheck-side-effects"]),
+    ("dcheck comparisons pass", {
+        "src/x/a.cpp":
+            "void f(int x, int y) {\n"
+            "  EDC_DCHECK(x == 1 && y != 2 && x <= y && x >= 0) << x;\n"
+            "}\n",
+    }, []),
+    ("suppression comment honoured", {
+        "src/x/a.cpp":
+            "// edc-lint-allow(no-raw-mutex): interop with external API\n"
+            "std::mutex m;\n",
+    }, []),
+    ("suppression without reason does not count", {
+        "src/x/a.cpp":
+            "// edc-lint-allow(no-raw-mutex):\n"
+            "std::mutex m;\n",
+    }, ["no-raw-mutex"]),
+]
+
+
+def run_self_test() -> int:
+    failures = 0
+    for name, files, expect in SELF_TEST_CASES:
+        got = [f.check for f in lint_files(files, set(CHECKS))]
+        if got != expect:
+            failures += 1
+            print(f"SELF-TEST FAIL: {name}\n  expected {expect}\n  got      {got}")
+    total = len(SELF_TEST_CASES)
+    if failures:
+        print(f"edc_lint self-test: {failures}/{total} cases failed")
+        return 1
+    print(f"edc_lint self-test: {total}/{total} cases passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        prog="edc_lint.py",
+        description="edc project lint (see module docstring for checks)")
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of this script)")
+    ap.add_argument("--strict", action="store_true",
+                    help="treat heuristic-grade findings as errors too")
+    ap.add_argument("--check", action="append", default=None,
+                    metavar="NAME", help="run only this check (repeatable)")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded must-flag/must-pass samples")
+    args = ap.parse_args()
+
+    if args.list_checks:
+        for name, desc in CHECKS.items():
+            kind = "heuristic" if name in HEURISTIC_CHECKS else "pinned"
+            print(f"{name:24} [{kind}] {desc}")
+        return 0
+
+    if args.self_test:
+        return run_self_test()
+
+    checks = set(args.check) if args.check else set(CHECKS)
+    unknown = checks - set(CHECKS)
+    if unknown:
+        print(f"edc_lint: unknown check(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = load_tree(root)
+    if not files:
+        print(f"edc_lint: no sources found under {root}", file=sys.stderr)
+        return 2
+
+    findings = lint_files(files, checks)
+    errors = warnings = 0
+    for f in findings:
+        heuristic = f.check in HEURISTIC_CHECKS and not args.strict
+        sev = "warning" if heuristic else "error"
+        if heuristic:
+            warnings += 1
+        else:
+            errors += 1
+        print(f"{f.path}:{f.line}: {sev}: [{f.check}] {f.message}")
+
+    scanned = len(files)
+    print(f"edc_lint: {scanned} files, {errors} error(s), "
+          f"{warnings} warning(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

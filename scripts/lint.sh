@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Static-analysis entry point: clang-tidy over src/ (the checked-in
-# .clang-tidy config) plus a clang-format check over the whole tree.
+# .clang-tidy config), the project lint (scripts/edc_lint.py) and a
+# clang-format check over the whole tree.
 #
 # Usage: scripts/lint.sh [build-dir]
 #
@@ -55,6 +56,24 @@ if TIDY="$(find_tool clang-tidy)"; then
   fi
 else
   missing_tool clang-tidy
+fi
+
+# --- edc_lint (project-specific regex lint) ---------------------------------
+# No toolchain dependency beyond python3, so unlike the clang tools it is
+# never skipped: the no-raw-mutex / no-ignored-status / no-alloc-in-hot /
+# no-dcheck-side-effects rules hold on every box.
+if command -v python3 >/dev/null 2>&1; then
+  echo "lint: running edc_lint.py ..."
+  if ! python3 "$ROOT/scripts/edc_lint.py" --root "$ROOT" --strict; then
+    echo "lint: edc_lint reported findings" >&2
+    STATUS=1
+  fi
+  if ! python3 "$ROOT/scripts/edc_lint.py" --self-test >/dev/null; then
+    echo "lint: edc_lint self-test failed" >&2
+    STATUS=1
+  fi
+else
+  missing_tool python3
 fi
 
 # --- clang-format check (no reformat) ---------------------------------------

@@ -7,6 +7,7 @@
 #include "codec/match.hpp"
 #include "common/cpu.hpp"
 #include "common/crc32.hpp"
+#include "common/sync.hpp"
 
 namespace edc::codec {
 namespace {
@@ -124,6 +125,12 @@ const Backend* SelectDefault() {
 
 std::atomic<const Backend*> g_active{nullptr};
 
+/// Serializes the one-time default selection (and the test override), so
+/// two first callers racing through ActiveBackend() publish exactly one
+/// decision instead of each re-running detection. Reads stay lock-free.
+sync::Mutex g_select_mu{sync::lock_rank::kCodecBackend,
+                        "codec.Backend.select"};
+
 }  // namespace
 
 const Backend& ScalarBackend() { return kScalarBackend; }
@@ -143,14 +150,18 @@ const Backend* FindBackend(std::string_view name) {
 const Backend& ActiveBackend() {
   const Backend* b = g_active.load(std::memory_order_acquire);
   if (b == nullptr) {
-    b = SelectDefault();
-    // First caller wins; concurrent first calls select the same pointer.
-    g_active.store(b, std::memory_order_release);
+    sync::MutexLock lock(&g_select_mu);
+    b = g_active.load(std::memory_order_relaxed);
+    if (b == nullptr) {
+      b = SelectDefault();
+      g_active.store(b, std::memory_order_release);
+    }
   }
   return *b;
 }
 
 void SetActiveBackendForTesting(const Backend* backend) {
+  sync::MutexLock lock(&g_select_mu);
   g_active.store(backend == nullptr ? SelectDefault() : backend,
                  std::memory_order_release);
 }

@@ -18,12 +18,14 @@
 #include <bit>
 #include <cstring>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace edc::codec {
 
 /// Length of the common prefix of a[0..limit) and b[0..limit).
-inline std::size_t MatchLength(const u8* a, const u8* b, std::size_t limit) {
+EDC_HOT inline std::size_t MatchLength(const u8* a, const u8* b,
+                                       std::size_t limit) {
   std::size_t len = 0;
   if constexpr (std::endian::native == std::endian::little) {
     while (len + sizeof(u64) <= limit) {
@@ -57,7 +59,7 @@ inline std::size_t MatchLength(const u8* a, const u8* b, std::size_t limit) {
 }
 
 /// Unaligned 2-byte load (quick-reject probes).
-inline u16 Read16(const u8* p) {
+EDC_HOT inline u16 Read16(const u8* p) {
   u16 v;
   std::memcpy(&v, p, sizeof(u16));
   return v;

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/cpu.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace edc {
 
@@ -49,7 +50,7 @@ inline u32 Load32Le(const u8* p) {
 }
 
 /// Advance the raw register over [p, p+n) with the slicing-by-8 tables.
-inline u32 TableUpdate(u32 crc, const u8* p, std::size_t n) {
+EDC_HOT inline u32 TableUpdate(u32 crc, const u8* p, std::size_t n) {
   const auto& t = kTables.t;
   while (n >= 8) {
     const u32 lo = Load32Le(p) ^ crc;
@@ -68,7 +69,7 @@ inline u32 TableUpdate(u32 crc, const u8* p, std::size_t n) {
 
 }  // namespace
 
-u32 Crc32Scalar(ByteSpan data, u32 seed) {
+EDC_HOT u32 Crc32Scalar(ByteSpan data, u32 seed) {
   const auto& t = kTables.t;
   u32 crc = ~seed;
   const u8* p = data.data();

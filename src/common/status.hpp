@@ -28,8 +28,14 @@ enum class StatusCode {
 
 std::string_view StatusCodeName(StatusCode code);
 
-/// Lightweight status object: a code plus an optional human-readable message.
-class Status {
+/// Lightweight status object: a code plus an optional human-readable
+/// message. [[nodiscard]]: silently dropping an error Status hides
+/// failures (media errors, journal corruption) that the caller is
+/// contractually required to propagate or handle; deliberately ignoring
+/// one takes a visible `(void)` cast. scripts/edc_lint.py (check
+/// no-ignored-status) enforces the same rule source-textually, so
+/// non-compiled configurations stay covered.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -81,9 +87,10 @@ class Status {
   std::string message_;
 };
 
-/// Result<T>: either a value or a non-OK Status.
+/// Result<T>: either a value or a non-OK Status. [[nodiscard]] for the
+/// same reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(implicit)
   Result(Status status) : payload_(std::move(status)) {  // NOLINT(implicit)

@@ -1,0 +1,73 @@
+#include "common/sync.hpp"
+
+#include <vector>
+
+namespace edc::sync::internal {
+namespace {
+
+// Per-thread acquisition stack. Entries are raw Mutex pointers; rank and
+// name are read through them (the mutex outlives the hold by
+// definition). Unlock order may differ from lock order, so release
+// erases wherever the entry sits.
+//
+// This translation unit is always compiled; the *call sites* in
+// sync.hpp are what EDC_SYNC_RANK_CHECKS gates, so a checks-on TU (the
+// sync tests force the define) gets validation even when the rest of
+// the tree was built with checks off.
+thread_local std::vector<const Mutex*> t_held;
+
+int MaxHeldRank() {
+  int max_rank = -2147483647 - 1;
+  for (const Mutex* h : t_held) {
+    if (h->rank() > max_rank) max_rank = h->rank();
+  }
+  return max_rank;
+}
+
+const Mutex* HighestHeld() {
+  const Mutex* best = nullptr;
+  for (const Mutex* h : t_held) {
+    if (best == nullptr || h->rank() > best->rank()) best = h;
+  }
+  return best;
+}
+
+}  // namespace
+
+void NoteAcquire(const Mutex* mu) {
+  for (const Mutex* h : t_held) {
+    EDC_CHECK(h != mu) << "re-entrant acquisition of Mutex '" << mu->name()
+                       << "' (rank " << mu->rank()
+                       << "): sync::Mutex is not recursive";
+  }
+  if (!t_held.empty()) {
+    const Mutex* top = HighestHeld();
+    EDC_CHECK(mu->rank() > MaxHeldRank())
+        << "lock-rank inversion: acquiring Mutex '" << mu->name()
+        << "' (rank " << mu->rank() << ") while holding '" << top->name()
+        << "' (rank " << top->rank()
+        << "); acquisition order must follow strictly increasing rank "
+           "(see sync::lock_rank)";
+  }
+  t_held.push_back(mu);
+}
+
+void NoteRelease(const Mutex* mu) {
+  for (std::size_t i = t_held.size(); i-- > 0;) {
+    if (t_held[i] == mu) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  // Not found: locked from a TU compiled without rank checks. Tolerated
+  // so mixed-build configurations never abort on release.
+}
+
+bool HeldByCurrentThread(const Mutex* mu) {
+  for (const Mutex* h : t_held) {
+    if (h == mu) return true;
+  }
+  return false;
+}
+
+}  // namespace edc::sync::internal

@@ -1,0 +1,214 @@
+// Annotated synchronization primitives: the only mutex vocabulary this
+// code base is allowed to use (scripts/edc_lint.py, check no-raw-mutex,
+// rejects raw std::mutex / std::lock_guard everywhere else).
+//
+// Two independent enforcement layers ride on these wrappers:
+//
+//  1. Compile time — Clang Thread Safety Analysis. Mutex is a capability,
+//     MutexLock a scoped capability, and guarded fields are declared with
+//     EDC_GUARDED_BY (thread_annotations.hpp). `clang -Wthread-safety
+//     -Werror` (the CI thread-safety job) then proves every guarded
+//     access happens under the right lock.
+//
+//  2. Debug runtime — a lock-rank registry. Every Mutex is constructed
+//     with a rank (see lock_rank below); a thread may only acquire a
+//     mutex whose rank is strictly greater than every rank it already
+//     holds, and re-acquiring a held mutex is rejected outright. Any
+//     violation aborts via EDC_CHECK with both lock names in the
+//     message, turning a would-be deadlock into a deterministic failure
+//     at the first wrong acquisition — no unlucky interleaving needed.
+//     The checks compile out of release builds (see EDC_SYNC_RANK_CHECKS
+//     below); sanitizer builds keep them on so the TSan/ASan CI jobs
+//     exercise the discipline.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/thread_annotations.hpp"
+
+// Rank validation is on in debug and sanitizer builds, off in plain
+// release builds (the hot path pays nothing). Overridable per target or
+// per translation unit with -DEDC_SYNC_RANK_CHECKS=0/1; push/pop happen
+// inside the same inline acquire/release functions, so a TU compiled
+// with checks on validates every mutex it locks regardless of how other
+// TUs were built.
+#if !defined(EDC_SYNC_RANK_CHECKS)
+#if !defined(NDEBUG) || defined(EDC_SANITIZE_BUILD)
+#define EDC_SYNC_RANK_CHECKS 1
+#else
+#define EDC_SYNC_RANK_CHECKS 0
+#endif
+#endif
+
+namespace edc::sync {
+
+/// The project-wide lock order: acquisition must follow strictly
+/// increasing rank, so a lower rank is the *outer* lock. Two mutexes of
+/// equal rank may never be held together (rules out ABBA between
+/// same-rank peers). New subsystems claim a constant here; gaps are left
+/// for insertions.
+namespace lock_rank {
+/// Bench-harness caches (bench_util's cost-model memoization).
+inline constexpr int kBenchUtil = 10;
+/// obs::MetricRegistry internals (may call into WorkerPool::GetStats
+/// from a collector, hence outer to kWorkerPool).
+inline constexpr int kObsRegistry = 20;
+/// obs::TraceRecorder event buffer.
+inline constexpr int kObsTrace = 30;
+/// WorkerPool queue/lifecycle mutex.
+inline constexpr int kWorkerPool = 40;
+/// codec::Backend one-time dispatch selection.
+inline constexpr int kCodecBackend = 50;
+/// Default for ad-hoc leaf mutexes: nothing may be acquired under them.
+inline constexpr int kLeaf = 1000;
+}  // namespace lock_rank
+
+class Mutex;
+
+namespace internal {
+/// Validate then record an acquisition by the current thread; aborts via
+/// EDC_CHECK on a rank inversion or a re-entrant acquisition.
+void NoteAcquire(const Mutex* mu);
+/// Forget a recorded acquisition (lenient: a mutex locked from a TU
+/// compiled without rank checks is simply not found).
+void NoteRelease(const Mutex* mu);
+/// Whether the current thread recorded an acquisition of `mu`.
+bool HeldByCurrentThread(const Mutex* mu);
+}  // namespace internal
+
+/// std::mutex with a Clang TSA capability, a lock rank and a name.
+class EDC_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(int rank = lock_rank::kLeaf, const char* name = "")
+      : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EDC_ACQUIRE() {
+#if EDC_SYNC_RANK_CHECKS
+    internal::NoteAcquire(this);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() EDC_RELEASE() {
+    mu_.unlock();
+#if EDC_SYNC_RANK_CHECKS
+    internal::NoteRelease(this);
+#endif
+  }
+
+  /// Non-blocking acquire. Held to the same rank discipline as Lock():
+  /// even though an out-of-order try-lock cannot deadlock by itself, it
+  /// hides an ordering bug the next blocking caller trips over.
+  /// Validation comes BEFORE the try_lock, mirroring Lock(): a failure
+  /// handler that throws must not leave the mutex acquired.
+  bool TryLock() EDC_TRY_ACQUIRE(true) {
+#if EDC_SYNC_RANK_CHECKS
+    internal::NoteAcquire(this);
+    if (!mu_.try_lock()) {
+      internal::NoteRelease(this);
+      return false;
+    }
+    return true;
+#else
+    return mu_.try_lock();
+#endif
+  }
+
+  /// Debug assertion that the calling thread holds this mutex; feeds the
+  /// fact into the static analysis. No-op when rank checks are off.
+  void AssertHeld() const EDC_ASSERT_CAPABILITY(this) {
+#if EDC_SYNC_RANK_CHECKS
+    EDC_CHECK(internal::HeldByCurrentThread(this))
+        << "Mutex '" << name_ << "' (rank " << rank_
+        << ") not held by the calling thread";
+#endif
+  }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const int rank_;
+  const char* const name_;
+};
+
+/// RAII lock scope (the project's std::lock_guard). Takes a pointer so
+/// call sites read `MutexLock lock(&mu_);` — a visible acquisition, not
+/// a copy.
+class EDC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) EDC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() EDC_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to sync::Mutex. Wait() atomically releases
+/// the mutex and re-acquires it before returning, so from both the
+/// static analysis' and the rank registry's point of view the caller
+/// holds the mutex across the whole wait (which is the contract the
+/// caller programs against).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) EDC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Runtime complement to the static analysis for *thread-confined*
+/// classes (externally synchronized, no internal mutex — e.g. the
+/// Engine's mapping/journal path): Clang TSA cannot express "only the
+/// owning thread may call this", so confinement is asserted at run time
+/// instead. Binds to the constructing thread; Check() aborts via
+/// EDC_CHECK when called from any other thread. Compiled out with the
+/// rank checks (EDC_SYNC_RANK_CHECKS), so release hot paths pay nothing.
+class ThreadChecker {
+ public:
+  explicit ThreadChecker(const char* name = "")
+      : name_(name), owner_(std::this_thread::get_id()) {}
+
+  /// Assert the calling thread is the owner. `what` names the operation
+  /// for the failure message.
+  void Check(const char* what) const {
+#if EDC_SYNC_RANK_CHECKS
+    EDC_CHECK(std::this_thread::get_id() == owner_)
+        << what << ": called off the owning thread of thread-confined '"
+        << name_ << "' (no internal locking; see docs/testing.md "
+        << "\"Concurrency discipline\")";
+#else
+    (void)what;
+#endif
+  }
+
+  /// Hand ownership to the calling thread (explicit confinement
+  /// transfer, e.g. moving a shard between dispatcher threads).
+  void Rebind() { owner_ = std::this_thread::get_id(); }
+
+ private:
+  const char* const name_;
+  std::thread::id owner_;
+};
+
+}  // namespace edc::sync

@@ -1,0 +1,97 @@
+// Clang Thread Safety Analysis attribute macros (EDC_* spellings).
+//
+// These annotate the lock discipline so `clang -Wthread-safety` checks it
+// at compile time: which mutex guards which field, which functions must
+// (or must not) be entered with a lock held, and which functions acquire
+// or release a capability. On compilers without the attributes (GCC,
+// MSVC) every macro expands to nothing, so annotated code stays portable.
+//
+// The only capability type in this code base is sync::Mutex (see
+// src/common/sync.hpp); raw std::mutex use outside sync.hpp is forbidden
+// and enforced by scripts/edc_lint.py (check no-raw-mutex).
+//
+// Spelling follows the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the macro set
+// intentionally mirrors Abseil's thread_annotations.h so the idioms are
+// recognizable.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define EDC_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef EDC_THREAD_ANNOTATION_ATTRIBUTE
+#define EDC_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Class attribute: instances of this type are lockable capabilities.
+#define EDC_CAPABILITY(x) EDC_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Class attribute: RAII type whose constructor acquires and destructor
+/// releases a capability (e.g. sync::MutexLock).
+#define EDC_SCOPED_CAPABILITY EDC_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field/variable attribute: reads and writes require holding `x`.
+#define EDC_GUARDED_BY(x) EDC_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer attribute: the pointed-to data (not the pointer) is guarded.
+#define EDC_PT_GUARDED_BY(x) EDC_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declared acquisition-order constraints between capabilities. The
+/// runtime lock-rank registry (sync.hpp) is the enforced superset; these
+/// document the same order for the static analysis.
+#define EDC_ACQUIRED_BEFORE(...) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define EDC_ACQUIRED_AFTER(...) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function attribute: caller must hold the capability (exclusively).
+#define EDC_REQUIRES(...) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function attribute: function acquires the capability and does not
+/// release it before returning.
+#define EDC_ACQUIRE(...) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: function releases the capability.
+#define EDC_RELEASE(...) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability when returning the first
+/// argument (`EDC_TRY_ACQUIRE(true)`, optionally followed by which
+/// capabilities). Variadic so the no-capability form has no trailing
+/// comma in the expansion.
+#define EDC_TRY_ACQUIRE(...) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the capability (deadlock
+/// documentation for functions that acquire it internally).
+#define EDC_EXCLUDES(...) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: asserts the capability is held (runtime-checked
+/// fact injected into the static analysis).
+#define EDC_ASSERT_CAPABILITY(x) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function attribute: the function returns a reference to the capability.
+#define EDC_RETURN_CAPABILITY(x) \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Every use must
+/// carry a comment explaining why the contract cannot be expressed.
+#define EDC_NO_THREAD_SAFETY_ANALYSIS \
+  EDC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Hot-path marker checked by scripts/edc_lint.py (check no-alloc-in-hot):
+/// a function marked EDC_HOT must not allocate — no new/malloc and no
+/// growing container calls — so per-I/O code stays allocation-free by
+/// construction. Expands to the compiler `hot` placement hint when
+/// available.
+#if defined(__GNUC__) || defined(__clang__)
+#define EDC_HOT __attribute__((hot))
+#else
+#define EDC_HOT
+#endif

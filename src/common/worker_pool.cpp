@@ -17,12 +17,12 @@ WorkerPool* WorkerPool::CurrentPool() { return t_current_pool; }
 std::size_t WorkerPool::CurrentWorkerIndex() { return t_worker_index; }
 
 WorkerPool::WorkerPool(std::size_t threads, std::size_t max_queue)
-    : max_queue_(max_queue) {
-  const std::size_t n = std::max<std::size_t>(threads, 1);
-  thread_busy_ns_ = std::make_unique<std::atomic<u64>[]>(n);
-  for (std::size_t i = 0; i < n; ++i) thread_busy_ns_[i] = 0;
-  threads_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
+    : max_queue_(max_queue), n_threads_(std::max<std::size_t>(threads, 1)) {
+  thread_busy_ns_ = std::make_unique<std::atomic<u64>[]>(n_threads_);
+  for (std::size_t i = 0; i < n_threads_; ++i) thread_busy_ns_[i] = 0;
+  sync::MutexLock lock(&mu_);
+  threads_.reserve(n_threads_);
+  for (std::size_t i = 0; i < n_threads_; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
@@ -31,10 +31,11 @@ WorkerPool::~WorkerPool() { Shutdown(); }
 
 void WorkerPool::Enqueue(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    queue_space_.wait(lock, [this] {
-      return shutting_down_ || max_queue_ == 0 || queue_.size() < max_queue_;
-    });
+    sync::MutexLock lock(&mu_);
+    while (!shutting_down_ &&
+           !(max_queue_ == 0 || queue_.size() < max_queue_)) {
+      queue_space_.Wait(&mu_);
+    }
     if (shutting_down_) {
       throw std::runtime_error("WorkerPool: Submit after Shutdown");
     }
@@ -42,7 +43,7 @@ void WorkerPool::Enqueue(std::function<void()> task) {
     ++jobs_submitted_;
     max_queue_depth_ = std::max<u64>(max_queue_depth_, queue_.size());
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
 }
 
 void WorkerPool::WorkerLoop(std::size_t worker_index) {
@@ -51,15 +52,14 @@ void WorkerPool::WorkerLoop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock,
-                       [this] { return shutting_down_ || !queue_.empty(); });
+      sync::MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) work_ready_.Wait(&mu_);
       // Drain the queue even when shutting down; exit only once empty.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    queue_space_.notify_one();
+    queue_space_.NotifyOne();
     auto started = std::chrono::steady_clock::now();
     task();  // exceptions propagate through the packaged_task's future
     auto elapsed = std::chrono::steady_clock::now() - started;
@@ -75,13 +75,13 @@ void WorkerPool::WorkerLoop(std::size_t worker_index) {
 WorkerPool::Stats WorkerPool::GetStats() const {
   Stats s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     s.jobs_submitted = jobs_submitted_;
     s.max_queue_depth = max_queue_depth_;
   }
   s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
-  s.thread_busy_ns.reserve(threads_.size());
-  for (std::size_t i = 0; i < threads_.size(); ++i) {
+  s.thread_busy_ns.reserve(n_threads_);
+  for (std::size_t i = 0; i < n_threads_; ++i) {
     s.thread_busy_ns.push_back(
         thread_busy_ns_[i].load(std::memory_order_relaxed));
   }
@@ -89,17 +89,22 @@ WorkerPool::Stats WorkerPool::GetStats() const {
 }
 
 void WorkerPool::Shutdown() {
+  // The annotation migration surfaced a latent guarded-field violation
+  // here: the join loop used to iterate threads_ with mu_ released, so
+  // two concurrent Shutdown() calls raced on the vector (and on clear()).
+  // The first caller now claims the threads by swapping the vector out
+  // under the lock; later callers see it empty and only re-notify.
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && threads_.empty()) return;
+    sync::MutexLock lock(&mu_);
     shutting_down_ = true;
+    to_join.swap(threads_);
   }
-  work_ready_.notify_all();
-  queue_space_.notify_all();
-  for (std::thread& t : threads_) {
+  work_ready_.NotifyAll();
+  queue_space_.NotifyAll();
+  for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
-  threads_.clear();
 }
 
 void ParallelFor(WorkerPool& pool, std::size_t begin, std::size_t end,

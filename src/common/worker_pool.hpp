@@ -16,18 +16,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace edc {
@@ -42,7 +42,7 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  std::size_t thread_count() const { return threads_.size(); }
+  std::size_t thread_count() const { return n_threads_; }
 
   /// Pool telemetry for the observability layer. Job counts are exact;
   /// queue depth and per-thread busy time depend on wall-clock scheduling
@@ -82,20 +82,23 @@ class WorkerPool {
   static std::size_t CurrentWorkerIndex();
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop(std::size_t worker_index);
+  void Enqueue(std::function<void()> task) EDC_EXCLUDES(mu_);
+  void WorkerLoop(std::size_t worker_index) EDC_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;   // workers wait here
-  std::condition_variable queue_space_;  // bounded Submit waits here
-  std::deque<std::function<void()>> queue_;
-  std::size_t max_queue_;
-  bool shutting_down_ = false;
-  u64 jobs_submitted_ = 0;      // guarded by mu_
-  u64 max_queue_depth_ = 0;     // guarded by mu_
+  mutable sync::Mutex mu_{sync::lock_rank::kWorkerPool, "WorkerPool.mu"};
+  sync::CondVar work_ready_;   // workers wait here
+  sync::CondVar queue_space_;  // bounded Submit waits here
+  std::deque<std::function<void()>> queue_ EDC_GUARDED_BY(mu_);
+  const std::size_t max_queue_;
+  const std::size_t n_threads_;  // fixed at construction
+  bool shutting_down_ EDC_GUARDED_BY(mu_) = false;
+  u64 jobs_submitted_ EDC_GUARDED_BY(mu_) = 0;
+  u64 max_queue_depth_ EDC_GUARDED_BY(mu_) = 0;
   std::atomic<u64> jobs_completed_{0};
   std::unique_ptr<std::atomic<u64>[]> thread_busy_ns_;
-  std::vector<std::thread> threads_;
+  /// Joined by the first Shutdown() caller, which swaps the vector out
+  /// under the lock so concurrent Shutdown() calls are safe.
+  std::vector<std::thread> threads_ EDC_GUARDED_BY(mu_);
 };
 
 /// Run body(i) for i in [begin, end) across the pool; blocks until every

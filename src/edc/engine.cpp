@@ -298,7 +298,15 @@ void Engine::NoteBreakerError(SimTime at) {
 codec::Scratch* Engine::ScratchForThisThread() const {
   WorkerPool* pool = WorkerPool::CurrentPool();
   if (pool != nullptr && pool == config_.compress_pool) {
-    return pool_scratch_[WorkerPool::CurrentWorkerIndex()].get();
+    const std::size_t idx = WorkerPool::CurrentWorkerIndex();
+    // Confinement guard: one arena per worker, sized at construction. A
+    // pool swapped in after construction (more workers than arenas)
+    // would silently share arenas across threads — fail fast instead.
+    EDC_CHECK(idx < pool_scratch_.size())
+        << "worker index " << idx << " outside the " << pool_scratch_.size()
+        << " scratch arenas sized at engine construction; "
+        << "EngineConfig::compress_pool must not change after construction";
+    return pool_scratch_[idx].get();
   }
   return &serial_scratch_;
 }
@@ -693,6 +701,7 @@ Status Engine::MaybeIdleFlush(SimTime arrival) {
 }
 
 Result<SimTime> Engine::Write(SimTime arrival, u64 offset, u32 size) {
+  owner_.Check("Engine::Write");
   if (size == 0) return arrival;
   EDC_RETURN_IF_ERROR(MaybeIdleFlush(arrival));
   monitor_.Record(arrival, size);
@@ -796,6 +805,7 @@ void Engine::CacheErase(u64 group_id) {
 }
 
 Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
+  owner_.Check("Engine::Read");
   if (size == 0) return arrival;
   EDC_RETURN_IF_ERROR(MaybeIdleFlush(arrival));
   monitor_.Record(arrival, size);
@@ -933,6 +943,7 @@ Status Engine::VerifyExtentRead(const GroupInfo& g,
 }
 
 Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {
+  owner_.Check("Engine::Trim");
   if (size == 0) return arrival;
   auto [first, n_blocks] = CoveringBlocks(offset, size);
 
@@ -977,6 +988,7 @@ Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {
 }
 
 Result<SimTime> Engine::FlushPending(SimTime now) {
+  owner_.Check("Engine::FlushPending");
   SimTime completion = now;
   if (config_.use_seq_detector) {
     if (auto run = seq_.Flush()) {
@@ -1201,6 +1213,7 @@ Status Engine::RestoreDurableState(ByteSpan body) {
 }
 
 Status Engine::RecoverFromDevice(SimTime now) {
+  owner_.Check("Engine::RecoverFromDevice");
   if (!config_.durability.enabled) {
     return Status::FailedPrecondition(
         "engine: recovery requires durable mode");
@@ -1388,6 +1401,7 @@ Result<Bytes> Engine::SaveState() const {
 }
 
 Status Engine::RestoreState(ByteSpan image) {
+  owner_.Check("Engine::RestoreState");
   if (image.size() < 8) return Status::DataLoss("engine: image too short");
   ByteSpan body = image.first(image.size() - 4);
   std::size_t crc_pos = image.size() - 4;
@@ -1478,6 +1492,7 @@ Status Engine::RestoreState(ByteSpan image) {
 }
 
 Result<Bytes> Engine::ReadBlockData(Lba block) {
+  owner_.Check("Engine::ReadBlockData");
   if (config_.mode != ExecutionMode::kFunctional) {
     return Status::FailedPrecondition(
         "data reads require functional mode");

@@ -27,6 +27,7 @@
 
 #include "codec/container.hpp"
 #include "codec/scratch.hpp"
+#include "common/sync.hpp"
 #include "datagen/generator.hpp"
 #include "edc/auditor.hpp"
 #include "edc/cost_model.hpp"
@@ -409,6 +410,13 @@ class Engine {
   // one arena per pool worker plus one for the simulation thread.
   mutable codec::Scratch serial_scratch_;
   mutable std::vector<std::unique_ptr<codec::Scratch>> pool_scratch_;
+  // The engine is thread-confined, not thread-safe: every mutating entry
+  // point (Write/Read/Trim/Flush/recovery) must run on the thread that
+  // constructed it; only const ExecuteCodec runs on pool workers. Static
+  // thread-safety analysis cannot express "single owning thread", so the
+  // contract is asserted at run time in debug/sanitizer builds instead
+  // (see sync::ThreadChecker).
+  sync::ThreadChecker owner_{"core::Engine"};
   EngineStats stats_;
 };
 

@@ -250,6 +250,7 @@ MetricRegistry::Entry* MetricRegistry::FindOrCreate(
 Counter* MetricRegistry::GetCounter(const std::string& name,
                                     LabelSet labels,
                                     const std::string& help) {
+  sync::MutexLock lock(&mu_);
   Entry* e = FindOrCreate(name, std::move(labels), MetricType::kCounter,
                           help);
   if (e == nullptr) return nullptr;
@@ -259,6 +260,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricRegistry::GetGauge(const std::string& name, LabelSet labels,
                                 const std::string& help) {
+  sync::MutexLock lock(&mu_);
   Entry* e =
       FindOrCreate(name, std::move(labels), MetricType::kGauge, help);
   if (e == nullptr) return nullptr;
@@ -270,6 +272,7 @@ HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
                                               LabelSet labels,
                                               std::vector<double> bounds,
                                               const std::string& help) {
+  sync::MutexLock lock(&mu_);
   Entry* e = FindOrCreate(name, std::move(labels), MetricType::kHistogram,
                           help);
   if (e == nullptr) return nullptr;
@@ -280,40 +283,50 @@ HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricRegistry::AddCollector(Collector fn, bool deterministic) {
+  sync::MutexLock lock(&mu_);
   collectors_.push_back(CollectorEntry{std::move(fn), deterministic});
 }
 
 MetricsSnapshot MetricRegistry::Snapshot(bool include_volatile) const {
   MetricsSnapshot snap;
-  for (const auto& [key, entry] : entries_) {
-    Sample s;
-    s.type = entry.type;
-    s.name = key.name;
-    s.labels = key.labels;
-    s.help = entry.help;
-    switch (entry.type) {
-      case MetricType::kCounter:
-        s.counter_value = entry.counter ? entry.counter->value() : 0;
-        break;
-      case MetricType::kGauge:
-        s.gauge_value = entry.gauge ? entry.gauge->value() : 0;
-        break;
-      case MetricType::kHistogram:
-        if (entry.histogram) {
-          s.bounds = entry.histogram->bounds();
-          s.bucket_counts = entry.histogram->bucket_counts();
-          s.sum = entry.histogram->sum();
-          s.count = entry.histogram->count();
-        }
-        break;
+  // Copy the collector functions out so they run with mu_ released: a
+  // collector may re-enter the registry or take a coarser-ranked lock
+  // (WorkerPool::GetStats), neither of which may happen under mu_.
+  std::vector<Collector> to_run;
+  {
+    sync::MutexLock lock(&mu_);
+    for (const auto& [key, entry] : entries_) {
+      Sample s;
+      s.type = entry.type;
+      s.name = key.name;
+      s.labels = key.labels;
+      s.help = entry.help;
+      switch (entry.type) {
+        case MetricType::kCounter:
+          s.counter_value = entry.counter ? entry.counter->value() : 0;
+          break;
+        case MetricType::kGauge:
+          s.gauge_value = entry.gauge ? entry.gauge->value() : 0;
+          break;
+        case MetricType::kHistogram:
+          if (entry.histogram) {
+            s.bounds = entry.histogram->bounds();
+            s.bucket_counts = entry.histogram->bucket_counts();
+            s.sum = entry.histogram->sum();
+            s.count = entry.histogram->count();
+          }
+          break;
+      }
+      snap.samples.push_back(std::move(s));
     }
-    snap.samples.push_back(std::move(s));
+    to_run.reserve(collectors_.size());
+    for (const CollectorEntry& c : collectors_) {
+      if (!c.deterministic && !include_volatile) continue;
+      to_run.push_back(c.fn);
+    }
   }
   SampleList list(&snap.samples);
-  for (const CollectorEntry& c : collectors_) {
-    if (!c.deterministic && !include_volatile) continue;
-    c.fn(list);
-  }
+  for (const Collector& fn : to_run) fn(list);
   std::stable_sort(snap.samples.begin(), snap.samples.end(),
                    [](const Sample& a, const Sample& b) {
                      if (a.name != b.name) return a.name < b.name;

@@ -11,9 +11,14 @@
 //    snapshots unless explicitly requested.
 //  * Zero cost when disabled — components hold plain pointers that are
 //    null when observability is off; the hot path pays one branch.
-//  * Single-threaded by design: instruments are updated only from the
-//    simulation thread. Cross-thread sources (WorkerPool) bridge through
-//    their own atomics and are read by a collector at snapshot time.
+//  * Registration and snapshotting are thread-safe: the registry's
+//    internal structures (entry map, collector list) are guarded by a
+//    sync::Mutex with full thread-safety annotations, so shards can
+//    register instruments concurrently. Instrument *updates* stay
+//    single-writer by contract: a Counter/Gauge/Histogram pointer is
+//    owned by the component (thread) that registered it. Cross-thread
+//    sources (WorkerPool) bridge through their own atomics and are read
+//    by a collector at snapshot time.
 #pragma once
 
 #include <functional>
@@ -23,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace edc::obs {
@@ -134,12 +141,13 @@ class MetricRegistry {
   /// same instrument; requesting it with a different type is an error
   /// (reported by ok()/error()).
   Counter* GetCounter(const std::string& name, LabelSet labels = {},
-                      const std::string& help = "");
+                      const std::string& help = "") EDC_EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, LabelSet labels = {},
-                  const std::string& help = "");
+                  const std::string& help = "") EDC_EXCLUDES(mu_);
   HistogramMetric* GetHistogram(const std::string& name, LabelSet labels,
                                 std::vector<double> bounds,
-                                const std::string& help = "");
+                                const std::string& help = "")
+      EDC_EXCLUDES(mu_);
 
   /// Pull-style source: `fn` is invoked at Snapshot() time to append
   /// samples computed from live component state (always agrees with the
@@ -147,16 +155,28 @@ class MetricRegistry {
   /// `deterministic = false` marks wall-clock/scheduling-dependent
   /// sources, excluded from snapshots unless requested.
   using Collector = std::function<void(SampleList&)>;
-  void AddCollector(Collector fn, bool deterministic = true);
+  void AddCollector(Collector fn, bool deterministic = true)
+      EDC_EXCLUDES(mu_);
 
   /// Materialize every instrument and collector into a sorted sample
   /// list. With include_volatile = false (the default), non-deterministic
   /// collectors are skipped so the output is byte-stable across runs.
-  MetricsSnapshot Snapshot(bool include_volatile = false) const;
+  /// Collector callbacks run with mu_ released (instrument samples are
+  /// copied out first), so a collector may call back into the registry —
+  /// and may take coarser locks such as WorkerPool's — without deadlock.
+  MetricsSnapshot Snapshot(bool include_volatile = false) const
+      EDC_EXCLUDES(mu_);
 
   /// First registration-type conflict, if any (empty string = none).
-  const std::string& error() const { return error_; }
-  bool ok() const { return error_.empty(); }
+  /// Returned by value: the stored string is guarded by mu_.
+  std::string error() const EDC_EXCLUDES(mu_) {
+    sync::MutexLock lock(&mu_);
+    return error_;
+  }
+  bool ok() const EDC_EXCLUDES(mu_) {
+    sync::MutexLock lock(&mu_);
+    return error_.empty();
+  }
 
  private:
   struct Key {
@@ -180,11 +200,17 @@ class MetricRegistry {
   };
 
   Entry* FindOrCreate(const std::string& name, LabelSet labels,
-                      MetricType type, const std::string& help);
+                      MetricType type, const std::string& help)
+      EDC_REQUIRES(mu_);
 
-  std::map<Key, Entry> entries_;
-  std::vector<CollectorEntry> collectors_;
-  std::string error_;
+  /// Guards the registry structure, not the instrument values: returned
+  /// Counter*/Gauge*/HistogramMetric* are stable for the registry's
+  /// lifetime and updated lock-free by their single owning writer.
+  mutable sync::Mutex mu_{sync::lock_rank::kObsRegistry,
+                          "MetricRegistry.mu"};
+  std::map<Key, Entry> entries_ EDC_GUARDED_BY(mu_);
+  std::vector<CollectorEntry> collectors_ EDC_GUARDED_BY(mu_);
+  std::string error_ EDC_GUARDED_BY(mu_);
 };
 
 /// Shortest deterministic text form of a double: integers print without a

@@ -3,6 +3,13 @@
 // independently. Components store the pointers returned by metrics() /
 // trace() (null when that half is off), so the disabled fast path is one
 // pointer compare per event site.
+//
+// Thread contract: the Observer itself holds no mutable unguarded state
+// (options_ is fixed at construction); registration, event recording and
+// Snapshot() are internally synchronized by the registry's and
+// recorder's own annotated sync::Mutexes, so one Observer may be shared
+// by multiple engine shards. Individual instrument updates stay
+// single-writer — see metrics.hpp.
 #pragma once
 
 #include <string>

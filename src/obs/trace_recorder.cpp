@@ -55,9 +55,8 @@ void AppendArgs(std::string* out, const TraceArgs& args) {
   *out += "}";
 }
 
-}  // namespace
-
-TraceRecorder::TraceRecorder(const std::string& filter) {
+std::vector<std::string> ParseFilter(const std::string& filter) {
+  std::vector<std::string> cats;
   std::size_t pos = 0;
   while (pos < filter.size()) {
     std::size_t comma = filter.find(',', pos);
@@ -66,10 +65,16 @@ TraceRecorder::TraceRecorder(const std::string& filter) {
     // Trim surrounding spaces.
     while (!cat.empty() && cat.front() == ' ') cat.erase(cat.begin());
     while (!cat.empty() && cat.back() == ' ') cat.pop_back();
-    if (!cat.empty()) filter_.push_back(std::move(cat));
+    if (!cat.empty()) cats.push_back(std::move(cat));
     pos = comma + 1;
   }
+  return cats;
 }
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(const std::string& filter)
+    : filter_(ParseFilter(filter)) {}
 
 bool TraceRecorder::Enabled(std::string_view cat) const {
   if (filter_.empty()) return true;
@@ -87,6 +92,7 @@ void TraceRecorder::Span(std::string name, std::string_view cat, u32 tid,
   e.ts = start;
   e.dur = end >= start ? end - start : 0;
   e.args = std::move(args);
+  sync::MutexLock lock(&mu_);
   events_.push_back(std::move(e));
 }
 
@@ -101,10 +107,12 @@ void TraceRecorder::Instant(std::string name, std::string_view cat,
   e.ts = ts;
   e.dur = 0;
   e.args = std::move(args);
+  sync::MutexLock lock(&mu_);
   events_.push_back(std::move(e));
 }
 
 void TraceRecorder::NameThread(u32 tid, std::string name) {
+  sync::MutexLock lock(&mu_);
   for (auto& [t, n] : thread_names_) {
     if (t == tid) {
       n = std::move(name);
@@ -115,6 +123,7 @@ void TraceRecorder::NameThread(u32 tid, std::string name) {
 }
 
 std::string TraceRecorder::ToJson() const {
+  sync::MutexLock lock(&mu_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto names = thread_names_;

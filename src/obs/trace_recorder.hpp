@@ -5,7 +5,11 @@
 // Timestamps are SimTime nanoseconds rendered as microseconds with a
 // fixed three-digit fraction, so the emitted bytes are a pure function of
 // the simulation — two replays with the same seed produce byte-identical
-// trace files. Events must be recorded from the simulation thread only.
+// trace files. The event buffer is guarded by an annotated sync::Mutex,
+// so recording is safe from any thread; *determinism* of the emitted
+// bytes still requires that events of one lane arrive in a deterministic
+// order, which today means one recording (simulation) thread per
+// recorder.
 //
 // Lanes ("tid" in the trace): requests, each modeled compression context,
 // the device (one lane per RAIS member), and the journal get their own
@@ -16,6 +20,8 @@
 #include <variant>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace edc::obs {
@@ -61,20 +67,23 @@ class TraceRecorder {
 
   /// Complete event ("ph":"X") spanning [start, end] of simulated time.
   void Span(std::string name, std::string_view cat, u32 tid, SimTime start,
-            SimTime end, TraceArgs args = {});
+            SimTime end, TraceArgs args = {}) EDC_EXCLUDES(mu_);
 
   /// Instant event ("ph":"i", thread scope).
   void Instant(std::string name, std::string_view cat, u32 tid, SimTime ts,
-               TraceArgs args = {});
+               TraceArgs args = {}) EDC_EXCLUDES(mu_);
 
   /// Name a lane; rendered as a "thread_name" metadata event.
-  void NameThread(u32 tid, std::string name);
+  void NameThread(u32 tid, std::string name) EDC_EXCLUDES(mu_);
 
-  std::size_t event_count() const { return events_.size(); }
+  std::size_t event_count() const EDC_EXCLUDES(mu_) {
+    sync::MutexLock lock(&mu_);
+    return events_.size();
+  }
 
   /// Full Chrome trace-event JSON document:
   /// {"displayTimeUnit":"ms","traceEvents":[...]}.
-  std::string ToJson() const;
+  std::string ToJson() const EDC_EXCLUDES(mu_);
 
  private:
   struct Event {
@@ -87,9 +96,11 @@ class TraceRecorder {
     TraceArgs args;
   };
 
-  std::vector<std::string> filter_;  // empty = record everything
-  std::vector<Event> events_;
-  std::vector<std::pair<u32, std::string>> thread_names_;
+  const std::vector<std::string> filter_;  // empty = record everything
+  mutable sync::Mutex mu_{sync::lock_rank::kObsTrace, "TraceRecorder.mu"};
+  std::vector<Event> events_ EDC_GUARDED_BY(mu_);
+  std::vector<std::pair<u32, std::string>> thread_names_
+      EDC_GUARDED_BY(mu_);
 };
 
 }  // namespace edc::obs

@@ -1,0 +1,200 @@
+// Lock-rank registry and annotated-primitive behaviour (common/sync.hpp).
+//
+// This TU forces EDC_SYNC_RANK_CHECKS=1 (see tests/CMakeLists.txt), so
+// the deadlock-prevention tests run in every build type, including the
+// default Release configuration where the checks are otherwise compiled
+// out. Each guard test redirects EDC_CHECK failures into an exception
+// and asserts the violation is caught at the first wrong acquisition —
+// this is the "fails when the guard is disabled" demonstration: with
+// EDC_SYNC_RANK_CHECKS=0 the bad acquisitions proceed silently and the
+// EXPECT_THROWs below fail.
+#include "common/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+static_assert(EDC_SYNC_RANK_CHECKS == 1,
+              "sync_test.cpp must be compiled with rank checks forced on "
+              "(COMPILE_DEFINITIONS in tests/CMakeLists.txt)");
+
+namespace edc::sync {
+namespace {
+
+void ThrowOnCheckFailure(const std::string& message) {
+  throw std::runtime_error(message);
+}
+
+TEST(SyncMutex, OrderedAcquisitionIsAccepted) {
+  Mutex outer(10, "outer");
+  Mutex inner(20, "inner");
+  MutexLock lock_outer(&outer);
+  MutexLock lock_inner(&inner);  // increasing rank: fine
+}
+
+TEST(SyncMutex, RankInversionIsRejected) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  Mutex outer(10, "outer");
+  Mutex inner(20, "inner");
+  MutexLock lock_inner(&inner);
+  // Acquiring a lower rank while holding a higher one is the ABBA
+  // half-pattern; the registry aborts deterministically instead of
+  // waiting for the unlucky interleaving.
+  EXPECT_THROW(outer.Lock(), std::runtime_error);
+}
+
+TEST(SyncMutex, EqualRankPairIsRejected) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  Mutex a(10, "a");
+  Mutex b(10, "b");
+  MutexLock lock_a(&a);
+  EXPECT_THROW(b.Lock(), std::runtime_error);  // strictly greater required
+}
+
+TEST(SyncMutex, ReentrantAcquisitionIsRejected) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  Mutex mu(10, "mu");
+  MutexLock lock(&mu);
+  EXPECT_THROW(mu.Lock(), std::runtime_error);
+}
+
+TEST(SyncMutex, FailureMessageNamesBothLocks) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  Mutex outer(10, "outer_lock_name");
+  Mutex inner(20, "inner_lock_name");
+  MutexLock lock_inner(&inner);
+  try {
+    outer.Lock();
+    FAIL() << "rank inversion not detected";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("outer_lock_name"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("inner_lock_name"), std::string::npos) << msg;
+  }
+}
+
+TEST(SyncMutex, UnlockInAnyOrderIsAccepted) {
+  // Release order is unconstrained (only acquisition order matters).
+  Mutex a(10, "a");
+  Mutex b(20, "b");
+  Mutex c(30, "c");
+  a.Lock();
+  b.Lock();
+  c.Lock();
+  b.Unlock();  // middle first
+  a.Unlock();
+  c.Unlock();
+  // Registry is clean again: re-acquiring from scratch works.
+  MutexLock lock(&c);
+}
+
+TEST(SyncMutex, RanksAreHeldPerThread) {
+  // A high rank held by one thread does not constrain another.
+  Mutex high(100, "high");
+  Mutex low(10, "low");
+  MutexLock lock_high(&high);
+  std::thread other([&] { MutexLock lock_low(&low); });
+  other.join();
+}
+
+TEST(SyncMutex, TryLockFollowsTheSameDiscipline) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  Mutex outer(10, "outer");
+  Mutex inner(20, "inner");
+  ASSERT_TRUE(inner.TryLock());
+  EXPECT_THROW(outer.TryLock(), std::runtime_error);
+  inner.Unlock();
+  // Contended TryLock fails cleanly without touching the registry.
+  MutexLock lock(&outer);
+  std::thread other([&] { EXPECT_FALSE(outer.TryLock()); });
+  other.join();
+}
+
+TEST(SyncMutex, AssertHeldDistinguishesOwner) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  Mutex mu(10, "mu");
+  EXPECT_THROW(mu.AssertHeld(), std::runtime_error);  // not held at all
+  MutexLock lock(&mu);
+  mu.AssertHeld();  // held by us: fine
+  std::thread other([&] {
+    // The failure handler is process-wide, so it covers this thread too.
+    EXPECT_THROW(mu.AssertHeld(), std::runtime_error);  // held, not by us
+  });
+  other.join();
+}
+
+TEST(SyncCondVar, WaitReleasesAndReacquires) {
+  Mutex mu(10, "mu");
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    // Post-wait the mutex is held again: the registry agrees.
+    mu.AssertHeld();
+  }
+  producer.join();
+}
+
+TEST(SyncCondVar, ProducerConsumerHandoff) {
+  Mutex mu(10, "queue.mu");
+  CondVar cv;
+  std::vector<int> queue;
+  constexpr int kItems = 200;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      MutexLock lock(&mu);
+      queue.push_back(i);
+      cv.NotifyOne();
+    }
+  });
+  int consumed = 0;
+  int expected = 0;
+  while (consumed < kItems) {
+    MutexLock lock(&mu);
+    while (queue.empty()) cv.Wait(&mu);
+    for (int v : queue) {
+      EXPECT_EQ(v, expected++);  // FIFO and no loss
+      ++consumed;
+    }
+    queue.clear();
+  }
+  producer.join();
+  EXPECT_EQ(consumed, kItems);
+}
+
+TEST(SyncThreadChecker, OwnerPassesOtherThreadAborts) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  ThreadChecker checker("test-object");
+  checker.Check("owner call");  // constructing thread: fine
+  std::thread other([&] {
+    EXPECT_THROW(checker.Check("off-thread call"), std::runtime_error);
+  });
+  other.join();
+}
+
+TEST(SyncThreadChecker, RebindTransfersOwnership) {
+  ScopedCheckFailureHandler scoped(&ThrowOnCheckFailure);
+  ThreadChecker checker("test-object");
+  std::thread other([&] {
+    checker.Rebind();
+    checker.Check("new owner");
+  });
+  other.join();
+  // Ownership moved away from the constructing thread.
+  EXPECT_THROW(checker.Check("old owner"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace edc::sync

@@ -116,6 +116,37 @@ TEST(WorkerPool, ParallelForRethrowsAfterAllIterationsFinish) {
   EXPECT_EQ(ran.load(), 16);
 }
 
+TEST(WorkerPool, SyncMutexStressFromPoolTasks) {
+  // Drives sync::Mutex / MutexLock / CondVar from many pool workers at
+  // once so the TSan CI leg (which runs WorkerPool*) exercises the
+  // annotated wrappers, not just the pool's own internals: a lost
+  // acquire/release pairing in the wrappers shows up here as a data race
+  // or a wrong final count.
+  WorkerPool pool(4);
+  sync::Mutex mu(sync::lock_rank::kLeaf, "stress.mu");
+  sync::CondVar cv;
+  int counter = 0;
+  int waiters_released = 0;
+  constexpr int kTasks = 256;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&] {
+      sync::MutexLock lock(&mu);
+      ++counter;
+      if (counter == kTasks) cv.NotifyAll();
+    }));
+  }
+  {
+    sync::MutexLock lock(&mu);
+    while (counter < kTasks) cv.Wait(&mu);
+    ++waiters_released;
+  }
+  for (auto& f : futures) f.get();
+  sync::MutexLock lock(&mu);
+  EXPECT_EQ(counter, kTasks);
+  EXPECT_EQ(waiters_released, 1);
+}
+
 TEST(WorkerPool, ParallelMapPreservesOrder) {
   WorkerPool pool(4);
   std::vector<int> items(100);
