@@ -73,6 +73,12 @@ Engine::Engine(const EngineConfig& config, ssd::Device* device,
   RegisterObservability();
 }
 
+Engine::~Engine() {
+  if (config_.obs == nullptr || stats_collector_ == 0) return;
+  obs::MetricRegistry* m = config_.obs->metrics();
+  if (m != nullptr) m->RemoveCollector(stats_collector_);
+}
+
 void Engine::RegisterObservability() {
   obs::Observer* o = config_.obs;
   if (o == nullptr) return;
@@ -106,7 +112,7 @@ void Engine::RegisterObservability() {
   // Everything EngineStats already tracks is exported via a pull
   // collector, so the snapshot always agrees with stats() and the hot
   // path pays nothing extra for these.
-  m->AddCollector([this](obs::SampleList& out) {
+  stats_collector_ = m->AddCollector([this](obs::SampleList& out) {
     const EngineStats& s = stats_;
     out.AddCounter("edc_host_writes_total", {}, s.host_writes,
                    "Host write requests");
@@ -182,6 +188,19 @@ void Engine::RegisterObservability() {
                  "Active journal generation (0 = journaling idle)");
     out.AddCounter("edc_recovered_groups_total", {}, s.recovered_groups,
                    "Groups rebuilt by RecoverFromDevice");
+    out.AddCounter("edc_read_retries_total", {}, s.read_retries,
+                   "Device reads re-issued after transient kUnavailable");
+    out.AddCounter("edc_scrub_runs_total", {}, s.scrub_runs,
+                   "Background scrub passes completed");
+    out.AddCounter("edc_scrub_groups_scanned_total", {},
+                   s.scrub_groups_scanned,
+                   "Groups whose extents the scrub re-read and verified");
+    out.AddCounter("edc_scrub_crc_errors_total", {}, s.scrub_crc_errors,
+                   "Latent extent integrity failures detected by scrub");
+    out.AddCounter("edc_scrub_repaired_total", {}, s.scrub_repaired,
+                   "Corrupt extents rewritten from redundancy by scrub");
+    out.AddCounter("edc_scrub_unrepairable_total", {}, s.scrub_unrepairable,
+                   "Corrupt extents redundancy could not recover");
   });
 }
 
@@ -850,7 +869,7 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
     }
 
     auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
-    auto io = device_->Read(first_page, n_pages, ready);
+    auto io = FetchPagesWithRetry(first_page, n_pages, ready);
     if (!io.ok()) {
       if (io.status().code() == StatusCode::kMediaError) {
         ++stats_.media_errors;
@@ -906,16 +925,9 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
   return completion;
 }
 
-Status Engine::VerifyExtentRead(const GroupInfo& g,
-                                const std::vector<Bytes>& pages,
-                                SimTime at) {
-  auto fail = [&](const std::string& why) {
-    ++stats_.media_errors;
-    if (trace_ != nullptr) {
-      trace_->Instant("extent.verify_fail", "fault", obs::kDeviceTid, at,
-                      {{"first_lba", g.first_lba}, {"why", why}});
-    }
-    NoteBreakerError(at);
+Status Engine::CheckExtent(const GroupInfo& g,
+                           const std::vector<Bytes>& pages) const {
+  auto fail = [](const std::string& why) {
     return Status::DataLoss("read integrity: " + why);
   };
   Bytes span(pages.size() * kLogicalBlockSize, 0);
@@ -940,6 +952,105 @@ Status Engine::VerifyExtentRead(const GroupInfo& g,
   auto frame = codec::ExtentFrame(extent);
   if (!frame.ok()) return fail(frame.status().ToString());
   return Status::Ok();
+}
+
+Status Engine::VerifyExtentRead(const GroupInfo& g,
+                                const std::vector<Bytes>& pages,
+                                SimTime at) {
+  Status check = CheckExtent(g, pages);
+  if (check.ok()) return check;
+  ++stats_.media_errors;
+  if (trace_ != nullptr) {
+    trace_->Instant("extent.verify_fail", "fault", obs::kDeviceTid, at,
+                    {{"first_lba", g.first_lba}, {"why", check.message()}});
+  }
+  NoteBreakerError(at);
+  return check;
+}
+
+Result<ssd::IoResult> Engine::FetchPagesWithRetry(Lba first_page,
+                                                  u64 n_pages,
+                                                  SimTime ready) {
+  SimTime at = ready;
+  for (u32 attempt = 0;; ++attempt) {
+    auto io = device_->Read(first_page, n_pages, at);
+    if (io.ok() || io.status().code() != StatusCode::kUnavailable ||
+        attempt >= config_.read_retry_attempts) {
+      return io;
+    }
+    ++stats_.read_retries;
+    at += static_cast<SimTime>(attempt + 1) * config_.read_retry_backoff;
+    if (trace_ != nullptr) {
+      trace_->Instant("read.retry", "fault", obs::kDeviceTid, at,
+                      {{"first_page", first_page},
+                       {"attempt", static_cast<u64>(attempt) + 1}});
+    }
+  }
+}
+
+Result<Engine::ScrubReport> Engine::Scrub(SimTime now) {
+  owner_.Check("Engine::Scrub");
+  ScrubReport report;
+  report.completion = now;
+  if (config_.durability.enabled) {
+    // Snapshot the live group ids and walk them in ascending order so a
+    // scrub pass is deterministic regardless of slab slot recycling.
+    std::vector<u64> ids;
+    ids.reserve(map_.num_groups());
+    for (const auto& [id, g] : map_.groups()) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    SimTime t = now;
+    for (u64 id : ids) {
+      const GroupInfo& g = map_.Group(id);
+      auto [first_page, n_pages] = CoveringPages(g.start_quantum, g.quanta);
+      auto io = FetchPagesWithRetry(first_page, n_pages, t);
+      if (!io.ok()) return io.status();
+      t = io->completion;
+      ++report.groups_scanned;
+      if (CheckExtent(g, io->pages).ok()) continue;
+      ++report.crc_errors;
+      if (trace_ != nullptr) {
+        trace_->Instant("scrub.crc_error", "fault", obs::kDeviceTid, t,
+                        {{"group", id}, {"first_page", first_page}});
+      }
+      auto rebuilt = device_->ReadRebuilt(first_page, n_pages, t);
+      if (rebuilt.ok()) t = rebuilt->completion;
+      if (rebuilt.ok() && CheckExtent(g, rebuilt->pages).ok()) {
+        auto fix = device_->WriteRepair(first_page, rebuilt->pages, t);
+        if (!fix.ok()) return fix.status();
+        t = fix->completion;
+        ++report.repaired;
+        if (trace_ != nullptr) {
+          trace_->Instant("scrub.repair", "scrub", obs::kDeviceTid, t,
+                          {{"group", id}, {"first_page", first_page}});
+        }
+      } else {
+        ++report.unrepairable;
+        if (trace_ != nullptr) {
+          trace_->Instant("scrub.unrepairable", "fault", obs::kDeviceTid, t,
+                          {{"group", id}, {"first_page", first_page}});
+        }
+      }
+    }
+    report.completion = t;
+  }
+  auto parity = device_->ScrubParity(report.completion);
+  if (parity.ok()) {
+    report.parity_rows_scanned = parity->rows_scanned;
+    report.parity_mismatches = parity->mismatches;
+    report.parity_repaired = parity->repaired;
+    report.completion = std::max(report.completion, parity->completion);
+  } else if (parity.status().code() != StatusCode::kFailedPrecondition) {
+    // A degraded array refuses the parity pass (kFailedPrecondition);
+    // the extent pass above still ran, so that is not an error here.
+    return parity.status();
+  }
+  ++stats_.scrub_runs;
+  stats_.scrub_groups_scanned += report.groups_scanned;
+  stats_.scrub_crc_errors += report.crc_errors;
+  stats_.scrub_repaired += report.repaired;
+  stats_.scrub_unrepairable += report.unrepairable;
+  return report;
 }
 
 Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {

@@ -97,6 +97,16 @@ struct EngineConfig {
   u32 audit_every_n_ops = 0;
   /// Durable on-flash format + mapping journal (see DurabilityConfig).
   DurabilityConfig durability;
+  /// Bounded retry of transient device unavailability on the read path:
+  /// a device read failing kUnavailable is re-issued up to this many
+  /// times, each attempt delayed by read_retry_backoff of simulated time
+  /// (deterministic — no wall clock anywhere). kDataLoss and kMediaError
+  /// are never retried: the former is final, the latter has its own
+  /// parity-reconstruction path inside the RAIS layer. 0 disables.
+  u32 read_retry_attempts = 0;
+  /// Simulated delay added before each read retry attempt (linear
+  /// backoff: attempt k waits k * read_retry_backoff).
+  SimTime read_retry_backoff = 50 * kMicrosecond;
   /// Graceful-degradation circuit breaker: after this many media errors
   /// (program failures, read UCEs, integrity failures) the engine stops
   /// compressing and falls back to uncompressed (Store) groups, trading
@@ -151,6 +161,13 @@ struct EngineStats {
   u64 journal_bytes_written = 0;
   u64 journal_checkpoints = 0;
   u64 recovered_groups = 0;   // groups rebuilt by RecoverFromDevice
+  u64 read_retries = 0;       // device reads re-issued after kUnavailable
+  /// Background scrub observability (Engine::Scrub).
+  u64 scrub_runs = 0;
+  u64 scrub_groups_scanned = 0;
+  u64 scrub_crc_errors = 0;    // extents whose verification failed
+  u64 scrub_repaired = 0;      // extents repaired from redundancy
+  u64 scrub_unrepairable = 0;  // extents that stayed bad after repair
 
   /// Cumulative compression ratio over everything written
   /// (original / allocated) — the paper's Fig. 8 metric.
@@ -171,6 +188,12 @@ class Engine {
   Engine(const EngineConfig& config, ssd::Device* device,
          const datagen::ContentGenerator* generator,
          const CostModel* cost_model);
+
+  /// Unregisters the stats collector from the observer's registry — an
+  /// engine may die before a long-lived Observer (e.g. the reboot model
+  /// in recovery tests), and a stale collector would read freed memory
+  /// at the next Snapshot.
+  ~Engine();
 
   /// Host write of [offset, offset+size); returns the completion time.
   Result<SimTime> Write(SimTime arrival, u64 offset, u32 size);
@@ -213,6 +236,33 @@ class Engine {
   /// at-most-one operation in flight at the cut is rolled back. Finishes
   /// by checkpointing the recovered state into a fresh journal generation.
   Status RecoverFromDevice(SimTime now = 0);
+
+  /// Outcome of one background scrub pass (Engine::Scrub).
+  struct ScrubReport {
+    u64 groups_scanned = 0;
+    u64 crc_errors = 0;     // extents that failed CRC/header verification
+    u64 repaired = 0;       // extents restored from device redundancy
+    u64 unrepairable = 0;   // extents still bad after the repair attempt
+    u64 parity_rows_scanned = 0;  // device-level parity scrub (RAIS)
+    u64 parity_mismatches = 0;
+    u64 parity_repaired = 0;
+    SimTime completion = 0;
+
+    bool clean() const {
+      return crc_errors == 0 && unrepairable == 0 && parity_mismatches == 0;
+    }
+  };
+
+  /// Background scrub pass (durable mode): re-read every live extent in
+  /// deterministic group order, verify its CRCs and header against the
+  /// mapping, and repair latent corruption from device redundancy
+  /// (ReadRebuilt + WriteRepair — no parity RMW, so a poisoned data chunk
+  /// is rewritten without folding the corruption into parity). Extent
+  /// repair runs *before* the device-level parity scrub: the other order
+  /// would "repair" parity to match corrupt data and destroy the only
+  /// copy able to fix it. Detection/repair counts land in stats() and the
+  /// returned report; scrub errors do not trip the degradation breaker.
+  Result<ScrubReport> Scrub(SimTime now);
 
   const EngineStats& stats() const { return stats_; }
   const BlockMap& map() const { return map_; }
@@ -330,6 +380,16 @@ class Engine {
   Status VerifyExtentRead(const GroupInfo& g,
                           const std::vector<Bytes>& pages, SimTime at);
 
+  /// The pure check behind VerifyExtentRead: no counters, no breaker, no
+  /// trace — shared by the scrub, which detects without escalating.
+  Status CheckExtent(const GroupInfo& g,
+                     const std::vector<Bytes>& pages) const;
+
+  /// Fetch a group's covering pages with the configured bounded retry of
+  /// transient kUnavailable (shared by Read and Scrub).
+  Result<ssd::IoResult> FetchPagesWithRetry(Lba first_page, u64 n_pages,
+                                            SimTime ready);
+
   /// Checkpoint body: mapping image + version oracle (payloads live on
   /// flash as extents and are rebuilt from there).
   Bytes SerializeDurableState() const;
@@ -401,6 +461,7 @@ class Engine {
   // only from the simulation thread; ExecuteCodec (pool threads) stays
   // instrumentation-free by design.
   obs::TraceRecorder* trace_ = nullptr;
+  u64 stats_collector_ = 0;  // registry handle; unregistered in ~Engine
   obs::HistogramMetric* write_latency_hist_ = nullptr;
   obs::HistogramMetric* read_latency_hist_ = nullptr;
   obs::HistogramMetric* alloc_quanta_hist_ = nullptr;

@@ -72,6 +72,8 @@ Result<std::unique_ptr<Stack>> Stack::Create(
   ec.compress_pool = config.compress_pool;
   ec.durability = config.durability;
   ec.breaker_error_budget = config.breaker_error_budget;
+  ec.read_retry_attempts = config.read_retry_attempts;
+  ec.read_retry_backoff = config.read_retry_backoff;
   ec.obs = config.obs;
 
   stack->engine_ = std::make_unique<Engine>(
@@ -120,6 +122,32 @@ Result<std::unique_ptr<Stack>> Stack::Create(
         out.AddCounter("edc_device_reconstructed_reads_total", {},
                        d.reconstructed_reads,
                        "Pages rebuilt from RAIS-5 parity");
+        // Member-failure lifecycle (all zero on single devices).
+        out.AddCounter("edc_rais_members_failed_total", {},
+                       d.members_failed,
+                       "Whole-member fail-stop events observed");
+        out.AddCounter("edc_rais_degraded_reads_total", {},
+                       d.degraded_reads,
+                       "Dead-member pages served via parity reconstruction");
+        out.AddCounter("edc_rais_degraded_writes_total", {},
+                       d.degraded_writes,
+                       "Writes/trims that skipped a dead member");
+        out.AddCounter("edc_rais_unrecoverable_reads", {},
+                       d.unrecoverable_reads,
+                       "Double-fault reads surfaced as kDataLoss");
+        out.AddCounter("edc_rais_rebuild_rows_done_total", {},
+                       d.rebuild_rows_done,
+                       "Stripe rows reconstructed onto a hot spare");
+        out.AddCounter("edc_rais_rebuilds_completed_total", {},
+                       d.rebuilds_completed, "Hot-spare rebuilds finished");
+        out.AddCounter("edc_rais_scrub_rows_total", {}, d.scrub_rows,
+                       "Stripe rows scanned by parity scrub");
+        out.AddCounter("edc_rais_scrub_parity_mismatches_total", {},
+                       d.scrub_parity_mismatches,
+                       "Stripe rows whose parity disagreed");
+        out.AddCounter("edc_rais_scrub_parity_repaired_total", {},
+                       d.scrub_parity_repaired,
+                       "Stripe rows whose parity was rewritten");
       });
     }
   }

@@ -53,6 +53,10 @@ struct StackConfig {
   /// Media-error budget before the engine demotes itself to uncompressed
   /// writes (see EngineConfig::breaker_error_budget). 0 disables.
   u32 breaker_error_budget = 0;
+  /// Transient-unavailability read retries (see
+  /// EngineConfig::read_retry_attempts / read_retry_backoff). 0 disables.
+  u32 read_retry_attempts = 0;
+  SimTime read_retry_backoff = 50 * kMicrosecond;
   /// Optional observability sink (non-owning; must outlive the stack).
   /// Wired into the engine and the device, and a device-stats collector is
   /// registered so snapshots carry edc_device_* metrics. Null = disabled.

@@ -282,9 +282,20 @@ HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
   return e->histogram.get();
 }
 
-void MetricRegistry::AddCollector(Collector fn, bool deterministic) {
+u64 MetricRegistry::AddCollector(Collector fn, bool deterministic) {
   sync::MutexLock lock(&mu_);
-  collectors_.push_back(CollectorEntry{std::move(fn), deterministic});
+  u64 id = next_collector_id_++;
+  collectors_.push_back(CollectorEntry{std::move(fn), deterministic, id});
+  return id;
+}
+
+void MetricRegistry::RemoveCollector(u64 handle) {
+  sync::MutexLock lock(&mu_);
+  collectors_.erase(
+      std::remove_if(
+          collectors_.begin(), collectors_.end(),
+          [handle](const CollectorEntry& c) { return c.id == handle; }),
+      collectors_.end());
 }
 
 MetricsSnapshot MetricRegistry::Snapshot(bool include_volatile) const {

@@ -155,8 +155,15 @@ class MetricRegistry {
   /// `deterministic = false` marks wall-clock/scheduling-dependent
   /// sources, excluded from snapshots unless requested.
   using Collector = std::function<void(SampleList&)>;
-  void AddCollector(Collector fn, bool deterministic = true)
+  /// Returns a handle for RemoveCollector. A component whose lifetime can
+  /// end before the registry's (e.g. an engine rebooted against a
+  /// long-lived Observer) must unregister in its destructor — the
+  /// callback reads live component state, so a stale registration is a
+  /// use-after-free at the next Snapshot.
+  u64 AddCollector(Collector fn, bool deterministic = true)
       EDC_EXCLUDES(mu_);
+  /// Unregister a collector by its AddCollector handle (no-op if absent).
+  void RemoveCollector(u64 handle) EDC_EXCLUDES(mu_);
 
   /// Materialize every instrument and collector into a sorted sample
   /// list. With include_volatile = false (the default), non-deterministic
@@ -197,6 +204,7 @@ class MetricRegistry {
   struct CollectorEntry {
     Collector fn;
     bool deterministic;
+    u64 id;
   };
 
   Entry* FindOrCreate(const std::string& name, LabelSet labels,
@@ -210,6 +218,7 @@ class MetricRegistry {
                           "MetricRegistry.mu"};
   std::map<Key, Entry> entries_ EDC_GUARDED_BY(mu_);
   std::vector<CollectorEntry> collectors_ EDC_GUARDED_BY(mu_);
+  u64 next_collector_id_ EDC_GUARDED_BY(mu_) = 1;
   std::string error_ EDC_GUARDED_BY(mu_);
 };
 

@@ -44,6 +44,24 @@ struct DeviceStats {
   u64 program_faults = 0;       // page program failures surfaced
   u64 pages_corrupted = 0;      // latent bit flips injected into reads
   u64 reconstructed_reads = 0;  // pages rebuilt from RAIS-5 parity
+  // Member-failure lifecycle (RAIS arrays; zero on single devices).
+  u64 members_failed = 0;       // whole-member fail-stop events observed
+  u64 degraded_reads = 0;       // dead-member pages served via parity
+  u64 degraded_writes = 0;      // writes/trims that skipped a dead member
+  u64 unrecoverable_reads = 0;  // double-fault reads surfaced as kDataLoss
+  u64 rebuild_rows_done = 0;    // stripe rows reconstructed onto a spare
+  u64 rebuilds_completed = 0;   // hot-spare rebuilds finished
+  u64 scrub_rows = 0;           // stripe rows scanned by parity scrub
+  u64 scrub_parity_mismatches = 0;  // rows whose parity disagreed
+  u64 scrub_parity_repaired = 0;    // rows whose parity was rewritten
+};
+
+/// Outcome of one whole-device parity scrub pass (see Device::ScrubParity).
+struct ParityScrubResult {
+  u64 rows_scanned = 0;
+  u64 mismatches = 0;   // stripe rows whose chunks did not XOR to zero
+  u64 repaired = 0;     // rows whose parity chunk was recomputed/rewritten
+  SimTime completion = 0;
 };
 
 class Device {
@@ -69,6 +87,35 @@ class Device {
 
   /// Discard `n` consecutive pages (TRIM).
   virtual Result<IoResult> Trim(Lba first, u64 n, SimTime arrival) = 0;
+
+  /// Read `n` pages *from redundancy* instead of the primary copy: a RAIS
+  /// array reconstructs each page as the XOR of the other members in its
+  /// stripe row, ignoring whatever the data member holds. The scrub layer
+  /// uses this to recover content whose primary copy failed CRC. Devices
+  /// without redundancy fall back to a plain read.
+  virtual Result<IoResult> ReadRebuilt(Lba first, u64 n, SimTime arrival) {
+    return Read(first, n, arrival);
+  }
+
+  /// Write known-good content back over a corrupted primary copy. On a
+  /// RAIS array this writes the data chunk only, *without* the usual
+  /// read-modify-write parity update: the content being written is what
+  /// parity already accounts for, so an RMW against the corrupt old data
+  /// would poison the parity. Plain devices fall back to a normal write.
+  virtual Result<IoResult> WriteRepair(Lba first,
+                                       std::span<const Bytes> payloads,
+                                       SimTime arrival) {
+    return Write(first, payloads, arrival);
+  }
+
+  /// Background parity scrub: scan every stripe row, check that the
+  /// chunks XOR to zero, and rewrite the parity chunk where they do not.
+  /// No-op (all-zero result) on devices without redundancy.
+  virtual Result<ParityScrubResult> ScrubParity(SimTime now) {
+    ParityScrubResult r;
+    r.completion = now;
+    return r;
+  }
 
   virtual DeviceStats stats() const = 0;
 

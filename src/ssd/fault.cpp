@@ -7,6 +7,15 @@ namespace edc::ssd {
 
 Status FaultInjector::BeginOp() {
   ++stats_.ops;
+  if (stats_.member_failed) {
+    return Status::Unavailable("device: member failed");
+  }
+  if (config_.fail_member_at_op != 0 &&
+      stats_.ops > config_.fail_member_at_op) {
+    stats_.member_failed = true;
+    return Status::Unavailable("device: member failed at operation " +
+                               std::to_string(stats_.ops));
+  }
   if (stats_.power_lost) {
     return Status::Unavailable("device: power lost");
   }
@@ -15,11 +24,18 @@ Status FaultInjector::BeginOp() {
     return Status::Unavailable("device: power cut at operation " +
                                std::to_string(stats_.ops));
   }
+  if (forced_unavailable_ > 0) {
+    --forced_unavailable_;
+    return Status::Unavailable("device: transient unavailability (forced)");
+  }
   return Status::Ok();
 }
 
 Status FaultInjector::OnProgram(Lba page) {
   ++stats_.page_programs;
+  if (stats_.member_failed) {
+    return Status::Unavailable("device: member failed");
+  }
   if (stats_.power_lost) {
     return Status::Unavailable("device: power lost");
   }
@@ -40,6 +56,9 @@ Status FaultInjector::OnProgram(Lba page) {
 
 Status FaultInjector::OnRead(Lba page) {
   ++stats_.page_reads;
+  if (stats_.member_failed) {
+    return Status::Unavailable("device: member failed");
+  }
   if (stats_.power_lost) {
     return Status::Unavailable("device: power lost");
   }
@@ -59,11 +78,20 @@ Status FaultInjector::OnRead(Lba page) {
   return Status::Ok();
 }
 
-void FaultInjector::MaybeCorrupt(Bytes* page) {
-  if (config_.p_bit_corrupt <= 0.0 || page->empty()) return;
+void FaultInjector::MaybeCorrupt(Lba page, Bytes* image) {
+  if (image->empty()) return;
+  auto it = std::find(forced_corrupt_reads_.begin(),
+                      forced_corrupt_reads_.end(), page);
+  if (it != forced_corrupt_reads_.end()) {
+    forced_corrupt_reads_.erase(it);
+    (*image)[0] ^= 0x01;
+    ++stats_.pages_corrupted;
+    return;
+  }
+  if (config_.p_bit_corrupt <= 0.0) return;
   if (!rng_.NextBool(config_.p_bit_corrupt)) return;
-  std::size_t pos = rng_.NextBounded(static_cast<u32>(page->size()));
-  (*page)[pos] ^= static_cast<u8>(1u << rng_.NextBounded(8));
+  std::size_t pos = rng_.NextBounded(static_cast<u32>(image->size()));
+  (*image)[pos] ^= static_cast<u8>(1u << rng_.NextBounded(8));
   ++stats_.pages_corrupted;
 }
 

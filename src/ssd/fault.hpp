@@ -3,7 +3,9 @@
 //
 // The injector sits at the device's host-operation boundary:
 //   * BeginOp gates every Write/Read/Trim — after a configured power cut
-//     the device is frozen and every operation fails kUnavailable;
+//     the device is frozen and every operation fails kUnavailable; after
+//     a member fail-stop it is frozen *persistently* (RestorePower does
+//     not help, only ReviveMember does);
 //   * OnProgram rolls per-page program failures (kMediaError) and the
 //     program-granular power cut (which tears multi-page writes);
 //   * OnRead rolls per-page uncorrectable read errors (kMediaError);
@@ -38,10 +40,16 @@ struct FaultConfig {
   /// operation-granular cut this one tears multi-page writes: pages
   /// programmed before the threshold stick, the rest are lost.
   u64 power_cut_at_program = 0;
+  /// Whole-member fail-stop after this many device operations (0 =
+  /// never). Unlike a power cut, member death is persistent: the device
+  /// stays kUnavailable across RestorePower until ReviveMember() — this
+  /// is how a RAIS member "dies" and forces the array into degraded mode.
+  u64 fail_member_at_op = 0;
 
   bool any_enabled() const {
     return p_read_uce > 0.0 || p_program_fail > 0.0 || p_bit_corrupt > 0.0 ||
-           power_cut_at_op != 0 || power_cut_at_program != 0;
+           power_cut_at_op != 0 || power_cut_at_program != 0 ||
+           fail_member_at_op != 0;
   }
 };
 
@@ -53,6 +61,7 @@ struct FaultStats {
   u64 program_failures = 0;
   u64 pages_corrupted = 0;
   bool power_lost = false;
+  bool member_failed = false;  // persistent fail-stop (whole device dead)
 };
 
 class FaultInjector {
@@ -62,7 +71,8 @@ class FaultInjector {
       : config_(config), rng_(config.seed, /*stream=*/0xFA) {}
 
   /// Gate one device operation (Write/Read/Trim). Fails kUnavailable once
-  /// power is lost; the failing operation has no device-state effect.
+  /// power is lost or the member has failed; the failing operation has no
+  /// device-state effect.
   Status BeginOp();
 
   /// Gate one page program. May lose power mid-operation (tearing the
@@ -73,17 +83,53 @@ class FaultInjector {
   /// Gate one page read.
   Status OnRead(Lba page);
 
-  /// Latent corruption: with p_bit_corrupt, flip one random bit of the
-  /// page image (no-op for empty/timing-only pages).
-  void MaybeCorrupt(Bytes* page);
+  /// Latent corruption of the image read from `page`: a one-shot forced
+  /// corruption (ForceCorruptReadOnce) flips the image's lowest bit
+  /// deterministically; otherwise, with p_bit_corrupt, flip one random
+  /// bit. No-op for empty/timing-only pages.
+  void MaybeCorrupt(Lba page, Bytes* image);
 
   /// Arm a one-shot deterministic read fault on a specific logical page —
   /// the next OnRead of that page fails kMediaError regardless of
   /// probabilities (targeted tests, e.g. RAIS-5 reconstruction).
   void ForceReadFaultOnce(Lba page) { forced_read_faults_.push_back(page); }
 
+  /// Arm a one-shot deterministic corruption of a specific logical page:
+  /// the next read of that page returns its image with the lowest bit of
+  /// byte 0 flipped (latent-error tests without probabilistic noise).
+  void ForceCorruptReadOnce(Lba page) {
+    forced_corrupt_reads_.push_back(page);
+  }
+
+  /// Arm `n` one-shot transient failures: the next `n` device operations
+  /// fail kUnavailable, then the device serves again (exercises the
+  /// engine's bounded read retry).
+  void ForceUnavailableOnce(u32 n = 1) { forced_unavailable_ += n; }
+
+  /// External power loss: latch the power-lost state exactly as if a
+  /// configured cut had fired (array-level cuts hit every member at the
+  /// same array operation regardless of per-member op counts).
+  void ForcePowerLoss() { stats_.power_lost = true; }
+
+  /// Whole-member fail-stop, effective immediately (the scheduled
+  /// fail_member_at_op trigger is the deterministic-replay variant).
+  void FailMemberNow() { stats_.member_failed = true; }
+
+  /// Bring a failed member back (a replaced or repaired device). The
+  /// flash content is whatever was programmed before the fail-stop, and
+  /// the scheduled fail-stop trigger is disarmed — it already fired; a
+  /// still-armed trigger would re-kill the device on its next operation
+  /// (the op counter is past the threshold for good).
+  void ReviveMember() {
+    stats_.member_failed = false;
+    config_.fail_member_at_op = 0;
+  }
+
+  bool member_failed() const { return stats_.member_failed; }
+
   /// Reboot: clears the power-lost latch and disarms both cut triggers so
-  /// recovery I/O can proceed. Probabilistic faults stay armed.
+  /// recovery I/O can proceed. Probabilistic faults stay armed, and a
+  /// failed member stays failed — member death is not a power problem.
   void RestorePower();
 
   const FaultConfig& config() const { return config_; }
@@ -94,6 +140,8 @@ class FaultInjector {
   FaultStats stats_;
   Pcg32 rng_{0x0FA17, 0xFA};
   std::vector<Lba> forced_read_faults_;
+  std::vector<Lba> forced_corrupt_reads_;
+  u32 forced_unavailable_ = 0;
 };
 
 }  // namespace edc::ssd

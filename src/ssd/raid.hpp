@@ -3,12 +3,29 @@
 // read-modify-write parity updates, like Linux md RAID5. Member devices
 // serve their sub-operations in parallel; an array operation completes when
 // the slowest involved member completes.
+//
+// RAIS-5 implements the full member-failure lifecycle:
+//   * a member fail-stop (FaultInjector::FailMemberNow / fail_member_at_op)
+//     moves the array into a persistent *degraded* state: reads of the dead
+//     member reconstruct from parity, writes and trims keep every stripe
+//     parity-consistent without touching the dead device;
+//   * with hot spares configured (num_spares > 0) a resumable stripe-by-
+//     stripe rebuild copies the dead member's content onto a spare in the
+//     array's idle band; the rebuild cursor is checkpointed to an
+//     epoch-stamped, CRC-protected array superblock so a power cut mid-
+//     rebuild resumes from the last checkpoint (RecoverArrayState);
+//   * ScrubParity re-reads every stripe row and rewrites parity chunks
+//     that no longer XOR to zero (latent corruption repair).
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "ssd/ssd.hpp"
+
+namespace edc::obs {
+class Gauge;
+}
 
 namespace edc::ssd {
 
@@ -19,10 +36,31 @@ struct RaisConfig {
   u32 num_disks = 5;
   u32 chunk_pages = 8;  // striping unit in 4 KiB pages
   SsdConfig member;     // configuration of each member SSD
+
+  // --- Member-failure lifecycle (RAIS-5 only) ---
+  /// Hot spares standing by for rebuild. When > 0, the top member-local
+  /// page of every member and spare is reserved for the array superblock
+  /// (the durable rebuild cursor), shrinking logical_pages accordingly.
+  u32 num_spares = 0;
+  /// Stripe rows reconstructed per background rebuild step.
+  u32 rebuild_rows_per_step = 4;
+  /// Checkpoint the rebuild cursor to the superblock every this many rows.
+  u32 rebuild_checkpoint_rows = 16;
+  /// The array must have been idle this long before a step of rebuild
+  /// work is spent at op admission (mirrors Ssd background GC; 0 = only
+  /// explicit PumpRebuild calls make progress).
+  SimTime rebuild_idle_window = 200 * kMicrosecond;
+  /// Whole-array power cut after this many array operations (0 = never):
+  /// every member and spare loses power at the same array op, regardless
+  /// of their individual op counts.
+  u64 power_cut_at_array_op = 0;
 };
 
 class Rais final : public Device {
  public:
+  /// Sentinel member index: "no member" (no dead member, no spare, ...).
+  static constexpr u32 kNoMember = 0xFFFFFFFFu;
+
   explicit Rais(const RaisConfig& config);
 
   u64 logical_pages() const override;
@@ -32,11 +70,59 @@ class Rais final : public Device {
   Result<IoResult> Read(Lba first, u64 n, SimTime arrival) override;
   Result<IoResult> Trim(Lba first, u64 n, SimTime arrival) override;
 
+  /// Reconstruct pages from redundancy, ignoring the primary copy (used
+  /// by the engine scrub to recover content whose primary failed CRC).
+  Result<IoResult> ReadRebuilt(Lba first, u64 n, SimTime arrival) override;
+
+  /// Rewrite a data chunk with known-good content *without* the usual
+  /// parity RMW — parity already accounts for this content, so an RMW
+  /// against the corrupt on-flash data would poison it.
+  Result<IoResult> WriteRepair(Lba first, std::span<const Bytes> payloads,
+                               SimTime arrival) override;
+
+  /// Full parity scrub: per stripe row, XOR all chunks (empty pages count
+  /// as zeros) and rewrite the parity chunk where the result is nonzero.
+  /// Requires a healthy array (kFailedPrecondition while degraded).
+  Result<ParityScrubResult> ScrubParity(SimTime now) override;
+
+  /// Opportunistic rebuild work at op admission: if the array has been
+  /// idle for rebuild_idle_window before `now`, run one rebuild step in
+  /// the gap. Called by Write/Read/Trim; exposed for tests.
+  void MaybeBackgroundWork(SimTime now);
+
+  /// One bounded rebuild step (rebuild_rows_per_step rows): reconstruct
+  /// rows at the cursor onto the active spare, checkpointing the cursor
+  /// every rebuild_checkpoint_rows. Returns true while a rebuild is still
+  /// in flight (callers pump until false).
+  Result<bool> PumpRebuild(SimTime now);
+
+  /// Fail a member immediately (fail-stop) and move the array into the
+  /// degraded state, as if the member's scheduled fail_member_at_op had
+  /// just fired and been detected.
+  Status FailMemberNow(u32 member, SimTime now);
+
+  /// Cut power to every member and spare at once (the array-level
+  /// equivalent of FaultInjector::ForcePowerLoss).
+  void ForceArrayPowerLoss();
+
+  /// Reboot the whole array: clears every member's and spare's power-lost
+  /// latch and the array-level cut. Dead members stay dead — follow with
+  /// RecoverArrayState to re-derive the array state.
+  void RestorePower();
+
+  /// Post-reboot recovery: re-detect dead members from their persistent
+  /// fail-stop state, load the newest valid superblock, and resume (or
+  /// start) the rebuild from the durable cursor. kDataLoss when two
+  /// members are dead.
+  Status RecoverArrayState(SimTime now);
+
   /// Aggregated over members (sums for counters, max for wear peak).
   DeviceStats stats() const override;
 
-  /// Attach each member on its own named lane (tid + 1 + member index);
-  /// the array lane itself carries rais.reconstruct instants.
+  /// Attach each member on its own named lane (tid + 1 + member index,
+  /// spares after the members); the array lane itself carries
+  /// rais.reconstruct / rais.degraded_* / rais.rebuild_* instants, and
+  /// the `edc_rais_degraded` gauge lands in the metric registry.
   void AttachObs(obs::Observer* observer, u32 tid) override;
 
   /// Earliest time any member becomes free (the array can start serving a
@@ -47,9 +133,19 @@ class Rais final : public Device {
   /// Mutable member handle for fault-injection tests (arming one-shot
   /// read faults on a specific member).
   Ssd& member_for_test(u32 i) { return *disks_.at(i); }
+  /// Mutable spare handle (null once the spare was consumed by a rebuild).
+  Ssd* spare_for_test(u32 i) { return spares_.at(i).get(); }
   u32 num_disks() const { return config_.num_disks; }
   /// Pages transparently rebuilt from parity after a member read fault.
   u64 reconstructed_reads() const { return reconstructed_reads_; }
+
+  bool degraded() const { return dead_member_ != kNoMember; }
+  bool array_failed() const { return array_failed_; }
+  u32 dead_member() const { return dead_member_; }
+  bool rebuild_active() const { return rebuilding_; }
+  u64 rebuild_cursor_row() const { return rebuild_cursor_row_; }
+  /// Stripe rows in the array (excludes the superblock page, if any).
+  u64 rows() const { return rows_; }
 
   /// Address mapping, exposed for unit tests: logical page → member disk,
   /// member-local page, and (RAIS5 only) the parity disk of its stripe row.
@@ -62,11 +158,96 @@ class Rais final : public Device {
   Placement Place(Lba lba) const;
 
  private:
+  /// Durable array state, checkpointed to the reserved superblock page of
+  /// every live member and spare. Newest valid epoch wins at recovery.
+  struct Superblock {
+    u64 epoch = 0;
+    u32 state = 0;  // 0 healthy, 1 degraded, 2 rebuilding
+    u32 dead_member = kNoMember;
+    u32 spare = kNoMember;
+    u64 cursor_row = 0;
+  };
+  static Bytes EncodeSuperblock(const Superblock& sb);
+  static bool DecodeSuperblock(ByteSpan image, Superblock* out);
+
+  /// Gate one array operation: counts toward power_cut_at_array_op and
+  /// fails kUnavailable once array power is lost.
+  Status ArrayBeginOp();
+
+  /// The device currently holding member slot `disk`'s content for `row`:
+  /// the member itself while alive, the active spare once the rebuild
+  /// cursor has passed the row, null while the content exists only as
+  /// parity (the degraded window).
+  Ssd* EffectiveDisk(u32 disk, u64 row);
+
+  /// Classify a failed member sub-operation: a fail-stop is absorbed
+  /// (array goes degraded, *retry set, caller re-routes via the degraded
+  /// path); anything else is surfaced unchanged. `dev` is the device the
+  /// sub-op actually hit (member or spare).
+  Status HandleMemberError(Ssd* dev, u32 slot, const Status& st,
+                           SimTime now, bool* retry);
+
+  /// Record a member fail-stop: first death moves the array into the
+  /// degraded state (and starts a rebuild when a spare is standing by);
+  /// a second distinct death marks the whole array failed.
+  void NoteMemberDeath(u32 member, SimTime now);
+
+  /// kDataLoss for a page lost to a double fault, naming both members.
+  Status DoubleFaultError(Lba lba, u32 member_a, u32 member_b) const;
+  /// kDataLoss for any operation once two members are dead.
+  Status ArrayFailedStatus() const;
+
+  Result<IoResult> WriteOne5(Lba lba, const Bytes& payload, SimTime arrival);
+  Result<IoResult> ReadOne5(Lba lba, SimTime arrival);
+  Result<IoResult> TrimOne5(Lba lba, SimTime arrival);
+
+  /// XOR of every chunk in `row` at member offset except slot `skip`
+  /// (parity reconstruction). Double faults surface as kDataLoss.
+  Result<IoResult> ReconstructPage(Lba lba, u32 skip, SimTime arrival);
+
+  void StartRebuild(SimTime now);
+  Status RebuildRow(u64 row, SimTime now);
+  void FinishRebuild(SimTime now);
+  /// Best-effort broadcast of the superblock to every live device.
+  void WriteSuperblock(SimTime now);
+
+  void SetDegradedGauge();
+
   RaisConfig config_;
   std::vector<std::unique_ptr<Ssd>> disks_;
-  u32 data_disks_per_row_;  // N for RAIS0, N-1 for RAIS5
+  std::vector<std::unique_ptr<Ssd>> spares_;  // slot null once consumed
+  u32 data_disks_per_row_;
+  u64 member_pages_ = 0;  // logical pages per member (incl. superblock)
+  u64 rows_ = 0;          // stripe rows available for data+parity
+
+  // Array-level fault state.
+  u64 array_ops_ = 0;
+  bool array_power_lost_ = false;
+  bool array_failed_ = false;
+  u32 dead_member_ = kNoMember;
+  u32 second_dead_member_ = kNoMember;
+
+  // Rebuild state (durable via the superblock).
+  bool rebuilding_ = false;
+  u32 active_spare_ = kNoMember;
+  u64 rebuild_cursor_row_ = 0;
+  u64 sb_epoch_ = 0;
+  SimTime busy_until_ = 0;  // last foreground completion (idle detection)
+
+  // Lifecycle statistics (see DeviceStats).
   u64 reconstructed_reads_ = 0;
+  u64 members_failed_ = 0;
+  u64 degraded_reads_ = 0;
+  u64 degraded_writes_ = 0;
+  u64 unrecoverable_reads_ = 0;
+  u64 rebuild_rows_done_ = 0;
+  u64 rebuilds_completed_ = 0;
+  u64 scrub_rows_ = 0;
+  u64 scrub_parity_mismatches_ = 0;
+  u64 scrub_parity_repaired_ = 0;
+
   obs::TraceRecorder* trace_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
   u32 trace_tid_ = 0;
 };
 

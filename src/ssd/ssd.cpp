@@ -139,7 +139,7 @@ Result<IoResult> Ssd::Read(Lba first, u64 n, SimTime arrival) {
     }
     auto data = ftl_->Read(first + i, &total);
     if (!data.ok()) return data.status();
-    fault_.MaybeCorrupt(&*data);
+    fault_.MaybeCorrupt(first + i, &*data);
     pages.push_back(std::move(*data));
   }
   SimTime service = ServiceTime(total, n, 0);

@@ -297,6 +297,97 @@ TEST(Recovery, ReadVerifyCatchesAScribbledExtent) {
   EXPECT_GE(e.stats().media_errors, 1u);
 }
 
+TEST(Recovery, LatentCorruptionAfterRebootIsCaughtByExtentCrc) {
+  // A page corrupted in flight after a power cycle must surface as an
+  // integrity failure — never as silently wrong bytes. Exercises
+  // RestorePower x latent bit corruption: recovery itself succeeds (the
+  // corruption is armed afterwards), the verified read then refuses.
+  auto gen = MakeGenerator();
+  ssd::Ssd dev(DeviceConfig());
+  EngineConfig ec = DurableEngineConfig();
+  SimTime t = 0;
+  {
+    Engine writer(ec, &dev, &gen, nullptr);
+    ASSERT_TRUE(
+        writer.Write(t += kMillisecond, 0, 4 * kLogicalBlockSize).ok());
+    dev.fault().ForcePowerLoss();
+    ASSERT_EQ(writer.Read(t, 0, kLogicalBlockSize).status().code(),
+              StatusCode::kUnavailable);
+  }
+  dev.RestorePower();
+  Engine e(ec, &dev, &gen, nullptr);
+  ASSERT_TRUE(e.RecoverFromDevice(t).ok());
+
+  auto g = e.map().Find(0);
+  ASSERT_TRUE(g.has_value());
+  Lba page = g->start_quantum / kQuantaPerBlock;
+  dev.fault().ForceCorruptReadOnce(page);
+  auto r = e.Read(t += kMillisecond, 0, 4 * kLogicalBlockSize);
+  ASSERT_FALSE(r.ok()) << "a flipped bit must not pass the extent CRC";
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_GE(e.stats().media_errors, 1u);
+  // The corruption was transient (read path only): the next read serves
+  // the true content again.
+  auto again = e.Read(t += kMillisecond, 0, 4 * kLogicalBlockSize);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(Recovery, TransientUnavailabilityIsRetriedWithBackoff) {
+  auto gen = MakeGenerator();
+  ssd::Ssd dev(DeviceConfig());
+  EngineConfig ec = DurableEngineConfig();
+  ec.read_retry_attempts = 3;
+  Engine e(ec, &dev, &gen, nullptr);
+  SimTime t = 0;
+  ASSERT_TRUE(e.Write(t += kMillisecond, 0, 4 * kLogicalBlockSize).ok());
+
+  dev.fault().ForceUnavailableOnce(2);
+  t += kMillisecond;
+  auto r = e.Read(t, 0, 4 * kLogicalBlockSize);
+  ASSERT_TRUE(r.ok()) << "two transient failures within a 3-retry budget: "
+                      << r.status().ToString();
+  EXPECT_EQ(e.stats().read_retries, 2u);
+  // Each retry waits out its linear backoff in sim time.
+  EXPECT_GE(*r, t + 3 * ec.read_retry_backoff);
+}
+
+TEST(Recovery, RetryBudgetExhaustionSurfacesUnavailable) {
+  auto gen = MakeGenerator();
+  ssd::Ssd dev(DeviceConfig());
+  EngineConfig ec = DurableEngineConfig();
+  ec.read_retry_attempts = 2;
+  Engine e(ec, &dev, &gen, nullptr);
+  SimTime t = 0;
+  ASSERT_TRUE(e.Write(t += kMillisecond, 0, kLogicalBlockSize).ok());
+
+  dev.fault().ForceUnavailableOnce(5);
+  auto r = e.Read(t += kMillisecond, 0, kLogicalBlockSize);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(e.stats().read_retries, 2u);
+}
+
+TEST(Recovery, RetriesNeverMaskDataLoss) {
+  auto gen = MakeGenerator();
+  ssd::Ssd dev(DeviceConfig());
+  EngineConfig ec = DurableEngineConfig();
+  ec.read_retry_attempts = 3;
+  Engine e(ec, &dev, &gen, nullptr);
+  SimTime t = 0;
+  ASSERT_TRUE(e.Write(t += kMillisecond, 0, 4 * kLogicalBlockSize).ok());
+
+  auto g = e.map().Find(0);
+  ASSERT_TRUE(g.has_value());
+  Lba page = g->start_quantum / kQuantaPerBlock;
+  std::vector<Bytes> garbage{Bytes(kLogicalBlockSize, 0xFF)};
+  ASSERT_TRUE(dev.Write(page, garbage, t).ok());
+
+  auto r = e.Read(t += kMillisecond, 0, 4 * kLogicalBlockSize);
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(e.stats().read_retries, 0u)
+      << "kDataLoss is not transient; retrying it would re-read known-bad "
+         "content";
+}
+
 TEST(Recovery, MemberUceOnRais5IsTransparentToTheEngine) {
   auto gen = MakeGenerator();
   ssd::RaisConfig rcfg;

@@ -1,0 +1,76 @@
+// Tier-1 degraded-lifecycle matrix: small traces, but the full lifecycle
+// per scenario — fail-stop mid-trace, serve degraded, rebuild onto a hot
+// spare (including across a mid-rebuild power cut), scrub clean. The
+// heavyweight 2048-op acceptance sweep lives in degraded_sweep_test.cpp
+// (label `degraded`).
+#include <gtest/gtest.h>
+
+#include "integration/degraded_harness.hpp"
+
+namespace edc::core::degradedtest {
+namespace {
+
+TEST(DegradedMatrix, AnyMemberCanDieAndTheHostNeverNotices) {
+  for (u32 member = 0; member < 4; ++member) {
+    SCOPED_TRACE("dead member " + std::to_string(member));
+    DegradedParams p;
+    p.seed = 11 + member;
+    p.fail_member = member;
+    ScenarioResult r;
+    RunDegradedScenario(p, &r);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_GT(r.dev_stats.members_failed, 0u);
+    EXPECT_GT(r.dev_stats.degraded_reads + r.dev_stats.degraded_writes, 0u);
+  }
+}
+
+TEST(DegradedMatrix, HotSpareRebuildCompletesForEveryMember) {
+  for (u32 member = 0; member < 4; ++member) {
+    SCOPED_TRACE("dead member " + std::to_string(member));
+    DegradedParams p;
+    p.seed = 21 + member;
+    p.fail_member = member;
+    p.num_spares = 1;
+    ScenarioResult r;
+    RunDegradedScenario(p, &r);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_EQ(r.dev_stats.rebuilds_completed, 1u);
+    EXPECT_GT(r.dev_stats.rebuild_rows_done, 0u);
+  }
+}
+
+TEST(DegradedMatrix, RebuildSurvivesAMidwayPowerCut) {
+  DegradedParams p;
+  p.seed = 31;
+  p.fail_member = 2;
+  p.num_spares = 1;
+  p.cut_after_rebuild_pumps = 3;
+  ScenarioResult r;
+  RunDegradedScenario(p, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(r.dev_stats.rebuilds_completed, 1u);
+}
+
+TEST(DegradedMatrix, FailureBeforeTheFirstWriteStillRebuilds) {
+  DegradedParams p;
+  p.seed = 41;
+  p.fail_member = 1;
+  p.fail_at_host_op = 0;  // the array is degraded for the whole trace
+  p.num_spares = 1;
+  ScenarioResult r;
+  RunDegradedScenario(p, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(r.dev_stats.rebuilds_completed, 1u);
+}
+
+TEST(DegradedMatrix, ScenarioIsDeterministicWithObserverAttached) {
+  DegradedParams p;
+  p.seed = 51;
+  p.fail_member = 3;
+  p.num_spares = 1;
+  p.with_obs = true;
+  RunDeterminismPair(p);
+}
+
+}  // namespace
+}  // namespace edc::core::degradedtest

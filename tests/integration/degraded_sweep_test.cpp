@@ -1,0 +1,79 @@
+// Full degraded-mode acceptance sweep (ISSUE 8): 2048-op traces, every
+// member index, hot-spare rebuild with and without a mid-rebuild power
+// cut, scrub-clean finish, and byte-identical exports across reruns.
+// Label: `degraded` (run via `ctest -L degraded`); excluded from tier-1.
+#include <gtest/gtest.h>
+
+#include "integration/degraded_harness.hpp"
+
+namespace edc::core::degradedtest {
+namespace {
+
+DegradedParams SweepBase() {
+  DegradedParams p;
+  p.n_ops = 2048;
+  p.lba_space = 64;
+  p.fail_at_host_op = 512;  // a quarter in: plenty of pre-failure state
+  return p;
+}
+
+TEST(DegradedSweep, EveryMemberFullLifecycle) {
+  for (u32 member = 0; member < 4; ++member) {
+    SCOPED_TRACE("dead member " + std::to_string(member));
+    DegradedParams p = SweepBase();
+    p.seed = 101 + member;
+    p.fail_member = member;
+    p.num_spares = 1;
+    ScenarioResult r;
+    RunDegradedScenario(p, &r);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_EQ(r.dev_stats.rebuilds_completed, 1u);
+    EXPECT_GT(r.dev_stats.degraded_reads + r.dev_stats.degraded_writes, 0u);
+  }
+}
+
+TEST(DegradedSweep, NoSpareStaysDegradedButKeepsServing) {
+  DegradedParams p = SweepBase();
+  p.seed = 111;
+  p.fail_member = 2;
+  p.num_spares = 0;
+  ScenarioResult r;
+  RunDegradedScenario(p, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(r.dev_stats.rebuilds_completed, 0u);
+  EXPECT_GT(r.dev_stats.degraded_reads + r.dev_stats.degraded_writes, 0u);
+}
+
+TEST(DegradedSweep, MidRebuildPowerCutResumesFromTheCheckpoint) {
+  DegradedParams p = SweepBase();
+  p.seed = 121;
+  p.fail_member = 0;
+  p.num_spares = 1;
+  p.cut_after_rebuild_pumps = 40;
+  ScenarioResult r;
+  RunDegradedScenario(p, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(r.dev_stats.rebuilds_completed, 1u);
+}
+
+TEST(DegradedSweep, ExportsAreByteIdenticalAcrossReruns) {
+  DegradedParams p = SweepBase();
+  p.seed = 131;
+  p.fail_member = 1;
+  p.num_spares = 1;
+  p.with_obs = true;
+  RunDeterminismPair(p);
+}
+
+TEST(DegradedSweep, DeterministicEvenAcrossAPowerCutRerun) {
+  DegradedParams p = SweepBase();
+  p.seed = 141;
+  p.fail_member = 3;
+  p.num_spares = 1;
+  p.cut_after_rebuild_pumps = 25;
+  p.with_obs = true;
+  RunDeterminismPair(p);
+}
+
+}  // namespace
+}  // namespace edc::core::degradedtest

@@ -72,6 +72,28 @@ TEST(MetricRegistryTest, CollectorsRunAtSnapshotTime) {
   EXPECT_EQ(s->counter_value, 41u);
 }
 
+TEST(MetricRegistryTest, RemovedCollectorsStopExporting) {
+  MetricRegistry reg;
+  u64 first = reg.AddCollector(
+      [](SampleList& out) { out.AddCounter("edc_old_total", {}, 1); });
+  u64 second = reg.AddCollector(
+      [](SampleList& out) { out.AddCounter("edc_new_total", {}, 2); });
+  EXPECT_NE(first, second);
+  ASSERT_NE(reg.Snapshot().Find("edc_old_total"), nullptr);
+
+  // The reboot pattern: the replacement component registers before the
+  // old one unregisters, so removal must be by handle, not by position.
+  reg.RemoveCollector(first);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Find("edc_old_total"), nullptr);
+  EXPECT_NE(snap.Find("edc_new_total"), nullptr);
+
+  // Unknown handles (and double removal) are a no-op.
+  reg.RemoveCollector(first);
+  reg.RemoveCollector(9999);
+  EXPECT_NE(reg.Snapshot().Find("edc_new_total"), nullptr);
+}
+
 TEST(MetricRegistryTest, VolatileCollectorsExcludedByDefault) {
   MetricRegistry reg;
   reg.AddCollector(

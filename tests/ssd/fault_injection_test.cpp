@@ -174,6 +174,72 @@ TEST(FaultInjection, BitCorruptionFlipsExactlyOneBit) {
   EXPECT_EQ(ssd.stats().pages_corrupted, 2u);
 }
 
+TEST(FaultInjection, MemberFailStopIsPersistentAcrossPowerCycles) {
+  SsdConfig cfg = SmallConfig();
+  cfg.fault.fail_member_at_op = 3;
+  Ssd ssd(cfg);
+  ASSERT_TRUE(WriteOne(ssd, 0, 0xB1).ok());
+  ASSERT_TRUE(WriteOne(ssd, 1, 0xB2).ok());
+  ASSERT_TRUE(WriteOne(ssd, 2, 0xB3).ok());
+  // Operation 4 trips the fail-stop; the device is dead from then on.
+  EXPECT_EQ(WriteOne(ssd, 3, 0xB4).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ssd.fault().member_failed());
+  EXPECT_EQ(ssd.Read(0, 1, 0).status().code(), StatusCode::kUnavailable);
+
+  // Unlike a power cut, a reboot does not help: member death survives
+  // RestorePower — this is what makes RAIS degraded mode *persistent*.
+  ssd.RestorePower();
+  EXPECT_EQ(ssd.Read(0, 1, 0).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ssd.fault().member_failed());
+
+  // Only an explicit revive (device replaced/repaired) brings it back,
+  // with the pre-death flash content intact.
+  ssd.fault().ReviveMember();
+  auto r = ssd.Read(0, 3, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages.at(0), PageOf(0xB1));
+  EXPECT_EQ(r->pages.at(2), PageOf(0xB3));
+}
+
+TEST(FaultInjection, FailMemberNowKillsTheDeviceImmediately) {
+  Ssd ssd(SmallConfig());
+  ASSERT_TRUE(WriteOne(ssd, 0, 0x11).ok());
+  ssd.fault().FailMemberNow();
+  EXPECT_EQ(ssd.Read(0, 1, 0).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(WriteOne(ssd, 1, 0x22).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ssd.fault().stats().member_failed);
+}
+
+TEST(FaultInjection, ForcedUnavailabilityIsTransient) {
+  Ssd ssd(SmallConfig());
+  ASSERT_TRUE(WriteOne(ssd, 0, 0x33).ok());
+  ssd.fault().ForceUnavailableOnce(2);
+  // Exactly the next two operations fail, then the device serves again
+  // (no power loss, no member death — a transient path hiccup).
+  EXPECT_EQ(ssd.Read(0, 1, 0).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ssd.Read(0, 1, 0).status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(ssd.fault().stats().power_lost);
+  EXPECT_FALSE(ssd.fault().stats().member_failed);
+  auto r = ssd.Read(0, 1, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages.at(0), PageOf(0x33));
+}
+
+TEST(FaultInjection, ForcedCorruptionFlipsOneBitExactlyOnce) {
+  Ssd ssd(SmallConfig());
+  ASSERT_TRUE(WriteOne(ssd, 4, 0x00).ok());
+  ssd.fault().ForceCorruptReadOnce(4);
+  auto bad = ssd.Read(4, 1, 0);
+  ASSERT_TRUE(bad.ok()) << "latent corruption must NOT fail the read";
+  EXPECT_EQ(bad->pages.at(0).at(0), 0x01) << "deterministic lowest-bit flip";
+  EXPECT_EQ(ssd.stats().pages_corrupted, 1u);
+  // One-shot: the stored content was never touched.
+  auto good = ssd.Read(4, 1, 0);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->pages.at(0), PageOf(0x00));
+  EXPECT_EQ(ssd.stats().pages_corrupted, 1u);
+}
+
 TEST(FaultInjection, RestorePowerKeepsProbabilisticFaultsArmed) {
   SsdConfig cfg = SmallConfig();
   cfg.fault.power_cut_at_op = 1;

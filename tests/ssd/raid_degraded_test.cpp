@@ -1,0 +1,334 @@
+// RAIS-5 member-failure lifecycle: persistent degraded mode (reads via
+// parity reconstruction, parity-consistent writes/trims without the dead
+// device), honest double-fault data loss, hot-spare rebuild with a durable
+// power-cut-safe cursor, and the background parity scrub.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ssd/raid.hpp"
+
+namespace edc::ssd {
+namespace {
+
+RaisConfig DegradedRais(u32 spares = 0) {
+  RaisConfig cfg;
+  cfg.level = RaisLevel::kRais5;
+  cfg.num_disks = 4;
+  cfg.chunk_pages = 2;
+  cfg.member.geometry.pages_per_block = 16;
+  cfg.member.geometry.num_blocks = 64;
+  cfg.member.store_data = true;
+  cfg.num_spares = spares;
+  // Rebuild progress only via explicit PumpRebuild: the lifecycle tests
+  // control exactly when rows move to the spare.
+  cfg.rebuild_idle_window = 0;
+  return cfg;
+}
+
+Bytes PatternPage(u64 salt) {
+  Bytes page(kLogicalBlockSize);
+  for (std::size_t i = 0; i < page.size(); ++i) {
+    page[i] = static_cast<u8>((salt * 197 + i * 13 + (i >> 7)) & 0xFF);
+  }
+  return page;
+}
+
+void WritePattern(Rais& rais, Lba first, u64 n, u64 salt = 0) {
+  std::vector<Bytes> pages;
+  for (u64 i = 0; i < n; ++i) pages.push_back(PatternPage(salt + first + i));
+  ASSERT_TRUE(rais.Write(first, pages, 0).ok());
+}
+
+void ExpectPattern(Rais& rais, Lba first, u64 n, u64 salt = 0) {
+  for (u64 i = 0; i < n; ++i) {
+    auto r = rais.Read(first + i, 1, 0);
+    ASSERT_TRUE(r.ok()) << "lba " << first + i << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r->pages.at(0), PatternPage(salt + first + i))
+        << "lba " << first + i;
+  }
+}
+
+TEST(RaisDegraded, MemberDeathIsDiscoveredAndAbsorbed) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 24);
+  // The member dies silently; the array discovers the fail-stop on the
+  // next sub-operation that touches it and re-routes through parity.
+  rais.member_for_test(1).fault().FailMemberNow();
+  ExpectPattern(rais, 0, 24);
+  EXPECT_TRUE(rais.degraded());
+  EXPECT_EQ(rais.dead_member(), 1u);
+  EXPECT_FALSE(rais.array_failed());
+  DeviceStats s = rais.stats();
+  EXPECT_EQ(s.members_failed, 1u);
+  EXPECT_GT(s.degraded_reads, 0u);
+  EXPECT_EQ(s.unrecoverable_reads, 0u);
+}
+
+TEST(RaisDegraded, ScheduledFailStopEntersDegradedMode) {
+  RaisConfig cfg = DegradedRais();
+  cfg.member.fault.fail_member_at_op = 30;
+  Rais rais(cfg);
+  // Every member shares the op threshold; stop at the *first* death (any
+  // further traffic would cross the surviving members' thresholds too).
+  std::vector<Bytes> one(1);
+  one[0] = PatternPage(7);
+  for (u64 op = 0; op < 400 && !rais.degraded(); ++op) {
+    ASSERT_TRUE(rais.Write(op % 24, one, 0).ok()) << "op " << op;
+  }
+  EXPECT_TRUE(rais.degraded()) << "the scheduled fail-stop never fired";
+  EXPECT_FALSE(rais.array_failed());
+  EXPECT_EQ(rais.stats().members_failed, 1u);
+}
+
+TEST(RaisDegraded, DegradedWritesKeepStripesReconstructible) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 24);
+  ASSERT_TRUE(rais.FailMemberNow(0, 0).ok());
+  // Overwrite everything while degraded: chunks on the dead member fold
+  // into parity, chunks with dead parity write data alone.
+  WritePattern(rais, 0, 24, /*salt=*/1000);
+  ExpectPattern(rais, 0, 24, /*salt=*/1000);
+  EXPECT_GT(rais.stats().degraded_writes, 0u);
+}
+
+TEST(RaisDegraded, DegradedTrimKeepsRowsConsistent) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 24);
+  ASSERT_TRUE(rais.FailMemberNow(2, 0).ok());
+  ASSERT_TRUE(rais.Trim(0, 8, 0).ok());
+  // Trimmed pages read back as nothing (empty or zeros — reconstruction
+  // cannot distinguish an empty chunk from explicit zeros).
+  for (Lba lba = 0; lba < 8; ++lba) {
+    auto r = rais.Read(lba, 1, 0);
+    ASSERT_TRUE(r.ok()) << "lba " << lba;
+    const Bytes& page = r->pages.at(0);
+    for (u8 b : page) ASSERT_EQ(b, 0) << "lba " << lba;
+  }
+  // Untrimmed content is untouched and still reconstructible.
+  ExpectPattern(rais, 8, 16);
+}
+
+TEST(RaisDegraded, DoubleFaultNamesBothMembersAndCounts) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 24);
+  rais.member_for_test(0).fault().FailMemberNow();
+  rais.member_for_test(2).fault().FailMemberNow();
+  // Find a page whose data chunk lives on member 0: its read discovers
+  // death #1, the reconstruction discovers death #2.
+  Lba victim = 0;
+  while (rais.Place(victim).data_disk != 0) ++victim;
+  auto r = rais.Read(victim, 1, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("members 0 and 2"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(rais.stats().unrecoverable_reads, 1u);
+  EXPECT_TRUE(rais.array_failed());
+  // Every further operation fails the same honest way.
+  EXPECT_EQ(rais.Read(0, 1, 0).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(rais.Trim(0, 1, 0).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(RaisDegraded, Rais0MemberDeathIsImmediateDataLoss) {
+  RaisConfig cfg = DegradedRais();
+  cfg.level = RaisLevel::kRais0;
+  Rais rais(cfg);
+  WritePattern(rais, 0, 8);
+  rais.member_for_test(1).fault().FailMemberNow();
+  Lba victim = 0;
+  while (rais.Place(victim).data_disk != 1) ++victim;
+  auto r = rais.Read(victim, 1, 0);
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("no redundancy"), std::string::npos);
+}
+
+TEST(RaisDegraded, HotSpareRebuildRestoresHealth) {
+  Rais rais(DegradedRais(/*spares=*/1));
+  WritePattern(rais, 0, 24);
+  ASSERT_TRUE(rais.FailMemberNow(1, 0).ok());
+  ASSERT_TRUE(rais.rebuild_active());
+  auto active = rais.PumpRebuild(0);
+  while (active.ok() && *active) active = rais.PumpRebuild(0);
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+  EXPECT_FALSE(rais.degraded());
+  EXPECT_FALSE(rais.rebuild_active());
+  DeviceStats s = rais.stats();
+  EXPECT_EQ(s.rebuilds_completed, 1u);
+  EXPECT_EQ(s.rebuild_rows_done, rais.rows());
+  // The spare now serves member 1's content directly.
+  u64 degraded_before = rais.stats().degraded_reads;
+  ExpectPattern(rais, 0, 24);
+  EXPECT_EQ(rais.stats().degraded_reads, degraded_before);
+}
+
+TEST(RaisDegraded, RebuildHappensInTheIdleBand) {
+  RaisConfig cfg = DegradedRais(/*spares=*/1);
+  cfg.rebuild_idle_window = 10 * kMicrosecond;
+  cfg.rebuild_rows_per_step = 32;
+  Rais rais(cfg);
+  WritePattern(rais, 0, 24);
+  ASSERT_TRUE(rais.FailMemberNow(0, 0).ok());
+  ASSERT_TRUE(rais.rebuild_active());
+  // Widely spaced operations leave idle gaps; the rebuild consumes them
+  // without any explicit pump.
+  std::vector<Bytes> one(1);
+  one[0] = PatternPage(42);
+  SimTime t = 0;
+  for (int i = 0; i < 64 && rais.rebuild_active(); ++i) {
+    t += 10 * kMillisecond;
+    ASSERT_TRUE(rais.Write(20, one, t).ok());
+  }
+  EXPECT_FALSE(rais.rebuild_active())
+      << "64 idle gaps must complete a " << rais.rows() << "-row rebuild";
+  EXPECT_FALSE(rais.degraded());
+}
+
+TEST(RaisDegraded, RebuildSurvivesAMidwayPowerCut) {
+  RaisConfig cfg = DegradedRais(/*spares=*/1);
+  cfg.rebuild_rows_per_step = 1;
+  cfg.rebuild_checkpoint_rows = 2;
+  Rais rais(cfg);
+  WritePattern(rais, 0, 24);
+  ASSERT_TRUE(rais.FailMemberNow(1, 0).ok());
+  // A few rows of progress, then the lights go out.
+  for (int i = 0; i < 3; ++i) {
+    auto a = rais.PumpRebuild(0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(*a);
+  }
+  u64 cursor_at_cut = rais.rebuild_cursor_row();
+  ASSERT_GT(cursor_at_cut, 0u);
+  rais.ForceArrayPowerLoss();
+  EXPECT_EQ(rais.Read(0, 1, 0).status().code(), StatusCode::kUnavailable);
+
+  rais.RestorePower();
+  ASSERT_TRUE(rais.RecoverArrayState(0).ok());
+  EXPECT_TRUE(rais.degraded());
+  EXPECT_EQ(rais.dead_member(), 1u);
+  ASSERT_TRUE(rais.rebuild_active());
+  // The durable cursor resumes from the last checkpoint: no further back
+  // than the start, no further forward than the actual progress.
+  EXPECT_LE(rais.rebuild_cursor_row(), cursor_at_cut);
+  auto active = rais.PumpRebuild(0);
+  while (active.ok() && *active) active = rais.PumpRebuild(0);
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+  EXPECT_FALSE(rais.degraded());
+  EXPECT_EQ(rais.stats().rebuilds_completed, 1u);
+  ExpectPattern(rais, 0, 24);
+}
+
+TEST(RaisDegraded, RecoveryWithoutSpareStaysDegradedButServes) {
+  Rais rais(DegradedRais(/*spares=*/0));
+  WritePattern(rais, 0, 24);
+  rais.member_for_test(3).fault().FailMemberNow();
+  ExpectPattern(rais, 0, 24);  // discover + serve degraded
+  rais.ForceArrayPowerLoss();
+  rais.RestorePower();
+  ASSERT_TRUE(rais.RecoverArrayState(0).ok());
+  EXPECT_TRUE(rais.degraded());
+  EXPECT_EQ(rais.dead_member(), 3u);
+  EXPECT_FALSE(rais.rebuild_active());
+  ExpectPattern(rais, 0, 24);
+}
+
+TEST(RaisDegraded, RecoveryWithTwoDeadMembersIsArrayLoss) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 8);
+  rais.member_for_test(0).fault().FailMemberNow();
+  rais.member_for_test(1).fault().FailMemberNow();
+  rais.ForceArrayPowerLoss();
+  rais.RestorePower();
+  Status st = rais.RecoverArrayState(0);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(rais.array_failed());
+}
+
+TEST(RaisDegraded, ParityScrubRepairsAScribbledParityChunk) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 24);
+  // Corrupt one parity page directly on its member, behind the array.
+  Rais::Placement p = rais.Place(0);
+  std::vector<Bytes> garbage{Bytes(kLogicalBlockSize, 0xEE)};
+  ASSERT_TRUE(
+      rais.member_for_test(p.parity_disk).Write(p.parity_lba, garbage, 0)
+          .ok());
+
+  auto scrub = rais.ScrubParity(0);
+  ASSERT_TRUE(scrub.ok()) << scrub.status().ToString();
+  EXPECT_EQ(scrub->rows_scanned, rais.rows());
+  EXPECT_EQ(scrub->mismatches, 1u);
+  EXPECT_EQ(scrub->repaired, 1u);
+
+  // Parity is consistent again: a read fault on the row's data chunk
+  // reconstructs byte-identical content.
+  rais.member_for_test(p.data_disk).fault().ForceReadFaultOnce(p.disk_lba);
+  auto r = rais.Read(0, 1, 0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->pages.at(0), PatternPage(0));
+
+  // A second pass finds nothing left to repair.
+  auto again = rais.ScrubParity(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->mismatches, 0u);
+  EXPECT_EQ(rais.stats().scrub_parity_repaired, 1u);
+}
+
+TEST(RaisDegraded, ParityScrubOnCleanArrayFindsNothing) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 24);
+  ASSERT_TRUE(rais.Trim(4, 4, 0).ok());  // trims must stay parity-safe
+  WritePattern(rais, 8, 8, /*salt=*/500);  // overwrites too
+  auto scrub = rais.ScrubParity(0);
+  ASSERT_TRUE(scrub.ok()) << scrub.status().ToString();
+  EXPECT_EQ(scrub->rows_scanned, rais.rows());
+  EXPECT_EQ(scrub->mismatches, 0u);
+  EXPECT_EQ(scrub->repaired, 0u);
+}
+
+TEST(RaisDegraded, ParityScrubRefusesWhileDegraded) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 8);
+  ASSERT_TRUE(rais.FailMemberNow(2, 0).ok());
+  auto scrub = rais.ScrubParity(0);
+  EXPECT_EQ(scrub.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RaisDegraded, ReadRebuiltIgnoresThePrimaryCopy) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 8);
+  // Scribble a data chunk without updating parity: the primary is now
+  // corrupt, redundancy still holds the truth.
+  Rais::Placement p = rais.Place(3);
+  std::vector<Bytes> garbage{Bytes(kLogicalBlockSize, 0x55)};
+  ASSERT_TRUE(
+      rais.member_for_test(p.data_disk).Write(p.disk_lba, garbage, 0).ok());
+  auto direct = rais.Read(3, 1, 0);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->pages.at(0), garbage[0]) << "primary should be corrupt";
+  auto rebuilt = rais.ReadRebuilt(3, 1, 0);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt->pages.at(0), PatternPage(3));
+}
+
+TEST(RaisDegraded, WriteRepairSkipsTheParityRmw) {
+  Rais rais(DegradedRais());
+  WritePattern(rais, 0, 8);
+  Rais::Placement p = rais.Place(3);
+  std::vector<Bytes> garbage{Bytes(kLogicalBlockSize, 0x55)};
+  ASSERT_TRUE(
+      rais.member_for_test(p.data_disk).Write(p.disk_lba, garbage, 0).ok());
+  // Repair with the true content: a plain Write would RMW against the
+  // corrupt old data and poison parity; WriteRepair must not.
+  std::vector<Bytes> good{PatternPage(3)};
+  ASSERT_TRUE(rais.WriteRepair(3, good, 0).ok());
+  auto scrub = rais.ScrubParity(0);
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_EQ(scrub->mismatches, 0u)
+      << "WriteRepair must leave parity consistent";
+  ExpectPattern(rais, 0, 8);
+}
+
+}  // namespace
+}  // namespace edc::ssd
