@@ -13,7 +13,12 @@
 //   * SIMD backends: every compiled-in codec::Backend (scalar, and on
 //     x86 sse42/avx2) measured kernel-by-kernel — match extension, LZ
 //     copy, bit-pack flush, CRC-32 — plus whole-codec compress/decompress
-//     with that backend forced active.
+//     with that backend forced active;
+//   * observability overhead: the same functional-mode replay with no
+//     observer, a metrics+trace observer, and the full continuous
+//     telemetry stack (sampler + watchdog + flight recorder), so the
+//     cost of leaving telemetry on is a tracked number
+//     (docs/observability.md#continuous-telemetry).
 //
 //   $ ./micro_hotpath --json=BENCH_hotpath.json
 //
@@ -38,6 +43,10 @@
 #include "datagen/generator.hpp"
 #include "datagen/profile.hpp"
 #include "edc/mapping.hpp"
+#include "obs/observer.hpp"
+#include "obs/watchdog.hpp"
+#include "sim/replay.hpp"
+#include "trace/synthetic.hpp"
 
 using namespace edc;
 
@@ -432,10 +441,85 @@ std::vector<BackendResult> BenchBackends(const Bytes& corpus,
   return out;
 }
 
+struct ObsOverheadResult {
+  std::size_t requests = 0;       // per measured replay
+  double off_req_per_sec = 0;     // no observer attached
+  double obs_req_per_sec = 0;     // metrics + trace observer
+  double full_req_per_sec = 0;    // + sampler, watchdog, flight recorder
+  double obs_overhead_pct = 0;    // wall-time increase vs. observer off
+  double full_overhead_pct = 0;
+};
+
+// Replays one functional-mode trace three times — observer off, the
+// always-on metrics+trace observer, and the full continuous-telemetry
+// stack — and reports host-request throughput for each. The interesting
+// number is the overhead of the *sampler cadence* (every completed
+// window snapshots the whole registry), which is why the period here is
+// 10 ms, 10x denser than the trace_replay default.
+ObsOverheadResult BenchObs(u64 seed) {
+  ObsOverheadResult r;
+  auto params = trace::PresetByName("Fin2", 4.0);
+  if (!params.ok()) return r;
+  params->working_set_blocks = 4000;  // overwrites + reads of old data
+  const trace::Trace t = trace::GenerateSynthetic(*params, seed);
+
+  core::StackConfig base;
+  base.scheme = core::Scheme::kEdc;
+  base.mode = core::ExecutionMode::kFunctional;
+  base.content_profile = "fin";
+  base.seed = seed;
+  base.ssd.geometry.pages_per_block = 32;
+  base.ssd.geometry.num_blocks = 2048;  // 256 MiB
+  base.ssd.store_data = false;
+
+  auto run = [&](obs::Observer* observer) -> double {
+    core::StackConfig cfg = base;
+    cfg.obs = observer;
+    auto stack = core::Stack::Create(cfg);
+    if (!stack.ok()) {
+      std::fprintf(stderr, "obs bench: %s\n",
+                   stack.status().ToString().c_str());
+      return 0;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = sim::ReplayTrace(**stack, t);
+    const double elapsed = Seconds(t0);
+    if (!result.ok()) {
+      std::fprintf(stderr, "obs bench: %s\n",
+                   result.status().ToString().c_str());
+      return 0;
+    }
+    r.requests = result->requests;
+    return PerSec(result->requests, elapsed);
+  };
+
+  (void)run(nullptr);  // warm-up: page in the codec tables and allocator
+  r.off_req_per_sec = run(nullptr);
+  {
+    obs::Observer observer;
+    r.obs_req_per_sec = run(&observer);
+  }
+  {
+    obs::Observer::Options oo;
+    oo.sampler = true;
+    oo.sample_period = 10 * kMillisecond;
+    oo.flight_recorder = true;
+    oo.health_rules = obs::DefaultHealthRules();
+    obs::Observer observer(oo);
+    if (observer.ok()) r.full_req_per_sec = run(&observer);
+  }
+  r.obs_overhead_pct =
+      100.0 * (r.off_req_per_sec / std::max(r.obs_req_per_sec, 1e-9) - 1.0);
+  r.full_overhead_pct =
+      100.0 * (r.off_req_per_sec / std::max(r.full_req_per_sec, 1e-9) - 1.0);
+  return r;
+}
+
 void WriteJson(const std::string& path, const MappingResult& m,
                const CrcResult& crc,
                const std::vector<CodecScratchResult>& codecs,
-               const std::vector<BackendResult>& backends) {
+               const std::vector<BackendResult>& backends,
+               const ObsOverheadResult& obs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -490,7 +574,19 @@ void WriteJson(const std::string& path, const MappingResult& m,
         r.crc_mbps, r.lzf_comp_us, r.lzfast_comp_us, r.gzip_comp_us,
         r.gzip_decomp_us, i + 1 < backends.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"obs\": {\n");
+  std::fprintf(f, "    \"replay_requests\": %zu,\n", obs.requests);
+  std::fprintf(f, "    \"observer_off_req_per_sec\": %.0f,\n",
+               obs.off_req_per_sec);
+  std::fprintf(f, "    \"observer_on_req_per_sec\": %.0f,\n",
+               obs.obs_req_per_sec);
+  std::fprintf(f, "    \"full_telemetry_req_per_sec\": %.0f,\n",
+               obs.full_req_per_sec);
+  std::fprintf(f, "    \"observer_overhead_pct\": %.1f,\n",
+               obs.obs_overhead_pct);
+  std::fprintf(f, "    \"full_telemetry_overhead_pct\": %.1f\n",
+               obs.full_overhead_pct);
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("[bench] wrote %s\n", path.c_str());
 }
@@ -576,8 +672,19 @@ int main(int argc, char** argv) {
   std::printf("\nSIMD backends (active: %s)\n%s",
               codec::ActiveBackend().name, bk_table.ToString().c_str());
 
+  ObsOverheadResult obs = BenchObs(opt.seed);
+  TextTable obs_table({"observer", "req/s", "overhead %"});
+  obs_table.AddRow({"off", TextTable::Num(obs.off_req_per_sec, 0), "-"});
+  obs_table.AddRow({"metrics+trace", TextTable::Num(obs.obs_req_per_sec, 0),
+                    TextTable::Num(obs.obs_overhead_pct, 1)});
+  obs_table.AddRow({"full telemetry", TextTable::Num(obs.full_req_per_sec, 0),
+                    TextTable::Num(obs.full_overhead_pct, 1)});
+  std::printf("\nObservability overhead (functional replay, %zu requests, "
+              "10 ms sampler)\n%s",
+              obs.requests, obs_table.ToString().c_str());
+
   if (!opt.json_path.empty()) {
-    WriteJson(opt.json_path, m, crc, codecs, backends);
+    WriteJson(opt.json_path, m, crc, codecs, backends, obs);
   }
   return 0;
 }

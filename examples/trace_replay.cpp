@@ -10,6 +10,7 @@
 // way — see docs/simulator.md).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <thread>
@@ -37,6 +38,22 @@ struct Options {
   std::string metrics_prom;  // metrics snapshot as Prometheus text
   std::string trace_out;     // Chrome trace-event JSON (Perfetto)
   std::string trace_filter;  // comma-separated trace categories
+
+  // Continuous telemetry (docs/observability.md#continuous-telemetry).
+  std::string timeseries_out;   // edc-timeseries-v1 JSON
+  std::string timeseries_csv;   // same store as CSV
+  double sample_period_ms = 0;  // >0 also enables the sampler
+  u64 sampler_retention = 0;    // ring size in windows (0 = unbounded)
+  std::string postmortem_dir;   // arm the flight recorder, bundles here
+  std::string health_rules;     // rules file path, or "default"
+  std::string health_out;       // edc-health-v1 report JSON
+
+  // Deterministic fault knobs so CI can provoke flight-recorder
+  // triggers without a bespoke harness.
+  double inject_program_fail = 0;  // ssd fault p_program_fail
+  u32 breaker_budget = 0;          // engine error budget (0 = off)
+  u32 device_blocks = 0;           // override device size (blocks)
+  bool durable = false;            // durable format + journal + retries
 };
 
 Options Parse(int argc, char** argv) {
@@ -54,6 +71,17 @@ Options Parse(int argc, char** argv) {
     else if (std::strncmp(a, "--metrics-prom=", 15) == 0) o.metrics_prom = a + 15;
     else if (std::strncmp(a, "--trace-out=", 12) == 0) o.trace_out = a + 12;
     else if (std::strncmp(a, "--trace-filter=", 15) == 0) o.trace_filter = a + 15;
+    else if (std::strncmp(a, "--timeseries-out=", 17) == 0) o.timeseries_out = a + 17;
+    else if (std::strncmp(a, "--timeseries-csv=", 17) == 0) o.timeseries_csv = a + 17;
+    else if (std::strncmp(a, "--sample-period-ms=", 19) == 0) o.sample_period_ms = std::atof(a + 19);
+    else if (std::strncmp(a, "--sampler-retention=", 20) == 0) o.sampler_retention = static_cast<u64>(std::atoll(a + 20));
+    else if (std::strncmp(a, "--postmortem-dir=", 17) == 0) o.postmortem_dir = a + 17;
+    else if (std::strncmp(a, "--health-rules=", 15) == 0) o.health_rules = a + 15;
+    else if (std::strncmp(a, "--health-out=", 13) == 0) o.health_out = a + 13;
+    else if (std::strncmp(a, "--inject-program-fail=", 22) == 0) o.inject_program_fail = std::atof(a + 22);
+    else if (std::strncmp(a, "--breaker-budget=", 17) == 0) o.breaker_budget = static_cast<u32>(std::atoi(a + 17));
+    else if (std::strncmp(a, "--device-blocks=", 16) == 0) o.device_blocks = static_cast<u32>(std::atoi(a + 16));
+    else if (std::strcmp(a, "--durable") == 0) o.durable = true;
     else {
       std::fprintf(stderr,
                    "usage: trace_replay [--trace=Fin1|Fin2|Usr_0|Prxy_0] "
@@ -63,7 +91,15 @@ Options Parse(int argc, char** argv) {
                    "                    [--metrics-out=PATH.json] "
                    "[--metrics-prom=PATH.prom]\n"
                    "                    [--trace-out=PATH.json] "
-                   "[--trace-filter=cat1,cat2,...]\n");
+                   "[--trace-filter=cat1,cat2,...]\n"
+                   "                    [--timeseries-out=PATH.json] "
+                   "[--timeseries-csv=PATH.csv]\n"
+                   "                    [--sample-period-ms=N] "
+                   "[--sampler-retention=N]\n"
+                   "                    [--postmortem-dir=DIR] "
+                   "[--health-rules=PATH|default] [--health-out=PATH.json]\n"
+                   "                    [--inject-program-fail=P] "
+                   "[--breaker-budget=N] [--device-blocks=N] [--durable]\n");
       std::exit(2);
     }
   }
@@ -128,20 +164,100 @@ int main(int argc, char** argv) {
                           : core::ExecutionMode::kModeled;
   cfg.content_profile = profile;
   cfg.seed = o.seed;
-  cfg.ssd = ssd::MakeX25eConfig(8192, /*store_data=*/false);
+  // Program-failure survival needs the durable on-flash format: retries
+  // relocate-and-rewrite extents, which requires store_data + the journal.
+  const bool durable = o.durable || o.inject_program_fail > 0;
+  cfg.ssd = ssd::MakeX25eConfig(o.device_blocks != 0 ? o.device_blocks
+                                                     : 8192,
+                                /*store_data=*/durable);
+  if (o.inject_program_fail > 0) {
+    cfg.ssd.fault.p_program_fail = o.inject_program_fail;
+    cfg.ssd.fault.seed = o.seed + 1;
+  }
+  if (durable) cfg.durability.enabled = true;
+  cfg.breaker_error_budget = o.breaker_budget;
+
+  // Health rules: a file in the ParseHealthRules grammar, or the
+  // built-in set via --health-rules=default.
+  std::string health_rules_text;
+  if (!o.health_rules.empty()) {
+    if (o.health_rules == "default") {
+      health_rules_text = obs::DefaultHealthRules();
+    } else {
+      std::ifstream in(o.health_rules);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", o.health_rules.c_str());
+        return 1;
+      }
+      health_rules_text.assign(std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>());
+    }
+  }
 
   // Observability is opt-in: construct the observer only when an export
-  // flag asks for it (the null fast path costs nothing otherwise).
-  const bool want_metrics = !o.metrics_out.empty() || !o.metrics_prom.empty();
-  const bool want_trace = !o.trace_out.empty();
+  // flag asks for it (the null fast path costs nothing otherwise). The
+  // sampler rides on metrics, the flight recorder on trace.
+  const bool want_sampler = !o.timeseries_out.empty() ||
+                            !o.timeseries_csv.empty() ||
+                            o.sample_period_ms > 0 ||
+                            !health_rules_text.empty() ||
+                            !o.postmortem_dir.empty();
+  const bool want_flight = !o.postmortem_dir.empty();
+  const bool want_metrics = !o.metrics_out.empty() ||
+                            !o.metrics_prom.empty() || want_sampler;
+  const bool want_trace = !o.trace_out.empty() || want_flight;
   std::unique_ptr<obs::Observer> observer;
   if (want_metrics || want_trace) {
     obs::Observer::Options oo;
     oo.metrics = want_metrics;
     oo.trace = want_trace;
     oo.trace_filter = o.trace_filter;
+    oo.sampler = want_sampler;
+    if (o.sample_period_ms > 0) {
+      oo.sample_period = static_cast<SimTime>(o.sample_period_ms *
+                                              kMillisecond);
+    }
+    oo.sampler_retention = o.sampler_retention;
+    oo.flight_recorder = want_flight;
+    oo.health_rules = health_rules_text;
     observer = std::make_unique<obs::Observer>(oo);
+    if (!observer->ok()) {
+      std::fprintf(stderr, "observer: %s\n", observer->error().c_str());
+      return 1;
+    }
     cfg.obs = observer.get();
+  }
+
+  // Stream each postmortem bundle to --postmortem-dir as it fires;
+  // names are deterministic (postmortem-<seq>-<trigger>.json).
+  bool postmortem_write_failed = false;
+  if (observer != nullptr && observer->flight_recorder() != nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(o.postmortem_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", o.postmortem_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    observer->flight_recorder()->SetSink(
+        [&o, &postmortem_write_failed](
+            const obs::FlightRecorder::Bundle& b) {
+          std::string name = b.trigger;
+          for (char& c : name) {
+            if (c == '.') c = '-';
+          }
+          std::string path = o.postmortem_dir + "/postmortem-" +
+                             std::to_string(b.seq) + "-" + name + ".json";
+          std::ofstream out(path, std::ios::binary);
+          if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            postmortem_write_failed = true;
+            return;
+          }
+          out << b.json;
+          std::printf("  postmortem         : %s -> %s\n",
+                      b.trigger.c_str(), path.c_str());
+        });
   }
 
   u32 threads = o.threads != 0 ? o.threads
@@ -232,6 +348,38 @@ int main(int argc, char** argv) {
       std::printf("  trace              : %zu events -> %s "
                   "(load in ui.perfetto.dev)\n",
                   rec->event_count(), o.trace_out.c_str());
+    }
+    if (const obs::TimeSeriesSampler* s = observer->sampler()) {
+      if (!o.timeseries_out.empty()) {
+        if (!write_file(o.timeseries_out, s->ToJson())) return 1;
+        std::printf("  timeseries         : %llu windows x %zu series "
+                    "-> %s\n",
+                    static_cast<unsigned long long>(
+                        s->windows_completed()),
+                    s->AllSeries().size(), o.timeseries_out.c_str());
+      }
+      if (!o.timeseries_csv.empty()) {
+        if (!write_file(o.timeseries_csv, s->ToCsv())) return 1;
+        std::printf("  timeseries (csv)   : -> %s\n",
+                    o.timeseries_csv.c_str());
+      }
+    }
+    if (observer->watchdog() != nullptr) {
+      const obs::HealthWatchdog::Report& health = result->health;
+      std::printf("  health             : %s (%zu events over %llu "
+                  "windows)\n",
+                  health.healthy() ? "ok" : "ALERTS",
+                  health.events.size(),
+                  static_cast<unsigned long long>(
+                      health.windows_evaluated));
+      if (!o.health_out.empty()) {
+        if (!write_file(o.health_out, health.ToJson())) return 1;
+      }
+    }
+    if (const obs::FlightRecorder* fr = observer->flight_recorder()) {
+      std::printf("  flight recorder    : %zu postmortem bundle(s)\n",
+                  fr->bundles().size());
+      if (postmortem_write_failed) return 1;
     }
   }
   return 0;

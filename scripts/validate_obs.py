@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
 """Validate trace_replay's observability exports.
 
-Usage: validate_obs.py METRICS.json TRACE.json
+Usage:
+  validate_obs.py METRICS.json TRACE.json
+      [--timeseries TS.json] [--timeseries-csv TS.csv]
+      [--health HEALTH.json] [--postmortem-dir DIR]
 
 Checks that the metrics snapshot parses, carries the expected schema
 tag and well-formed samples, and that the trace file is valid Chrome
-trace-event JSON (the format Perfetto loads). Exits non-zero with a
-message on the first problem so CI fails loudly.
+trace-event JSON (the format Perfetto loads). The optional flags
+schema-validate the continuous-telemetry exports: the
+`edc-timeseries-v1` store (JSON and CSV agree on shape), the
+`edc-health-v1` watchdog report, and every `edc-postmortem-v1` bundle
+in a directory. Exits non-zero with a message on the first problem so
+CI fails loudly.
 """
+import argparse
 import json
+import os
 import sys
 
 
@@ -74,11 +83,172 @@ def validate_trace(path):
     print("validate_obs: %s ok (%d events)" % (path, len(events)))
 
 
+def check_timeseries_doc(doc, path):
+    """Shared shape check for a standalone export or an embedded
+    bundle 'windows' section. Returns (n_windows, series list)."""
+    if doc.get("schema") != "edc-timeseries-v1":
+        fail("%s: schema is %r, want 'edc-timeseries-v1'" %
+             (path, doc.get("schema")))
+    if not isinstance(doc.get("period_ns"), int) or doc["period_ns"] <= 0:
+        fail("%s: bad period_ns %r" % (path, doc.get("period_ns")))
+    n = doc.get("windows")
+    ends = doc.get("window_end_ns")
+    if not isinstance(n, int) or not isinstance(ends, list) or len(ends) != n:
+        fail("%s: windows=%r disagrees with window_end_ns (len %s)" %
+             (path, n, len(ends) if isinstance(ends, list) else "?"))
+    if sorted(ends) != ends:
+        fail("%s: window_end_ns not monotonic" % path)
+    series = doc.get("series")
+    if not isinstance(series, list):
+        fail("%s: 'series' missing" % path)
+    for s in series:
+        for key in ("name", "labels", "kind", "values"):
+            if key not in s:
+                fail("%s: series missing %r: %r" % (path, key, s))
+        if s["kind"] not in ("counter", "gauge"):
+            fail("%s: series %s bad kind %r" % (path, s["name"], s["kind"]))
+        if len(s["values"]) != n:
+            fail("%s: series %s has %d values for %d windows" %
+                 (path, s["name"], len(s["values"]), n))
+        for v in s["values"]:
+            if isinstance(v, str) and v not in ("NaN", "+Inf", "-Inf"):
+                fail("%s: series %s bad non-finite token %r" %
+                     (path, s["name"], v))
+    return n, series
+
+
+def validate_timeseries(path):
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    n, series = check_timeseries_doc(doc, path)
+    if n == 0:
+        fail("%s: no windows sampled" % path)
+    names = {s["name"] for s in series}
+    for expected in ("edc_host_writes_total", "edc_write_latency_us:p99"):
+        if expected not in names:
+            fail("%s: expected series %s absent" % (path, expected))
+    print("validate_obs: %s ok (%d windows x %d series)" %
+          (path, n, len(series)))
+    return n, len(series)
+
+
+def validate_timeseries_csv(path, n_windows, n_series):
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail("%s: empty CSV" % path)
+    header = lines[0]
+    if not header.startswith("window,end_ns,"):
+        fail("%s: bad CSV header %r" % (path, header[:60]))
+    if len(lines) - 1 != n_windows:
+        fail("%s: %d data rows for %d windows" %
+             (path, len(lines) - 1, n_windows))
+    # Column count via csv so quoted series names with commas parse.
+    import csv
+    rows = list(csv.reader(lines))
+    want_cols = n_series + 2
+    for i, row in enumerate(rows):
+        if len(row) != want_cols:
+            fail("%s: row %d has %d columns, want %d" %
+                 (path, i, len(row), want_cols))
+    print("validate_obs: %s ok (%d rows x %d columns)" %
+          (path, len(rows) - 1, want_cols))
+
+
+def validate_health(path):
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "edc-health-v1":
+        fail("%s: schema is %r, want 'edc-health-v1'" %
+             (path, doc.get("schema")))
+    if not isinstance(doc.get("windows"), int):
+        fail("%s: 'windows' missing" % path)
+    if not isinstance(doc.get("healthy"), bool):
+        fail("%s: 'healthy' missing" % path)
+    rules = doc.get("rules")
+    if not isinstance(rules, list) or not rules:
+        fail("%s: 'rules' missing or empty" % path)
+    for r in rules:
+        for key in ("name", "kind", "active", "alerts", "clears"):
+            if key not in r:
+                fail("%s: rule missing %r: %r" % (path, key, r))
+    for e in doc.get("events", []):
+        for key in ("window", "ts_ns", "rule", "type"):
+            if key not in e:
+                fail("%s: event missing %r: %r" % (path, key, e))
+        if e["type"] not in ("alert", "clear"):
+            fail("%s: bad event type %r" % (path, e["type"]))
+    # Cross-check: healthy <=> no rule fired or is active.
+    fired = any(r["alerts"] > 0 or r["active"] for r in rules)
+    if doc["healthy"] == fired:
+        fail("%s: 'healthy' disagrees with rule states" % path)
+    print("validate_obs: %s ok (%d rules, %d events)" %
+          (path, len(rules), len(doc.get("events", []))))
+
+
+def validate_postmortem_dir(dirpath):
+    bundles = sorted(f for f in os.listdir(dirpath)
+                     if f.startswith("postmortem-") and f.endswith(".json"))
+    if not bundles:
+        fail("%s: no postmortem-*.json bundles" % dirpath)
+    triggers = []
+    for name in bundles:
+        path = os.path.join(dirpath, name)
+        with open(path, "rb") as f:
+            doc = json.load(f)
+        if doc.get("schema") != "edc-postmortem-v1":
+            fail("%s: schema is %r, want 'edc-postmortem-v1'" %
+                 (path, doc.get("schema")))
+        trig = doc.get("trigger")
+        if not isinstance(trig, dict) or "name" not in trig:
+            fail("%s: 'trigger' missing" % path)
+        if "event" not in trig or trig["event"].get("name") != trig["name"]:
+            fail("%s: trigger event missing or name mismatch" % path)
+        lanes = doc.get("lanes")
+        if not isinstance(lanes, list) or not lanes:
+            fail("%s: 'lanes' missing or empty" % path)
+        if not any(lane.get("events") for lane in lanes):
+            fail("%s: every lane ring is empty" % path)
+        windows = doc.get("windows")
+        if windows is not None:
+            n, _ = check_timeseries_doc(windows, path + "#windows")
+            if n < 1:
+                fail("%s: bundle carries no prior sampling window" % path)
+        metrics = doc.get("metrics")
+        if (not isinstance(metrics, dict) or "counters" not in metrics
+                or "gauges" not in metrics):
+            fail("%s: 'metrics' section malformed" % path)
+        triggers.append(trig["name"])
+    if len(set(triggers)) != len(triggers):
+        fail("%s: duplicate trigger bundles %r (each trigger must fire "
+             "at most once)" % (dirpath, triggers))
+    print("validate_obs: %s ok (%d bundles: %s)" %
+          (dirpath, len(bundles), ", ".join(triggers)))
+
+
 def main():
-    if len(sys.argv) != 3:
-        fail("usage: validate_obs.py METRICS.json TRACE.json")
-    validate_metrics(sys.argv[1])
-    validate_trace(sys.argv[2])
+    ap = argparse.ArgumentParser(allow_abbrev=False)
+    ap.add_argument("metrics")
+    ap.add_argument("trace")
+    ap.add_argument("--timeseries")
+    ap.add_argument("--timeseries-csv")
+    ap.add_argument("--health")
+    ap.add_argument("--postmortem-dir")
+    args = ap.parse_args()
+
+    validate_metrics(args.metrics)
+    validate_trace(args.trace)
+    ts_shape = None
+    if args.timeseries:
+        ts_shape = validate_timeseries(args.timeseries)
+    if args.timeseries_csv:
+        if ts_shape is None:
+            fail("--timeseries-csv requires --timeseries")
+        validate_timeseries_csv(args.timeseries_csv, *ts_shape)
+    if args.health:
+        validate_health(args.health)
+    if args.postmortem_dir:
+        validate_postmortem_dir(args.postmortem_dir)
     print("validate_obs: PASS")
 
 

@@ -186,6 +186,10 @@ void Engine::RegisterObservability() {
     out.AddGauge("edc_journal_generation", {},
                  journal_ ? static_cast<double>(journal_->generation()) : 0,
                  "Active journal generation (0 = journaling idle)");
+    out.AddGauge("edc_journal_lag_records", {},
+                 journal_ ? static_cast<double>(journal_->records()) : 0,
+                 "Replayable records in the active journal generation "
+                 "(recovery backlog; drops to 0 at each checkpoint)");
     out.AddCounter("edc_recovered_groups_total", {}, s.recovered_groups,
                    "Groups rebuilt by RecoverFromDevice");
     out.AddCounter("edc_read_retries_total", {}, s.read_retries,
@@ -688,12 +692,17 @@ AuditReport Engine::Audit() const {
   return report;
 }
 
-Status Engine::MaybeAudit() {
+Status Engine::MaybeAudit(SimTime at) {
   if (config_.audit_every_n_ops == 0) return Status::Ok();
   if (++ops_since_audit_ < config_.audit_every_n_ops) return Status::Ok();
   ops_since_audit_ = 0;
   AuditReport report = Audit();
   if (!report.ok()) {
+    if (trace_ != nullptr) {
+      trace_->Instant(
+          "audit.fail", "fault", obs::kHostTid, at,
+          {{"violations", static_cast<u64>(report.violations.size())}});
+    }
     return Status::Internal("inline state audit failed: " +
                             report.ToString());
   }
@@ -789,7 +798,7 @@ Result<SimTime> Engine::Write(SimTime arrival, u64 offset, u32 size) {
     trace_->Span("host.write", "host", obs::kHostTid, arrival, completion,
                  {{"offset", offset}, {"size", size}});
   }
-  EDC_RETURN_IF_ERROR(MaybeAudit());
+  EDC_RETURN_IF_ERROR(MaybeAudit(completion));
   return completion;
 }
 
@@ -921,7 +930,7 @@ Result<SimTime> Engine::Read(SimTime arrival, u64 offset, u32 size) {
     trace_->Span("host.read", "host", obs::kHostTid, arrival, completion,
                  {{"offset", offset}, {"size", size}});
   }
-  EDC_RETURN_IF_ERROR(MaybeAudit());
+  EDC_RETURN_IF_ERROR(MaybeAudit(completion));
   return completion;
 }
 
@@ -1094,7 +1103,7 @@ Result<SimTime> Engine::Trim(SimTime arrival, u64 offset, u32 size) {
     trace_->Span("host.trim", "host", obs::kHostTid, arrival, ready,
                  {{"offset", offset}, {"size", size}});
   }
-  EDC_RETURN_IF_ERROR(MaybeAudit());
+  EDC_RETURN_IF_ERROR(MaybeAudit(ready));
   return ready;
 }
 

@@ -343,7 +343,7 @@ class Engine {
   Status MaybeIdleFlush(SimTime arrival);
 
   /// Inline audit every config_.audit_every_n_ops host ops (0 = off).
-  Status MaybeAudit();
+  Status MaybeAudit(SimTime at);
 
   /// Concatenated current content of a run (functional mode).
   Bytes MaterializeRun(const WriteRun& run) const;

@@ -34,6 +34,7 @@ void JournalWriter::AppendRecord(JournalRecordType type, ByteSpan body) {
   PutVarint(&stream_, body.size());
   stream_.insert(stream_.end(), body.begin(), body.end());
   PutU32Le(&stream_, JournalRecordCrc(generation_, type, body));
+  if (type != JournalRecordType::kCheckpoint) ++records_;
 }
 
 void JournalWriter::AppendCheckpoint(ByteSpan state) {

@@ -77,11 +77,16 @@ class JournalWriter {
 
   const Bytes& stream() const { return stream_; }
   u64 generation() const { return generation_; }
+  /// Install/release records in this generation (checkpoints excluded):
+  /// the replay backlog a recovery of the active half would re-apply,
+  /// exported as the `edc_journal_lag_records` gauge.
+  u64 records() const { return records_; }
 
  private:
   void AppendRecord(JournalRecordType type, ByteSpan body);
 
   u64 generation_;
+  u64 records_ = 0;
   Bytes stream_;
 };
 

@@ -1,0 +1,104 @@
+// FlightRecorder: an always-on postmortem ring for the fault machinery.
+//
+// The recorder taps every event offered to the TraceRecorder (before the
+// category filter, so a narrow --trace-filter does not blind it) and
+// keeps a bounded per-lane ring of the most recent events, pre-rendered
+// to the same JSON text the trace exporter emits. When an *armed
+// trigger* fires — by default the fault-lifecycle instants
+// `breaker.open`, `rais.member_failed`, `rais.array_failed`,
+// `rais.data_loss`, `scrub.unrepairable`, `audit.fail` — it freezes a
+// self-contained `edc-postmortem-v1` bundle: the triggering event, every
+// lane's recent history, the last K timeseries windows (when a sampler
+// is attached), a metrics section with counter deltas since the last
+// completed window, and a state summary of the breaker / RAIS gauges.
+//
+// Each trigger name fires at most once per run (the first breaker trip
+// is the interesting one; a flapping breaker would otherwise bury it),
+// so a degraded-mode replay emits exactly one bundle per distinct
+// trigger. Bundles are a pure function of the simulation — byte-identical
+// across reruns — and are retained in memory; a Sink callback lets the
+// CLI write each one to --postmortem-dir as it fires.
+//
+// Thread contract: thread-confined to the recording (simulation) thread,
+// like the sampler. The tap runs with no recorder lock held, so bundle
+// assembly may snapshot the registry and read lane names freely.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace edc::obs {
+
+struct FlightRecorderConfig {
+  /// Ring depth: most recent events kept per trace lane.
+  std::size_t events_per_lane = 64;
+  /// Timeseries windows embedded in each bundle (needs a sampler).
+  std::size_t bundle_windows = 4;
+  /// Event names that arm the recorder; empty = DefaultTriggers().
+  std::vector<std::string> triggers;
+};
+
+class FlightRecorder : public TraceEventTap {
+ public:
+  /// The fault-lifecycle instants armed when config.triggers is empty.
+  static const std::vector<std::string>& DefaultTriggers();
+
+  /// `registry` and `trace` must outlive the recorder; `sampler` may be
+  /// null (bundles then carry no windows and deltas baseline at 0).
+  FlightRecorder(const FlightRecorderConfig& config,
+                 const MetricRegistry* registry,
+                 const TimeSeriesSampler* sampler,
+                 const TraceRecorder* trace);
+
+  /// One frozen postmortem. `json` is the complete edc-postmortem-v1
+  /// document (see docs/observability.md).
+  struct Bundle {
+    u64 seq = 0;            // 1-based firing order
+    std::string trigger;    // triggering event name
+    SimTime ts = 0;         // triggering event timestamp
+    std::string json;
+  };
+
+  /// Invoked synchronously as each bundle freezes (the CLI's file
+  /// writer). The bundle is also retained in bundles() either way.
+  using Sink = std::function<void(const Bundle&)>;
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+
+  const std::vector<Bundle>& bundles() const { return bundles_; }
+
+  /// Forget which triggers have fired (tests exercising repeat faults).
+  void Rearm() { fired_.clear(); }
+
+  bool IsTrigger(const std::string& name) const;
+
+  // TraceEventTap
+  void OnTraceEvent(char phase, const std::string& name,
+                    std::string_view cat, u32 tid, SimTime ts, SimTime dur,
+                    const TraceArgs& args) override;
+
+ private:
+  std::string BuildBundle(u64 seq, const std::string& trigger_json,
+                          const std::string& name, std::string_view cat,
+                          u32 tid, SimTime ts) const;
+
+  FlightRecorderConfig config_;
+  const MetricRegistry* registry_;
+  const TimeSeriesSampler* sampler_;  // may be null
+  const TraceRecorder* trace_;
+  std::map<u32, std::deque<std::string>> lanes_;  // pre-rendered events
+  std::set<std::string> fired_;
+  std::vector<Bundle> bundles_;
+  Sink sink_;
+  u64 next_seq_ = 1;
+};
+
+}  // namespace edc::obs

@@ -36,6 +36,11 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "\"" + FormatDouble(v) + "\"";
+  return FormatDouble(v);
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -113,7 +118,7 @@ std::string MetricsSnapshot::ToJson() const {
         out += ",\"value\":" + std::to_string(s.counter_value);
         break;
       case MetricType::kGauge:
-        out += ",\"value\":" + FormatDouble(s.gauge_value);
+        out += ",\"value\":" + JsonNumber(s.gauge_value);
         break;
       case MetricType::kHistogram: {
         out += ",\"buckets\":[";
@@ -127,7 +132,7 @@ std::string MetricsSnapshot::ToJson() const {
           out += "{\"le\":\"" + le + "\",\"count\":" +
                  std::to_string(cumulative) + "}";
         }
-        out += "],\"sum\":" + FormatDouble(s.sum) +
+        out += "],\"sum\":" + JsonNumber(s.sum) +
                ",\"count\":" + std::to_string(s.count);
         break;
       }

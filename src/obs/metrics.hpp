@@ -230,4 +230,9 @@ std::string FormatDouble(double v);
 /// JSON string escaping (quotes, backslash, control characters).
 std::string JsonEscape(const std::string& s);
 
+/// A double as a JSON value token: FormatDouble for finite values,
+/// quoted "NaN"/"+Inf"/"-Inf" for non-finite ones (bare tokens are not
+/// valid JSON). Shared by every obs JSON exporter.
+std::string JsonNumber(double v);
+
 }  // namespace edc::obs

@@ -1,21 +1,32 @@
 // Observer: the single handle components take to opt into observability.
-// Owns a MetricRegistry and a TraceRecorder; either half can be disabled
-// independently. Components store the pointers returned by metrics() /
-// trace() (null when that half is off), so the disabled fast path is one
-// pointer compare per event site.
+// Owns a MetricRegistry and a TraceRecorder — plus, when enabled, the
+// continuous-telemetry trio built on them: a TimeSeriesSampler
+// (windowed metric history), a FlightRecorder (postmortem bundles on
+// fault triggers) and a HealthWatchdog (declarative SLO rules). Either
+// base half can be disabled independently. Components store the
+// pointers returned by metrics() / trace() (null when that half is
+// off), so the disabled fast path is one pointer compare per event
+// site; the same applies to sampler() on the replay pump.
 //
-// Thread contract: the Observer itself holds no mutable unguarded state
-// (options_ is fixed at construction); registration, event recording and
-// Snapshot() are internally synchronized by the registry's and
-// recorder's own annotated sync::Mutexes, so one Observer may be shared
-// by multiple engine shards. Individual instrument updates stay
-// single-writer — see metrics.hpp.
+// Thread contract: registration, event recording and Snapshot() are
+// internally synchronized by the registry's and recorder's annotated
+// sync::Mutexes, so one Observer may be shared by multiple engine
+// shards for those paths. The telemetry trio, however, is
+// thread-confined to the simulation thread — PumpTelemetry /
+// FinishTelemetry and the flight recorder's tap must run on the single
+// thread driving the simulation (the same contract the Engine itself
+// has). Individual instrument updates stay single-writer — see
+// metrics.hpp.
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_recorder.hpp"
+#include "obs/watchdog.hpp"
 
 namespace edc {
 class WorkerPool;
@@ -30,10 +41,28 @@ class Observer {
     bool trace = true;
     /// Comma-separated trace categories to record; empty = all.
     std::string trace_filter;
+
+    /// Continuous telemetry (all off by default; see
+    /// docs/observability.md#continuous-telemetry).
+    /// Sampler: requires metrics. Implied by health_rules.
+    bool sampler = false;
+    SimTime sample_period = 100 * kMillisecond;
+    std::size_t sampler_retention = 0;  // windows kept; 0 = unbounded
+
+    /// Flight recorder: requires trace.
+    bool flight_recorder = false;
+    std::size_t flight_events_per_lane = 64;
+    std::size_t flight_bundle_windows = 4;
+    /// Comma-separated trigger event names; empty = default fault set.
+    std::string flight_triggers;
+
+    /// Watchdog rules in the ParseHealthRules grammar; empty = off.
+    std::string health_rules;
   };
 
   Observer();
   explicit Observer(const Options& options);
+  ~Observer();
 
   /// Null when the respective half is disabled.
   MetricRegistry* metrics() {
@@ -46,6 +75,30 @@ class Observer {
   const TraceRecorder* trace() const {
     return options_.trace ? &recorder_ : nullptr;
   }
+
+  /// Telemetry trio; null when not enabled (or misconfigured — ok()).
+  TimeSeriesSampler* sampler() { return sampler_.get(); }
+  const TimeSeriesSampler* sampler() const { return sampler_.get(); }
+  FlightRecorder* flight_recorder() { return flight_.get(); }
+  const FlightRecorder* flight_recorder() const { return flight_.get(); }
+  HealthWatchdog* watchdog() { return watchdog_.get(); }
+  const HealthWatchdog* watchdog() const { return watchdog_.get(); }
+
+  /// Configuration error from construction (bad health rules, sampler
+  /// without metrics, ...). Empty = ok. The affected telemetry piece
+  /// stays disabled; the base Observer still works.
+  const std::string& error() const { return init_error_; }
+  bool ok() const { return init_error_.empty(); }
+
+  /// Advance continuous telemetry to simulated time `now`: close every
+  /// due sampling window and run watchdog rules over each. One null
+  /// compare when the sampler is off. Call from the simulation thread
+  /// before processing each request (sim::ReplayTrace does).
+  void PumpTelemetry(SimTime now);
+
+  /// End-of-run: close the final partial window, run the watchdog over
+  /// it, and return the health report (empty report when no watchdog).
+  HealthWatchdog::Report FinishTelemetry(SimTime end);
 
   /// Register the pool's counters (jobs, queue depth, per-thread busy
   /// time) as a *volatile* collector: wall-clock and scheduling
@@ -61,6 +114,11 @@ class Observer {
   Options options_;
   MetricRegistry registry_;
   TraceRecorder recorder_;
+  std::string init_error_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
+  std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<HealthWatchdog> watchdog_;
+  u64 next_watchdog_window_ = 0;
 };
 
 }  // namespace edc::obs

@@ -1,0 +1,148 @@
+// TimeSeriesSampler: continuous, windowed telemetry over a MetricRegistry.
+//
+// The sampler snapshots the registry on a fixed SimTime cadence and folds
+// every sample into a columnar store: one column (series) per
+// (name, labels) pair, one row per completed window. Counters are
+// delta-encoded (each window holds the increment inside that window);
+// gauges hold their value at the window boundary; histograms are reduced
+// to four derived gauge/counter columns — `<name>:count`, `<name>:sum`
+// (per-window deltas) and `<name>:p50` / `<name>:p99` (quantiles of the
+// observations that landed *inside* the window, NaN for empty windows) —
+// so per-class latency percentiles exist as first-class time series the
+// HealthWatchdog can evaluate.
+//
+// Determinism: windows close at exact multiples of the period, every
+// value is derived from the deterministic registry snapshot, and the
+// JSON/CSV exports render through the same stable formatters as the
+// metrics exporters — two replays with the same seed produce
+// byte-identical `edc-timeseries-v1` documents.
+//
+// Retention is a bounded ring: with retention_windows = R only the most
+// recent R windows stay resident (first_retained() advances as old rows
+// are dropped), so a week-long replay samples in O(series × R) memory.
+//
+// Thread contract: like the engine, the sampler is thread-confined — all
+// calls must come from the (single) simulation thread. The registry
+// snapshot it takes is internally synchronized.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace edc::obs {
+
+struct SamplerConfig {
+  /// Window length in simulated time. Must be > 0.
+  SimTime period = 100 * kMillisecond;
+  /// Ring size: most recent windows kept resident (0 = keep everything).
+  std::size_t retention_windows = 0;
+};
+
+class TimeSeriesSampler {
+ public:
+  /// `registry` must outlive the sampler.
+  TimeSeriesSampler(const SamplerConfig& config,
+                    const MetricRegistry* registry);
+
+  /// Complete every window whose end is <= now (simulated time). Call
+  /// before processing each request; costs one boundary compare when no
+  /// window closes. Returns the number of windows completed by this call.
+  u64 AdvanceTo(SimTime now);
+
+  /// Close the in-progress partial window at `now` (end of run), so the
+  /// tail of the trace is captured. Returns true when a (short) final
+  /// window was added. After this call the sampler is finalized and
+  /// further AdvanceTo calls are no-ops.
+  bool ForceWindow(SimTime now);
+
+  SimTime period() const { return config_.period; }
+  /// Total windows ever completed (monotonic, unaffected by retention).
+  u64 windows_completed() const { return windows_completed_; }
+  /// Absolute index of the oldest retained window.
+  u64 first_retained() const { return first_retained_; }
+  std::size_t retained() const { return window_ends_.size(); }
+  /// End timestamp of retained window `w` (absolute index).
+  SimTime WindowEnd(u64 w) const;
+
+  /// One column of the store. `values` holds one entry per retained
+  /// window: per-window deltas for counters, boundary values for gauges.
+  struct Series {
+    std::string name;  // derived histogram columns carry a ":pXX" suffix
+    LabelSet labels;
+    bool counter = false;     // true: values are per-window deltas
+    double cumulative = 0;    // counters: cumulative value at last window
+    std::vector<double> values;
+
+    /// Value usable for threshold rules at retained window `rel` (index
+    /// into `values`): cumulative-so-far for counters, the boundary value
+    /// for gauges.
+    double LevelAt(std::size_t rel) const;
+    /// Per-window change at `rel`: the delta for counters, the
+    /// difference from the previous window for gauges.
+    double DeltaAt(std::size_t rel) const;
+
+   private:
+    friend class TimeSeriesSampler;
+    bool quantile = false;          // derived :pXX column (NaN filler)
+    std::vector<u64> last_buckets;  // histogram :count columns only
+  };
+
+  /// Null when the series never appeared. Derived histogram columns are
+  /// looked up by their suffixed name (e.g. "edc_read_latency_us:p99").
+  const Series* Find(const std::string& name,
+                     const LabelSet& labels = {}) const;
+
+  /// All series, sorted by (name, labels) — the export column order.
+  std::vector<const Series*> AllSeries() const;
+
+  /// {"schema":"edc-timeseries-v1",...} — docs/observability.md has the
+  /// full schema. `last_n` = 0 exports every retained window; otherwise
+  /// only the most recent `last_n` (the flight recorder's bundle view).
+  std::string ToJson(std::size_t last_n = 0) const;
+
+  /// One row per window: `window,end_ns,<column per series>`.
+  std::string ToCsv() const;
+
+ private:
+  struct Key {
+    std::string name;
+    LabelSet labels;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  SimTime NextBoundary() const {
+    return static_cast<SimTime>(windows_completed_ + 1) * config_.period;
+  }
+
+  /// Fold one registry snapshot into a window ending at `end`. Only the
+  /// first of a run of simultaneously-closed windows carries deltas;
+  /// `empty` marks the replicas (no state changed inside them).
+  void AppendWindow(const MetricsSnapshot& snap, SimTime end, bool empty);
+
+  Series* FindOrCreate(const std::string& name, const LabelSet& labels,
+                       bool counter, bool quantile = false);
+
+  /// Quantile of the observations inside one window, from per-bucket
+  /// deltas (Prometheus-style linear interpolation; NaN when the window
+  /// saw no observations).
+  static double WindowQuantile(const std::vector<double>& bounds,
+                               const std::vector<u64>& delta_counts,
+                               double q);
+
+  SamplerConfig config_;
+  const MetricRegistry* registry_;
+  u64 windows_completed_ = 0;
+  u64 first_retained_ = 0;
+  bool finalized_ = false;
+  std::vector<SimTime> window_ends_;  // aligned with retained windows
+  std::map<Key, Series> series_;
+};
+
+}  // namespace edc::obs

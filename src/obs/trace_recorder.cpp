@@ -6,11 +6,8 @@
 #include "obs/metrics.hpp"  // JsonEscape, FormatDouble
 
 namespace edc::obs {
-namespace {
 
-/// SimTime nanoseconds as microseconds with exactly three fraction
-/// digits — integer math only, so the text is deterministic.
-std::string FormatTsUs(SimTime ns) {
+std::string FormatTraceTsUs(SimTime ns) {
   bool neg = ns < 0;
   u64 abs = neg ? static_cast<u64>(-ns) : static_cast<u64>(ns);
   char buf[40];
@@ -20,39 +17,20 @@ std::string FormatTsUs(SimTime ns) {
   return buf;
 }
 
+namespace {
+
 void AppendArgValue(std::string* out, const TraceArg& arg) {
   struct Visitor {
     std::string* out;
     void operator()(u64 v) { *out += std::to_string(v); }
     void operator()(i64 v) { *out += std::to_string(v); }
-    void operator()(double v) {
-      std::string s = FormatDouble(v);
-      // JSON has no Inf/NaN literals; quote the rare non-finite value.
-      if (!s.empty() && (s == "NaN" || s.back() == 'f')) {
-        *out += "\"" + s + "\"";
-      } else {
-        *out += s;
-      }
-    }
+    void operator()(double v) { *out += JsonNumber(v); }
     void operator()(const std::string& v) {
       *out += "\"" + JsonEscape(v) + "\"";
     }
     void operator()(bool v) { *out += v ? "true" : "false"; }
   };
   std::visit(Visitor{out}, arg.value);
-}
-
-void AppendArgs(std::string* out, const TraceArgs& args) {
-  if (args.empty()) return;
-  *out += ",\"args\":{";
-  bool first = true;
-  for (const TraceArg& a : args) {
-    if (!first) *out += ',';
-    first = false;
-    *out += "\"" + JsonEscape(a.key) + "\":";
-    AppendArgValue(out, a);
-  }
-  *out += "}";
 }
 
 std::vector<std::string> ParseFilter(const std::string& filter) {
@@ -73,6 +51,19 @@ std::vector<std::string> ParseFilter(const std::string& filter) {
 
 }  // namespace
 
+void AppendTraceArgs(std::string* out, const TraceArgs& args) {
+  if (args.empty()) return;
+  *out += ",\"args\":{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) *out += ',';
+    first = false;
+    *out += "\"" + JsonEscape(a.key) + "\":";
+    AppendArgValue(out, a);
+  }
+  *out += "}";
+}
+
 TraceRecorder::TraceRecorder(const std::string& filter)
     : filter_(ParseFilter(filter)) {}
 
@@ -83,6 +74,10 @@ bool TraceRecorder::Enabled(std::string_view cat) const {
 
 void TraceRecorder::Span(std::string name, std::string_view cat, u32 tid,
                          SimTime start, SimTime end, TraceArgs args) {
+  if (tap_ != nullptr) {
+    tap_->OnTraceEvent('X', name, cat, tid, start,
+                       end >= start ? end - start : 0, args);
+  }
   if (!Enabled(cat)) return;
   Event e;
   e.name = std::move(name);
@@ -98,6 +93,9 @@ void TraceRecorder::Span(std::string name, std::string_view cat, u32 tid,
 
 void TraceRecorder::Instant(std::string name, std::string_view cat,
                             u32 tid, SimTime ts, TraceArgs args) {
+  if (tap_ != nullptr) {
+    tap_->OnTraceEvent('i', name, cat, tid, ts, 0, args);
+  }
   if (!Enabled(cat)) return;
   Event e;
   e.name = std::move(name);
@@ -122,6 +120,14 @@ void TraceRecorder::NameThread(u32 tid, std::string name) {
   thread_names_.emplace_back(tid, std::move(name));
 }
 
+std::vector<std::pair<u32, std::string>> TraceRecorder::ThreadNames()
+    const {
+  sync::MutexLock lock(&mu_);
+  auto names = thread_names_;
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 std::string TraceRecorder::ToJson() const {
   sync::MutexLock lock(&mu_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -143,10 +149,10 @@ std::string TraceRecorder::ToJson() const {
            JsonEscape(e.cat) + "\",\"ph\":\"";
     out += e.phase;
     out += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
-           ",\"ts\":" + FormatTsUs(e.ts);
-    if (e.phase == 'X') out += ",\"dur\":" + FormatTsUs(e.dur);
+           ",\"ts\":" + FormatTraceTsUs(e.ts);
+    if (e.phase == 'X') out += ",\"dur\":" + FormatTraceTsUs(e.dur);
     if (e.phase == 'i') out += ",\"s\":\"t\"";
-    AppendArgs(&out, e.args);
+    AppendTraceArgs(&out, e.args);
     out += "}";
   }
   out += "]}";

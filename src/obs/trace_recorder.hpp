@@ -31,6 +31,7 @@ inline constexpr u32 kHostTid = 0;
 inline constexpr u32 kCpuTidBase = 1;  // + modeled context index
 inline constexpr u32 kDeviceTid = 64;
 inline constexpr u32 kJournalTid = 96;
+inline constexpr u32 kHealthTid = 112;  // watchdog alert/clear instants
 
 /// One "args" entry on an event. Values keep their arrival type so the
 /// JSON renders integers as integers and strings quoted.
@@ -54,6 +55,30 @@ struct TraceArg {
 
 using TraceArgs = std::vector<TraceArg>;
 
+/// SimTime nanoseconds as microseconds with exactly three fraction
+/// digits — integer math only, so the text is deterministic. The `ts`
+/// rendering used by every trace-event exporter (recorder and flight
+/// recorder agree byte-for-byte on timestamps).
+std::string FormatTraceTsUs(SimTime ns);
+
+/// Render `args` as the trailing `,"args":{...}` fragment of a trace
+/// event (empty args render nothing).
+void AppendTraceArgs(std::string* out, const TraceArgs& args);
+
+/// Observer of every event offered to a TraceRecorder, invoked *before*
+/// the category filter so a narrow --trace-filter does not blind it.
+/// Called on the recording (simulation) thread with no recorder lock
+/// held; implementations must not call back into the recorder's
+/// Span/Instant from inside the callback.
+class TraceEventTap {
+ public:
+  virtual ~TraceEventTap() = default;
+  /// `dur` is 0 for instants ('i'); spans ('X') carry end - start.
+  virtual void OnTraceEvent(char phase, const std::string& name,
+                            std::string_view cat, u32 tid, SimTime ts,
+                            SimTime dur, const TraceArgs& args) = 0;
+};
+
 class TraceRecorder {
  public:
   /// `filter` is a comma-separated list of categories to record
@@ -76,6 +101,16 @@ class TraceRecorder {
   /// Name a lane; rendered as a "thread_name" metadata event.
   void NameThread(u32 tid, std::string name) EDC_EXCLUDES(mu_);
 
+  /// Attach an event tap (the FlightRecorder). Must be set before
+  /// recording starts and not changed while events are flowing — the
+  /// pointer is read unguarded on the recording path. Null detaches.
+  void SetTap(TraceEventTap* tap) { tap_ = tap; }
+
+  /// Lane names registered via NameThread, sorted by tid (the flight
+  /// recorder labels its per-lane rings with these).
+  std::vector<std::pair<u32, std::string>> ThreadNames() const
+      EDC_EXCLUDES(mu_);
+
   std::size_t event_count() const EDC_EXCLUDES(mu_) {
     sync::MutexLock lock(&mu_);
     return events_.size();
@@ -97,6 +132,7 @@ class TraceRecorder {
   };
 
   const std::vector<std::string> filter_;  // empty = record everything
+  TraceEventTap* tap_ = nullptr;  // set during wiring, before recording
   mutable sync::Mutex mu_{sync::lock_rank::kObsTrace, "TraceRecorder.mu"};
   std::vector<Event> events_ EDC_GUARDED_BY(mu_);
   std::vector<std::pair<u32, std::string>> thread_names_

@@ -20,6 +20,7 @@ Result<ReplayResult> ReplayTrace(core::Stack& stack,
       options.percentile_capacity,
       stack.config().seed ^ 0xC2B2AE3D27D4EB4Full);
   core::Engine& engine = stack.engine();
+  obs::Observer* obs = stack.config().obs;
 
   u64 limit = options.max_requests == 0
                   ? trace.records.size()
@@ -27,6 +28,10 @@ Result<ReplayResult> ReplayTrace(core::Stack& stack,
                                   trace.records.size());
   for (u64 i = 0; i < limit; ++i) {
     const trace::TraceRecord& r = trace.records[i];
+    // Close every sampling window due before this request (one null
+    // compare when telemetry is off; windows are simulated time, so
+    // sampling perturbs nothing).
+    if (obs != nullptr) obs->PumpTelemetry(r.timestamp);
     Result<SimTime> completion =
         r.op == trace::OpType::kWrite
             ? engine.Write(r.timestamp, r.offset, r.size)
@@ -62,8 +67,12 @@ Result<ReplayResult> ReplayTrace(core::Stack& stack,
   result.engine = engine.stats();
   result.device = stack.device().stats();
   result.compression_ratio = result.engine.cumulative_ratio();
-  if (stack.config().obs != nullptr) {
-    result.metrics = stack.config().obs->Snapshot();
+  if (obs != nullptr) {
+    // Close the final partial window and run the watchdog over it
+    // before snapshotting, so edc_health_* counters agree with the
+    // report.
+    result.health = obs->FinishTelemetry(trace.duration());
+    result.metrics = obs->Snapshot();
   }
   return result;
 }

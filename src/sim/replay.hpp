@@ -7,6 +7,7 @@
 
 #include "common/stats.hpp"
 #include "edc/stack.hpp"
+#include "obs/watchdog.hpp"
 #include "trace/trace.hpp"
 
 namespace edc::sim {
@@ -51,6 +52,11 @@ struct ReplayResult {
   /// Deterministic metrics snapshot, captured after the final flush; empty
   /// unless the stack was created with an Observer with metrics enabled.
   obs::MetricsSnapshot metrics;
+
+  /// End-of-run health report (watchdog events + final rule state);
+  /// empty unless the Observer was built with health rules. Finalized
+  /// before `metrics` is captured, so alert counters agree.
+  obs::HealthWatchdog::Report health;
 
   /// Fraction of the trace during which the device was serving.
   double device_utilization() const {

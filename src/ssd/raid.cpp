@@ -102,6 +102,10 @@ void Rais::AttachObs(obs::Observer* observer, u32 tid) {
         "edc_rais_degraded", {},
         "1 while a RAIS member is failed and its content is only "
         "reachable through parity, else 0");
+    rebuild_progress_gauge_ = observer->metrics()->GetGauge(
+        "edc_rais_rebuild_progress", {},
+        "Rows rebuilt / total rows: 1 healthy, 0 degraded with no "
+        "rebuild running (or array lost), cursor fraction mid-rebuild");
     SetDegradedGauge();
   }
   for (u32 i = 0; i < config_.num_disks; ++i) {
@@ -121,8 +125,23 @@ void Rais::AttachObs(obs::Observer* observer, u32 tid) {
 }
 
 void Rais::SetDegradedGauge() {
-  if (degraded_gauge_ == nullptr) return;
-  degraded_gauge_->Set(dead_member_ == kNoMember ? 0.0 : 1.0);
+  if (degraded_gauge_ != nullptr) {
+    degraded_gauge_->Set(dead_member_ == kNoMember ? 0.0 : 1.0);
+  }
+  if (rebuild_progress_gauge_ != nullptr) {
+    double progress;
+    if (array_failed_) {
+      progress = 0.0;
+    } else if (dead_member_ == kNoMember) {
+      progress = 1.0;  // healthy (includes just-finished rebuilds)
+    } else if (rebuilding_ && rows_ > 0) {
+      progress = static_cast<double>(rebuild_cursor_row_) /
+                 static_cast<double>(rows_);
+    } else {
+      progress = 0.0;  // degraded with no rebuild running
+    }
+    rebuild_progress_gauge_->Set(progress);
+  }
 }
 
 u64 Rais::logical_pages() const {
@@ -199,7 +218,14 @@ Status Rais::ArrayFailedStatus() const {
                           " failed; array lost");
 }
 
-Status Rais::DoubleFaultError(Lba lba, u32 member_a, u32 member_b) const {
+Status Rais::DoubleFaultError(Lba lba, u32 member_a, u32 member_b,
+                              SimTime now) const {
+  if (trace_ != nullptr) {
+    trace_->Instant("rais.data_loss", "rais", trace_tid_, now,
+                    {{"lba", lba},
+                     {"member_a", member_a},
+                     {"member_b", member_b}});
+  }
   return Status::DataLoss(
       "RAIS5: unrecoverable page " + std::to_string(lba) + ": members " +
       std::to_string(member_a) + " and " + std::to_string(member_b) +
@@ -221,6 +247,12 @@ void Rais::NoteMemberDeath(u32 member, SimTime now) {
   }
   second_dead_member_ = member;
   array_failed_ = true;
+  SetDegradedGauge();
+  if (trace_ != nullptr) {
+    trace_->Instant("rais.array_failed", "rais", trace_tid_, now,
+                    {{"member_a", dead_member_},
+                     {"member_b", second_dead_member_}});
+  }
 }
 
 Status Rais::HandleMemberError(Ssd* dev, u32 slot, const Status& st,
@@ -232,6 +264,12 @@ Status Rais::HandleMemberError(Ssd* dev, u32 slot, const Status& st,
     // A spare dying mid-rebuild takes the already-copied rows with it.
     if (dev->fault().member_failed()) {
       array_failed_ = true;
+      SetDegradedGauge();
+      if (trace_ != nullptr) {
+        trace_->Instant("rais.array_failed", "rais", trace_tid_, now,
+                        {{"member_a", dead_member_},
+                         {"spare", active_spare_}});
+      }
       return Status::DataLoss(
           "RAIS5: spare failed during rebuild of member " +
           std::to_string(dead_member_));
@@ -491,7 +529,7 @@ Result<IoResult> Rais::ReconstructPage(Lba lba, u32 skip, SimTime arrival) {
     if (s == nullptr) {
       // Two chunks of the row are missing: data loss, name both members.
       ++unrecoverable_reads_;
-      return DoubleFaultError(lba, skip, d);
+      return DoubleFaultError(lba, skip, d, arrival);
     }
     auto rr = s->Read(p.disk_lba, 1, arrival);
     if (!rr.ok()) {
@@ -499,11 +537,11 @@ Result<IoResult> Rais::ReconstructPage(Lba lba, u32 skip, SimTime arrival) {
           d != dead_member_ && disks_[d]->fault().member_failed()) {
         NoteMemberDeath(d, arrival);
         ++unrecoverable_reads_;
-        return DoubleFaultError(lba, skip, d);
+        return DoubleFaultError(lba, skip, d, arrival);
       }
       if (rr.status().code() == StatusCode::kMediaError) {
         ++unrecoverable_reads_;
-        return DoubleFaultError(lba, skip, d);
+        return DoubleFaultError(lba, skip, d, arrival);
       }
       return rr.status();
     }
@@ -737,6 +775,7 @@ void Rais::StartRebuild(SimTime now) {
   active_spare_ = s;
   rebuilding_ = true;
   rebuild_cursor_row_ = 0;
+  SetDegradedGauge();
   if (trace_ != nullptr) {
     trace_->Instant("rais.rebuild_start", "rais", trace_tid_, now,
                     {{"member", dead_member_}, {"spare", s}});
@@ -805,6 +844,7 @@ Result<bool> Rais::PumpRebuild(SimTime now) {
       }
     }
   }
+  SetDegradedGauge();  // refresh edc_rais_rebuild_progress
   if (rebuild_cursor_row_ >= rows_) FinishRebuild(now);
   return rebuilding_;
 }

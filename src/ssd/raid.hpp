@@ -193,7 +193,8 @@ class Rais final : public Device {
   void NoteMemberDeath(u32 member, SimTime now);
 
   /// kDataLoss for a page lost to a double fault, naming both members.
-  Status DoubleFaultError(Lba lba, u32 member_a, u32 member_b) const;
+  Status DoubleFaultError(Lba lba, u32 member_a, u32 member_b,
+                          SimTime now) const;
   /// kDataLoss for any operation once two members are dead.
   Status ArrayFailedStatus() const;
 
@@ -248,6 +249,7 @@ class Rais final : public Device {
 
   obs::TraceRecorder* trace_ = nullptr;
   obs::Gauge* degraded_gauge_ = nullptr;
+  obs::Gauge* rebuild_progress_gauge_ = nullptr;
   u32 trace_tid_ = 0;
 };
 

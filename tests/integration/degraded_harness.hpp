@@ -45,6 +45,10 @@ struct DegradedParams {
   u64 cut_after_rebuild_pumps = 0;  // whole-array power cut mid-rebuild
                                     // after this many pumps (0 = never)
   bool with_obs = false;  // attach an Observer and export its state
+  /// Full continuous telemetry: sampler (5 ms windows), flight recorder
+  /// and the default health rules ride along with the Observer (implies
+  /// with_obs). Exports land in ScenarioResult.
+  bool with_telemetry = false;
 };
 
 struct Op {
@@ -106,6 +110,10 @@ struct ScenarioResult {
   std::string metrics;        // Prometheus export ("" without obs)
   std::string trace_json;     // trace export ("" without obs)
   ssd::DeviceStats dev_stats;
+  // with_telemetry only:
+  std::string timeseries;                // edc-timeseries-v1 JSON
+  std::string health;                    // edc-health-v1 JSON
+  std::vector<obs::FlightRecorder::Bundle> postmortems;
 };
 
 /// Shadow version model: absent = never written (zeros).
@@ -146,7 +154,17 @@ inline void RunDegradedScenario(const DegradedParams& p,
   const std::vector<Op> trace = MakeTrace(p);
 
   std::unique_ptr<obs::Observer> observer;
-  if (p.with_obs) observer = std::make_unique<obs::Observer>();
+  if (p.with_telemetry) {
+    obs::Observer::Options oo;
+    oo.sampler = true;
+    oo.sample_period = 5 * kMillisecond;
+    oo.flight_recorder = true;
+    oo.health_rules = obs::DefaultHealthRules();
+    observer = std::make_unique<obs::Observer>(oo);
+    ASSERT_TRUE(observer->ok()) << observer->error();
+  } else if (p.with_obs) {
+    observer = std::make_unique<obs::Observer>();
+  }
 
   ssd::Rais dev(ArrayConfig(p));
   if (observer != nullptr) dev.AttachObs(observer.get(), obs::kDeviceTid);
@@ -157,6 +175,7 @@ inline void RunDegradedScenario(const DegradedParams& p,
   Shadow shadow;
   SimTime clock = 0;
   for (u64 i = 0; i < trace.size(); ++i) {
+    if (observer != nullptr) observer->PumpTelemetry(clock);
     if (i == p.fail_at_host_op) {
       Status st = dev.FailMemberNow(p.fail_member, clock);
       EXPECT_TRUE(st.ok()) << st.ToString();
@@ -253,6 +272,14 @@ inline void RunDegradedScenario(const DegradedParams& p,
   }
   out->dev_stats = dev.stats();
   if (observer != nullptr) {
+    if (observer->sampler() != nullptr) {
+      obs::HealthWatchdog::Report health = observer->FinishTelemetry(clock);
+      out->timeseries = observer->sampler()->ToJson();
+      out->health = health.ToJson();
+    }
+    if (observer->flight_recorder() != nullptr) {
+      out->postmortems = observer->flight_recorder()->bundles();
+    }
     out->metrics = observer->Snapshot().ToPrometheus();
     if (observer->trace() != nullptr) {
       out->trace_json = observer->trace()->ToJson();
@@ -278,6 +305,13 @@ inline void RunDeterminismPair(const DegradedParams& p) {
   EXPECT_EQ(a.dev_stats.rebuild_rows_done, b.dev_stats.rebuild_rows_done);
   EXPECT_EQ(a.metrics, b.metrics) << "metrics exports diverged";
   EXPECT_EQ(a.trace_json, b.trace_json) << "trace exports diverged";
+  EXPECT_EQ(a.timeseries, b.timeseries) << "timeseries exports diverged";
+  EXPECT_EQ(a.health, b.health) << "health exports diverged";
+  ASSERT_EQ(a.postmortems.size(), b.postmortems.size());
+  for (std::size_t i = 0; i < a.postmortems.size(); ++i) {
+    EXPECT_EQ(a.postmortems[i].json, b.postmortems[i].json)
+        << "postmortem " << i << " diverged";
+  }
 }
 
 }  // namespace edc::core::degradedtest

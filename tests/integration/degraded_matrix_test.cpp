@@ -72,5 +72,40 @@ TEST(DegradedMatrix, ScenarioIsDeterministicWithObserverAttached) {
   RunDeterminismPair(p);
 }
 
+TEST(DegradedMatrix, TelemetryCapturesTheMemberDeath) {
+  DegradedParams p;
+  p.seed = 61;
+  p.fail_member = 1;
+  p.num_spares = 1;
+  p.with_telemetry = true;
+  ScenarioResult r;
+  RunDegradedScenario(p, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Exactly one postmortem bundle: rais.member_failed fired once, and
+  // the flight recorder arms each trigger name only once per run.
+  ASSERT_EQ(r.postmortems.size(), 1u);
+  EXPECT_EQ(r.postmortems[0].trigger, "rais.member_failed");
+  // The member dies before host op 16 (clock 16 ms, 5 ms windows): the
+  // bundle carries completed run-up windows, not an empty store.
+  EXPECT_EQ(r.postmortems[0].json.find("\"windows\":null"),
+            std::string::npos);
+  EXPECT_EQ(r.postmortems[0].json.find("\"windows\":0,"),
+            std::string::npos);
+  // Health + timeseries exports exist and saw the degraded gauge flip.
+  EXPECT_NE(r.health.find("\"rule\":\"rais-degraded\""), std::string::npos);
+  EXPECT_NE(r.timeseries.find("edc_rais_rebuild_progress"),
+            std::string::npos);
+}
+
+TEST(DegradedMatrix, TelemetryScenarioIsDeterministic) {
+  DegradedParams p;
+  p.seed = 71;
+  p.fail_member = 0;
+  p.num_spares = 1;
+  p.with_telemetry = true;
+  RunDeterminismPair(p);
+}
+
 }  // namespace
 }  // namespace edc::core::degradedtest

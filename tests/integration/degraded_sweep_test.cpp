@@ -75,5 +75,46 @@ TEST(DegradedSweep, DeterministicEvenAcrossAPowerCutRerun) {
   RunDeterminismPair(p);
 }
 
+TEST(DegradedSweep, MemberDeathEmitsExactlyOnePostmortemBundle) {
+  DegradedParams p = SweepBase();
+  p.seed = 151;
+  p.fail_member = 2;
+  p.num_spares = 1;
+  p.with_telemetry = true;
+  ScenarioResult r;
+  RunDegradedScenario(p, &r);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // One distinct trigger fired (rais.member_failed) -> exactly one
+  // bundle, even though degraded writes/reads keep flowing afterwards.
+  ASSERT_EQ(r.postmortems.size(), 1u);
+  const obs::FlightRecorder::Bundle& b = r.postmortems[0];
+  EXPECT_EQ(b.trigger, "rais.member_failed");
+  EXPECT_NE(b.json.find("\"schema\":\"edc-postmortem-v1\""),
+            std::string::npos);
+  // The bundle embeds the triggering event itself...
+  EXPECT_NE(b.json.find("\"name\":\"rais.member_failed\""),
+            std::string::npos);
+  // ...and at least one completed sampling window of run-up (the member
+  // dies at host op 512 = 512 ms >> one 5 ms window).
+  std::size_t windows_pos = b.json.find("\"windows\":{");
+  ASSERT_NE(windows_pos, std::string::npos);
+  EXPECT_EQ(b.json.find("\"windows\":null"), std::string::npos);
+  EXPECT_EQ(b.json.find("\"windows\":0,", windows_pos), std::string::npos);
+
+  // The health watchdog saw the degraded state.
+  EXPECT_NE(r.health.find("\"rule\":\"rais-degraded\""), std::string::npos);
+  EXPECT_NE(r.timeseries.find("edc_rais_degraded"), std::string::npos);
+}
+
+TEST(DegradedSweep, TelemetryExportsAreByteIdenticalAcrossReruns) {
+  DegradedParams p = SweepBase();
+  p.seed = 161;
+  p.fail_member = 0;
+  p.num_spares = 1;
+  p.with_telemetry = true;
+  RunDeterminismPair(p);
+}
+
 }  // namespace
 }  // namespace edc::core::degradedtest

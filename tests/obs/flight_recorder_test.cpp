@@ -1,0 +1,175 @@
+// FlightRecorder unit tests: lane rings, trigger arming, once-per-name
+// firing, and the edc-postmortem-v1 bundle contents
+// (docs/observability.md#postmortem-bundles).
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace edc::obs {
+namespace {
+
+FlightRecorderConfig SmallConfig() {
+  FlightRecorderConfig c;
+  c.events_per_lane = 4;
+  c.bundle_windows = 2;
+  return c;
+}
+
+TEST(FlightRecorder, DefaultTriggersCoverTheFaultLifecycle) {
+  MetricRegistry reg;
+  TraceRecorder trace;
+  FlightRecorder fr(FlightRecorderConfig{}, &reg, nullptr, &trace);
+  EXPECT_TRUE(fr.IsTrigger("breaker.open"));
+  EXPECT_TRUE(fr.IsTrigger("rais.member_failed"));
+  EXPECT_TRUE(fr.IsTrigger("rais.data_loss"));
+  EXPECT_TRUE(fr.IsTrigger("audit.fail"));
+  EXPECT_FALSE(fr.IsTrigger("host.write"));
+}
+
+TEST(FlightRecorder, TapSeesEventsAndFiresOnTrigger) {
+  MetricRegistry reg;
+  reg.GetCounter("edc_ops_total")->Inc(42);
+  // A filter that would hide everything from the trace must NOT blind
+  // the flight recorder (the tap runs before the filter).
+  TraceRecorder trace("nonexistent-category");
+  FlightRecorder fr(SmallConfig(), &reg, nullptr, &trace);
+  trace.SetTap(&fr);
+
+  trace.NameThread(kHostTid, "host");
+  for (int i = 0; i < 10; ++i) {
+    trace.Span("host.write", "host", kHostTid, i * 1000, i * 1000 + 500);
+  }
+  EXPECT_TRUE(fr.bundles().empty());
+  trace.Instant("breaker.open", "fault", kHostTid, 99000,
+                {{"budget", static_cast<u64>(3)}});
+
+  ASSERT_EQ(fr.bundles().size(), 1u);
+  const FlightRecorder::Bundle& b = fr.bundles()[0];
+  EXPECT_EQ(b.seq, 1u);
+  EXPECT_EQ(b.trigger, "breaker.open");
+  EXPECT_EQ(b.ts, 99000);
+  EXPECT_NE(b.json.find("\"schema\":\"edc-postmortem-v1\""),
+            std::string::npos);
+  // The trigger's own args round-trip into the bundle.
+  EXPECT_NE(b.json.find("\"budget\":3"), std::string::npos);
+  // The metrics section carries the live counter (no sampler: the delta
+  // baselines at 0, so delta == value).
+  EXPECT_NE(b.json.find("\"name\":\"edc_ops_total\""), std::string::npos);
+  EXPECT_NE(b.json.find("\"value\":42,\"delta\":42"), std::string::npos);
+  trace.SetTap(nullptr);
+}
+
+TEST(FlightRecorder, LaneRingKeepsOnlyRecentEvents) {
+  MetricRegistry reg;
+  TraceRecorder trace;
+  FlightRecorder fr(SmallConfig(), &reg, nullptr, &trace);  // 4 per lane
+  trace.SetTap(&fr);
+
+  for (int i = 0; i < 20; ++i) {
+    trace.Span("host.write", "host", kHostTid, i * 1000, i * 1000 + 10,
+               {{"op", static_cast<u64>(i)}});
+  }
+  trace.Instant("breaker.open", "fault", kHostTid, 30000);
+  ASSERT_EQ(fr.bundles().size(), 1u);
+  const std::string& json = fr.bundles()[0].json;
+  // The ring holds 4 events: the trigger itself plus the last 3 spans
+  // (ops 17..19); everything older was evicted.
+  EXPECT_EQ(json.find("\"op\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":17"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":19"), std::string::npos);
+  trace.SetTap(nullptr);
+}
+
+TEST(FlightRecorder, EachTriggerFiresOnceUntilRearmed) {
+  MetricRegistry reg;
+  TraceRecorder trace;
+  FlightRecorder fr(SmallConfig(), &reg, nullptr, &trace);
+  trace.SetTap(&fr);
+
+  trace.Instant("breaker.open", "fault", kHostTid, 1000);
+  trace.Instant("breaker.open", "fault", kHostTid, 2000);
+  EXPECT_EQ(fr.bundles().size(), 1u);
+  trace.Instant("rais.member_failed", "fault", kDeviceTid, 3000);
+  EXPECT_EQ(fr.bundles().size(), 2u);
+  EXPECT_EQ(fr.bundles()[1].seq, 2u);
+
+  fr.Rearm();
+  trace.Instant("breaker.open", "fault", kHostTid, 4000);
+  EXPECT_EQ(fr.bundles().size(), 3u);
+  trace.SetTap(nullptr);
+}
+
+TEST(FlightRecorder, CustomTriggersReplaceDefaults) {
+  MetricRegistry reg;
+  TraceRecorder trace;
+  FlightRecorderConfig cfg = SmallConfig();
+  cfg.triggers = {"gc.start"};
+  FlightRecorder fr(cfg, &reg, nullptr, &trace);
+  trace.SetTap(&fr);
+
+  trace.Instant("breaker.open", "fault", kHostTid, 1000);
+  EXPECT_TRUE(fr.bundles().empty());
+  trace.Instant("gc.start", "device", kDeviceTid, 2000);
+  EXPECT_EQ(fr.bundles().size(), 1u);
+  trace.SetTap(nullptr);
+}
+
+TEST(FlightRecorder, BundleEmbedsSamplerWindowsAndSink) {
+  MetricRegistry reg;
+  Counter* ops = reg.GetCounter("edc_ops_total");
+  TraceRecorder trace;
+  TimeSeriesSampler sampler(SamplerConfig{kMillisecond, 0}, &reg);
+  FlightRecorder fr(SmallConfig(), &reg, &sampler, &trace);
+  trace.SetTap(&fr);
+
+  std::vector<u64> sunk;
+  fr.SetSink([&sunk](const FlightRecorder::Bundle& b) {
+    sunk.push_back(b.seq);
+  });
+
+  // Three completed windows before the fault; the bundle carries the
+  // last bundle_windows = 2 of them.
+  for (int w = 1; w <= 3; ++w) {
+    ops->Inc(5);
+    sampler.AdvanceTo(w * kMillisecond);
+  }
+  ops->Inc(2);  // post-window activity: shows up as a bundle delta
+  trace.Instant("rais.data_loss", "fault", kDeviceTid,
+                3 * kMillisecond + 500);
+
+  ASSERT_EQ(fr.bundles().size(), 1u);
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0], 1u);
+  const std::string& json = fr.bundles()[0].json;
+  EXPECT_NE(json.find("\"edc-timeseries-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"first_window\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"windows\":2"), std::string::npos);
+  // The metrics section reports the live counter value and its delta
+  // since the last completed window (17 = 15 at window close + 2).
+  EXPECT_NE(json.find("\"value\":17"), std::string::npos);
+  EXPECT_NE(json.find("\"delta\":2"), std::string::npos);
+  trace.SetTap(nullptr);
+}
+
+TEST(FlightRecorder, BundlesAreByteStableAcrossIdenticalRuns) {
+  auto run = [] {
+    MetricRegistry reg;
+    reg.GetCounter("edc_ops_total")->Inc(7);
+    TraceRecorder trace;
+    FlightRecorder fr(SmallConfig(), &reg, nullptr, &trace);
+    trace.SetTap(&fr);
+    trace.NameThread(kHostTid, "host");
+    trace.Span("host.write", "host", kHostTid, 1000, 2000);
+    trace.Instant("audit.fail", "fault", kHostTid, 5000,
+                  {{"violations", static_cast<u64>(2)}});
+    trace.SetTap(nullptr);
+    return fr.bundles().at(0).json;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace edc::obs

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace edc::obs {
 namespace {
 
@@ -188,6 +190,55 @@ TEST(JsonEscapeTest, EscapesControlAndQuotes) {
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(JsonEscape("x\ny"), "x\\ny");
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(FormatDoubleTest, NonFiniteValuesUseStableTokens) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+}
+
+TEST(JsonNumberTest, QuotesNonFiniteSoJsonStaysValid) {
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+  EXPECT_EQ(JsonNumber(4), "4");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()),
+            "\"NaN\"");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()),
+            "\"+Inf\"");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()),
+            "\"-Inf\"");
+}
+
+// Regression: a NaN/Inf gauge must not corrupt the JSON export (bare
+// NaN is not a JSON value) while the Prometheus export keeps the bare
+// exposition-format tokens.
+TEST(ExporterTest, NonFiniteGaugeStaysParseableInBothFormats) {
+  MetricRegistry reg;
+  reg.GetGauge("edc_nan_gauge")->Set(
+      std::numeric_limits<double>::quiet_NaN());
+  reg.GetGauge("edc_inf_gauge")->Set(
+      std::numeric_limits<double>::infinity());
+  MetricsSnapshot snap = reg.Snapshot();
+
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"value\":\"NaN\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":\"+Inf\""), std::string::npos);
+  EXPECT_EQ(json.find(":NaN"), std::string::npos)
+      << "bare NaN would break every JSON parser";
+
+  std::string prom = snap.ToPrometheus();
+  EXPECT_NE(prom.find("edc_nan_gauge NaN"), std::string::npos);
+  EXPECT_NE(prom.find("edc_inf_gauge +Inf"), std::string::npos);
+}
+
+TEST(ExporterTest, NonFiniteHistogramSumStaysParseableInJson) {
+  MetricRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("edc_h", {}, {1.0, 10.0});
+  h->Observe(std::numeric_limits<double>::infinity());
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"sum\":\"+Inf\""), std::string::npos);
+  EXPECT_EQ(json.find(":Inf"), std::string::npos);
 }
 
 }  // namespace

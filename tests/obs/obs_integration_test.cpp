@@ -178,6 +178,124 @@ TEST(ObsIntegration, MetricsOnlyObserverRecordsNoTrace) {
   EXPECT_FALSE(r.metrics.empty());
 }
 
+Observer::Options FullTelemetryOptions() {
+  Observer::Options oo;
+  oo.sampler = true;
+  oo.sample_period = 50 * kMillisecond;
+  oo.flight_recorder = true;
+  oo.health_rules = DefaultHealthRules();
+  return oo;
+}
+
+TEST(ObsIntegration, FullTelemetryDoesNotPerturbSimulation) {
+  trace::Trace t = SmallTrace("Fin2", 2.0);
+  StackConfig cfg = BaseConfig(Scheme::kEdc);
+
+  sim::ReplayResult off = Replay(t, cfg, nullptr);
+  Observer observer(FullTelemetryOptions());
+  ASSERT_TRUE(observer.ok()) << observer.error();
+  sim::ReplayResult on = Replay(t, cfg, &observer);
+
+  // Sampler + watchdog + flight recorder enabled: every simulated
+  // timestamp must be unchanged.
+  EXPECT_EQ(off.requests, on.requests);
+  EXPECT_EQ(off.response_us.mean(), on.response_us.mean());
+  EXPECT_EQ(off.p99_us, on.p99_us);
+  EXPECT_EQ(off.write_p99_us, on.write_p99_us);
+  EXPECT_EQ(off.read_p99_us, on.read_p99_us);
+  EXPECT_EQ(off.compression_ratio, on.compression_ratio);
+  EXPECT_EQ(off.engine.groups_written, on.engine.groups_written);
+  EXPECT_EQ(off.device.host_pages_written, on.device.host_pages_written);
+
+  // The run actually sampled: windows exist and carry host activity.
+  ASSERT_NE(observer.sampler(), nullptr);
+  EXPECT_GT(observer.sampler()->windows_completed(), 10u);
+  EXPECT_NE(observer.sampler()->Find("edc_host_writes_total"), nullptr);
+  // Healthy run: the default rules stay quiet, report lands in the
+  // ReplayResult.
+  EXPECT_TRUE(on.health.healthy());
+  EXPECT_GT(on.health.windows_evaluated, 10u);
+
+  Observer observer2(FullTelemetryOptions());
+  EXPECT_EQ(MapImage(t, cfg, nullptr), MapImage(t, cfg, &observer2));
+}
+
+TEST(ObsIntegration, FullTelemetryRerunsExportIdenticalBytes) {
+  trace::Trace t = SmallTrace("Fin1", 1.5);
+  StackConfig cfg = BaseConfig(Scheme::kEdc);
+
+  struct Exports {
+    std::string timeseries, csv, health, trace;
+  };
+  auto run = [&] {
+    Observer observer(FullTelemetryOptions());
+    EXPECT_TRUE(observer.ok()) << observer.error();
+    cfg.obs = &observer;
+    auto stack = Stack::Create(cfg);
+    EXPECT_TRUE(stack.ok());
+    auto result = sim::ReplayTrace(**stack, t);
+    EXPECT_TRUE(result.ok());
+    Exports e;
+    e.timeseries = observer.sampler()->ToJson();
+    e.csv = observer.sampler()->ToCsv();
+    e.health = result->health.ToJson();
+    e.trace = observer.trace()->ToJson();
+    return e;
+  };
+  Exports a = run();
+  Exports b = run();
+  EXPECT_EQ(a.timeseries, b.timeseries);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.health, b.health);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_NE(a.timeseries.find("edc-timeseries-v1"), std::string::npos);
+  EXPECT_NE(a.health.find("edc-health-v1"), std::string::npos);
+}
+
+TEST(ObsIntegration, SamplerRetentionBoundsMemoryWithoutChangingTail) {
+  trace::Trace t = SmallTrace("Fin1", 1.5);
+  StackConfig cfg = BaseConfig(Scheme::kEdc);
+
+  Observer::Options bounded = FullTelemetryOptions();
+  bounded.sampler_retention = 4;
+  Observer obs_bounded(bounded);
+  Observer obs_full(FullTelemetryOptions());
+  Replay(t, cfg, &obs_bounded);
+  Replay(t, cfg, &obs_full);
+
+  const TimeSeriesSampler* sb = obs_bounded.sampler();
+  const TimeSeriesSampler* sf = obs_full.sampler();
+  ASSERT_NE(sb, nullptr);
+  EXPECT_LE(sb->retained(), 4u);
+  EXPECT_EQ(sb->windows_completed(), sf->windows_completed());
+  // The retained tail agrees with the unbounded run window-for-window.
+  const auto* b_series = sb->Find("edc_host_writes_total");
+  const auto* f_series = sf->Find("edc_host_writes_total");
+  ASSERT_NE(b_series, nullptr);
+  ASSERT_NE(f_series, nullptr);
+  std::size_t offset = f_series->values.size() - b_series->values.size();
+  for (std::size_t i = 0; i < b_series->values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b_series->values[i], f_series->values[offset + i])
+        << "window " << i;
+  }
+}
+
+TEST(ObsIntegration, MisconfiguredTelemetryReportsError) {
+  Observer::Options oo;
+  oo.metrics = false;
+  oo.sampler = true;
+  Observer no_metrics(oo);
+  EXPECT_FALSE(no_metrics.ok());
+  EXPECT_EQ(no_metrics.sampler(), nullptr);
+
+  Observer::Options bad_rules;
+  bad_rules.health_rules = "not a rule\n";
+  Observer bad(bad_rules);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("line 1"), std::string::npos);
+  EXPECT_EQ(bad.watchdog(), nullptr);
+}
+
 TEST(ObsIntegration, SnapshotExcludesWorkerPoolByDefault) {
   WorkerPool pool(2);
   Observer observer;

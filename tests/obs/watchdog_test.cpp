@@ -1,0 +1,228 @@
+// HealthWatchdog unit tests: the rule grammar, the four rule kinds,
+// alert/clear hysteresis, and the edc-health-v1 report
+// (docs/observability.md#health-rules).
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace_recorder.hpp"
+#include "obs/watchdog.hpp"
+
+namespace edc::obs {
+namespace {
+
+std::vector<HealthRule> MustParse(const std::string& text) {
+  auto r = ParseHealthRules(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<HealthRule>{};
+}
+
+TEST(HealthRules, ParsesEveryKindAndModifier) {
+  auto rules = MustParse(
+      "# comment\n"
+      "\n"
+      "rule waf-high: edc_device_waf > 4 for 3\n"
+      "rule p99: edc_read_latency_us:p99{class=a} >= 50000\n"
+      "rule media: rate(edc_media_errors_total) > 0\n"
+      "rule gone: absent(edc_journal_generation)\n"
+      "rule stuck: stall(edc_rais_rebuild_rows_done_total) for 5\n"
+      "rule low: edc_compression_ratio < 0.5\n");
+  ASSERT_EQ(rules.size(), 6u);
+
+  EXPECT_EQ(rules[0].name, "waf-high");
+  EXPECT_EQ(rules[0].kind, HealthRule::Kind::kThreshold);
+  EXPECT_EQ(rules[0].series, "edc_device_waf");
+  EXPECT_EQ(rules[0].cmp, HealthRule::Cmp::kGt);
+  EXPECT_DOUBLE_EQ(rules[0].threshold, 4.0);
+  EXPECT_EQ(rules[0].for_windows, 3u);
+
+  EXPECT_EQ(rules[1].series, "edc_read_latency_us:p99");
+  ASSERT_EQ(rules[1].labels.size(), 1u);
+  EXPECT_EQ(rules[1].labels[0].first, "class");
+  EXPECT_EQ(rules[1].labels[0].second, "a");
+  EXPECT_EQ(rules[1].cmp, HealthRule::Cmp::kGe);
+
+  EXPECT_EQ(rules[2].kind, HealthRule::Kind::kRate);
+  EXPECT_EQ(rules[3].kind, HealthRule::Kind::kAbsent);
+  EXPECT_EQ(rules[4].kind, HealthRule::Kind::kStall);
+  EXPECT_EQ(rules[4].for_windows, 5u);
+  EXPECT_EQ(rules[5].cmp, HealthRule::Cmp::kLt);
+}
+
+TEST(HealthRules, ErrorsNameTheOffendingLine) {
+  auto bad = ParseHealthRules("rule ok: edc_x > 1\nnonsense here\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(ParseHealthRules("rule a: absent(edc_x) > 3\n").ok());
+  EXPECT_FALSE(ParseHealthRules("rule a: edc_x\n").ok());
+  EXPECT_FALSE(ParseHealthRules("rule a: edc_x > 1 for 0\n").ok());
+  EXPECT_FALSE(ParseHealthRules("").ok());
+}
+
+TEST(HealthRules, DefaultRulesParse) {
+  auto rules = MustParse(DefaultHealthRules());
+  EXPECT_GE(rules.size(), 6u);
+}
+
+// Drives a sampler + watchdog pair one window at a time.
+class WatchdogHarness {
+ public:
+  explicit WatchdogHarness(const std::string& rules_text,
+                           TraceRecorder* trace = nullptr)
+      : sampler_(MakeConfig(), &reg_),
+        dog_(MustParse(rules_text), &sampler_, &reg_, trace) {}
+
+  MetricRegistry& reg() { return reg_; }
+  HealthWatchdog& dog() { return dog_; }
+
+  // Close the next window and evaluate it.
+  void Tick() {
+    sampler_.AdvanceTo(static_cast<SimTime>(++windows_) * kMillisecond);
+    dog_.OnWindow(windows_ - 1);
+  }
+
+ private:
+  static SamplerConfig MakeConfig() {
+    SamplerConfig c;
+    c.period = kMillisecond;
+    return c;
+  }
+  MetricRegistry reg_;
+  TimeSeriesSampler sampler_;
+  HealthWatchdog dog_;
+  u64 windows_ = 0;
+};
+
+TEST(Watchdog, ThresholdAlertRequiresConsecutiveBreaches) {
+  WatchdogHarness h("rule hot: edc_temp > 10 for 2\n");
+  Gauge* g = h.reg().GetGauge("edc_temp");
+
+  g->Set(20);
+  h.Tick();  // breach streak 1: no alert yet
+  auto rep = h.dog().report();
+  EXPECT_TRUE(rep.events.empty());
+
+  g->Set(5);
+  h.Tick();  // streak resets
+  g->Set(20);
+  h.Tick();
+  g->Set(30);
+  h.Tick();  // second consecutive breach: alert fires here
+  rep = h.dog().report();
+  ASSERT_EQ(rep.events.size(), 1u);
+  EXPECT_EQ(rep.events[0].rule, "hot");
+  EXPECT_TRUE(rep.events[0].alert);
+  EXPECT_EQ(rep.events[0].window, 3u);
+  EXPECT_DOUBLE_EQ(rep.events[0].value, 30.0);
+  EXPECT_FALSE(rep.healthy());
+
+  g->Set(5);
+  h.Tick();  // recovery: clear
+  rep = h.dog().report();
+  ASSERT_EQ(rep.events.size(), 2u);
+  EXPECT_FALSE(rep.events[1].alert);
+  ASSERT_EQ(rep.rules.size(), 1u);
+  EXPECT_FALSE(rep.rules[0].active);
+  EXPECT_EQ(rep.rules[0].alerts, 1u);
+  EXPECT_EQ(rep.rules[0].clears, 1u);
+}
+
+TEST(Watchdog, RateRuleWatchesPerWindowDeltas) {
+  WatchdogHarness h("rule errs: rate(edc_errs_total) > 0\n");
+  Counter* c = h.reg().GetCounter("edc_errs_total");
+
+  h.Tick();  // no errors: quiet
+  c->Inc(3);
+  h.Tick();  // delta 3: alert
+  h.Tick();  // delta 0: clear (level stays 3, rate returns to 0)
+  auto rep = h.dog().report();
+  ASSERT_EQ(rep.events.size(), 2u);
+  EXPECT_TRUE(rep.events[0].alert);
+  EXPECT_DOUBLE_EQ(rep.events[0].value, 3.0);
+  EXPECT_FALSE(rep.events[1].alert);
+}
+
+TEST(Watchdog, AbsentRuleClearsWhenSeriesAppears) {
+  WatchdogHarness h("rule gone: absent(edc_late_total)\n");
+  h.Tick();  // series missing: alert
+  h.reg().GetCounter("edc_late_total")->Inc();
+  h.Tick();  // series exists now: clear
+  auto rep = h.dog().report();
+  ASSERT_EQ(rep.events.size(), 2u);
+  EXPECT_TRUE(rep.events[0].alert);
+  EXPECT_FALSE(rep.events[1].alert);
+}
+
+TEST(Watchdog, StallRuleDetectsFrozenProgress) {
+  WatchdogHarness h("rule stuck: stall(edc_rows_total) for 2\n");
+  Counter* c = h.reg().GetCounter("edc_rows_total");
+  c->Inc();
+  h.Tick();  // progressing
+  h.Tick();  // stalled x1
+  h.Tick();  // stalled x2: alert
+  c->Inc();
+  h.Tick();  // progress again: clear
+  auto rep = h.dog().report();
+  ASSERT_EQ(rep.events.size(), 2u);
+  EXPECT_TRUE(rep.events[0].alert);
+  EXPECT_EQ(rep.events[0].window, 2u);
+  EXPECT_FALSE(rep.events[1].alert);
+}
+
+TEST(Watchdog, MissingSeriesNeverBreachesThreshold) {
+  WatchdogHarness h("rule ghost: edc_never_registered > 0\n");
+  h.Tick();
+  h.Tick();
+  auto rep = h.dog().report();
+  EXPECT_TRUE(rep.events.empty());
+  EXPECT_TRUE(rep.healthy());
+}
+
+TEST(Watchdog, EmitsInstantsAndCounters) {
+  TraceRecorder trace;
+  WatchdogHarness h("rule hot: edc_temp > 10\n", &trace);
+  h.reg().GetGauge("edc_temp")->Set(99);
+  h.Tick();
+  h.reg().GetGauge("edc_temp")->Set(0);
+  h.Tick();
+
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("health.alert"), std::string::npos);
+  EXPECT_NE(json.find("health.clear"), std::string::npos);
+
+  MetricsSnapshot snap = h.reg().Snapshot();
+  const Sample* alerts =
+      snap.Find("edc_health_alerts_total", {{"rule", "hot"}});
+  ASSERT_NE(alerts, nullptr);
+  EXPECT_EQ(alerts->counter_value, 1u);
+  const Sample* clears =
+      snap.Find("edc_health_clears_total", {{"rule", "hot"}});
+  ASSERT_NE(clears, nullptr);
+  EXPECT_EQ(clears->counter_value, 1u);
+}
+
+TEST(Watchdog, ReportJsonHasSchemaAndRuleStates) {
+  WatchdogHarness h("rule hot: edc_temp > 10\n");
+  h.reg().GetGauge("edc_temp")->Set(50);
+  h.Tick();
+  std::string json = h.dog().report().ToJson();
+  EXPECT_NE(json.find("\"schema\":\"edc-health-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"healthy\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"hot\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"alert\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"threshold\""), std::string::npos);
+}
+
+TEST(Watchdog, IgnoresOutOfOrderWindows) {
+  WatchdogHarness h("rule hot: edc_temp > 10\n");
+  h.reg().GetGauge("edc_temp")->Set(50);
+  h.Tick();
+  h.dog().OnWindow(0);  // replay of an evaluated window: ignored
+  auto rep = h.dog().report();
+  EXPECT_EQ(rep.windows_evaluated, 1u);
+  EXPECT_EQ(rep.events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace edc::obs
