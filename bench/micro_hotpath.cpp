@@ -43,6 +43,7 @@
 #include "datagen/generator.hpp"
 #include "datagen/profile.hpp"
 #include "edc/mapping.hpp"
+#include "edc/shard.hpp"
 #include "obs/observer.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/replay.hpp"
@@ -515,11 +516,136 @@ ObsOverheadResult BenchObs(u64 seed) {
   return r;
 }
 
+struct ShardScalingRow {
+  u32 shards = 0;
+  double makespan_ms = 0;   // simulated; max completion incl. final flush
+  double sim_write_mbps = 0;
+  double speedup = 0;  // vs. the shards=1 row
+};
+
+struct ShardScalingResult {
+  u64 requests = 0;
+  u64 write_bytes = 0;
+  double direct_sim_mbps = 0;  // plain Stack, no sharded fabric
+  std::vector<ShardScalingRow> rows;
+};
+
+// Aggregate write throughput of the sharded engine on a closed-loop
+// fill_random workload: every request arrives at t=0, so each shard's
+// device serializes its share (SSD admission is start = max(arrival,
+// busy_until)) and the *simulated* makespan — max completion over all
+// requests and the final merge-buffer flush — shrinks as shards are
+// added. Throughput is logical bytes over simulated makespan, which is
+// the honest number on a 1-CPU box: the shard run-loops interleave on
+// real cores, but the simulated devices genuinely run in parallel.
+// The direct row replays the same ops against a plain Stack engine; the
+// shards=1 row must stay within a few percent of it (the fabric tax).
+ShardScalingResult BenchShardScaling(u64 seed) {
+  ShardScalingResult out;
+  const u64 n_ops = 4000;
+  const Lba lba_space = 8192;  // 32 MiB working set, ~2 overwrite laps
+  const u32 op_blocks = 4;     // 16 KiB requests
+
+  struct WriteOp {
+    Lba first;
+    u32 n_blocks;
+  };
+  Pcg32 rng(seed, /*stream=*/0xF111);
+  std::vector<WriteOp> ops;
+  ops.reserve(n_ops);
+  for (u64 i = 0; i < n_ops; ++i) {
+    WriteOp op;
+    op.n_blocks = 1 + rng.NextBounded(op_blocks);
+    op.first = rng.NextBounded(
+        static_cast<u32>(lba_space - op.n_blocks + 1));
+    ops.push_back(op);
+    out.write_bytes += op.n_blocks * kLogicalBlockSize;
+  }
+  out.requests = n_ops;
+
+  core::StackConfig cfg;
+  cfg.mode = core::ExecutionMode::kFunctional;
+  cfg.content_profile = "fin";
+  cfg.seed = seed;
+  cfg.ssd.geometry.pages_per_block = 32;
+  cfg.ssd.geometry.num_blocks = 2048;  // 256 MiB raw, split across shards
+  cfg.ssd.store_data = false;
+
+  auto mbps_of = [&](SimTime makespan) {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(out.write_bytes) /
+                               (1024.0 * 1024.0) /
+                               (static_cast<double>(makespan) /
+                                static_cast<double>(kSecond));
+  };
+
+  // Direct baseline: the same ops straight into a plain Stack engine.
+  {
+    auto stack = core::Stack::Create(cfg);
+    if (!stack.ok()) {
+      std::fprintf(stderr, "shard bench: %s\n",
+                   stack.status().ToString().c_str());
+      return out;
+    }
+    SimTime makespan = 0;
+    for (const WriteOp& op : ops) {
+      auto done = (**stack).engine().Write(
+          0, op.first * kLogicalBlockSize,
+          op.n_blocks * static_cast<u32>(kLogicalBlockSize));
+      if (done.ok()) makespan = std::max(makespan, *done);
+    }
+    auto flushed = (**stack).engine().FlushPending(makespan);
+    if (flushed.ok()) makespan = std::max(makespan, *flushed);
+    out.direct_sim_mbps = mbps_of(makespan);
+  }
+
+  for (u32 shards : {1u, 2u, 4u, 8u}) {
+    shard::ShardedOptions so;
+    so.shards = shards;
+    auto se = shard::ShardedEngine::Create(so, cfg);
+    if (!se.ok()) {
+      std::fprintf(stderr, "shard bench: %s\n",
+                   se.status().ToString().c_str());
+      return out;
+    }
+    SimTime makespan = 0;
+    (**se).SetCompletionCallback([&](const shard::Completion& c) {
+      if (c.status.ok()) makespan = std::max(makespan, c.completion);
+    });
+    if (!(**se).StartRunLoops().ok()) return out;
+    for (const WriteOp& op : ops) {
+      shard::Request req;
+      req.kind = shard::OpKind::kWrite;
+      req.arrival = 0;
+      req.offset = op.first * kLogicalBlockSize;
+      req.size = op.n_blocks * static_cast<u32>(kLogicalBlockSize);
+      (void)(**se).Submit(req);
+    }
+    (void)(**se).Drain();
+    (void)(**se).StopRunLoops();
+    auto flushed = (**se).FlushAllPending(makespan);
+    if (flushed.ok()) makespan = std::max(makespan, *flushed);
+
+    ShardScalingRow row;
+    row.shards = shards;
+    row.makespan_ms =
+        static_cast<double>(makespan) / static_cast<double>(kMillisecond);
+    row.sim_write_mbps = mbps_of(makespan);
+    out.rows.push_back(row);
+  }
+  const double base = out.rows.empty() ? 0 : out.rows[0].sim_write_mbps;
+  for (ShardScalingRow& row : out.rows) {
+    row.speedup = base <= 0 ? 0 : row.sim_write_mbps / base;
+  }
+  return out;
+}
+
 void WriteJson(const std::string& path, const MappingResult& m,
                const CrcResult& crc,
                const std::vector<CodecScratchResult>& codecs,
                const std::vector<BackendResult>& backends,
-               const ObsOverheadResult& obs) {
+               const ObsOverheadResult& obs,
+               const ShardScalingResult& sharding) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -586,7 +712,24 @@ void WriteJson(const std::string& path, const MappingResult& m,
                obs.obs_overhead_pct);
   std::fprintf(f, "    \"full_telemetry_overhead_pct\": %.1f\n",
                obs.full_overhead_pct);
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n  \"shard_scaling\": {\n");
+  std::fprintf(f, "    \"workload\": \"fill_random\",\n");
+  std::fprintf(f, "    \"requests\": %llu,\n",
+               static_cast<unsigned long long>(sharding.requests));
+  std::fprintf(f, "    \"write_bytes\": %llu,\n",
+               static_cast<unsigned long long>(sharding.write_bytes));
+  std::fprintf(f, "    \"direct_sim_write_mbps\": %.1f,\n",
+               sharding.direct_sim_mbps);
+  std::fprintf(f, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < sharding.rows.size(); ++i) {
+    const ShardScalingRow& r = sharding.rows[i];
+    std::fprintf(f,
+                 "      {\"shards\": %u, \"sim_makespan_ms\": %.2f, "
+                 "\"sim_write_mbps\": %.1f, \"speedup\": %.2f}%s\n",
+                 r.shards, r.makespan_ms, r.sim_write_mbps, r.speedup,
+                 i + 1 < sharding.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("[bench] wrote %s\n", path.c_str());
 }
@@ -683,8 +826,21 @@ int main(int argc, char** argv) {
               "10 ms sampler)\n%s",
               obs.requests, obs_table.ToString().c_str());
 
+  ShardScalingResult sharding = BenchShardScaling(opt.seed);
+  TextTable shard_table({"shards", "sim makespan ms", "sim MB/s", "speedup"});
+  for (const ShardScalingRow& r : sharding.rows) {
+    shard_table.AddRow({TextTable::Num(r.shards, 0),
+                        TextTable::Num(r.makespan_ms, 2),
+                        TextTable::Num(r.sim_write_mbps, 1),
+                        TextTable::Num(r.speedup, 2)});
+  }
+  std::printf("\nShard scaling (fill_random, closed loop, %llu writes, "
+              "direct baseline %.1f sim MB/s)\n%s",
+              static_cast<unsigned long long>(sharding.requests),
+              sharding.direct_sim_mbps, shard_table.ToString().c_str());
+
   if (!opt.json_path.empty()) {
-    WriteJson(opt.json_path, m, crc, codecs, backends, obs);
+    WriteJson(opt.json_path, m, crc, codecs, backends, obs, sharding);
   }
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "common/worker_pool.hpp"
 #include "obs/observer.hpp"
 #include "sim/replay.hpp"
+#include "sim/sharded_replay.hpp"
 #include "trace/parser.hpp"
 #include "trace/synthetic.hpp"
 
@@ -54,6 +55,11 @@ struct Options {
   u32 breaker_budget = 0;          // engine error budget (0 = off)
   u32 device_blocks = 0;           // override device size (blocks)
   bool durable = false;            // durable format + journal + retries
+
+  // Sharded multi-tenant replay (edc/shard.hpp): >1 shard or tenant
+  // routes the trace through the async submission fabric.
+  u32 shards = 1;
+  u32 tenants = 1;
 };
 
 Options Parse(int argc, char** argv) {
@@ -82,6 +88,8 @@ Options Parse(int argc, char** argv) {
     else if (std::strncmp(a, "--breaker-budget=", 17) == 0) o.breaker_budget = static_cast<u32>(std::atoi(a + 17));
     else if (std::strncmp(a, "--device-blocks=", 16) == 0) o.device_blocks = static_cast<u32>(std::atoi(a + 16));
     else if (std::strcmp(a, "--durable") == 0) o.durable = true;
+    else if (std::strncmp(a, "--shards=", 9) == 0) o.shards = static_cast<u32>(std::atoi(a + 9));
+    else if (std::strncmp(a, "--tenants=", 10) == 0) o.tenants = static_cast<u32>(std::atoi(a + 10));
     else {
       std::fprintf(stderr,
                    "usage: trace_replay [--trace=Fin1|Fin2|Usr_0|Prxy_0] "
@@ -99,7 +107,8 @@ Options Parse(int argc, char** argv) {
                    "                    [--postmortem-dir=DIR] "
                    "[--health-rules=PATH|default] [--health-out=PATH.json]\n"
                    "                    [--inject-program-fail=P] "
-                   "[--breaker-budget=N] [--device-blocks=N] [--durable]\n");
+                   "[--breaker-budget=N] [--device-blocks=N] [--durable]\n"
+                   "                    [--shards=N] [--tenants=M]\n");
       std::exit(2);
     }
   }
@@ -279,23 +288,46 @@ int main(int argc, char** argv) {
     cfg.compress_pool = &pool;  // offload functional codec work
   }
   if (observer != nullptr) observer->AttachWorkerPool(&pool);
-  auto stack = core::Stack::Create(cfg, model);
-  if (!stack.ok()) {
-    std::fprintf(stderr, "%s\n", stack.status().ToString().c_str());
-    return 1;
-  }
 
   // --- Replay and report -----------------------------------------------
-  auto result = sim::ReplayTrace(**stack, t);
-  if (!result.ok()) {
-    std::fprintf(stderr, "replay: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
+  const bool sharded = o.shards > 1 || o.tenants > 1;
+  std::unique_ptr<core::Stack> stack;  // single-engine path only
+  sim::ReplayResult replayed;
+  if (sharded) {
+    sim::ShardedReplayOptions so;
+    so.shards = o.shards;
+    so.tenants = o.tenants;
+    auto result = sim::ReplayShardedTrace(cfg, t, so);
+    if (!result.ok()) {
+      std::fprintf(stderr, "replay: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    replayed = std::move(*result);
+  } else {
+    auto built = core::Stack::Create(cfg, model);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    stack = std::move(*built);
+    auto result = sim::ReplayTrace(*stack, t);
+    if (!result.ok()) {
+      std::fprintf(stderr, "replay: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    replayed = std::move(*result);
   }
+  const sim::ReplayResult* result = &replayed;
   std::printf("\nscheme %s on %s:\n", result->scheme_name.c_str(),
               result->trace_name.c_str());
-  std::printf("  codec backend      : %s\n",
-              codec::ActiveBackend().name);
+  std::printf("  codec backend      : %s (pack_flush %s)\n",
+              codec::ActiveBackend().name, codec::PackFlushProvenance());
+  if (sharded) {
+    std::printf("  sharding           : %u shards, %u tenants\n",
+                o.shards, o.tenants);
+  }
   std::printf("  mean response time : %.3f ms (p50 %.2f / p95 %.2f / "
               "p99 %.2f us)\n",
               result->mean_response_ms(), result->p50_us, result->p95_us,

@@ -101,9 +101,12 @@ ALLOC_RE = re.compile(
 )
 # Simpler and stricter: any `new` keyword flags (placement new included —
 # it is rare enough that a suppression comment documents the intent).
+# make_unique/make_shared/to_string cover the allocations a lock-free
+# ring push/pop kernel could smuggle in without spelling `new`.
 ALLOC_RE = re.compile(
     r"\bnew\b"
     r"|\b(?:malloc|calloc|realloc|strdup)\s*\("
+    r"|\b(?:make_unique|make_shared|to_string)\s*[<(]"
     r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|insert|emplace|"
     r"append|assign)\s*\("
 )
@@ -468,6 +471,25 @@ SELF_TEST_CASES = [
         "src/x/a.cpp":
             "EDC_HOT int f() { return 1; }\n"
             "void warm(std::vector<int>& v) { v.push_back(1); }\n",
+    }, []),
+    ("make_unique in hot ring push flags", {
+        "src/x/ring.hpp":
+            "EDC_HOT bool TryPush(int v) {\n"
+            "  slot_ = std::make_unique<int>(v);\n"
+            "  return true;\n"
+            "}\n",
+    }, ["no-alloc-in-hot"]),
+    ("atomic ring push/pop kernel passes", {
+        "src/x/ring.hpp":
+            "EDC_HOT bool TryPush(T&& value) {\n"
+            "  u64 pos = tail_.load(std::memory_order_relaxed);\n"
+            "  Cell& cell = cells_[pos & mask_];\n"
+            "  if (!tail_.compare_exchange_weak(\n"
+            "          pos, pos + 1, std::memory_order_relaxed)) return false;\n"
+            "  cell.value = std::move(value);\n"
+            "  cell.seq.store(pos + 1, std::memory_order_release);\n"
+            "  return true;\n"
+            "}\n",
     }, []),
     ("dcheck increment flags", {
         "src/x/a.cpp": "void f(int x) {\n  EDC_DCHECK(++x > 0) << x;\n}\n",

@@ -1,7 +1,10 @@
 #include "codec/backend.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "codec/backend_x86.hpp"
 #include "codec/match.hpp"
@@ -114,13 +117,88 @@ std::vector<const Backend*> BuildRegistry() {
   return backends;
 }
 
+// ---------------------------------------------------------------------
+// pack_flush per-kernel selection. Unlike the vector kernels, the flush
+// candidates differ in memory behaviour, not ISA (push_back loop vs
+// staged resize+memcpy), and which one wins depends on the allocator and
+// µarch — BENCH_hotpath.json caught the word flush losing to scalar on
+// the very machine the SSE4.2 backend shipped it on. So the winner is
+// measured once at selection time instead of assumed per tier.
+
+using PackFlushFn = void (*)(Bytes* out, u64 word, unsigned nbytes);
+
+const char* g_pack_flush_provenance = "scalar (tier)";
+// Fed with the calibration output so the timed loops cannot be
+// dead-code-eliminated.
+volatile u64 g_calibration_sink = 0;
+
+i64 TimePackFlush(PackFlushFn fn) {
+  Bytes out;
+  out.reserve(1);  // warm the allocation; growth happens in the loop
+  u64 word = 0x0123456789ABCDEFull;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < 4; ++rep) {
+    out.clear();
+    // The BitWriter steady state: full 8-byte flushes of changing words,
+    // one partial flush at stream end.
+    for (int i = 0; i < 4096; ++i) {
+      fn(&out, word, 8);
+      word = word * 6364136223846793005ull + 1442695040888963407ull;
+    }
+    fn(&out, word, static_cast<unsigned>(rep % 7) + 1);
+    g_calibration_sink += out.size() + out.back();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+      .count();
+}
+
+PackFlushFn CalibratePackFlush() {
+  i64 scalar_ns = ~static_cast<u64>(0) >> 1;
+  i64 word_ns = scalar_ns;
+  // Interleaved best-of-3: min time per kernel rejects one-off stalls
+  // (page faults, frequency ramps) that a single back-to-back pass would
+  // charge to whichever kernel ran first.
+  for (int round = 0; round < 3; ++round) {
+    scalar_ns = std::min(scalar_ns, TimePackFlush(&ScalarPackFlush));
+    word_ns = std::min(word_ns, TimePackFlush(&WordPackFlush));
+  }
+  return word_ns <= scalar_ns ? &WordPackFlush : &ScalarPackFlush;
+}
+
+/// Composed table (tier-best kernels, calibrated pack_flush), published
+/// via g_active under g_select_mu like every other selection.
+Backend g_composed;
+
 const Backend* SelectDefault() {
   const int tier_cap = static_cast<int>(ActiveSimdTier());
   const Backend* best = &kScalarBackend;
   for (const Backend* b : AvailableBackends()) {
     if (b->tier <= tier_cap && b->tier >= best->tier) best = b;
   }
-  return best;
+  if (best->tier == 0) {
+    g_pack_flush_provenance = "scalar (tier)";
+    return best;
+  }
+
+  PackFlushFn chosen;
+  const char* env = std::getenv("EDC_PACK_FLUSH");
+  if (env != nullptr && std::string_view(env) == "scalar") {
+    chosen = &ScalarPackFlush;
+    g_pack_flush_provenance = "scalar (env)";
+  } else if (env != nullptr && std::string_view(env) == "word") {
+    chosen = &WordPackFlush;
+    g_pack_flush_provenance = "word (env)";
+  } else {
+    chosen = CalibratePackFlush();
+    g_pack_flush_provenance = chosen == &ScalarPackFlush
+                                  ? "scalar (calibrated)"
+                                  : "word (calibrated)";
+  }
+  if (chosen == best->pack_flush) return best;
+  g_composed = *best;
+  g_composed.pack_flush = chosen;
+  return &g_composed;
 }
 
 std::atomic<const Backend*> g_active{nullptr};
@@ -162,8 +240,17 @@ const Backend& ActiveBackend() {
 
 void SetActiveBackendForTesting(const Backend* backend) {
   sync::MutexLock lock(&g_select_mu);
+  // A forced backend is the pure registered table (no pack_flush
+  // composition) — tests that pin "sse42" get exactly its kernels.
+  // nullptr re-runs the full selection, env vars and calibration
+  // included, so override tests can exercise EDC_PACK_FLUSH.
   g_active.store(backend == nullptr ? SelectDefault() : backend,
                  std::memory_order_release);
+}
+
+const char* PackFlushProvenance() {
+  ActiveBackend();  // ensure selection ran
+  return g_pack_flush_provenance;
 }
 
 }  // namespace edc::codec

@@ -77,7 +77,24 @@ const Backend* FindBackend(std::string_view name);
 
 /// The process-wide selection: the highest available tier, capped by
 /// EDC_BACKEND. Stable after first call unless overridden for testing.
+///
+/// Selection is per-kernel, not all-or-nothing: the tier-best table is
+/// taken wholesale except for pack_flush, which is chosen by a one-time
+/// wall-clock calibration between the scalar and the word-at-a-time
+/// flush (best-of-N min time on a representative flush stream). A SIMD
+/// backend therefore never ships a flush kernel slower than scalar on
+/// the machine actually running — the word flush's staged resize+memcpy
+/// loses to the plain push_back loop on some allocator/µarch pairs.
+/// EDC_PACK_FLUSH=scalar|word skips calibration and forces the kernel;
+/// both candidates produce byte-identical streams, so the choice is
+/// speed-only and cannot perturb determinism.
 const Backend& ActiveBackend();
+
+/// How the active pack_flush kernel was chosen: "scalar (tier)",
+/// "scalar (env)" / "word (env)", or "scalar (calibrated)" /
+/// "word (calibrated)". Meaningful after the first ActiveBackend() call;
+/// benches print it next to pack_flush rows.
+const char* PackFlushProvenance();
 
 /// Test/bench hook: force the active backend (must come from
 /// AvailableBackends()), or pass nullptr to restore automatic selection.

@@ -60,6 +60,14 @@ inline constexpr int kObsRegistry = 20;
 inline constexpr int kObsTrace = 30;
 /// WorkerPool queue/lifecycle mutex.
 inline constexpr int kWorkerPool = 40;
+/// shard::ShardedEngine dispatcher/lifecycle mutex (completion wakeups,
+/// run-loop start/stop). Outer to kShardQueue is never needed — the two
+/// are never held together — but the dispatcher may be woken while a
+/// shard thread is inside codec selection, hence < kCodecBackend.
+inline constexpr int kShardControl = 42;
+/// Per-shard run-loop wakeup mutex (work-available hint for the ring).
+/// Held only around the hint flag, never across engine or codec work.
+inline constexpr int kShardQueue = 45;
 /// codec::Backend one-time dispatch selection.
 inline constexpr int kCodecBackend = 50;
 /// Default for ad-hoc leaf mutexes: nothing may be acquired under them.

@@ -274,6 +274,13 @@ class Engine {
   /// requests; see auditor.hpp for the invariant catalogue.
   AuditReport Audit() const;
 
+  /// Hand the engine's thread confinement to the calling thread (see
+  /// sync::ThreadChecker::Rebind). The sharded layer moves each engine
+  /// between the dispatcher and its shard run-loop thread at run-loop
+  /// start/stop; any caller must guarantee the previous owner has
+  /// quiesced first.
+  void RebindOwnerThread() { owner_.Rebind(); }
+
   /// Mutation-test hooks (corruption seeding only; see auditor tests).
   BlockMap* MutableMapForTest() { return &map_; }
   std::unordered_map<Lba, u64>* MutableVersionsForTest() {

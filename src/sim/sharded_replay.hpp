@@ -1,0 +1,37 @@
+// Sharded multi-tenant trace replay: the open-loop replay of replay.hpp
+// driven through the edc::shard async fabric instead of a single engine.
+// Requests are submitted at their trace timestamps round-robin across M
+// tenants (token-bucket admission + WFQ dequeue), split across N engine
+// shards, and their completions are folded into the same ReplayResult
+// shape — so single-engine and sharded runs are directly comparable.
+//
+// Determinism: the result (latency moments, percentiles, aggregate
+// engine/device stats, metrics snapshot) is a pure function of
+// (config, trace, options). Per-LBA data is additionally invariant
+// across shard counts — see edc/shard.hpp.
+#pragma once
+
+#include "edc/shard.hpp"
+#include "sim/replay.hpp"
+
+namespace edc::sim {
+
+struct ShardedReplayOptions {
+  ReplayOptions base;
+  u32 shards = 1;
+  u32 tenants = 1;
+  u32 chunk_blocks = 64;
+  u32 window = 512;
+  u32 max_batch = 32;
+  shard::QosConfig qos;
+};
+
+/// Replay `trace` through a ShardedEngine built from `config` (each
+/// shard gets 1/N of the configured raw capacity). `config.obs` is wired
+/// into the shard layer's dispatcher-confined metrics (never into the
+/// shard engines; see edc/shard.hpp).
+Result<ReplayResult> ReplayShardedTrace(const core::StackConfig& config,
+                                        const trace::Trace& trace,
+                                        const ShardedReplayOptions& options);
+
+}  // namespace edc::sim

@@ -5,6 +5,7 @@
 // changing any on-flash byte (see the contract in codec/backend.hpp).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <tuple>
 
@@ -210,6 +211,95 @@ TEST(BackendKernels, BitWriterStreamIdenticalAcrossFlushKernels) {
     BitWriter bw(&got, bk->pack_flush);
     emit(bw);
     EXPECT_EQ(got, want) << bk->name;
+  }
+}
+
+// Scoped EDC_PACK_FLUSH value; re-runs backend selection on entry and
+// exit so each test sees a fresh choice and leaves none behind.
+class PackFlushEnvGuard {
+ public:
+  explicit PackFlushEnvGuard(const char* value) {
+    const char* old = std::getenv("EDC_PACK_FLUSH");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value == nullptr) {
+      unsetenv("EDC_PACK_FLUSH");
+    } else {
+      setenv("EDC_PACK_FLUSH", value, 1);
+    }
+    SetActiveBackendForTesting(nullptr);  // force re-selection
+  }
+  ~PackFlushEnvGuard() {
+    if (had_) {
+      setenv("EDC_PACK_FLUSH", saved_.c_str(), 1);
+    } else {
+      unsetenv("EDC_PACK_FLUSH");
+    }
+    SetActiveBackendForTesting(nullptr);
+  }
+  PackFlushEnvGuard(const PackFlushEnvGuard&) = delete;
+  PackFlushEnvGuard& operator=(const PackFlushEnvGuard&) = delete;
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(PackFlushSelection, ProvenanceIsAlwaysAReportedMode) {
+  const std::string p = PackFlushProvenance();
+  EXPECT_TRUE(p == "scalar (tier)" || p == "scalar (env)" ||
+              p == "word (env)" || p == "scalar (calibrated)" ||
+              p == "word (calibrated)")
+      << p;
+}
+
+TEST(PackFlushSelection, EnvOverrideForcesTheKernel) {
+  // On a SIMD machine the env var pins the flush kernel; on a
+  // scalar-only machine the tier-0 backend is taken whole and the var
+  // is ignored.
+  {
+    PackFlushEnvGuard env("scalar");
+    const std::string p = PackFlushProvenance();
+    if (ActiveBackend().tier == 0) {
+      EXPECT_EQ(p, "scalar (tier)");
+    } else {
+      EXPECT_EQ(p, "scalar (env)");
+    }
+  }
+  {
+    PackFlushEnvGuard env("word");
+    const std::string p = PackFlushProvenance();
+    if (ActiveBackend().tier == 0) {
+      EXPECT_EQ(p, "scalar (tier)");
+    } else {
+      EXPECT_EQ(p, "word (env)");
+    }
+  }
+}
+
+TEST(PackFlushSelection, ComposedBackendStreamStaysByteIdentical) {
+  // Whatever per-kernel choice selection made (calibrated or env), the
+  // active backend's flush hook must produce the hook-less reference
+  // stream — the composed backend changes speed, never bytes.
+  auto emit = [](BitWriter& bw) {
+    Pcg32 rng(11);
+    for (int i = 0; i < 2000; ++i) {
+      unsigned count = 1 + static_cast<unsigned>(rng.NextBounded(57));
+      bw.WriteBits(rng.NextU64() & ((1ull << count) - 1), count);
+    }
+    bw.AlignToByte();
+  };
+  Bytes want;
+  {
+    BitWriter bw(&want);
+    emit(bw);
+  }
+  for (const char* mode : {"scalar", "word"}) {
+    PackFlushEnvGuard env(mode);
+    Bytes got;
+    BitWriter bw(&got, ActiveBackend().pack_flush);
+    emit(bw);
+    EXPECT_EQ(got, want) << mode << " via " << PackFlushProvenance();
   }
 }
 

@@ -1,0 +1,127 @@
+// Per-tenant QoS primitives (edc/qos.hpp): token-bucket admission over
+// simulated time and weighted fair dequeue. Everything here is integer
+// math, so the expected values are exact.
+#include "edc/qos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edc::shard {
+namespace {
+
+TEST(TokenBucket, UncappedAdmitsImmediately) {
+  TokenBucket b(/*iops=*/0, /*burst=*/1);
+  EXPECT_FALSE(b.capped());
+  EXPECT_EQ(b.Admit(0), 0);
+  EXPECT_EQ(b.Admit(123), 123);
+  EXPECT_EQ(b.Admit(7 * kSecond), 7 * kSecond);
+}
+
+TEST(TokenBucket, BurstThenExactThrottleDelay) {
+  // 1000 IOPS = one token per millisecond; burst of 2 starts full.
+  TokenBucket b(/*iops=*/1000, /*burst=*/2);
+  EXPECT_TRUE(b.capped());
+  EXPECT_EQ(b.Admit(0), 0);  // burst token 1
+  EXPECT_EQ(b.Admit(0), 0);  // burst token 2
+  // Bucket empty: the third request waits exactly one token period.
+  EXPECT_EQ(b.Admit(0), kMillisecond);
+  // Serialized admissions: an arrival earlier than the last admission
+  // instant queues behind it (regression test for the refill-deficit
+  // DCHECK this used to trip).
+  EXPECT_EQ(b.Admit(0), 2 * kMillisecond);
+  EXPECT_EQ(b.Admit(kMillisecond), 3 * kMillisecond);
+}
+
+TEST(TokenBucket, RefillsWhileIdleUpToBurst) {
+  TokenBucket b(/*iops=*/1000, /*burst=*/2);
+  EXPECT_EQ(b.Admit(0), 0);
+  EXPECT_EQ(b.Admit(0), 0);
+  // 10 token periods idle, but the bucket holds at most 2.
+  SimTime later = 10 * kMillisecond;
+  EXPECT_EQ(b.Admit(later), later);
+  EXPECT_EQ(b.Admit(later), later);
+  EXPECT_EQ(b.Admit(later), later + kMillisecond);
+}
+
+TEST(TokenBucket, SustainedRateMatchesCap) {
+  TokenBucket b(/*iops=*/100, /*burst=*/1);  // 10 ms per token
+  SimTime at = b.Admit(0);
+  EXPECT_EQ(at, 0);
+  // 50 back-to-back requests at t=0 admit at exactly 10 ms spacing.
+  for (int i = 1; i <= 50; ++i) {
+    EXPECT_EQ(b.Admit(0), i * 10 * kMillisecond);
+  }
+}
+
+TEST(Wfq, FifoWithinOneTenant) {
+  WfqScheduler w(/*tenants=*/1, {});
+  w.Push(0, 10, 1);
+  w.Push(0, 11, 1);
+  w.Push(0, 12, 4);
+  u32 t;
+  u64 item;
+  ASSERT_TRUE(w.Pop(&t, &item));
+  EXPECT_EQ(item, 10u);
+  ASSERT_TRUE(w.Pop(&t, &item));
+  EXPECT_EQ(item, 11u);
+  ASSERT_TRUE(w.Pop(&t, &item));
+  EXPECT_EQ(item, 12u);
+  EXPECT_FALSE(w.Pop(&t, &item));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Wfq, WeightedInterleaveTwoToOne) {
+  // Tenant 0 at weight 2 advances its virtual clock half as fast as
+  // tenant 1 at weight 1, so a saturated backlog dequeues 2:1.
+  WfqScheduler w(/*tenants=*/2, {2, 1});
+  for (u64 i = 0; i < 4; ++i) w.Push(0, 100 + i, 1);
+  for (u64 i = 0; i < 4; ++i) w.Push(1, 200 + i, 1);
+  // Finish times: t0 = 0.5, 1.0, 1.5, 2.0; t1 = 1.0, 2.0, 3.0, 4.0
+  // (in kCostScale units). Ties break to the lower tenant id.
+  std::vector<u32> order;
+  u32 t;
+  u64 item;
+  while (w.Pop(&t, &item)) order.push_back(t);
+  std::vector<u32> expected{0, 0, 1, 0, 0, 1, 1, 1};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Wfq, CostScalesServiceShare) {
+  // Equal weights, but tenant 0 submits 4-block requests vs tenant 1's
+  // 1-block requests: tenant 1 gets 4 dequeues per tenant-0 dequeue.
+  WfqScheduler w(/*tenants=*/2, {});
+  for (u64 i = 0; i < 2; ++i) w.Push(0, 100 + i, 4);
+  for (u64 i = 0; i < 8; ++i) w.Push(1, 200 + i, 1);
+  std::vector<u32> order;
+  u32 t;
+  u64 item;
+  while (w.Pop(&t, &item)) order.push_back(t);
+  // Finish: t0 = 4, 8; t1 = 1..8. Ties at 4 and 8 go to tenant 0.
+  std::vector<u32> expected{1, 1, 1, 0, 1, 1, 1, 1, 0, 1};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Wfq, MissingWeightsDefaultToOne) {
+  WfqScheduler w(/*tenants=*/3, {5});  // tenants 1 and 2 default to 1
+  w.Push(1, 1, 1);
+  w.Push(2, 2, 1);
+  u32 t;
+  u64 item;
+  ASSERT_TRUE(w.Pop(&t, &item));
+  EXPECT_EQ(t, 1u);  // equal finish, lower tenant id wins
+  ASSERT_TRUE(w.Pop(&t, &item));
+  EXPECT_EQ(t, 2u);
+}
+
+TEST(Wfq, PendingCounts) {
+  WfqScheduler w(/*tenants=*/2, {});
+  EXPECT_TRUE(w.empty());
+  w.Push(0, 1, 1);
+  w.Push(1, 2, 1);
+  w.Push(1, 3, 1);
+  EXPECT_EQ(w.pending(), 3u);
+  EXPECT_EQ(w.pending_for(0), 1u);
+  EXPECT_EQ(w.pending_for(1), 2u);
+}
+
+}  // namespace
+}  // namespace edc::shard

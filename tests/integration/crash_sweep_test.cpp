@@ -10,6 +10,7 @@
 // the region where every journal/extent code path first fires); k=7 and
 // k=64 sweep the whole trace.
 #include "crash_harness.hpp"
+#include "sharded_sweep_harness.hpp"
 
 namespace edc::core::crashtest {
 namespace {
@@ -95,6 +96,37 @@ TEST(FaultSoak, ProgramFailuresAtRealisticRateLoseNothing) {
   AuditReport recovered_report = recovered.Audit();
   EXPECT_TRUE(recovered_report.ok()) << recovered_report.ToString();
 }
+
+// Sharded-fabric crash sweeps (ISSUE 10): the same trace generator and
+// verification rule, but every host op crosses the async submission
+// fabric and each shard recovers from its own journal lane after the
+// cut. Shard width comes from EDC_SWEEP_SHARDS (default 1; the TSan CI
+// leg sets 4). Bounded cut counts: each cut iteration spins up a full
+// worker pool and replays per-op through SubmitAndWait.
+class ShardedCrashSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ShardedCrashSweep, BoundedSweepK7) {
+  SweepParams p;
+  p.seed = GetParam();
+  p.n_ops = 1024;
+  p.lba_space = 64;
+  p.k = 7;
+  p.max_cuts = 32;
+  shard::shardtest::RunShardedCrashSweep(p, shard::shardtest::SweepShards());
+}
+
+TEST_P(ShardedCrashSweep, BoundedSweepK64) {
+  SweepParams p;
+  p.seed = GetParam();
+  p.n_ops = 1024;
+  p.lba_space = 64;
+  p.k = 64;
+  p.max_cuts = 16;
+  shard::shardtest::RunShardedCrashSweep(p, shard::shardtest::SweepShards());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedCrashSweep,
+                         ::testing::Values(101u, 202u));
 
 }  // namespace
 }  // namespace edc::core::crashtest

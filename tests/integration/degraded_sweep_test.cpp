@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "integration/degraded_harness.hpp"
+#include "integration/sharded_sweep_harness.hpp"
 
 namespace edc::core::degradedtest {
 namespace {
@@ -114,6 +115,34 @@ TEST(DegradedSweep, TelemetryExportsAreByteIdenticalAcrossReruns) {
   p.num_spares = 1;
   p.with_telemetry = true;
   RunDeterminismPair(p);
+}
+
+// Sharded-fabric degraded sweeps (ISSUE 10): every host op crosses the
+// async fabric while one member per shard array is dead; rebuilds on
+// every shard must complete and every block must match the shadow.
+// Shard width from EDC_SWEEP_SHARDS (default 1; TSan CI leg sets 4).
+TEST(ShardedDegradedSweep, MemberDeathPerShardFullLifecycle) {
+  for (u32 member : {0u, 2u}) {
+    SCOPED_TRACE("dead member " + std::to_string(member));
+    DegradedParams p = SweepBase();
+    p.n_ops = 1024;
+    p.seed = 601 + member;
+    p.fail_member = member;
+    p.num_spares = 1;
+    shard::shardtest::RunShardedDegradedScenario(
+        p, shard::shardtest::SweepShards());
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ShardedDegradedSweep, NoSpareStaysDegradedButKeepsServing) {
+  DegradedParams p = SweepBase();
+  p.n_ops = 1024;
+  p.seed = 611;
+  p.fail_member = 1;
+  p.num_spares = 0;
+  shard::shardtest::RunShardedDegradedScenario(
+      p, shard::shardtest::SweepShards());
 }
 
 }  // namespace

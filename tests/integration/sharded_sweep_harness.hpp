@@ -1,0 +1,315 @@
+// Sharded variants of the crash-consistency and degraded-mode sweeps.
+//
+// The single-engine sweeps validate the durable format under power cuts
+// and member failures; these variants replay the same trace generators
+// through the full async fabric — ShardedEngine::SubmitAndWait per host
+// op, so every request crosses the token bucket, WFQ, MPSC rings and the
+// seq-ordered completion path — with fault-injected devices behind every
+// shard. The shard count comes from EDC_SWEEP_SHARDS (default 1; the
+// TSan CI job sets 4 so the rings and run-loop handoffs are exercised
+// under the race detector at full shard width).
+//
+// Crash model: every shard's SSD is armed with the same per-device
+// power_cut_at_op, so whichever shard's device reaches the cut first
+// fails its host op with kUnavailable (SubmitAndWait serializes host
+// ops, so the failed op is deterministic). Reboot = RestorePower on
+// every device + RecreateEngine on every shard + RecoverAllFromDevice.
+// Verification reuses the single-engine rule: every acknowledged block
+// byte-identical, blocks under the one in-flight op applied-or-rolled-
+// back per block (a straddling op may commit on healthy shards while the
+// cut shard rolls back — exactly the per-block window).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/shard.hpp"
+#include "integration/crash_harness.hpp"
+#include "integration/degraded_harness.hpp"
+#include "ssd/raid.hpp"
+
+namespace edc::shard::shardtest {
+
+/// Shard width for the acceptance sweeps: EDC_SWEEP_SHARDS, default 1.
+inline u32 SweepShards() {
+  const char* env = std::getenv("EDC_SWEEP_SHARDS");
+  if (env == nullptr || *env == '\0') return 1;
+  long v = std::strtol(env, nullptr, 10);
+  return v < 1 ? 1 : v > 16 ? 16 : static_cast<u32>(v);
+}
+
+inline ShardedOptions SweepShardedOptions(u32 shards) {
+  ShardedOptions so;
+  so.shards = shards;
+  so.tenants = 1;
+  so.chunk_blocks = 2;  // small chunks: most multi-block ops straddle
+  so.ring_capacity = 64;
+  so.window = 16;
+  so.max_batch = 8;
+  return so;
+}
+
+// ---------------------------------------------------------------------
+// Crash-consistency sweep through the sharded fabric.
+// ---------------------------------------------------------------------
+
+struct ShardedCrashRun {
+  std::unique_ptr<ShardedEngine> engine;
+  core::crashtest::ReplayOutcome outcome;
+};
+
+/// Build a sharded engine over `shards` fault-armed SSDs (each cut at
+/// device op `cut`) and replay the trace one host op at a time until the
+/// cut fires or the trace ends. Mirrors crashtest::ReplayUntilCut.
+inline void ReplayShardedUntilCut(
+    const std::vector<core::crashtest::Op>& trace,
+    const datagen::ContentGenerator& gen, u32 shards, u64 cut,
+    std::vector<std::unique_ptr<ssd::Ssd>>* devices, ShardedCrashRun* out) {
+  devices->clear();
+  std::vector<ShardBacking> backings;
+  for (u32 s = 0; s < shards; ++s) {
+    devices->push_back(
+        std::make_unique<ssd::Ssd>(core::crashtest::SweepDeviceConfig(cut)));
+    ShardBacking b;
+    b.engine = core::crashtest::SweepEngineConfig();
+    b.device = devices->back().get();
+    b.generator = &gen;
+    backings.push_back(b);
+  }
+  auto se = ShardedEngine::CreateFromBackings(SweepShardedOptions(shards),
+                                              std::move(backings));
+  ASSERT_TRUE(se.ok()) << se.status().ToString();
+  out->engine = std::move(*se);
+  ASSERT_TRUE(out->engine->StartRunLoops().ok());
+
+  core::crashtest::ReplayOutcome& run = out->outcome;
+  for (const core::crashtest::Op& op : trace) {
+    run.clock += kMillisecond;
+    Request req;
+    req.kind = op.kind == core::crashtest::Op::kWrite  ? OpKind::kWrite
+               : op.kind == core::crashtest::Op::kTrim ? OpKind::kTrim
+                                                       : OpKind::kRead;
+    req.arrival = run.clock;
+    req.offset = op.first * kLogicalBlockSize;
+    req.size = op.n_blocks * static_cast<u32>(kLogicalBlockSize);
+    auto done = out->engine->SubmitAndWait(req);
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+    if (done->status.ok()) {
+      if (op.kind == core::crashtest::Op::kWrite) {
+        for (u32 i = 0; i < op.n_blocks; ++i) ++run.acked[op.first + i];
+      } else if (op.kind == core::crashtest::Op::kTrim) {
+        for (u32 i = 0; i < op.n_blocks; ++i) run.acked.erase(op.first + i);
+      }
+    } else {
+      // The only legal failure is the armed power cut.
+      EXPECT_EQ(done->status.code(), StatusCode::kUnavailable)
+          << done->status.ToString();
+      run.cut_fired = true;
+      run.failed = op;
+      break;
+    }
+  }
+  ASSERT_TRUE(out->engine->StopRunLoops().ok());
+}
+
+/// Sharded mirror of crashtest::VerifyRecovered: audit every shard, then
+/// check every block through the shard router.
+inline void VerifyShardedRecovered(ShardedEngine& engine,
+                                   const datagen::ContentGenerator& gen,
+                                   const core::crashtest::SweepParams& p,
+                                   const core::crashtest::ReplayOutcome& run,
+                                   u64 cut) {
+  core::AuditReport report = engine.AuditAll();
+  ASSERT_TRUE(report.ok()) << "cut " << cut << ": " << report.ToString();
+  for (Lba lba = 0; lba < p.lba_space; ++lba) {
+    auto got = engine.ReadBlockData(lba);
+    ASSERT_TRUE(got.ok()) << "cut " << cut << " lba " << lba << ": "
+                          << got.status().ToString();
+    auto it = run.acked.find(lba);
+    const u64 acked_version = it == run.acked.end() ? 0 : it->second;
+    Bytes expect_acked =
+        acked_version == 0
+            ? Bytes(kLogicalBlockSize, 0)
+            : gen.Generate(lba, acked_version, kLogicalBlockSize);
+    bool in_failed_op = run.cut_fired && lba >= run.failed.first &&
+                        lba < run.failed.first + run.failed.n_blocks;
+    if (in_failed_op && run.failed.kind == core::crashtest::Op::kWrite) {
+      Bytes expect_new =
+          gen.Generate(lba, acked_version + 1, kLogicalBlockSize);
+      ASSERT_TRUE(*got == expect_acked || *got == expect_new)
+          << "cut " << cut << " lba " << lba
+          << ": holds neither pre- nor post-op content";
+    } else if (in_failed_op &&
+               run.failed.kind == core::crashtest::Op::kTrim) {
+      ASSERT_TRUE(*got == expect_acked ||
+                  *got == Bytes(kLogicalBlockSize, 0))
+          << "cut " << cut << " lba " << lba
+          << ": holds neither pre-trim content nor zeros";
+    } else {
+      ASSERT_EQ(*got, expect_acked)
+          << "cut " << cut << " lba " << lba << ": acknowledged write lost";
+    }
+  }
+}
+
+/// The sharded crash sweep: for cut = k, 2k, ... replay through a fresh
+/// sharded engine whose devices all lose power at device op `cut`,
+/// reboot every shard, recover, verify.
+inline void RunShardedCrashSweep(const core::crashtest::SweepParams& p,
+                                 u32 shards) {
+  auto profile = datagen::ProfileByName("linux");
+  ASSERT_TRUE(profile.ok());
+  datagen::ContentGenerator gen(*profile, p.seed + 1000);
+  const std::vector<core::crashtest::Op> trace =
+      core::crashtest::MakeTrace(p);
+
+  u64 cuts_done = 0;
+  u64 recoveries_verified = 0;
+  for (u64 cut = p.k;; cut += p.k) {
+    std::vector<std::unique_ptr<ssd::Ssd>> devices;
+    ShardedCrashRun run;
+    ReplayShardedUntilCut(trace, gen, shards, cut, &devices, &run);
+    if (::testing::Test::HasFatalFailure()) return;
+    if (!run.outcome.cut_fired) break;  // cut beyond the trace: done
+
+    for (auto& dev : devices) dev->RestorePower();
+    // Reboot model: every shard engine is rebuilt from scratch and
+    // recovers its host-side state from its own journal lane + extents.
+    for (u32 s = 0; s < shards; ++s) {
+      ASSERT_TRUE(run.engine->RecreateEngine(s).ok()) << "cut " << cut;
+    }
+    ASSERT_TRUE(run.engine->RecoverAllFromDevice(run.outcome.clock).ok())
+        << "cut " << cut;
+    VerifyShardedRecovered(*run.engine, gen, p, run.outcome, cut);
+    if (::testing::Test::HasFatalFailure()) return;
+    ++recoveries_verified;
+    if (p.max_cuts != 0 && ++cuts_done >= p.max_cuts) return;
+  }
+  EXPECT_GT(recoveries_verified, 0u)
+      << "sweep parameters produced no cuts at all";
+}
+
+// ---------------------------------------------------------------------
+// Degraded-mode sweep through the sharded fabric.
+// ---------------------------------------------------------------------
+
+/// Replay the degraded trace through a sharded engine over per-shard
+/// RAIS-5 arrays, fail-stopping member `fail_member` on EVERY shard's
+/// array just before host op `fail_at_host_op` (run loops are stopped
+/// around the failure injection — the devices belong to the shard
+/// threads while running). Afterwards: pump every rebuild to completion,
+/// audit + scrub every shard, verify every block against the shadow.
+inline void RunShardedDegradedScenario(
+    const core::degradedtest::DegradedParams& p, u32 shards) {
+  auto profile = datagen::ProfileByName("linux");
+  ASSERT_TRUE(profile.ok());
+  datagen::ContentGenerator gen(*profile, p.seed + 2000);
+  const std::vector<core::degradedtest::Op> trace =
+      core::degradedtest::MakeTrace(p);
+
+  std::vector<std::unique_ptr<ssd::Rais>> devices;
+  std::vector<ShardBacking> backings;
+  for (u32 s = 0; s < shards; ++s) {
+    devices.push_back(
+        std::make_unique<ssd::Rais>(core::degradedtest::ArrayConfig(p)));
+    ShardBacking b;
+    b.engine = core::degradedtest::DegradedEngineConfig(nullptr);
+    b.device = devices.back().get();
+    b.generator = &gen;
+    backings.push_back(b);
+  }
+  auto se = ShardedEngine::CreateFromBackings(SweepShardedOptions(shards),
+                                              std::move(backings));
+  ASSERT_TRUE(se.ok()) << se.status().ToString();
+  ShardedEngine& engine = **se;
+  ASSERT_TRUE(engine.StartRunLoops().ok());
+
+  core::degradedtest::Shadow shadow;
+  SimTime clock = 0;
+  for (u64 i = 0; i < trace.size(); ++i) {
+    if (i == p.fail_at_host_op) {
+      // Fail the same member on every shard's array. Control-plane
+      // access: quiesce the run loops first.
+      ASSERT_TRUE(engine.StopRunLoops().ok());
+      for (u32 s = 0; s < shards; ++s) {
+        Status st = devices[s]->FailMemberNow(p.fail_member, clock);
+        ASSERT_TRUE(st.ok()) << "shard " << s << ": " << st.ToString();
+        EXPECT_TRUE(devices[s]->degraded());
+      }
+      ASSERT_TRUE(engine.StartRunLoops().ok());
+    }
+    const core::degradedtest::Op& op = trace[i];
+    clock += kMillisecond;
+    Request req;
+    req.kind = op.kind == core::degradedtest::Op::kWrite  ? OpKind::kWrite
+               : op.kind == core::degradedtest::Op::kTrim ? OpKind::kTrim
+                                                          : OpKind::kRead;
+    req.arrival = clock;
+    req.offset = op.first * kLogicalBlockSize;
+    req.size = op.n_blocks * static_cast<u32>(kLogicalBlockSize);
+    auto done = engine.SubmitAndWait(req);
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+    // A single member death per array is invisible to the host.
+    ASSERT_TRUE(done->status.ok())
+        << "op " << i << " failed while degraded: "
+        << done->status.ToString();
+    if (done->status.ok()) {
+      if (op.kind == core::degradedtest::Op::kWrite) {
+        for (u32 b = 0; b < op.n_blocks; ++b) ++shadow[op.first + b];
+      } else if (op.kind == core::degradedtest::Op::kTrim) {
+        for (u32 b = 0; b < op.n_blocks; ++b) shadow.erase(op.first + b);
+      }
+    }
+  }
+  ASSERT_TRUE(engine.StopRunLoops().ok());
+  u64 degraded_ios = 0;
+  for (u32 s = 0; s < shards; ++s) {
+    EXPECT_TRUE(devices[s]->degraded()) << "shard " << s;
+    degraded_ios += devices[s]->stats().degraded_reads +
+                    devices[s]->stats().degraded_writes;
+  }
+  EXPECT_GT(degraded_ios, 0u);
+
+  // Hot-spare rebuilds, pumped round-robin until every shard finishes.
+  if (p.num_spares > 0) {
+    for (u32 s = 0; s < shards; ++s) {
+      for (;;) {
+        clock += 10 * kMicrosecond;
+        auto more = devices[s]->PumpRebuild(clock);
+        ASSERT_TRUE(more.ok()) << "shard " << s << ": "
+                               << more.status().ToString();
+        if (!*more) break;
+      }
+      EXPECT_FALSE(devices[s]->degraded()) << "shard " << s;
+      EXPECT_GE(devices[s]->stats().rebuilds_completed, 1u)
+          << "shard " << s;
+    }
+  }
+
+  // Audit, per-shard scrub, byte-exact read-back against the shadow.
+  core::AuditReport report = engine.AuditAll();
+  ASSERT_TRUE(report.ok()) << report.ToString();
+  clock += kMillisecond;
+  for (u32 s = 0; s < shards; ++s) {
+    auto scrub = engine.engine(s).Scrub(clock);
+    ASSERT_TRUE(scrub.ok()) << "shard " << s << ": "
+                            << scrub.status().ToString();
+    EXPECT_TRUE(scrub->clean())
+        << "shard " << s << ": crc_errors=" << scrub->crc_errors
+        << " unrepairable=" << scrub->unrepairable
+        << " parity_mismatches=" << scrub->parity_mismatches;
+  }
+  for (Lba lba = 0; lba < p.lba_space; ++lba) {
+    auto got = engine.ReadBlockData(lba);
+    ASSERT_TRUE(got.ok()) << "lba " << lba << ": "
+                          << got.status().ToString();
+    ASSERT_EQ(*got, core::degradedtest::ExpectedContent(gen, shadow, lba))
+        << "lba " << lba << ": diverged from healthy reference";
+  }
+}
+
+}  // namespace edc::shard::shardtest
